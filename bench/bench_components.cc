@@ -1,0 +1,115 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the simulator's own components
+ * (engineering throughput, not a paper artifact): cache lookups,
+ * coherence transactions, event-queue churn, PRNG, and whole-system
+ * simulation rate.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "core/vatomic.h"
+#include "kernels/registry.h"
+#include "mem/cache.h"
+#include "mem/memsys.h"
+#include "sim/event_queue.h"
+#include "sim/random.h"
+#include "sim/system.h"
+
+namespace glsc {
+namespace {
+
+void
+BM_L1Lookup(benchmark::State &state)
+{
+    L1Cache cache(32 * 1024, 4);
+    for (Addr line = 0; line < 128 * kLineBytes; line += kLineBytes)
+        cache.fill(cache.victim(line), line, L1State::Shared, line);
+    Addr a = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(cache.lookup(a));
+        a = (a + kLineBytes) & (128 * kLineBytes - 1);
+    }
+}
+BENCHMARK(BM_L1Lookup);
+
+void
+BM_EventQueueChurn(benchmark::State &state)
+{
+    EventQueue q;
+    int sink = 0;
+    for (auto _ : state) {
+        q.scheduleIn(1, [&sink] { sink++; });
+        q.setNow(q.now() + 1);
+        q.runDue();
+    }
+    benchmark::DoNotOptimize(sink);
+}
+BENCHMARK(BM_EventQueueChurn);
+
+void
+BM_CoherenceHit(benchmark::State &state)
+{
+    SystemConfig cfg = SystemConfig::make(4, 4, 4);
+    EventQueue events;
+    Memory mem;
+    SystemStats stats;
+    stats.threads.resize(cfg.totalThreads());
+    MemorySystem msys(cfg, events, mem, stats);
+    msys.access(0, 0, 0x1000, 4, MemOpType::Load);
+    events.setNow(1000);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            msys.access(0, 0, 0x1000, 4, MemOpType::Load));
+    }
+}
+BENCHMARK(BM_CoherenceHit);
+
+void
+BM_CoherencePingPong(benchmark::State &state)
+{
+    SystemConfig cfg = SystemConfig::make(4, 4, 4);
+    EventQueue events;
+    Memory mem;
+    SystemStats stats;
+    stats.threads.resize(cfg.totalThreads());
+    MemorySystem msys(cfg, events, mem, stats);
+    CoreId c = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            msys.access(c, 0, 0x2000, 4, MemOpType::Store, 1));
+        c = (c + 1) % 4;
+        events.setNow(events.now() + 64);
+    }
+}
+BENCHMARK(BM_CoherencePingPong);
+
+void
+BM_Rng(benchmark::State &state)
+{
+    Rng rng(7);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(rng.next());
+}
+BENCHMARK(BM_Rng);
+
+/** Whole-system rate: simulated cycles per wall second (HIP / GLSC). */
+void
+BM_FullSystemHip(benchmark::State &state)
+{
+    std::uint64_t cycles = 0;
+    for (auto _ : state) {
+        SystemConfig cfg = SystemConfig::make(4, 4, 4);
+        RunResult r = runBenchmark("HIP", 0, Scheme::Glsc, cfg, 0.02, 1);
+        cycles += r.stats.cycles;
+        benchmark::DoNotOptimize(r.stats.cycles);
+    }
+    state.counters["sim_cycles_per_s"] = benchmark::Counter(
+        static_cast<double>(cycles), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_FullSystemHip)->Unit(benchmark::kMillisecond);
+
+} // namespace
+} // namespace glsc
+
+BENCHMARK_MAIN();

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Figure 5: benchmark behaviour with GLSC in the 1x1 configuration.
+ *  (a) percentage of execution time spent in synchronization
+ *      operations (1-wide SIMD);
+ *  (b) SIMD efficiency: speedup of 4-wide and 16-wide over 1-wide.
+ */
+
+#include <cstdio>
+
+#include "harness.h"
+
+using namespace glsc;
+using namespace glsc::bench;
+
+int
+main(int argc, char **argv)
+{
+    Options opt = parseArgs(argc, argv, 0.12);
+
+    printHeader("Figure 5(a): % of execution time in synchronization "
+                "(1x1, 1-wide, GLSC)");
+    std::printf("%-5s %10s %10s\n", "Bench", "A", "B");
+    for (const auto &info : benchmarkList()) {
+        double frac[2];
+        for (int ds = 0; ds < 2; ++ds) {
+            SystemConfig cfg = SystemConfig::make(1, 1, 1);
+            auto r = runChecked(info.name, ds, Scheme::Glsc, cfg, opt);
+            frac[ds] = double(r.stats.totalSyncCycles()) /
+                       double(r.stats.cycles);
+        }
+        std::printf("%-5s %10s %10s\n", info.name.c_str(),
+                    pct(frac[0]).c_str(), pct(frac[1]).c_str());
+    }
+
+    printHeader("Figure 5(b): SIMD efficiency -- speedup over 1-wide "
+                "(1x1, GLSC)");
+    std::printf("%-5s %-3s %12s %12s\n", "Bench", "DS", "4-wide",
+                "16-wide");
+    double sum4 = 0, sum16 = 0;
+    int n = 0;
+    for (const auto &info : benchmarkList()) {
+        for (int ds = 0; ds < 2; ++ds) {
+            double t1 = 0, t4 = 0, t16 = 0;
+            for (int w : {1, 4, 16}) {
+                SystemConfig cfg = SystemConfig::make(1, 1, w);
+                auto r =
+                    runChecked(info.name, ds, Scheme::Glsc, cfg, opt);
+                double tt = double(r.stats.cycles);
+                if (w == 1)
+                    t1 = tt;
+                else if (w == 4)
+                    t4 = tt;
+                else
+                    t16 = tt;
+            }
+            std::printf("%-5s %-3c %11.2fx %11.2fx\n", info.name.c_str(),
+                        ds == 0 ? 'A' : 'B', t1 / t4, t1 / t16);
+            sum4 += t1 / t4;
+            sum16 += t1 / t16;
+            n++;
+        }
+    }
+    std::printf("\nMean: 4-wide %.2fx (paper ~2.6x), 16-wide %.2fx "
+                "(paper ~5x)\n",
+                sum4 / n, sum16 / n);
+    return 0;
+}

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Figure 6: normalized performance for 4-wide SIMD.
+ *
+ * For each benchmark and dataset, runs Base and GLSC on the 1x1, 1x4,
+ * 4x1 and 4x4 configurations and prints speedups normalized to the
+ * 1x1 GLSC execution time of that (benchmark, dataset), exactly as the
+ * paper's bars are normalized.
+ */
+
+#include <cstdio>
+
+#include "harness.h"
+
+using namespace glsc;
+using namespace glsc::bench;
+
+int
+main(int argc, char **argv)
+{
+    Options opt = parseArgs(argc, argv, 0.12);
+    printHeader("Figure 6: Base vs GLSC speedup, 4-wide SIMD "
+                "(normalized to 1x1 GLSC)");
+
+    struct Cfg
+    {
+        int cores, threads;
+    };
+    const Cfg cfgs[] = {{1, 1}, {1, 4}, {4, 1}, {4, 4}};
+
+    double sumRatio1x1 = 0.0, sumRatio4x4 = 0.0;
+    int count = 0;
+
+    for (const auto &info : benchmarkList()) {
+        for (int ds = 0; ds < 2; ++ds) {
+            std::printf("\n%-4s dataset %c\n", info.name.c_str(),
+                        ds == 0 ? 'A' : 'B');
+            std::printf("  %-6s %12s %12s\n", "cfg", "Base", "GLSC");
+
+            // Normalization reference: 1x1 GLSC.
+            SystemConfig ref = SystemConfig::make(1, 1, 4);
+            double refTime = static_cast<double>(
+                runChecked(info.name, ds, Scheme::Glsc, ref, opt)
+                    .stats.cycles);
+
+            for (const Cfg &c : cfgs) {
+                SystemConfig cfg =
+                    SystemConfig::make(c.cores, c.threads, 4);
+                auto b = runChecked(info.name, ds, Scheme::Base, cfg,
+                                    opt);
+                auto g = runChecked(info.name, ds, Scheme::Glsc, cfg,
+                                    opt);
+                double sb = refTime / static_cast<double>(b.stats.cycles);
+                double sg = refTime / static_cast<double>(g.stats.cycles);
+                std::printf("  %dx%-4d %12.2f %12.2f\n", c.cores,
+                            c.threads, sb, sg);
+                if (c.cores == 1 && c.threads == 1) {
+                    sumRatio1x1 += static_cast<double>(b.stats.cycles) /
+                                   g.stats.cycles;
+                    count++;
+                }
+                if (c.cores == 4 && c.threads == 4) {
+                    sumRatio4x4 += static_cast<double>(b.stats.cycles) /
+                                   g.stats.cycles;
+                }
+            }
+        }
+    }
+
+    std::printf("\nSummary (paper: GLSC 76%% faster at 1x1, 54%% at 4x4 "
+                "on average):\n");
+    std::printf("  mean Base/GLSC time ratio 1x1: %.2f "
+                "(GLSC %+.0f%% faster)\n",
+                sumRatio1x1 / count, (sumRatio1x1 / count - 1.0) * 100);
+    std::printf("  mean Base/GLSC time ratio 4x4: %.2f "
+                "(GLSC %+.0f%% faster)\n",
+                sumRatio4x4 / count, (sumRatio4x4 / count - 1.0) * 100);
+    return 0;
+}

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Figure 7: microbenchmark scenarios A-D on the 4x4 configuration for
+ * 4- and 16-wide SIMD.  Each value is the Base/GLSC execution-time
+ * ratio (>1 means GLSC is faster).
+ */
+
+#include <cstdio>
+
+#include "harness.h"
+#include "kernels/micro.h"
+
+using namespace glsc;
+using namespace glsc::bench;
+
+int
+main(int argc, char **argv)
+{
+    Options opt = parseArgs(argc, argv, 1.0);
+    int iters = static_cast<int>(2048 * opt.scale);
+    if (iters < 64)
+        iters = 64;
+
+    printHeader("Figure 7: microbenchmark, Base/GLSC time ratio (4x4)");
+    std::printf("%-9s %12s %12s\n", "Scenario", "4-wide", "16-wide");
+
+    const MicroScenario scenarios[] = {MicroScenario::A, MicroScenario::B,
+                                       MicroScenario::C,
+                                       MicroScenario::D};
+    const char *names[] = {"A", "B", "C", "D"};
+
+    for (int s = 0; s < 4; ++s) {
+        double ratio[2];
+        int wi = 0;
+        for (int w : {4, 16}) {
+            SystemConfig cfg = SystemConfig::make(4, 4, w);
+            auto base = runMicro(cfg, scenarios[s], Scheme::Base, iters,
+                                 opt.seed);
+            auto glsc = runMicro(cfg, scenarios[s], Scheme::Glsc, iters,
+                                 opt.seed);
+            if (!base.verified || !glsc.verified)
+                GLSC_FATAL("microbenchmark scenario %s failed "
+                           "verification", names[s]);
+            ratio[wi++] = double(base.stats.cycles) /
+                          double(glsc.stats.cycles);
+        }
+        std::printf("%-9s %12.2f %12.2f\n", names[s], ratio[0],
+                    ratio[1]);
+    }
+    std::printf("\nExpected shape (paper): A largest win; B > C > D; D "
+                "~1 at 4-wide and < 1 at 16-wide.\n");
+    return 0;
+}

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Figure 8: benefit of GLSC for 1-, 4- and 16-wide SIMD on the 4x4
+ * configuration.  Each bar is the ratio of Base to GLSC execution
+ * time for one (benchmark, dataset).
+ */
+
+#include <cstdio>
+
+#include "harness.h"
+
+using namespace glsc;
+using namespace glsc::bench;
+
+int
+main(int argc, char **argv)
+{
+    Options opt = parseArgs(argc, argv, 0.12);
+    printHeader("Figure 8: Base/GLSC time ratio at 4x4 vs SIMD width");
+    std::printf("%-5s %-3s %10s %10s %10s\n", "Bench", "DS", "1-wide",
+                "4-wide", "16-wide");
+
+    double sum[3] = {0, 0, 0};
+    int n = 0;
+    for (const auto &info : benchmarkList()) {
+        for (int ds = 0; ds < 2; ++ds) {
+            double ratio[3];
+            int wi = 0;
+            for (int w : {1, 4, 16}) {
+                SystemConfig cfg = SystemConfig::make(4, 4, w);
+                auto b =
+                    runChecked(info.name, ds, Scheme::Base, cfg, opt);
+                auto g =
+                    runChecked(info.name, ds, Scheme::Glsc, cfg, opt);
+                ratio[wi] = double(b.stats.cycles) /
+                            double(g.stats.cycles);
+                sum[wi] += ratio[wi];
+                wi++;
+            }
+            n++;
+            std::printf("%-5s %-3c %10.2f %10.2f %10.2f\n",
+                        info.name.c_str(), ds == 0 ? 'A' : 'B', ratio[0],
+                        ratio[1], ratio[2]);
+        }
+    }
+    std::printf("\nMean ratio: 1-wide %.2f (paper ~1.0), 4-wide %.2f "
+                "(paper ~1.54), 16-wide %.2f (paper ~2.03)\n",
+                sum[0] / n, sum[1] / n, sum[2] / n);
+    return 0;
+}

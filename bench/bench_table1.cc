@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Table 1: simulated system parameters.  Echoes the default
+ * configuration so runs are self-documenting, and sanity-checks the
+ * modeled minimum GLSC latency against a measured single-op run.
+ */
+
+#include <cstdio>
+
+#include "core/vatomic.h"
+#include "harness.h"
+#include "sim/system.h"
+
+using namespace glsc;
+using namespace glsc::bench;
+
+namespace {
+
+Task<void>
+oneGather(SimThread &t, Addr base, Tick *latency)
+{
+    // Warm the line, then time one all-hit same-line vgatherlink.
+    VecReg idx;
+    for (int l = 0; l < t.width(); ++l)
+        idx[l] = static_cast<std::uint64_t>(l);
+    co_await t.vgather(base, idx, Mask::allOnes(t.width()), 4);
+    Tick before = t.now();
+    co_await t.vgatherlink(base, idx, Mask::allOnes(t.width()), 4);
+    *latency = t.now() - before;
+}
+
+Tick
+measureMinGlscLatency(int width)
+{
+    SystemConfig cfg = SystemConfig::make(1, 1, width);
+    System sys(cfg);
+    Addr base = sys.layout().alloc(kLineBytes);
+    Tick latency = 0;
+    sys.spawn(0, [&](SimThread &t) {
+        return oneGather(t, base, &latency);
+    });
+    sys.run();
+    return latency;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    parseArgs(argc, argv, 1.0);
+    SystemConfig cfg;
+    printHeader("Table 1: simulated system parameters");
+    std::printf("Number of Cores            1-4 (default %d)\n", cfg.cores);
+    std::printf("Threads per Core           1-4 (default %d)\n",
+                cfg.threadsPerCore);
+    std::printf("SIMD Width                 1, 4, 16 (default %d)\n",
+                cfg.simdWidth);
+    std::printf("Core Issue Width           %d\n", cfg.issueWidth);
+    std::printf("Private L1 Cache           %d KB, %d-way, %d B line\n",
+                cfg.l1SizeBytes / 1024, cfg.l1Assoc, kLineBytes);
+    std::printf("Shared L2 Cache            %d MB, %d-way, %d banks\n",
+                cfg.l2SizeBytes / (1024 * 1024), cfg.l2Assoc,
+                cfg.l2Banks);
+    std::printf("GLSC Handling Rate         1 element/cycle\n");
+    std::printf("L1 Access Latency          %llu cycles\n",
+                (unsigned long long)cfg.l1Latency);
+    std::printf("Min L2 Access Latency      %llu cycles\n",
+                (unsigned long long)cfg.l2Latency);
+    std::printf("Main Memory Access         %llu cycles\n",
+                (unsigned long long)cfg.memLatency);
+    std::printf("Min GLSC Latency (model)   (4 + SIMD-width) cycles\n");
+    for (int w : {1, 4, 16}) {
+        std::printf("Min GLSC Latency measured  width %2d: %llu cycles "
+                    "(expected %d)\n",
+                    w, (unsigned long long)measureMinGlscLatency(w),
+                    4 + w);
+    }
+    return 0;
+}

@@ -1,0 +1,62 @@
+#include "harness.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "sim/log.h"
+
+namespace glsc {
+namespace bench {
+
+Options
+parseArgs(int argc, char **argv, double default_scale)
+{
+    Options opt;
+    opt.scale = default_scale;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--scale") == 0 && i + 1 < argc) {
+            opt.scale = std::atof(argv[++i]);
+        } else if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
+            opt.seed = std::strtoull(argv[++i], nullptr, 10);
+        } else if (std::strcmp(argv[i], "--quick") == 0) {
+            opt.scale = default_scale * 0.25;
+        } else {
+            std::fprintf(stderr,
+                         "usage: %s [--scale f] [--seed n] [--quick]\n",
+                         argv[0]);
+            std::exit(2);
+        }
+    }
+    return opt;
+}
+
+void
+printHeader(const std::string &title)
+{
+    std::printf("\n=== %s ===\n", title.c_str());
+}
+
+std::string
+pct(double fraction)
+{
+    return strprintf("%6.2f %%", fraction * 100.0);
+}
+
+RunResult
+runChecked(const std::string &bench, int dataset, Scheme scheme,
+           const SystemConfig &cfg, const Options &opt)
+{
+    RunResult r =
+        runBenchmark(bench, dataset, scheme, cfg, opt.scale, opt.seed);
+    if (!r.verified) {
+        GLSC_FATAL("%s dataset %c (%s, %s) failed verification: %s",
+                   bench.c_str(), dataset == 0 ? 'A' : 'B',
+                   schemeName(scheme), cfg.label().c_str(),
+                   r.detail.c_str());
+    }
+    return r;
+}
+
+} // namespace bench
+} // namespace glsc

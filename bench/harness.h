@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Shared harness for the table/figure reproduction binaries.
+ *
+ * Every bench binary accepts:
+ *   --scale <f>   dataset scale factor (default per binary)
+ *   --seed <n>    workload synthesis seed (default 1)
+ *   --quick       quarter-scale smoke run
+ */
+
+#ifndef GLSC_BENCH_HARNESS_H_
+#define GLSC_BENCH_HARNESS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "kernels/common.h"
+#include "kernels/registry.h"
+
+namespace glsc {
+namespace bench {
+
+struct Options
+{
+    double scale = 1.0;
+    std::uint64_t seed = 1;
+};
+
+Options parseArgs(int argc, char **argv, double default_scale);
+
+/** Prints a boxed section header. */
+void printHeader(const std::string &title);
+
+/** "54.3 %"-style formatting. */
+std::string pct(double fraction);
+
+/**
+ * Runs one benchmark and verifies it; aborts the binary on a
+ * verification failure (a bench result from a corrupt run is
+ * meaningless).
+ */
+RunResult runChecked(const std::string &bench, int dataset, Scheme scheme,
+                     const SystemConfig &cfg, const Options &opt);
+
+} // namespace bench
+} // namespace glsc
+
+#endif // GLSC_BENCH_HARNESS_H_

@@ -1,0 +1,155 @@
+/**
+ * @file
+ * Example: GLSC's best-effort semantics under hardware constraints
+ * (paper sections 3.2/3.3).
+ *
+ * The same vector-atomic histogram loop runs on three machines:
+ *   1. the default (per-line GLSC tag bits),
+ *   2. a machine whose reservations live in a 2-entry associative
+ *      buffer -- too small to hold a 4-wide gather's links, so some
+ *      lanes lose their reservation to capacity eviction and retry,
+ *   3. a machine where one histogram page is unmapped -- faulting
+ *      lanes are masked out of the best-effort result instead of
+ *      killing the vector instruction.
+ * In all cases the software retry loop (or explicit mask handling)
+ * preserves correctness; only the retry counts change.
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "config/config.h"
+#include "core/vatomic.h"
+#include "sim/random.h"
+#include "sim/system.h"
+
+using namespace glsc;
+
+namespace {
+
+Task<void>
+histKernel(SimThread &t, Addr pixels, Addr bins, int perThread)
+{
+    const int w = t.width();
+    const int begin = t.globalId() * perThread;
+    for (int i = begin; i < begin + perThread; i += w) {
+        VecReg pix = co_await t.vload(pixels + 4ull * i, 4);
+        co_await t.exec(1);
+        VecReg idx;
+        for (int l = 0; l < w; ++l)
+            idx[l] = pix.u32(l);
+        co_await vAtomicIncU32(t, bins, idx, Mask::allOnes(w));
+    }
+}
+
+/**
+ * Lets the hardware discover faulting lanes: the gather-link's output
+ * mask drops them (section 3.2), and the software proceeds with the
+ * surviving subset -- no exception, no special-casing in the loop.
+ */
+Task<void>
+faultAwareKernel(SimThread &t, Addr pixels, Addr bins, int perThread)
+{
+    const int w = t.width();
+    const int begin = t.globalId() * perThread;
+    for (int i = begin; i < begin + perThread; i += w) {
+        VecReg pix = co_await t.vload(pixels + 4ull * i, 4);
+        co_await t.exec(1);
+        VecReg idx;
+        for (int l = 0; l < w; ++l)
+            idx[l] = pix.u32(l);
+        // Probe: the hardware clears mask bits of unmapped lanes.
+        GatherResult probe =
+            co_await t.vgatherlink(bins, idx, Mask::allOnes(w), 4);
+        co_await vAtomicIncU32(t, bins, idx, probe.mask);
+    }
+}
+
+struct Result
+{
+    bool ok = true;
+    std::uint64_t cycles = 0;
+    std::uint64_t lostReservations = 0;
+    std::uint64_t maskedLanes = 0;
+};
+
+Result
+run(int bufferEntries, bool withFault)
+{
+    SystemConfig cfg = SystemConfig::make(2, 2, 4);
+    cfg.glsc.bufferEntries = bufferEntries;
+    System sys(cfg);
+
+    const int numBins = 64;
+    const int perThread = 1024;
+    const int numPixels = perThread * cfg.totalThreads();
+    // Bins [32, 48) live on an "unmapped page" in the fault variant.
+    const std::uint32_t fLo = 32, fHi = 48;
+
+    Addr pixels = sys.layout().allocArray(numPixels, 4);
+    Addr bins = sys.layout().allocArray(numBins, 4);
+    if (withFault)
+        sys.memsys().markFaulting(bins + 4ull * fLo, bins + 4ull * fHi);
+
+    Rng rng(7);
+    std::vector<std::uint32_t> golden(numBins, 0);
+    for (int i = 0; i < numPixels; ++i) {
+        auto v = static_cast<std::uint32_t>(rng.below(numBins));
+        sys.memory().writeU32(pixels + 4ull * i, v);
+        if (!withFault || v < fLo || v >= fHi)
+            golden[v]++;
+    }
+
+    sys.spawnAll([&](SimThread &t) {
+        return withFault ? faultAwareKernel(t, pixels, bins, perThread)
+                         : histKernel(t, pixels, bins, perThread);
+    });
+    SystemStats stats = sys.run();
+
+    Result r;
+    r.cycles = stats.cycles;
+    r.lostReservations = stats.glscLaneFailLost;
+    r.maskedLanes = stats.glscLaneFailPolicy;
+    for (int b = 0; b < numBins; ++b) {
+        if (sys.memory().readU32(bins + 4ull * b) != golden[b])
+            r.ok = false;
+    }
+    return r;
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("Best-effort GLSC under hardware constraints "
+                "(2x2 CMP, 4-wide):\n\n");
+
+    Result tag = run(0, false);
+    std::printf("  per-line tag bits:   %8llu cycles, %5llu lost "
+                "reservations  -> %s\n",
+                (unsigned long long)tag.cycles,
+                (unsigned long long)tag.lostReservations,
+                tag.ok ? "histogram exact" : "CORRUPT");
+
+    Result buf = run(2, false);
+    std::printf("  2-entry buffer:      %8llu cycles, %5llu lost "
+                "reservations  -> %s\n",
+                (unsigned long long)buf.cycles,
+                (unsigned long long)buf.lostReservations,
+                buf.ok ? "histogram exact" : "CORRUPT");
+
+    Result flt = run(0, true);
+    std::printf("  unmapped page:       %8llu cycles, %5llu masked "
+                "faulting lanes -> %s\n",
+                (unsigned long long)flt.cycles,
+                (unsigned long long)flt.maskedLanes,
+                flt.ok ? "histogram exact (faulting bins skipped)"
+                       : "CORRUPT");
+
+    std::printf("\nCapacity evictions only add retries; faults only "
+                "clear mask bits. Correctness never depends on the\n"
+                "hardware being generous -- that is the best-effort "
+                "contract of section 3.2.\n");
+    return (tag.ok && buf.ok && flt.ok) ? 0 : 1;
+}

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Example: design-space exploration with the benchmark registry.
+ *
+ * Sweeps cores x threads x SIMD width for one RMS kernel and prints a
+ * speedup table (normalized to the 1x1 scalar run), the kind of study
+ * sections 5.1/5.3 of the paper perform.  Pass a benchmark name (GBC,
+ * FS, GPS, HIP, SMC, MFP, TMS) to sweep a different kernel.
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "kernels/registry.h"
+
+using namespace glsc;
+
+int
+main(int argc, char **argv)
+{
+    std::string bench = argc > 1 ? argv[1] : "TMS";
+    bool known = false;
+    for (const auto &info : benchmarkList())
+        known |= info.name == bench;
+    if (!known) {
+        std::fprintf(stderr, "unknown benchmark '%s'\n", bench.c_str());
+        return 2;
+    }
+
+    const double scale = 0.08;
+    std::printf("Design-space sweep for %s (dataset A, speedup over "
+                "1x1 scalar GLSC):\n\n", bench.c_str());
+    std::printf("%-8s %-6s | %10s %10s | %10s\n", "config", "width",
+                "Base", "GLSC", "GLSC/Base");
+
+    SystemConfig ref = SystemConfig::make(1, 1, 1);
+    double refTime = static_cast<double>(
+        runBenchmark(bench, 0, Scheme::Glsc, ref, scale, 1)
+            .stats.cycles);
+
+    struct Point
+    {
+        int c, t, w;
+    };
+    const Point points[] = {{1, 1, 1}, {1, 1, 4},  {1, 1, 16},
+                            {2, 2, 4}, {4, 1, 4},  {1, 4, 4},
+                            {4, 4, 4}, {4, 4, 16}};
+    for (const Point &p : points) {
+        SystemConfig cfg = SystemConfig::make(p.c, p.t, p.w);
+        auto b = runBenchmark(bench, 0, Scheme::Base, cfg, scale, 1);
+        auto g = runBenchmark(bench, 0, Scheme::Glsc, cfg, scale, 1);
+        if (!b.verified || !g.verified) {
+            std::fprintf(stderr, "verification failed at %s\n",
+                         cfg.label().c_str());
+            return 1;
+        }
+        std::printf("%dx%-6d %-6d | %9.2fx %9.2fx | %9.2fx\n", p.c, p.t,
+                    p.w, refTime / b.stats.cycles,
+                    refTime / g.stats.cycles,
+                    double(b.stats.cycles) / g.stats.cycles);
+    }
+    std::printf("\nEvery point is verified against the kernel's golden "
+                "output before being reported.\n");
+    return 0;
+}

@@ -1,0 +1,39 @@
+#include "config/config.h"
+
+#include "sim/log.h"
+
+namespace glsc {
+
+void
+SystemConfig::validate() const
+{
+    if (cores < 1 || cores > 64)
+        GLSC_FATAL("cores must be in [1, 64], got %d", cores);
+    if (threadsPerCore < 1 || threadsPerCore > 8)
+        GLSC_FATAL("threadsPerCore must be in [1, 8], got %d",
+                   threadsPerCore);
+    if (simdWidth < 1 || simdWidth > kMaxSimdWidth)
+        GLSC_FATAL("simdWidth must be in [1, %d], got %d", kMaxSimdWidth,
+                   simdWidth);
+    if (issueWidth < 1)
+        GLSC_FATAL("issueWidth must be positive");
+    auto pow2 = [](int v) { return v > 0 && (v & (v - 1)) == 0; };
+    if (!pow2(l1Assoc) || !pow2(l2Assoc) || !pow2(l2Banks))
+        GLSC_FATAL("cache associativities and bank counts must be powers "
+                   "of two");
+    if (l1SizeBytes % (l1Assoc * kLineBytes) != 0)
+        GLSC_FATAL("L1 size must be a multiple of assoc * line size");
+    if (l2SizeBytes % (l2Assoc * l2Banks * kLineBytes) != 0)
+        GLSC_FATAL("L2 size must be a multiple of assoc * banks * line "
+                   "size");
+    if (writeBufferEntries < 1 || lsqEntries < 1)
+        GLSC_FATAL("write buffer and LSQ need at least one entry");
+}
+
+std::string
+SystemConfig::label() const
+{
+    return strprintf("%dx%d/%d-wide", cores, threadsPerCore, simdWidth);
+}
+
+} // namespace glsc

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * System configuration, mirroring Table 1 of the paper.
+ *
+ * Defaults reproduce the simulated system of Kumar et al. (ISCA 2008):
+ * in-order 2-issue cores with up to 4-way SMT, 32 KB 4-way private L1s,
+ * a 16 MB 8-way 16-bank shared inclusive L2 with directory MSI, 3-cycle
+ * L1 / 12-cycle minimum L2 / 280-cycle memory latency, and a
+ * gather/scatter unit handling one element per cycle with minimum GLSC
+ * latency (4 + SIMD-width) cycles.
+ */
+
+#ifndef GLSC_CONFIG_CONFIG_H_
+#define GLSC_CONFIG_CONFIG_H_
+
+#include <string>
+
+#include "sim/types.h"
+
+namespace glsc {
+
+/**
+ * Design-freedom policies for gather-linked element failure (paper
+ * section 3.2).  The default configuration matches the evaluated
+ * system: gather-linked waits for misses and steals reservations, so
+ * the only failure sources are aliasing and intervening writes.
+ */
+struct GlscPolicy
+{
+    /** Fail a lane whose line is linked by another SMT thread. */
+    bool failIfLinkedByOther = false;
+    /** Fail (instead of servicing) lanes that miss in the L1. */
+    bool failOnMiss = false;
+    /** Resolve aliases at gather-link time instead of scatter time. */
+    bool aliasAtGather = false;
+    /**
+     * GLSC-entry storage (paper section 3.3): 0 keeps a valid bit +
+     * thread id on every L1 line; N > 0 holds reservations in a
+     * fully-associative per-core buffer of N entries, whose overflow
+     * evicts the oldest reservation (best-effort semantics).
+     */
+    int bufferEntries = 0;
+};
+
+/** Full system configuration (Table 1 defaults). */
+struct SystemConfig
+{
+    // Processor.
+    int cores = 4;
+    int threadsPerCore = 4;
+    int simdWidth = 4;       //!< 32-bit lanes per vector register
+    int issueWidth = 2;      //!< in-order issue slots per cycle
+
+    // Private L1 data cache.
+    int l1SizeBytes = 32 * 1024;
+    int l1Assoc = 4;
+    Tick l1Latency = 3;
+
+    // Shared inclusive L2.
+    int l2SizeBytes = 16 * 1024 * 1024;
+    int l2Assoc = 8;
+    int l2Banks = 16;
+    Tick l2Latency = 12;     //!< minimum (unloaded) L2 access latency
+
+    // Main memory.
+    Tick memLatency = 280;
+
+    // Interconnect: the 12-cycle min L2 latency already includes the
+    // average on-die traversal; these model additional queueing and
+    // invalidation round-trips.
+    Tick nocHopLatency = 4;       //!< one-way core <-> remote L1 / bank
+    Tick bankOccupancy = 2;       //!< cycles a bank is busy per request
+
+    // Load/store machinery.
+    int writeBufferEntries = 8;
+    int lsqEntries = 16;
+    bool stridePrefetcher = true;
+
+    // Gather/scatter unit.
+    Tick gsuFixedOverhead = 4;    //!< pipeline overhead (min lat = 4 + W)
+    GlscPolicy glsc;
+
+    /** Software threads = cores * threadsPerCore. */
+    int totalThreads() const { return cores * threadsPerCore; }
+
+    /** Validates invariants; calls fatal() on a bad configuration. */
+    void validate() const;
+
+    /** Short "m x n / W-wide" description used in bench output. */
+    std::string label() const;
+
+    /** Convenience factory: m cores, n threads/core, width w. */
+    static SystemConfig
+    make(int m, int n, int w)
+    {
+        SystemConfig cfg;
+        cfg.cores = m;
+        cfg.threadsPerCore = n;
+        cfg.simdWidth = w;
+        return cfg;
+    }
+};
+
+} // namespace glsc
+
+#endif // GLSC_CONFIG_CONFIG_H_

@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Alternative GLSC-entry storage: a small fully-associative buffer per
+ * core (paper section 3.3, second implementation).
+ *
+ * Instead of a valid bit + thread id on every L1 line, reservations
+ * live in a buffer of (line tag, thread id) entries whose capacity can
+ * range from one to SIMD-width x SMT-threads.  Linking a line when the
+ * buffer is full evicts the oldest reservation (best-effort semantics
+ * make that legal -- the corresponding scatter-conditional simply
+ * fails).  The buffer must be consulted on store-conditional checks
+ * and snooped by stores, evictions and invalidations.
+ */
+
+#ifndef GLSC_CORE_GLSC_BUFFER_H_
+#define GLSC_CORE_GLSC_BUFFER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/log.h"
+#include "sim/types.h"
+
+namespace glsc {
+
+/** Fully-associative reservation buffer for one core. */
+class GlscBuffer
+{
+  public:
+    explicit GlscBuffer(int capacity) : capacity_(capacity)
+    {
+        GLSC_ASSERT(capacity >= 1, "GLSC buffer needs >= 1 entry");
+        entries_.reserve(capacity);
+    }
+
+    /**
+     * Links @p line for @p tid.  Re-links in place if the (line) is
+     * already present (stealing between threads); otherwise allocates,
+     * evicting the oldest entry when full.
+     */
+    void
+    link(Addr line, ThreadId tid)
+    {
+        for (Entry &e : entries_) {
+            if (e.line == line) {
+                e.tid = tid;
+                e.stamp = ++clock_;
+                return;
+            }
+        }
+        if (static_cast<int>(entries_.size()) < capacity_) {
+            entries_.push_back(Entry{line, tid, ++clock_});
+            return;
+        }
+        // Evict the oldest reservation (its sc will fail -- allowed).
+        std::size_t victim = 0;
+        for (std::size_t i = 1; i < entries_.size(); ++i) {
+            if (entries_[i].stamp < entries_[victim].stamp)
+                victim = i;
+        }
+        entries_[victim] = Entry{line, tid, ++clock_};
+    }
+
+    /** True iff @p tid still holds a reservation on @p line. */
+    bool
+    holds(Addr line, ThreadId tid) const
+    {
+        for (const Entry &e : entries_) {
+            if (e.line == line)
+                return e.tid == tid;
+        }
+        return false;
+    }
+
+    /** Thread holding @p line's reservation, or -1 when none. */
+    ThreadId
+    owner(Addr line) const
+    {
+        for (const Entry &e : entries_) {
+            if (e.line == line)
+                return e.tid;
+        }
+        return -1;
+    }
+
+    /** Clears any reservation on @p line (store/eviction/inval). */
+    void
+    clear(Addr line)
+    {
+        for (std::size_t i = 0; i < entries_.size(); ++i) {
+            if (entries_[i].line == line) {
+                entries_[i] = entries_.back();
+                entries_.pop_back();
+                return;
+            }
+        }
+    }
+
+    int size() const { return static_cast<int>(entries_.size()); }
+    int capacity() const { return capacity_; }
+
+  private:
+    struct Entry
+    {
+        Addr line;
+        ThreadId tid;
+        std::uint64_t stamp;
+    };
+
+    int capacity_;
+    std::uint64_t clock_ = 0;
+    std::vector<Entry> entries_;
+};
+
+} // namespace glsc
+
+#endif // GLSC_CORE_GLSC_BUFFER_H_

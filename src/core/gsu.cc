@@ -1,0 +1,270 @@
+#include "core/gsu.h"
+
+#include "cpu/thread.h"
+#include "sim/log.h"
+
+namespace glsc {
+
+Gsu::Gsu(CoreId core, const SystemConfig &cfg, EventQueue &events,
+         MemorySystem &msys, Lsu &lsu, SystemStats &stats)
+    : core_(core), cfg_(cfg), events_(events), msys_(msys), lsu_(lsu),
+      stats_(stats), entries_(cfg.threadsPerCore)
+{
+}
+
+void
+Gsu::push(SimThread *t, const PendingOp &op)
+{
+    Entry &e = entries_[t->tid()];
+    GLSC_ASSERT(!e.active, "GSU entry for thread %d busy", t->tid());
+    e.active = true;
+    e.generation++;
+    e.thread = t;
+    e.op = op;
+    e.nextLane = 0;
+    e.genDone = false;
+    e.groups.clear();
+    e.outstanding = 0;
+    e.result = GatherResult{};
+    e.firstLaneOfAddr.clear();
+    e.groupOfLine.clear();
+
+    stats_.gsuInstrs++;
+    if (op.kind == OpKind::GatherLink) {
+        stats_.gatherLinkInstrs++;
+    } else if (op.kind == OpKind::ScatterCond) {
+        stats_.scatterCondInstrs++;
+        stats_.glscLaneAttempts +=
+            static_cast<std::uint64_t>(op.mask.count());
+    }
+}
+
+void
+Gsu::generateLane(Entry &e)
+{
+    const PendingOp &op = e.op;
+    // Disabled lanes are skipped for free: the generation pipeline
+    // only spends a cycle per *active* element, so a retry with a
+    // sparse mask is cheap.  A full-mask instruction still takes
+    // SIMD-width generation cycles (min latency 4 + SIMD-width).
+    while (e.nextLane < op.vwidth && !op.mask.test(e.nextLane))
+        e.nextLane++;
+    if (e.nextLane >= op.vwidth) {
+        e.genDone = true;
+        maybeFinish(e);
+        return;
+    }
+    int lane = e.nextLane++;
+
+    if (lane < op.vwidth && op.mask.test(lane)) {
+        Addr a = op.base + op.index[lane] * static_cast<Addr>(op.elemSize);
+
+        // Graceful exception handling (paper section 3.2): a lane
+        // touching an unmapped page is masked out of the best-effort
+        // result instead of faulting the whole vector instruction.
+        const bool faulted = (op.kind == OpKind::GatherLink ||
+                              op.kind == OpKind::ScatterCond) &&
+                             msys_.isFaulting(a);
+        // Alias detection (paper section 3.1): scatters resolve
+        // identical element addresses to a single winner; optionally
+        // gather-linked performs the resolution instead.
+        const bool checkAlias =
+            isScatterKind(op.kind) ||
+            (op.kind == OpKind::GatherLink && cfg_.glsc.aliasAtGather);
+        auto [it, fresh] = e.firstLaneOfAddr.try_emplace(a, lane);
+        bool aliasLoser = checkAlias && !fresh;
+
+        if (faulted) {
+            stats_.glscLaneFailPolicy++;
+        } else if (aliasLoser) {
+            if (op.kind == OpKind::ScatterCond)
+                stats_.glscLaneFailAlias++;
+            else if (op.kind == OpKind::GatherLink)
+                stats_.glscLaneFailPolicy++;
+            // Plain scatter: aliasing is architecturally undefined; we
+            // deterministically drop all but the lowest lane.
+        } else {
+            Addr line = lineAddr(a);
+            auto [git, newLine] =
+                e.groupOfLine.try_emplace(line, e.groups.size());
+            if (newLine) {
+                LineGroup g;
+                g.line = line;
+                e.groups.push_back(std::move(g));
+            } else if (op.kind == OpKind::GatherLink ||
+                       op.kind == OpKind::ScatterCond) {
+                // Line reuse within the instruction saves an L1 access
+                // attributable to the atomic sequence (Table 4).
+                stats_.l1AccessesCombined++;
+            }
+            GsuLane gl;
+            gl.lane = lane;
+            gl.addr = a;
+            gl.wdata = op.source[lane];
+            e.groups[git->second].lanes.push_back(gl);
+        }
+    }
+
+    // Trailing disabled lanes do not cost further cycles either.
+    while (e.nextLane < op.vwidth && !op.mask.test(e.nextLane))
+        e.nextLane++;
+    if (e.nextLane >= op.vwidth) {
+        e.genDone = true;
+        maybeFinish(e);
+    }
+}
+
+void
+Gsu::tickAddrGen()
+{
+    // Each instruction-buffer entry has its own address-generation
+    // pipeline producing one lane per cycle (so a single instruction
+    // still takes SIMD-width generation cycles, paper section 4.1).
+    // The shared resource is the L1 request port: tickDispatch sends
+    // at most one cache request per cycle ("GLSC handling rate
+    // 1 element/cycle", Table 1).
+    for (Entry &e : entries_) {
+        if (e.active && !e.genDone)
+            generateLane(e);
+    }
+}
+
+bool
+Gsu::tickDispatch()
+{
+    int n = static_cast<int>(entries_.size());
+    bool sawConflict = false;
+    for (int i = 0; i < n; ++i) {
+        int idx = (rrDispatch_ + i) % n;
+        Entry &e = entries_[idx];
+        if (!e.active || !e.genDone)
+            continue;
+        for (std::size_t g = 0; g < e.groups.size(); ++g) {
+            LineGroup &grp = e.groups[g];
+            if (grp.dispatched)
+                continue;
+            if (lsu_.hasLineConflict(grp.line)) {
+                // Memory ordering: wait until the conflicting LSU /
+                // write-buffer requests reach the L1 (section 2.2).
+                sawConflict = true;
+                continue;
+            }
+
+            stats_.gsuCacheRequests++;
+            const PendingOp &op = e.op;
+            ThreadId tid = e.thread->tid();
+            LineOpResult res;
+            if (isScatterKind(op.kind)) {
+                res = msys_.scatterLine(core_, tid, grp.lanes, op.elemSize,
+                                        op.kind == OpKind::ScatterCond);
+            } else {
+                res = msys_.gatherLine(core_, tid, grp.lanes, op.elemSize,
+                                       op.kind == OpKind::GatherLink);
+            }
+            grp.dispatched = true;
+            e.outstanding++;
+            std::uint64_t gen = e.generation;
+            events_.scheduleIn(res.latency, [this, tid, gen, g, res] {
+                onGroupComplete(tid, gen, g, res);
+            });
+            rrDispatch_ = (idx + 1) % n;
+            return true;
+        }
+    }
+    if (sawConflict)
+        stats_.gsuConflictStallCycles++;
+    return false;
+}
+
+void
+Gsu::onGroupComplete(ThreadId tid, std::uint64_t generation,
+                     std::size_t groupIdx, const LineOpResult &res)
+{
+    Entry &e = entries_[tid];
+    if (!e.active || e.generation != generation)
+        GLSC_PANIC("stale GSU completion for thread %d", tid);
+    LineGroup &grp = e.groups[groupIdx];
+    GLSC_ASSERT(grp.dispatched && !grp.completed,
+                "bad GSU group completion state");
+    grp.completed = true;
+    e.outstanding--;
+
+    switch (e.op.kind) {
+      case OpKind::Gather:
+        for (const GsuLane &ln : grp.lanes) {
+            e.result.value[ln.lane] = res.data[ln.lane];
+            e.result.mask.set(ln.lane);
+        }
+        break;
+
+      case OpKind::GatherLink:
+        if (res.linked) {
+            for (const GsuLane &ln : grp.lanes) {
+                e.result.value[ln.lane] = res.data[ln.lane];
+                e.result.mask.set(ln.lane);
+            }
+        } else {
+            stats_.glscLaneFailPolicy +=
+                static_cast<std::uint64_t>(grp.lanes.size());
+        }
+        break;
+
+      case OpKind::Scatter:
+        for (const GsuLane &ln : grp.lanes)
+            e.result.mask.set(ln.lane);
+        break;
+
+      case OpKind::ScatterCond:
+        if (res.scondOk) {
+            for (const GsuLane &ln : grp.lanes)
+                e.result.mask.set(ln.lane);
+        } else {
+            stats_.glscLaneFailLost +=
+                static_cast<std::uint64_t>(grp.lanes.size());
+        }
+        break;
+
+      default:
+        GLSC_PANIC("bad GSU op kind");
+    }
+
+    maybeFinish(e);
+}
+
+void
+Gsu::maybeFinish(Entry &e)
+{
+    if (!e.genDone || e.outstanding != 0)
+        return;
+    for (const LineGroup &g : e.groups) {
+        if (!g.dispatched)
+            return;
+    }
+    // Result assembly and register writeback (2 cycles); the entry
+    // frees immediately so a min-latency op observes 4 + SIMD-width.
+    SimThread *t = e.thread;
+    GatherResult result = e.result;
+    e.active = false;
+    e.thread = nullptr;
+    Tick assembly = cfg_.gsuFixedOverhead >= 2 ? 2 : cfg_.gsuFixedOverhead;
+    events_.scheduleIn(assembly,
+                       [t, result] { t->completeGather(result); });
+}
+
+bool
+Gsu::busy() const
+{
+    for (const Entry &e : entries_) {
+        if (!e.active)
+            continue;
+        if (!e.genDone)
+            return true;
+        for (const LineGroup &g : e.groups) {
+            if (!g.dispatched)
+                return true;
+        }
+    }
+    return false;
+}
+
+} // namespace glsc

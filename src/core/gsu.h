@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Gather/scatter unit with gather-linked / scatter-conditional support
+ * (the paper's architectural contribution, sections 2.2, 3.3, 3.4).
+ *
+ * Structure follows Figure 1/4 of the paper:
+ *  - an instruction buffer with one entry per SMT thread;
+ *  - shared address-generation logic producing one lane address per
+ *    cycle (so a full instruction takes SIMD-width generation cycles);
+ *  - combining of lanes that fall on the same cache line into a single
+ *    L1 request (Fig. 4's A/C example);
+ *  - alias detection: for scatter-conditional, lanes with identical
+ *    element addresses admit exactly one winner (lowest lane index);
+ *  - a conflict check against the LSU's demand queue and write buffer:
+ *    conflicting line requests wait in the GSU;
+ *  - dispatch of at most one L1 request per cycle, using the L1 port
+ *    only when the LSU leaves it free (LSU has priority).
+ *
+ * Timing: with all lanes on one line hitting in the L1, an instruction
+ * completes in (4 + SIMD-width) cycles, the paper's minimum GLSC
+ * latency (Table 1): SIMD-width generation cycles, the 3-cycle L1
+ * access, and a 2-cycle result-assembly stage, minus the overlap of
+ * dispatch with the final generation cycle.
+ */
+
+#ifndef GLSC_CORE_GSU_H_
+#define GLSC_CORE_GSU_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "config/config.h"
+#include "cpu/lsu.h"
+#include "cpu/op.h"
+#include "isa/vector.h"
+#include "mem/memsys.h"
+#include "sim/event_queue.h"
+#include "stats/stats.h"
+
+namespace glsc {
+
+class SimThread;
+
+class Gsu
+{
+  public:
+    Gsu(CoreId core, const SystemConfig &cfg, EventQueue &events,
+        MemorySystem &msys, Lsu &lsu, SystemStats &stats);
+
+    /** True when thread @p tid's instruction-buffer entry is free. */
+    bool entryFree(ThreadId tid) const { return !entries_[tid].active; }
+
+    /** Accepts a gather/scatter instruction for thread @p tid. */
+    void push(SimThread *t, const PendingOp &op);
+
+    /** One shared address-generation cycle (round-robin over entries). */
+    void tickAddrGen();
+
+    /** Dispatches at most one line request; true if the port was used. */
+    bool tickDispatch();
+
+    /** True when generation or dispatch work remains (not event waits). */
+    bool busy() const;
+
+  private:
+    /** One combined L1 request: all lanes of an instr on one line. */
+    struct LineGroup
+    {
+        Addr line = 0;
+        std::vector<GsuLane> lanes;
+        bool dispatched = false;
+        bool completed = false;
+    };
+
+    struct Entry
+    {
+        bool active = false;
+        std::uint64_t generation = 0; //!< guards stale completion events
+        SimThread *thread = nullptr;
+        PendingOp op;
+        int nextLane = 0;
+        bool genDone = false;
+        std::vector<LineGroup> groups;
+        int outstanding = 0; //!< dispatched, completion event pending
+        GatherResult result;
+        std::unordered_map<Addr, int> firstLaneOfAddr; //!< alias detect
+        std::unordered_map<Addr, std::size_t> groupOfLine;
+    };
+
+    void generateLane(Entry &e);
+    void finishGeneration(Entry &e);
+    void onGroupComplete(ThreadId tid, std::uint64_t generation,
+                         std::size_t groupIdx, const LineOpResult &res);
+    void maybeFinish(Entry &e);
+
+    bool isScatterKind(OpKind k) const
+    {
+        return k == OpKind::Scatter || k == OpKind::ScatterCond;
+    }
+
+    CoreId core_;
+    const SystemConfig &cfg_;
+    EventQueue &events_;
+    MemorySystem &msys_;
+    Lsu &lsu_;
+    SystemStats &stats_;
+    std::vector<Entry> entries_; //!< one per SMT thread (paper Fig. 1)
+    int rrGen_ = 0;              //!< round-robin cursor for addr gen
+    int rrDispatch_ = 0;         //!< round-robin cursor for dispatch
+};
+
+} // namespace glsc
+
+#endif // GLSC_CORE_GSU_H_

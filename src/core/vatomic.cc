@@ -1,0 +1,233 @@
+#include "core/vatomic.h"
+
+#include <bit>
+
+namespace glsc {
+
+Task<void>
+vAtomicUpdate(SimThread &t, Addr base, const VecReg &idx, Mask todo,
+              int elemSize, LaneUpdateFn update,
+              std::uint64_t updateInstrs)
+{
+    // Fig. 3A, lines 6-15, plus a short software backoff on retries.
+    // Retries are normal under lane aliasing, but when two SMT threads
+    // contend for the same lines their gather-links would steal each
+    // other's reservations in lockstep without the asymmetry.
+    t.syncBegin();
+    co_await t.exec(1); // FtoDo = ALL_ONES / initial mask setup
+    std::uint64_t retries = 0;
+    while (todo.any()) {
+        co_await t.exec(1); // Ftmp = FtoDo
+        GatherResult g =
+            co_await t.vgatherlink(base, idx, todo, elemSize);
+        Mask linked = g.mask;
+        if (linked.any()) {
+            co_await t.exec(updateInstrs); // vinc / vadd under mask
+            update(g.value, linked);
+        }
+        Mask done = co_await t.vscattercond(base, idx, g.value, linked,
+                                            elemSize);
+        co_await t.exec(2); // FtoDo ^= Ftmp; loop branch
+        todo = todo.andNot(done);
+        if (todo.any() && done.noneSet()) {
+            // Zero progress means another thread is stealing our
+            // reservations (alias retries always make progress);
+            // back off asymmetrically to break the lockstep.
+            retries++;
+            co_await t.exec(
+                1 + ((retries * 2 +
+                      static_cast<std::uint64_t>(t.globalId()) * 5) %
+                     13));
+        }
+    }
+    t.syncEnd();
+}
+
+Task<void>
+vAtomicAddF32(SimThread &t, Addr base, const VecReg &idx,
+              const VecReg &addend, Mask todo)
+{
+    co_await vAtomicUpdate(
+        t, base, idx, todo, 4,
+        [addend](VecReg &vals, Mask lanes) {
+            for (int i = 0; i < kMaxSimdWidth; ++i) {
+                if (lanes.test(i))
+                    vals.setF32(i, vals.f32(i) + addend.f32(i));
+            }
+        },
+        1);
+}
+
+Task<void>
+vAtomicIncU32(SimThread &t, Addr base, const VecReg &idx, Mask todo)
+{
+    co_await vAtomicUpdate(
+        t, base, idx, todo, 4,
+        [](VecReg &vals, Mask lanes) {
+            for (int i = 0; i < kMaxSimdWidth; ++i) {
+                if (lanes.test(i))
+                    vals[i] = (vals.u32(i) + 1u);
+            }
+        },
+        1);
+}
+
+Task<void>
+scalarAtomicUpdate(SimThread &t, Addr a, int size, ScalarUpdateFn update,
+                   std::uint64_t updateInstrs)
+{
+    // Fig. 2, lines 4-9, plus the linear backoff any production ll/sc
+    // loop carries: SMT threads share one reservation entry per line,
+    // so symmetric retries would steal each other's links forever.
+    t.syncBegin();
+    std::uint64_t retries = 0;
+    while (true) {
+        std::uint64_t v = co_await t.loadLinked(a, size);
+        co_await t.exec(updateInstrs); // Rtmp update
+        bool ok = co_await t.storeCond(a, update(v), size);
+        co_await t.exec(1); // retry branch
+        if (ok)
+            break;
+        retries++;
+        std::uint64_t delay =
+            1 + ((retries * 2 + static_cast<std::uint64_t>(
+                                    t.globalId()) * 7) %
+                 23);
+        co_await t.exec(delay);
+    }
+    t.syncEnd();
+}
+
+Task<void>
+scalarAtomicAddF32(SimThread &t, Addr a, float v)
+{
+    co_await scalarAtomicUpdate(
+        t, a, 4,
+        [v](std::uint64_t old) {
+            float f = std::bit_cast<float>(static_cast<std::uint32_t>(old));
+            return static_cast<std::uint64_t>(
+                std::bit_cast<std::uint32_t>(f + v));
+        },
+        1);
+}
+
+Task<void>
+scalarAtomicIncU32(SimThread &t, Addr a)
+{
+    co_await scalarAtomicUpdate(
+        t, a, 4,
+        [](std::uint64_t old) {
+            return static_cast<std::uint64_t>(
+                static_cast<std::uint32_t>(old) + 1u);
+        },
+        1);
+}
+
+Task<Mask>
+vLockTry(SimThread &t, Addr lockArray, const VecReg &idx, Mask want)
+{
+    // Fig. 3B, VLOCK: gather-link the lock words, keep the lanes whose
+    // lock reads 0 (available), then scatter-conditional a 1 to them.
+    t.syncBegin();
+    GatherResult g = co_await t.vgatherlink(lockArray, idx, want, 4);
+    co_await t.exec(1); // vcompareequal against zero
+    Mask avail = Mask::none();
+    for (int i = 0; i < t.width(); ++i) {
+        if (g.mask.test(i) && g.value.u32(i) == 0)
+            avail.set(i);
+    }
+    VecReg ones = VecReg::splat(1, t.width());
+    Mask got = co_await t.vscattercond(lockArray, idx, ones, avail, 4);
+    t.syncEnd();
+    co_return got;
+}
+
+Task<void>
+vUnlock(SimThread &t, Addr lockArray, const VecReg &idx, Mask held)
+{
+    // Fig. 3B, VUNLOCK: plain scatter of zeroes.  Lanes in @p held are
+    // guaranteed alias-free because vLockTry admits one winner per
+    // lock word.
+    t.syncBegin();
+    VecReg zeros;
+    co_await t.vscatter(lockArray, idx, zeros, held, 4);
+    t.syncEnd();
+}
+
+Task<Mask>
+vLockAll(SimThread &t, Addr lockArray, const VecReg &idx, Mask want)
+{
+    t.syncBegin();
+    // Deduplicate aliased lanes up front: one representative per
+    // distinct lock word.
+    co_await t.exec(2);
+    Mask reps = Mask::none();
+    for (int i = 0; i < t.width(); ++i) {
+        if (!want.test(i))
+            continue;
+        bool dup = false;
+        for (int j = 0; j < i && !dup; ++j)
+            dup = reps.test(j) && idx[j] == idx[i];
+        if (!dup)
+            reps.set(i);
+    }
+
+    Mask held = Mask::none();
+    std::uint64_t retries = 0;
+    while (held != reps) {
+        Mask wantNow = reps.andNot(held);
+        Mask got = co_await vLockTry(t, lockArray, idx, wantNow);
+        held = held | got;
+        if (got.noneSet() && held.any()) {
+            // No progress while holding: release everything to avoid
+            // a hold-and-wait cycle with another thread, back off,
+            // and start over.
+            co_await vUnlock(t, lockArray, idx, held);
+            held = Mask::none();
+            retries++;
+            co_await t.exec(
+                1 + ((retries * 2 +
+                      static_cast<std::uint64_t>(t.globalId()) * 5) %
+                     13));
+        }
+        co_await t.exec(1);
+    }
+    t.syncEnd();
+    co_return reps;
+}
+
+Task<void>
+lockAcquire(SimThread &t, Addr lock)
+{
+    t.syncBegin();
+    std::uint64_t retries = 0;
+    while (true) {
+        std::uint64_t v = co_await t.loadLinked(lock, 4);
+        co_await t.exec(1); // compare
+        if (v == 0) {
+            bool ok = co_await t.storeCond(lock, 1, 4);
+            co_await t.exec(1); // branch
+            if (ok)
+                break;
+        } else {
+            co_await t.exec(1); // spin branch
+        }
+        retries++;
+        std::uint64_t delay =
+            1 + ((retries * 2 + static_cast<std::uint64_t>(
+                                    t.globalId()) * 7) %
+                 23);
+        co_await t.exec(delay);
+    }
+    t.syncEnd();
+}
+
+Task<void>
+lockRelease(SimThread &t, Addr lock)
+{
+    t.syncBegin();
+    co_await t.store(lock, 0, 4);
+    t.syncEnd();
+}
+
+} // namespace glsc

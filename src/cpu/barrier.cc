@@ -1,0 +1,24 @@
+#include "cpu/barrier.h"
+
+#include "cpu/thread.h"
+#include "sim/log.h"
+
+namespace glsc {
+
+void
+Barrier::arrive(SimThread *t)
+{
+    GLSC_ASSERT(static_cast<int>(waiting_.size()) < expected_,
+                "barrier overflow");
+    waiting_.push_back(t);
+    if (static_cast<int>(waiting_.size()) == expected_) {
+        std::vector<SimThread *> released = std::move(waiting_);
+        waiting_.clear();
+        events_.scheduleIn(latency_, [released] {
+            for (SimThread *w : released)
+                w->completeBarrier();
+        });
+    }
+}
+
+} // namespace glsc

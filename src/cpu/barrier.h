@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Software barrier primitive for kernel phase synchronization.
+ *
+ * Arrival is issued like any instruction; the last arriver releases
+ * everyone after a fixed latency that stands in for the cost of a
+ * well-tuned tree barrier.  Barriers are cyclic (reusable across
+ * phases).
+ */
+
+#ifndef GLSC_CPU_BARRIER_H_
+#define GLSC_CPU_BARRIER_H_
+
+#include <vector>
+
+#include "sim/event_queue.h"
+#include "sim/types.h"
+
+namespace glsc {
+
+class SimThread;
+
+class Barrier
+{
+  public:
+    Barrier(EventQueue &events, int participants, Tick latency = 16)
+        : events_(events), expected_(participants), latency_(latency)
+    {
+        waiting_.reserve(participants);
+    }
+
+    /** Called by the core when a thread issues a barrier arrival. */
+    void arrive(SimThread *t);
+
+    int expected() const { return expected_; }
+
+  private:
+    EventQueue &events_;
+    int expected_;
+    Tick latency_;
+    std::vector<SimThread *> waiting_;
+};
+
+} // namespace glsc
+
+#endif // GLSC_CPU_BARRIER_H_

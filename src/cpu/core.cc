@@ -1,0 +1,179 @@
+#include "cpu/core.h"
+
+#include "cpu/barrier.h"
+#include "sim/log.h"
+
+namespace glsc {
+
+Core::Core(CoreId id, const SystemConfig &cfg, EventQueue &events,
+           MemorySystem &msys, SystemStats &stats)
+    : id_(id), cfg_(cfg), events_(events), msys_(msys), stats_(stats),
+      pf_(cfg.threadsPerCore),
+      lsu_(id, cfg, events, msys, pf_, stats),
+      gsu_(id, cfg, events, msys, lsu_, stats)
+{
+    threads_.reserve(cfg.threadsPerCore);
+    for (int t = 0; t < cfg.threadsPerCore; ++t) {
+        int global = id * cfg.threadsPerCore + t;
+        threads_.push_back(std::make_unique<SimThread>(
+            *this, id, t, global, cfg.simdWidth, stats.threads[global]));
+    }
+}
+
+int
+Core::issueOne(SimThread &t, int slotsLeft)
+{
+    PendingOp &op = t.pending();
+    switch (op.kind) {
+      case OpKind::Exec: {
+        std::uint64_t take = std::min<std::uint64_t>(
+            op.execRemaining, static_cast<std::uint64_t>(slotsLeft));
+        op.execRemaining -= take;
+        t.stats().instructions += take;
+        if (op.execRemaining == 0)
+            t.resumeNow();
+        return static_cast<int>(take);
+      }
+
+      case OpKind::Store:
+      case OpKind::VStore:
+        if (lsu_.wbFull())
+            return 0; // structural stall: write buffer full
+        t.stats().instructions++;
+        lsu_.pushStore(op);
+        t.resumeNow(); // stores do not block the thread
+        return 1;
+
+      case OpKind::Load:
+      case OpKind::LoadLinked:
+      case OpKind::StoreCond:
+      case OpKind::VLoad:
+        if (lsu_.demandFull())
+            return 0;
+        t.stats().instructions++;
+        t.setBlockedOnMem();
+        lsu_.pushDemand(&t, op);
+        return 1;
+
+      case OpKind::Gather:
+      case OpKind::GatherLink:
+      case OpKind::Scatter:
+      case OpKind::ScatterCond:
+        GLSC_ASSERT(gsu_.entryFree(t.tid()),
+                    "GSU entry busy while thread ready");
+        t.stats().instructions++;
+        t.setBlockedOnMem();
+        gsu_.push(&t, op);
+        return 1;
+
+      case OpKind::Barrier:
+        t.stats().instructions++;
+        t.setBlocked();
+        op.barrier->arrive(&t);
+        return 1;
+
+      case OpKind::None:
+      default:
+        GLSC_PANIC("thread %d ready with no pending op", t.globalId());
+    }
+}
+
+void
+Core::issue()
+{
+    int slots = cfg_.issueWidth;
+    int n = numThreads();
+    // Per-cycle structural-stall marker so a thread that cannot issue
+    // (full write buffer / LSQ) is not retried within the same cycle.
+    std::uint64_t triedAndFailed = 0;
+
+    bool progress = true;
+    while (slots > 0 && progress) {
+        progress = false;
+        for (int i = 0; i < n && slots > 0; ++i) {
+            int idx = (rrThread_ + i) % n;
+            SimThread &t = *threads_[idx];
+            if (t.state() != ThreadState::Ready)
+                continue;
+            if (triedAndFailed & (1ull << idx))
+                continue;
+            int used = issueOne(t, slots);
+            if (used > 0) {
+                slots -= used;
+                progress = true;
+            } else {
+                triedAndFailed |= (1ull << idx);
+            }
+        }
+    }
+    rrThread_ = (rrThread_ + 1) % n;
+}
+
+void
+Core::tickPrefetch()
+{
+    if (!cfg_.stridePrefetcher)
+        return;
+    if (auto target = pf_.pop())
+        msys_.access(id_, 0, *target, 4, MemOpType::Prefetch);
+}
+
+void
+Core::tick()
+{
+    issue();
+    gsu_.tickAddrGen();
+
+    // L1 port arbitration: LSU demand first (paper section 2.2), then
+    // the GSU (whose conflicting requests wait without consuming the
+    // port), then write-buffer drain, then prefetches.
+    bool port = lsu_.tickDemand();
+    if (!port)
+        port = gsu_.tickDispatch();
+    if (!port)
+        port = lsu_.tickWriteBuffer();
+    if (!port)
+        tickPrefetch();
+
+    for (auto &t : threads_) {
+        if (t->inMemStall())
+            t->stats().memStallCycles++;
+    }
+}
+
+bool
+Core::busy() const
+{
+    for (const auto &t : threads_) {
+        if (t->state() == ThreadState::Ready)
+            return true;
+    }
+    if (lsu_.busy() || gsu_.busy())
+        return true;
+    if (cfg_.stridePrefetcher && pf_.pending())
+        return true;
+    return false;
+}
+
+void
+Core::accountSkip(Tick delta)
+{
+    for (auto &t : threads_) {
+        if (t->inMemStall())
+            t->stats().memStallCycles += delta;
+    }
+}
+
+bool
+Core::allDone() const
+{
+    for (const auto &t : threads_) {
+        if (t->state() != ThreadState::Done &&
+            t->state() != ThreadState::Idle) {
+            return false;
+        }
+    }
+    return true;
+}
+
+} // namespace glsc

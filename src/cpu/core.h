@@ -1,0 +1,80 @@
+/**
+ * @file
+ * In-order, 2-issue, SMT core model (paper section 4.1).
+ *
+ * Each cycle the core issues up to issueWidth instructions, selected
+ * round-robin across ready hardware threads (a thread may dual-issue
+ * back-to-back ALU ops).  Loads, ll/sc and vector loads block their
+ * thread through the LSU; stores drain through the write buffer;
+ * gather/scatter family instructions occupy the thread's GSU entry
+ * until complete.  The single L1 port is arbitrated LSU-first (demand,
+ * then write buffer), then GSU, then the stride prefetcher.
+ */
+
+#ifndef GLSC_CPU_CORE_H_
+#define GLSC_CPU_CORE_H_
+
+#include <memory>
+#include <vector>
+
+#include "config/config.h"
+#include "core/gsu.h"
+#include "cpu/lsu.h"
+#include "cpu/thread.h"
+#include "mem/memsys.h"
+#include "mem/prefetcher.h"
+#include "sim/event_queue.h"
+
+namespace glsc {
+
+class Core
+{
+  public:
+    Core(CoreId id, const SystemConfig &cfg, EventQueue &events,
+         MemorySystem &msys, SystemStats &stats);
+
+    SimThread &thread(ThreadId t) { return *threads_[t]; }
+    int numThreads() const { return static_cast<int>(threads_.size()); }
+
+    /** Simulates one core clock cycle. */
+    void tick();
+
+    /** True when the core needs per-cycle ticking (issue/queues). */
+    bool busy() const;
+
+    /** Accounts @p delta fast-forwarded idle cycles (stall counters). */
+    void accountSkip(Tick delta);
+
+    /** All bound threads have finished their kernels. */
+    bool allDone() const;
+
+    EventQueue &events() { return events_; }
+    const SystemConfig &config() const { return cfg_; }
+
+  private:
+    /** Issues up to issueWidth instructions this cycle. */
+    void issue();
+
+    /**
+     * Tries to issue thread @p t's pending op; returns issue slots
+     * consumed (0 when structurally stalled).
+     */
+    int issueOne(SimThread &t, int slotsLeft);
+
+    void tickPrefetch();
+
+    CoreId id_;
+    const SystemConfig &cfg_;
+    EventQueue &events_;
+    MemorySystem &msys_;
+    SystemStats &stats_;
+    StridePrefetcher pf_;
+    Lsu lsu_;
+    Gsu gsu_;
+    std::vector<std::unique_ptr<SimThread>> threads_;
+    int rrThread_ = 0;
+};
+
+} // namespace glsc
+
+#endif // GLSC_CPU_CORE_H_

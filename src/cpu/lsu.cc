@@ -1,0 +1,176 @@
+#include "cpu/lsu.h"
+
+#include "cpu/thread.h"
+#include "sim/log.h"
+
+namespace glsc {
+
+Lsu::Lsu(CoreId core, const SystemConfig &cfg, EventQueue &events,
+         MemorySystem &msys, StridePrefetcher &pf, SystemStats &stats)
+    : core_(core), cfg_(cfg), events_(events), msys_(msys), pf_(pf),
+      stats_(stats)
+{
+}
+
+int
+Lsu::coveredLines(const PendingOp &op, Addr out[2])
+{
+    Addr first = lineAddr(op.addr);
+    Addr lastByte = op.addr;
+    if (op.kind == OpKind::VLoad || op.kind == OpKind::VStore) {
+        lastByte += static_cast<Addr>(op.vwidth) * op.elemSize - 1;
+    } else {
+        lastByte += op.size - 1;
+    }
+    Addr last = lineAddr(lastByte);
+    out[0] = first;
+    if (last != first) {
+        out[1] = last;
+        return 2;
+    }
+    return 1;
+}
+
+void
+Lsu::pushDemand(SimThread *t, const PendingOp &op)
+{
+    GLSC_ASSERT(!demandFull(), "LSQ overflow");
+    demand_.push_back(Demand{t, op});
+}
+
+void
+Lsu::pushStore(const PendingOp &op)
+{
+    GLSC_ASSERT(!wbFull(), "write buffer overflow");
+    wb_.push_back(op);
+}
+
+bool
+Lsu::tickDemand()
+{
+    if (demand_.empty())
+        return false;
+
+    Demand &d = demand_.front();
+
+    // Store-to-load forwarding: a plain load whose address exactly
+    // matches a buffered scalar store reads the youngest such entry
+    // without touching the cache.  (ll must reach the L1 to set its
+    // reservation, so it never forwards.)
+    if (d.op.kind == OpKind::Load) {
+        for (auto it = wb_.rbegin(); it != wb_.rend(); ++it) {
+            if (it->kind == OpKind::Store && it->addr == d.op.addr &&
+                it->size == d.op.size) {
+                SimThread *t = d.thread;
+                std::uint64_t v = it->wdata;
+                demand_.pop_front();
+                events_.scheduleIn(cfg_.l1Latency, [t, v] {
+                    t->completeScalar(v, false);
+                });
+                return false; // no L1 port consumed
+            }
+        }
+    }
+
+    // Program order vs. buffered stores: a demand access whose line is
+    // still pending in the write buffer waits for the drain.  (The
+    // port falls through to the write buffer, which guarantees
+    // forward progress.)
+    Addr lines[2];
+    int n = coveredLines(d.op, lines);
+    for (const PendingOp &w : wb_) {
+        Addr wl[2];
+        int wn = coveredLines(w, wl);
+        for (int i = 0; i < n; ++i) {
+            for (int j = 0; j < wn; ++j) {
+                if (lines[i] == wl[j])
+                    return false;
+            }
+        }
+    }
+
+    SimThread *t = d.thread;
+    const PendingOp op = d.op;
+    demand_.pop_front();
+
+    switch (op.kind) {
+      case OpKind::Load:
+      case OpKind::LoadLinked: {
+        if (op.kind == OpKind::Load)
+            pf_.observe(t->tid(), op.addr);
+        auto res = msys_.access(core_, t->tid(), op.addr, op.size,
+                                op.kind == OpKind::Load
+                                    ? MemOpType::Load
+                                    : MemOpType::LoadLinked);
+        events_.scheduleIn(res.latency, [t, res] {
+            t->completeScalar(res.data, false);
+        });
+        break;
+      }
+
+      case OpKind::StoreCond: {
+        auto res = msys_.access(core_, t->tid(), op.addr, op.size,
+                                MemOpType::StoreCond, op.wdata);
+        events_.scheduleIn(res.latency, [t, res] {
+            t->completeScalar(0, res.scSuccess);
+        });
+        break;
+      }
+
+      case OpKind::VLoad: {
+        pf_.observe(t->tid(), op.addr);
+        auto res = msys_.vload(core_, op.addr, t->width(), op.elemSize);
+        events_.scheduleIn(res.latency, [t, res] {
+            t->completeVector(res.data);
+        });
+        break;
+      }
+
+      default:
+        GLSC_PANIC("unexpected demand op kind %d",
+                   static_cast<int>(op.kind));
+    }
+    return true;
+}
+
+bool
+Lsu::tickWriteBuffer()
+{
+    if (wb_.empty())
+        return false;
+    PendingOp op = wb_.front();
+    wb_.pop_front();
+    if (op.kind == OpKind::Store) {
+        msys_.access(core_, 0, op.addr, op.size, MemOpType::Store,
+                     op.wdata);
+    } else {
+        GLSC_ASSERT(op.kind == OpKind::VStore, "bad WB entry");
+        msys_.vstore(core_, op.addr, op.source, op.mask, op.vwidth,
+                     op.elemSize);
+    }
+    return true;
+}
+
+bool
+Lsu::hasLineConflict(Addr line) const
+{
+    for (const Demand &d : demand_) {
+        Addr lines[2];
+        int n = coveredLines(d.op, lines);
+        for (int i = 0; i < n; ++i) {
+            if (lines[i] == line)
+                return true;
+        }
+    }
+    for (const PendingOp &w : wb_) {
+        Addr lines[2];
+        int n = coveredLines(w, lines);
+        for (int i = 0; i < n; ++i) {
+            if (lines[i] == line)
+                return true;
+        }
+    }
+    return false;
+}
+
+} // namespace glsc

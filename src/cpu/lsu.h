@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Load/store unit: demand queue for blocking loads (and sc / vector
+ * loads) plus a draining write buffer for stores (paper Fig. 1).
+ *
+ * The LSU owns the highest-priority claim on the single L1 port; the
+ * GSU checks its queues for same-line conflicts before dispatching
+ * (paper section 2.2: "a conflicting request waits in the GSU until
+ * corresponding requests in the LSU and write buffer have been sent to
+ * the L1 cache").
+ */
+
+#ifndef GLSC_CPU_LSU_H_
+#define GLSC_CPU_LSU_H_
+
+#include <deque>
+
+#include "config/config.h"
+#include "cpu/op.h"
+#include "mem/memsys.h"
+#include "mem/prefetcher.h"
+#include "sim/event_queue.h"
+
+namespace glsc {
+
+class SimThread;
+
+class Lsu
+{
+  public:
+    Lsu(CoreId core, const SystemConfig &cfg, EventQueue &events,
+        MemorySystem &msys, StridePrefetcher &pf, SystemStats &stats);
+
+    /** True when the demand queue cannot accept another entry. */
+    bool demandFull() const
+    {
+        return static_cast<int>(demand_.size()) >= cfg_.lsqEntries;
+    }
+
+    /** Enqueues a blocking load / ll / sc / vload for @p t. */
+    void pushDemand(SimThread *t, const PendingOp &op);
+
+    bool wbFull() const
+    {
+        return static_cast<int>(wb_.size()) >= cfg_.writeBufferEntries;
+    }
+
+    /** Enqueues a store or vstore into the write buffer. */
+    void pushStore(const PendingOp &op);
+
+    /** Dispatches the oldest demand request; true if port was used. */
+    bool tickDemand();
+
+    /** Drains one write-buffer entry; true if port was used. */
+    bool tickWriteBuffer();
+
+    /** Same-line conflict test used by the GSU before dispatch. */
+    bool hasLineConflict(Addr line) const;
+
+    /** True when queued work still needs port cycles. */
+    bool busy() const { return !demand_.empty() || !wb_.empty(); }
+
+  private:
+    struct Demand
+    {
+        SimThread *thread;
+        PendingOp op;
+    };
+
+    /** Lines covered by @p op (1 or, for vector ops, up to 2). */
+    static int coveredLines(const PendingOp &op, Addr out[2]);
+
+    CoreId core_;
+    const SystemConfig &cfg_;
+    EventQueue &events_;
+    MemorySystem &msys_;
+    StridePrefetcher &pf_;
+    SystemStats &stats_;
+    std::deque<Demand> demand_;
+    std::deque<PendingOp> wb_;
+};
+
+} // namespace glsc
+
+#endif // GLSC_CPU_LSU_H_

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Descriptor for the instruction a hardware thread is waiting to issue.
+ *
+ * Every co_await in a kernel deposits one PendingOp in its thread
+ * context; the core's issue logic consumes it, routing memory
+ * operations to the LSU and vector memory operations to the GSU.
+ */
+
+#ifndef GLSC_CPU_OP_H_
+#define GLSC_CPU_OP_H_
+
+#include <cstdint>
+
+#include "isa/vector.h"
+#include "sim/types.h"
+
+namespace glsc {
+
+class Barrier;
+
+/** Kinds of operations a kernel can await. */
+enum class OpKind
+{
+    None,
+    Exec,        //!< n back-to-back ALU/control instructions
+    Load,        //!< scalar load (blocking)
+    LoadLinked,  //!< scalar ll: load + reservation
+    Store,       //!< scalar store via the write buffer (non-blocking)
+    StoreCond,   //!< scalar sc (blocking, returns success)
+    VLoad,       //!< contiguous SIMD load (blocking)
+    VStore,      //!< contiguous SIMD store via the write buffer
+    Gather,      //!< indexed SIMD load via the GSU
+    GatherLink,  //!< vgatherlink (paper section 3.1)
+    Scatter,     //!< indexed SIMD store via the GSU
+    ScatterCond, //!< vscattercond (paper section 3.1)
+    Barrier,     //!< software barrier arrival
+};
+
+/** True for kinds serviced by the gather/scatter unit. */
+constexpr bool
+isGsuOp(OpKind k)
+{
+    return k == OpKind::Gather || k == OpKind::GatherLink ||
+           k == OpKind::Scatter || k == OpKind::ScatterCond;
+}
+
+/** The operation a thread most recently awaited. */
+struct PendingOp
+{
+    OpKind kind = OpKind::None;
+
+    // Exec.
+    std::uint64_t execRemaining = 0;
+
+    // Scalar memory ops.
+    Addr addr = 0;
+    int size = 4;
+    std::uint64_t wdata = 0;
+
+    // Vector memory ops.
+    int vwidth = 0; //!< issuing thread's SIMD width
+    Addr base = 0;
+    VecReg index;   //!< element indices (scaled by elemSize)
+    VecReg source;  //!< store payload for scatters / vstore
+    Mask mask;      //!< input predicate
+    int elemSize = 4;
+
+    // Barrier.
+    class Barrier *barrier = nullptr;
+};
+
+} // namespace glsc
+
+#endif // GLSC_CPU_OP_H_

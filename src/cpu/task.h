@@ -1,0 +1,220 @@
+/**
+ * @file
+ * Coroutine task type for simulated kernels.
+ *
+ * Kernels are ordinary C++ functions returning Task<T>.  Every
+ * co_await on a SimThread operation charges simulated cycles through
+ * the core's issue logic; co_await on another Task<T> performs a
+ * subroutine call (symmetric transfer), so kernels can be factored
+ * into reusable pieces (e.g. the VLOCK/VUNLOCK helpers of Fig. 3B).
+ *
+ * Tasks are lazily started: the hardware thread context resumes the
+ * root task once at simulation start and thereafter whenever an
+ * awaited operation completes.
+ */
+
+#ifndef GLSC_CPU_TASK_H_
+#define GLSC_CPU_TASK_H_
+
+#include <coroutine>
+#include <exception>
+#include <utility>
+
+#include "sim/log.h"
+
+namespace glsc {
+
+template <typename T> class Task;
+
+namespace detail {
+
+/** Final awaiter: transfers control back to the awaiting coroutine. */
+struct FinalAwaiter
+{
+    bool await_ready() const noexcept { return false; }
+
+    template <typename Promise>
+    std::coroutine_handle<>
+    await_suspend(std::coroutine_handle<Promise> h) noexcept
+    {
+        auto cont = h.promise().continuation;
+        return cont ? cont : std::noop_coroutine();
+    }
+
+    void await_resume() const noexcept {}
+};
+
+struct PromiseBase
+{
+    std::coroutine_handle<> continuation;
+    std::exception_ptr exception;
+
+    std::suspend_always initial_suspend() noexcept { return {}; }
+    FinalAwaiter final_suspend() noexcept { return {}; }
+    void unhandled_exception() { exception = std::current_exception(); }
+};
+
+} // namespace detail
+
+/** A lazily started, awaitable coroutine with result type T. */
+template <typename T = void>
+class Task
+{
+  public:
+    struct promise_type : detail::PromiseBase
+    {
+        T value{};
+
+        Task
+        get_return_object()
+        {
+            return Task{std::coroutine_handle<promise_type>::from_promise(
+                *this)};
+        }
+
+        void return_value(T v) { value = std::move(v); }
+    };
+
+    Task() = default;
+    Task(Task &&o) noexcept : handle_(std::exchange(o.handle_, {})) {}
+
+    Task &
+    operator=(Task &&o) noexcept
+    {
+        if (this != &o) {
+            destroy();
+            handle_ = std::exchange(o.handle_, {});
+        }
+        return *this;
+    }
+
+    Task(const Task &) = delete;
+    Task &operator=(const Task &) = delete;
+    ~Task() { destroy(); }
+
+    bool valid() const { return static_cast<bool>(handle_); }
+    bool done() const { return handle_.done(); }
+
+    /** Starts or continues execution (root tasks only). */
+    void resume() { handle_.resume(); }
+
+    /** Rethrows a stored exception, if any (root tasks only). */
+    void
+    rethrowIfFailed() const
+    {
+        if (handle_ && handle_.promise().exception)
+            std::rethrow_exception(handle_.promise().exception);
+    }
+
+    // Awaitable interface: co_await task runs it as a subroutine.
+    bool await_ready() const noexcept { return false; }
+
+    std::coroutine_handle<>
+    await_suspend(std::coroutine_handle<> cont) noexcept
+    {
+        handle_.promise().continuation = cont;
+        return handle_;
+    }
+
+    T
+    await_resume()
+    {
+        if (handle_.promise().exception)
+            std::rethrow_exception(handle_.promise().exception);
+        return std::move(handle_.promise().value);
+    }
+
+  private:
+    explicit Task(std::coroutine_handle<promise_type> h) : handle_(h) {}
+
+    void
+    destroy()
+    {
+        if (handle_) {
+            handle_.destroy();
+            handle_ = {};
+        }
+    }
+
+    std::coroutine_handle<promise_type> handle_;
+};
+
+/** void specialization. */
+template <>
+class Task<void>
+{
+  public:
+    struct promise_type : detail::PromiseBase
+    {
+        Task
+        get_return_object()
+        {
+            return Task{std::coroutine_handle<promise_type>::from_promise(
+                *this)};
+        }
+
+        void return_void() {}
+    };
+
+    Task() = default;
+    Task(Task &&o) noexcept : handle_(std::exchange(o.handle_, {})) {}
+
+    Task &
+    operator=(Task &&o) noexcept
+    {
+        if (this != &o) {
+            destroy();
+            handle_ = std::exchange(o.handle_, {});
+        }
+        return *this;
+    }
+
+    Task(const Task &) = delete;
+    Task &operator=(const Task &) = delete;
+    ~Task() { destroy(); }
+
+    bool valid() const { return static_cast<bool>(handle_); }
+    bool done() const { return handle_.done(); }
+    void resume() { handle_.resume(); }
+
+    void
+    rethrowIfFailed() const
+    {
+        if (handle_ && handle_.promise().exception)
+            std::rethrow_exception(handle_.promise().exception);
+    }
+
+    bool await_ready() const noexcept { return false; }
+
+    std::coroutine_handle<>
+    await_suspend(std::coroutine_handle<> cont) noexcept
+    {
+        handle_.promise().continuation = cont;
+        return handle_;
+    }
+
+    void
+    await_resume()
+    {
+        if (handle_.promise().exception)
+            std::rethrow_exception(handle_.promise().exception);
+    }
+
+  private:
+    explicit Task(std::coroutine_handle<promise_type> h) : handle_(h) {}
+
+    void
+    destroy()
+    {
+        if (handle_) {
+            handle_.destroy();
+            handle_ = {};
+        }
+    }
+
+    std::coroutine_handle<promise_type> handle_;
+};
+
+} // namespace glsc
+
+#endif // GLSC_CPU_TASK_H_

@@ -1,0 +1,129 @@
+#include "cpu/thread.h"
+
+#include "cpu/barrier.h"
+#include "cpu/core.h"
+#include "sim/log.h"
+
+namespace glsc {
+
+SimThread::SimThread(Core &core, CoreId coreId, ThreadId tid, int globalId,
+                     int simdWidth, ThreadStats &stats)
+    : core_(core), coreId_(coreId), tid_(tid), globalId_(globalId),
+      simdWidth_(simdWidth), stats_(stats)
+{
+}
+
+Tick
+SimThread::now() const
+{
+    return core_.events().now();
+}
+
+void
+SimThread::bind(Task<void> task)
+{
+    GLSC_ASSERT(state_ == ThreadState::Idle,
+                "thread %d already has a kernel", globalId_);
+    root_ = std::move(task);
+}
+
+void
+SimThread::start()
+{
+    if (!root_.valid())
+        return; // context left idle for this run
+    resumePoint_ = {};
+    root_.resume();
+    if (root_.done()) {
+        root_.rethrowIfFailed();
+        state_ = ThreadState::Done;
+        stats_.doneTick = now();
+    }
+    // Otherwise the first co_await has set a pending op via
+    // suspendWith() and the thread is Ready.
+}
+
+void
+SimThread::suspendWith(const PendingOp &op, std::coroutine_handle<> h)
+{
+    op_ = op;
+    resumePoint_ = h;
+    state_ = ThreadState::Ready;
+}
+
+void
+SimThread::setBlockedOnMem()
+{
+    state_ = ThreadState::Blocked;
+    memStall_ = true;
+}
+
+void
+SimThread::resumeNow()
+{
+    GLSC_ASSERT(resumePoint_, "resuming thread %d with no suspension",
+                globalId_);
+    auto h = resumePoint_;
+    resumePoint_ = {};
+    // Default to Blocked; suspendWith() flips to Ready if the kernel
+    // awaits another operation before returning here.
+    state_ = ThreadState::Blocked;
+    h.resume();
+    if (root_.done()) {
+        root_.rethrowIfFailed();
+        state_ = ThreadState::Done;
+        stats_.doneTick = now();
+        while (syncDepth_ > 0)
+            syncEnd();
+    }
+}
+
+void
+SimThread::completeScalar(std::uint64_t data, bool scSuccess)
+{
+    memStall_ = false;
+    scalarResult_ = data;
+    flagResult_ = scSuccess;
+    resumeNow();
+}
+
+void
+SimThread::completeVector(const VecReg &v)
+{
+    memStall_ = false;
+    gatherResult_.value = v;
+    gatherResult_.mask = Mask::allOnes(simdWidth_);
+    resumeNow();
+}
+
+void
+SimThread::completeGather(const GatherResult &r)
+{
+    memStall_ = false;
+    gatherResult_ = r;
+    resumeNow();
+}
+
+void
+SimThread::completeBarrier()
+{
+    resumeNow();
+}
+
+void
+SimThread::syncBegin()
+{
+    if (syncDepth_++ == 0)
+        syncStart_ = now();
+}
+
+void
+SimThread::syncEnd()
+{
+    GLSC_ASSERT(syncDepth_ > 0, "syncEnd without syncBegin on thread %d",
+                globalId_);
+    if (--syncDepth_ == 0)
+        stats_.syncCycles += now() - syncStart_;
+}
+
+} // namespace glsc

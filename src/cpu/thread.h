@@ -1,0 +1,349 @@
+/**
+ * @file
+ * SimThread: one SMT hardware thread context and the kernel-facing
+ * instruction API.
+ *
+ * Kernels are coroutines; each co_await on a SimThread method is one
+ * (or, for exec(n), n) dynamic instruction(s) charged through the
+ * core's in-order issue logic.  Memory operations travel through the
+ * LSU or GSU and the thread blocks until completion -- the paper's
+ * blocking gather/scatter semantics (section 2.2).
+ */
+
+#ifndef GLSC_CPU_THREAD_H_
+#define GLSC_CPU_THREAD_H_
+
+#include <coroutine>
+#include <cstdint>
+#include <functional>
+
+#include "cpu/op.h"
+#include "cpu/task.h"
+#include "isa/vector.h"
+#include "sim/types.h"
+#include "stats/stats.h"
+
+namespace glsc {
+
+class Core;
+class System;
+
+/** Lifecycle of a hardware thread context. */
+enum class ThreadState
+{
+    Idle,    //!< no kernel bound
+    Ready,   //!< has a pending op awaiting issue
+    Blocked, //!< op issued, waiting for completion
+    Done,    //!< kernel finished
+};
+
+class SimThread
+{
+  public:
+    SimThread(Core &core, CoreId coreId, ThreadId tid, int globalId,
+              int simdWidth, ThreadStats &stats);
+
+    // Non-copyable: coroutines capture the address.
+    SimThread(const SimThread &) = delete;
+    SimThread &operator=(const SimThread &) = delete;
+
+    // ----- Kernel-facing instruction API (awaitables). -----
+
+    /** Charges @p n ALU/control instructions. */
+    auto
+    exec(std::uint64_t n)
+    {
+        struct Awaiter
+        {
+            SimThread &t;
+            std::uint64_t n;
+            bool await_ready() const { return n == 0; }
+            void
+            await_suspend(std::coroutine_handle<> h)
+            {
+                PendingOp op;
+                op.kind = OpKind::Exec;
+                op.execRemaining = n;
+                t.suspendWith(op, h);
+            }
+            void await_resume() const {}
+        };
+        return Awaiter{*this, n};
+    }
+
+    /** Blocking scalar load; returns the (zero-extended) value. */
+    auto
+    load(Addr a, int size = 4)
+    {
+        return U64Awaiter{*this, scalarOp(OpKind::Load, a, 0, size)};
+    }
+
+    /** Load-linked: load plus reservation (paper section 2.3). */
+    auto
+    loadLinked(Addr a, int size = 4)
+    {
+        return U64Awaiter{*this, scalarOp(OpKind::LoadLinked, a, 0, size)};
+    }
+
+    /** Non-blocking scalar store through the write buffer. */
+    auto
+    store(Addr a, std::uint64_t v, int size = 4)
+    {
+        return VoidAwaiter{*this, scalarOp(OpKind::Store, a, v, size)};
+    }
+
+    /** Store-conditional; returns success. */
+    auto
+    storeCond(Addr a, std::uint64_t v, int size = 4)
+    {
+        return BoolAwaiter{*this, scalarOp(OpKind::StoreCond, a, v, size)};
+    }
+
+    /** Blocking contiguous vector load of simdWidth elements. */
+    auto
+    vload(Addr a, int elemSize = 4)
+    {
+        PendingOp op;
+        op.kind = OpKind::VLoad;
+        op.addr = a;
+        op.elemSize = elemSize;
+        op.vwidth = simdWidth_;
+        return VecAwaiter{*this, op};
+    }
+
+    /** Contiguous vector store under @p mask via the write buffer. */
+    auto
+    vstore(Addr a, const VecReg &v, Mask mask, int elemSize = 4)
+    {
+        PendingOp op;
+        op.kind = OpKind::VStore;
+        op.addr = a;
+        op.source = v;
+        op.mask = mask;
+        op.elemSize = elemSize;
+        op.vwidth = simdWidth_;
+        return VoidAwaiter{*this, op};
+    }
+
+    /** Gather base[index[i]] for masked lanes (paper section 2.2). */
+    auto
+    vgather(Addr base, const VecReg &index, Mask mask, int elemSize = 4)
+    {
+        return GatherAwaiter{
+            *this, gsuOp(OpKind::Gather, base, index, {}, mask, elemSize)};
+    }
+
+    /** Scatter src[i] to base[index[i]] for masked lanes. */
+    auto
+    vscatter(Addr base, const VecReg &index, const VecReg &src, Mask mask,
+             int elemSize = 4)
+    {
+        return MaskAwaiter{*this, gsuOp(OpKind::Scatter, base, index, src,
+                                        mask, elemSize)};
+    }
+
+    /**
+     * vgatherlink (paper section 3.1): gathers masked lanes and
+     * reserves their lines; the result mask marks linked lanes.
+     */
+    auto
+    vgatherlink(Addr base, const VecReg &index, Mask mask,
+                int elemSize = 4)
+    {
+        return GatherAwaiter{*this, gsuOp(OpKind::GatherLink, base, index,
+                                          {}, mask, elemSize)};
+    }
+
+    /**
+     * vscattercond (paper section 3.1): stores masked lanes whose
+     * reservations survived; exactly one aliased lane can win.  The
+     * result mask marks lanes that succeeded.
+     */
+    auto
+    vscattercond(Addr base, const VecReg &index, const VecReg &src,
+                 Mask mask, int elemSize = 4)
+    {
+        return MaskAwaiter{*this, gsuOp(OpKind::ScatterCond, base, index,
+                                        src, mask, elemSize)};
+    }
+
+    /** Arrives at @p b and blocks until all participants arrive. */
+    auto
+    barrier(Barrier &b)
+    {
+        PendingOp op;
+        op.kind = OpKind::Barrier;
+        op.barrier = &b;
+        return VoidAwaiter{*this, op};
+    }
+
+    /**
+     * Marks the start of a synchronization region (Fig. 5a metric).
+     * Regions nest; only the outermost pair accumulates time.
+     */
+    void syncBegin();
+    /** Marks the end of a synchronization region. */
+    void syncEnd();
+
+    // ----- Identification / configuration. -----
+    CoreId coreId() const { return coreId_; }
+    ThreadId tid() const { return tid_; }
+    int globalId() const { return globalId_; }
+    int width() const { return simdWidth_; }
+    Tick now() const;
+
+    // ----- Driven by Core / LSU / GSU / System. -----
+    void bind(Task<void> task);
+    void start();
+    ThreadState state() const { return state_; }
+    const PendingOp &pending() const { return op_; }
+    PendingOp &pending() { return op_; }
+    bool inMemStall() const { return memStall_; }
+    void setBlockedOnMem();
+    void setBlocked() { state_ = ThreadState::Blocked; }
+    ThreadStats &stats() { return stats_; }
+
+    /** LSU/GSU completion paths: deposit results and resume. */
+    void completeScalar(std::uint64_t data, bool scSuccess);
+    void completeVector(const VecReg &v);
+    void completeGather(const GatherResult &r);
+    void completeBarrier();
+
+    /** Resumes the coroutine until its next suspension point. */
+    void resumeNow();
+
+  private:
+    friend class Core;
+
+    // Awaiter helpers -------------------------------------------------
+    struct VoidAwaiter
+    {
+        SimThread &t;
+        PendingOp op;
+        bool await_ready() const { return false; }
+        void
+        await_suspend(std::coroutine_handle<> h)
+        {
+            t.suspendWith(op, h);
+        }
+        void await_resume() const {}
+    };
+
+    struct U64Awaiter
+    {
+        SimThread &t;
+        PendingOp op;
+        bool await_ready() const { return false; }
+        void
+        await_suspend(std::coroutine_handle<> h)
+        {
+            t.suspendWith(op, h);
+        }
+        std::uint64_t await_resume() const { return t.scalarResult_; }
+    };
+
+    struct BoolAwaiter
+    {
+        SimThread &t;
+        PendingOp op;
+        bool await_ready() const { return false; }
+        void
+        await_suspend(std::coroutine_handle<> h)
+        {
+            t.suspendWith(op, h);
+        }
+        bool await_resume() const { return t.flagResult_; }
+    };
+
+    struct VecAwaiter
+    {
+        SimThread &t;
+        PendingOp op;
+        bool await_ready() const { return false; }
+        void
+        await_suspend(std::coroutine_handle<> h)
+        {
+            t.suspendWith(op, h);
+        }
+        VecReg await_resume() const { return t.gatherResult_.value; }
+    };
+
+    struct GatherAwaiter
+    {
+        SimThread &t;
+        PendingOp op;
+        bool await_ready() const { return false; }
+        void
+        await_suspend(std::coroutine_handle<> h)
+        {
+            t.suspendWith(op, h);
+        }
+        GatherResult await_resume() const { return t.gatherResult_; }
+    };
+
+    struct MaskAwaiter
+    {
+        SimThread &t;
+        PendingOp op;
+        bool await_ready() const { return false; }
+        void
+        await_suspend(std::coroutine_handle<> h)
+        {
+            t.suspendWith(op, h);
+        }
+        Mask await_resume() const { return t.gatherResult_.mask; }
+    };
+
+    static PendingOp
+    scalarOp(OpKind k, Addr a, std::uint64_t v, int size)
+    {
+        PendingOp op;
+        op.kind = k;
+        op.addr = a;
+        op.wdata = v;
+        op.size = size;
+        return op;
+    }
+
+    PendingOp
+    gsuOp(OpKind k, Addr base, const VecReg &index, const VecReg &src,
+          Mask mask, int elemSize) const
+    {
+        PendingOp op;
+        op.kind = k;
+        op.base = base;
+        op.index = index;
+        op.source = src;
+        op.mask = mask;
+        op.elemSize = elemSize;
+        op.vwidth = simdWidth_;
+        return op;
+    }
+
+    void suspendWith(const PendingOp &op, std::coroutine_handle<> h);
+
+    Core &core_;
+    CoreId coreId_;
+    ThreadId tid_;
+    int globalId_;
+    int simdWidth_;
+    ThreadStats &stats_;
+
+    Task<void> root_;
+    std::coroutine_handle<> resumePoint_;
+    ThreadState state_ = ThreadState::Idle;
+    PendingOp op_;
+    bool memStall_ = false;
+
+    // Result slots filled by completion paths.
+    std::uint64_t scalarResult_ = 0;
+    bool flagResult_ = false;
+    GatherResult gatherResult_;
+
+    int syncDepth_ = 0;
+    Tick syncStart_ = 0;
+};
+
+} // namespace glsc
+
+#endif // GLSC_CPU_THREAD_H_

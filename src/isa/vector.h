@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Architectural vector and mask register types.
+ *
+ * A VecReg holds up to kMaxSimdWidth lanes.  Lanes store raw 64-bit
+ * values; 32-bit integer and float payloads are kept zero-extended /
+ * bit-cast in the low half, matching how the simulated memory system
+ * moves 4- or 8-byte elements.  A Mask is a SIMD_WIDTH-bit predicate
+ * (paper section 2.1).
+ */
+
+#ifndef GLSC_ISA_VECTOR_H_
+#define GLSC_ISA_VECTOR_H_
+
+#include <array>
+#include <bit>
+#include <cstdint>
+#include <string>
+
+#include "sim/log.h"
+#include "sim/types.h"
+
+namespace glsc {
+
+/** Predicate register: one bit per SIMD lane. */
+class Mask
+{
+  public:
+    Mask() = default;
+
+    /** All @p width low bits set (the paper's ALL_ONES immediate). */
+    static Mask
+    allOnes(int width)
+    {
+        GLSC_ASSERT(width >= 0 && width <= kMaxSimdWidth, "bad width %d",
+                    width);
+        Mask m;
+        m.bits_ = width == 0 ? 0 : (width == 64 ? ~0ull
+                                                : ((1ull << width) - 1));
+        return m;
+    }
+
+    static Mask none() { return Mask{}; }
+
+    bool test(int lane) const { return (bits_ >> lane) & 1; }
+    void set(int lane) { bits_ |= (1ull << lane); }
+    void clear(int lane) { bits_ &= ~(1ull << lane); }
+
+    void
+    assign(int lane, bool v)
+    {
+        if (v)
+            set(lane);
+        else
+            clear(lane);
+    }
+
+    bool any() const { return bits_ != 0; }
+    bool noneSet() const { return bits_ == 0; }
+    int count() const { return std::popcount(bits_); }
+
+    std::uint64_t raw() const { return bits_; }
+    static Mask fromRaw(std::uint64_t b) { Mask m; m.bits_ = b; return m; }
+
+    Mask operator&(Mask o) const { return fromRaw(bits_ & o.bits_); }
+    Mask operator|(Mask o) const { return fromRaw(bits_ | o.bits_); }
+    Mask operator^(Mask o) const { return fromRaw(bits_ ^ o.bits_); }
+    Mask andNot(Mask o) const { return fromRaw(bits_ & ~o.bits_); }
+    bool operator==(const Mask &) const = default;
+
+    /** True iff every set bit of this mask is also set in @p o. */
+    bool subsetOf(Mask o) const { return (bits_ & ~o.bits_) == 0; }
+
+    /** "1011"-style string, lane 0 leftmost, @p width lanes. */
+    std::string
+    toString(int width) const
+    {
+        std::string s;
+        for (int i = 0; i < width; ++i)
+            s += test(i) ? '1' : '0';
+        return s;
+    }
+
+  private:
+    std::uint64_t bits_ = 0;
+};
+
+/** Vector register: kMaxSimdWidth raw 64-bit lanes. */
+class VecReg
+{
+  public:
+    VecReg() { lanes_.fill(0); }
+
+    std::uint64_t &operator[](int lane) { return lanes_[lane]; }
+    const std::uint64_t &operator[](int lane) const { return lanes_[lane]; }
+
+    /** 32-bit float view of a lane (bit-cast from the low word). */
+    float
+    f32(int lane) const
+    {
+        return std::bit_cast<float>(
+            static_cast<std::uint32_t>(lanes_[lane]));
+    }
+
+    void
+    setF32(int lane, float v)
+    {
+        lanes_[lane] = std::bit_cast<std::uint32_t>(v);
+    }
+
+    double
+    f64(int lane) const
+    {
+        return std::bit_cast<double>(lanes_[lane]);
+    }
+
+    void
+    setF64(int lane, double v)
+    {
+        lanes_[lane] = std::bit_cast<std::uint64_t>(v);
+    }
+
+    std::int64_t i64(int lane) const
+    {
+        return static_cast<std::int64_t>(lanes_[lane]);
+    }
+
+    std::uint32_t u32(int lane) const
+    {
+        return static_cast<std::uint32_t>(lanes_[lane]);
+    }
+
+    /** Broadcasts @p v to the first @p width lanes. */
+    static VecReg
+    splat(std::uint64_t v, int width)
+    {
+        VecReg r;
+        for (int i = 0; i < width; ++i)
+            r[i] = v;
+        return r;
+    }
+
+    bool operator==(const VecReg &) const = default;
+
+  private:
+    std::array<std::uint64_t, kMaxSimdWidth> lanes_;
+};
+
+/** Result pair produced by gathers and gather-linked. */
+struct GatherResult
+{
+    VecReg value;
+    Mask mask; //!< lanes that completed / were linked successfully
+};
+
+} // namespace glsc
+
+#endif // GLSC_ISA_VECTOR_H_

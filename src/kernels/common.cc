@@ -1,0 +1,87 @@
+#include "kernels/common.h"
+
+#include <cmath>
+
+#include "sim/log.h"
+
+namespace glsc {
+
+Mask
+conflictFree(const VecReg &a, const VecReg &b, Mask m, int width)
+{
+    Mask out = Mask::none();
+    for (int i = 0; i < width; ++i) {
+        if (!m.test(i))
+            continue;
+        bool clash = false;
+        for (int j = 0; j < i && !clash; ++j) {
+            if (!out.test(j))
+                continue;
+            clash = a[i] == a[j] || a[i] == b[j] || b[i] == a[j] ||
+                    b[i] == b[j];
+        }
+        if (!clash)
+            out.set(i);
+    }
+    return out;
+}
+
+void
+writeU32Array(Memory &mem, Addr base, const std::vector<std::uint32_t> &v)
+{
+    for (std::size_t i = 0; i < v.size(); ++i)
+        mem.writeU32(base + 4 * i, v[i]);
+}
+
+void
+writeI32Array(Memory &mem, Addr base, const std::vector<std::int32_t> &v)
+{
+    for (std::size_t i = 0; i < v.size(); ++i)
+        mem.writeU32(base + 4 * i, static_cast<std::uint32_t>(v[i]));
+}
+
+void
+writeF32Array(Memory &mem, Addr base, const std::vector<float> &v)
+{
+    for (std::size_t i = 0; i < v.size(); ++i)
+        mem.writeF32(base + 4 * i, v[i]);
+}
+
+std::vector<std::uint32_t>
+readU32Array(const Memory &mem, Addr base, int n)
+{
+    std::vector<std::uint32_t> v(n);
+    for (int i = 0; i < n; ++i)
+        v[i] = mem.readU32(base + 4u * i);
+    return v;
+}
+
+std::vector<std::int32_t>
+readI32Array(const Memory &mem, Addr base, int n)
+{
+    std::vector<std::int32_t> v(n);
+    for (int i = 0; i < n; ++i)
+        v[i] = static_cast<std::int32_t>(mem.readU32(base + 4u * i));
+    return v;
+}
+
+std::vector<float>
+readF32Array(const Memory &mem, Addr base, int n)
+{
+    std::vector<float> v(n);
+    for (int i = 0; i < n; ++i)
+        v[i] = mem.readF32(base + 4u * i);
+    return v;
+}
+
+double
+maxAbsDiff(const std::vector<float> &x, const std::vector<float> &y)
+{
+    GLSC_ASSERT(x.size() == y.size(), "size mismatch in maxAbsDiff");
+    double worst = 0.0;
+    for (std::size_t i = 0; i < x.size(); ++i)
+        worst = std::max(worst, std::fabs(double(x[i]) - double(y[i])));
+    return worst;
+}
+
+} // namespace glsc

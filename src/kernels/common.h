@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Shared infrastructure for the RMS benchmark kernels.
+ *
+ * Every kernel comes in two variants (paper section 4.1):
+ *  - Scheme::Base  -- atomics via scalar load-linked/store-conditional
+ *    (or, for lock kernels, scalar test-and-set locks); all non-atomic
+ *    code is identical to the GLSC variant, including gather/scatter.
+ *  - Scheme::Glsc  -- atomics via vgatherlink/vscattercond (reductions)
+ *    or VLOCK/VUNLOCK (locks).
+ */
+
+#ifndef GLSC_KERNELS_COMMON_H_
+#define GLSC_KERNELS_COMMON_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "isa/vector.h"
+#include "mem/memory.h"
+#include "sim/system.h"
+#include "stats/stats.h"
+
+namespace glsc {
+
+/** Which atomic-operation mechanism the benchmark uses. */
+enum class Scheme
+{
+    Base,
+    Glsc,
+};
+
+inline const char *
+schemeName(Scheme s)
+{
+    return s == Scheme::Base ? "Base" : "GLSC";
+}
+
+/** Outcome of one simulated benchmark run. */
+struct RunResult
+{
+    SystemStats stats;
+    bool verified = false;
+    std::string detail; //!< human-readable verification note
+};
+
+/** Even partition of [0, n): returns [begin, end) for part @p which. */
+inline std::pair<int, int>
+splitEven(int n, int parts, int which)
+{
+    int base = n / parts;
+    int extra = n % parts;
+    int begin = which * base + std::min(which, extra);
+    int len = base + (which < extra ? 1 : 0);
+    return {begin, begin + len};
+}
+
+/** Mask covering min(remaining, width) leading lanes. */
+inline Mask
+tailMask(int remaining, int width)
+{
+    return Mask::allOnes(remaining < width ? remaining : width);
+}
+
+/**
+ * Greedy subset of @p m whose (a[i], b[i]) endpoint pairs are pairwise
+ * disjoint across lanes -- the runtime uniqueness filter lock kernels
+ * apply before taking two locks per lane (avoids one lane's first lock
+ * aliasing another lane's second lock across two VLOCK calls).
+ */
+Mask conflictFree(const VecReg &a, const VecReg &b, Mask m, int width);
+
+// --- Bulk simulated-memory helpers for setup and verification. ---
+void writeU32Array(Memory &mem, Addr base,
+                   const std::vector<std::uint32_t> &v);
+void writeI32Array(Memory &mem, Addr base,
+                   const std::vector<std::int32_t> &v);
+void writeF32Array(Memory &mem, Addr base, const std::vector<float> &v);
+std::vector<std::uint32_t> readU32Array(const Memory &mem, Addr base,
+                                        int n);
+std::vector<std::int32_t> readI32Array(const Memory &mem, Addr base,
+                                       int n);
+std::vector<float> readF32Array(const Memory &mem, Addr base, int n);
+
+/** max |x-y| over both arrays, for tolerance checks. */
+double maxAbsDiff(const std::vector<float> &x, const std::vector<float> &y);
+
+} // namespace glsc
+
+#endif // GLSC_KERNELS_COMMON_H_

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * FS -- Forward triangular Solve, Lx = b (Table 2).
+ *
+ * Thread-level parallelism follows a dependence graph over the columns
+ * of L (level scheduling: columns within a level are independent, a
+ * barrier separates levels).  Within a column, SIMD processes runs of
+ * strictly-lower nonzeros: the finalized x[j] is multiplied against
+ * L[i][j] and the products are atomically reduced into the shared
+ * right-hand-side vector.  Base reduces with per-lane ll/sc; GLSC with
+ * vgatherlink/vscattercond.
+ *
+ * Paper datasets: 2171x5167 @ 2.47% and 3136x9408 @ 15.06%.  We
+ * synthesize square lower-triangular systems with small off-diagonals
+ * (stable solve) at scaled sizes: A moderate density, B denser.
+ */
+
+#ifndef GLSC_KERNELS_FS_H_
+#define GLSC_KERNELS_FS_H_
+
+#include "config/config.h"
+#include "kernels/common.h"
+
+namespace glsc {
+
+struct FsParams
+{
+    int n = 0;
+    double density = 0.0; //!< in-band nonzero probability
+    int bandwidth = 0;    //!< columns below the diagonal
+    std::uint64_t seed = 0;
+};
+
+FsParams fsDataset(int dataset, double scale);
+
+RunResult runFs(const SystemConfig &cfg, int dataset, Scheme scheme,
+                double scale = 1.0, std::uint64_t seed = 1);
+
+} // namespace glsc
+
+#endif // GLSC_KERNELS_FS_H_

@@ -1,0 +1,243 @@
+#include "kernels/gps.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "core/vatomic.h"
+#include "sim/log.h"
+#include "workloads/synthetic.h"
+
+namespace glsc {
+namespace {
+
+struct GpsLayout
+{
+    Addr aIdx = 0;   //!< u32 per constraint
+    Addr bIdx = 0;   //!< u32 per constraint
+    Addr coeff = 0;  //!< i32 per constraint
+    Addr restLen = 0; //!< f32 per constraint (spring parameters)
+    Addr stiff = 0;  //!< f32 per constraint
+    Addr state = 0;  //!< i32 per object (integer momentum)
+    Addr locks = 0;  //!< u32 per object
+};
+
+Task<void>
+gpsKernel(SimThread &t, Scheme scheme, GpsLayout lay, int constraints,
+          int iterations, int numThreads, Barrier *bar)
+{
+    const int w = t.width();
+    auto [begin, end] = splitEven(constraints, numThreads, t.globalId());
+
+    for (int it = 0; it < iterations; ++it) {
+        for (int i = begin; i < end; i += w) {
+            Mask m = tailMask(end - i, w);
+            VecReg av = co_await t.vload(lay.aIdx + 4ull * i, 4);
+            VecReg bv = co_await t.vload(lay.bIdx + 4ull * i, 4);
+            VecReg cv = co_await t.vload(lay.coeff + 4ull * i, 4);
+            // Constraint setup: spring parameters and the Jacobian /
+            // impulse-denominator arithmetic of a force solver
+            // (Table 2: "iteratively solves a set of force
+            // equations").
+            co_await t.vload(lay.restLen + 4ull * i, 4);
+            co_await t.vload(lay.stiff + 4ull * i, 4);
+            co_await t.exec(18);
+            VecReg a, b;
+            for (int l = 0; l < w; ++l) {
+                a[l] = av.u32(l);
+                b[l] = bv.u32(l);
+            }
+
+            if (scheme == Scheme::Glsc) {
+                Mask todo = m;
+                std::uint64_t retries = 0;
+                while (todo.any()) {
+                    // Runtime uniqueness filter: groups are
+                    // preprocessed to be independent, but retries can
+                    // leave arbitrary subsets active.
+                    co_await t.exec(2);
+                    Mask cf = conflictFree(a, b, todo, w);
+                    Mask got1 =
+                        co_await vLockTry(t, lay.locks, a, cf);
+                    Mask got2 =
+                        co_await vLockTry(t, lay.locks, b, got1);
+                    Mask backoff = got1.andNot(got2);
+                    if (backoff.any())
+                        co_await vUnlock(t, lay.locks, a, backoff);
+                    if (got2.any()) {
+                        GatherResult sa = co_await t.vgather(
+                            lay.state, a, got2, 4);
+                        GatherResult sb = co_await t.vgather(
+                            lay.state, b, got2, 4);
+                        co_await t.exec(2); // delta = (sa - sb) >> 2
+                        VecReg na, nb;
+                        for (int l = 0; l < w; ++l) {
+                            auto va = static_cast<std::int32_t>(
+                                sa.value.u32(l));
+                            auto vb = static_cast<std::int32_t>(
+                                sb.value.u32(l));
+                            std::int32_t d = (va - vb) / 4 +
+                                             static_cast<std::int32_t>(
+                                                 cv.u32(l));
+                            na[l] = static_cast<std::uint32_t>(va - d);
+                            nb[l] = static_cast<std::uint32_t>(vb + d);
+                        }
+                        co_await t.vscatter(lay.state, a, na, got2, 4);
+                        co_await t.vscatter(lay.state, b, nb, got2, 4);
+                        co_await vUnlock(t, lay.locks, a, got2);
+                        co_await vUnlock(t, lay.locks, b, got2);
+                    }
+                    co_await t.exec(1); // FtoDo ^= got2
+                    todo = todo.andNot(got2);
+                    if (todo.any() && got2.noneSet()) {
+                        retries++;
+                        co_await t.exec(
+                            1 + ((retries * 2 +
+                                  static_cast<std::uint64_t>(
+                                      t.globalId()) * 5) %
+                                 13));
+                    }
+                }
+            } else {
+                // Base: same SIMD update body; the 2 x SIMD-width
+                // locks are taken serially with scalar ll/sc in
+                // ascending global order (deadlock-free).
+                Mask todo = m;
+                while (todo.any()) {
+                    co_await t.exec(2);
+                    Mask cf = conflictFree(a, b, todo, w);
+                    std::vector<std::uint64_t> lockIdx;
+                    for (int l = 0; l < w; ++l) {
+                        if (cf.test(l)) {
+                            lockIdx.push_back(a[l]);
+                            lockIdx.push_back(b[l]);
+                        }
+                    }
+                    std::sort(lockIdx.begin(), lockIdx.end());
+                    co_await t.exec(lockIdx.size()); // sort overhead
+                    for (std::uint64_t li : lockIdx)
+                        co_await lockAcquire(t, lay.locks + 4ull * li);
+
+                    GatherResult sa =
+                        co_await t.vgather(lay.state, a, cf, 4);
+                    GatherResult sb =
+                        co_await t.vgather(lay.state, b, cf, 4);
+                    co_await t.exec(2); // delta computation
+                    VecReg na, nb;
+                    for (int l = 0; l < w; ++l) {
+                        auto va = static_cast<std::int32_t>(
+                            sa.value.u32(l));
+                        auto vb = static_cast<std::int32_t>(
+                            sb.value.u32(l));
+                        std::int32_t d =
+                            (va - vb) / 4 +
+                            static_cast<std::int32_t>(cv.u32(l));
+                        na[l] = static_cast<std::uint32_t>(va - d);
+                        nb[l] = static_cast<std::uint32_t>(vb + d);
+                    }
+                    co_await t.vscatter(lay.state, a, na, cf, 4);
+                    co_await t.vscatter(lay.state, b, nb, cf, 4);
+                    co_await vUnlock(t, lay.locks, a, cf);
+                    co_await vUnlock(t, lay.locks, b, cf);
+                    co_await t.exec(1);
+                    todo = todo.andNot(cf);
+                }
+            }
+            co_await t.exec(1); // loop bookkeeping
+        }
+        co_await t.barrier(*bar);
+    }
+}
+
+} // namespace
+
+GpsParams
+gpsDataset(int dataset, double scale)
+{
+    GpsParams p;
+    if (dataset == 0) {
+        // Shape of "625 objects".
+        p.objects = 625;
+        p.constraints = std::max(64, static_cast<int>(2500 * scale * 4));
+        p.iterations = 2;
+        p.seed = 0x6E51;
+    } else {
+        // Shape of "1600 objects".
+        p.objects = 1600;
+        p.constraints = std::max(64, static_cast<int>(6400 * scale * 4));
+        p.iterations = 2;
+        p.seed = 0x6E52;
+    }
+    return p;
+}
+
+RunResult
+runGps(const SystemConfig &cfg, int dataset, Scheme scheme, double scale,
+       std::uint64_t seed)
+{
+    GpsParams p = gpsDataset(dataset, scale);
+    p.seed = p.seed * 0x9e3779b9ull + seed;
+    const int threads = cfg.totalThreads();
+
+    ConstraintSet cs =
+        makeConstraints(p.objects, p.constraints, 6, p.seed);
+    // Per-thread independent grouping (the paper's preprocessing).
+    for (int g = 0; g < threads; ++g) {
+        auto [cb, ce] = splitEven(p.constraints, threads, g);
+        groupIndependent(cs, cb, ce, cfg.simdWidth);
+    }
+
+    Rng rng(p.seed ^ 0x90D);
+    std::vector<std::int32_t> state(p.objects);
+    for (auto &s : state)
+        s = static_cast<std::int32_t>(rng.range(-1000, 1000));
+    std::int64_t sumBefore =
+        std::accumulate(state.begin(), state.end(), std::int64_t{0});
+
+    System sys(cfg);
+    GpsLayout lay;
+    lay.aIdx = sys.layout().allocArray(p.constraints, 4);
+    lay.bIdx = sys.layout().allocArray(p.constraints, 4);
+    lay.coeff = sys.layout().allocArray(p.constraints, 4);
+    lay.restLen = sys.layout().allocArray(p.constraints, 4);
+    lay.stiff = sys.layout().allocArray(p.constraints, 4);
+    lay.state = sys.layout().allocArray(p.objects, 4);
+    lay.locks = sys.layout().allocArray(p.objects, 4);
+
+    std::vector<std::uint32_t> av(p.constraints), bv(p.constraints);
+    std::vector<std::int32_t> coeff(p.constraints);
+    for (int i = 0; i < p.constraints; ++i) {
+        av[i] = static_cast<std::uint32_t>(cs.constraints[i].a);
+        bv[i] = static_cast<std::uint32_t>(cs.constraints[i].b);
+        coeff[i] = cs.constraints[i].coeff;
+    }
+    writeU32Array(sys.memory(), lay.aIdx, av);
+    writeU32Array(sys.memory(), lay.bIdx, bv);
+    writeI32Array(sys.memory(), lay.coeff, coeff);
+    writeI32Array(sys.memory(), lay.state, state);
+
+    Barrier &bar = sys.makeBarrier(threads);
+    sys.spawnAll([&](SimThread &t) {
+        return gpsKernel(t, scheme, lay, p.constraints, p.iterations,
+                         threads, &bar);
+    });
+
+    RunResult res;
+    res.stats = sys.run();
+
+    auto got = readI32Array(sys.memory(), lay.state, p.objects);
+    std::int64_t sumAfter =
+        std::accumulate(got.begin(), got.end(), std::int64_t{0});
+    bool locksFree = true;
+    for (int o = 0; o < p.objects; ++o) {
+        if (sys.memory().readU32(lay.locks + 4ull * o) != 0)
+            locksFree = false;
+    }
+    res.verified = (sumAfter == sumBefore) && locksFree;
+    res.detail = strprintf("momentum sum %lld -> %lld, locks %s",
+                           static_cast<long long>(sumBefore),
+                           static_cast<long long>(sumAfter),
+                           locksFree ? "free" : "LEAKED");
+    return res;
+}
+
+} // namespace glsc

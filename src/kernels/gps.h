@@ -1,0 +1,42 @@
+/**
+ * @file
+ * GPS -- Game Physics constraint Solver (Table 2).
+ *
+ * A set of two-object constraints is solved iteratively; each
+ * constraint update reads and writes both objects and must be atomic
+ * ("Multiple Lock Critical Section").  Constraints are divided among
+ * threads and, per the paper, reordered within each thread into groups
+ * of independent constraints so a group's regular scatters are
+ * alias-free.  GLSC takes both objects' locks with best-effort
+ * VLOCK (releasing the first lock when the second fails); Base takes
+ * the two scalar locks in canonical order.
+ *
+ * The update transfers integer "momentum" between the two objects, so
+ * the object-state sum is exactly conserved -- any lost update from an
+ * atomicity bug is detected by the verifier.
+ */
+
+#ifndef GLSC_KERNELS_GPS_H_
+#define GLSC_KERNELS_GPS_H_
+
+#include "config/config.h"
+#include "kernels/common.h"
+
+namespace glsc {
+
+struct GpsParams
+{
+    int objects = 0;
+    int constraints = 0;
+    int iterations = 0;
+    std::uint64_t seed = 0;
+};
+
+GpsParams gpsDataset(int dataset, double scale);
+
+RunResult runGps(const SystemConfig &cfg, int dataset, Scheme scheme,
+                 double scale = 1.0, std::uint64_t seed = 1);
+
+} // namespace glsc
+
+#endif // GLSC_KERNELS_GPS_H_

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * HIP -- Histogram for Image Processing (paper Table 2).
+ *
+ * Generates a color histogram of an image.  The image is row-wise
+ * partitioned among threads; each thread updates a *private* histogram
+ * copy (privatization, section 4.2) and a global merge runs after a
+ * barrier.  Because of privatization HIP needs no atomicity; the GLSC
+ * variant uses vgatherlink/vscattercond purely for its alias
+ * detection, while the Base variant must fall back to scalar
+ * load/inc/store per element (a conventional scatter has undefined
+ * aliasing behaviour).
+ *
+ * Datasets (paper: 480x480 car image / 480x480 people image) are
+ * synthesized as hotset-skewed color streams; the hot fractions were
+ * chosen so the SIMD-group aliasing rates land near Table 4's HIP
+ * failure rates (~35% / ~20%).
+ */
+
+#ifndef GLSC_KERNELS_HIP_H_
+#define GLSC_KERNELS_HIP_H_
+
+#include "config/config.h"
+#include "kernels/common.h"
+
+namespace glsc {
+
+struct HipParams
+{
+    int numPixels = 0;
+    int numBins = 0;
+    double runProb = 0.0; //!< spatial run probability (alias control)
+    std::uint64_t seed = 0;
+};
+
+/** Dataset A (0) or B (1), scaled by @p scale in pixel count. */
+HipParams hipDataset(int dataset, double scale);
+
+RunResult runHip(const SystemConfig &cfg, int dataset, Scheme scheme,
+                 double scale = 1.0, std::uint64_t seed = 1);
+
+} // namespace glsc
+
+#endif // GLSC_KERNELS_HIP_H_

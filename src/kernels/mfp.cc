@@ -1,0 +1,328 @@
+#include "kernels/mfp.h"
+
+#include <algorithm>
+#include <numeric>
+#include <unordered_set>
+
+#include "core/vatomic.h"
+#include "sim/log.h"
+#include "workloads/synthetic.h"
+
+namespace glsc {
+namespace {
+
+struct MfpLayout
+{
+    Addr from = 0;   //!< u32 per edge
+    Addr to = 0;     //!< u32 per edge
+    Addr cap = 0;    //!< u32 per edge
+    Addr flow = 0;   //!< u32 per edge
+    Addr excess = 0; //!< u32 per node
+    Addr height = 0; //!< u32 per node (push-relabel labels)
+    Addr locks = 0;  //!< u32 per node
+};
+
+/**
+ * Reorders edges[begin, end) into consecutive runs of @p groupSize
+ * with pairwise-disjoint endpoint sets where possible -- the same
+ * preprocessing GPS applies to its constraints, so SIMD groups carry
+ * full masks into the locking code.
+ */
+void
+groupIndependentEdges(std::vector<FlowEdge> &edges, int begin, int end,
+                      int groupSize)
+{
+    std::vector<bool> taken(end - begin, false);
+    std::vector<FlowEdge> result;
+    result.reserve(end - begin);
+    int remaining = end - begin;
+    while (remaining > 0) {
+        std::unordered_set<int> used;
+        int inGroup = 0;
+        for (int i = begin; i < end && inGroup < groupSize; ++i) {
+            if (taken[i - begin])
+                continue;
+            const FlowEdge &e = edges[i];
+            if (used.count(e.from) || used.count(e.to))
+                continue;
+            used.insert(e.from);
+            used.insert(e.to);
+            taken[i - begin] = true;
+            result.push_back(e);
+            inGroup++;
+            remaining--;
+        }
+        if (inGroup == 0) {
+            for (int i = begin; i < end; ++i) {
+                if (!taken[i - begin]) {
+                    taken[i - begin] = true;
+                    result.push_back(edges[i]);
+                    remaining--;
+                }
+            }
+        }
+    }
+    std::copy(result.begin(), result.end(), edges.begin() + begin);
+}
+
+Task<void>
+mfpKernel(SimThread &t, Scheme scheme, MfpLayout lay, int edges,
+          int rounds, int numThreads, Barrier *bar)
+{
+    const int w = t.width();
+    auto [begin, end] = splitEven(edges, numThreads, t.globalId());
+
+    for (int round = 0; round < rounds; ++round) {
+        for (int i = begin; i < end; i += w) {
+            Mask m = tailMask(end - i, w);
+            VecReg fv = co_await t.vload(lay.from + 4ull * i, 4);
+            VecReg tv = co_await t.vload(lay.to + 4ull * i, 4);
+            VecReg cv = co_await t.vload(lay.cap + 4ull * i, 4);
+            VecReg u, v;
+            for (int l = 0; l < w; ++l) {
+                u[l] = fv.u32(l);
+                v[l] = tv.u32(l);
+            }
+
+            // Push-relabel admissibility pre-check, done without
+            // locks: pushable iff height[u] == height[v] + 1 with
+            // residual capacity.  The push amount (possibly 0 when
+            // the source has no excess) is recomputed under locks.
+            GatherResult hu = co_await t.vgather(lay.height, u, m, 4);
+            GatherResult hv = co_await t.vgather(lay.height, v, m, 4);
+            VecReg flPre = co_await t.vload(lay.flow + 4ull * i, 4);
+            co_await t.exec(4);
+            Mask elig = Mask::none();
+            for (int l = 0; l < w; ++l) {
+                if (m.test(l) &&
+                    hu.value.u32(l) == hv.value.u32(l) + 1 &&
+                    flPre.u32(l) < cv.u32(l)) {
+                    elig.set(l);
+                }
+            }
+
+            if (scheme == Scheme::Glsc) {
+                Mask todo = elig;
+                std::uint64_t retries = 0;
+                while (todo.any()) {
+                    co_await t.exec(2); // runtime uniqueness filter
+                    Mask cf = conflictFree(u, v, todo, w);
+                    Mask got1 = co_await vLockTry(t, lay.locks, u, cf);
+                    Mask got2 = co_await vLockTry(t, lay.locks, v, got1);
+                    Mask backoff = got1.andNot(got2);
+                    if (backoff.any())
+                        co_await vUnlock(t, lay.locks, u, backoff);
+                    if (got2.any()) {
+                        GatherResult ex =
+                            co_await t.vgather(lay.excess, u, got2, 4);
+                        VecReg fl =
+                            co_await t.vload(lay.flow + 4ull * i, 4);
+                        co_await t.exec(3);
+                        VecReg newEx, newFl, delta;
+                        for (int l = 0; l < w; ++l) {
+                            std::uint32_t e = ex.value.u32(l);
+                            std::uint32_t res32 =
+                                cv.u32(l) - fl.u32(l);
+                            std::uint32_t d = std::min(e, res32);
+                            delta[l] = d;
+                            newEx[l] = e - d;
+                            newFl[l] = fl.u32(l) + d;
+                        }
+                        co_await t.vscatter(lay.excess, u, newEx, got2,
+                                            4);
+                        GatherResult exTo =
+                            co_await t.vgather(lay.excess, v, got2, 4);
+                        co_await t.exec(1);
+                        VecReg newTo;
+                        for (int l = 0; l < w; ++l)
+                            newTo[l] =
+                                exTo.value.u32(l) +
+                                static_cast<std::uint32_t>(delta[l]);
+                        co_await t.vscatter(lay.excess, v, newTo, got2,
+                                            4);
+                        co_await t.vstore(lay.flow + 4ull * i, newFl,
+                                          got2, 4);
+                        co_await vUnlock(t, lay.locks, u, got2);
+                        co_await vUnlock(t, lay.locks, v, got2);
+                    }
+                    co_await t.exec(1);
+                    todo = todo.andNot(got2);
+                    if (todo.any() && got2.noneSet()) {
+                        retries++;
+                        co_await t.exec(
+                            1 +
+                            ((retries * 2 +
+                              static_cast<std::uint64_t>(
+                                  t.globalId()) * 5) %
+                             13));
+                    }
+                }
+            } else {
+                // Base: same SIMD push body; endpoint locks taken
+                // serially with scalar ll/sc in ascending order.
+                Mask todo = elig;
+                while (todo.any()) {
+                    co_await t.exec(2);
+                    Mask cf = conflictFree(u, v, todo, w);
+                    std::vector<std::uint64_t> lockIdx;
+                    for (int l = 0; l < w; ++l) {
+                        if (cf.test(l)) {
+                            lockIdx.push_back(u[l]);
+                            lockIdx.push_back(v[l]);
+                        }
+                    }
+                    std::sort(lockIdx.begin(), lockIdx.end());
+                    co_await t.exec(lockIdx.size()); // sort overhead
+                    for (std::uint64_t li : lockIdx)
+                        co_await lockAcquire(t, lay.locks + 4ull * li);
+
+                    GatherResult ex =
+                        co_await t.vgather(lay.excess, u, cf, 4);
+                    VecReg fl = co_await t.vload(lay.flow + 4ull * i, 4);
+                    co_await t.exec(3);
+                    VecReg newEx, newFl, delta;
+                    for (int l = 0; l < w; ++l) {
+                        std::uint32_t e = ex.value.u32(l);
+                        std::uint32_t res32 = cv.u32(l) - fl.u32(l);
+                        std::uint32_t d = std::min(e, res32);
+                        delta[l] = d;
+                        newEx[l] = e - d;
+                        newFl[l] = fl.u32(l) + d;
+                    }
+                    co_await t.vscatter(lay.excess, u, newEx, cf, 4);
+                    GatherResult exTo =
+                        co_await t.vgather(lay.excess, v, cf, 4);
+                    co_await t.exec(1);
+                    VecReg newTo;
+                    for (int l = 0; l < w; ++l)
+                        newTo[l] =
+                            exTo.value.u32(l) +
+                            static_cast<std::uint32_t>(delta[l]);
+                    co_await t.vscatter(lay.excess, v, newTo, cf, 4);
+                    co_await t.vstore(lay.flow + 4ull * i, newFl, cf, 4);
+                    co_await vUnlock(t, lay.locks, u, cf);
+                    co_await vUnlock(t, lay.locks, v, cf);
+                    co_await t.exec(1);
+                    todo = todo.andNot(cf);
+                }
+            }
+            co_await t.exec(1); // loop bookkeeping
+        }
+        co_await t.barrier(*bar);
+    }
+}
+
+} // namespace
+
+MfpParams
+mfpDataset(int dataset, double scale)
+{
+    MfpParams p;
+    // Node count stays large under scaling so thread partitions keep
+    // disjoint neighborhoods (the shared excess array must not shrink
+    // to a few cache lines).
+    if (dataset == 0) {
+        // Shape of "1500 nodes and 6800 edges".
+        p.nodes = std::max(768, static_cast<int>(1500 * scale));
+        p.edges = std::max(p.nodes, static_cast<int>(6800 * scale * 4));
+        p.rounds = 2;
+        p.seed = 0x3F91;
+    } else {
+        // Shape of "3888 nodes and 18252 edges".
+        p.nodes = std::max(1024, static_cast<int>(3888 * scale));
+        p.edges =
+            std::max(p.nodes, static_cast<int>(18252 * scale * 4));
+        p.rounds = 2;
+        p.seed = 0x3F92;
+    }
+    return p;
+}
+
+RunResult
+runMfp(const SystemConfig &cfg, int dataset, Scheme scheme, double scale,
+       std::uint64_t seed)
+{
+    MfpParams p = mfpDataset(dataset, scale);
+    p.seed = p.seed * 0x9e3779b9ull + seed;
+
+    FlowGraph g = makeFlowGraph(p.nodes, p.edges, 8, p.seed);
+    // Mid-algorithm preflow snapshot: every node carries some excess,
+    // so every partition has push work each round.
+    {
+        Rng er(p.seed ^ 0xE5);
+        for (auto &e : g.initialExcess)
+            e += static_cast<std::uint32_t>(8 + er.below(56));
+    }
+    std::int64_t excessBefore = std::accumulate(
+        g.initialExcess.begin(), g.initialExcess.end(), std::int64_t{0});
+
+    const int threads = cfg.totalThreads();
+    // Per-thread endpoint-independent grouping (like GPS's constraint
+    // reordering) so SIMD groups carry full masks into the locks.
+    for (int gi = 0; gi < threads; ++gi) {
+        auto [eb, ee] = splitEven(p.edges, threads, gi);
+        groupIndependentEdges(g.edges, eb, ee, cfg.simdWidth);
+    }
+
+    System sys(cfg);
+    MfpLayout lay;
+    lay.from = sys.layout().allocArray(p.edges, 4);
+    lay.to = sys.layout().allocArray(p.edges, 4);
+    lay.cap = sys.layout().allocArray(p.edges, 4);
+    lay.flow = sys.layout().allocArray(p.edges, 4);
+    lay.excess = sys.layout().allocArray(p.nodes, 4);
+    lay.height = sys.layout().allocArray(p.nodes, 4);
+    lay.locks = sys.layout().allocArray(p.nodes, 4);
+
+    std::vector<std::uint32_t> fu(p.edges), tu(p.edges), cu(p.edges);
+    for (int i = 0; i < p.edges; ++i) {
+        fu[i] = static_cast<std::uint32_t>(g.edges[i].from);
+        tu[i] = static_cast<std::uint32_t>(g.edges[i].to);
+        cu[i] = g.edges[i].capacity;
+    }
+    writeU32Array(sys.memory(), lay.from, fu);
+    writeU32Array(sys.memory(), lay.to, tu);
+    writeU32Array(sys.memory(), lay.cap, cu);
+    writeU32Array(sys.memory(), lay.excess, g.initialExcess);
+    {
+        // Labels: unit-descending staircase, so every +1 edge (the
+        // spanning chain and half the local extras) is admissible.
+        std::vector<std::uint32_t> heights(p.nodes);
+        for (int nd = 0; nd < p.nodes; ++nd)
+            heights[nd] = static_cast<std::uint32_t>(p.nodes - nd);
+        writeU32Array(sys.memory(), lay.height, heights);
+    }
+
+    Barrier &bar = sys.makeBarrier(threads);
+    sys.spawnAll([&](SimThread &t) {
+        return mfpKernel(t, scheme, lay, p.edges, p.rounds, threads,
+                         &bar);
+    });
+
+    RunResult res;
+    res.stats = sys.run();
+
+    auto excessAfter = readU32Array(sys.memory(), lay.excess, p.nodes);
+    std::int64_t sumAfter = std::accumulate(
+        excessAfter.begin(), excessAfter.end(), std::int64_t{0});
+    bool capOk = true;
+    auto flows = readU32Array(sys.memory(), lay.flow, p.edges);
+    for (int i = 0; i < p.edges; ++i) {
+        if (flows[i] > cu[i])
+            capOk = false;
+    }
+    bool locksFree = true;
+    for (int nd = 0; nd < p.nodes; ++nd) {
+        if (sys.memory().readU32(lay.locks + 4ull * nd) != 0)
+            locksFree = false;
+    }
+    res.verified = (sumAfter == excessBefore) && capOk && locksFree;
+    res.detail = strprintf(
+        "excess sum %lld -> %lld, capacities %s, locks %s",
+        static_cast<long long>(excessBefore),
+        static_cast<long long>(sumAfter), capOk ? "ok" : "VIOLATED",
+        locksFree ? "free" : "LEAKED");
+    return res;
+}
+
+} // namespace glsc

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * MFP -- Maxflow Push kernel (Table 2): the push operation of parallel
+ * push-relabel maximum flow.
+ *
+ * Edges are partitioned among threads; in each round a thread scans
+ * its edges in SIMD groups and pushes flow d = min(excess[from],
+ * capacity - flow) along each pushable edge.  A push reads and writes
+ * both endpoint nodes, so it takes both node locks ("Multiple Lock
+ * Critical Section"): GLSC via best-effort VLOCK pairs, Base via
+ * scalar locks in canonical (min, max) order.
+ *
+ * Excess is integer and pushes are conservative transfers, so total
+ * excess is exactly conserved and 0 <= flow <= capacity holds -- both
+ * checked by the verifier.
+ */
+
+#ifndef GLSC_KERNELS_MFP_H_
+#define GLSC_KERNELS_MFP_H_
+
+#include "config/config.h"
+#include "kernels/common.h"
+
+namespace glsc {
+
+struct MfpParams
+{
+    int nodes = 0;
+    int edges = 0;
+    int rounds = 0;
+    std::uint64_t seed = 0;
+};
+
+MfpParams mfpDataset(int dataset, double scale);
+
+RunResult runMfp(const SystemConfig &cfg, int dataset, Scheme scheme,
+                 double scale = 1.0, std::uint64_t seed = 1);
+
+} // namespace glsc
+
+#endif // GLSC_KERNELS_MFP_H_

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Microbenchmark of section 5.2 / Figure 7: threads atomically
+ * increment counters selected by precomputed index streams whose
+ * structure isolates each source of GLSC benefit.
+ *
+ *  - Scenario A: each SIMD group's addresses fall in distinct lines of
+ *    a *shared* counter array -- highlights overlapping of L1 misses
+ *    (lines ping-pong between cores).
+ *  - Scenario B: per-thread private counters; each group's addresses
+ *    are different words of the *same* line -- highlights instruction
+ *    and L1-access reduction.
+ *  - Scenario C: private counters, each group's addresses in distinct
+ *    lines -- instruction reduction only.
+ *  - Scenario D: private counters, all of a group's addresses
+ *    identical -- no SIMD parallelism available to GLSC (full
+ *    aliasing, serial retries).
+ */
+
+#ifndef GLSC_KERNELS_MICRO_H_
+#define GLSC_KERNELS_MICRO_H_
+
+#include "config/config.h"
+#include "kernels/common.h"
+
+namespace glsc {
+
+enum class MicroScenario
+{
+    A,
+    B,
+    C,
+    D,
+};
+
+RunResult runMicro(const SystemConfig &cfg, MicroScenario sc,
+                   Scheme scheme, int itersPerThread = 2048,
+                   std::uint64_t seed = 1);
+
+} // namespace glsc
+
+#endif // GLSC_KERNELS_MICRO_H_

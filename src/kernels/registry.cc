@@ -1,0 +1,59 @@
+#include "kernels/registry.h"
+
+#include "kernels/fs.h"
+#include "kernels/gbc.h"
+#include "kernels/gps.h"
+#include "kernels/hip.h"
+#include "kernels/mfp.h"
+#include "kernels/smc.h"
+#include "kernels/tms.h"
+#include "sim/log.h"
+
+namespace glsc {
+
+const std::vector<BenchmarkInfo> &
+benchmarkList()
+{
+    static const std::vector<BenchmarkInfo> list = {
+        {"GBC", "Single Lock Critical Section",
+         {"crowded scene, 8191 cells", "sparse scene, 16384 cells"}},
+        {"FS", "Floating-point Subtract",
+         {"n>=2048 lower-tri, ~8 nnz/row", "n>=2560, ~22 nnz/row"}},
+        {"GPS", "Multiple Lock Critical Section",
+         {"625 objects", "1600 objects"}},
+        {"HIP", "Integer Increment",
+         {"2-color-dominated image", "4-color-dominated image"}},
+        {"SMC", "Floating-point Add",
+         {"32K-shape particles, 24^3 grid",
+          "96K-shape particles, 40^3 grid"}},
+        {"MFP", "Multiple Lock Critical Section",
+         {"1500 nodes / 6800 edges", "3888 nodes / 18252 edges"}},
+        {"TMS", "Floating-point Add",
+         {"moderate-density sparse A^T", "large sparse A^T"}},
+    };
+    return list;
+}
+
+RunResult
+runBenchmark(const std::string &name, int dataset, Scheme scheme,
+             const SystemConfig &cfg, double scale, std::uint64_t seed)
+{
+    GLSC_ASSERT(dataset == 0 || dataset == 1, "dataset must be 0 or 1");
+    if (name == "GBC")
+        return runGbc(cfg, dataset, scheme, scale, seed);
+    if (name == "FS")
+        return runFs(cfg, dataset, scheme, scale, seed);
+    if (name == "GPS")
+        return runGps(cfg, dataset, scheme, scale, seed);
+    if (name == "HIP")
+        return runHip(cfg, dataset, scheme, scale, seed);
+    if (name == "SMC")
+        return runSmc(cfg, dataset, scheme, scale, seed);
+    if (name == "MFP")
+        return runMfp(cfg, dataset, scheme, scale, seed);
+    if (name == "TMS")
+        return runTms(cfg, dataset, scheme, scale, seed);
+    GLSC_FATAL("unknown benchmark '%s'", name.c_str());
+}
+
+} // namespace glsc

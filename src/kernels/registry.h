@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Registry of the seven RMS benchmarks (paper Tables 2/3): uniform
+ * dispatch for the test suite and the bench harnesses.
+ */
+
+#ifndef GLSC_KERNELS_REGISTRY_H_
+#define GLSC_KERNELS_REGISTRY_H_
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "config/config.h"
+#include "kernels/common.h"
+
+namespace glsc {
+
+/** Table 3 metadata for one benchmark. */
+struct BenchmarkInfo
+{
+    std::string name;     //!< "GBC", "FS", ...
+    std::string atomicOp; //!< Table 3 "Atomic Operation" column
+    std::array<std::string, 2> datasets; //!< A and B descriptions
+};
+
+/** The seven benchmarks, in the paper's order. */
+const std::vector<BenchmarkInfo> &benchmarkList();
+
+/**
+ * Runs benchmark @p name (dataset 0=A, 1=B) under @p scheme on the
+ * given system configuration.  @p scale shrinks the dataset; @p seed
+ * perturbs workload synthesis deterministically.
+ */
+RunResult runBenchmark(const std::string &name, int dataset,
+                       Scheme scheme, const SystemConfig &cfg,
+                       double scale = 1.0, std::uint64_t seed = 1);
+
+} // namespace glsc
+
+#endif // GLSC_KERNELS_REGISTRY_H_

@@ -1,0 +1,38 @@
+/**
+ * @file
+ * SMC -- Surface extraction via Marching Cubes (Table 2): particles in
+ * a uniform 3D grid atomically accumulate density into the 8 grid
+ * nodes surrounding them.
+ *
+ * Particles are divided among threads and processed in SIMD; each of
+ * the 8 neighbor updates is an atomic SIMD float reduction into the
+ * shared node array.  Base uses per-lane ll/sc; GLSC uses
+ * vgatherlink/vscattercond.  Clustered (blob) particle placement makes
+ * nearby particles collide on nodes across threads, as fluid particles
+ * do.
+ */
+
+#ifndef GLSC_KERNELS_SMC_H_
+#define GLSC_KERNELS_SMC_H_
+
+#include "config/config.h"
+#include "kernels/common.h"
+
+namespace glsc {
+
+struct SmcParams
+{
+    int particles = 0;
+    int gx = 0, gy = 0, gz = 0;
+    int blobs = 0;
+    std::uint64_t seed = 0;
+};
+
+SmcParams smcDataset(int dataset, double scale);
+
+RunResult runSmc(const SystemConfig &cfg, int dataset, Scheme scheme,
+                 double scale = 1.0, std::uint64_t seed = 1);
+
+} // namespace glsc
+
+#endif // GLSC_KERNELS_SMC_H_

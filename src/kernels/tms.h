@@ -1,0 +1,41 @@
+/**
+ * @file
+ * TMS -- Transpose sparse Matrix-Vector multiply, y = A^T x (Table 2).
+ *
+ * Nonzero elements of A are divided evenly among threads; SIMD
+ * processes several nonzeros at once: load values/column indices/row
+ * indices, gather x, multiply, then atomically reduce the products
+ * into the shared destination vector y.  Base performs the reduction
+ * with a per-lane ll/sc retry loop (Fig. 2); GLSC uses the Fig. 3A
+ * vgatherlink/vscattercond loop.
+ *
+ * Paper datasets: 21616x67841 @ 0.87% and 209614x41177 @ 0.01%.  We
+ * synthesize matrices with the same character (A: moderate density,
+ * roughly square; B: much larger and sparser) scaled to simulator-
+ * friendly sizes.
+ */
+
+#ifndef GLSC_KERNELS_TMS_H_
+#define GLSC_KERNELS_TMS_H_
+
+#include "config/config.h"
+#include "kernels/common.h"
+
+namespace glsc {
+
+struct TmsParams
+{
+    int rows = 0;
+    int cols = 0;
+    double density = 0.0;
+    std::uint64_t seed = 0;
+};
+
+TmsParams tmsDataset(int dataset, double scale);
+
+RunResult runTms(const SystemConfig &cfg, int dataset, Scheme scheme,
+                 double scale = 1.0, std::uint64_t seed = 1);
+
+} // namespace glsc
+
+#endif // GLSC_KERNELS_TMS_H_

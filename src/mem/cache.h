@@ -1,0 +1,166 @@
+/**
+ * @file
+ * Private L1 data cache state (tags, MSI state, GLSC entries).
+ *
+ * This class is a pure state container: set-associative tag array with
+ * LRU replacement, per-line MSI state, and the paper's per-line GLSC
+ * entry (valid bit + SMT thread id, section 3.3).  All timing and
+ * protocol decisions live in MemorySystem; splitting them keeps the
+ * GLSC entry rules independently unit-testable.
+ */
+
+#ifndef GLSC_MEM_CACHE_H_
+#define GLSC_MEM_CACHE_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "sim/log.h"
+#include "sim/types.h"
+
+namespace glsc {
+
+/** L1 line coherence state (directory MSI). */
+enum class L1State : std::uint8_t
+{
+    Invalid,
+    Shared,
+    Modified,
+};
+
+/** One L1 cache line: tag state plus the GLSC reservation entry. */
+struct L1Line
+{
+    Addr tag = 0;            //!< full line address (tag+index combined)
+    L1State state = L1State::Invalid;
+    std::uint64_t lruStamp = 0;
+    bool prefetched = false; //!< filled by the prefetcher, untouched yet
+
+    // GLSC entry (paper section 3.3): valid bit + hardware thread id.
+    bool glscValid = false;
+    ThreadId glscTid = 0;
+
+    bool valid() const { return state != L1State::Invalid; }
+
+    /** Clears the reservation (intervening write, eviction, inval). */
+    void
+    clearGlsc()
+    {
+        glscValid = false;
+    }
+
+    /** Links the line for @p tid (load-linked / gather-linked). */
+    void
+    link(ThreadId tid)
+    {
+        glscValid = true;
+        glscTid = tid;
+    }
+
+    /** True iff @p tid still holds the reservation. */
+    bool
+    linkedBy(ThreadId tid) const
+    {
+        return glscValid && glscTid == tid;
+    }
+};
+
+/** Set-associative L1 tag array with true-LRU replacement. */
+class L1Cache
+{
+  public:
+    L1Cache(int size_bytes, int assoc)
+        : assoc_(assoc), sets_((size_bytes / kLineBytes) / assoc),
+          lines_(static_cast<std::size_t>(sets_) * assoc)
+    {
+        GLSC_ASSERT(sets_ > 0 && (sets_ & (sets_ - 1)) == 0,
+                    "L1 set count must be a power of two (%d)", sets_);
+    }
+
+    /** Looks up @p line (a line-aligned address); null on miss. */
+    L1Line *
+    lookup(Addr line)
+    {
+        auto [begin, end] = setRange(line);
+        for (int i = begin; i < end; ++i) {
+            if (lines_[i].valid() && lines_[i].tag == line)
+                return &lines_[i];
+        }
+        return nullptr;
+    }
+
+    const L1Line *
+    lookup(Addr line) const
+    {
+        return const_cast<L1Cache *>(this)->lookup(line);
+    }
+
+    /**
+     * Selects a victim way for @p line: an invalid way if one exists,
+     * otherwise the LRU way.  Does not modify anything.
+     */
+    L1Line &
+    victim(Addr line)
+    {
+        auto [begin, end] = setRange(line);
+        int best = begin;
+        for (int i = begin; i < end; ++i) {
+            if (!lines_[i].valid())
+                return lines_[i];
+            if (lines_[i].lruStamp < lines_[best].lruStamp)
+                best = i;
+        }
+        return lines_[best];
+    }
+
+    /**
+     * Installs @p line in the given victim way with @p state; resets
+     * the GLSC entry and prefetch marker.
+     */
+    void
+    fill(L1Line &way, Addr line, L1State state, std::uint64_t stamp)
+    {
+        way.tag = line;
+        way.state = state;
+        way.lruStamp = stamp;
+        way.prefetched = false;
+        way.clearGlsc();
+    }
+
+    /** Marks @p way most-recently-used at @p stamp. */
+    void touch(L1Line &way, std::uint64_t stamp) { way.lruStamp = stamp; }
+
+    /** Invalidates the line if present; reservation dies with it. */
+    void
+    invalidate(Addr line)
+    {
+        if (L1Line *l = lookup(line)) {
+            l->state = L1State::Invalid;
+            l->clearGlsc();
+        }
+    }
+
+    int numSets() const { return sets_; }
+    int assoc() const { return assoc_; }
+
+    /** Iterates all lines (tests and debug dumps). */
+    const std::vector<L1Line> &lines() const { return lines_; }
+
+  private:
+    std::pair<int, int>
+    setRange(Addr line)
+    {
+        int set = static_cast<int>((line >> kLineShift) &
+                                   static_cast<Addr>(sets_ - 1));
+        return {set * assoc_, (set + 1) * assoc_};
+    }
+
+    int assoc_;
+    int sets_;
+    std::vector<L1Line> lines_;
+};
+
+} // namespace glsc
+
+#endif // GLSC_MEM_CACHE_H_

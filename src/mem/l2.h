@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Shared, inclusive, banked L2 cache with in-line directory state.
+ *
+ * Each L2 line carries the directory information for the private L1s
+ * (paper section 2/4.1): a sharer bitmask plus an owner id when some
+ * L1 holds the line Modified.  Like L1Cache this is a pure state
+ * container; MemorySystem drives the MSI protocol over it.
+ */
+
+#ifndef GLSC_MEM_L2_H_
+#define GLSC_MEM_L2_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/log.h"
+#include "sim/types.h"
+
+namespace glsc {
+
+/** One L2 line: tag plus directory state for the L1s. */
+struct L2Line
+{
+    Addr tag = 0;
+    bool valid = false;
+    bool dirty = false;         //!< newer than memory (writeback received)
+    std::uint64_t lruStamp = 0;
+
+    // Directory.
+    std::uint32_t sharers = 0;  //!< bitmask of cores with an S copy
+    bool ownedModified = false; //!< some L1 holds the line in M
+    CoreId owner = -1;          //!< valid iff ownedModified
+
+    bool hasSharer(CoreId c) const { return (sharers >> c) & 1u; }
+    void addSharer(CoreId c) { sharers |= (1u << c); }
+    void removeSharer(CoreId c) { sharers &= ~(1u << c); }
+
+    /** Resets directory state (line uncached in all L1s). */
+    void
+    clearDirectory()
+    {
+        sharers = 0;
+        ownedModified = false;
+        owner = -1;
+    }
+};
+
+/** Banked, set-associative, inclusive shared L2. */
+class L2Cache
+{
+  public:
+    L2Cache(int size_bytes, int assoc, int banks)
+        : assoc_(assoc), banks_(banks),
+          sets_((size_bytes / kLineBytes) / assoc),
+          lines_(static_cast<std::size_t>(sets_) * assoc)
+    {
+        GLSC_ASSERT(sets_ > 0 && (sets_ & (sets_ - 1)) == 0,
+                    "L2 set count must be a power of two (%d)", sets_);
+        GLSC_ASSERT(sets_ % banks_ == 0, "L2 sets not divisible by banks");
+    }
+
+    L2Line *
+    lookup(Addr line)
+    {
+        auto [begin, end] = setRange(line);
+        for (int i = begin; i < end; ++i) {
+            if (lines_[i].valid && lines_[i].tag == line)
+                return &lines_[i];
+        }
+        return nullptr;
+    }
+
+    const L2Line *
+    lookup(Addr line) const
+    {
+        return const_cast<L2Cache *>(this)->lookup(line);
+    }
+
+    /** Victim way for @p line (invalid way preferred, else LRU). */
+    L2Line &
+    victim(Addr line)
+    {
+        auto [begin, end] = setRange(line);
+        int best = begin;
+        for (int i = begin; i < end; ++i) {
+            if (!lines_[i].valid)
+                return lines_[i];
+            if (lines_[i].lruStamp < lines_[best].lruStamp)
+                best = i;
+        }
+        return lines_[best];
+    }
+
+    void
+    fill(L2Line &way, Addr line, std::uint64_t stamp)
+    {
+        way.tag = line;
+        way.valid = true;
+        way.dirty = false;
+        way.lruStamp = stamp;
+        way.clearDirectory();
+    }
+
+    void touch(L2Line &way, std::uint64_t stamp) { way.lruStamp = stamp; }
+
+    int numSets() const { return sets_; }
+    int assoc() const { return assoc_; }
+    int banks() const { return banks_; }
+
+    const std::vector<L2Line> &lines() const { return lines_; }
+
+  private:
+    std::pair<int, int>
+    setRange(Addr line)
+    {
+        int set = static_cast<int>((line >> kLineShift) &
+                                   static_cast<Addr>(sets_ - 1));
+        return {set * assoc_, (set + 1) * assoc_};
+    }
+
+    int assoc_;
+    int banks_;
+    int sets_;
+    std::vector<L2Line> lines_;
+};
+
+} // namespace glsc
+
+#endif // GLSC_MEM_L2_H_

@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Sparse byte-addressable backing store for simulated physical memory.
+ *
+ * The simulator is execution-driven: kernels read and write real data
+ * through the cache hierarchy, and tests compare final memory contents
+ * against sequentially computed references.  Data is stored only here
+ * (caches track state and timing, not payload); because the simulator
+ * is a single-threaded discrete-event system, applying each write at
+ * its serialization point yields exact shared-memory semantics.
+ */
+
+#ifndef GLSC_MEM_MEMORY_H_
+#define GLSC_MEM_MEMORY_H_
+
+#include <bit>
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/log.h"
+#include "sim/types.h"
+
+namespace glsc {
+
+/** Sparse simulated physical memory, allocated in 4 KB pages. */
+class Memory
+{
+  public:
+    static constexpr Addr kPageBytes = 4096;
+
+    /** Reads @p size bytes (1/2/4/8) at @p a, zero-extended. */
+    std::uint64_t
+    read(Addr a, int size) const
+    {
+        GLSC_ASSERT(validSize(size), "bad access size %d", size);
+        GLSC_ASSERT((a & (size - 1)) == 0, "misaligned read @%llx size %d",
+                    (unsigned long long)a, size);
+        const Page *p = findPage(a);
+        if (p == nullptr)
+            return 0;
+        std::uint64_t v = 0;
+        std::memcpy(&v, p->data() + (a & (kPageBytes - 1)), size);
+        return v;
+    }
+
+    /** Writes the low @p size bytes of @p v at @p a. */
+    void
+    write(Addr a, std::uint64_t v, int size)
+    {
+        GLSC_ASSERT(validSize(size), "bad access size %d", size);
+        GLSC_ASSERT((a & (size - 1)) == 0, "misaligned write @%llx size %d",
+                    (unsigned long long)a, size);
+        Page &p = page(a);
+        std::memcpy(p.data() + (a & (kPageBytes - 1)), &v, size);
+    }
+
+    // Typed convenience accessors (used by workload loaders and tests).
+    std::uint32_t readU32(Addr a) const { return read(a, 4); }
+    std::uint64_t readU64(Addr a) const { return read(a, 8); }
+    float readF32(Addr a) const
+    {
+        return std::bit_cast<float>(readU32(a));
+    }
+    void writeU32(Addr a, std::uint32_t v) { write(a, v, 4); }
+    void writeU64(Addr a, std::uint64_t v) { write(a, v, 8); }
+    void writeF32(Addr a, float v)
+    {
+        writeU32(a, std::bit_cast<std::uint32_t>(v));
+    }
+
+    /** Number of pages touched so far. */
+    std::size_t pagesAllocated() const { return pages_.size(); }
+
+  private:
+    using Page = std::vector<std::uint8_t>;
+
+    static bool
+    validSize(int size)
+    {
+        return size == 1 || size == 2 || size == 4 || size == 8;
+    }
+
+    const Page *
+    findPage(Addr a) const
+    {
+        auto it = pages_.find(a / kPageBytes);
+        return it == pages_.end() ? nullptr : it->second.get();
+    }
+
+    Page &
+    page(Addr a)
+    {
+        auto &slot = pages_[a / kPageBytes];
+        if (!slot)
+            slot = std::make_unique<Page>(kPageBytes, 0);
+        return *slot;
+    }
+
+    std::unordered_map<Addr, std::unique_ptr<Page>> pages_;
+};
+
+/**
+ * A bump allocator for laying out workload data structures in
+ * simulated memory.  Allocations are line-aligned by default so that
+ * independently allocated arrays never share cache lines (avoids
+ * accidental false sharing in the kernels).
+ */
+class MemLayout
+{
+  public:
+    explicit MemLayout(Addr base = 0x10000) : next_(base) {}
+
+    /** Allocates @p bytes with @p align alignment; returns the base. */
+    Addr
+    alloc(std::uint64_t bytes, std::uint64_t align = kLineBytes)
+    {
+        GLSC_ASSERT(align != 0 && (align & (align - 1)) == 0,
+                    "alignment must be a power of two");
+        next_ = (next_ + align - 1) & ~(align - 1);
+        Addr base = next_;
+        next_ += bytes;
+        return base;
+    }
+
+    /** Allocates an array of @p n elements of @p elemBytes each. */
+    Addr
+    allocArray(std::uint64_t n, int elemBytes,
+               std::uint64_t align = kLineBytes)
+    {
+        return alloc(n * static_cast<std::uint64_t>(elemBytes), align);
+    }
+
+    Addr top() const { return next_; }
+
+  private:
+    Addr next_;
+};
+
+} // namespace glsc
+
+#endif // GLSC_MEM_MEMORY_H_

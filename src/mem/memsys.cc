@@ -1,0 +1,472 @@
+#include "mem/memsys.h"
+
+#include <algorithm>
+
+#include "sim/log.h"
+
+namespace glsc {
+
+MemorySystem::MemorySystem(const SystemConfig &cfg, EventQueue &events,
+                           Memory &mem, SystemStats &stats)
+    : cfg_(cfg), events_(events), mem_(mem), stats_(stats), noc_(cfg),
+      l2_(cfg.l2SizeBytes, cfg.l2Assoc, cfg.l2Banks),
+      mshr_(cfg.cores)
+{
+    l1s_.reserve(cfg.cores);
+    for (int c = 0; c < cfg.cores; ++c)
+        l1s_.push_back(std::make_unique<L1Cache>(cfg.l1SizeBytes,
+                                                 cfg.l1Assoc));
+    if (cfg.glsc.bufferEntries > 0) {
+        resBuffers_.reserve(cfg.cores);
+        for (int c = 0; c < cfg.cores; ++c)
+            resBuffers_.push_back(
+                std::make_unique<GlscBuffer>(cfg.glsc.bufferEntries));
+    }
+}
+
+void
+MemorySystem::linkLine(CoreId c, ThreadId t, Addr line)
+{
+    if (!resBuffers_.empty()) {
+        resBuffers_[c]->link(line, t);
+        return;
+    }
+    L1Line *l = l1s_[c]->lookup(line);
+    GLSC_ASSERT(l != nullptr && l->valid(),
+                "linking a non-resident line");
+    l->link(t);
+}
+
+bool
+MemorySystem::holdsLink(CoreId c, ThreadId t, Addr line)
+{
+    L1Line *l = l1s_[c]->lookup(line);
+    if (l == nullptr || !l->valid())
+        return false; // an evicted line's reservation is dead
+    if (!resBuffers_.empty())
+        return resBuffers_[c]->holds(line, t);
+    return l->linkedBy(t);
+}
+
+bool
+MemorySystem::linkedByOther(CoreId c, ThreadId t, Addr line)
+{
+    L1Line *l = l1s_[c]->lookup(line);
+    if (l == nullptr || !l->valid())
+        return false;
+    if (!resBuffers_.empty()) {
+        ThreadId owner = resBuffers_[c]->owner(line);
+        return owner >= 0 && owner != t;
+    }
+    return l->glscValid && l->glscTid != t;
+}
+
+void
+MemorySystem::clearLink(CoreId c, Addr line)
+{
+    if (!resBuffers_.empty()) {
+        resBuffers_[c]->clear(line);
+        return;
+    }
+    if (L1Line *l = l1s_[c]->lookup(line))
+        l->clearGlsc();
+}
+
+Tick
+MemorySystem::mshrResidual(CoreId c, Addr line)
+{
+    auto &map = mshr_[c];
+    auto it = map.find(line);
+    if (it == map.end())
+        return 0;
+    Tick now = events_.now();
+    if (it->second <= now) {
+        map.erase(it);
+        return 0;
+    }
+    return it->second - now;
+}
+
+void
+MemorySystem::evictL1(CoreId c, L1Line &way)
+{
+    Addr line = way.tag;
+    clearLink(c, line); // an evicted reservation is lost (§3.3)
+    L2Line *dir = l2_.lookup(line);
+    GLSC_ASSERT(dir != nullptr, "inclusion violated: L1 victim %llx has "
+                "no L2 line", (unsigned long long)line);
+    if (way.state == L1State::Modified) {
+        // Writeback happens off the critical path; data already lives
+        // in the backing store, so only directory state and stats move.
+        GLSC_ASSERT(dir->ownedModified && dir->owner == c,
+                    "directory lost track of owner for %llx",
+                    (unsigned long long)line);
+        dir->ownedModified = false;
+        dir->owner = -1;
+        dir->dirty = true;
+        stats_.writebacks++;
+    } else {
+        dir->removeSharer(c);
+    }
+    way.state = L1State::Invalid;
+    way.clearGlsc();
+}
+
+void
+MemorySystem::evictL2(L2Line &way)
+{
+    // Inclusive L2: recall every private copy of the victim line.
+    Addr line = way.tag;
+    for (int c = 0; c < cfg_.cores; ++c) {
+        if (way.ownedModified ? (way.owner == c) : way.hasSharer(c)) {
+            clearLink(c, line);
+            l1s_[c]->invalidate(line);
+            stats_.invalidationsSent++;
+        }
+    }
+    if (way.ownedModified)
+        stats_.writebacks++;
+    way.valid = false;
+    way.clearDirectory();
+}
+
+Tick
+MemorySystem::lineAccess(CoreId c, Addr line, bool needM, bool isPrefetch)
+{
+    GLSC_ASSERT(lineOffset(line) == 0, "lineAccess on unaligned %llx",
+                (unsigned long long)line);
+    if (!isPrefetch)
+        stats_.l1Accesses++;
+
+    L1Cache &l1 = *l1s_[c];
+    L1Line *l = l1.lookup(line);
+
+    const bool hit =
+        l != nullptr &&
+        (l->state == L1State::Modified ||
+         (!needM && l->state == L1State::Shared));
+
+    if (hit) {
+        if (!isPrefetch)
+            stats_.l1Hits++;
+        if (l->prefetched) {
+            l->prefetched = false;
+            stats_.prefetchesUseful++;
+        }
+        l1.touch(*l, nextStamp());
+        // If a fill for this line is still in flight (an earlier miss
+        // installed state immediately), wait for it.
+        return mshrResidual(c, line) + cfg_.l1Latency;
+    }
+
+    if (isPrefetch && l != nullptr && l->valid()) {
+        // Prefetches never upgrade; present-but-shared is good enough.
+        return cfg_.l1Latency;
+    }
+
+    if (!isPrefetch)
+        stats_.l1Misses++;
+
+    // --- Directory transaction. ---
+    Tick now = events_.now();
+    int bank = noc_.bankOf(line);
+    Tick arrival = now + cfg_.l1Latency + noc_.hopLatency(c, bank);
+    Tick start = noc_.reserveBank(bank, arrival);
+    Tick lat = (start - now) + cfg_.l2Latency;
+    stats_.l2Accesses++;
+
+    L2Line *dir = l2_.lookup(line);
+    if (dir == nullptr) {
+        stats_.l2Misses++;
+        lat += cfg_.memLatency;
+        L2Line &v = l2_.victim(line);
+        if (v.valid)
+            evictL2(v);
+        l2_.fill(v, line, nextStamp());
+        dir = &v;
+    } else {
+        l2_.touch(*dir, nextStamp());
+    }
+
+    // Fetch from a remote modified owner, downgrading or invalidating.
+    if (dir->ownedModified && dir->owner != c) {
+        CoreId owner = dir->owner;
+        lat += 2 * noc_.coreToCore(c, owner) + cfg_.l1Latency;
+        L1Line *ol = l1s_[owner]->lookup(line);
+        GLSC_ASSERT(ol != nullptr && ol->state == L1State::Modified,
+                    "directory owner %d lacks M copy of %llx", owner,
+                    (unsigned long long)line);
+        if (needM) {
+            clearLink(owner, line);
+            l1s_[owner]->invalidate(line);
+            stats_.invalidationsSent++;
+        } else {
+            ol->state = L1State::Shared; // reservation survives a
+                                         // downgrade; the line stays
+            dir->addSharer(owner);
+        }
+        dir->ownedModified = false;
+        dir->owner = -1;
+        dir->dirty = true;
+        stats_.writebacks++;
+    }
+
+    // Invalidate all other sharers on a write request.
+    if (needM) {
+        bool any = false;
+        for (int s = 0; s < cfg_.cores; ++s) {
+            if (s != c && dir->hasSharer(s)) {
+                clearLink(s, line);
+                l1s_[s]->invalidate(line);
+                stats_.invalidationsSent++;
+                any = true;
+            }
+        }
+        dir->sharers = 0;
+        if (any)
+            lat += 2 * cfg_.nocHopLatency; // overlapped inval round trip
+    }
+
+    // Install or upgrade in the requesting L1.
+    if (l != nullptr && l->valid()) {
+        l->state = L1State::Modified; // upgrade in place (S -> M)
+        l1.touch(*l, nextStamp());
+        if (isPrefetch)
+            l->prefetched = true;
+    } else {
+        L1Line &way = l1.victim(line);
+        if (way.valid())
+            evictL1(c, way);
+        l1.fill(way, line,
+                needM ? L1State::Modified : L1State::Shared, nextStamp());
+        way.prefetched = isPrefetch;
+    }
+
+    // Register in the directory.
+    if (needM) {
+        dir->ownedModified = true;
+        dir->owner = c;
+    } else {
+        dir->addSharer(c);
+    }
+
+    lat += noc_.hopLatency(c, bank); // reply traversal
+    mshr_[c][line] = now + lat;
+    return lat;
+}
+
+ScalarResult
+MemorySystem::access(CoreId c, ThreadId t, Addr a, int size, MemOpType type,
+                     std::uint64_t wdata)
+{
+    Addr line = lineAddr(a);
+    GLSC_ASSERT(lineAddr(a + size - 1) == line,
+                "scalar access spans lines @%llx size %d",
+                (unsigned long long)a, size);
+    ScalarResult res;
+    switch (type) {
+      case MemOpType::Load:
+        res.latency = lineAccess(c, line, false, false);
+        res.data = mem_.read(a, size);
+        break;
+
+      case MemOpType::LoadLinked: {
+        stats_.llOps++;
+        stats_.l1AtomicAccesses++;
+        res.latency = lineAccess(c, line, false, false);
+        res.data = mem_.read(a, size);
+        linkLine(c, t, line);
+        break;
+      }
+
+      case MemOpType::Store: {
+        res.latency = lineAccess(c, line, true, false);
+        mem_.write(a, wdata, size);
+        clearLink(c, line); // intervening write kills any reservation
+        break;
+      }
+
+      case MemOpType::StoreCond: {
+        stats_.scAttempts++;
+        stats_.l1AtomicAccesses++;
+        if (!holdsLink(c, t, line)) {
+            stats_.scFailures++;
+            // The failed probe still uses the port; it resolves in
+            // the tag array, so it counts as a hit.
+            stats_.l1Accesses++;
+            stats_.l1Hits++;
+            res.latency = cfg_.l1Latency;
+            res.scSuccess = false;
+            break;
+        }
+        res.latency = lineAccess(c, line, true, false);
+        mem_.write(a, wdata, size);
+        clearLink(c, line);
+        res.scSuccess = true;
+        break;
+      }
+
+      case MemOpType::Prefetch:
+        stats_.prefetchesIssued++;
+        res.latency = lineAccess(c, line, false, true);
+        break;
+    }
+    return res;
+}
+
+LineOpResult
+MemorySystem::gatherLine(CoreId c, ThreadId t,
+                         const std::vector<GsuLane> &lanes, int size,
+                         bool linked)
+{
+    GLSC_ASSERT(!lanes.empty(), "empty gather line request");
+    Addr line = lineAddr(lanes.front().addr);
+    for (const auto &ln : lanes) {
+        GLSC_ASSERT(lineAddr(ln.addr) == line,
+                    "gatherLine lanes span lines");
+    }
+
+    LineOpResult res;
+    if (linked) {
+        stats_.l1AtomicAccesses++;
+        L1Line *l = l1s_[c]->lookup(line);
+        if (cfg_.glsc.failIfLinkedByOther && linkedByOther(c, t, line)) {
+            stats_.l1Accesses++;
+            stats_.l1Hits++; // tag probe only
+            res.latency = cfg_.l1Latency;
+            res.linked = false;
+            return res;
+        }
+        if (cfg_.glsc.failOnMiss && (l == nullptr || !l->valid())) {
+            // Fail fast but start the fill so a retry will succeed.
+            stats_.prefetchesIssued++;
+            lineAccess(c, line, false, true);
+            stats_.l1Accesses++;
+            stats_.l1Hits++; // tag probe only
+            res.latency = cfg_.l1Latency;
+            res.linked = false;
+            return res;
+        }
+    }
+
+    res.latency = lineAccess(c, line, false, false);
+    for (const auto &ln : lanes)
+        res.data[ln.lane] = mem_.read(ln.addr, size);
+    if (linked) {
+        linkLine(c, t, line); // steals any other thread's reservation
+        res.linked = true;
+    }
+    return res;
+}
+
+LineOpResult
+MemorySystem::scatterLine(CoreId c, ThreadId t,
+                          const std::vector<GsuLane> &lanes, int size,
+                          bool conditional)
+{
+    GLSC_ASSERT(!lanes.empty(), "empty scatter line request");
+    Addr line = lineAddr(lanes.front().addr);
+    for (const auto &ln : lanes) {
+        GLSC_ASSERT(lineAddr(ln.addr) == line,
+                    "scatterLine lanes span lines");
+    }
+
+    LineOpResult res;
+    if (conditional) {
+        stats_.l1AtomicAccesses++;
+        if (!holdsLink(c, t, line)) {
+            // Reservation lost: the probe costs an L1 access, the
+            // stores are discarded (section 3.4).
+            stats_.l1Accesses++;
+            stats_.l1Hits++; // tag probe only
+            res.latency = cfg_.l1Latency;
+            res.scondOk = false;
+            return res;
+        }
+    }
+
+    res.latency = lineAccess(c, line, true, false);
+    for (const auto &ln : lanes)
+        mem_.write(ln.addr, ln.wdata, size);
+    clearLink(c, line);
+    res.scondOk = true;
+    return res;
+}
+
+VectorResult
+MemorySystem::vload(CoreId c, Addr a, int width, int elemSize)
+{
+    VectorResult res;
+    Addr first = lineAddr(a);
+    Addr last = lineAddr(a + static_cast<Addr>(width) * elemSize - 1);
+    for (Addr line = first; line <= last; line += kLineBytes) {
+        Tick lat = lineAccess(c, line, false, false);
+        res.latency = std::max(res.latency, lat);
+        res.lineAccesses++;
+    }
+    // A second line access consumes another port cycle.
+    res.latency += static_cast<Tick>(res.lineAccesses - 1);
+    for (int i = 0; i < width; ++i)
+        res.data[i] = mem_.read(a + static_cast<Addr>(i) * elemSize,
+                                elemSize);
+    return res;
+}
+
+VectorResult
+MemorySystem::vstore(CoreId c, Addr a, const VecReg &v, Mask mask,
+                     int width, int elemSize)
+{
+    VectorResult res;
+    Addr first = lineAddr(a);
+    Addr last = lineAddr(a + static_cast<Addr>(width) * elemSize - 1);
+    for (Addr line = first; line <= last; line += kLineBytes) {
+        Tick lat = lineAccess(c, line, true, false);
+        res.latency = std::max(res.latency, lat);
+        res.lineAccesses++;
+        clearLink(c, line);
+    }
+    res.latency += static_cast<Tick>(res.lineAccesses - 1);
+    for (int i = 0; i < width; ++i) {
+        if (mask.test(i))
+            mem_.write(a + static_cast<Addr>(i) * elemSize, v[i],
+                       elemSize);
+    }
+    return res;
+}
+
+bool
+MemorySystem::checkInclusion() const
+{
+    for (int c = 0; c < cfg_.cores; ++c) {
+        for (const auto &l : l1s_[c]->lines()) {
+            if (l.valid() && l2_.lookup(l.tag) == nullptr)
+                return false;
+        }
+    }
+    return true;
+}
+
+bool
+MemorySystem::checkDirectory() const
+{
+    for (const auto &d : l2_.lines()) {
+        if (!d.valid)
+            continue;
+        for (int c = 0; c < cfg_.cores; ++c) {
+            const L1Line *l = l1s_[c]->lookup(d.tag);
+            bool presentM = l != nullptr && l->state == L1State::Modified;
+            bool presentS = l != nullptr && l->state == L1State::Shared;
+            bool dirM = d.ownedModified && d.owner == c;
+            bool dirS = d.hasSharer(c);
+            if (presentM != dirM)
+                return false;
+            if (presentS && !dirS)
+                return false; // sharer list may over-approximate only
+        }
+        if (d.ownedModified && d.sharers != 0)
+            return false;
+    }
+    return true;
+}
+
+} // namespace glsc

@@ -1,0 +1,208 @@
+/**
+ * @file
+ * MemorySystem: directory-MSI coherence controller tying together the
+ * private L1s, the banked shared L2, the on-die interconnect and the
+ * backing memory.
+ *
+ * Timing model: every request is accepted at the L1 port at the
+ * current tick; the full transaction latency (L1, NoC hops, bank
+ * queueing, L2, memory, remote-owner fetch, invalidations) is computed
+ * up front and the requester completes that many cycles later.  State
+ * changes -- including GLSC-entry invalidation on intervening writes --
+ * are applied at the acceptance tick, which is the transaction's
+ * serialization point.  This avoids transient protocol states while
+ * preserving the effects the paper measures: miss overlap, port and
+ * bank contention, and reservation loss under contention (DESIGN.md
+ * section 2 documents this substitution).
+ *
+ * GLSC semantics implemented here (paper sections 3.1-3.3):
+ *  - a gather-linked line request links the line for (core, thread);
+ *  - any store (scalar store, scatter, successful sc/scatter-cond)
+ *    clears the line's GLSC entry, as does eviction or invalidation;
+ *  - a scatter-conditional line request succeeds iff the entry is
+ *    still valid and the thread id matches;
+ *  - configurable gather-link failure policies (section 3.2).
+ */
+
+#ifndef GLSC_MEM_MEMSYS_H_
+#define GLSC_MEM_MEMSYS_H_
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "config/config.h"
+#include "core/glsc_buffer.h"
+#include "isa/vector.h"
+#include "mem/cache.h"
+#include "mem/l2.h"
+#include "mem/memory.h"
+#include "noc/interconnect.h"
+#include "sim/event_queue.h"
+#include "stats/stats.h"
+
+namespace glsc {
+
+/** Scalar request kinds accepted at the L1 port. */
+enum class MemOpType
+{
+    Load,
+    Store,
+    LoadLinked,
+    StoreCond,
+    Prefetch,
+};
+
+/** Result of a scalar access. */
+struct ScalarResult
+{
+    Tick latency = 0;
+    std::uint64_t data = 0;
+    bool scSuccess = false;
+};
+
+/** One SIMD lane's share of a GSU line request. */
+struct GsuLane
+{
+    int lane = 0;
+    Addr addr = 0;
+    std::uint64_t wdata = 0;
+};
+
+/** Result of a GSU line-granularity request. */
+struct LineOpResult
+{
+    Tick latency = 0;
+    bool linked = false;  //!< gather-linked: reservation obtained
+    bool scondOk = false; //!< scatter-cond: reservation was still held
+    std::array<std::uint64_t, kMaxSimdWidth> data{};
+};
+
+/** Result of a contiguous vector load/store. */
+struct VectorResult
+{
+    Tick latency = 0;
+    VecReg data;
+    int lineAccesses = 0;
+};
+
+class MemorySystem
+{
+  public:
+    MemorySystem(const SystemConfig &cfg, EventQueue &events, Memory &mem,
+                 SystemStats &stats);
+
+    /** Scalar access accepted at core @p c's L1 port this tick. */
+    ScalarResult access(CoreId c, ThreadId t, Addr a, int size,
+                        MemOpType type, std::uint64_t wdata = 0);
+
+    /**
+     * Gather (optionally linked) of all lanes on one cache line.
+     * All lane addresses must fall on the same line.
+     */
+    LineOpResult gatherLine(CoreId c, ThreadId t,
+                            const std::vector<GsuLane> &lanes, int size,
+                            bool linked);
+
+    /**
+     * Scatter (optionally conditional) of all lanes on one cache line.
+     * The caller has already removed aliased losers from @p lanes.
+     */
+    LineOpResult scatterLine(CoreId c, ThreadId t,
+                             const std::vector<GsuLane> &lanes, int size,
+                             bool conditional);
+
+    /** Contiguous vector load of @p width elements at @p a. */
+    VectorResult vload(CoreId c, Addr a, int width, int elemSize);
+
+    /** Contiguous vector store under @p mask. */
+    VectorResult vstore(CoreId c, Addr a, const VecReg &v, Mask mask,
+                        int width, int elemSize);
+
+    // --- Introspection for tests and debug. ---
+    const L1Cache &l1(CoreId c) const { return *l1s_[c]; }
+    L1Cache &l1(CoreId c) { return *l1s_[c]; }
+    const L2Cache &l2() const { return l2_; }
+
+    /** Inclusion: every valid L1 line has a valid L2 line. */
+    bool checkInclusion() const;
+    /** Directory: sharers/owner agree with actual L1 states. */
+    bool checkDirectory() const;
+
+    const GlscPolicy &policy() const { return cfg_.glsc; }
+
+    /** Reservation-buffer occupancy (buffer mode only; tests). */
+    int reservationCount(CoreId c) const
+    {
+        return resBuffers_.empty() ? -1 : resBuffers_[c]->size();
+    }
+
+    /**
+     * Marks [lo, hi) as faulting (unmapped page): gather-linked lanes
+     * touching it are masked out instead of taking an exception --
+     * the paper's graceful partial-failure handling (section 3.2).
+     */
+    void
+    markFaulting(Addr lo, Addr hi)
+    {
+        faultRanges_.emplace_back(lo, hi);
+    }
+
+    bool
+    isFaulting(Addr a) const
+    {
+        for (const auto &[lo, hi] : faultRanges_) {
+            if (a >= lo && a < hi)
+                return true;
+        }
+        return false;
+    }
+
+  private:
+    // ----- GLSC reservation storage (tag bits or buffer, §3.3). -----
+    /** Records a reservation on @p line (line must be resident). */
+    void linkLine(CoreId c, ThreadId t, Addr line);
+    /** True iff @p t holds a live reservation on the resident line. */
+    bool holdsLink(CoreId c, ThreadId t, Addr line);
+    /** True iff some other thread holds the line's reservation. */
+    bool linkedByOther(CoreId c, ThreadId t, Addr line);
+    /** Drops any reservation on @p line (stores, evictions, invals). */
+    void clearLink(CoreId c, Addr line);
+    /**
+     * Core of the protocol: ensures @p line is present in core @p c's
+     * L1 with at least Shared (or Modified when @p needM) state and
+     * returns the access latency.  Applies all state transitions
+     * (victim eviction, remote invalidation/downgrade, directory
+     * updates) immediately.
+     */
+    Tick lineAccess(CoreId c, Addr line, bool needM, bool isPrefetch);
+
+    /** Evicts an L1 victim: writeback + directory update. */
+    void evictL1(CoreId c, L1Line &way);
+
+    /** Evicts an L2 victim: recall every L1 copy (inclusion). */
+    void evictL2(L2Line &way);
+
+    /** Residual fill-in-flight delay for (core, line); 0 if none. */
+    Tick mshrResidual(CoreId c, Addr line);
+
+    std::uint64_t nextStamp() { return ++stamp_; }
+
+    SystemConfig cfg_;
+    EventQueue &events_;
+    Memory &mem_;
+    SystemStats &stats_;
+    Interconnect noc_;
+    std::vector<std::unique_ptr<L1Cache>> l1s_;
+    std::vector<std::unique_ptr<GlscBuffer>> resBuffers_;
+    L2Cache l2_;
+    std::vector<std::unordered_map<Addr, Tick>> mshr_;
+    std::vector<std::pair<Addr, Addr>> faultRanges_;
+    std::uint64_t stamp_ = 0;
+};
+
+} // namespace glsc
+
+#endif // GLSC_MEM_MEMSYS_H_

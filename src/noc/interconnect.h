@@ -1,0 +1,95 @@
+/**
+ * @file
+ * On-die interconnect model.
+ *
+ * Cores and L2 bank slices sit on a shared on-die network (paper Fig.
+ * 1).  We model it at the transaction level: a message from a core to
+ * a bank pays a distance-dependent hop latency, and each bank serializes
+ * the requests it receives (bankOccupancy cycles apiece).  This captures
+ * the two effects the evaluation depends on -- non-uniform L2 latency
+ * and bank contention -- without simulating individual flits.
+ */
+
+#ifndef GLSC_NOC_INTERCONNECT_H_
+#define GLSC_NOC_INTERCONNECT_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "config/config.h"
+#include "sim/log.h"
+#include "sim/types.h"
+
+namespace glsc {
+
+/** Transaction-level on-die network with per-bank serialization. */
+class Interconnect
+{
+  public:
+    Interconnect(const SystemConfig &cfg)
+        : hopLatency_(cfg.nocHopLatency), bankOccupancy_(cfg.bankOccupancy),
+          cores_(cfg.cores), banks_(cfg.l2Banks),
+          bankFree_(cfg.l2Banks, 0)
+    {
+    }
+
+    /**
+     * One-way latency from @p core to @p bank (and back is symmetric).
+     * Cores and banks are laid out on a logical ring; distance is the
+     * shortest hop count, scaled by the per-hop latency.  The minimum
+     * L2 latency in the config already covers the average traversal,
+     * so this adds only the distance *variation* around that mean.
+     */
+    Tick
+    hopLatency(CoreId core, int bank) const
+    {
+        int corePos = (core * banks_) / std::max(cores_, 1);
+        int d = std::abs(corePos - bank);
+        d = std::min(d, banks_ - d);
+        // Scale distance into [0, hopLatency_] extra cycles.
+        return (static_cast<Tick>(d) * hopLatency_) /
+               std::max(banks_ / 2, 1);
+    }
+
+    /** One-way latency between two cores (invalidations, forwards). */
+    Tick
+    coreToCore(CoreId a, CoreId b) const
+    {
+        return a == b ? 0 : hopLatency_;
+    }
+
+    /**
+     * Reserves the bank for one request arriving at @p arrival;
+     * returns the tick at which the bank actually begins service.
+     */
+    Tick
+    reserveBank(int bank, Tick arrival)
+    {
+        GLSC_ASSERT(bank >= 0 && bank < banks_, "bad bank %d", bank);
+        Tick start = std::max(arrival, bankFree_[bank]);
+        bankFree_[bank] = start + bankOccupancy_;
+        return start;
+    }
+
+    /** Home bank of a line address (low-order line interleaving). */
+    int
+    bankOf(Addr line) const
+    {
+        return static_cast<int>((line >> kLineShift) &
+                                static_cast<Addr>(banks_ - 1));
+    }
+
+    int banks() const { return banks_; }
+
+  private:
+    Tick hopLatency_;
+    Tick bankOccupancy_;
+    int cores_;
+    int banks_;
+    std::vector<Tick> bankFree_; //!< next tick each bank is available
+};
+
+} // namespace glsc
+
+#endif // GLSC_NOC_INTERCONNECT_H_

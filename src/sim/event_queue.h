@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Discrete-event queue for the CMP simulator.
+ *
+ * The queue orders callbacks by (tick, insertion sequence); events at
+ * the same tick run in FIFO order, which keeps simulations fully
+ * deterministic.  The core loop interleaves per-cycle ticking of the
+ * processor components with draining due events (memory completions).
+ */
+
+#ifndef GLSC_SIM_EVENT_QUEUE_H_
+#define GLSC_SIM_EVENT_QUEUE_H_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "sim/log.h"
+#include "sim/types.h"
+
+namespace glsc {
+
+/**
+ * A priority queue of (tick, callback) pairs with FIFO ordering within
+ * a tick.  The owner advances time explicitly via runDue().
+ */
+class EventQueue
+{
+  public:
+    /** Schedules @p fn to run at absolute tick @p when (>= now). */
+    void
+    schedule(Tick when, std::function<void()> fn)
+    {
+        GLSC_ASSERT(when >= now_, "scheduling in the past: %llu < %llu",
+                    (unsigned long long)when, (unsigned long long)now_);
+        heap_.push(Entry{when, seq_++, std::move(fn)});
+    }
+
+    /** Schedules @p fn to run @p delta ticks from now. */
+    void
+    scheduleIn(Tick delta, std::function<void()> fn)
+    {
+        schedule(now_ + delta, std::move(fn));
+    }
+
+    /** Current simulated time. */
+    Tick now() const { return now_; }
+
+    /** Explicitly sets time; only the simulation driver should do this. */
+    void
+    setNow(Tick t)
+    {
+        GLSC_ASSERT(t >= now_, "time must be monotonic");
+        now_ = t;
+    }
+
+    /** Runs every event scheduled at or before the current tick. */
+    void
+    runDue()
+    {
+        while (!heap_.empty() && heap_.top().when <= now_) {
+            // Move the callback out before popping so it may schedule
+            // new events (including at the current tick).
+            Entry e = std::move(const_cast<Entry &>(heap_.top()));
+            heap_.pop();
+            e.fn();
+        }
+    }
+
+    /** True when no events are pending. */
+    bool empty() const { return heap_.empty(); }
+
+    /** Tick of the earliest pending event, or kTickMax when empty. */
+    Tick
+    nextEventTick() const
+    {
+        return heap_.empty() ? kTickMax : heap_.top().when;
+    }
+
+    /** Number of pending events. */
+    std::size_t size() const { return heap_.size(); }
+
+  private:
+    struct Entry
+    {
+        Tick when;
+        std::uint64_t seq;
+        std::function<void()> fn;
+    };
+
+    struct Later
+    {
+        bool
+        operator()(const Entry &a, const Entry &b) const
+        {
+            if (a.when != b.when)
+                return a.when > b.when;
+            return a.seq > b.seq;
+        }
+    };
+
+    std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+    Tick now_ = 0;
+    std::uint64_t seq_ = 0;
+};
+
+} // namespace glsc
+
+#endif // GLSC_SIM_EVENT_QUEUE_H_

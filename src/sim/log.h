@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Error and status reporting, in the spirit of gem5's logging.hh.
+ *
+ * panic() is for internal simulator invariant violations (a bug in this
+ * code base); fatal() is for user configuration errors.  Both print a
+ * formatted message; panic() aborts, fatal() exits with status 1.
+ */
+
+#ifndef GLSC_SIM_LOG_H_
+#define GLSC_SIM_LOG_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace glsc {
+
+[[noreturn]] void panicImpl(const char *file, int line, const std::string &msg);
+[[noreturn]] void fatalImpl(const char *file, int line, const std::string &msg);
+void warnImpl(const char *file, int line, const std::string &msg);
+
+/** printf-style formatting into a std::string. */
+std::string strprintf(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+} // namespace glsc
+
+#define GLSC_PANIC(...) \
+    ::glsc::panicImpl(__FILE__, __LINE__, ::glsc::strprintf(__VA_ARGS__))
+
+#define GLSC_FATAL(...) \
+    ::glsc::fatalImpl(__FILE__, __LINE__, ::glsc::strprintf(__VA_ARGS__))
+
+#define GLSC_WARN(...) \
+    ::glsc::warnImpl(__FILE__, __LINE__, ::glsc::strprintf(__VA_ARGS__))
+
+/** Invariant check that survives NDEBUG builds. */
+#define GLSC_ASSERT(cond, ...)                                           \
+    do {                                                                 \
+        if (!(cond)) {                                                   \
+            GLSC_PANIC("assertion failed: %s -- %s", #cond,              \
+                       ::glsc::strprintf(__VA_ARGS__).c_str());          \
+        }                                                                \
+    } while (0)
+
+#endif // GLSC_SIM_LOG_H_

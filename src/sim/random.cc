@@ -1,0 +1,32 @@
+#include "sim/random.h"
+
+#include <cmath>
+#include <map>
+#include <utility>
+
+namespace glsc {
+
+double
+Rng::pow2(double base, double e)
+{
+    return std::pow(base, e);
+}
+
+double
+Rng::zeta(std::uint64_t n, double theta)
+{
+    // Cache the (expensive) generalized harmonic numbers; the set of
+    // (n, theta) pairs used by the workload generators is tiny.
+    static std::map<std::pair<std::uint64_t, double>, double> cache;
+    auto key = std::make_pair(n, theta);
+    auto it = cache.find(key);
+    if (it != cache.end())
+        return it->second;
+    double sum = 0.0;
+    for (std::uint64_t i = 1; i <= n; ++i)
+        sum += 1.0 / std::pow(static_cast<double>(i), theta);
+    cache.emplace(key, sum);
+    return sum;
+}
+
+} // namespace glsc

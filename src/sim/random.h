@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation for workload synthesis.
+ *
+ * All stochastic inputs in this repository come from this generator so
+ * that every experiment is reproducible bit-for-bit from its seed.  The
+ * implementation is xoshiro256** (public domain, Blackman & Vigna).
+ */
+
+#ifndef GLSC_SIM_RANDOM_H_
+#define GLSC_SIM_RANDOM_H_
+
+#include <cstdint>
+
+namespace glsc {
+
+/** Deterministic, seedable 64-bit PRNG (xoshiro256**). */
+class Rng
+{
+  public:
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull) { reseed(seed); }
+
+    /** Re-initializes state from @p seed via splitmix64. */
+    void
+    reseed(std::uint64_t seed)
+    {
+        for (auto &word : s_) {
+            seed += 0x9e3779b97f4a7c15ull;
+            std::uint64_t z = seed;
+            z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+            z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+            word = z ^ (z >> 31);
+        }
+    }
+
+    /** Next raw 64-bit value. */
+    std::uint64_t
+    next()
+    {
+        const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+        const std::uint64_t t = s_[1] << 17;
+        s_[2] ^= s_[0];
+        s_[3] ^= s_[1];
+        s_[1] ^= s_[2];
+        s_[0] ^= s_[3];
+        s_[2] ^= t;
+        s_[3] = rotl(s_[3], 45);
+        return result;
+    }
+
+    /** Uniform integer in [0, bound); bound must be nonzero. */
+    std::uint64_t
+    below(std::uint64_t bound)
+    {
+        // Rejection-free modulo is fine for workload synthesis; the
+        // bias is negligible for bound << 2^64.
+        return next() % bound;
+    }
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    std::int64_t
+    range(std::int64_t lo, std::int64_t hi)
+    {
+        return lo + static_cast<std::int64_t>(
+                        below(static_cast<std::uint64_t>(hi - lo + 1)));
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    uniform()
+    {
+        return static_cast<double>(next() >> 11) * 0x1.0p-53;
+    }
+
+    /** Bernoulli draw with probability @p p. */
+    bool chance(double p) { return uniform() < p; }
+
+    /**
+     * Zipf-like skewed draw over [0, n): rank r is chosen with weight
+     * 1/(r+1)^theta using inverse-CDF over a precomputable scan-free
+     * approximation (rejection by ratio).  Used to synthesize hot-bin
+     * distributions (histogram images, crowded grid cells).
+     */
+    std::uint64_t
+    zipf(std::uint64_t n, double theta)
+    {
+        // Approximate inverse-CDF for the Zipf distribution
+        // (Gray et al., "Quickly generating billion-record synthetic
+        // databases").  Accurate enough for workload skew control.
+        if (theta <= 0.0)
+            return below(n);
+        double alpha = 1.0 / (1.0 - theta);
+        double zetan = zeta(n, theta);
+        double eta = (1.0 - pow2(2.0 / static_cast<double>(n), 1.0 - theta)) /
+                     (1.0 - zeta(2, theta) / zetan);
+        double u = uniform();
+        double uz = u * zetan;
+        if (uz < 1.0)
+            return 0;
+        if (uz < 1.0 + pow2(0.5, theta))
+            return 1;
+        auto v = static_cast<std::uint64_t>(
+            static_cast<double>(n) * pow2(eta * u - eta + 1.0, alpha));
+        return v >= n ? n - 1 : v;
+    }
+
+  private:
+    static std::uint64_t
+    rotl(std::uint64_t x, int k)
+    {
+        return (x << k) | (x >> (64 - k));
+    }
+
+    static double pow2(double base, double e);
+    static double zeta(std::uint64_t n, double theta);
+
+    std::uint64_t s_[4];
+};
+
+} // namespace glsc
+
+#endif // GLSC_SIM_RANDOM_H_

@@ -1,0 +1,124 @@
+#include "sim/system.h"
+
+#include "sim/log.h"
+
+namespace glsc {
+
+System::System(const SystemConfig &cfg) : cfg_(cfg)
+{
+    cfg_.validate();
+    stats_.threads.resize(cfg_.totalThreads());
+    msys_ = std::make_unique<MemorySystem>(cfg_, events_, mem_, stats_);
+    cores_.reserve(cfg_.cores);
+    for (int c = 0; c < cfg_.cores; ++c) {
+        cores_.push_back(
+            std::make_unique<Core>(c, cfg_, events_, *msys_, stats_));
+    }
+}
+
+SimThread &
+System::thread(int gtid)
+{
+    GLSC_ASSERT(gtid >= 0 && gtid < cfg_.totalThreads(),
+                "bad global thread id %d", gtid);
+    return cores_[gtid / cfg_.threadsPerCore]->thread(
+        gtid % cfg_.threadsPerCore);
+}
+
+void
+System::spawn(int gtid, const KernelFn &fn)
+{
+    SimThread &t = thread(gtid);
+    t.bind(fn(t));
+    spawned_++;
+}
+
+void
+System::spawnAll(const KernelFn &fn)
+{
+    for (int g = 0; g < cfg_.totalThreads(); ++g)
+        spawn(g, fn);
+}
+
+Barrier &
+System::makeBarrier(int participants, Tick latency)
+{
+    barriers_.push_back(
+        std::make_unique<Barrier>(events_, participants, latency));
+    return *barriers_.back();
+}
+
+bool
+System::allDone() const
+{
+    for (const auto &c : cores_) {
+        if (!c->allDone())
+            return false;
+    }
+    return true;
+}
+
+SystemStats
+System::run(Tick maxCycles)
+{
+    GLSC_ASSERT(spawned_ > 0, "run() with no spawned kernels");
+    for (int g = 0; g < cfg_.totalThreads(); ++g)
+        thread(g).start();
+
+    auto quiescent = [this] {
+        // Kernel completion is not the end of simulated work: write
+        // buffers may still hold stores (e.g. a final lock release).
+        for (const auto &c : cores_) {
+            if (c->busy())
+                return false;
+        }
+        return events_.empty();
+    };
+
+    while (true) {
+        events_.runDue();
+        if (allDone() && quiescent())
+            break;
+
+        bool busy = false;
+        for (auto &c : cores_) {
+            c->tick();
+        }
+        for (auto &c : cores_) {
+            if (c->busy()) {
+                busy = true;
+                break;
+            }
+        }
+
+        Tick next = events_.now() + 1;
+        if (!busy) {
+            // Nothing needs per-cycle ticking: fast-forward to the
+            // next event, crediting stall counters for the gap.
+            Tick ev = events_.nextEventTick();
+            if (ev == kTickMax) {
+                if (allDone())
+                    break;
+                GLSC_PANIC("deadlock: no pending events and no core "
+                           "busy at tick %llu",
+                           (unsigned long long)events_.now());
+            }
+            if (ev > next) {
+                Tick skip = ev - next;
+                for (auto &c : cores_)
+                    c->accountSkip(skip);
+                next = ev;
+            }
+        }
+        if (next > maxCycles) {
+            GLSC_PANIC("simulation exceeded %llu cycles (livelock?)",
+                       (unsigned long long)maxCycles);
+        }
+        events_.setNow(next);
+    }
+
+    stats_.cycles = events_.now();
+    return stats_;
+}
+
+} // namespace glsc

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * System: top-level owner wiring the CMP together and driving the
+ * simulation loop.
+ *
+ * Usage pattern (see examples/quickstart.cpp):
+ *
+ *   SystemConfig cfg = SystemConfig::make(4, 4, 4);
+ *   System sys(cfg);
+ *   ... lay out data via sys.layout()/sys.memory() ...
+ *   sys.spawnAll([&](SimThread &t) { return myKernel(t, ...); });
+ *   SystemStats stats = sys.run();
+ */
+
+#ifndef GLSC_SIM_SYSTEM_H_
+#define GLSC_SIM_SYSTEM_H_
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "config/config.h"
+#include "cpu/barrier.h"
+#include "cpu/core.h"
+#include "cpu/task.h"
+#include "cpu/thread.h"
+#include "mem/memory.h"
+#include "mem/memsys.h"
+#include "sim/event_queue.h"
+#include "stats/stats.h"
+
+namespace glsc {
+
+class System
+{
+  public:
+    /** Kernel factory: invoked once per spawned software thread. */
+    using KernelFn = std::function<Task<void>(SimThread &)>;
+
+    explicit System(const SystemConfig &cfg);
+
+    const SystemConfig &config() const { return cfg_; }
+    Memory &memory() { return mem_; }
+    MemLayout &layout() { return layout_; }
+    EventQueue &events() { return events_; }
+    MemorySystem &memsys() { return *msys_; }
+    SystemStats &stats() { return stats_; }
+
+    /** The hardware thread context with global id @p gtid. */
+    SimThread &thread(int gtid);
+
+    /** Binds a kernel to hardware thread @p gtid. */
+    void spawn(int gtid, const KernelFn &fn);
+
+    /** Binds a kernel to every hardware thread context. */
+    void spawnAll(const KernelFn &fn);
+
+    /** Creates a barrier over all spawned threads (owned by System). */
+    Barrier &makeBarrier(int participants, Tick latency = 16);
+
+    /**
+     * Runs the simulation until every spawned kernel completes;
+     * returns the collected statistics.  Panics at @p maxCycles as a
+     * deadlock backstop.
+     */
+    SystemStats run(Tick maxCycles = 4'000'000'000ull);
+
+  private:
+    bool allDone() const;
+
+    SystemConfig cfg_;
+    EventQueue events_;
+    Memory mem_;
+    MemLayout layout_;
+    SystemStats stats_;
+    std::unique_ptr<MemorySystem> msys_;
+    std::vector<std::unique_ptr<Core>> cores_;
+    std::vector<std::unique_ptr<Barrier>> barriers_;
+    int spawned_ = 0;
+};
+
+} // namespace glsc
+
+#endif // GLSC_SIM_SYSTEM_H_

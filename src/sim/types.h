@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Fundamental simulator-wide types.
+ */
+
+#ifndef GLSC_SIM_TYPES_H_
+#define GLSC_SIM_TYPES_H_
+
+#include <cstdint>
+
+namespace glsc {
+
+/** Simulated time, in core clock cycles. */
+using Tick = std::uint64_t;
+
+/** A simulated physical byte address. */
+using Addr = std::uint64_t;
+
+/** Identifies a core within the CMP. */
+using CoreId = int;
+
+/** Identifies an SMT hardware thread context within one core. */
+using ThreadId = int;
+
+/** Globally unique hardware thread id: core * threadsPerCore + tid. */
+using GlobalThreadId = int;
+
+/** A value guaranteed to compare greater than any real tick. */
+inline constexpr Tick kTickMax = ~Tick{0};
+
+/** Cache line geometry used throughout the memory system. */
+inline constexpr int kLineBytes = 64;
+inline constexpr int kLineShift = 6;
+
+/** Largest SIMD width the register types can hold (paper sweeps 1-16). */
+inline constexpr int kMaxSimdWidth = 16;
+
+/** Returns the line-aligned base address containing @p a. */
+constexpr Addr
+lineAddr(Addr a)
+{
+    return a & ~Addr{kLineBytes - 1};
+}
+
+/** Returns the byte offset of @p a within its cache line. */
+constexpr int
+lineOffset(Addr a)
+{
+    return static_cast<int>(a & Addr{kLineBytes - 1});
+}
+
+} // namespace glsc
+
+#endif // GLSC_SIM_TYPES_H_

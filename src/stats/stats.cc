@@ -1,0 +1,96 @@
+#include "stats/stats.h"
+
+#include "sim/log.h"
+
+namespace glsc {
+
+std::uint64_t
+SystemStats::totalInstructions() const
+{
+    std::uint64_t sum = 0;
+    for (const auto &t : threads)
+        sum += t.instructions;
+    return sum;
+}
+
+std::uint64_t
+SystemStats::totalMemStallCycles() const
+{
+    std::uint64_t sum = 0;
+    for (const auto &t : threads)
+        sum += t.memStallCycles;
+    return sum;
+}
+
+std::uint64_t
+SystemStats::totalSyncCycles() const
+{
+    std::uint64_t sum = 0;
+    for (const auto &t : threads)
+        sum += t.syncCycles;
+    return sum;
+}
+
+std::uint64_t
+SystemStats::glscLaneFailures() const
+{
+    return glscLaneFailAlias + glscLaneFailLost + glscLaneFailPolicy;
+}
+
+double
+SystemStats::glscFailureRate() const
+{
+    if (glscLaneAttempts == 0)
+        return 0.0;
+    return static_cast<double>(glscLaneFailures()) /
+           static_cast<double>(glscLaneAttempts);
+}
+
+double
+SystemStats::scFailureRate() const
+{
+    if (scAttempts == 0)
+        return 0.0;
+    return static_cast<double>(scFailures) / static_cast<double>(scAttempts);
+}
+
+std::string
+SystemStats::toString() const
+{
+    std::string out;
+    out += strprintf("cycles: %llu\n", (unsigned long long)cycles);
+    out += strprintf("instructions: %llu\n",
+                     (unsigned long long)totalInstructions());
+    out += strprintf("mem stall cycles: %llu\n",
+                     (unsigned long long)totalMemStallCycles());
+    out += strprintf("sync cycles: %llu\n",
+                     (unsigned long long)totalSyncCycles());
+    out += strprintf("L1 accesses: %llu (hits %llu, misses %llu, "
+                     "atomic %llu, combined-away %llu)\n",
+                     (unsigned long long)l1Accesses,
+                     (unsigned long long)l1Hits,
+                     (unsigned long long)l1Misses,
+                     (unsigned long long)l1AtomicAccesses,
+                     (unsigned long long)l1AccessesCombined);
+    out += strprintf("L2 accesses: %llu (misses %llu), invals %llu, "
+                     "writebacks %llu\n",
+                     (unsigned long long)l2Accesses,
+                     (unsigned long long)l2Misses,
+                     (unsigned long long)invalidationsSent,
+                     (unsigned long long)writebacks);
+    out += strprintf("ll: %llu  sc: %llu (fail %llu)\n",
+                     (unsigned long long)llOps,
+                     (unsigned long long)scAttempts,
+                     (unsigned long long)scFailures);
+    out += strprintf("glsc: gl %llu scond %llu lanes %llu "
+                     "(alias %llu lost %llu policy %llu)\n",
+                     (unsigned long long)gatherLinkInstrs,
+                     (unsigned long long)scatterCondInstrs,
+                     (unsigned long long)glscLaneAttempts,
+                     (unsigned long long)glscLaneFailAlias,
+                     (unsigned long long)glscLaneFailLost,
+                     (unsigned long long)glscLaneFailPolicy);
+    return out;
+}
+
+} // namespace glsc

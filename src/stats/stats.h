@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Statistics collected by the CMP simulator.
+ *
+ * Counters are split per hardware thread where the paper reports
+ * per-thread effects (memory-stall cycles, sync time) and aggregated
+ * globally elsewhere.  The bench harnesses combine Base and GLSC run
+ * stats into the paper's derived metrics (Table 4, Figures 5-8).
+ */
+
+#ifndef GLSC_STATS_STATS_H_
+#define GLSC_STATS_STATS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/types.h"
+
+namespace glsc {
+
+/** Why an individual GLSC lane operation failed. */
+enum class LaneFailure
+{
+    Alias,           //!< lost to an aliased lane in the same instruction
+    LostReservation, //!< GLSC entry invalidated by an intervening write
+    Policy,          //!< failed by a configurable gather-link policy
+};
+
+/** Per-hardware-thread statistics. */
+struct ThreadStats
+{
+    std::uint64_t instructions = 0;   //!< dynamic instructions issued
+    std::uint64_t memStallCycles = 0; //!< cycles blocked on a memory op
+    std::uint64_t syncCycles = 0;     //!< cycles inside sync regions
+    Tick doneTick = 0;                //!< tick the thread's kernel finished
+};
+
+/** Whole-system statistics for one simulation run. */
+struct SystemStats
+{
+    std::vector<ThreadStats> threads;
+
+    Tick cycles = 0; //!< total execution time (all threads complete)
+
+    // L1 traffic.
+    std::uint64_t l1Accesses = 0;       //!< demand accesses reaching the L1
+    std::uint64_t l1Hits = 0;
+    std::uint64_t l1Misses = 0;
+    std::uint64_t l1AtomicAccesses = 0; //!< accesses from ll/sc/GLSC ops
+    std::uint64_t l1AccessesCombined = 0; //!< saved by GSU line combining
+    std::uint64_t prefetchesIssued = 0;
+    std::uint64_t prefetchesUseful = 0;
+
+    // L2 / directory traffic.
+    std::uint64_t l2Accesses = 0;
+    std::uint64_t l2Misses = 0;
+    std::uint64_t invalidationsSent = 0;
+    std::uint64_t writebacks = 0;
+
+    // Scalar atomic primitives.
+    std::uint64_t llOps = 0;
+    std::uint64_t scAttempts = 0;
+    std::uint64_t scFailures = 0;
+
+    // GLSC lane-level accounting.
+    std::uint64_t gatherLinkInstrs = 0;
+    std::uint64_t scatterCondInstrs = 0;
+    std::uint64_t glscLaneAttempts = 0; //!< masked-in lanes of vscattercond
+    std::uint64_t glscLaneFailAlias = 0;
+    std::uint64_t glscLaneFailLost = 0;
+    std::uint64_t glscLaneFailPolicy = 0;
+
+    // GSU activity.
+    std::uint64_t gsuInstrs = 0;
+    std::uint64_t gsuCacheRequests = 0;
+    std::uint64_t gsuConflictStallCycles = 0;
+
+    /** Sum of dynamic instructions over all threads. */
+    std::uint64_t totalInstructions() const;
+    /** Sum of memory-stall cycles over all threads. */
+    std::uint64_t totalMemStallCycles() const;
+    /** Sum of sync cycles over all threads. */
+    std::uint64_t totalSyncCycles() const;
+    /** All GLSC lane failures regardless of cause. */
+    std::uint64_t glscLaneFailures() const;
+    /** Lane failure rate over vscattercond attempts (0 when none). */
+    double glscFailureRate() const;
+    /** Scalar sc failure rate (0 when none). */
+    double scFailureRate() const;
+
+    /** Human-readable multi-line dump (debugging aid). */
+    std::string toString() const;
+};
+
+} // namespace glsc
+
+#endif // GLSC_STATS_STATS_H_

@@ -1,0 +1,129 @@
+#include "workloads/sparse.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/log.h"
+
+namespace glsc {
+
+CsrMatrix
+makeRandomCsr(int rows, int cols, double density, std::uint64_t seed,
+              int clusterLen)
+{
+    GLSC_ASSERT(rows > 0 && cols > 0, "bad matrix dims");
+    GLSC_ASSERT(clusterLen >= 1, "clusterLen must be positive");
+    Rng rng(seed);
+    CsrMatrix m;
+    m.rows = rows;
+    m.cols = cols;
+    m.rowPtr.resize(rows + 1, 0);
+
+    std::vector<int> rowCols;
+    // Expected nonzeros per row; clusters of clusterLen each.
+    double perRow = density * cols;
+    double avgLen = (1.0 + clusterLen) / 2.0;
+    int clusters =
+        std::max(1, static_cast<int>(perRow / avgLen + 0.5));
+    for (int r = 0; r < rows; ++r) {
+        m.rowPtr[r] = m.nnz();
+        rowCols.clear();
+        for (int c = 0; c < clusters; ++c) {
+            int len = 1 + static_cast<int>(rng.below(clusterLen));
+            int start = static_cast<int>(rng.below(cols));
+            for (int k = 0; k < len && start + k < cols; ++k)
+                rowCols.push_back(start + k);
+        }
+        std::sort(rowCols.begin(), rowCols.end());
+        rowCols.erase(std::unique(rowCols.begin(), rowCols.end()),
+                      rowCols.end());
+        for (int c : rowCols) {
+            m.colIdx.push_back(c);
+            m.values.push_back(
+                static_cast<float>(rng.uniform() * 2.0 - 1.0));
+        }
+    }
+    m.rowPtr[rows] = m.nnz();
+    return m;
+}
+
+CsrMatrix
+makeLowerTriangular(int n, double density, std::uint64_t seed,
+                    int bandwidth)
+{
+    Rng rng(seed);
+    CsrMatrix m;
+    m.rows = n;
+    m.cols = n;
+    m.rowPtr.resize(n + 1, 0);
+    for (int r = 0; r < n; ++r) {
+        m.rowPtr[r] = m.nnz();
+        int first = bandwidth > 0 ? std::max(0, r - bandwidth) : 0;
+        for (int c = first; c < r; ++c) {
+            if (rng.chance(density)) {
+                m.colIdx.push_back(c);
+                // Keep off-diagonal entries small so the solve is
+                // numerically tame for float verification.
+                m.values.push_back(
+                    static_cast<float>((rng.uniform() - 0.5) * 0.25));
+            }
+        }
+        m.colIdx.push_back(r); // diagonal, unit magnitude
+        m.values.push_back(rng.chance(0.5) ? 1.0f : -1.0f);
+    }
+    m.rowPtr[n] = m.nnz();
+    return m;
+}
+
+std::vector<float>
+transposeMatVec(const CsrMatrix &a, const std::vector<float> &x)
+{
+    GLSC_ASSERT(static_cast<int>(x.size()) == a.rows,
+                "x size mismatch: %zu vs %d rows", x.size(), a.rows);
+    std::vector<float> y(a.cols, 0.0f);
+    for (int r = 0; r < a.rows; ++r) {
+        for (int k = a.rowPtr[r]; k < a.rowPtr[r + 1]; ++k)
+            y[a.colIdx[k]] += a.values[k] * x[r];
+    }
+    return y;
+}
+
+std::vector<float>
+forwardSolve(const CsrMatrix &l, const std::vector<float> &b)
+{
+    GLSC_ASSERT(l.rows == l.cols, "forward solve needs a square matrix");
+    std::vector<float> x(b);
+    for (int i = 0; i < l.rows; ++i) {
+        int dk = l.rowPtr[i + 1] - 1;
+        GLSC_ASSERT(l.colIdx[dk] == i, "row %d missing diagonal", i);
+        float acc = x[i];
+        for (int k = l.rowPtr[i]; k < dk; ++k)
+            acc -= l.values[k] * x[l.colIdx[k]];
+        x[i] = acc / l.values[dk];
+    }
+    return x;
+}
+
+std::vector<std::vector<int>>
+levelSchedule(const CsrMatrix &l)
+{
+    GLSC_ASSERT(l.rows == l.cols, "level schedule needs a square matrix");
+    std::vector<int> level(l.rows, 0);
+    int maxLevel = 0;
+    for (int r = 0; r < l.rows; ++r) {
+        int lv = 0;
+        for (int k = l.rowPtr[r]; k < l.rowPtr[r + 1]; ++k) {
+            int c = l.colIdx[k];
+            if (c < r)
+                lv = std::max(lv, level[c] + 1);
+        }
+        level[r] = lv;
+        maxLevel = std::max(maxLevel, lv);
+    }
+    std::vector<std::vector<int>> levels(maxLevel + 1);
+    for (int r = 0; r < l.rows; ++r)
+        levels[level[r]].push_back(r);
+    return levels;
+}
+
+} // namespace glsc

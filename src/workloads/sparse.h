@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Synthetic sparse-matrix generation (CSR) for the TMS and FS kernels.
+ *
+ * The paper's matrices come from proprietary solver inputs; we generate
+ * deterministic random matrices with the same *shape parameters* (rows,
+ * columns, density) since the kernels' behaviour depends only on the
+ * access-pattern statistics those parameters control (DESIGN.md,
+ * substitution table).
+ */
+
+#ifndef GLSC_WORKLOADS_SPARSE_H_
+#define GLSC_WORKLOADS_SPARSE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/random.h"
+
+namespace glsc {
+
+/** Compressed sparse row matrix with float values. */
+struct CsrMatrix
+{
+    int rows = 0;
+    int cols = 0;
+    std::vector<int> rowPtr;  //!< size rows+1
+    std::vector<int> colIdx;  //!< size nnz
+    std::vector<float> values; //!< size nnz
+
+    int nnz() const { return static_cast<int>(colIdx.size()); }
+};
+
+/**
+ * Generates a rows x cols matrix with approximately @p density fraction
+ * of nonzeros (sorted within each row).  With @p clusterLen > 1,
+ * nonzeros come in runs of up to clusterLen consecutive columns --
+ * the banded/clustered structure of FEM and solver matrices, which is
+ * what gives the paper's TMS its cache-line reuse in the destination
+ * vector.
+ */
+CsrMatrix makeRandomCsr(int rows, int cols, double density,
+                        std::uint64_t seed, int clusterLen = 1);
+
+/**
+ * Generates an n x n lower-triangular matrix with unit-magnitude
+ * diagonal and approximately @p density fraction of nonzeros within a
+ * band of @p bandwidth columns below the diagonal (direct-solver
+ * factors are banded/profiled; the band keeps concurrent columns'
+ * update ranges mostly disjoint).  Suitable for a stable forward
+ * solve.  bandwidth <= 0 means full lower triangle.
+ */
+CsrMatrix makeLowerTriangular(int n, double density, std::uint64_t seed,
+                              int bandwidth = 0);
+
+/** Dense reference: y = A^T x. */
+std::vector<float> transposeMatVec(const CsrMatrix &a,
+                                   const std::vector<float> &x);
+
+/** Dense reference forward solve of Lx = b (L from makeLowerTriangular). */
+std::vector<float> forwardSolve(const CsrMatrix &l,
+                                const std::vector<float> &b);
+
+/**
+ * Level schedule of a lower-triangular matrix: level[j] = 1 +
+ * max(level of columns j depends on); returns columns grouped by
+ * level (each level's columns are mutually independent).
+ */
+std::vector<std::vector<int>> levelSchedule(const CsrMatrix &l);
+
+} // namespace glsc
+
+#endif // GLSC_WORKLOADS_SPARSE_H_

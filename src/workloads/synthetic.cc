@@ -1,0 +1,224 @@
+#include "workloads/synthetic.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "sim/log.h"
+
+namespace glsc {
+
+std::vector<std::uint32_t>
+makeSkewedIndices(int n, int universe, double theta, std::uint64_t seed)
+{
+    GLSC_ASSERT(universe > 0, "empty universe");
+    Rng rng(seed);
+    // Shuffle the rank->index mapping so hot values are scattered over
+    // the address range (hot histogram bins are not adjacent in
+    // memory).
+    std::vector<std::uint32_t> perm(universe);
+    for (int i = 0; i < universe; ++i)
+        perm[i] = static_cast<std::uint32_t>(i);
+    for (int i = universe - 1; i > 0; --i) {
+        int j = static_cast<int>(rng.below(i + 1));
+        std::swap(perm[i], perm[j]);
+    }
+    std::vector<std::uint32_t> out(n);
+    for (int i = 0; i < n; ++i)
+        out[i] = perm[rng.zipf(universe, theta)];
+    return out;
+}
+
+std::vector<std::uint32_t>
+makeHotsetIndices(int n, int universe, int hotCount, double hotFraction,
+                  std::uint64_t seed)
+{
+    GLSC_ASSERT(universe > 0 && hotCount > 0 && hotCount <= universe,
+                "bad hotset parameters");
+    Rng rng(seed);
+    std::vector<std::uint32_t> hot(hotCount);
+    for (auto &h : hot)
+        h = static_cast<std::uint32_t>(rng.below(universe));
+    std::vector<std::uint32_t> out(n);
+    for (auto &v : out) {
+        if (rng.chance(hotFraction))
+            v = hot[rng.below(hotCount)];
+        else
+            v = static_cast<std::uint32_t>(rng.below(universe));
+    }
+    return out;
+}
+
+std::vector<std::uint32_t>
+makeRunIndices(int n, int universe, double repeatProb,
+               std::uint64_t seed)
+{
+    GLSC_ASSERT(universe > 0, "empty universe");
+    Rng rng(seed);
+    std::vector<std::uint32_t> out(n);
+    std::uint32_t cur = static_cast<std::uint32_t>(rng.below(universe));
+    for (auto &v : out) {
+        if (!rng.chance(repeatProb))
+            cur = static_cast<std::uint32_t>(rng.below(universe));
+        v = cur;
+    }
+    return out;
+}
+
+std::vector<Particle>
+makeParticles(int count, int gx, int gy, int gz, int blobs,
+              std::uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<Particle> out(count);
+    // Blob centers; particles gaussian-ish (sum of uniforms) around a
+    // randomly chosen blob -- fluids cluster, which drives node-update
+    // collisions between nearby particles.
+    std::vector<int> cx(blobs), cy(blobs), cz(blobs);
+    for (int b = 0; b < blobs; ++b) {
+        cx[b] = static_cast<int>(rng.below(gx));
+        cy[b] = static_cast<int>(rng.below(gy));
+        cz[b] = static_cast<int>(rng.below(gz));
+    }
+    auto jitter = [&rng](int extent) {
+        // Triangular distribution in [-extent, extent].
+        return static_cast<int>(rng.below(extent + 1)) -
+               static_cast<int>(rng.below(extent + 1));
+    };
+    for (auto &p : out) {
+        int b = static_cast<int>(rng.below(blobs));
+        auto clampTo = [](int v, int hi) {
+            return std::min(std::max(v, 0), hi - 2);
+        };
+        p.x = clampTo(cx[b] + jitter(gx / 6), gx);
+        p.y = clampTo(cy[b] + jitter(gy / 6), gy);
+        p.z = clampTo(cz[b] + jitter(gz / 6), gz);
+        p.mass = static_cast<float>(0.5 + rng.uniform());
+    }
+    return out;
+}
+
+FlowGraph
+makeFlowGraph(int nodes, int edges, int locality, std::uint64_t seed)
+{
+    GLSC_ASSERT(nodes >= 2 && edges >= nodes - 1, "graph too small");
+    GLSC_ASSERT(locality >= 1, "locality must be positive");
+    Rng rng(seed);
+    FlowGraph g;
+    g.numNodes = nodes;
+    g.edges.reserve(edges);
+    // Spanning chain first (connectivity), then local extra edges.
+    for (int i = 1; i < nodes; ++i) {
+        FlowEdge e;
+        e.from = i - 1;
+        e.to = i;
+        e.capacity = static_cast<std::uint32_t>(1 + rng.below(64));
+        g.edges.push_back(e);
+    }
+    while (static_cast<int>(g.edges.size()) < edges) {
+        FlowEdge e;
+        e.from = static_cast<int>(rng.below(nodes));
+        // Half the extra edges point one step "downhill" (admissible
+        // under the staircase labeling), the rest are local noise.
+        int off = rng.chance(0.5)
+                      ? 1
+                      : static_cast<int>(rng.range(-locality, locality));
+        e.to = std::min(std::max(e.from + off, 0), nodes - 1);
+        if (e.from == e.to)
+            continue;
+        e.capacity = static_cast<std::uint32_t>(1 + rng.below(64));
+        g.edges.push_back(e);
+    }
+    std::sort(g.edges.begin(), g.edges.end(),
+              [](const FlowEdge &a, const FlowEdge &b) {
+                  if (a.from != b.from)
+                      return a.from < b.from;
+                  return a.to < b.to;
+              });
+    g.initialExcess.resize(nodes, 0);
+    // Spread excess so every partition has pushable work.
+    int sources = std::max(1, nodes / 8);
+    for (int s = 0; s < sources; ++s) {
+        g.initialExcess[rng.below(nodes)] +=
+            static_cast<std::uint32_t>(16 + rng.below(240));
+    }
+    return g;
+}
+
+ConstraintSet
+makeConstraints(int objects, int count, int locality,
+                std::uint64_t seed)
+{
+    GLSC_ASSERT(objects >= 2, "need at least two objects");
+    GLSC_ASSERT(locality >= 1, "locality must be positive");
+    Rng rng(seed);
+    ConstraintSet cs;
+    cs.numObjects = objects;
+    cs.constraints.reserve(count);
+    for (int i = 0; i < count; ++i) {
+        Constraint c;
+        c.a = static_cast<int>(rng.below(objects));
+        do {
+            int off = static_cast<int>(rng.range(-locality, locality));
+            c.b = std::min(std::max(c.a + off, 0), objects - 1);
+        } while (c.b == c.a);
+        if (c.a > c.b)
+            std::swap(c.a, c.b); // canonical lock order
+        c.coeff = static_cast<std::int32_t>(rng.range(-8, 8));
+        cs.constraints.push_back(c);
+    }
+    std::sort(cs.constraints.begin(), cs.constraints.end(),
+              [](const Constraint &x, const Constraint &y) {
+                  if (x.a != y.a)
+                      return x.a < y.a;
+                  return x.b < y.b;
+              });
+    return cs;
+}
+
+void
+groupIndependent(ConstraintSet &cs, int begin, int end, int groupSize)
+{
+    // Greedy grouping: repeatedly sweep the remaining constraints and
+    // pull out up to groupSize that touch disjoint objects.
+    auto &v = cs.constraints;
+    GLSC_ASSERT(0 <= begin && begin <= end &&
+                end <= static_cast<int>(v.size()),
+                "bad groupIndependent range");
+    int cursor = begin;
+    std::vector<bool> taken(end - begin, false);
+    std::vector<Constraint> result;
+    result.reserve(end - begin);
+    int remaining = end - begin;
+    while (remaining > 0) {
+        std::unordered_set<int> used;
+        int inGroup = 0;
+        for (int i = begin; i < end && inGroup < groupSize; ++i) {
+            if (taken[i - begin])
+                continue;
+            const Constraint &c = v[i];
+            if (used.count(c.a) || used.count(c.b))
+                continue;
+            used.insert(c.a);
+            used.insert(c.b);
+            taken[i - begin] = true;
+            result.push_back(c);
+            inGroup++;
+            remaining--;
+        }
+        if (inGroup == 0) {
+            // Nothing independent left at this group size; emit the
+            // rest in original order (duplicates will be handled by
+            // the kernel's conflict masking).
+            for (int i = begin; i < end; ++i) {
+                if (!taken[i - begin]) {
+                    taken[i - begin] = true;
+                    result.push_back(v[i]);
+                    remaining--;
+                }
+            }
+        }
+    }
+    std::copy(result.begin(), result.end(), v.begin() + cursor);
+}
+
+} // namespace glsc

@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Synthetic workload generators for the non-matrix RMS kernels: skewed
+ * index streams (HIP, GBC, microbenchmark), particle sets (SMC), flow
+ * graphs (MFP) and constraint sets (GPS).
+ *
+ * All generators are deterministic in their seed.  Skew parameters
+ * stand in for the paper's datasets: e.g. the HIP "cars" image becomes
+ * a Zipf-skewed color stream, since the aliasing rate of SIMD groups
+ * (what Table 4 measures) depends only on the value distribution.
+ */
+
+#ifndef GLSC_WORKLOADS_SYNTHETIC_H_
+#define GLSC_WORKLOADS_SYNTHETIC_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/random.h"
+
+namespace glsc {
+
+/**
+ * @p n indices over [0, universe) with Zipf skew @p theta (0 =
+ * uniform; ~1 = heavily clustered on a few hot values).
+ */
+std::vector<std::uint32_t> makeSkewedIndices(int n, int universe,
+                                             double theta,
+                                             std::uint64_t seed);
+
+/**
+ * @p n indices over [0, universe) where with probability
+ * @p hotFraction the index is one of @p hotCount fixed hot values
+ * (uniform among them), else uniform over the whole universe.  This
+ * directly controls the SIMD-group aliasing rate (HIP's car image is a
+ * stream dominated by two colors; GBC's objects crowd a few cells).
+ */
+std::vector<std::uint32_t> makeHotsetIndices(int n, int universe,
+                                             int hotCount,
+                                             double hotFraction,
+                                             std::uint64_t seed);
+
+/**
+ * @p n indices over [0, universe) with *spatial runs*: with
+ * probability @p repeatProb the index repeats the previous one, else a
+ * fresh uniform value is drawn.  This models streams with spatial
+ * locality (adjacent image pixels share a color; neighboring objects
+ * share a grid cell): SIMD groups of consecutive elements alias at a
+ * rate ~= repeatProb, while different threads' slices land on
+ * unrelated values -- matching the paper's observation that GLSC
+ * failures are dominated by aliasing, not inter-thread collisions.
+ */
+std::vector<std::uint32_t> makeRunIndices(int n, int universe,
+                                          double repeatProb,
+                                          std::uint64_t seed);
+
+/** A particle for SMC: integer cell coordinates plus a mass. */
+struct Particle
+{
+    int x = 0, y = 0, z = 0;
+    float mass = 0.0f;
+};
+
+/** Particles clustered around a few blobs inside a gx*gy*gz grid. */
+std::vector<Particle> makeParticles(int count, int gx, int gy, int gz,
+                                    int blobs, std::uint64_t seed);
+
+/** Directed edge with capacity for MFP. */
+struct FlowEdge
+{
+    int from = 0, to = 0;
+    std::uint32_t capacity = 0;
+};
+
+/** A connected random flow network with integer capacities. */
+struct FlowGraph
+{
+    int numNodes = 0;
+    std::vector<FlowEdge> edges;
+    std::vector<std::uint32_t> initialExcess; //!< per node
+};
+
+/**
+ * Edges connect nearby node ids (|from - to| <= @p locality) and are
+ * emitted sorted by source node, so an even edge split gives threads
+ * mostly disjoint node neighborhoods -- the paper's "pushes the flow
+ * within each partition".
+ */
+FlowGraph makeFlowGraph(int nodes, int edges, int locality,
+                        std::uint64_t seed);
+
+/** A two-object constraint for GPS (integer momentum transfer). */
+struct Constraint
+{
+    int a = 0, b = 0;
+    std::int32_t coeff = 0;
+};
+
+/** Constraint set over @p objects objects. */
+struct ConstraintSet
+{
+    int numObjects = 0;
+    std::vector<Constraint> constraints;
+};
+
+/**
+ * Constraints connect nearby objects (|a - b| <= @p locality) and are
+ * sorted by first object, so an even split gives threads mostly
+ * disjoint object neighborhoods (GPS's contention-minimizing work
+ * split, paper section 4.2).
+ */
+ConstraintSet makeConstraints(int objects, int count, int locality,
+                              std::uint64_t seed);
+
+/**
+ * Reorders @p cs.constraints (in place) into consecutive runs of
+ * @p groupSize mutually independent constraints where possible,
+ * mirroring GPS's preprocessing ("constraints within each thread are
+ * reordered into groups of independent constraints").  The range
+ * reordered is [begin, end) -- each software thread reorders only its
+ * own slice.
+ */
+void groupIndependent(ConstraintSet &cs, int begin, int end,
+                      int groupSize);
+
+} // namespace glsc
+
+#endif // GLSC_WORKLOADS_SYNTHETIC_H_

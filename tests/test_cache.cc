@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Unit tests for the L1/L2 state containers: replacement, GLSC entry
+ * rules, directory bookkeeping.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mem/cache.h"
+#include "mem/l2.h"
+
+namespace glsc {
+namespace {
+
+constexpr int kSmallL1 = 4 * 4 * kLineBytes; // 4 sets x 4 ways
+
+TEST(L1Cache, LookupMissThenFill)
+{
+    L1Cache c(kSmallL1, 4);
+    EXPECT_EQ(c.lookup(0x1000), nullptr);
+    L1Line &v = c.victim(0x1000);
+    c.fill(v, 0x1000, L1State::Shared, 1);
+    L1Line *l = c.lookup(0x1000);
+    ASSERT_NE(l, nullptr);
+    EXPECT_EQ(l->state, L1State::Shared);
+    EXPECT_FALSE(l->glscValid);
+}
+
+TEST(L1Cache, VictimPrefersInvalidWay)
+{
+    L1Cache c(kSmallL1, 4);
+    // Fill 3 of 4 ways in set 0 (set stride = numSets * line).
+    Addr stride = static_cast<Addr>(c.numSets()) * kLineBytes;
+    for (int i = 0; i < 3; ++i)
+        c.fill(c.victim(i * stride), i * stride, L1State::Shared, i + 1);
+    L1Line &v = c.victim(3 * stride);
+    EXPECT_FALSE(v.valid());
+}
+
+TEST(L1Cache, VictimIsLruWhenFull)
+{
+    L1Cache c(kSmallL1, 4);
+    Addr stride = static_cast<Addr>(c.numSets()) * kLineBytes;
+    for (int i = 0; i < 4; ++i)
+        c.fill(c.victim(i * stride), i * stride, L1State::Shared, i + 1);
+    // Touch line 0 so line 1 becomes LRU.
+    c.touch(*c.lookup(0), 10);
+    L1Line &v = c.victim(4 * stride);
+    EXPECT_EQ(v.tag, stride); // line with stamp 2
+}
+
+TEST(L1Cache, InvalidateClearsReservation)
+{
+    L1Cache c(kSmallL1, 4);
+    c.fill(c.victim(0x40), 0x40, L1State::Shared, 1);
+    L1Line *l = c.lookup(0x40);
+    l->link(2);
+    EXPECT_TRUE(l->linkedBy(2));
+    EXPECT_FALSE(l->linkedBy(1));
+    c.invalidate(0x40);
+    EXPECT_EQ(c.lookup(0x40), nullptr);
+}
+
+TEST(L1Cache, LinkStealsBetweenThreads)
+{
+    L1Cache c(kSmallL1, 4);
+    c.fill(c.victim(0x40), 0x40, L1State::Shared, 1);
+    L1Line *l = c.lookup(0x40);
+    l->link(0);
+    l->link(3); // another SMT thread links the same line
+    EXPECT_FALSE(l->linkedBy(0));
+    EXPECT_TRUE(l->linkedBy(3));
+}
+
+TEST(L1Cache, FillResetsGlscEntry)
+{
+    L1Cache c(kSmallL1, 4);
+    c.fill(c.victim(0x40), 0x40, L1State::Shared, 1);
+    c.lookup(0x40)->link(1);
+    // Reuse the same way for a different line.
+    L1Line *l = c.lookup(0x40);
+    c.fill(*l, 0x1040, L1State::Modified, 2);
+    EXPECT_FALSE(l->glscValid);
+    EXPECT_EQ(l->tag, 0x1040u);
+}
+
+TEST(L2Cache, DirectorySharerBookkeeping)
+{
+    L2Cache l2(16 * kLineBytes * 8, 8, 2);
+    L2Line &v = l2.victim(0x80);
+    l2.fill(v, 0x80, 1);
+    L2Line *d = l2.lookup(0x80);
+    ASSERT_NE(d, nullptr);
+    d->addSharer(0);
+    d->addSharer(2);
+    EXPECT_TRUE(d->hasSharer(0));
+    EXPECT_FALSE(d->hasSharer(1));
+    d->removeSharer(0);
+    EXPECT_FALSE(d->hasSharer(0));
+    d->clearDirectory();
+    EXPECT_EQ(d->sharers, 0u);
+    EXPECT_FALSE(d->ownedModified);
+}
+
+TEST(Types, LineHelpers)
+{
+    EXPECT_EQ(lineAddr(0x1234), 0x1200u);
+    EXPECT_EQ(lineOffset(0x1234), 0x34);
+    EXPECT_EQ(lineAddr(0x1240), 0x1240u);
+}
+
+} // namespace
+} // namespace glsc

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Unit tests for the discrete-event queue.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/event_queue.h"
+
+namespace glsc {
+namespace {
+
+TEST(EventQueue, RunsInTickOrder)
+{
+    EventQueue q;
+    std::vector<int> order;
+    q.schedule(5, [&] { order.push_back(5); });
+    q.schedule(2, [&] { order.push_back(2); });
+    q.schedule(9, [&] { order.push_back(9); });
+    q.setNow(10);
+    q.runDue();
+    EXPECT_EQ(order, (std::vector<int>{2, 5, 9}));
+}
+
+TEST(EventQueue, FifoWithinSameTick)
+{
+    EventQueue q;
+    std::vector<int> order;
+    for (int i = 0; i < 8; ++i)
+        q.schedule(3, [&order, i] { order.push_back(i); });
+    q.setNow(3);
+    q.runDue();
+    ASSERT_EQ(order.size(), 8u);
+    for (int i = 0; i < 8; ++i)
+        EXPECT_EQ(order[i], i);
+}
+
+TEST(EventQueue, DoesNotRunFutureEvents)
+{
+    EventQueue q;
+    int ran = 0;
+    q.schedule(7, [&] { ran++; });
+    q.setNow(6);
+    q.runDue();
+    EXPECT_EQ(ran, 0);
+    EXPECT_EQ(q.nextEventTick(), 7u);
+    q.setNow(7);
+    q.runDue();
+    EXPECT_EQ(ran, 1);
+    EXPECT_TRUE(q.empty());
+    EXPECT_EQ(q.nextEventTick(), kTickMax);
+}
+
+TEST(EventQueue, EventMayScheduleAtCurrentTick)
+{
+    EventQueue q;
+    int ran = 0;
+    q.schedule(1, [&] {
+        q.scheduleIn(0, [&] { ran = 42; });
+    });
+    q.setNow(1);
+    q.runDue();
+    EXPECT_EQ(ran, 42);
+}
+
+TEST(EventQueue, ScheduleInIsRelative)
+{
+    EventQueue q;
+    q.setNow(100);
+    Tick fired = 0;
+    q.scheduleIn(25, [&] { fired = q.now(); });
+    q.setNow(125);
+    q.runDue();
+    EXPECT_EQ(fired, 125u);
+}
+
+} // namespace
+} // namespace glsc

@@ -1,0 +1,200 @@
+/**
+ * @file
+ * Tests for the fully-associative GLSC reservation buffer (paper
+ * section 3.3's alternative implementation) and for graceful fault
+ * masking (section 3.2).
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/glsc_buffer.h"
+#include "core/vatomic.h"
+#include "mem/memsys.h"
+#include "sim/system.h"
+
+namespace glsc {
+namespace {
+
+// ----- Pure buffer unit tests. -----
+
+TEST(GlscBuffer, LinkHoldClear)
+{
+    GlscBuffer b(4);
+    b.link(0x100, 2);
+    EXPECT_TRUE(b.holds(0x100, 2));
+    EXPECT_FALSE(b.holds(0x100, 1));
+    EXPECT_EQ(b.owner(0x100), 2);
+    EXPECT_EQ(b.owner(0x140), -1);
+    b.clear(0x100);
+    EXPECT_FALSE(b.holds(0x100, 2));
+    EXPECT_EQ(b.size(), 0);
+}
+
+TEST(GlscBuffer, RelinkStealsInPlace)
+{
+    GlscBuffer b(2);
+    b.link(0x100, 0);
+    b.link(0x100, 3); // SMT sibling steals
+    EXPECT_EQ(b.size(), 1);
+    EXPECT_TRUE(b.holds(0x100, 3));
+    EXPECT_FALSE(b.holds(0x100, 0));
+}
+
+TEST(GlscBuffer, OverflowEvictsOldest)
+{
+    GlscBuffer b(2);
+    b.link(0x100, 0);
+    b.link(0x140, 0);
+    b.link(0x180, 0); // evicts 0x100
+    EXPECT_FALSE(b.holds(0x100, 0));
+    EXPECT_TRUE(b.holds(0x140, 0));
+    EXPECT_TRUE(b.holds(0x180, 0));
+    EXPECT_EQ(b.size(), 2);
+}
+
+// ----- Buffer mode through the memory system. -----
+
+struct BufRig
+{
+    SystemConfig cfg;
+    EventQueue events;
+    Memory mem;
+    SystemStats stats;
+    std::unique_ptr<MemorySystem> msys;
+
+    explicit BufRig(int entries)
+    {
+        cfg = SystemConfig::make(2, 4, 4);
+        cfg.glsc.bufferEntries = entries;
+        stats.threads.resize(cfg.totalThreads());
+        msys = std::make_unique<MemorySystem>(cfg, events, mem, stats);
+    }
+};
+
+TEST(GlscBufferMode, LlScWorksThroughBuffer)
+{
+    BufRig r(4);
+    r.msys->access(0, 1, 0x4000, 4, MemOpType::LoadLinked);
+    EXPECT_EQ(r.msys->reservationCount(0), 1);
+    auto sc = r.msys->access(0, 1, 0x4000, 4, MemOpType::StoreCond, 9);
+    EXPECT_TRUE(sc.scSuccess);
+    EXPECT_EQ(r.msys->reservationCount(0), 0);
+}
+
+TEST(GlscBufferMode, CapacityOverflowFailsOldestSc)
+{
+    BufRig r(1); // minimum-size buffer (section 3.3: "one" entry)
+    r.msys->access(0, 0, 0x4000, 4, MemOpType::LoadLinked);
+    r.msys->access(0, 0, 0x4040, 4, MemOpType::LoadLinked); // evicts
+    auto sc1 = r.msys->access(0, 0, 0x4000, 4, MemOpType::StoreCond, 1);
+    EXPECT_FALSE(sc1.scSuccess);
+    auto sc2 = r.msys->access(0, 0, 0x4040, 4, MemOpType::StoreCond, 2);
+    EXPECT_TRUE(sc2.scSuccess);
+}
+
+TEST(GlscBufferMode, RemoteWriteClearsBufferedReservation)
+{
+    BufRig r(8);
+    r.msys->access(0, 0, 0x5000, 4, MemOpType::LoadLinked);
+    r.msys->access(1, 0, 0x5000, 4, MemOpType::Store, 7);
+    EXPECT_EQ(r.msys->reservationCount(0), 0);
+    auto sc = r.msys->access(0, 0, 0x5000, 4, MemOpType::StoreCond, 1);
+    EXPECT_FALSE(sc.scSuccess);
+}
+
+TEST(GlscBufferMode, EvictionClearsBufferedReservation)
+{
+    SystemConfig cfg = SystemConfig::make(1, 1, 4);
+    cfg.glsc.bufferEntries = 8;
+    cfg.l1SizeBytes = 2 * kLineBytes;
+    cfg.l1Assoc = 2;
+    EventQueue events;
+    Memory mem;
+    SystemStats stats;
+    stats.threads.resize(1);
+    MemorySystem msys(cfg, events, mem, stats);
+    msys.access(0, 0, 0x0, 4, MemOpType::LoadLinked);
+    msys.access(0, 0, 0x40, 4, MemOpType::Load);
+    msys.access(0, 0, 0x80, 4, MemOpType::Load); // evicts line 0
+    auto sc = msys.access(0, 0, 0x0, 4, MemOpType::StoreCond, 1);
+    EXPECT_FALSE(sc.scSuccess);
+}
+
+/** Whole-kernel check: histogram stays exact under a tiny buffer. */
+Task<void>
+bufHistKernel(SimThread &t, Addr bins, int reps)
+{
+    for (int r = 0; r < reps; ++r) {
+        VecReg idx;
+        for (int l = 0; l < t.width(); ++l)
+            idx[l] = static_cast<std::uint64_t>(l * 17 % 32);
+        co_await vAtomicIncU32(t, bins, idx, Mask::allOnes(t.width()));
+    }
+}
+
+TEST(GlscBufferMode, KernelsVerifyUnderSmallBuffers)
+{
+    for (int entries : {1, 2, 4}) {
+        SystemConfig cfg = SystemConfig::make(2, 2, 4);
+        cfg.glsc.bufferEntries = entries;
+        System sys(cfg);
+        Addr bins = sys.layout().allocArray(32, 4);
+        const int reps = 12;
+        sys.spawnAll([&](SimThread &t) {
+            return bufHistKernel(t, bins, reps);
+        });
+        SystemStats stats = sys.run();
+        std::uint64_t total = 0;
+        for (int b = 0; b < 32; ++b)
+            total += sys.memory().readU32(bins + 4ull * b);
+        EXPECT_EQ(total, static_cast<std::uint64_t>(
+                             reps * 4 * cfg.totalThreads()))
+            << entries << " entries";
+        if (entries == 1) {
+            // A 1-entry buffer cannot hold 4 links: retries required.
+            EXPECT_GT(stats.glscLaneFailLost, 0u);
+        }
+    }
+}
+
+// ----- Graceful fault masking (section 3.2). -----
+
+Task<void>
+faultKernel(SimThread &t, Addr base, Mask *glMask, Mask *scMask)
+{
+    VecReg idx;
+    for (int l = 0; l < t.width(); ++l)
+        idx[l] = static_cast<std::uint64_t>(l * 16); // one line each
+    Mask m = Mask::allOnes(t.width());
+    GatherResult g = co_await t.vgatherlink(base, idx, m, 4);
+    *glMask = g.mask;
+    VecReg inc;
+    for (int l = 0; l < t.width(); ++l)
+        inc[l] = g.value.u32(l) + 1;
+    *scMask = co_await t.vscattercond(base, idx, inc, g.mask, 4);
+}
+
+TEST(FaultMasking, FaultingLanesAreMaskedNotFatal)
+{
+    SystemConfig cfg = SystemConfig::make(1, 1, 4);
+    System sys(cfg);
+    Addr base = sys.layout().alloc(8 * kLineBytes);
+    // Lane 2's line (bytes [128, 192)) is an unmapped page.
+    sys.memsys().markFaulting(base + 128, base + 192);
+    Mask gl, sc;
+    sys.spawn(0, [&](SimThread &t) {
+        return faultKernel(t, base, &gl, &sc);
+    });
+    SystemStats stats = sys.run();
+    EXPECT_EQ(gl, Mask::fromRaw(0b1011)); // lane 2 masked out
+    EXPECT_EQ(sc, Mask::fromRaw(0b1011));
+    EXPECT_GE(stats.glscLaneFailPolicy, 1u);
+    // Non-faulting lanes committed their updates.
+    EXPECT_EQ(sys.memory().readU32(base + 0), 1u);
+    EXPECT_EQ(sys.memory().readU32(base + 64), 1u);
+    EXPECT_EQ(sys.memory().readU32(base + 128), 0u); // untouched
+    EXPECT_EQ(sys.memory().readU32(base + 192), 1u);
+}
+
+} // namespace
+} // namespace glsc

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Unit tests for the mask and vector register types.
+ */
+
+#include <gtest/gtest.h>
+
+#include "isa/vector.h"
+
+namespace glsc {
+namespace {
+
+TEST(Mask, AllOnesWidths)
+{
+    EXPECT_EQ(Mask::allOnes(0).raw(), 0u);
+    EXPECT_EQ(Mask::allOnes(1).raw(), 0b1u);
+    EXPECT_EQ(Mask::allOnes(4).raw(), 0b1111u);
+    EXPECT_EQ(Mask::allOnes(16).count(), 16);
+}
+
+TEST(Mask, SetClearTest)
+{
+    Mask m;
+    EXPECT_TRUE(m.noneSet());
+    m.set(3);
+    m.set(0);
+    EXPECT_TRUE(m.test(0));
+    EXPECT_TRUE(m.test(3));
+    EXPECT_FALSE(m.test(1));
+    EXPECT_EQ(m.count(), 2);
+    m.clear(3);
+    EXPECT_FALSE(m.test(3));
+    m.assign(5, true);
+    EXPECT_TRUE(m.test(5));
+    m.assign(5, false);
+    EXPECT_FALSE(m.test(5));
+}
+
+TEST(Mask, BooleanAlgebra)
+{
+    Mask a = Mask::fromRaw(0b1010);
+    Mask b = Mask::fromRaw(0b0110);
+    EXPECT_EQ((a & b).raw(), 0b0010u);
+    EXPECT_EQ((a | b).raw(), 0b1110u);
+    EXPECT_EQ((a ^ b).raw(), 0b1100u);
+    EXPECT_EQ(a.andNot(b).raw(), 0b1000u);
+    EXPECT_TRUE(Mask::fromRaw(0b0010).subsetOf(a | b));
+}
+
+TEST(Mask, SubsetOf)
+{
+    EXPECT_TRUE(Mask::fromRaw(0b0101).subsetOf(Mask::fromRaw(0b1101)));
+    EXPECT_FALSE(Mask::fromRaw(0b0101).subsetOf(Mask::fromRaw(0b0001)));
+    EXPECT_TRUE(Mask::none().subsetOf(Mask::none()));
+}
+
+TEST(Mask, ToString)
+{
+    Mask m = Mask::fromRaw(0b1011);
+    EXPECT_EQ(m.toString(4), "1101"); // lane 0 leftmost
+}
+
+TEST(VecReg, F32RoundTrip)
+{
+    VecReg r;
+    r.setF32(2, 3.25f);
+    EXPECT_FLOAT_EQ(r.f32(2), 3.25f);
+    r.setF32(2, -0.0f);
+    EXPECT_EQ(r.u32(2), 0x80000000u);
+}
+
+TEST(VecReg, SplatAndEquality)
+{
+    VecReg a = VecReg::splat(7, 4);
+    EXPECT_EQ(a[0], 7u);
+    EXPECT_EQ(a[3], 7u);
+    EXPECT_EQ(a[4], 0u); // lanes beyond width untouched
+    VecReg b = VecReg::splat(7, 4);
+    EXPECT_EQ(a, b);
+}
+
+} // namespace
+} // namespace glsc

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * HIP kernel integration tests: verified end-to-end across schemes,
+ * configurations and SIMD widths.
+ */
+
+#include <gtest/gtest.h>
+
+#include "kernels/hip.h"
+
+namespace glsc {
+namespace {
+
+struct HipCase
+{
+    int cores, threads, width, dataset;
+    Scheme scheme;
+};
+
+class HipSweep : public ::testing::TestWithParam<HipCase>
+{
+};
+
+TEST_P(HipSweep, HistogramExact)
+{
+    const HipCase &c = GetParam();
+    SystemConfig cfg = SystemConfig::make(c.cores, c.threads, c.width);
+    RunResult r = runHip(cfg, c.dataset, c.scheme, 0.02, 7);
+    EXPECT_TRUE(r.verified) << r.detail;
+    EXPECT_GT(r.stats.cycles, 0u);
+    if (c.scheme == Scheme::Glsc) {
+        EXPECT_GT(r.stats.gatherLinkInstrs, 0u);
+        EXPECT_GT(r.stats.scatterCondInstrs, 0u);
+    } else {
+        EXPECT_EQ(r.stats.gatherLinkInstrs, 0u);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Configs, HipSweep,
+    ::testing::Values(HipCase{1, 1, 1, 0, Scheme::Base},
+                      HipCase{1, 1, 1, 0, Scheme::Glsc},
+                      HipCase{1, 1, 4, 0, Scheme::Base},
+                      HipCase{1, 1, 4, 0, Scheme::Glsc},
+                      HipCase{4, 1, 4, 1, Scheme::Glsc},
+                      HipCase{1, 4, 4, 1, Scheme::Glsc},
+                      HipCase{4, 4, 4, 0, Scheme::Base},
+                      HipCase{4, 4, 4, 0, Scheme::Glsc},
+                      HipCase{4, 4, 16, 1, Scheme::Glsc},
+                      HipCase{2, 2, 16, 0, Scheme::Base}));
+
+TEST(Hip, GlscAliasFailuresMatchSkew)
+{
+    // Dataset A is more skewed than B, so its lane failure rate must
+    // be higher, and both should be far from zero at 4-wide.
+    SystemConfig cfg = SystemConfig::make(1, 1, 4);
+    RunResult a = runHip(cfg, 0, Scheme::Glsc, 0.05, 3);
+    RunResult b = runHip(cfg, 1, Scheme::Glsc, 0.05, 3);
+    ASSERT_TRUE(a.verified);
+    ASSERT_TRUE(b.verified);
+    EXPECT_GT(a.stats.glscFailureRate(), b.stats.glscFailureRate());
+    EXPECT_GT(a.stats.glscFailureRate(), 0.10);
+    // In a 1x1 run every failure is an alias (no other threads).
+    EXPECT_EQ(a.stats.glscLaneFailLost, 0u);
+    EXPECT_EQ(a.stats.glscLaneFailPolicy, 0u);
+}
+
+TEST(Hip, DeterministicAcrossRuns)
+{
+    SystemConfig cfg = SystemConfig::make(2, 2, 4);
+    RunResult r1 = runHip(cfg, 0, Scheme::Glsc, 0.02, 11);
+    RunResult r2 = runHip(cfg, 0, Scheme::Glsc, 0.02, 11);
+    EXPECT_EQ(r1.stats.cycles, r2.stats.cycles);
+    EXPECT_EQ(r1.stats.totalInstructions(), r2.stats.totalInstructions());
+    EXPECT_EQ(r1.stats.glscLaneFailures(), r2.stats.glscLaneFailures());
+}
+
+} // namespace
+} // namespace glsc

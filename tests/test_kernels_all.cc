@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Cross-benchmark integration sweep: every RMS kernel must verify
+ * (golden output / conservation invariants) under both schemes across
+ * a grid of system configurations.  This is the end-to-end atomicity
+ * proof: a lost update, broken lock or leaked reservation corrupts a
+ * checked result.
+ */
+
+#include <gtest/gtest.h>
+
+#include "kernels/registry.h"
+
+namespace glsc {
+namespace {
+
+struct SweepCase
+{
+    const char *bench;
+    int cores, threads, width, dataset;
+    Scheme scheme;
+};
+
+std::string
+caseName(const ::testing::TestParamInfo<SweepCase> &info)
+{
+    const SweepCase &c = info.param;
+    return strprintf("%s_%dx%d_w%d_ds%c_%s", c.bench, c.cores, c.threads,
+                     c.width, c.dataset == 0 ? 'A' : 'B',
+                     schemeName(c.scheme));
+}
+
+class KernelSweep : public ::testing::TestWithParam<SweepCase>
+{
+};
+
+TEST_P(KernelSweep, VerifiesEndToEnd)
+{
+    const SweepCase &c = GetParam();
+    SystemConfig cfg = SystemConfig::make(c.cores, c.threads, c.width);
+    RunResult r =
+        runBenchmark(c.bench, c.dataset, c.scheme, cfg, 0.02, 5);
+    EXPECT_TRUE(r.verified) << c.bench << ": " << r.detail;
+    EXPECT_GT(r.stats.cycles, 0u);
+    EXPECT_GT(r.stats.totalInstructions(), 0u);
+}
+
+std::vector<SweepCase>
+makeSweep()
+{
+    std::vector<SweepCase> cases;
+    const char *benches[] = {"GBC", "FS", "GPS", "HIP",
+                             "SMC", "MFP", "TMS"};
+    struct Cfg
+    {
+        int c, t, w;
+    };
+    // The paper's four 4-wide configs plus scalar and 16-wide corners.
+    const Cfg cfgs[] = {{1, 1, 4}, {4, 1, 4}, {1, 4, 4},
+                        {4, 4, 4}, {1, 1, 1}, {2, 2, 16}};
+    for (const char *b : benches) {
+        for (const Cfg &k : cfgs) {
+            for (Scheme s : {Scheme::Base, Scheme::Glsc}) {
+                // Alternate datasets to bound test time while covering
+                // both somewhere in the grid.
+                int ds = (k.c + k.t + k.w) % 2;
+                cases.push_back(SweepCase{b, k.c, k.t, k.w, ds, s});
+            }
+        }
+    }
+    return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBenches, KernelSweep,
+                         ::testing::ValuesIn(makeSweep()), caseName);
+
+TEST(Registry, ListsSevenBenchmarks)
+{
+    EXPECT_EQ(benchmarkList().size(), 7u);
+    for (const auto &info : benchmarkList()) {
+        EXPECT_FALSE(info.name.empty());
+        EXPECT_FALSE(info.atomicOp.empty());
+    }
+}
+
+} // namespace
+} // namespace glsc

@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Unit tests for the backing store, layout allocator, config
+ * validation and stats helpers.
+ */
+
+#include <gtest/gtest.h>
+
+#include "config/config.h"
+#include "mem/memory.h"
+#include "stats/stats.h"
+
+namespace glsc {
+namespace {
+
+TEST(Memory, ZeroInitialized)
+{
+    Memory m;
+    EXPECT_EQ(m.read(0x12340, 8), 0u);
+    EXPECT_EQ(m.readU32(0xFFFFF000), 0u);
+}
+
+TEST(Memory, ReadWriteSizes)
+{
+    Memory m;
+    m.write(0x100, 0xAB, 1);
+    m.write(0x102, 0xCDEF, 2);
+    m.write(0x104, 0x11223344, 4);
+    m.write(0x108, 0x8877665544332211ull, 8);
+    EXPECT_EQ(m.read(0x100, 1), 0xABu);
+    EXPECT_EQ(m.read(0x102, 2), 0xCDEFu);
+    EXPECT_EQ(m.read(0x104, 4), 0x11223344u);
+    EXPECT_EQ(m.read(0x108, 8), 0x8877665544332211ull);
+}
+
+TEST(Memory, WriteIsZeroExtendedBySize)
+{
+    Memory m;
+    m.write(0x200, 0xFFFFFFFFFFFFFFFFull, 4);
+    EXPECT_EQ(m.read(0x200, 4), 0xFFFFFFFFu);
+    EXPECT_EQ(m.read(0x204, 4), 0u); // neighbor untouched
+}
+
+TEST(Memory, FloatRoundTrip)
+{
+    Memory m;
+    m.writeF32(0x300, -3.75f);
+    EXPECT_FLOAT_EQ(m.readF32(0x300), -3.75f);
+}
+
+TEST(Memory, CrossPageAccesses)
+{
+    Memory m;
+    Addr nearEnd = Memory::kPageBytes - 8;
+    m.writeU64(nearEnd, 0x1122334455667788ull);
+    EXPECT_EQ(m.readU64(nearEnd), 0x1122334455667788ull);
+    m.writeU32(Memory::kPageBytes, 42); // first word of next page
+    EXPECT_EQ(m.readU32(Memory::kPageBytes), 42u);
+    EXPECT_GE(m.pagesAllocated(), 2u);
+}
+
+TEST(MemLayout, AlignsAndSeparates)
+{
+    MemLayout lay(0x1000);
+    Addr a = lay.alloc(10);
+    Addr b = lay.alloc(10);
+    EXPECT_EQ(a % kLineBytes, 0u);
+    EXPECT_EQ(b % kLineBytes, 0u);
+    EXPECT_NE(lineAddr(a), lineAddr(b)); // no accidental sharing
+    Addr c = lay.alloc(1, 4096);
+    EXPECT_EQ(c % 4096, 0u);
+}
+
+TEST(Config, DefaultsMatchTableOne)
+{
+    SystemConfig cfg;
+    EXPECT_EQ(cfg.l1SizeBytes, 32 * 1024);
+    EXPECT_EQ(cfg.l1Assoc, 4);
+    EXPECT_EQ(cfg.l1Latency, 3u);
+    EXPECT_EQ(cfg.l2SizeBytes, 16 * 1024 * 1024);
+    EXPECT_EQ(cfg.l2Assoc, 8);
+    EXPECT_EQ(cfg.l2Banks, 16);
+    EXPECT_EQ(cfg.l2Latency, 12u);
+    EXPECT_EQ(cfg.memLatency, 280u);
+    EXPECT_EQ(cfg.issueWidth, 2);
+    cfg.validate(); // must not abort
+}
+
+TEST(Config, MakeAndLabel)
+{
+    SystemConfig cfg = SystemConfig::make(4, 2, 16);
+    EXPECT_EQ(cfg.cores, 4);
+    EXPECT_EQ(cfg.threadsPerCore, 2);
+    EXPECT_EQ(cfg.simdWidth, 16);
+    EXPECT_EQ(cfg.totalThreads(), 8);
+    EXPECT_EQ(cfg.label(), "4x2/16-wide");
+}
+
+TEST(Stats, DerivedMetrics)
+{
+    SystemStats s;
+    s.threads.resize(2);
+    s.threads[0].instructions = 100;
+    s.threads[1].instructions = 50;
+    s.threads[0].memStallCycles = 7;
+    s.threads[1].syncCycles = 9;
+    EXPECT_EQ(s.totalInstructions(), 150u);
+    EXPECT_EQ(s.totalMemStallCycles(), 7u);
+    EXPECT_EQ(s.totalSyncCycles(), 9u);
+    EXPECT_DOUBLE_EQ(s.glscFailureRate(), 0.0);
+    s.glscLaneAttempts = 200;
+    s.glscLaneFailAlias = 30;
+    s.glscLaneFailLost = 10;
+    EXPECT_DOUBLE_EQ(s.glscFailureRate(), 0.2);
+    s.scAttempts = 50;
+    s.scFailures = 5;
+    EXPECT_DOUBLE_EQ(s.scFailureRate(), 0.1);
+    EXPECT_FALSE(s.toString().empty());
+}
+
+} // namespace
+} // namespace glsc

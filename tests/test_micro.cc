@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Microbenchmark (section 5.2) tests: every scenario verifies its
+ * counters exactly under both schemes, and the scenario structure
+ * produces the intended access patterns (Figure 7's ordering).
+ */
+
+#include <gtest/gtest.h>
+
+#include "kernels/micro.h"
+
+namespace glsc {
+namespace {
+
+struct MicroCase
+{
+    MicroScenario sc;
+    Scheme scheme;
+    int width;
+};
+
+class MicroSweep : public ::testing::TestWithParam<MicroCase>
+{
+};
+
+TEST_P(MicroSweep, CountersExact)
+{
+    const MicroCase &c = GetParam();
+    SystemConfig cfg = SystemConfig::make(4, 4, c.width);
+    RunResult r = runMicro(cfg, c.sc, c.scheme, 256, 3);
+    EXPECT_TRUE(r.verified) << r.detail;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllScenarios, MicroSweep,
+    ::testing::Values(MicroCase{MicroScenario::A, Scheme::Base, 4},
+                      MicroCase{MicroScenario::A, Scheme::Glsc, 4},
+                      MicroCase{MicroScenario::B, Scheme::Base, 4},
+                      MicroCase{MicroScenario::B, Scheme::Glsc, 4},
+                      MicroCase{MicroScenario::C, Scheme::Base, 16},
+                      MicroCase{MicroScenario::C, Scheme::Glsc, 16},
+                      MicroCase{MicroScenario::D, Scheme::Base, 4},
+                      MicroCase{MicroScenario::D, Scheme::Glsc, 16}));
+
+TEST(Micro, ScenarioDFullyAliases)
+{
+    SystemConfig cfg = SystemConfig::make(1, 1, 4);
+    RunResult r = runMicro(cfg, MicroScenario::D, Scheme::Glsc, 256, 3);
+    ASSERT_TRUE(r.verified);
+    // All lanes identical: the retry loop attempts 4+3+2+1 lanes per
+    // group and 3+2+1 of them lose to aliasing -> rate 6/10.
+    EXPECT_NEAR(r.stats.glscFailureRate(), 0.60, 0.01);
+}
+
+TEST(Micro, ScenarioBSingleLinePerGroup)
+{
+    SystemConfig cfg = SystemConfig::make(1, 1, 4);
+    RunResult r = runMicro(cfg, MicroScenario::B, Scheme::Glsc, 256, 3);
+    ASSERT_TRUE(r.verified);
+    // Same-line lanes combine: 3 of 4 atomic accesses saved.
+    EXPECT_GT(r.stats.l1AccessesCombined, 0u);
+    EXPECT_NEAR(double(r.stats.l1AccessesCombined) /
+                    double(r.stats.l1AccessesCombined +
+                           r.stats.l1AtomicAccesses),
+                0.75, 0.05);
+    EXPECT_NEAR(r.stats.glscFailureRate(), 0.0, 1e-9);
+}
+
+TEST(Micro, ScenarioAOverlapsMisses)
+{
+    // GLSC's win in scenario A must exceed its win in scenario C
+    // (A = C plus miss overlap).
+    SystemConfig cfg = SystemConfig::make(4, 4, 4);
+    auto ratio = [&](MicroScenario sc) {
+        auto b = runMicro(cfg, sc, Scheme::Base, 512, 3);
+        auto g = runMicro(cfg, sc, Scheme::Glsc, 512, 3);
+        EXPECT_TRUE(b.verified && g.verified);
+        return double(b.stats.cycles) / double(g.stats.cycles);
+    };
+    EXPECT_GT(ratio(MicroScenario::A), ratio(MicroScenario::C));
+}
+
+} // namespace
+} // namespace glsc

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Interconnect unit tests: bank mapping, hop latency symmetry, bank
+ * serialization.
+ */
+
+#include <gtest/gtest.h>
+
+#include "noc/interconnect.h"
+
+namespace glsc {
+namespace {
+
+TEST(Noc, BankMappingInterleavesLines)
+{
+    SystemConfig cfg = SystemConfig::make(4, 4, 4);
+    Interconnect noc(cfg);
+    EXPECT_EQ(noc.banks(), 16);
+    // Consecutive lines land on consecutive banks, wrapping.
+    for (int i = 0; i < 64; ++i) {
+        Addr line = static_cast<Addr>(i) * kLineBytes;
+        EXPECT_EQ(noc.bankOf(line), i % 16);
+    }
+    // Offsets within a line do not change the bank.
+    EXPECT_EQ(noc.bankOf(lineAddr(0x1234)), noc.bankOf(lineAddr(0x123F)));
+}
+
+TEST(Noc, HopLatencyBoundedAndStable)
+{
+    SystemConfig cfg = SystemConfig::make(4, 4, 4);
+    Interconnect noc(cfg);
+    for (CoreId c = 0; c < 4; ++c) {
+        for (int b = 0; b < 16; ++b) {
+            Tick h = noc.hopLatency(c, b);
+            EXPECT_LE(h, cfg.nocHopLatency);
+            EXPECT_EQ(h, noc.hopLatency(c, b)); // pure function
+        }
+    }
+    EXPECT_EQ(noc.coreToCore(2, 2), 0u);
+    EXPECT_EQ(noc.coreToCore(0, 3), cfg.nocHopLatency);
+}
+
+TEST(Noc, BankSerializesBackToBackRequests)
+{
+    SystemConfig cfg = SystemConfig::make(4, 4, 4);
+    Interconnect noc(cfg);
+    Tick s1 = noc.reserveBank(3, 100);
+    Tick s2 = noc.reserveBank(3, 100);
+    Tick s3 = noc.reserveBank(3, 100);
+    EXPECT_EQ(s1, 100u);
+    EXPECT_EQ(s2, 100u + cfg.bankOccupancy);
+    EXPECT_EQ(s3, 100u + 2 * cfg.bankOccupancy);
+    // A different bank is free.
+    EXPECT_EQ(noc.reserveBank(4, 100), 100u);
+    // After the queue drains, arrival time dominates again.
+    EXPECT_EQ(noc.reserveBank(3, 10000), 10000u);
+}
+
+} // namespace
+} // namespace glsc

@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Regression tests for the paper's qualitative results (the shapes
+ * EXPERIMENTS.md reports).  Small-scale runs, so thresholds are
+ * conservative; if one of these breaks, the reproduction regressed.
+ */
+
+#include <gtest/gtest.h>
+
+#include "kernels/micro.h"
+#include "kernels/registry.h"
+
+namespace glsc {
+namespace {
+
+double
+ratioAt(const char *bench, int ds, int cores, int threads, int width,
+        double scale = 0.05)
+{
+    SystemConfig cfg = SystemConfig::make(cores, threads, width);
+    auto b = runBenchmark(bench, ds, Scheme::Base, cfg, scale, 1);
+    auto g = runBenchmark(bench, ds, Scheme::Glsc, cfg, scale, 1);
+    EXPECT_TRUE(b.verified) << bench << ": " << b.detail;
+    EXPECT_TRUE(g.verified) << bench << ": " << g.detail;
+    return double(b.stats.cycles) / double(g.stats.cycles);
+}
+
+TEST(PaperShapes, GlscNeverMuchWorseAtScalarWidth)
+{
+    // Fig. 8, 1-wide: "GLSC has the same performance as Base" --
+    // except HIP, whose GLSC code runs ~30-40% more instructions.
+    for (const char *b : {"GBC", "FS", "GPS", "SMC", "MFP", "TMS"})
+        EXPECT_GT(ratioAt(b, 0, 2, 2, 1), 0.80) << b;
+}
+
+TEST(PaperShapes, HipScalarOverheadReproduces)
+{
+    // HIP at 1-wide: Base wins (paper: 28% more GLSC instructions).
+    EXPECT_LT(ratioAt("HIP", 0, 1, 1, 1), 1.0);
+}
+
+TEST(PaperShapes, ReductionKernelsWinAtFourWide)
+{
+    for (const char *b : {"GBC", "SMC", "TMS", "FS"})
+        EXPECT_GT(ratioAt(b, 0, 4, 4, 4), 1.05) << b;
+}
+
+TEST(PaperShapes, BenefitGrowsWithSimdWidth)
+{
+    // Fig. 8: 16-wide ratio exceeds 4-wide ratio for high-SIMD-
+    // efficiency benchmarks (GBC, TMS).
+    for (const char *b : {"GBC", "TMS"}) {
+        double r4 = ratioAt(b, 0, 4, 4, 4);
+        double r16 = ratioAt(b, 0, 4, 4, 16);
+        EXPECT_GT(r16, r4 * 1.05) << b;
+    }
+}
+
+TEST(PaperShapes, MicrobenchmarkOrdering)
+{
+    // Fig. 7: A (miss overlap) beats C (instruction reduction only)
+    // beats D (full aliasing); D loses at 16-wide.
+    SystemConfig c4 = SystemConfig::make(4, 4, 4);
+    SystemConfig c16 = SystemConfig::make(4, 4, 16);
+    auto ratio = [](SystemConfig cfg, MicroScenario sc) {
+        auto b = runMicro(cfg, sc, Scheme::Base, 512, 1);
+        auto g = runMicro(cfg, sc, Scheme::Glsc, 512, 1);
+        EXPECT_TRUE(b.verified && g.verified);
+        return double(b.stats.cycles) / double(g.stats.cycles);
+    };
+    double a = ratio(c4, MicroScenario::A);
+    double cR = ratio(c4, MicroScenario::C);
+    double d = ratio(c4, MicroScenario::D);
+    EXPECT_GT(a, cR);
+    EXPECT_GT(cR, d);
+    EXPECT_LT(ratio(c16, MicroScenario::D), 1.0);
+}
+
+TEST(PaperShapes, FailureRatesMatchTableFour)
+{
+    // Table 4: GBC/HIP fail tens of percent from aliasing alone
+    // (visible at 1x1); GPS/MFP essentially zero.
+    SystemConfig cfg = SystemConfig::make(1, 1, 4);
+    auto fail = [&](const char *b) {
+        auto r = runBenchmark(b, 0, Scheme::Glsc, cfg, 0.05, 1);
+        EXPECT_TRUE(r.verified) << b;
+        return r.stats.glscFailureRate();
+    };
+    EXPECT_GT(fail("GBC"), 0.15);
+    EXPECT_GT(fail("HIP"), 0.20);
+    EXPECT_LT(fail("GPS"), 0.01);
+    EXPECT_LT(fail("MFP"), 0.01);
+    EXPECT_LT(fail("TMS"), 0.01);
+}
+
+TEST(PaperShapes, InstructionReductionAtFourWide)
+{
+    // Table 4: GLSC executes substantially fewer dynamic instructions
+    // at 4x4 for every benchmark.
+    SystemConfig cfg = SystemConfig::make(4, 4, 4);
+    for (const char *b : {"GBC", "FS", "GPS", "SMC", "MFP", "TMS"}) {
+        auto base = runBenchmark(b, 1, Scheme::Base, cfg, 0.05, 1);
+        auto glsc = runBenchmark(b, 1, Scheme::Glsc, cfg, 0.05, 1);
+        ASSERT_TRUE(base.verified && glsc.verified) << b;
+        EXPECT_LT(glsc.stats.totalInstructions(),
+                  base.stats.totalInstructions() * 0.9)
+            << b;
+    }
+}
+
+TEST(PaperShapes, SyncTimeIsSubstantialAtScalar)
+{
+    // Fig. 5(a): every benchmark spends a hefty share of 1x1 1-wide
+    // time in synchronization operations.
+    SystemConfig cfg = SystemConfig::make(1, 1, 1);
+    for (const char *b : {"GBC", "FS", "HIP", "SMC", "TMS"}) {
+        auto r = runBenchmark(b, 0, Scheme::Glsc, cfg, 0.05, 1);
+        ASSERT_TRUE(r.verified) << b;
+        double frac = double(r.stats.totalSyncCycles()) /
+                      double(r.stats.cycles);
+        EXPECT_GT(frac, 0.15) << b;
+        EXPECT_LT(frac, 0.95) << b;
+    }
+}
+
+} // namespace
+} // namespace glsc

@@ -1,0 +1,212 @@
+/**
+ * @file
+ * Cross-cutting property tests:
+ *  - determinism: identical seeds give identical stats for every
+ *    benchmark under both schemes;
+ *  - stats consistency invariants (hits + misses = accesses, failure
+ *    counts bounded by attempts, ...);
+ *  - GLSC mask algebra under randomized fuzz kernels: output masks are
+ *    subsets of input masks, exactly one winner per aliased address,
+ *    and every *successful* lane's write is actually visible.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "kernels/registry.h"
+#include "sim/random.h"
+#include "sim/system.h"
+
+namespace glsc {
+namespace {
+
+class DeterminismSweep
+    : public ::testing::TestWithParam<std::tuple<const char *, int>>
+{
+};
+
+TEST_P(DeterminismSweep, IdenticalSeedsIdenticalRuns)
+{
+    auto [bench, schemeIdx] = GetParam();
+    Scheme scheme = schemeIdx ? Scheme::Glsc : Scheme::Base;
+    SystemConfig cfg = SystemConfig::make(2, 2, 4);
+    RunResult a = runBenchmark(bench, 0, scheme, cfg, 0.02, 99);
+    RunResult b = runBenchmark(bench, 0, scheme, cfg, 0.02, 99);
+    ASSERT_TRUE(a.verified && b.verified);
+    EXPECT_EQ(a.stats.cycles, b.stats.cycles);
+    EXPECT_EQ(a.stats.totalInstructions(), b.stats.totalInstructions());
+    EXPECT_EQ(a.stats.l1Accesses, b.stats.l1Accesses);
+    EXPECT_EQ(a.stats.glscLaneFailures(), b.stats.glscLaneFailures());
+    EXPECT_EQ(a.stats.scFailures, b.stats.scFailures);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllBenches, DeterminismSweep,
+    ::testing::Combine(::testing::Values("GBC", "FS", "GPS", "HIP",
+                                         "SMC", "MFP", "TMS"),
+                       ::testing::Values(0, 1)),
+    [](const auto &info) {
+        return std::string(std::get<0>(info.param)) +
+               (std::get<1>(info.param) ? "_GLSC" : "_Base");
+    });
+
+class ConsistencySweep : public ::testing::TestWithParam<const char *>
+{
+};
+
+TEST_P(ConsistencySweep, StatsInvariantsHold)
+{
+    SystemConfig cfg = SystemConfig::make(4, 2, 4);
+    RunResult r = runBenchmark(GetParam(), 1, Scheme::Glsc, cfg, 0.02, 7);
+    ASSERT_TRUE(r.verified) << r.detail;
+    const SystemStats &s = r.stats;
+    EXPECT_EQ(s.l1Hits + s.l1Misses, s.l1Accesses);
+    EXPECT_LE(s.l1AtomicAccesses, s.l1Accesses);
+    EXPECT_LE(s.glscLaneFailures(),
+              s.glscLaneAttempts + s.gatherLinkInstrs * 16);
+    EXPECT_LE(s.scFailures, s.scAttempts);
+    EXPECT_LE(s.prefetchesUseful, s.prefetchesIssued);
+    EXPECT_LE(s.l2Misses, s.l2Accesses);
+    // Every thread retired work and finished within the run.
+    for (const auto &t : s.threads) {
+        EXPECT_GT(t.instructions, 0u);
+        EXPECT_LE(t.doneTick, s.cycles);
+        EXPECT_LE(t.syncCycles, s.cycles);
+    }
+    // GSU dispatched at least one request per vector-memory instr's
+    // active line, never more than lanes.
+    EXPECT_LE(s.gsuCacheRequests, s.gsuInstrs * 16);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBenches, ConsistencySweep,
+                         ::testing::Values("GBC", "FS", "GPS", "HIP",
+                                           "SMC", "MFP", "TMS"));
+
+/**
+ * Randomized GLSC fuzz: lanes draw random indices over a small
+ * region; after every vgatherlink/vscattercond pair the host shadow
+ * model is updated from the reported masks and compared to simulated
+ * memory.
+ */
+Task<void>
+fuzzKernel(SimThread &t, Addr base, int region, int iters,
+           std::uint64_t seed, std::map<Addr, std::uint32_t> *shadow,
+           bool *ok)
+{
+    Rng rng(seed);
+    const int w = t.width();
+    for (int i = 0; i < iters; ++i) {
+        VecReg idx;
+        for (int l = 0; l < w; ++l)
+            idx[l] = rng.below(region);
+        Mask in = Mask::fromRaw(rng.next() & ((1ull << w) - 1));
+        GatherResult g = co_await t.vgatherlink(base, idx, in, 4);
+        if (!g.mask.subsetOf(in))
+            *ok = false;
+        VecReg upd;
+        for (int l = 0; l < w; ++l)
+            upd[l] = g.value.u32(l) + 1;
+        Mask done = co_await t.vscattercond(base, idx, upd, g.mask, 4);
+        if (!done.subsetOf(g.mask))
+            *ok = false;
+        // Exactly one winner per aliased address.
+        for (int l1 = 0; l1 < w; ++l1) {
+            for (int l2 = l1 + 1; l2 < w; ++l2) {
+                if (done.test(l1) && done.test(l2) &&
+                    idx[l1] == idx[l2]) {
+                    *ok = false;
+                }
+            }
+        }
+        // Single-threaded run: apply winners to the shadow and check.
+        for (int l = 0; l < w; ++l) {
+            if (done.test(l)) {
+                Addr a = base + 4ull * idx[l];
+                (*shadow)[a] = static_cast<std::uint32_t>(upd[l]);
+            }
+        }
+    }
+}
+
+TEST(GlscFuzz, MaskAlgebraAndVisibility)
+{
+    SystemConfig cfg = SystemConfig::make(1, 1, 4);
+    System sys(cfg);
+    Addr base = sys.layout().alloc(kLineBytes * 8);
+    std::map<Addr, std::uint32_t> shadow;
+    bool ok = true;
+    sys.spawn(0, [&](SimThread &t) {
+        return fuzzKernel(t, base, 128, 400, 0xF22, &shadow, &ok);
+    });
+    sys.run();
+    EXPECT_TRUE(ok);
+    for (const auto &[a, v] : shadow)
+        EXPECT_EQ(sys.memory().readU32(a), v) << "addr " << a;
+}
+
+TEST(GlscFuzz, SixteenWide)
+{
+    SystemConfig cfg = SystemConfig::make(1, 1, 16);
+    System sys(cfg);
+    Addr base = sys.layout().alloc(kLineBytes * 8);
+    std::map<Addr, std::uint32_t> shadow;
+    bool ok = true;
+    sys.spawn(0, [&](SimThread &t) {
+        return fuzzKernel(t, base, 96, 200, 0xFEE, &shadow, &ok);
+    });
+    sys.run();
+    EXPECT_TRUE(ok);
+    for (const auto &[a, v] : shadow)
+        EXPECT_EQ(sys.memory().readU32(a), v);
+}
+
+/** Multi-thread fuzz: total increments conserved despite contention. */
+Task<void>
+fuzzContend(SimThread &t, Addr base, int region, int iters,
+            std::uint64_t seed, std::uint64_t *applied)
+{
+    Rng rng(seed + t.globalId() * 7919);
+    const int w = t.width();
+    for (int i = 0; i < iters; ++i) {
+        VecReg idx;
+        for (int l = 0; l < w; ++l)
+            idx[l] = rng.below(region);
+        Mask todo = Mask::allOnes(w);
+        while (todo.any()) {
+            GatherResult g = co_await t.vgatherlink(base, idx, todo, 4);
+            VecReg upd;
+            for (int l = 0; l < w; ++l)
+                upd[l] = g.value.u32(l) + 1;
+            Mask done =
+                co_await t.vscattercond(base, idx, upd, g.mask, 4);
+            *applied += done.count();
+            todo = todo.andNot(done);
+            if (done.noneSet())
+                co_await t.exec(1 + (t.globalId() % 7));
+        }
+    }
+}
+
+TEST(GlscFuzz, ContendedIncrementsConserved)
+{
+    SystemConfig cfg = SystemConfig::make(4, 4, 4);
+    System sys(cfg);
+    Addr base = sys.layout().alloc(kLineBytes * 4);
+    const int region = 48, iters = 25;
+    std::uint64_t applied = 0;
+    sys.spawnAll([&](SimThread &t) {
+        return fuzzContend(t, base, region, iters, 5, &applied);
+    });
+    sys.run();
+    std::uint64_t sum = 0;
+    for (int i = 0; i < region; ++i)
+        sum += sys.memory().readU32(base + 4ull * i);
+    // Every lane of every group eventually succeeded exactly once.
+    EXPECT_EQ(sum, static_cast<std::uint64_t>(iters) * 4 *
+                       cfg.totalThreads());
+    EXPECT_EQ(applied, sum);
+}
+
+} // namespace
+} // namespace glsc

@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Coroutine Task tests: nesting (symmetric transfer), value returns,
+ * exception propagation through kernels, and thread lifecycle.
+ */
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "sim/system.h"
+
+namespace glsc {
+namespace {
+
+Task<int>
+leafValue(SimThread &t, int x)
+{
+    co_await t.exec(1);
+    co_return x * 2;
+}
+
+Task<int>
+midLevel(SimThread &t, int x)
+{
+    int a = co_await leafValue(t, x);
+    int b = co_await leafValue(t, x + 1);
+    co_return a + b;
+}
+
+Task<void>
+rootKernel(SimThread &t, Addr out)
+{
+    int v = co_await midLevel(t, 10);
+    co_await t.store(out, static_cast<std::uint64_t>(v), 4);
+}
+
+TEST(Task, NestedSubroutinesReturnValues)
+{
+    SystemConfig cfg = SystemConfig::make(1, 1, 4);
+    System sys(cfg);
+    Addr out = sys.layout().alloc(kLineBytes);
+    sys.spawn(0, [&](SimThread &t) { return rootKernel(t, out); });
+    sys.run();
+    EXPECT_EQ(sys.memory().readU32(out), 42u); // 10*2 + 11*2
+}
+
+Task<void>
+deeplyNested(SimThread &t, int depth, Addr out)
+{
+    if (depth == 0) {
+        co_await t.store(out, 777, 4);
+        co_return;
+    }
+    co_await t.exec(1);
+    co_await deeplyNested(t, depth - 1, out);
+}
+
+TEST(Task, DeepNestingSurvives)
+{
+    SystemConfig cfg = SystemConfig::make(1, 1, 4);
+    System sys(cfg);
+    Addr out = sys.layout().alloc(kLineBytes);
+    sys.spawn(0,
+              [&](SimThread &t) { return deeplyNested(t, 64, out); });
+    SystemStats stats = sys.run();
+    EXPECT_EQ(sys.memory().readU32(out), 777u);
+    EXPECT_GE(stats.totalInstructions(), 64u);
+}
+
+Task<void>
+innerThrows(SimThread &t)
+{
+    co_await t.exec(1);
+    throw std::runtime_error("inner failure");
+}
+
+Task<void>
+outerCatches(SimThread &t, Addr out)
+{
+    bool caught = false;
+    try {
+        co_await innerThrows(t);
+    } catch (const std::runtime_error &) {
+        caught = true;
+    }
+    co_await t.store(out, caught ? 1 : 0, 4);
+}
+
+TEST(Task, ExceptionsPropagateAcrossSuspension)
+{
+    SystemConfig cfg = SystemConfig::make(1, 1, 4);
+    System sys(cfg);
+    Addr out = sys.layout().alloc(kLineBytes);
+    sys.spawn(0, [&](SimThread &t) { return outerCatches(t, out); });
+    sys.run();
+    EXPECT_EQ(sys.memory().readU32(out), 1u);
+}
+
+Task<void>
+uncaughtThrower(SimThread &t)
+{
+    co_await t.exec(5);
+    throw std::logic_error("kernel bug");
+}
+
+TEST(Task, UncaughtKernelExceptionSurfacesFromRun)
+{
+    SystemConfig cfg = SystemConfig::make(1, 1, 4);
+    System sys(cfg);
+    sys.spawn(0, [&](SimThread &t) { return uncaughtThrower(t); });
+    EXPECT_THROW(sys.run(), std::logic_error);
+}
+
+Task<void>
+idCheck(SimThread &t, std::vector<int> *seen)
+{
+    co_await t.exec(1);
+    seen->push_back(t.globalId());
+}
+
+TEST(Task, ThreadIdentitiesAreStable)
+{
+    SystemConfig cfg = SystemConfig::make(2, 2, 4);
+    System sys(cfg);
+    std::vector<int> seen;
+    sys.spawnAll([&](SimThread &t) { return idCheck(t, &seen); });
+    sys.run();
+    std::sort(seen.begin(), seen.end());
+    EXPECT_EQ(seen, (std::vector<int>{0, 1, 2, 3}));
+    EXPECT_EQ(sys.thread(3).coreId(), 1);
+    EXPECT_EQ(sys.thread(3).tid(), 1);
+}
+
+} // namespace
+} // namespace glsc

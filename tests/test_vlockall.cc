@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Tests for vLockAll, the section-3.2 alternative locking discipline
+ * (hold all SIMD-width locks before updating), plus protocol edge
+ * cases exercised through it.
+ */
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "core/vatomic.h"
+#include "sim/random.h"
+#include "sim/system.h"
+
+namespace glsc {
+namespace {
+
+Task<void>
+lockAllKernel(SimThread &t, Addr locks, Addr vals, int universe,
+              int iters, std::uint64_t seed)
+{
+    Rng rng(seed + t.globalId() * 131);
+    const int w = t.width();
+    for (int i = 0; i < iters; ++i) {
+        VecReg idx;
+        for (int l = 0; l < w; ++l)
+            idx[l] = rng.below(universe);
+        Mask want = Mask::allOnes(w);
+        Mask reps = co_await vLockAll(t, locks, idx, want);
+        // Holding every distinct lock: read-modify-write all of them
+        // with a plain gather/scatter (no atomics needed now).
+        GatherResult g = co_await t.vgather(vals, idx, reps, 4);
+        co_await t.exec(1);
+        VecReg upd;
+        for (int l = 0; l < w; ++l)
+            upd[l] = g.value.u32(l) + 1;
+        co_await t.vscatter(vals, idx, upd, reps, 4);
+        co_await vUnlock(t, locks, idx, reps);
+    }
+}
+
+TEST(VLockAll, HoldsAllDistinctLocksAndConserves)
+{
+    SystemConfig cfg = SystemConfig::make(4, 2, 4);
+    System sys(cfg);
+    const int universe = 96;
+    Addr locks = sys.layout().allocArray(universe, 4);
+    Addr vals = sys.layout().allocArray(universe, 4);
+    const int iters = 20;
+    sys.spawnAll([&](SimThread &t) {
+        return lockAllKernel(t, locks, vals, universe, iters, 3);
+    });
+    sys.run();
+    // Aliased lanes are deduplicated, so the total count equals the
+    // number of *distinct* indices drawn, which we recompute.
+    std::uint64_t expect = 0;
+    for (int g = 0; g < cfg.totalThreads(); ++g) {
+        Rng rng(3 + g * 131);
+        for (int i = 0; i < iters; ++i) {
+            std::set<std::uint64_t> uniq;
+            for (int l = 0; l < cfg.simdWidth; ++l)
+                uniq.insert(rng.below(universe));
+            expect += uniq.size();
+        }
+    }
+    std::uint64_t total = 0;
+    for (int u = 0; u < universe; ++u)
+        total += sys.memory().readU32(vals + 4ull * u);
+    EXPECT_EQ(total, expect);
+    for (int u = 0; u < universe; ++u)
+        EXPECT_EQ(sys.memory().readU32(locks + 4ull * u), 0u)
+            << "lock " << u << " leaked";
+}
+
+Task<void>
+hotLockAll(SimThread &t, Addr locks, Addr counter, int iters)
+{
+    const int w = t.width();
+    for (int i = 0; i < iters; ++i) {
+        // Everyone wants the same two locks -> heavy cross-thread
+        // contention plus intra-group aliasing.
+        VecReg idx;
+        for (int l = 0; l < w; ++l)
+            idx[l] = static_cast<std::uint64_t>(l % 2);
+        Mask reps = co_await vLockAll(t, locks, idx, Mask::allOnes(w));
+        // The critical-section update goes through the (blocking) GSU
+        // so it is globally visible before the unlock scatter issues;
+        // a write-buffered store could be overtaken by the unlock.
+        VecReg cidx; // lane 0 -> counter word
+        GatherResult g =
+            co_await t.vgather(counter, cidx, Mask::allOnes(1), 4);
+        co_await t.exec(1);
+        VecReg upd;
+        upd[0] = g.value.u32(0) + 1;
+        co_await t.vscatter(counter, cidx, upd, Mask::allOnes(1), 4);
+        co_await vUnlock(t, locks, idx, reps);
+    }
+}
+
+TEST(VLockAll, SurvivesHeavyContentionWithoutDeadlock)
+{
+    SystemConfig cfg = SystemConfig::make(4, 4, 4);
+    System sys(cfg);
+    Addr locks = sys.layout().alloc(kLineBytes);
+    Addr counter = sys.layout().alloc(kLineBytes);
+    const int iters = 6;
+    sys.spawnAll([&](SimThread &t) {
+        return hotLockAll(t, locks, counter, iters);
+    });
+    sys.run(); // panics on deadlock; finishing is the main assertion
+    EXPECT_EQ(sys.memory().readU32(counter),
+              static_cast<std::uint32_t>(iters * cfg.totalThreads()));
+}
+
+} // namespace
+} // namespace glsc

@@ -1,0 +1,208 @@
+/**
+ * @file
+ * Unit and property tests for the synthetic workload generators.
+ */
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <set>
+
+#include "workloads/sparse.h"
+#include "workloads/synthetic.h"
+
+namespace glsc {
+namespace {
+
+TEST(Sparse, RandomCsrShape)
+{
+    CsrMatrix m = makeRandomCsr(100, 200, 0.05, 1);
+    EXPECT_EQ(m.rows, 100);
+    EXPECT_EQ(m.cols, 200);
+    EXPECT_EQ(static_cast<int>(m.rowPtr.size()), 101);
+    EXPECT_EQ(m.rowPtr[100], m.nnz());
+    // Density within loose bounds; every row non-empty.
+    EXPECT_GT(m.nnz(), 100 * 200 * 0.05 * 0.5);
+    EXPECT_LT(m.nnz(), 100 * 200 * 0.05 * 2.0);
+    for (int r = 0; r < 100; ++r) {
+        EXPECT_GT(m.rowPtr[r + 1], m.rowPtr[r]) << "empty row " << r;
+        for (int k = m.rowPtr[r]; k < m.rowPtr[r + 1]; ++k) {
+            EXPECT_GE(m.colIdx[k], 0);
+            EXPECT_LT(m.colIdx[k], 200);
+        }
+    }
+}
+
+TEST(Sparse, DeterministicInSeed)
+{
+    CsrMatrix a = makeRandomCsr(50, 50, 0.1, 7);
+    CsrMatrix b = makeRandomCsr(50, 50, 0.1, 7);
+    CsrMatrix c = makeRandomCsr(50, 50, 0.1, 8);
+    EXPECT_EQ(a.colIdx, b.colIdx);
+    EXPECT_EQ(a.values, b.values);
+    EXPECT_NE(a.colIdx, c.colIdx);
+}
+
+TEST(Sparse, LowerTriangularStructure)
+{
+    CsrMatrix l = makeLowerTriangular(64, 0.2, 3);
+    for (int r = 0; r < 64; ++r) {
+        int last = l.rowPtr[r + 1] - 1;
+        EXPECT_EQ(l.colIdx[last], r) << "diagonal missing in row " << r;
+        EXPECT_NEAR(std::abs(l.values[last]), 1.0f, 1e-6);
+        for (int k = l.rowPtr[r]; k < last; ++k)
+            EXPECT_LT(l.colIdx[k], r);
+    }
+}
+
+TEST(Sparse, ForwardSolveInvertsMultiply)
+{
+    CsrMatrix l = makeLowerTriangular(80, 0.1, 11);
+    Rng rng(4);
+    std::vector<float> x(80);
+    for (auto &v : x)
+        v = static_cast<float>(rng.uniform() - 0.5);
+    // b = L x, then solve L y = b and compare y to x.
+    std::vector<float> b(80, 0.0f);
+    for (int r = 0; r < 80; ++r) {
+        for (int k = l.rowPtr[r]; k < l.rowPtr[r + 1]; ++k)
+            b[r] += l.values[k] * x[l.colIdx[k]];
+    }
+    std::vector<float> y = forwardSolve(l, b);
+    for (int i = 0; i < 80; ++i)
+        EXPECT_NEAR(y[i], x[i], 1e-4) << "row " << i;
+}
+
+TEST(Sparse, LevelScheduleRespectsDependencies)
+{
+    CsrMatrix l = makeLowerTriangular(120, 0.05, 19);
+    auto levels = levelSchedule(l);
+    std::vector<int> levelOf(120, -1);
+    int count = 0;
+    for (std::size_t lv = 0; lv < levels.size(); ++lv) {
+        for (int c : levels[lv]) {
+            levelOf[c] = static_cast<int>(lv);
+            count++;
+        }
+    }
+    EXPECT_EQ(count, 120);
+    // Every strictly-lower dependency sits in an earlier level.
+    for (int r = 0; r < 120; ++r) {
+        for (int k = l.rowPtr[r]; k < l.rowPtr[r + 1]; ++k) {
+            int c = l.colIdx[k];
+            if (c < r)
+                EXPECT_LT(levelOf[c], levelOf[r]);
+        }
+    }
+}
+
+TEST(Synthetic, RunIndicesAliasRateTracksParameter)
+{
+    auto idx = makeRunIndices(40000, 1024, 0.35, 5);
+    int repeats = 0;
+    for (std::size_t i = 1; i < idx.size(); ++i)
+        repeats += idx[i] == idx[i - 1];
+    double rate = double(repeats) / (idx.size() - 1);
+    EXPECT_NEAR(rate, 0.35, 0.02);
+    for (auto v : idx)
+        EXPECT_LT(v, 1024u);
+}
+
+TEST(Synthetic, HotsetFractionRespected)
+{
+    auto idx = makeHotsetIndices(50000, 4096, 2, 0.7, 9);
+    // The two hot values must cover roughly hotFraction of draws.
+    std::map<std::uint32_t, int> freq;
+    for (auto v : idx)
+        freq[v]++;
+    std::vector<int> counts;
+    for (auto &[v, c] : freq)
+        counts.push_back(c);
+    std::sort(counts.rbegin(), counts.rend());
+    double hotShare = double(counts[0] + counts[1]) / idx.size();
+    EXPECT_NEAR(hotShare, 0.7, 0.03);
+}
+
+TEST(Synthetic, FlowGraphConnectedAndLocal)
+{
+    FlowGraph g = makeFlowGraph(256, 1024, 8, 3);
+    EXPECT_EQ(static_cast<int>(g.edges.size()), 1024);
+    // Sorted by from; endpoints valid; chain present.
+    for (std::size_t i = 1; i < g.edges.size(); ++i)
+        EXPECT_LE(g.edges[i - 1].from, g.edges[i].from);
+    std::set<std::pair<int, int>> chain;
+    for (const auto &e : g.edges) {
+        EXPECT_GE(e.from, 0);
+        EXPECT_LT(e.from, 256);
+        EXPECT_NE(e.from, e.to);
+        EXPECT_GE(e.capacity, 1u);
+        chain.insert({e.from, e.to});
+    }
+    for (int i = 1; i < 256; ++i)
+        EXPECT_TRUE(chain.count({i - 1, i})) << "chain edge " << i;
+}
+
+TEST(Synthetic, ConstraintsCanonicalAndLocal)
+{
+    ConstraintSet cs = makeConstraints(500, 2000, 6, 17);
+    EXPECT_EQ(static_cast<int>(cs.constraints.size()), 2000);
+    for (std::size_t i = 0; i < cs.constraints.size(); ++i) {
+        const Constraint &c = cs.constraints[i];
+        EXPECT_LT(c.a, c.b);
+        EXPECT_LE(c.b - c.a, 6 + 6); // clamping can stretch slightly
+        if (i > 0)
+            EXPECT_LE(cs.constraints[i - 1].a, c.a); // sorted
+    }
+}
+
+TEST(Synthetic, GroupIndependentProducesDisjointGroups)
+{
+    ConstraintSet cs = makeConstraints(400, 512, 6, 23);
+    groupIndependent(cs, 0, 512, 4);
+    // Count how many aligned groups of 4 are fully independent; the
+    // greedy pass should make the vast majority so.
+    int independent = 0, groups = 0;
+    for (int g = 0; g + 4 <= 512; g += 4) {
+        std::set<int> used;
+        bool ok = true;
+        for (int i = g; i < g + 4; ++i) {
+            ok &= used.insert(cs.constraints[i].a).second;
+            ok &= used.insert(cs.constraints[i].b).second;
+        }
+        groups++;
+        independent += ok;
+    }
+    EXPECT_GT(double(independent) / groups, 0.85);
+}
+
+TEST(Synthetic, ParticlesStayInGrid)
+{
+    auto parts = makeParticles(5000, 24, 24, 24, 4, 77);
+    for (const Particle &p : parts) {
+        EXPECT_GE(p.x, 0);
+        EXPECT_LE(p.x, 22); // room for the +1 neighbor
+        EXPECT_GE(p.y, 0);
+        EXPECT_LE(p.y, 22);
+        EXPECT_GE(p.z, 0);
+        EXPECT_LE(p.z, 22);
+        EXPECT_GT(p.mass, 0.0f);
+    }
+}
+
+TEST(Rng, ZipfSkewOrdering)
+{
+    Rng rng(13);
+    // Higher theta concentrates mass on low ranks.
+    int lowHitsWeak = 0, lowHitsStrong = 0;
+    Rng a(13), b(13);
+    for (int i = 0; i < 20000; ++i) {
+        if (a.zipf(1000, 0.3) < 10)
+            lowHitsWeak++;
+        if (b.zipf(1000, 0.95) < 10)
+            lowHitsStrong++;
+    }
+    EXPECT_GT(lowHitsStrong, lowHitsWeak * 2);
+}
+
+} // namespace
+} // namespace glsc
