@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_best_effort.dir/best_effort.cpp.o"
+  "CMakeFiles/example_best_effort.dir/best_effort.cpp.o.d"
+  "example_best_effort"
+  "example_best_effort.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_best_effort.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_sparse_matvec.dir/sparse_matvec.cpp.o"
+  "CMakeFiles/example_sparse_matvec.dir/sparse_matvec.cpp.o.d"
+  "example_sparse_matvec"
+  "example_sparse_matvec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_sparse_matvec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_vector_locks.dir/vector_locks.cpp.o"
+  "CMakeFiles/example_vector_locks.dir/vector_locks.cpp.o.d"
+  "example_vector_locks"
+  "example_vector_locks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_vector_locks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

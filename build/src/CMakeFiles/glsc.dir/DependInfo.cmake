@@ -1,0 +1,42 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/config/config.cc" "src/CMakeFiles/glsc.dir/config/config.cc.o" "gcc" "src/CMakeFiles/glsc.dir/config/config.cc.o.d"
+  "/root/repo/src/core/gsu.cc" "src/CMakeFiles/glsc.dir/core/gsu.cc.o" "gcc" "src/CMakeFiles/glsc.dir/core/gsu.cc.o.d"
+  "/root/repo/src/core/vatomic.cc" "src/CMakeFiles/glsc.dir/core/vatomic.cc.o" "gcc" "src/CMakeFiles/glsc.dir/core/vatomic.cc.o.d"
+  "/root/repo/src/cpu/barrier.cc" "src/CMakeFiles/glsc.dir/cpu/barrier.cc.o" "gcc" "src/CMakeFiles/glsc.dir/cpu/barrier.cc.o.d"
+  "/root/repo/src/cpu/core.cc" "src/CMakeFiles/glsc.dir/cpu/core.cc.o" "gcc" "src/CMakeFiles/glsc.dir/cpu/core.cc.o.d"
+  "/root/repo/src/cpu/lsu.cc" "src/CMakeFiles/glsc.dir/cpu/lsu.cc.o" "gcc" "src/CMakeFiles/glsc.dir/cpu/lsu.cc.o.d"
+  "/root/repo/src/cpu/thread.cc" "src/CMakeFiles/glsc.dir/cpu/thread.cc.o" "gcc" "src/CMakeFiles/glsc.dir/cpu/thread.cc.o.d"
+  "/root/repo/src/kernels/common.cc" "src/CMakeFiles/glsc.dir/kernels/common.cc.o" "gcc" "src/CMakeFiles/glsc.dir/kernels/common.cc.o.d"
+  "/root/repo/src/kernels/fs.cc" "src/CMakeFiles/glsc.dir/kernels/fs.cc.o" "gcc" "src/CMakeFiles/glsc.dir/kernels/fs.cc.o.d"
+  "/root/repo/src/kernels/gbc.cc" "src/CMakeFiles/glsc.dir/kernels/gbc.cc.o" "gcc" "src/CMakeFiles/glsc.dir/kernels/gbc.cc.o.d"
+  "/root/repo/src/kernels/gps.cc" "src/CMakeFiles/glsc.dir/kernels/gps.cc.o" "gcc" "src/CMakeFiles/glsc.dir/kernels/gps.cc.o.d"
+  "/root/repo/src/kernels/hip.cc" "src/CMakeFiles/glsc.dir/kernels/hip.cc.o" "gcc" "src/CMakeFiles/glsc.dir/kernels/hip.cc.o.d"
+  "/root/repo/src/kernels/mfp.cc" "src/CMakeFiles/glsc.dir/kernels/mfp.cc.o" "gcc" "src/CMakeFiles/glsc.dir/kernels/mfp.cc.o.d"
+  "/root/repo/src/kernels/micro.cc" "src/CMakeFiles/glsc.dir/kernels/micro.cc.o" "gcc" "src/CMakeFiles/glsc.dir/kernels/micro.cc.o.d"
+  "/root/repo/src/kernels/registry.cc" "src/CMakeFiles/glsc.dir/kernels/registry.cc.o" "gcc" "src/CMakeFiles/glsc.dir/kernels/registry.cc.o.d"
+  "/root/repo/src/kernels/smc.cc" "src/CMakeFiles/glsc.dir/kernels/smc.cc.o" "gcc" "src/CMakeFiles/glsc.dir/kernels/smc.cc.o.d"
+  "/root/repo/src/kernels/tms.cc" "src/CMakeFiles/glsc.dir/kernels/tms.cc.o" "gcc" "src/CMakeFiles/glsc.dir/kernels/tms.cc.o.d"
+  "/root/repo/src/mem/memsys.cc" "src/CMakeFiles/glsc.dir/mem/memsys.cc.o" "gcc" "src/CMakeFiles/glsc.dir/mem/memsys.cc.o.d"
+  "/root/repo/src/sim/log.cc" "src/CMakeFiles/glsc.dir/sim/log.cc.o" "gcc" "src/CMakeFiles/glsc.dir/sim/log.cc.o.d"
+  "/root/repo/src/sim/random.cc" "src/CMakeFiles/glsc.dir/sim/random.cc.o" "gcc" "src/CMakeFiles/glsc.dir/sim/random.cc.o.d"
+  "/root/repo/src/sim/system.cc" "src/CMakeFiles/glsc.dir/sim/system.cc.o" "gcc" "src/CMakeFiles/glsc.dir/sim/system.cc.o.d"
+  "/root/repo/src/stats/stats.cc" "src/CMakeFiles/glsc.dir/stats/stats.cc.o" "gcc" "src/CMakeFiles/glsc.dir/stats/stats.cc.o.d"
+  "/root/repo/src/workloads/sparse.cc" "src/CMakeFiles/glsc.dir/workloads/sparse.cc.o" "gcc" "src/CMakeFiles/glsc.dir/workloads/sparse.cc.o.d"
+  "/root/repo/src/workloads/synthetic.cc" "src/CMakeFiles/glsc.dir/workloads/synthetic.cc.o" "gcc" "src/CMakeFiles/glsc.dir/workloads/synthetic.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,38 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_cache.cc" "tests/CMakeFiles/glsc_tests.dir/test_cache.cc.o" "gcc" "tests/CMakeFiles/glsc_tests.dir/test_cache.cc.o.d"
+  "/root/repo/tests/test_cpu.cc" "tests/CMakeFiles/glsc_tests.dir/test_cpu.cc.o" "gcc" "tests/CMakeFiles/glsc_tests.dir/test_cpu.cc.o.d"
+  "/root/repo/tests/test_event_queue.cc" "tests/CMakeFiles/glsc_tests.dir/test_event_queue.cc.o" "gcc" "tests/CMakeFiles/glsc_tests.dir/test_event_queue.cc.o.d"
+  "/root/repo/tests/test_glsc_buffer.cc" "tests/CMakeFiles/glsc_tests.dir/test_glsc_buffer.cc.o" "gcc" "tests/CMakeFiles/glsc_tests.dir/test_glsc_buffer.cc.o.d"
+  "/root/repo/tests/test_gsu.cc" "tests/CMakeFiles/glsc_tests.dir/test_gsu.cc.o" "gcc" "tests/CMakeFiles/glsc_tests.dir/test_gsu.cc.o.d"
+  "/root/repo/tests/test_isa.cc" "tests/CMakeFiles/glsc_tests.dir/test_isa.cc.o" "gcc" "tests/CMakeFiles/glsc_tests.dir/test_isa.cc.o.d"
+  "/root/repo/tests/test_kernel_hip.cc" "tests/CMakeFiles/glsc_tests.dir/test_kernel_hip.cc.o" "gcc" "tests/CMakeFiles/glsc_tests.dir/test_kernel_hip.cc.o.d"
+  "/root/repo/tests/test_kernels_all.cc" "tests/CMakeFiles/glsc_tests.dir/test_kernels_all.cc.o" "gcc" "tests/CMakeFiles/glsc_tests.dir/test_kernels_all.cc.o.d"
+  "/root/repo/tests/test_memory.cc" "tests/CMakeFiles/glsc_tests.dir/test_memory.cc.o" "gcc" "tests/CMakeFiles/glsc_tests.dir/test_memory.cc.o.d"
+  "/root/repo/tests/test_memsys.cc" "tests/CMakeFiles/glsc_tests.dir/test_memsys.cc.o" "gcc" "tests/CMakeFiles/glsc_tests.dir/test_memsys.cc.o.d"
+  "/root/repo/tests/test_micro.cc" "tests/CMakeFiles/glsc_tests.dir/test_micro.cc.o" "gcc" "tests/CMakeFiles/glsc_tests.dir/test_micro.cc.o.d"
+  "/root/repo/tests/test_noc.cc" "tests/CMakeFiles/glsc_tests.dir/test_noc.cc.o" "gcc" "tests/CMakeFiles/glsc_tests.dir/test_noc.cc.o.d"
+  "/root/repo/tests/test_paper_shapes.cc" "tests/CMakeFiles/glsc_tests.dir/test_paper_shapes.cc.o" "gcc" "tests/CMakeFiles/glsc_tests.dir/test_paper_shapes.cc.o.d"
+  "/root/repo/tests/test_properties.cc" "tests/CMakeFiles/glsc_tests.dir/test_properties.cc.o" "gcc" "tests/CMakeFiles/glsc_tests.dir/test_properties.cc.o.d"
+  "/root/repo/tests/test_smoke.cc" "tests/CMakeFiles/glsc_tests.dir/test_smoke.cc.o" "gcc" "tests/CMakeFiles/glsc_tests.dir/test_smoke.cc.o.d"
+  "/root/repo/tests/test_task.cc" "tests/CMakeFiles/glsc_tests.dir/test_task.cc.o" "gcc" "tests/CMakeFiles/glsc_tests.dir/test_task.cc.o.d"
+  "/root/repo/tests/test_vatomic.cc" "tests/CMakeFiles/glsc_tests.dir/test_vatomic.cc.o" "gcc" "tests/CMakeFiles/glsc_tests.dir/test_vatomic.cc.o.d"
+  "/root/repo/tests/test_vlockall.cc" "tests/CMakeFiles/glsc_tests.dir/test_vlockall.cc.o" "gcc" "tests/CMakeFiles/glsc_tests.dir/test_vlockall.cc.o.d"
+  "/root/repo/tests/test_workloads.cc" "tests/CMakeFiles/glsc_tests.dir/test_workloads.cc.o" "gcc" "tests/CMakeFiles/glsc_tests.dir/test_workloads.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/glsc.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
