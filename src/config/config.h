@@ -19,6 +19,8 @@
 
 namespace glsc {
 
+class MemObserver;
+
 /**
  * Design-freedom policies for gather-linked element failure (paper
  * section 3.2).  The default configuration matches the evaluated
@@ -79,6 +81,14 @@ struct SystemConfig
     // Gather/scatter unit.
     Tick gsuFixedOverhead = 4;    //!< pipeline overhead (min lat = 4 + W)
     GlscPolicy glsc;
+
+    /**
+     * Differential-verification shadow (not a Table-1 parameter): the
+     * MemorySystem notifies this observer at every serialization
+     * point.  Installed by tests to mirror the run through the
+     * functional reference model (src/verify/ref_model.h).
+     */
+    MemObserver *memObserver = nullptr;
 
     /** Software threads = cores * threadsPerCore. */
     int totalThreads() const { return cores * threadsPerCore; }

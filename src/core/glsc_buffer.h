@@ -99,6 +99,17 @@ class GlscBuffer
     int size() const { return static_cast<int>(entries_.size()); }
     int capacity() const { return capacity_; }
 
+    /** Copies out the live (line, tid) pairs (invariant checker). */
+    std::vector<std::pair<Addr, ThreadId>>
+    snapshot() const
+    {
+        std::vector<std::pair<Addr, ThreadId>> out;
+        out.reserve(entries_.size());
+        for (const Entry &e : entries_)
+            out.emplace_back(e.line, e.tid);
+        return out;
+    }
+
   private:
     struct Entry
     {

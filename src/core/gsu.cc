@@ -2,6 +2,7 @@
 
 #include "cpu/thread.h"
 #include "sim/log.h"
+#include "verify/invariants.h"
 
 namespace glsc {
 
@@ -244,6 +245,10 @@ Gsu::maybeFinish(Entry &e)
     // frees immediately so a min-latency op observes 4 + SIMD-width.
     SimThread *t = e.thread;
     GatherResult result = e.result;
+#ifdef GLSC_CHECK_ENABLED
+    if (InvariantChecker *chk = msys_.checker())
+        chk->checkGsuResult(e.op, result);
+#endif
     e.active = false;
     e.thread = nullptr;
     Tick assembly = cfg_.gsuFixedOverhead >= 2 ? 2 : cfg_.gsuFixedOverhead;

@@ -125,7 +125,8 @@ class L1Cache
         way.state = state;
         way.lruStamp = stamp;
         way.prefetched = false;
-        way.clearGlsc();
+        if (!testSkipGlscClearOnEvict_)
+            way.clearGlsc();
     }
 
     /** Marks @p way most-recently-used at @p stamp. */
@@ -147,6 +148,27 @@ class L1Cache
     /** Iterates all lines (tests and debug dumps). */
     const std::vector<L1Line> &lines() const { return lines_; }
 
+    /**
+     * Mutation hook for the verification-harness smoke tests ONLY:
+     * when set, replacement stops clearing the GLSC entry (here on
+     * fill, and MemorySystem::evictL1 consults it for the eviction
+     * clear), re-creating the classic leaked-reservation bug the paper
+     * rules out in section 3.3.  The invariant checker and the
+     * differential driver must both report the resulting corruption
+     * (tests/test_differential.cc proves they do).
+     */
+    void
+    testOnlySkipGlscClearOnEvict(bool skip)
+    {
+        testSkipGlscClearOnEvict_ = skip;
+    }
+
+    bool
+    testOnlySkipGlscClearOnEvict() const
+    {
+        return testSkipGlscClearOnEvict_;
+    }
+
   private:
     std::pair<int, int>
     setRange(Addr line)
@@ -159,6 +181,7 @@ class L1Cache
     int assoc_;
     int sets_;
     std::vector<L1Line> lines_;
+    bool testSkipGlscClearOnEvict_ = false;
 };
 
 } // namespace glsc

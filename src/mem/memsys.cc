@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "sim/log.h"
+#include "verify/invariants.h"
 
 namespace glsc {
 
@@ -22,11 +23,46 @@ MemorySystem::MemorySystem(const SystemConfig &cfg, EventQueue &events,
             resBuffers_.push_back(
                 std::make_unique<GlscBuffer>(cfg.glsc.bufferEntries));
     }
+#ifdef GLSC_CHECK_ENABLED
+    checker_ = std::make_unique<InvariantChecker>(*this);
+#endif
+    observer_ = cfg.memObserver;
+    if (observer_ != nullptr)
+        observer_->onAttach(cfg_, mem_);
+}
+
+MemorySystem::~MemorySystem()
+{
+    if (observer_ != nullptr)
+        observer_->onDetach();
+}
+
+InvariantChecker *
+MemorySystem::checker()
+{
+#ifdef GLSC_CHECK_ENABLED
+    return checker_.get();
+#else
+    return nullptr;
+#endif
+}
+
+void
+MemorySystem::checkAfterOp(Addr line)
+{
+#ifdef GLSC_CHECK_ENABLED
+    checker_->afterOp(line);
+#else
+    (void)line;
+#endif
 }
 
 void
 MemorySystem::linkLine(CoreId c, ThreadId t, Addr line)
 {
+#ifdef GLSC_CHECK_ENABLED
+    checker_->onLink(c, line, t);
+#endif
     if (!resBuffers_.empty()) {
         resBuffers_[c]->link(line, t);
         return;
@@ -64,6 +100,9 @@ MemorySystem::linkedByOther(CoreId c, ThreadId t, Addr line)
 void
 MemorySystem::clearLink(CoreId c, Addr line)
 {
+#ifdef GLSC_CHECK_ENABLED
+    checker_->onClear(c, line);
+#endif
     if (!resBuffers_.empty()) {
         resBuffers_[c]->clear(line);
         return;
@@ -91,7 +130,15 @@ void
 MemorySystem::evictL1(CoreId c, L1Line &way)
 {
     Addr line = way.tag;
-    clearLink(c, line); // an evicted reservation is lost (§3.3)
+#ifdef GLSC_CHECK_ENABLED
+    // Eviction semantically kills the reservation; tell the checker
+    // unconditionally so hardware that fails to clear (the mutation
+    // hook below re-creates exactly that bug) is caught as a live
+    // reservation the shadow no longer sanctions.
+    checker_->onClear(c, line);
+#endif
+    if (!l1s_[c]->testOnlySkipGlscClearOnEvict())
+        clearLink(c, line); // an evicted reservation is lost (§3.3)
     L2Line *dir = l2_.lookup(line);
     GLSC_ASSERT(dir != nullptr, "inclusion violated: L1 victim %llx has "
                 "no L2 line", (unsigned long long)line);
@@ -109,7 +156,8 @@ MemorySystem::evictL1(CoreId c, L1Line &way)
         dir->removeSharer(c);
     }
     way.state = L1State::Invalid;
-    way.clearGlsc();
+    if (!l1s_[c]->testOnlySkipGlscClearOnEvict())
+        way.clearGlsc();
 }
 
 void
@@ -259,6 +307,17 @@ ScalarResult
 MemorySystem::access(CoreId c, ThreadId t, Addr a, int size, MemOpType type,
                      std::uint64_t wdata)
 {
+    ScalarResult res = accessImpl(c, t, a, size, type, wdata);
+    if (observer_ != nullptr)
+        observer_->onScalar(c, t, a, size, type, wdata, res);
+    checkAfterOp(lineAddr(a));
+    return res;
+}
+
+ScalarResult
+MemorySystem::accessImpl(CoreId c, ThreadId t, Addr a, int size,
+                         MemOpType type, std::uint64_t wdata)
+{
     Addr line = lineAddr(a);
     GLSC_ASSERT(lineAddr(a + size - 1) == line,
                 "scalar access spans lines @%llx size %d",
@@ -319,6 +378,18 @@ MemorySystem::gatherLine(CoreId c, ThreadId t,
                          const std::vector<GsuLane> &lanes, int size,
                          bool linked)
 {
+    LineOpResult res = gatherLineImpl(c, t, lanes, size, linked);
+    if (observer_ != nullptr)
+        observer_->onGatherLine(c, t, lanes, size, linked, res);
+    checkAfterOp(lineAddr(lanes.front().addr));
+    return res;
+}
+
+LineOpResult
+MemorySystem::gatherLineImpl(CoreId c, ThreadId t,
+                             const std::vector<GsuLane> &lanes, int size,
+                             bool linked)
+{
     GLSC_ASSERT(!lanes.empty(), "empty gather line request");
     Addr line = lineAddr(lanes.front().addr);
     for (const auto &ln : lanes) {
@@ -363,6 +434,18 @@ LineOpResult
 MemorySystem::scatterLine(CoreId c, ThreadId t,
                           const std::vector<GsuLane> &lanes, int size,
                           bool conditional)
+{
+    LineOpResult res = scatterLineImpl(c, t, lanes, size, conditional);
+    if (observer_ != nullptr)
+        observer_->onScatterLine(c, t, lanes, size, conditional, res);
+    checkAfterOp(lineAddr(lanes.front().addr));
+    return res;
+}
+
+LineOpResult
+MemorySystem::scatterLineImpl(CoreId c, ThreadId t,
+                              const std::vector<GsuLane> &lanes, int size,
+                              bool conditional)
 {
     GLSC_ASSERT(!lanes.empty(), "empty scatter line request");
     Addr line = lineAddr(lanes.front().addr);
@@ -409,6 +492,10 @@ MemorySystem::vload(CoreId c, Addr a, int width, int elemSize)
     for (int i = 0; i < width; ++i)
         res.data[i] = mem_.read(a + static_cast<Addr>(i) * elemSize,
                                 elemSize);
+    if (observer_ != nullptr)
+        observer_->onVload(c, a, width, elemSize, res);
+    for (Addr line = first; line <= last; line += kLineBytes)
+        checkAfterOp(line);
     return res;
 }
 
@@ -431,6 +518,10 @@ MemorySystem::vstore(CoreId c, Addr a, const VecReg &v, Mask mask,
             mem_.write(a + static_cast<Addr>(i) * elemSize, v[i],
                        elemSize);
     }
+    if (observer_ != nullptr)
+        observer_->onVstore(c, a, v, mask, width, elemSize);
+    for (Addr line = first; line <= last; line += kLineBytes)
+        checkAfterOp(line);
     return res;
 }
 

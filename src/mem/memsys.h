@@ -88,11 +88,64 @@ struct VectorResult
     int lineAccesses = 0;
 };
 
+/**
+ * Observer of the memory system's serialization points.
+ *
+ * The simulator applies every transaction's architectural effects
+ * atomically at the acceptance tick, so the order of these callbacks
+ * IS the global memory serialization order.  The differential
+ * verification harness (src/verify/ref_model.h) implements this
+ * interface to mirror every operation through a cycle-free functional
+ * model and cross-check outcomes; install one via
+ * SystemConfig::memObserver.
+ */
+class MemObserver
+{
+  public:
+    virtual ~MemObserver() = default;
+
+    /** Called once when the MemorySystem binds the observer. */
+    virtual void onAttach(const SystemConfig &, const Memory &) {}
+    /** Called from the MemorySystem destructor (end of simulation). */
+    virtual void onDetach() {}
+
+    virtual void
+    onScalar(CoreId, ThreadId, Addr, int /*size*/, MemOpType,
+             std::uint64_t /*wdata*/, const ScalarResult &)
+    {
+    }
+
+    virtual void
+    onGatherLine(CoreId, ThreadId, const std::vector<GsuLane> &,
+                 int /*size*/, bool /*linked*/, const LineOpResult &)
+    {
+    }
+
+    virtual void
+    onScatterLine(CoreId, ThreadId, const std::vector<GsuLane> &,
+                  int /*size*/, bool /*conditional*/, const LineOpResult &)
+    {
+    }
+
+    virtual void onVload(CoreId, Addr, int /*width*/, int /*elemSize*/,
+                         const VectorResult &)
+    {
+    }
+
+    virtual void onVstore(CoreId, Addr, const VecReg &, Mask,
+                          int /*width*/, int /*elemSize*/)
+    {
+    }
+};
+
+class InvariantChecker;
+
 class MemorySystem
 {
   public:
     MemorySystem(const SystemConfig &cfg, EventQueue &events, Memory &mem,
                  SystemStats &stats);
+    ~MemorySystem();
 
     /** Scalar access accepted at core @p c's L1 port this tick. */
     ScalarResult access(CoreId c, ThreadId t, Addr a, int size,
@@ -125,6 +178,21 @@ class MemorySystem
     const L1Cache &l1(CoreId c) const { return *l1s_[c]; }
     L1Cache &l1(CoreId c) { return *l1s_[c]; }
     const L2Cache &l2() const { return l2_; }
+    const SystemConfig &config() const { return cfg_; }
+    const SystemStats &stats() const { return stats_; }
+
+    /** Per-core reservation buffer; null in per-line tag-bit mode. */
+    const GlscBuffer *
+    resBuffer(CoreId c) const
+    {
+        return resBuffers_.empty() ? nullptr : resBuffers_[c].get();
+    }
+
+    /**
+     * The always-on invariant checker (src/verify/invariants.h); null
+     * when the build compiled the checks out (GLSC_CHECK=OFF).
+     */
+    InvariantChecker *checker();
 
     /** Inclusion: every valid L1 line has a valid L2 line. */
     bool checkInclusion() const;
@@ -161,6 +229,21 @@ class MemorySystem
     }
 
   private:
+    // Bodies of the public operations; the public entry points wrap
+    // them to notify the observer and the invariant checker exactly
+    // once per operation, at its serialization point.
+    ScalarResult accessImpl(CoreId c, ThreadId t, Addr a, int size,
+                            MemOpType type, std::uint64_t wdata);
+    LineOpResult gatherLineImpl(CoreId c, ThreadId t,
+                                const std::vector<GsuLane> &lanes,
+                                int size, bool linked);
+    LineOpResult scatterLineImpl(CoreId c, ThreadId t,
+                                 const std::vector<GsuLane> &lanes,
+                                 int size, bool conditional);
+
+    /** Post-op invariant hook for every line the op touched. */
+    void checkAfterOp(Addr line);
+
     // ----- GLSC reservation storage (tag bits or buffer, §3.3). -----
     /** Records a reservation on @p line (line must be resident). */
     void linkLine(CoreId c, ThreadId t, Addr line);
@@ -201,6 +284,10 @@ class MemorySystem
     std::vector<std::unordered_map<Addr, Tick>> mshr_;
     std::vector<std::pair<Addr, Addr>> faultRanges_;
     std::uint64_t stamp_ = 0;
+    MemObserver *observer_ = nullptr;
+#ifdef GLSC_CHECK_ENABLED
+    std::unique_ptr<InvariantChecker> checker_;
+#endif
 };
 
 } // namespace glsc

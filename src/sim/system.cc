@@ -1,6 +1,7 @@
 #include "sim/system.h"
 
 #include "sim/log.h"
+#include "verify/invariants.h"
 
 namespace glsc {
 
@@ -118,6 +119,12 @@ System::run(Tick maxCycles)
     }
 
     stats_.cycles = events_.now();
+#ifdef GLSC_CHECK_ENABLED
+    // End-of-run structural sweep: catches corruption the per-op
+    // checks missed (untouched lines, stale buffer entries, stats).
+    if (InvariantChecker *chk = msys_->checker())
+        chk->fullCheck();
+#endif
     return stats_;
 }
 

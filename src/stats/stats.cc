@@ -55,6 +55,38 @@ SystemStats::scFailureRate() const
 }
 
 std::string
+SystemStats::consistencyError() const
+{
+    if (l1Hits + l1Misses != l1Accesses)
+        return strprintf("L1 hits %llu + misses %llu != accesses %llu",
+                         (unsigned long long)l1Hits,
+                         (unsigned long long)l1Misses,
+                         (unsigned long long)l1Accesses);
+    if (l2Misses > l2Accesses)
+        return strprintf("L2 misses %llu exceed accesses %llu",
+                         (unsigned long long)l2Misses,
+                         (unsigned long long)l2Accesses);
+    if (prefetchesUseful > prefetchesIssued)
+        return strprintf("useful prefetches %llu exceed issued %llu",
+                         (unsigned long long)prefetchesUseful,
+                         (unsigned long long)prefetchesIssued);
+    if (scFailures > scAttempts)
+        return strprintf("sc failures %llu exceed attempts %llu",
+                         (unsigned long long)scFailures,
+                         (unsigned long long)scAttempts);
+    // Policy failures can also come from gather-linked lanes, which
+    // are not part of glscLaneAttempts; only the scatter-conditional
+    // failure causes are bounded by it.
+    if (glscLaneFailAlias + glscLaneFailLost > glscLaneAttempts)
+        return strprintf("vscattercond lane failures %llu exceed "
+                         "attempts %llu",
+                         (unsigned long long)(glscLaneFailAlias +
+                                              glscLaneFailLost),
+                         (unsigned long long)glscLaneAttempts);
+    return "";
+}
+
+std::string
 SystemStats::toString() const
 {
     std::string out;

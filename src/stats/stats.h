@@ -89,6 +89,16 @@ struct SystemStats
     /** Scalar sc failure rate (0 when none). */
     double scFailureRate() const;
 
+    /**
+     * Conservation check over the counters: returns an empty string
+     * when every relation holds (hits + misses == accesses, misses
+     * never exceed accesses, failures never exceed attempts, useful
+     * prefetches never exceed issued ones), otherwise a description of
+     * the first broken relation.  The invariant checker calls this on
+     * every full sweep.
+     */
+    std::string consistencyError() const;
+
     /** Human-readable multi-line dump (debugging aid). */
     std::string toString() const;
 };

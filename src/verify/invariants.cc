@@ -1,0 +1,179 @@
+#include "verify/invariants.h"
+
+#include "core/glsc_buffer.h"
+#include "mem/cache.h"
+#include "mem/l2.h"
+#include "mem/memsys.h"
+#include "sim/log.h"
+
+namespace glsc {
+
+InvariantChecker::InvariantChecker(MemorySystem &msys) : msys_(msys)
+{
+}
+
+void
+InvariantChecker::violate(std::string msg)
+{
+    if (failFast_)
+        GLSC_PANIC("invariant violated: %s", msg.c_str());
+    if (violations_.size() < 64)
+        violations_.push_back(std::move(msg));
+    else
+        suppressed_++;
+}
+
+void
+InvariantChecker::onLink(CoreId c, Addr line, ThreadId t)
+{
+    shadow_[key(line, c)] = t;
+}
+
+void
+InvariantChecker::onClear(CoreId c, Addr line)
+{
+    shadow_.erase(key(line, c));
+}
+
+ThreadId
+InvariantChecker::actualOwner(CoreId c, Addr line) const
+{
+    if (const GlscBuffer *buf = msys_.resBuffer(c))
+        return buf->owner(line);
+    const L1Line *l = msys_.l1(c).lookup(line);
+    return (l != nullptr && l->glscValid) ? l->glscTid : -1;
+}
+
+void
+InvariantChecker::checkLine(Addr line)
+{
+    const SystemConfig &cfg = msys_.config();
+    const L2Line *dir = msys_.l2().lookup(line);
+    int modifiedCopies = 0;
+
+    for (int c = 0; c < cfg.cores; ++c) {
+        const L1Line *l = msys_.l1(c).lookup(line);
+
+        // --- MSI / directory agreement. ---
+        if (l != nullptr) {
+            if (dir == nullptr) {
+                violate(strprintf("inclusion: core %d holds line %llx "
+                                  "absent from the L2",
+                                  c, (unsigned long long)line));
+                continue;
+            }
+            if (l->state == L1State::Modified) {
+                modifiedCopies++;
+                if (!dir->ownedModified || dir->owner != c)
+                    violate(strprintf(
+                        "directory lost the M owner of %llx (core %d)",
+                        (unsigned long long)line, c));
+            } else if (l->state == L1State::Shared && !dir->hasSharer(c))
+                violate(strprintf(
+                    "core %d shares %llx but is not in the sharer list",
+                    c, (unsigned long long)line));
+        } else if (dir != nullptr && dir->ownedModified && dir->owner == c) {
+            violate(strprintf("directory names core %d owner of %llx "
+                              "but its L1 lacks an M copy",
+                              c, (unsigned long long)line));
+        }
+
+        // --- GLSC reservation rules. ---
+        ThreadId owner = actualOwner(c, line);
+        if (owner >= 0) {
+            if (msys_.resBuffer(c) != nullptr &&
+                (l == nullptr || !l->valid()))
+                violate(strprintf("core %d buffers a reservation on "
+                                  "non-resident line %llx",
+                                  c, (unsigned long long)line));
+            auto it = shadow_.find(key(line, c));
+            if (it == shadow_.end() || it->second != owner)
+                violate(strprintf(
+                    "core %d thread %d holds a reservation on %llx that "
+                    "an intervening write/eviction should have cleared",
+                    c, owner, (unsigned long long)line));
+        }
+    }
+
+    if (modifiedCopies > 1)
+        violate(strprintf("%d Modified copies of line %llx",
+                          modifiedCopies, (unsigned long long)line));
+    if (dir != nullptr && dir->ownedModified && dir->sharers != 0)
+        violate(strprintf("line %llx is owned Modified with a non-empty "
+                          "sharer list", (unsigned long long)line));
+}
+
+void
+InvariantChecker::afterOp(Addr line)
+{
+    checkLine(line);
+    if (++opCount_ % kFullSweepPeriod == 0)
+        fullCheck();
+}
+
+void
+InvariantChecker::fullCheck()
+{
+    const SystemConfig &cfg = msys_.config();
+    for (int c = 0; c < cfg.cores; ++c) {
+        for (const L1Line &l : msys_.l1(c).lines()) {
+            if (l.glscValid && !l.valid())
+                violate(strprintf("core %d: invalid line %llx still has "
+                                  "a GLSC entry (tid %d)",
+                                  c, (unsigned long long)l.tag, l.glscTid));
+            if (l.valid())
+                checkLine(l.tag);
+        }
+        if (const GlscBuffer *buf = msys_.resBuffer(c)) {
+            for (const auto &[line, tid] : buf->snapshot())
+                checkLine(line);
+        }
+    }
+    // Directory entries with no L1 copy left are legal (sharer lists
+    // only over-approximate after silent drops), but owner claims must
+    // be backed -- checkLine above covers lines with copies; sweep the
+    // ownership claims of the rest.
+    for (const L2Line &d : msys_.l2().lines()) {
+        if (d.valid && d.ownedModified) {
+            const L1Line *l = msys_.l1(d.owner).lookup(d.tag);
+            if (l == nullptr || l->state != L1State::Modified)
+                violate(strprintf("directory owner core %d lacks the M "
+                                  "copy of %llx",
+                                  d.owner, (unsigned long long)d.tag));
+        }
+    }
+    std::string err = msys_.stats().consistencyError();
+    if (!err.empty())
+        violate("stats conservation: " + err);
+}
+
+void
+InvariantChecker::checkGsuResult(const PendingOp &op, const GatherResult &r)
+{
+    if (!r.mask.subsetOf(op.mask))
+        violate(strprintf("GSU result mask %s is not a subset of the "
+                          "input mask %s",
+                          r.mask.toString(op.vwidth).c_str(),
+                          op.mask.toString(op.vwidth).c_str()));
+    if (op.kind != OpKind::ScatterCond)
+        return;
+    // Exactly-one-winner (section 3.1): no two successful lanes may
+    // target the same element address.
+    for (int i = 0; i < op.vwidth; ++i) {
+        if (!r.mask.test(i))
+            continue;
+        Addr ai = op.base + op.index[i] * static_cast<Addr>(op.elemSize);
+        for (int j = i + 1; j < op.vwidth; ++j) {
+            if (!r.mask.test(j))
+                continue;
+            Addr aj =
+                op.base + op.index[j] * static_cast<Addr>(op.elemSize);
+            if (ai == aj)
+                violate(strprintf("vscattercond lanes %d and %d both "
+                                  "won aliased address %llx",
+                                  i, j, (unsigned long long)ai));
+        }
+    }
+}
+
+} // namespace glsc

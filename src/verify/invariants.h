@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Always-on coherence and GLSC invariant checker.
+ *
+ * Compiled in when the build defines GLSC_CHECK_ENABLED (CMake option
+ * GLSC_CHECK, default ON except for Release builds); every hook in
+ * MemorySystem / Gsu compiles to nothing otherwise.  The checker
+ * watches the memory system at each serialization point and asserts
+ * the structural properties the paper's correctness argument rests on
+ * (sections 2, 3.3):
+ *
+ *  - MSI agreement: each L1 line's state matches the L2 directory
+ *    (owner / sharer bookkeeping), with at most one Modified copy
+ *    system-wide, and inclusion holds (valid L1 line => valid L2 line).
+ *  - GLSC entry rules: a valid GLSC entry implies the line itself is
+ *    valid; a buffered reservation refers to a resident line; and the
+ *    set of live reservations is a subset of the shadow set derived
+ *    from link/clear events -- so a reservation that survives an
+ *    intervening write or an eviction is detected the next time the
+ *    line is touched (or at the periodic full sweep).
+ *  - GSU results: output masks are subsets of input masks, and the
+ *    winning lanes of a vscattercond target pairwise-distinct element
+ *    addresses (exactly-one-winner, section 3.1).
+ *  - Stats conservation: hits + misses == accesses and the other
+ *    counter relations SystemStats::consistencyError() encodes.
+ *
+ * Cost model: a cheap per-touched-line check after every operation and
+ * a full sweep of both tag arrays every kFullSweepPeriod operations
+ * plus once at the end of System::run().
+ */
+
+#ifndef GLSC_VERIFY_INVARIANTS_H_
+#define GLSC_VERIFY_INVARIANTS_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "cpu/op.h"
+#include "isa/vector.h"
+#include "sim/types.h"
+
+namespace glsc {
+
+class MemorySystem;
+
+class InvariantChecker
+{
+  public:
+    explicit InvariantChecker(MemorySystem &msys);
+
+    /**
+     * When true (the default) any violation panics immediately with
+     * the diagnostic; tests set false to inspect violations() instead
+     * (the mutation smoke test observes detection without dying).
+     */
+    void setFailFast(bool failFast) { failFast_ = failFast; }
+
+    bool clean() const { return violations_.empty(); }
+    const std::vector<std::string> &violations() const
+    {
+        return violations_;
+    }
+
+    // ----- Event hooks (driven by MemorySystem). -----
+
+    /** A reservation was recorded for (core, line, tid). */
+    void onLink(CoreId c, Addr line, ThreadId t);
+    /** Any reservation on (core, line) was dropped. */
+    void onClear(CoreId c, Addr line);
+
+    /**
+     * Called once per memory operation for each line it touched:
+     * checks that line's coherence + reservation state and triggers
+     * the periodic full sweep.
+     */
+    void afterOp(Addr line);
+
+    /** Full sweep over both tag arrays, buffers and stats. */
+    void fullCheck();
+
+    /** GSU result legality (mask subset, exactly-one-winner). */
+    void checkGsuResult(const PendingOp &op, const GatherResult &r);
+
+  private:
+    static constexpr std::uint64_t kFullSweepPeriod = 1 << 16;
+
+    /** line | core: line addresses are 64-aligned, cores <= 64. */
+    static std::uint64_t
+    key(Addr line, CoreId c)
+    {
+        return line | static_cast<std::uint64_t>(c);
+    }
+
+    void violate(std::string msg);
+    void checkLine(Addr line);
+    /** Reservation owner core @p c actually holds on @p line, or -1. */
+    ThreadId actualOwner(CoreId c, Addr line) const;
+
+    MemorySystem &msys_;
+    /** Expected reservation owner per (core, line), from link events. */
+    std::unordered_map<std::uint64_t, ThreadId> shadow_;
+    std::uint64_t opCount_ = 0;
+    bool failFast_ = true;
+    std::vector<std::string> violations_;
+    std::uint64_t suppressed_ = 0;
+};
+
+} // namespace glsc
+
+#endif // GLSC_VERIFY_INVARIANTS_H_

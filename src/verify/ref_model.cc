@@ -1,0 +1,245 @@
+#include "verify/ref_model.h"
+
+#include "sim/log.h"
+
+namespace glsc {
+
+std::string
+RefModel::errorSummary() const
+{
+    std::string s;
+    for (std::size_t i = 0; i < errors_.size() && i < 8; ++i)
+        s += errors_[i] + "\n";
+    if (errors_.size() > 8 || suppressed_ > 0)
+        s += strprintf("... and %llu more divergences\n",
+                       (unsigned long long)(errors_.size() - 8 +
+                                            suppressed_));
+    return s;
+}
+
+void
+RefModel::error(std::string msg)
+{
+    if (errors_.size() < 64)
+        errors_.push_back(std::move(msg));
+    else
+        suppressed_++;
+}
+
+void
+RefModel::onAttach(const SystemConfig &cfg, const Memory &mem)
+{
+    cfg_ = cfg;
+    real_ = &mem;
+    // Fresh mirror per attachment (errors accumulate across runs so a
+    // reused model still reports divergences from any of them).
+    image_ = Memory{};
+    adoptedPages_.clear();
+    res_.clear();
+    finalChecked_ = false;
+}
+
+void
+RefModel::onDetach()
+{
+    verifyFinalMemory();
+    real_ = nullptr;
+}
+
+void
+RefModel::adopt(Addr a)
+{
+    Addr page = a / Memory::kPageBytes * Memory::kPageBytes;
+    if (!adoptedPages_.insert(page).second)
+        return;
+    for (Addr off = 0; off < Memory::kPageBytes; off += 8)
+        image_.writeU64(page + off, real_->readU64(page + off));
+}
+
+std::uint64_t
+RefModel::refRead(Addr a, int size)
+{
+    adopt(a);
+    return image_.read(a, size);
+}
+
+void
+RefModel::refWrite(Addr a, std::uint64_t v, int size)
+{
+    adopt(a);
+    image_.write(a, v, size);
+}
+
+void
+RefModel::clearReservations(Addr line)
+{
+    for (int c = 0; c < cfg_.cores; ++c)
+        res_.erase(key(line, c));
+}
+
+bool
+RefModel::holdsReservation(CoreId c, ThreadId t, Addr line) const
+{
+    auto it = res_.find(key(line, c));
+    return it != res_.end() && it->second == t;
+}
+
+void
+RefModel::onScalar(CoreId c, ThreadId t, Addr a, int size, MemOpType type,
+                   std::uint64_t wdata, const ScalarResult &res)
+{
+    ops_++;
+    Addr line = lineAddr(a);
+    switch (type) {
+      case MemOpType::Load:
+      case MemOpType::LoadLinked: {
+        std::uint64_t expect = refRead(a, size);
+        if (res.data != expect)
+            error(strprintf("load @%llx returned %llx, reference image "
+                            "holds %llx",
+                            (unsigned long long)a,
+                            (unsigned long long)res.data,
+                            (unsigned long long)expect));
+        if (type == MemOpType::LoadLinked)
+            res_[key(line, c)] = t;
+        break;
+      }
+
+      case MemOpType::Store:
+        refWrite(a, wdata, size);
+        clearReservations(line);
+        break;
+
+      case MemOpType::StoreCond:
+        if (!res.scSuccess)
+            break; // best-effort: failure is always legal
+        if (!holdsReservation(c, t, line))
+            error(strprintf("sc @%llx by core %d thread %d succeeded "
+                            "without a live reservation",
+                            (unsigned long long)a, c, t));
+        refWrite(a, wdata, size);
+        clearReservations(line);
+        break;
+
+      case MemOpType::Prefetch:
+        break; // no architectural effect
+    }
+}
+
+void
+RefModel::onGatherLine(CoreId c, ThreadId t,
+                       const std::vector<GsuLane> &lanes, int size,
+                       bool linked, const LineOpResult &res)
+{
+    ops_++;
+    Addr line = lineAddr(lanes.front().addr);
+    if (linked && !res.linked) {
+        // With neither failure policy armed, the evaluated design
+        // (section 3.2) services misses and steals reservations, so a
+        // gather-linked line request cannot fail.
+        if (!cfg_.glsc.failOnMiss && !cfg_.glsc.failIfLinkedByOther)
+            error(strprintf("gather-linked of line %llx failed with no "
+                            "failure policy enabled",
+                            (unsigned long long)line));
+        return;
+    }
+    for (const GsuLane &ln : lanes) {
+        std::uint64_t expect = refRead(ln.addr, size);
+        if (res.data[ln.lane] != expect)
+            error(strprintf("gather lane %d @%llx returned %llx, "
+                            "reference image holds %llx",
+                            ln.lane, (unsigned long long)ln.addr,
+                            (unsigned long long)res.data[ln.lane],
+                            (unsigned long long)expect));
+    }
+    if (linked)
+        res_[key(line, c)] = t;
+}
+
+void
+RefModel::onScatterLine(CoreId c, ThreadId t,
+                        const std::vector<GsuLane> &lanes, int size,
+                        bool conditional, const LineOpResult &res)
+{
+    ops_++;
+    Addr line = lineAddr(lanes.front().addr);
+    // The GSU resolves aliases before the cache request (section 3.1):
+    // lanes reaching the memory system target distinct addresses.
+    for (std::size_t i = 0; i < lanes.size(); ++i) {
+        for (std::size_t j = i + 1; j < lanes.size(); ++j) {
+            if (lanes[i].addr == lanes[j].addr)
+                error(strprintf("aliased scatter lanes %d and %d both "
+                                "reached the cache @%llx",
+                                lanes[i].lane, lanes[j].lane,
+                                (unsigned long long)lanes[i].addr));
+        }
+    }
+    if (conditional && !res.scondOk)
+        return; // best-effort failure: stores discarded, state intact
+    if (conditional && !holdsReservation(c, t, line))
+        error(strprintf("vscattercond to line %llx by core %d thread %d "
+                        "succeeded without a live reservation",
+                        (unsigned long long)line, c, t));
+    for (const GsuLane &ln : lanes)
+        refWrite(ln.addr, ln.wdata, size);
+    clearReservations(line);
+}
+
+void
+RefModel::onVload(CoreId c, Addr a, int width, int elemSize,
+                  const VectorResult &res)
+{
+    (void)c;
+    ops_++;
+    for (int i = 0; i < width; ++i) {
+        Addr ea = a + static_cast<Addr>(i) * elemSize;
+        std::uint64_t expect = refRead(ea, elemSize);
+        if (res.data[i] != expect)
+            error(strprintf("vload lane %d @%llx returned %llx, "
+                            "reference image holds %llx",
+                            i, (unsigned long long)ea,
+                            (unsigned long long)res.data[i],
+                            (unsigned long long)expect));
+    }
+}
+
+void
+RefModel::onVstore(CoreId c, Addr a, const VecReg &v, Mask mask, int width,
+                   int elemSize)
+{
+    (void)c;
+    ops_++;
+    for (int i = 0; i < width; ++i) {
+        if (mask.test(i))
+            refWrite(a + static_cast<Addr>(i) * elemSize, v[i], elemSize);
+    }
+    // The store acquires every covered line exclusively, killing all
+    // reservations on them (masked-out lanes included -- the line
+    // request is made regardless).
+    Addr first = lineAddr(a);
+    Addr last = lineAddr(a + static_cast<Addr>(width) * elemSize - 1);
+    for (Addr line = first; line <= last; line += kLineBytes)
+        clearReservations(line);
+}
+
+void
+RefModel::verifyFinalMemory()
+{
+    if (finalChecked_ || real_ == nullptr)
+        return;
+    finalChecked_ = true;
+    for (Addr page : adoptedPages_) {
+        for (Addr off = 0; off < Memory::kPageBytes; off += 8) {
+            std::uint64_t got = real_->readU64(page + off);
+            std::uint64_t expect = image_.readU64(page + off);
+            if (got != expect)
+                error(strprintf("final memory diverges @%llx: simulator "
+                                "%llx, reference %llx",
+                                (unsigned long long)(page + off),
+                                (unsigned long long)got,
+                                (unsigned long long)expect));
+        }
+    }
+}
+
+} // namespace glsc

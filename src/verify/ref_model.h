@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Cycle-free functional reference model of the GLSC ISA.
+ *
+ * The timing simulator applies every memory transaction's
+ * architectural effects atomically at its serialization point, so the
+ * MemObserver callback order is a legal sequential schedule of the
+ * run.  RefModel replays that schedule through a timing-free
+ * interpreter over a flat memory image plus a reservation table and,
+ * per operation, checks the outcome against the *legal outcome set*
+ * of the paper's semantics (sections 3.1-3.3):
+ *
+ *  - every gathered / loaded value must equal the reference image's
+ *    content at that point in the schedule;
+ *  - a store-conditional or vscattercond may only SUCCEED while the
+ *    reference model still holds the thread's reservation (success
+ *    without one is a protocol bug -- the "ghost store" the paper's
+ *    reservation rules exist to prevent); failure is always legal
+ *    because the semantics are best-effort (capacity evictions and
+ *    policy failures may clear reservations at times a timing-free
+ *    model cannot predict);
+ *  - winning vscattercond lanes target pairwise-distinct addresses
+ *    (exactly-one-winner), and line requests reaching the cache are
+ *    already alias-free;
+ *  - gather-linked may only fail when a failure policy (section 3.2)
+ *    is configured;
+ *  - writes are mirrored into the image so the final simulated memory
+ *    must equal the reference image byte-for-byte (verifyFinalMemory,
+ *    run automatically when the MemorySystem detaches).
+ *
+ * Initial contents are adopted lazily at page granularity: the first
+ * time an operation touches a page, the page is copied from the real
+ * backing store (at that point it can only contain workload setup
+ * data, since every simulated write is mirrored as it happens).
+ */
+
+#ifndef GLSC_VERIFY_REF_MODEL_H_
+#define GLSC_VERIFY_REF_MODEL_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "config/config.h"
+#include "mem/memory.h"
+#include "mem/memsys.h"
+
+namespace glsc {
+
+class RefModel : public MemObserver
+{
+  public:
+    bool ok() const { return errors_.empty(); }
+    const std::vector<std::string> &errors() const { return errors_; }
+    /** First few divergences joined for test failure messages. */
+    std::string errorSummary() const;
+    /** Operations replayed through the model so far. */
+    std::uint64_t opsChecked() const { return ops_; }
+
+    /**
+     * Compares every adopted page of the reference image against the
+     * real backing store; records divergences.  Called automatically
+     * from onDetach(); safe to call earlier (e.g. right after
+     * System::run()) -- it runs at most once.
+     */
+    void verifyFinalMemory();
+
+    // ----- MemObserver (driven by MemorySystem). -----
+    void onAttach(const SystemConfig &cfg, const Memory &mem) override;
+    void onDetach() override;
+    void onScalar(CoreId c, ThreadId t, Addr a, int size, MemOpType type,
+                  std::uint64_t wdata, const ScalarResult &res) override;
+    void onGatherLine(CoreId c, ThreadId t,
+                      const std::vector<GsuLane> &lanes, int size,
+                      bool linked, const LineOpResult &res) override;
+    void onScatterLine(CoreId c, ThreadId t,
+                       const std::vector<GsuLane> &lanes, int size,
+                       bool conditional, const LineOpResult &res) override;
+    void onVload(CoreId c, Addr a, int width, int elemSize,
+                 const VectorResult &res) override;
+    void onVstore(CoreId c, Addr a, const VecReg &v, Mask mask, int width,
+                  int elemSize) override;
+
+  private:
+    static std::uint64_t
+    key(Addr line, CoreId c)
+    {
+        return line | static_cast<std::uint64_t>(c);
+    }
+
+    void error(std::string msg);
+    void adopt(Addr a);
+    std::uint64_t refRead(Addr a, int size);
+    void refWrite(Addr a, std::uint64_t v, int size);
+    /** A write serialized on @p line: every core's reservation dies. */
+    void clearReservations(Addr line);
+    /** True iff (c, t) holds the reference reservation on @p line. */
+    bool holdsReservation(CoreId c, ThreadId t, Addr line) const;
+
+    SystemConfig cfg_;
+    const Memory *real_ = nullptr;
+    Memory image_;
+    std::unordered_set<Addr> adoptedPages_;
+    std::unordered_map<std::uint64_t, ThreadId> res_;
+    std::vector<std::string> errors_;
+    std::uint64_t suppressed_ = 0;
+    std::uint64_t ops_ = 0;
+    bool finalChecked_ = false;
+};
+
+} // namespace glsc
+
+#endif // GLSC_VERIFY_REF_MODEL_H_

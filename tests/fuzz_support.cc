@@ -1,0 +1,202 @@
+#include "fuzz_support.h"
+
+#include <cstdlib>
+
+#include "sim/log.h"
+#include "sim/random.h"
+#include "sim/system.h"
+#include "verify/ref_model.h"
+
+namespace glsc {
+namespace fuzz {
+namespace {
+
+constexpr int kScalarRegion = 24; //!< u32 counters for the ll/sc phase
+constexpr int kRetryCap = 64;     //!< bound on best-effort retry loops
+
+/**
+ * One thread of the synthetic sparse workload.  Each round:
+ *  1. a contended vector fetch-and-increment over random (partly hot)
+ *     indices, retried under best-effort failure up to kRetryCap;
+ *  2. a scalar ll/sc increment on a random counter;
+ *  3. with some probability, plain vector/scalar traffic into a
+ *     scratch region (stresses reservation kills, evictions and the
+ *     reference model's data checking on non-atomic paths).
+ *
+ * Successful increments are tallied in @p appliedVec / @p appliedSc so
+ * the caller can check conservation against the final memory image.
+ */
+Task<void>
+fuzzThread(SimThread &t, Addr vecBase, Addr scBase, Addr scratch,
+           int region, int iters, std::uint64_t seed,
+           std::uint64_t *appliedVec, std::uint64_t *appliedSc)
+{
+    Rng rng(seed + 0x9e3779b9ull * static_cast<std::uint64_t>(
+                                       t.globalId() + 1));
+    const int w = t.width();
+    for (int i = 0; i < iters; ++i) {
+        // --- Vector fetch-and-increment under contention. ---
+        VecReg idx;
+        for (int l = 0; l < w; ++l) {
+            idx[l] = rng.chance(0.3)
+                         ? rng.below(4) // hot head: dense aliasing
+                         : rng.below(static_cast<std::uint64_t>(region));
+        }
+        Mask todo = Mask::fromRaw(rng.next() & Mask::allOnes(w).raw());
+        if (!todo.any())
+            todo = Mask::allOnes(w);
+        for (int retry = 0; retry < kRetryCap && todo.any(); ++retry) {
+            GatherResult g = co_await t.vgatherlink(vecBase, idx, todo, 4);
+            VecReg upd;
+            for (int l = 0; l < w; ++l)
+                upd[l] = g.value.u32(l) + 1;
+            Mask done =
+                co_await t.vscattercond(vecBase, idx, upd, g.mask, 4);
+            *appliedVec += static_cast<std::uint64_t>(done.count());
+            todo = todo.andNot(done);
+            if (done.noneSet())
+                co_await t.exec(1 + (t.globalId() % 5)); // backoff
+        }
+
+        // --- Scalar ll/sc increment. ---
+        Addr sa = scBase + 4ull * rng.below(kScalarRegion);
+        for (int retry = 0; retry < kRetryCap; ++retry) {
+            std::uint64_t v = co_await t.loadLinked(sa, 4);
+            if (co_await t.storeCond(sa, v + 1, 4)) {
+                (*appliedSc)++;
+                break;
+            }
+            co_await t.exec(1 + (t.globalId() % 3));
+        }
+
+        // --- Background traffic into the scratch region. ---
+        if (rng.chance(0.3)) {
+            Addr va = scratch +
+                      4ull * rng.below(static_cast<std::uint64_t>(
+                                 region - w + 1));
+            VecReg v = co_await t.vload(va, 4);
+            (void)v;
+        }
+        if (rng.chance(0.3)) {
+            VecReg v = VecReg::splat(rng.next() & 0xffff, w);
+            Mask m = Mask::fromRaw(rng.next() & Mask::allOnes(w).raw());
+            Addr va = scratch +
+                      4ull * rng.below(static_cast<std::uint64_t>(
+                                 region - w + 1));
+            co_await t.vstore(va, v, m, 4);
+        }
+        if (rng.chance(0.3)) {
+            co_await t.store(scratch + 4ull * rng.below(
+                                            static_cast<std::uint64_t>(
+                                                region)),
+                             rng.next() & 0xff, 4);
+        }
+    }
+}
+
+} // namespace
+
+std::string
+FuzzCase::name() const
+{
+    return strprintf("%dc%dt_w%d_r%d%s%s%s%s%s_s%llu", cores, smt, width,
+                     region, smallL1 ? "_smallL1" : "",
+                     policy.failOnMiss ? "_failMiss" : "",
+                     policy.failIfLinkedByOther ? "_failOther" : "",
+                     policy.aliasAtGather ? "_aliasGl" : "",
+                     policy.bufferEntries > 0
+                         ? strprintf("_buf%d", policy.bufferEntries).c_str()
+                         : "",
+                     (unsigned long long)seed);
+}
+
+int
+envIters(int def)
+{
+    const char *s = std::getenv("GLSC_FUZZ_ITERS");
+    if (s == nullptr)
+        return def;
+    int v = std::atoi(s);
+    return v > 0 ? v : def;
+}
+
+std::uint64_t
+envSeedOffset()
+{
+    const char *s = std::getenv("GLSC_FUZZ_SEED");
+    if (s == nullptr)
+        return 0;
+    return std::strtoull(s, nullptr, 0);
+}
+
+FuzzOutcome
+runFuzzDifferential(const FuzzCase &fc)
+{
+    SystemConfig cfg = SystemConfig::make(fc.cores, fc.smt, fc.width);
+    cfg.glsc = fc.policy;
+    if (fc.smallL1) {
+        cfg.l1SizeBytes = 8 * kLineBytes; // 2 sets x 4 ways
+    }
+
+    RefModel ref;
+    cfg.memObserver = &ref;
+
+    FuzzOutcome out;
+    System sys(cfg);
+    Addr vecBase = sys.layout().allocArray(fc.region, 4);
+    Addr scBase = sys.layout().allocArray(kScalarRegion, 4);
+    Addr scratch = sys.layout().allocArray(fc.region, 4);
+
+    const int iters = envIters(fc.iters);
+    const std::uint64_t seed = fc.seed + envSeedOffset();
+    std::uint64_t appliedVec = 0, appliedSc = 0;
+    sys.spawnAll([&](SimThread &t) {
+        return fuzzThread(t, vecBase, scBase, scratch, fc.region, iters,
+                          seed, &appliedVec, &appliedSc);
+    });
+    sys.run();
+
+    // Close the differential loop while the system is still alive:
+    // the final memory image must match the reference byte-for-byte.
+    ref.verifyFinalMemory();
+    out.opsChecked = ref.opsChecked();
+
+    std::uint64_t vecSum = 0;
+    for (int i = 0; i < fc.region; ++i)
+        vecSum += sys.memory().readU32(vecBase + 4ull * i);
+    std::uint64_t scSum = 0;
+    for (int i = 0; i < kScalarRegion; ++i)
+        scSum += sys.memory().readU32(scBase + 4ull * i);
+
+    if (!ref.ok()) {
+        out.detail = "reference model divergence in " + fc.name() + ":\n" +
+                     ref.errorSummary();
+        return out;
+    }
+    if (vecSum != appliedVec) {
+        out.detail = strprintf(
+            "%s: vector region sums to %llu but %llu lane updates "
+            "reported success",
+            fc.name().c_str(), (unsigned long long)vecSum,
+            (unsigned long long)appliedVec);
+        return out;
+    }
+    if (scSum != appliedSc) {
+        out.detail = strprintf(
+            "%s: scalar region sums to %llu but %llu sc updates "
+            "reported success",
+            fc.name().c_str(), (unsigned long long)scSum,
+            (unsigned long long)appliedSc);
+        return out;
+    }
+    if (out.opsChecked == 0) {
+        out.detail = fc.name() + ": reference model saw no operations "
+                                 "(observer not attached?)";
+        return out;
+    }
+    out.ok = true;
+    return out;
+}
+
+} // namespace fuzz
+} // namespace glsc

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Shared driver for the randomized differential fuzz sweep
+ * (tests/test_differential.cc).
+ *
+ * A FuzzCase fixes one point in the (cores x SMT x SIMD-width x
+ * alias-density x GLSC-policy x seed) space; runFuzzDifferential()
+ * builds the system with the functional reference model attached as a
+ * MemObserver, runs a synthetic sparse workload on every hardware
+ * thread, and reports whether the timing simulator diverged from the
+ * reference semantics anywhere (per-operation outcomes, conservation
+ * of applied updates, final memory image).
+ *
+ * Environment knobs (both optional):
+ *  - GLSC_FUZZ_ITERS: per-thread round count (default FuzzCase::iters);
+ *  - GLSC_FUZZ_SEED:  offset added to every case's seed, for running
+ *    the same sweep over fresh randomness.
+ */
+
+#ifndef GLSC_TESTS_FUZZ_SUPPORT_H_
+#define GLSC_TESTS_FUZZ_SUPPORT_H_
+
+#include <cstdint>
+#include <string>
+
+#include "config/config.h"
+
+namespace glsc {
+namespace fuzz {
+
+/** One point of the randomized differential sweep. */
+struct FuzzCase
+{
+    int cores = 1;
+    int smt = 1;
+    int width = 4;
+    /**
+     * Elements (u32) in the contended vector region; small values give
+     * dense aliasing and reservation stealing, large values spread the
+     * traffic.  Must be >= width.
+     */
+    int region = 64;
+    int iters = 6; //!< rounds per thread (before GLSC_FUZZ_ITERS)
+    /** Shrink the L1 to 8 lines so evictions hit reservations. */
+    bool smallL1 = false;
+    GlscPolicy policy;
+    std::uint64_t seed = 1;
+
+    std::string name() const;
+};
+
+/** Outcome of one differential run. */
+struct FuzzOutcome
+{
+    bool ok = false;
+    std::string detail;          //!< failure explanation when !ok
+    std::uint64_t opsChecked = 0; //!< ops mirrored through the ref model
+};
+
+/** GLSC_FUZZ_ITERS override (returns @p def when unset/invalid). */
+int envIters(int def);
+/** GLSC_FUZZ_SEED offset (0 when unset/invalid). */
+std::uint64_t envSeedOffset();
+
+/** Runs one case through timing sim + reference model. */
+FuzzOutcome runFuzzDifferential(const FuzzCase &fc);
+
+} // namespace fuzz
+} // namespace glsc
+
+#endif // GLSC_TESTS_FUZZ_SUPPORT_H_

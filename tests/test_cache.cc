@@ -1,13 +1,17 @@
 /**
  * @file
  * Unit tests for the L1/L2 state containers: replacement, GLSC entry
- * rules, directory bookkeeping.
+ * rules, directory bookkeeping, and the eviction edge cases around
+ * GLSC entries and prefetched lines (driven through MemorySystem).
  */
 
 #include <gtest/gtest.h>
 
+#include <memory>
+
 #include "mem/cache.h"
 #include "mem/l2.h"
+#include "mem/memsys.h"
 
 namespace glsc {
 namespace {
@@ -107,6 +111,94 @@ TEST(Types, LineHelpers)
     EXPECT_EQ(lineAddr(0x1234), 0x1200u);
     EXPECT_EQ(lineOffset(0x1234), 0x34);
     EXPECT_EQ(lineAddr(0x1240), 0x1240u);
+}
+
+// ----- Eviction edge cases through the memory system. -----
+
+/** One-core rig with a 1-set 2-way L1 so two loads force an eviction. */
+struct EvictRig
+{
+    SystemConfig cfg;
+    EventQueue events;
+    Memory mem;
+    SystemStats stats;
+    std::unique_ptr<MemorySystem> msys;
+
+    EvictRig()
+    {
+        cfg = SystemConfig::make(1, 2, 4);
+        cfg.l1SizeBytes = 2 * kLineBytes;
+        cfg.l1Assoc = 2;
+        stats.threads.resize(cfg.totalThreads());
+        msys = std::make_unique<MemorySystem>(cfg, events, mem, stats);
+    }
+};
+
+TEST(L1Eviction, LruVictimEvictionClearsGlscEntry)
+{
+    EvictRig r;
+    r.msys->access(0, 1, 0x1000, 4, MemOpType::LoadLinked);
+    r.msys->access(0, 0, 0x2000, 4, MemOpType::Load);
+    // Line 0x1000 is LRU; this load evicts it, killing the entry.
+    r.msys->access(0, 0, 0x3000, 4, MemOpType::Load);
+    EXPECT_EQ(r.msys->l1(0).lookup(0x1000), nullptr);
+    auto sc = r.msys->access(0, 1, 0x1000, 4, MemOpType::StoreCond, 1);
+    EXPECT_FALSE(sc.scSuccess);
+    EXPECT_EQ(r.stats.scFailures, 1u);
+    // The way that now holds 0x3000 must not have inherited the entry.
+    const L1Line *l = r.msys->l1(0).lookup(0x3000);
+    ASSERT_NE(l, nullptr);
+    EXPECT_FALSE(l->glscValid);
+}
+
+TEST(L1Eviction, PrefetchedLineCountsUsefulOnlyOnFirstDemandHit)
+{
+    EvictRig r;
+    r.msys->access(0, 0, 0x1000, 4, MemOpType::Prefetch);
+    EXPECT_EQ(r.stats.prefetchesIssued, 1u);
+    EXPECT_EQ(r.stats.prefetchesUseful, 0u);
+    r.msys->access(0, 0, 0x1000, 4, MemOpType::Load);
+    EXPECT_EQ(r.stats.prefetchesUseful, 1u);
+    // A second demand hit must not double-count.
+    r.msys->access(0, 0, 0x1000, 4, MemOpType::Load);
+    EXPECT_EQ(r.stats.prefetchesUseful, 1u);
+}
+
+TEST(L1Eviction, PrefetchedLineEvictedUnusedIsNeverUseful)
+{
+    EvictRig r;
+    r.msys->access(0, 0, 0x1000, 4, MemOpType::Prefetch);
+    // Two demand loads replace both ways before any demand touch.
+    r.msys->access(0, 0, 0x2000, 4, MemOpType::Load);
+    r.msys->access(0, 0, 0x3000, 4, MemOpType::Load);
+    EXPECT_EQ(r.msys->l1(0).lookup(0x1000), nullptr);
+    EXPECT_EQ(r.stats.prefetchesUseful, 0u);
+    // Re-fetching on demand now is a plain miss, not a useful prefetch.
+    r.msys->access(0, 0, 0x1000, 4, MemOpType::Load);
+    EXPECT_EQ(r.stats.prefetchesUseful, 0u);
+}
+
+TEST(L1Eviction, SameThreadRelinkKeepsReservationLive)
+{
+    EvictRig r;
+    r.msys->access(0, 1, 0x1000, 4, MemOpType::LoadLinked);
+    // Re-linking the same line by the same thread refreshes, not kills.
+    r.msys->access(0, 1, 0x1000, 4, MemOpType::LoadLinked);
+    auto sc = r.msys->access(0, 1, 0x1000, 4, MemOpType::StoreCond, 1);
+    EXPECT_TRUE(sc.scSuccess);
+}
+
+TEST(L1Eviction, TagModeHoldsIndependentPerLineReservations)
+{
+    EvictRig r;
+    // Two ll's by the same thread to both ways of the set: per-line
+    // entries mean the first reservation survives the second link.
+    r.msys->access(0, 1, 0x1000, 4, MemOpType::LoadLinked);
+    r.msys->access(0, 1, 0x2000, 4, MemOpType::LoadLinked);
+    auto sc1 = r.msys->access(0, 1, 0x1000, 4, MemOpType::StoreCond, 1);
+    auto sc2 = r.msys->access(0, 1, 0x2000, 4, MemOpType::StoreCond, 2);
+    EXPECT_TRUE(sc1.scSuccess);
+    EXPECT_TRUE(sc2.scSuccess);
 }
 
 } // namespace

@@ -1,0 +1,288 @@
+/**
+ * @file
+ * Differential verification harness (see DESIGN.md section 6):
+ *  - DifferentialFuzz: randomized sweep over (cores x SMT x SIMD-width
+ *    x alias-density x GLSC policy/storage x seed), every run mirrored
+ *    through the functional reference model (src/verify/ref_model.h);
+ *  - KernelDifferential: all seven registered RMS benchmarks under both
+ *    schemes with the reference model attached;
+ *  - MutationSmoke: proves the harness is not vacuous by injecting the
+ *    classic leaked-reservation bug (an eviction that fails to clear
+ *    the GLSC entry, L1Cache::testOnlySkipGlscClearOnEvict) and
+ *    asserting that both the reference model and the invariant checker
+ *    report the resulting ghost store-conditional.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "fuzz_support.h"
+#include "kernels/registry.h"
+#include "sim/system.h"
+#include "verify/invariants.h"
+#include "verify/ref_model.h"
+
+namespace glsc {
+namespace {
+
+using fuzz::FuzzCase;
+using fuzz::FuzzOutcome;
+
+// ----- Randomized differential sweep. ------------------------------
+
+/**
+ * Named GLSC policy/storage variants (the "scheme" axis).  Each gtest
+ * instance sweeps one variant over every topology so the six variants
+ * fuzz in parallel under ctest -j.
+ */
+struct PolicyVariant
+{
+    const char *name;
+    GlscPolicy policy;
+};
+
+const PolicyVariant kVariants[] = {
+    {"Default", {}},
+    {"FailOnMiss", {.failOnMiss = true}},
+    {"FailIfLinkedByOther", {.failIfLinkedByOther = true}},
+    {"AliasAtGather", {.aliasAtGather = true}},
+    {"Buffer4", {.bufferEntries = 4}},
+    {"Buffer1", {.bufferEntries = 1}},
+};
+
+class DifferentialFuzz : public ::testing::TestWithParam<PolicyVariant>
+{
+};
+
+TEST_P(DifferentialFuzz, TimingSimMatchesReferenceModel)
+{
+    const PolicyVariant &variant = GetParam();
+    const std::pair<int, int> topologies[] = {
+        {1, 1}, {1, 4}, {2, 2}, {4, 1}, {4, 4}};
+    const int widths[] = {4, 16};
+    const int regions[] = {16, 192}; // dense aliasing vs. spread-out
+
+    int combos = 0;
+    std::uint64_t totalOps = 0;
+    for (auto [cores, smt] : topologies) {
+        for (int width : widths) {
+            for (int region : regions) {
+                for (int rep = 0; rep < 2; ++rep) {
+                    FuzzCase fc;
+                    fc.cores = cores;
+                    fc.smt = smt;
+                    fc.width = width;
+                    fc.region = region;
+                    fc.policy = variant.policy;
+                    // Second rep reseeds and shrinks the L1 so capacity
+                    // evictions exercise reservation loss.
+                    fc.smallL1 = rep == 1;
+                    fc.seed = 0xD1Full + combos * 131 + rep;
+                    FuzzOutcome out = fuzz::runFuzzDifferential(fc);
+                    ASSERT_TRUE(out.ok) << out.detail;
+                    totalOps += out.opsChecked;
+                    combos++;
+                }
+            }
+        }
+    }
+    // 5 topologies x 2 widths x 2 densities x 2 reps = 40 runs per
+    // policy variant; 6 variants give the sweep's 240 combinations.
+    EXPECT_EQ(combos, 40);
+    EXPECT_GT(totalOps, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, DifferentialFuzz,
+                         ::testing::ValuesIn(kVariants),
+                         [](const auto &info) {
+                             return std::string(info.param.name);
+                         });
+
+// ----- Full benchmarks under the reference model. ------------------
+
+class KernelDifferential
+    : public ::testing::TestWithParam<std::tuple<const char *, int>>
+{
+};
+
+TEST_P(KernelDifferential, BenchmarkRunMatchesReferenceModel)
+{
+    auto [bench, schemeIdx] = GetParam();
+    Scheme scheme = schemeIdx ? Scheme::Glsc : Scheme::Base;
+    SystemConfig cfg = SystemConfig::make(2, 2, 4);
+    RefModel ref;
+    cfg.memObserver = &ref;
+    // runBenchmark destroys its System before returning, which fires
+    // onDetach and with it the final-memory comparison.
+    RunResult r = runBenchmark(bench, 0, scheme, cfg, 0.02, 11);
+    ASSERT_TRUE(r.verified) << r.detail;
+    EXPECT_GT(ref.opsChecked(), 0u);
+    EXPECT_TRUE(ref.ok()) << ref.errorSummary();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllBenches, KernelDifferential,
+    ::testing::Combine(::testing::Values("GBC", "FS", "GPS", "HIP", "SMC",
+                                         "MFP", "TMS"),
+                       ::testing::Values(0, 1)),
+    [](const auto &info) {
+        return std::string(std::get<0>(info.param)) +
+               (std::get<1>(info.param) ? "_GLSC" : "_Base");
+    });
+
+// ----- Mutation smoke tests (non-vacuity). -------------------------
+
+/**
+ * Direct-rig reproduction of the leaked-reservation bug in tag-bit
+ * mode: a 1-set 2-way L1 where thread 1 links line A, two loads evict
+ * A and install C on the same way, and -- with the mutation enabled --
+ * the stale GLSC entry leaks onto C so an sc to C ghost-succeeds.
+ */
+struct MutationRig
+{
+    SystemConfig cfg;
+    RefModel ref;
+    EventQueue events;
+    Memory mem;
+    SystemStats stats;
+    std::unique_ptr<MemorySystem> msys;
+
+    static constexpr Addr kA = 0x1000, kB = 0x2000, kC = 0x3000;
+
+    explicit MutationRig(int bufferEntries, bool injectBug)
+    {
+        cfg = SystemConfig::make(2, 4, 4);
+        cfg.l1SizeBytes = 2 * kLineBytes; // one set, two ways
+        cfg.l1Assoc = 2;
+        cfg.glsc.bufferEntries = bufferEntries;
+        cfg.memObserver = &ref;
+        stats.threads.resize(cfg.totalThreads());
+        msys = std::make_unique<MemorySystem>(cfg, events, mem, stats);
+        if (InvariantChecker *chk = msys->checker())
+            chk->setFailFast(false); // record, don't panic
+        msys->l1(0).testOnlySkipGlscClearOnEvict(injectBug);
+    }
+
+    /** Tag-bit-mode scenario; returns the final sc's success flag. */
+    bool
+    runTagScenario()
+    {
+        msys->access(0, 1, kA, 4, MemOpType::LoadLinked);
+        msys->access(0, 0, kB, 4, MemOpType::Load);
+        msys->access(0, 0, kC, 4, MemOpType::Load); // evicts A's way
+        auto sc = msys->access(0, 1, kC, 4, MemOpType::StoreCond, 42);
+        return sc.scSuccess;
+    }
+
+    /**
+     * Buffer-mode scenario: the leaked buffer entry survives core 0's
+     * eviction of A, so a remote store to A is never forwarded to
+     * core 0 (the directory dropped it as a sharer) and an sc after
+     * re-fetching A ghost-succeeds against the stale reservation.
+     */
+    bool
+    runBufferScenario()
+    {
+        msys->access(0, 1, kA, 4, MemOpType::LoadLinked);
+        msys->access(0, 0, kB, 4, MemOpType::Load);
+        msys->access(0, 0, kC, 4, MemOpType::Load); // evicts A's way
+        msys->access(1, 0, kA, 4, MemOpType::Store, 7);
+        msys->access(0, 1, kA, 4, MemOpType::Load); // re-fetch
+        auto sc = msys->access(0, 1, kA, 4, MemOpType::StoreCond, 42);
+        return sc.scSuccess;
+    }
+};
+
+TEST(MutationSmoke, TagModeGhostScCaughtByRefModel)
+{
+    MutationRig rig(0, true);
+    ASSERT_TRUE(rig.runTagScenario()) << "mutation did not manifest";
+    EXPECT_FALSE(rig.ref.ok());
+    ASSERT_FALSE(rig.ref.errors().empty());
+    EXPECT_NE(rig.ref.errors().front().find("without a live reservation"),
+              std::string::npos)
+        << rig.ref.errorSummary();
+}
+
+TEST(MutationSmoke, TagModeGhostScCaughtByInvariantChecker)
+{
+    MutationRig rig(0, true);
+    InvariantChecker *chk = rig.msys->checker();
+    if (chk == nullptr)
+        GTEST_SKIP() << "built with GLSC_CHECK=OFF";
+    ASSERT_TRUE(rig.runTagScenario());
+    chk->fullCheck();
+    EXPECT_FALSE(chk->clean());
+    ASSERT_FALSE(chk->violations().empty());
+    EXPECT_NE(chk->violations().front().find("should have cleared"),
+              std::string::npos)
+        << chk->violations().front();
+}
+
+TEST(MutationSmoke, BufferModeGhostScCaughtByBothLayers)
+{
+    MutationRig rig(4, true);
+    ASSERT_TRUE(rig.runBufferScenario()) << "mutation did not manifest";
+    EXPECT_FALSE(rig.ref.ok()) << "reference model missed the ghost sc";
+    if (InvariantChecker *chk = rig.msys->checker()) {
+        chk->fullCheck();
+        EXPECT_FALSE(chk->clean());
+    }
+}
+
+TEST(MutationSmoke, CleanHardwareRaisesNoReports)
+{
+    for (int bufferEntries : {0, 4}) {
+        MutationRig rig(bufferEntries, false);
+        bool ghost = bufferEntries == 0 ? rig.runTagScenario()
+                                        : rig.runBufferScenario();
+        EXPECT_FALSE(ghost) << "sc must fail once the eviction cleared "
+                               "the reservation";
+        EXPECT_TRUE(rig.ref.ok()) << rig.ref.errorSummary();
+        if (InvariantChecker *chk = rig.msys->checker()) {
+            chk->fullCheck();
+            EXPECT_TRUE(chk->clean())
+                << chk->violations().front();
+        }
+    }
+}
+
+/** The same bug observed end-to-end through a coroutine kernel. */
+Task<void>
+ghostScKernel(SimThread &t, Addr a, Addr b, Addr c, bool *ghost)
+{
+    co_await t.loadLinked(a, 4);
+    co_await t.load(b, 4);
+    co_await t.load(c, 4); // evicts a's line in a 1-set 2-way L1
+    *ghost = co_await t.storeCond(c, 42, 4);
+}
+
+TEST(MutationSmoke, EndToEndKernelRunCaughtByRefModel)
+{
+    SystemConfig cfg = SystemConfig::make(1, 1, 4);
+    cfg.l1SizeBytes = 2 * kLineBytes;
+    cfg.l1Assoc = 2;
+    cfg.stridePrefetcher = false; // keep the 2-line L1 deterministic
+    RefModel ref;
+    cfg.memObserver = &ref;
+    bool ghost = false;
+    {
+        System sys(cfg);
+        if (InvariantChecker *chk = sys.memsys().checker())
+            chk->setFailFast(false);
+        sys.memsys().l1(0).testOnlySkipGlscClearOnEvict(true);
+        Addr a = sys.layout().alloc(kLineBytes);
+        Addr b = sys.layout().alloc(kLineBytes);
+        Addr c = sys.layout().alloc(kLineBytes);
+        sys.spawn(0, [&](SimThread &t) {
+            return ghostScKernel(t, a, b, c, &ghost);
+        });
+        sys.run();
+    } // ~System fires onDetach -> final memory comparison
+    ASSERT_TRUE(ghost) << "mutation did not manifest";
+    EXPECT_FALSE(ref.ok());
+}
+
+} // namespace
+} // namespace glsc

@@ -10,6 +10,7 @@
 #include "core/glsc_buffer.h"
 #include "core/vatomic.h"
 #include "mem/memsys.h"
+#include "sim/log.h"
 #include "sim/system.h"
 
 namespace glsc {
@@ -156,6 +157,84 @@ TEST(GlscBufferMode, KernelsVerifyUnderSmallBuffers)
         }
     }
 }
+
+// ----- Multi-SMT reservation stealing (section 3.3). -----
+
+std::vector<GsuLane>
+lineLanes(Addr base, int width, std::uint64_t wbase)
+{
+    // width x u32 elements: at most 64 bytes, all on one cache line.
+    std::vector<GsuLane> lanes;
+    for (int l = 0; l < width; ++l)
+        lanes.push_back({l, base + 4ull * l, wbase + l});
+    return lanes;
+}
+
+/** Sweep (SIMD width) x (tag-bit mode, buffered mode). */
+class SmtStealSweep
+    : public ::testing::TestWithParam<std::tuple<int, int>>
+{
+};
+
+TEST_P(SmtStealSweep, SiblingGatherLinkStealsReservation)
+{
+    auto [width, entries] = GetParam();
+    BufRig r(entries);
+    const Addr base = 0x6000;
+    const ThreadId tA = 0, tB = 1;
+    auto lanesB = lineLanes(base, width, 200);
+    auto lanesA = lineLanes(base, width, 100);
+
+    LineOpResult gB = r.msys->gatherLine(0, tB, lanesB, 4, true);
+    EXPECT_TRUE(gB.linked);
+    // The SMT sibling's gather-linked steals the per-line reservation
+    // (default policy: never fail, last linker wins).
+    LineOpResult gA = r.msys->gatherLine(0, tA, lanesA, 4, true);
+    EXPECT_TRUE(gA.linked);
+
+    LineOpResult sB = r.msys->scatterLine(0, tB, lanesB, 4, true);
+    EXPECT_FALSE(sB.scondOk) << "loser's scatter-cond must fail";
+    LineOpResult sA = r.msys->scatterLine(0, tA, lanesA, 4, true);
+    EXPECT_TRUE(sA.scondOk) << "thief's scatter-cond must succeed";
+
+    // The loser's stores were discarded; only the winner's landed.
+    // (glscLaneFailLost is tallied by the GSU, above this layer -- the
+    // kernel-level steal test in test_vatomic.cc covers that counter.)
+    for (int l = 0; l < width; ++l)
+        EXPECT_EQ(r.mem.readU32(base + 4ull * l), 100u + l)
+            << "lane " << l;
+}
+
+TEST_P(SmtStealSweep, FailIfLinkedByOtherRefusesTheSteal)
+{
+    auto [width, entries] = GetParam();
+    BufRig r(entries);
+    r.cfg.glsc.failIfLinkedByOther = true;
+    r.msys = std::make_unique<MemorySystem>(r.cfg, r.events, r.mem,
+                                            r.stats);
+    const Addr base = 0x7000;
+    const ThreadId tA = 0, tB = 1;
+    auto lanesB = lineLanes(base, width, 200);
+    auto lanesA = lineLanes(base, width, 100);
+
+    EXPECT_TRUE(r.msys->gatherLine(0, tB, lanesB, 4, true).linked);
+    // Under failIfLinkedByOther the sibling's link is refused instead
+    // of stealing, so the first linker keeps its reservation.
+    EXPECT_FALSE(r.msys->gatherLine(0, tA, lanesA, 4, true).linked);
+    EXPECT_TRUE(r.msys->scatterLine(0, tB, lanesB, 4, true).scondOk);
+    for (int l = 0; l < width; ++l)
+        EXPECT_EQ(r.mem.readU32(base + 4ull * l), 200u + l)
+            << "lane " << l;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    WidthsAndModes, SmtStealSweep,
+    ::testing::Combine(::testing::Values(4, 16),   // SIMD width
+                      ::testing::Values(0, 4)),    // tag bits / buffer
+    [](const auto &info) {
+        return strprintf("w%d_%s", std::get<0>(info.param),
+                         std::get<1>(info.param) ? "buf" : "tag");
+    });
 
 // ----- Graceful fault masking (section 3.2). -----
 

@@ -186,5 +186,62 @@ INSTANTIATE_TEST_SUITE_P(
                       std::make_tuple(4, 4, 64),  // low contention
                       std::make_tuple(2, 2, 4)));
 
+/**
+ * Deterministic SMT reservation steal (paper section 3.3): barriers
+ * force sibling B's vgatherlink between A's link and A's vscattercond,
+ * so A's conditional scatter must fail wholesale while B's -- ordered
+ * after A's by a third barrier -- must succeed.
+ */
+Task<void>
+stealKernel(SimThread &t, Addr base, Barrier &b1, Barrier &b2,
+            Barrier &b3, Mask *aDone, Mask *bDone)
+{
+    VecReg idx;
+    for (int l = 0; l < t.width(); ++l)
+        idx[l] = static_cast<std::uint64_t>(l);
+    VecReg val = VecReg::splat(t.globalId() + 1, t.width());
+    Mask all = Mask::allOnes(t.width());
+    if (t.globalId() == 0) { // thread A: first link, first (failing) sc
+        GatherResult g = co_await t.vgatherlink(base, idx, all, 4);
+        co_await t.barrier(b1); // now B may link
+        co_await t.barrier(b2); // B has stolen the reservation
+        *aDone = co_await t.vscattercond(base, idx, val, g.mask, 4);
+        co_await t.barrier(b3);
+    } else { // thread B: steals, stores last
+        co_await t.barrier(b1);
+        GatherResult g = co_await t.vgatherlink(base, idx, all, 4);
+        co_await t.barrier(b2);
+        co_await t.barrier(b3); // A's sc has failed by now
+        *bDone = co_await t.vscattercond(base, idx, val, g.mask, 4);
+    }
+}
+
+TEST(VAtomic, SmtSiblingStealsVectorReservation)
+{
+    for (int w : {4, 16}) {
+        // One core, two SMT threads sharing its L1 and GSU.
+        SystemConfig cfg = SystemConfig::make(1, 2, w);
+        System sys(cfg);
+        Addr base = sys.layout().allocArray(w, 4);
+        Barrier &b1 = sys.makeBarrier(2);
+        Barrier &b2 = sys.makeBarrier(2);
+        Barrier &b3 = sys.makeBarrier(2);
+        Mask aDone, bDone;
+        sys.spawnAll([&](SimThread &t) {
+            return stealKernel(t, base, b1, b2, b3, &aDone, &bDone);
+        });
+        SystemStats stats = sys.run();
+        EXPECT_TRUE(aDone.noneSet())
+            << "width " << w << ": stolen reservation let lanes "
+            << aDone.toString(w) << " through";
+        EXPECT_EQ(bDone, Mask::allOnes(w)) << "width " << w;
+        // Only B's (globalId 1 -> value 2) stores reached memory.
+        for (int l = 0; l < w; ++l)
+            EXPECT_EQ(sys.memory().readU32(base + 4ull * l), 2u)
+                << "width " << w << " lane " << l;
+        EXPECT_GE(stats.glscLaneFailLost, static_cast<std::uint64_t>(w));
+    }
+}
+
 } // namespace
 } // namespace glsc
