@@ -28,6 +28,19 @@ SystemConfig::validate() const
                    "size");
     if (writeBufferEntries < 1 || lsqEntries < 1)
         GLSC_FATAL("write buffer and LSQ need at least one entry");
+    auto rate = [](double r) { return r >= 0.0 && r <= 1.0; };
+    if (!rate(faults.spuriousClearRate) || !rate(faults.evictLinkedRate) ||
+        !rate(faults.stealReservationRate) ||
+        !rate(faults.bufferOverflowRate) || !rate(faults.delayRate))
+        GLSC_FATAL("fault rates must be probabilities in [0, 1]");
+    if (retry.base < 1 || retry.cap < 1)
+        GLSC_FATAL("retry base and cap must be at least 1 cycle");
+    if (retry.fallbackAfter < 0)
+        GLSC_FATAL("retry fallbackAfter must be non-negative");
+    if (watchdog.checkInterval < 1 || watchdog.stallThreshold < 1 ||
+        watchdog.strikes < 1)
+        GLSC_FATAL("watchdog interval, threshold and strikes must be "
+                   "positive");
 }
 
 std::string

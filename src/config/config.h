@@ -15,6 +15,7 @@
 
 #include <string>
 
+#include "robust/robust_config.h"
 #include "sim/types.h"
 
 namespace glsc {
@@ -81,6 +82,13 @@ struct SystemConfig
     // Gather/scatter unit.
     Tick gsuFixedOverhead = 4;    //!< pipeline overhead (min lat = 4 + W)
     GlscPolicy glsc;
+
+    // Robustness subsystem (src/robust/): deterministic fault
+    // injection, software retry/backoff policy, and the
+    // forward-progress watchdog.  All off/neutral by default.
+    FaultConfig faults;
+    RetryPolicy retry;
+    WatchdogConfig watchdog;
 
     /**
      * Differential-verification shadow (not a Table-1 parameter): the

@@ -99,6 +99,24 @@ class GlscBuffer
     int size() const { return static_cast<int>(entries_.size()); }
     int capacity() const { return capacity_; }
 
+    /**
+     * Line of the oldest live reservation -- the one a capacity
+     * overflow would evict next.  Returns false when empty.
+     */
+    bool
+    oldest(Addr *line) const
+    {
+        if (entries_.empty())
+            return false;
+        std::size_t victim = 0;
+        for (std::size_t i = 1; i < entries_.size(); ++i) {
+            if (entries_[i].stamp < entries_[victim].stamp)
+                victim = i;
+        }
+        *line = entries_[victim].line;
+        return true;
+    }
+
     /** Copies out the live (line, tid) pairs (invariant checker). */
     std::vector<std::pair<Addr, ThreadId>>
     snapshot() const

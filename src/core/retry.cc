@@ -1,0 +1,97 @@
+#include "core/retry.h"
+
+#include <algorithm>
+#include <bit>
+
+namespace glsc {
+
+namespace {
+
+struct DomainConsts
+{
+    std::uint64_t stride;
+    std::uint64_t window;
+};
+
+DomainConsts
+constsFor(BackoffDomain d)
+{
+    // Distinct primes per domain so vector and scalar retry loops on
+    // SMT siblings never fall into resonance (see header).
+    return d == BackoffDomain::Vector ? DomainConsts{5, 13}
+                                      : DomainConsts{7, 23};
+}
+
+} // namespace
+
+std::uint64_t
+retryDelayFor(const RetryPolicy &p, BackoffDomain d, int gid,
+              std::uint64_t round, Rng &rng)
+{
+    const DomainConsts k = constsFor(d);
+    const std::uint64_t g = static_cast<std::uint64_t>(gid);
+    switch (p.kind) {
+      case RetryKind::None:
+        return 0;
+      case RetryKind::Linear:
+        // With the default base=2 this is exactly the seed kernels'
+        // hand-rolled formula: 1 + ((retries*2 + gid*stride) % window).
+        return 1 + ((round * p.base + g * k.stride) % k.window);
+      case RetryKind::CappedExponential: {
+        std::uint64_t shift =
+            std::min<std::uint64_t>(round > 0 ? round - 1 : 0, 20);
+        std::uint64_t delay = p.base << shift;
+        if (delay > p.cap)
+            delay = p.cap;
+        // Keep the per-thread asymmetry: identical caps would put
+        // contending SMT siblings back into lockstep at saturation.
+        return delay + (g * k.stride) % k.window;
+      }
+      case RetryKind::Randomized:
+        return 1 + rng.below(p.cap);
+    }
+    return 0;
+}
+
+Backoff::Backoff(SimThread &t, BackoffDomain d)
+    : t_(t), policy_(t.config().retry), domain_(d),
+      rng_(policy_.seed ^
+           (static_cast<std::uint64_t>(t.globalId()) *
+            0x9E3779B97F4A7C15ull))
+{
+}
+
+std::uint64_t
+Backoff::failureDelay()
+{
+    rounds_++;
+    streak_++;
+    return retryDelayFor(policy_, domain_, t_.globalId(), rounds_, rng_);
+}
+
+void
+Backoff::noteNoProgress()
+{
+    streak_++;
+}
+
+void
+Backoff::progress()
+{
+    if (streak_ > 0) {
+        int bucket = std::bit_width(streak_) - 1;
+        if (bucket >= kRetryHistBuckets)
+            bucket = kRetryHistBuckets - 1;
+        t_.stats().retryHist[static_cast<std::size_t>(bucket)]++;
+        streak_ = 0;
+    }
+}
+
+bool
+Backoff::shouldFallback() const
+{
+    return policy_.fallbackAfter > 0 &&
+           streak_ >= static_cast<std::uint64_t>(policy_.fallbackAfter);
+}
+
+} // namespace glsc

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Configurable retry/backoff framework for GLSC and ll/sc loops.
+ *
+ * Every software retry loop in the simulator (vAtomicUpdate, vLockAll,
+ * scalarAtomicUpdate, lockAcquire, and the kernels' hand-written GLSC
+ * loops) used to carry its own copy of the asymmetric linear backoff
+ * `1 + ((retries*2 + gid*stride) % window)`.  This header factors that
+ * into one policy-driven helper:
+ *
+ *   Backoff bk(t, BackoffDomain::Vector);
+ *   while (todo.any()) {
+ *       ... attempt ...
+ *       if (progress)           bk.progress();
+ *       else if (bk.shouldFallback()) { ... scalar path ...; break; }
+ *       else co_await t.exec(bk.failureDelay());
+ *   }
+ *
+ * Two counters with different jobs:
+ *  - rounds_ is monotonic over the loop's lifetime and drives the
+ *    Linear delay ramp, exactly matching the original code's
+ *    never-reset `retries` counter (so default-policy timing is
+ *    bit-identical to the seed simulator);
+ *  - streak_ counts CONSECUTIVE zero-progress rounds, resets on any
+ *    progress, and drives both the scalar-fallback trigger
+ *    (RetryPolicy::fallbackAfter) and the retries-until-success
+ *    histogram in ThreadStats.
+ *
+ * The domain picks the asymmetry constants: the vector loops use the
+ * (5, 13) stride/window pair and the scalar ll/sc loops the (7, 23)
+ * pair, as the seed kernels did -- distinct primes so SMT siblings and
+ * the two loop flavours never resonate.
+ */
+
+#ifndef GLSC_CORE_RETRY_H_
+#define GLSC_CORE_RETRY_H_
+
+#include <cstdint>
+
+#include "config/config.h"
+#include "cpu/thread.h"
+#include "sim/random.h"
+
+namespace glsc {
+
+/** Which asymmetry constants a retry loop uses. */
+enum class BackoffDomain
+{
+    Vector, //!< GLSC loops: stride 5, window 13
+    Scalar, //!< ll/sc loops: stride 7, window 23
+};
+
+/**
+ * Pure delay computation for one zero-progress round: @p round is
+ * 1-based (first failed round is 1).  @p rng is only consulted for
+ * RetryKind::Randomized.  Exposed for direct unit testing.
+ */
+std::uint64_t retryDelayFor(const RetryPolicy &p, BackoffDomain d,
+                            int gid, std::uint64_t round, Rng &rng);
+
+/** Per-loop backoff state bound to a thread's RetryPolicy. */
+class Backoff
+{
+  public:
+    explicit Backoff(SimThread &t,
+                     BackoffDomain d = BackoffDomain::Vector);
+
+    /**
+     * Records a zero-progress round and returns the cycles to spin
+     * before retrying (0 under RetryKind::None).
+     */
+    std::uint64_t failureDelay();
+
+    /**
+     * Records a zero-progress round WITHOUT advancing the delay ramp:
+     * for loop arms that historically retried immediately (vLockAll's
+     * nothing-held case) but must still count toward the fallback
+     * trigger.
+     */
+    void noteNoProgress();
+
+    /**
+     * Records that the loop made progress: banks the just-resolved
+     * streak into the thread's retry histogram and resets it.
+     */
+    void progress();
+
+    /** True when the streak has reached RetryPolicy::fallbackAfter. */
+    bool shouldFallback() const;
+
+    std::uint64_t rounds() const { return rounds_; }
+    std::uint64_t streak() const { return streak_; }
+
+  private:
+    SimThread &t_;
+    const RetryPolicy &policy_;
+    BackoffDomain domain_;
+    std::uint64_t rounds_ = 0; //!< lifetime zero-progress rounds
+    std::uint64_t streak_ = 0; //!< consecutive zero-progress rounds
+    Rng rng_;
+};
+
+} // namespace glsc
+
+#endif // GLSC_CORE_RETRY_H_

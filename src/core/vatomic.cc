@@ -1,8 +1,55 @@
 #include "core/vatomic.h"
 
+#include <algorithm>
 #include <bit>
+#include <vector>
+
+#include "core/retry.h"
 
 namespace glsc {
+
+namespace {
+
+/**
+ * Paper Fig. 2 degradation path: completes the lanes still in @p todo
+ * with scalar ll/sc loops, one lane at a time.  A single-lane ll/sc
+ * loop has no aliasing and its own asymmetric backoff, so it makes
+ * forward progress wherever the memory system lets ANY sc through --
+ * the vector loops delegate to it when their zero-progress streak
+ * reaches RetryPolicy::fallbackAfter, which makes every kernel
+ * livelock-free by construction.  (Everything by value: the caller's
+ * frame may be destroyed while this coroutine is suspended.)
+ */
+Task<void>
+scalarLaneFallback(SimThread &t, Addr base, VecReg idx, Mask todo,
+                   int elemSize, LaneUpdateFn update,
+                   std::uint64_t updateInstrs)
+{
+    for (int i = 0; i < t.width(); ++i) {
+        if (!todo.test(i))
+            continue;
+        Addr a = base + idx[i] * static_cast<Addr>(elemSize);
+        Mask lane = Mask::none();
+        lane.set(i);
+        Backoff bk(t, BackoffDomain::Scalar);
+        while (true) {
+            std::uint64_t v = co_await t.loadLinked(a, elemSize);
+            co_await t.exec(updateInstrs); // same update cost per lane
+            VecReg vals;
+            vals[i] = v;
+            update(vals, lane);
+            bool ok = co_await t.storeCond(a, vals[i], elemSize);
+            co_await t.exec(1); // retry branch
+            if (ok) {
+                bk.progress();
+                break;
+            }
+            co_await t.exec(bk.failureDelay());
+        }
+    }
+}
+
+} // namespace
 
 Task<void>
 vAtomicUpdate(SimThread &t, Addr base, const VecReg &idx, Mask todo,
@@ -15,7 +62,7 @@ vAtomicUpdate(SimThread &t, Addr base, const VecReg &idx, Mask todo,
     // other's reservations in lockstep without the asymmetry.
     t.syncBegin();
     co_await t.exec(1); // FtoDo = ALL_ONES / initial mask setup
-    std::uint64_t retries = 0;
+    Backoff bk(t, BackoffDomain::Vector);
     while (todo.any()) {
         co_await t.exec(1); // Ftmp = FtoDo
         GatherResult g =
@@ -29,15 +76,24 @@ vAtomicUpdate(SimThread &t, Addr base, const VecReg &idx, Mask todo,
                                             elemSize);
         co_await t.exec(2); // FtoDo ^= Ftmp; loop branch
         todo = todo.andNot(done);
-        if (todo.any() && done.noneSet()) {
+        if (done.any()) {
+            bk.progress();
+        } else if (todo.any()) {
             // Zero progress means another thread is stealing our
             // reservations (alias retries always make progress);
-            // back off asymmetrically to break the lockstep.
-            retries++;
-            co_await t.exec(
-                1 + ((retries * 2 +
-                      static_cast<std::uint64_t>(t.globalId()) * 5) %
-                     13));
+            // back off asymmetrically to break the lockstep, or
+            // degrade to the scalar path once the streak says the
+            // vector loop is starving.
+            std::uint64_t delay = bk.failureDelay();
+            if (bk.shouldFallback()) {
+                t.stats().scalarFallbacks++;
+                co_await scalarLaneFallback(t, base, idx, todo,
+                                            elemSize, update,
+                                            updateInstrs);
+                bk.progress();
+                break;
+            }
+            co_await t.exec(delay);
         }
     }
     t.syncEnd();
@@ -76,24 +132,21 @@ Task<void>
 scalarAtomicUpdate(SimThread &t, Addr a, int size, ScalarUpdateFn update,
                    std::uint64_t updateInstrs)
 {
-    // Fig. 2, lines 4-9, plus the linear backoff any production ll/sc
-    // loop carries: SMT threads share one reservation entry per line,
-    // so symmetric retries would steal each other's links forever.
+    // Fig. 2, lines 4-9, plus the backoff any production ll/sc loop
+    // carries: SMT threads share one reservation entry per line, so
+    // symmetric retries would steal each other's links forever.
     t.syncBegin();
-    std::uint64_t retries = 0;
+    Backoff bk(t, BackoffDomain::Scalar);
     while (true) {
         std::uint64_t v = co_await t.loadLinked(a, size);
         co_await t.exec(updateInstrs); // Rtmp update
         bool ok = co_await t.storeCond(a, update(v), size);
         co_await t.exec(1); // retry branch
-        if (ok)
+        if (ok) {
+            bk.progress();
             break;
-        retries++;
-        std::uint64_t delay =
-            1 + ((retries * 2 + static_cast<std::uint64_t>(
-                                    t.globalId()) * 7) %
-                 23);
-        co_await t.exec(delay);
+        }
+        co_await t.exec(bk.failureDelay());
     }
     t.syncEnd();
 }
@@ -173,24 +226,52 @@ vLockAll(SimThread &t, Addr lockArray, const VecReg &idx, Mask want)
     }
 
     Mask held = Mask::none();
-    std::uint64_t retries = 0;
+    Backoff bk(t, BackoffDomain::Vector);
     while (held != reps) {
         Mask wantNow = reps.andNot(held);
         Mask got = co_await vLockTry(t, lockArray, idx, wantNow);
         held = held | got;
-        if (got.noneSet() && held.any()) {
+        if (got.any()) {
+            bk.progress();
+        } else if (held.any()) {
             // No progress while holding: release everything to avoid
             // a hold-and-wait cycle with another thread, back off,
             // and start over.
             co_await vUnlock(t, lockArray, idx, held);
             held = Mask::none();
-            retries++;
-            co_await t.exec(
-                1 + ((retries * 2 +
-                      static_cast<std::uint64_t>(t.globalId()) * 5) %
-                     13));
+            std::uint64_t delay = bk.failureDelay();
+            if (bk.shouldFallback())
+                break;
+            co_await t.exec(delay);
+        } else {
+            // Nothing held and nothing acquired: every requested lock
+            // is busy.  The original loop retried immediately (no
+            // hold-and-wait risk), so no delay -- but the round still
+            // counts toward the fallback trigger.
+            bk.noteNoProgress();
+            if (bk.shouldFallback())
+                break;
         }
         co_await t.exec(1);
+    }
+    if (held != reps) {
+        // Degradation path: the vector lock loop is starving (a fault
+        // storm or pathological contention keeps destroying its
+        // reservations).  Acquire the representative locks one at a
+        // time with the scalar test-and-set loop, in ascending lock
+        // order so concurrent fallback threads cannot deadlock.
+        t.stats().scalarFallbacks++;
+        std::vector<int> order;
+        for (int i = 0; i < t.width(); ++i) {
+            if (reps.test(i))
+                order.push_back(i);
+        }
+        std::sort(order.begin(), order.end(),
+                  [&idx](int a, int b) { return idx[a] < idx[b]; });
+        co_await t.exec(order.size()); // sort + loop setup
+        for (int i : order)
+            co_await lockAcquire(t, lockArray + idx[i] * 4);
+        bk.progress();
     }
     t.syncEnd();
     co_return reps;
@@ -200,24 +281,21 @@ Task<void>
 lockAcquire(SimThread &t, Addr lock)
 {
     t.syncBegin();
-    std::uint64_t retries = 0;
+    Backoff bk(t, BackoffDomain::Scalar);
     while (true) {
         std::uint64_t v = co_await t.loadLinked(lock, 4);
         co_await t.exec(1); // compare
         if (v == 0) {
             bool ok = co_await t.storeCond(lock, 1, 4);
             co_await t.exec(1); // branch
-            if (ok)
+            if (ok) {
+                bk.progress();
                 break;
+            }
         } else {
             co_await t.exec(1); // spin branch
         }
-        retries++;
-        std::uint64_t delay =
-            1 + ((retries * 2 + static_cast<std::uint64_t>(
-                                    t.globalId()) * 7) %
-                 23);
-        co_await t.exec(delay);
+        co_await t.exec(bk.failureDelay());
     }
     t.syncEnd();
 }

@@ -101,6 +101,7 @@ Core::issue()
             if (used > 0) {
                 slots -= used;
                 progress = true;
+                t.stats().lastRetireTick = events_.now();
             } else {
                 triedAndFailed |= (1ull << idx);
             }

@@ -19,6 +19,12 @@ SimThread::now() const
     return core_.events().now();
 }
 
+const SystemConfig &
+SimThread::config() const
+{
+    return core_.config();
+}
+
 void
 SimThread::bind(Task<void> task)
 {

@@ -27,6 +27,7 @@ namespace glsc {
 
 class Core;
 class System;
+struct SystemConfig;
 
 /** Lifecycle of a hardware thread context. */
 enum class ThreadState
@@ -191,6 +192,8 @@ class SimThread
     int globalId() const { return globalId_; }
     int width() const { return simdWidth_; }
     Tick now() const;
+    /** The owning core's system configuration (retry policy, etc). */
+    const SystemConfig &config() const;
 
     // ----- Driven by Core / LSU / GSU / System. -----
     void bind(Task<void> task);

@@ -2,9 +2,22 @@
 
 #include <cmath>
 
+#include "core/vatomic.h"
 #include "sim/log.h"
 
 namespace glsc {
+
+Task<Mask>
+vLockPairTry(SimThread &t, Addr locks, const VecReg &a, const VecReg &b,
+             Mask want)
+{
+    Mask got1 = co_await vLockTry(t, locks, a, want);
+    Mask got2 = co_await vLockTry(t, locks, b, got1);
+    Mask firstOnly = got1.andNot(got2);
+    if (firstOnly.any())
+        co_await vUnlock(t, locks, a, firstOnly);
+    co_return got2;
+}
 
 Mask
 conflictFree(const VecReg &a, const VecReg &b, Mask m, int width)

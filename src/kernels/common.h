@@ -18,6 +18,8 @@
 #include <utility>
 #include <vector>
 
+#include "cpu/task.h"
+#include "cpu/thread.h"
 #include "isa/vector.h"
 #include "mem/memory.h"
 #include "sim/system.h"
@@ -71,6 +73,17 @@ tailMask(int remaining, int width)
  * aliasing another lane's second lock across two VLOCK calls).
  */
 Mask conflictFree(const VecReg &a, const VecReg &b, Mask m, int width);
+
+/**
+ * One VLOCK round over the per-lane lock PAIR (locks[a[l]], then
+ * locks[b[l]]) for the lanes in @p want: lanes that acquired the first
+ * lock but lost the second release the first again (hold-and-wait
+ * avoidance) before the round returns.  The result marks lanes holding
+ * BOTH locks.  Callers must pass a conflictFree() subset so no lane's
+ * first lock aliases another lane's second.
+ */
+Task<Mask> vLockPairTry(SimThread &t, Addr locks, const VecReg &a,
+                        const VecReg &b, Mask want);
 
 // --- Bulk simulated-memory helpers for setup and verification. ---
 void writeU32Array(Memory &mem, Addr base,

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <vector>
 
+#include "core/retry.h"
 #include "core/vatomic.h"
 #include "sim/log.h"
 #include "workloads/synthetic.h"
@@ -22,6 +23,46 @@ struct GbcLayout
     Addr next = 0;   //!< u32 per object: list link
     Addr locks = 0;  //!< u32 per cell: test-and-set lock word
 };
+
+/**
+ * Base-scheme list insertion for the lanes in @p todo: cell locks
+ * acquired one at a time with scalar ll/sc in ascending cell order.
+ * Also the GLSC loop's degradation target when its zero-progress
+ * streak hits RetryPolicy::fallbackAfter.  (Arguments by value: the
+ * vector-path caller may abandon its frame mid-await.)
+ */
+Task<void>
+gbcScalarPath(SimThread &t, GbcLayout lay, VecReg cells, Mask todo,
+              int i, int w)
+{
+    while (todo.any()) {
+        co_await t.exec(2); // duplicate-cell filter
+        Mask cf = conflictFree(cells, cells, todo, w);
+        // Serial acquisition in ascending cell order keeps
+        // cross-thread lock acquisition deadlock-free.
+        std::vector<int> order;
+        for (int l = 0; l < w; ++l) {
+            if (cf.test(l))
+                order.push_back(l);
+        }
+        std::sort(order.begin(), order.end(),
+                  [&cells](int x, int y) { return cells[x] < cells[y]; });
+        co_await t.exec(order.size()); // sort/permute overhead
+        for (int l : order)
+            co_await lockAcquire(t, lay.locks + 4ull * cells[l]);
+        GatherResult heads =
+            co_await t.vgather(lay.heads, cells, cf, 4);
+        co_await t.exec(1);
+        VecReg objId;
+        for (int l = 0; l < w; ++l)
+            objId[l] = static_cast<std::uint32_t>(i + l);
+        co_await t.vstore(lay.next + 4ull * i, heads.value, cf, 4);
+        co_await t.vscatter(lay.heads, cells, objId, cf, 4);
+        co_await vUnlock(t, lay.locks, cells, cf);
+        co_await t.exec(1);
+        todo = todo.andNot(cf);
+    }
+}
 
 Task<void>
 gbcKernel(SimThread &t, Scheme scheme, GbcLayout lay, int objects,
@@ -47,7 +88,7 @@ gbcKernel(SimThread &t, Scheme scheme, GbcLayout lay, int objects,
 
         if (scheme == Scheme::Glsc) {
             Mask todo = m;
-            std::uint64_t retries = 0;
+            Backoff bk(t, BackoffDomain::Vector);
             while (todo.any()) {
                 co_await t.exec(1); // Ftmp = FtoDo
                 Mask got = co_await vLockTry(t, lay.locks, cells, todo);
@@ -67,53 +108,28 @@ gbcKernel(SimThread &t, Scheme scheme, GbcLayout lay, int objects,
                 }
                 co_await t.exec(1); // FtoDo ^= got
                 todo = todo.andNot(got);
-                if (todo.any() && got.noneSet()) {
-                    // Software backoff, only when no lane progressed.
-                    retries++;
-                    co_await t.exec(
-                        1 + ((retries * 2 +
-                              static_cast<std::uint64_t>(
-                                  t.globalId()) * 5) %
-                             13));
+                if (got.any()) {
+                    bk.progress();
+                } else if (todo.any()) {
+                    // Software backoff, only when no lane progressed;
+                    // degrade to the scalar lock path once the streak
+                    // says the vector loop is starving.
+                    std::uint64_t delay = bk.failureDelay();
+                    if (bk.shouldFallback()) {
+                        t.stats().scalarFallbacks++;
+                        co_await gbcScalarPath(t, lay, cells, todo, i,
+                                               w);
+                        bk.progress();
+                        break;
+                    }
+                    co_await t.exec(delay);
                 }
             }
         } else {
             // Base: same SIMD body, but the cell locks are acquired
             // one at a time with scalar ll/sc (the baseline has
             // gather/scatter hardware, just no atomic vector ops).
-            Mask todo = m;
-            while (todo.any()) {
-                co_await t.exec(2); // duplicate-cell filter
-                Mask cf = conflictFree(cells, cells, todo, w);
-                // Serial acquisition in ascending cell order keeps
-                // cross-thread lock acquisition deadlock-free.
-                std::vector<int> order;
-                for (int l = 0; l < w; ++l) {
-                    if (cf.test(l))
-                        order.push_back(l);
-                }
-                std::sort(order.begin(), order.end(),
-                          [&](int x, int y) {
-                              return cells[x] < cells[y];
-                          });
-                co_await t.exec(order.size()); // sort/permute overhead
-                for (int l : order) {
-                    co_await lockAcquire(t,
-                                         lay.locks + 4ull * cells[l]);
-                }
-                GatherResult heads =
-                    co_await t.vgather(lay.heads, cells, cf, 4);
-                co_await t.exec(1);
-                VecReg objId;
-                for (int l = 0; l < w; ++l)
-                    objId[l] = static_cast<std::uint32_t>(i + l);
-                co_await t.vstore(lay.next + 4ull * i, heads.value, cf,
-                                  4);
-                co_await t.vscatter(lay.heads, cells, objId, cf, 4);
-                co_await vUnlock(t, lay.locks, cells, cf);
-                co_await t.exec(1);
-                todo = todo.andNot(cf);
-            }
+            co_await gbcScalarPath(t, lay, cells, m, i, w);
         }
         co_await t.exec(1); // loop bookkeeping
     }

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <numeric>
 
+#include "core/retry.h"
 #include "core/vatomic.h"
 #include "sim/log.h"
 #include "workloads/synthetic.h"
@@ -20,6 +21,54 @@ struct GpsLayout
     Addr state = 0;  //!< i32 per object (integer momentum)
     Addr locks = 0;  //!< u32 per object
 };
+
+/**
+ * Base-scheme constraint relaxation for the lanes in @p todo: the
+ * 2 x SIMD-width locks are taken serially with scalar ll/sc in
+ * ascending global order (deadlock-free).  Also the GLSC loop's
+ * degradation target when its zero-progress streak hits
+ * RetryPolicy::fallbackAfter.  (Arguments by value: the vector-path
+ * caller may abandon its frame mid-await.)
+ */
+Task<void>
+gpsScalarPath(SimThread &t, GpsLayout lay, VecReg a, VecReg b, VecReg cv,
+              Mask todo, int w)
+{
+    while (todo.any()) {
+        co_await t.exec(2);
+        Mask cf = conflictFree(a, b, todo, w);
+        std::vector<std::uint64_t> lockIdx;
+        for (int l = 0; l < w; ++l) {
+            if (cf.test(l)) {
+                lockIdx.push_back(a[l]);
+                lockIdx.push_back(b[l]);
+            }
+        }
+        std::sort(lockIdx.begin(), lockIdx.end());
+        co_await t.exec(lockIdx.size()); // sort overhead
+        for (std::uint64_t li : lockIdx)
+            co_await lockAcquire(t, lay.locks + 4ull * li);
+
+        GatherResult sa = co_await t.vgather(lay.state, a, cf, 4);
+        GatherResult sb = co_await t.vgather(lay.state, b, cf, 4);
+        co_await t.exec(2); // delta computation
+        VecReg na, nb;
+        for (int l = 0; l < w; ++l) {
+            auto va = static_cast<std::int32_t>(sa.value.u32(l));
+            auto vb = static_cast<std::int32_t>(sb.value.u32(l));
+            std::int32_t d =
+                (va - vb) / 4 + static_cast<std::int32_t>(cv.u32(l));
+            na[l] = static_cast<std::uint32_t>(va - d);
+            nb[l] = static_cast<std::uint32_t>(vb + d);
+        }
+        co_await t.vscatter(lay.state, a, na, cf, 4);
+        co_await t.vscatter(lay.state, b, nb, cf, 4);
+        co_await vUnlock(t, lay.locks, a, cf);
+        co_await vUnlock(t, lay.locks, b, cf);
+        co_await t.exec(1);
+        todo = todo.andNot(cf);
+    }
+}
 
 Task<void>
 gpsKernel(SimThread &t, Scheme scheme, GpsLayout lay, int constraints,
@@ -49,20 +98,15 @@ gpsKernel(SimThread &t, Scheme scheme, GpsLayout lay, int constraints,
 
             if (scheme == Scheme::Glsc) {
                 Mask todo = m;
-                std::uint64_t retries = 0;
+                Backoff bk(t, BackoffDomain::Vector);
                 while (todo.any()) {
                     // Runtime uniqueness filter: groups are
                     // preprocessed to be independent, but retries can
                     // leave arbitrary subsets active.
                     co_await t.exec(2);
                     Mask cf = conflictFree(a, b, todo, w);
-                    Mask got1 =
-                        co_await vLockTry(t, lay.locks, a, cf);
-                    Mask got2 =
-                        co_await vLockTry(t, lay.locks, b, got1);
-                    Mask backoff = got1.andNot(got2);
-                    if (backoff.any())
-                        co_await vUnlock(t, lay.locks, a, backoff);
+                    Mask got2 = co_await vLockPairTry(t, lay.locks, a,
+                                                      b, cf);
                     if (got2.any()) {
                         GatherResult sa = co_await t.vgather(
                             lay.state, a, got2, 4);
@@ -88,59 +132,24 @@ gpsKernel(SimThread &t, Scheme scheme, GpsLayout lay, int constraints,
                     }
                     co_await t.exec(1); // FtoDo ^= got2
                     todo = todo.andNot(got2);
-                    if (todo.any() && got2.noneSet()) {
-                        retries++;
-                        co_await t.exec(
-                            1 + ((retries * 2 +
-                                  static_cast<std::uint64_t>(
-                                      t.globalId()) * 5) %
-                                 13));
+                    if (got2.any()) {
+                        bk.progress();
+                    } else if (todo.any()) {
+                        std::uint64_t delay = bk.failureDelay();
+                        if (bk.shouldFallback()) {
+                            // Starving: finish this group on the
+                            // scalar lock path (livelock-free).
+                            t.stats().scalarFallbacks++;
+                            co_await gpsScalarPath(t, lay, a, b, cv,
+                                                   todo, w);
+                            bk.progress();
+                            break;
+                        }
+                        co_await t.exec(delay);
                     }
                 }
             } else {
-                // Base: same SIMD update body; the 2 x SIMD-width
-                // locks are taken serially with scalar ll/sc in
-                // ascending global order (deadlock-free).
-                Mask todo = m;
-                while (todo.any()) {
-                    co_await t.exec(2);
-                    Mask cf = conflictFree(a, b, todo, w);
-                    std::vector<std::uint64_t> lockIdx;
-                    for (int l = 0; l < w; ++l) {
-                        if (cf.test(l)) {
-                            lockIdx.push_back(a[l]);
-                            lockIdx.push_back(b[l]);
-                        }
-                    }
-                    std::sort(lockIdx.begin(), lockIdx.end());
-                    co_await t.exec(lockIdx.size()); // sort overhead
-                    for (std::uint64_t li : lockIdx)
-                        co_await lockAcquire(t, lay.locks + 4ull * li);
-
-                    GatherResult sa =
-                        co_await t.vgather(lay.state, a, cf, 4);
-                    GatherResult sb =
-                        co_await t.vgather(lay.state, b, cf, 4);
-                    co_await t.exec(2); // delta computation
-                    VecReg na, nb;
-                    for (int l = 0; l < w; ++l) {
-                        auto va = static_cast<std::int32_t>(
-                            sa.value.u32(l));
-                        auto vb = static_cast<std::int32_t>(
-                            sb.value.u32(l));
-                        std::int32_t d =
-                            (va - vb) / 4 +
-                            static_cast<std::int32_t>(cv.u32(l));
-                        na[l] = static_cast<std::uint32_t>(va - d);
-                        nb[l] = static_cast<std::uint32_t>(vb + d);
-                    }
-                    co_await t.vscatter(lay.state, a, na, cf, 4);
-                    co_await t.vscatter(lay.state, b, nb, cf, 4);
-                    co_await vUnlock(t, lay.locks, a, cf);
-                    co_await vUnlock(t, lay.locks, b, cf);
-                    co_await t.exec(1);
-                    todo = todo.andNot(cf);
-                }
+                co_await gpsScalarPath(t, lay, a, b, cv, m, w);
             }
             co_await t.exec(1); // loop bookkeeping
         }

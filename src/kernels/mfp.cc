@@ -4,6 +4,7 @@
 #include <numeric>
 #include <unordered_set>
 
+#include "core/retry.h"
 #include "core/vatomic.h"
 #include "sim/log.h"
 #include "workloads/synthetic.h"
@@ -65,6 +66,60 @@ groupIndependentEdges(std::vector<FlowEdge> &edges, int begin, int end,
     std::copy(result.begin(), result.end(), edges.begin() + begin);
 }
 
+/**
+ * Base-scheme push body for the lanes in @p todo: endpoint locks taken
+ * serially with scalar ll/sc in ascending order.  Also the GLSC
+ * loop's degradation target once its zero-progress streak hits
+ * RetryPolicy::fallbackAfter.  (Arguments by value: the vector-path
+ * caller may abandon its frame mid-await.)
+ */
+Task<void>
+mfpScalarPath(SimThread &t, MfpLayout lay, VecReg u, VecReg v, VecReg cv,
+              Mask todo, int i, int w)
+{
+    while (todo.any()) {
+        co_await t.exec(2);
+        Mask cf = conflictFree(u, v, todo, w);
+        std::vector<std::uint64_t> lockIdx;
+        for (int l = 0; l < w; ++l) {
+            if (cf.test(l)) {
+                lockIdx.push_back(u[l]);
+                lockIdx.push_back(v[l]);
+            }
+        }
+        std::sort(lockIdx.begin(), lockIdx.end());
+        co_await t.exec(lockIdx.size()); // sort overhead
+        for (std::uint64_t li : lockIdx)
+            co_await lockAcquire(t, lay.locks + 4ull * li);
+
+        GatherResult ex = co_await t.vgather(lay.excess, u, cf, 4);
+        VecReg fl = co_await t.vload(lay.flow + 4ull * i, 4);
+        co_await t.exec(3);
+        VecReg newEx, newFl, delta;
+        for (int l = 0; l < w; ++l) {
+            std::uint32_t e = ex.value.u32(l);
+            std::uint32_t res32 = cv.u32(l) - fl.u32(l);
+            std::uint32_t d = std::min(e, res32);
+            delta[l] = d;
+            newEx[l] = e - d;
+            newFl[l] = fl.u32(l) + d;
+        }
+        co_await t.vscatter(lay.excess, u, newEx, cf, 4);
+        GatherResult exTo = co_await t.vgather(lay.excess, v, cf, 4);
+        co_await t.exec(1);
+        VecReg newTo;
+        for (int l = 0; l < w; ++l)
+            newTo[l] = exTo.value.u32(l) +
+                       static_cast<std::uint32_t>(delta[l]);
+        co_await t.vscatter(lay.excess, v, newTo, cf, 4);
+        co_await t.vstore(lay.flow + 4ull * i, newFl, cf, 4);
+        co_await vUnlock(t, lay.locks, u, cf);
+        co_await vUnlock(t, lay.locks, v, cf);
+        co_await t.exec(1);
+        todo = todo.andNot(cf);
+    }
+}
+
 Task<void>
 mfpKernel(SimThread &t, Scheme scheme, MfpLayout lay, int edges,
           int rounds, int numThreads, Barrier *bar)
@@ -103,15 +158,12 @@ mfpKernel(SimThread &t, Scheme scheme, MfpLayout lay, int edges,
 
             if (scheme == Scheme::Glsc) {
                 Mask todo = elig;
-                std::uint64_t retries = 0;
+                Backoff bk(t, BackoffDomain::Vector);
                 while (todo.any()) {
                     co_await t.exec(2); // runtime uniqueness filter
                     Mask cf = conflictFree(u, v, todo, w);
-                    Mask got1 = co_await vLockTry(t, lay.locks, u, cf);
-                    Mask got2 = co_await vLockTry(t, lay.locks, v, got1);
-                    Mask backoff = got1.andNot(got2);
-                    if (backoff.any())
-                        co_await vUnlock(t, lay.locks, u, backoff);
+                    Mask got2 = co_await vLockPairTry(t, lay.locks, u,
+                                                      v, cf);
                     if (got2.any()) {
                         GatherResult ex =
                             co_await t.vgather(lay.excess, u, got2, 4);
@@ -147,64 +199,24 @@ mfpKernel(SimThread &t, Scheme scheme, MfpLayout lay, int edges,
                     }
                     co_await t.exec(1);
                     todo = todo.andNot(got2);
-                    if (todo.any() && got2.noneSet()) {
-                        retries++;
-                        co_await t.exec(
-                            1 +
-                            ((retries * 2 +
-                              static_cast<std::uint64_t>(
-                                  t.globalId()) * 5) %
-                             13));
+                    if (got2.any()) {
+                        bk.progress();
+                    } else if (todo.any()) {
+                        std::uint64_t delay = bk.failureDelay();
+                        if (bk.shouldFallback()) {
+                            // Starving: push the remaining lanes via
+                            // the scalar lock path (livelock-free).
+                            t.stats().scalarFallbacks++;
+                            co_await mfpScalarPath(t, lay, u, v, cv,
+                                                   todo, i, w);
+                            bk.progress();
+                            break;
+                        }
+                        co_await t.exec(delay);
                     }
                 }
             } else {
-                // Base: same SIMD push body; endpoint locks taken
-                // serially with scalar ll/sc in ascending order.
-                Mask todo = elig;
-                while (todo.any()) {
-                    co_await t.exec(2);
-                    Mask cf = conflictFree(u, v, todo, w);
-                    std::vector<std::uint64_t> lockIdx;
-                    for (int l = 0; l < w; ++l) {
-                        if (cf.test(l)) {
-                            lockIdx.push_back(u[l]);
-                            lockIdx.push_back(v[l]);
-                        }
-                    }
-                    std::sort(lockIdx.begin(), lockIdx.end());
-                    co_await t.exec(lockIdx.size()); // sort overhead
-                    for (std::uint64_t li : lockIdx)
-                        co_await lockAcquire(t, lay.locks + 4ull * li);
-
-                    GatherResult ex =
-                        co_await t.vgather(lay.excess, u, cf, 4);
-                    VecReg fl = co_await t.vload(lay.flow + 4ull * i, 4);
-                    co_await t.exec(3);
-                    VecReg newEx, newFl, delta;
-                    for (int l = 0; l < w; ++l) {
-                        std::uint32_t e = ex.value.u32(l);
-                        std::uint32_t res32 = cv.u32(l) - fl.u32(l);
-                        std::uint32_t d = std::min(e, res32);
-                        delta[l] = d;
-                        newEx[l] = e - d;
-                        newFl[l] = fl.u32(l) + d;
-                    }
-                    co_await t.vscatter(lay.excess, u, newEx, cf, 4);
-                    GatherResult exTo =
-                        co_await t.vgather(lay.excess, v, cf, 4);
-                    co_await t.exec(1);
-                    VecReg newTo;
-                    for (int l = 0; l < w; ++l)
-                        newTo[l] =
-                            exTo.value.u32(l) +
-                            static_cast<std::uint32_t>(delta[l]);
-                    co_await t.vscatter(lay.excess, v, newTo, cf, 4);
-                    co_await t.vstore(lay.flow + 4ull * i, newFl, cf, 4);
-                    co_await vUnlock(t, lay.locks, u, cf);
-                    co_await vUnlock(t, lay.locks, v, cf);
-                    co_await t.exec(1);
-                    todo = todo.andNot(cf);
-                }
+                co_await mfpScalarPath(t, lay, u, v, cv, elig, i, w);
             }
             co_await t.exec(1); // loop bookkeeping
         }

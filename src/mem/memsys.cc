@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "robust/fault_injector.h"
 #include "sim/log.h"
 #include "verify/invariants.h"
 
@@ -26,6 +27,8 @@ MemorySystem::MemorySystem(const SystemConfig &cfg, EventQueue &events,
 #ifdef GLSC_CHECK_ENABLED
     checker_ = std::make_unique<InvariantChecker>(*this);
 #endif
+    if (cfg_.faults.anyEnabled())
+        injector_ = std::make_unique<FaultInjector>(cfg_, stats_, *this);
     observer_ = cfg.memObserver;
     if (observer_ != nullptr)
         observer_->onAttach(cfg_, mem_);
@@ -55,6 +58,34 @@ MemorySystem::checkAfterOp(Addr line)
 #else
     (void)line;
 #endif
+}
+
+void
+MemorySystem::maybeInjectFaults()
+{
+    if (injector_ != nullptr)
+        injector_->beforeOp();
+}
+
+void
+MemorySystem::noteAtomicOutcome(CoreId c, ThreadId t, Addr line,
+                                bool success)
+{
+    int gtid = c * cfg_.threadsPerCore + t;
+    if (gtid < 0 || gtid >= static_cast<int>(stats_.threads.size()))
+        return; // bare-memsys test rigs may run with odd thread ids
+    ThreadStats &ts = stats_.threads[gtid];
+    ts.atomicAttempts++;
+    if (success) {
+        ts.atomicSuccesses++;
+        ts.consecAtomicFailures = 0;
+        ts.lastProgressTick = events_.now();
+    } else {
+        ts.consecAtomicFailures++;
+        ts.maxConsecAtomicFailures = std::max(
+            ts.maxConsecAtomicFailures, ts.consecAtomicFailures);
+        ts.lastFailedLine = line;
+    }
 }
 
 void
@@ -298,6 +329,9 @@ MemorySystem::lineAccess(CoreId c, Addr line, bool needM, bool isPrefetch)
         dir->addSharer(c);
     }
 
+    if (injector_ != nullptr)
+        lat += injector_->delayPenalty(); // injected NoC/bank stretch
+
     lat += noc_.hopLatency(c, bank); // reply traversal
     mshr_[c][line] = now + lat;
     return lat;
@@ -307,6 +341,7 @@ ScalarResult
 MemorySystem::access(CoreId c, ThreadId t, Addr a, int size, MemOpType type,
                      std::uint64_t wdata)
 {
+    maybeInjectFaults();
     ScalarResult res = accessImpl(c, t, a, size, type, wdata);
     if (observer_ != nullptr)
         observer_->onScalar(c, t, a, size, type, wdata, res);
@@ -356,12 +391,14 @@ MemorySystem::accessImpl(CoreId c, ThreadId t, Addr a, int size,
             stats_.l1Hits++;
             res.latency = cfg_.l1Latency;
             res.scSuccess = false;
+            noteAtomicOutcome(c, t, line, false);
             break;
         }
         res.latency = lineAccess(c, line, true, false);
         mem_.write(a, wdata, size);
         clearLink(c, line);
         res.scSuccess = true;
+        noteAtomicOutcome(c, t, line, true);
         break;
       }
 
@@ -378,6 +415,7 @@ MemorySystem::gatherLine(CoreId c, ThreadId t,
                          const std::vector<GsuLane> &lanes, int size,
                          bool linked)
 {
+    maybeInjectFaults();
     LineOpResult res = gatherLineImpl(c, t, lanes, size, linked);
     if (observer_ != nullptr)
         observer_->onGatherLine(c, t, lanes, size, linked, res);
@@ -435,6 +473,7 @@ MemorySystem::scatterLine(CoreId c, ThreadId t,
                           const std::vector<GsuLane> &lanes, int size,
                           bool conditional)
 {
+    maybeInjectFaults();
     LineOpResult res = scatterLineImpl(c, t, lanes, size, conditional);
     if (observer_ != nullptr)
         observer_->onScatterLine(c, t, lanes, size, conditional, res);
@@ -464,6 +503,7 @@ MemorySystem::scatterLineImpl(CoreId c, ThreadId t,
             stats_.l1Hits++; // tag probe only
             res.latency = cfg_.l1Latency;
             res.scondOk = false;
+            noteAtomicOutcome(c, t, line, false);
             return res;
         }
     }
@@ -473,12 +513,15 @@ MemorySystem::scatterLineImpl(CoreId c, ThreadId t,
         mem_.write(ln.addr, ln.wdata, size);
     clearLink(c, line);
     res.scondOk = true;
+    if (conditional)
+        noteAtomicOutcome(c, t, line, true);
     return res;
 }
 
 VectorResult
 MemorySystem::vload(CoreId c, Addr a, int width, int elemSize)
 {
+    maybeInjectFaults();
     VectorResult res;
     Addr first = lineAddr(a);
     Addr last = lineAddr(a + static_cast<Addr>(width) * elemSize - 1);
@@ -503,6 +546,7 @@ VectorResult
 MemorySystem::vstore(CoreId c, Addr a, const VecReg &v, Mask mask,
                      int width, int elemSize)
 {
+    maybeInjectFaults();
     VectorResult res;
     Addr first = lineAddr(a);
     Addr last = lineAddr(a + static_cast<Addr>(width) * elemSize - 1);

@@ -138,6 +138,7 @@ class MemObserver
     }
 };
 
+class FaultInjector;
 class InvariantChecker;
 
 class MemorySystem
@@ -194,6 +195,12 @@ class MemorySystem
      */
     InvariantChecker *checker();
 
+    /**
+     * The deterministic fault injector (src/robust/fault_injector.h);
+     * null unless SystemConfig::faults enables at least one class.
+     */
+    FaultInjector *faultInjector() { return injector_.get(); }
+
     /** Inclusion: every valid L1 line has a valid L2 line. */
     bool checkInclusion() const;
     /** Directory: sharers/owner agree with actual L1 states. */
@@ -229,6 +236,11 @@ class MemorySystem
     }
 
   private:
+    // The injector mutates reservation state through the private
+    // linkLine/clearLink/evictL1 paths so the invariant checker's
+    // shadow map tracks every injected fault.
+    friend class FaultInjector;
+
     // Bodies of the public operations; the public entry points wrap
     // them to notify the observer and the invariant checker exactly
     // once per operation, at its serialization point.
@@ -243,6 +255,16 @@ class MemorySystem
 
     /** Post-op invariant hook for every line the op touched. */
     void checkAfterOp(Addr line);
+
+    /** Rolls the reservation-directed fault classes, if any. */
+    void maybeInjectFaults();
+
+    /**
+     * Per-thread forward-progress accounting for the watchdog: one
+     * atomic completion attempt (sc or conditional scatter-line probe)
+     * by (c, t) on @p line, with its outcome.
+     */
+    void noteAtomicOutcome(CoreId c, ThreadId t, Addr line, bool success);
 
     // ----- GLSC reservation storage (tag bits or buffer, §3.3). -----
     /** Records a reservation on @p line (line must be resident). */
@@ -285,6 +307,7 @@ class MemorySystem
     std::vector<std::pair<Addr, Addr>> faultRanges_;
     std::uint64_t stamp_ = 0;
     MemObserver *observer_ = nullptr;
+    std::unique_ptr<FaultInjector> injector_;
 #ifdef GLSC_CHECK_ENABLED
     std::unique_ptr<InvariantChecker> checker_;
 #endif

@@ -1,0 +1,133 @@
+#include "robust/fault_injector.h"
+
+#include "mem/memsys.h"
+#include "sim/log.h"
+
+namespace glsc {
+
+FaultInjector::FaultInjector(const SystemConfig &cfg, SystemStats &stats,
+                             MemorySystem &msys)
+    : cfg_(cfg), stats_(stats), msys_(msys), fc_(cfg.faults),
+      phantom_(cfg.threadsPerCore), rng_(cfg.faults.seed)
+{
+}
+
+std::vector<FaultInjector::Candidate>
+FaultInjector::liveReservations() const
+{
+    std::vector<Candidate> cands;
+    if (!msys_.resBuffers_.empty()) {
+        for (int c = 0; c < cfg_.cores; ++c) {
+            for (const auto &[line, tid] :
+                 msys_.resBuffers_[c]->snapshot()) {
+                (void)tid;
+                cands.push_back({c, line});
+            }
+        }
+        return cands;
+    }
+    for (int c = 0; c < cfg_.cores; ++c) {
+        for (const L1Line &l : msys_.l1s_[c]->lines()) {
+            if (l.valid() && l.glscValid)
+                cands.push_back({c, l.tag});
+        }
+    }
+    return cands;
+}
+
+bool
+FaultInjector::pick(std::vector<Candidate> *cands, Candidate *out)
+{
+    if (cands->empty())
+        return false;
+    *out = (*cands)[rng_.below(cands->size())];
+    return true;
+}
+
+void
+FaultInjector::spuriousClear()
+{
+    auto cands = liveReservations();
+    Candidate v;
+    if (!pick(&cands, &v))
+        return;
+    msys_.clearLink(v.core, v.line);
+    stats_.faultsSpuriousClear++;
+}
+
+void
+FaultInjector::evictLinked()
+{
+    auto cands = liveReservations();
+    Candidate v;
+    if (!pick(&cands, &v))
+        return;
+    L1Line *l = msys_.l1s_[v.core]->lookup(v.line);
+    if (l == nullptr || !l->valid())
+        return; // reservation outlived residency; nothing to evict
+    msys_.evictL1(v.core, *l);
+    stats_.faultsEvictLinked++;
+}
+
+void
+FaultInjector::stealReservation()
+{
+    auto cands = liveReservations();
+    Candidate v;
+    if (!pick(&cands, &v))
+        return;
+    // Re-link to the phantom SMT context: no real thread's probe will
+    // ever match it, so the victim's completion can only fail -- the
+    // adversarial form of the section-3.3 last-linker-wins steal.
+    msys_.linkLine(v.core, phantom_, v.line);
+    stats_.faultsStealReservation++;
+}
+
+void
+FaultInjector::overflowBuffer()
+{
+    if (msys_.resBuffers_.empty())
+        return; // tag-bit mode has no buffer to overflow
+    std::vector<CoreId> occupied;
+    for (int c = 0; c < cfg_.cores; ++c) {
+        if (msys_.resBuffers_[c]->size() > 0)
+            occupied.push_back(c);
+    }
+    if (occupied.empty())
+        return;
+    CoreId c = occupied[rng_.below(occupied.size())];
+    Addr line = 0;
+    if (!msys_.resBuffers_[c]->oldest(&line))
+        return;
+    // Exactly what a burst of links past bufferEntries would do: the
+    // oldest reservation is dropped (section 3.3 best-effort overflow).
+    msys_.clearLink(c, line);
+    stats_.faultsBufferOverflow++;
+}
+
+void
+FaultInjector::beforeOp()
+{
+    if (fc_.spuriousClearRate > 0.0 && rng_.chance(fc_.spuriousClearRate))
+        spuriousClear();
+    if (fc_.evictLinkedRate > 0.0 && rng_.chance(fc_.evictLinkedRate))
+        evictLinked();
+    if (fc_.stealReservationRate > 0.0 &&
+        rng_.chance(fc_.stealReservationRate))
+        stealReservation();
+    if (fc_.bufferOverflowRate > 0.0 &&
+        rng_.chance(fc_.bufferOverflowRate))
+        overflowBuffer();
+}
+
+Tick
+FaultInjector::delayPenalty()
+{
+    if (fc_.delayRate <= 0.0 || !rng_.chance(fc_.delayRate))
+        return 0;
+    stats_.faultsDelay++;
+    stats_.faultDelayCycles += fc_.delayExtra;
+    return fc_.delayExtra;
+}
+
+} // namespace glsc

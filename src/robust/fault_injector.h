@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Deterministic fault injector for the GLSC memory system.
+ *
+ * The MemorySystem invokes the injector at the head of every public
+ * serialization point (scalar access, gather/scatter line request,
+ * vector load/store) and inside the directory transaction path for
+ * latency faults.  Because the simulator is single-threaded and
+ * event-ordered, the resulting fault schedule is a pure function of
+ * (SystemConfig, FaultConfig::seed, program): identical runs inject
+ * identical faults at identical points.
+ *
+ * Soundness: every fault class stays inside the paper's legal
+ * best-effort outcome set (sections 3.2-3.4).
+ *  - Faults only destroy reservations (spurious clear, linked-line
+ *    eviction, buffer overflow) or hand them to a *phantom* SMT
+ *    context -- thread id threadsPerCore, which no real thread uses --
+ *    so an injected fault can only make a store-conditional or
+ *    vscattercond FAIL, never ghost-succeed.  Failure is always legal.
+ *  - Gather-linked requests are never failed by injection (the
+ *    differential reference model only admits gather-link failure
+ *    under a configured section-3.2 policy).
+ *  - All mutations route through MemorySystem::clearLink / linkLine /
+ *    evictL1, so the invariant checker's shadow reservation map and
+ *    the directory stay coherent with every injected fault.
+ */
+
+#ifndef GLSC_ROBUST_FAULT_INJECTOR_H_
+#define GLSC_ROBUST_FAULT_INJECTOR_H_
+
+#include <vector>
+
+#include "config/config.h"
+#include "sim/random.h"
+#include "sim/types.h"
+#include "stats/stats.h"
+
+namespace glsc {
+
+class MemorySystem;
+
+class FaultInjector
+{
+  public:
+    FaultInjector(const SystemConfig &cfg, SystemStats &stats,
+                  MemorySystem &msys);
+
+    /**
+     * Rolls every enabled reservation-directed fault class once, in a
+     * fixed order (clear, evict, steal, overflow).  Called by the
+     * MemorySystem before applying each operation's architectural
+     * effects.
+     */
+    void beforeOp();
+
+    /**
+     * Extra cycles to stretch the current directory transaction by;
+     * 0 unless an enabled delay fault fires.
+     */
+    Tick delayPenalty();
+
+    /** The SMT context id reservations are stolen to. */
+    ThreadId phantomTid() const { return phantom_; }
+
+  private:
+    struct Candidate
+    {
+        CoreId core;
+        Addr line;
+    };
+
+    /** Every live reservation, in deterministic (core, slot) order. */
+    std::vector<Candidate> liveReservations() const;
+    bool pick(std::vector<Candidate> *cands, Candidate *out);
+
+    void spuriousClear();
+    void evictLinked();
+    void stealReservation();
+    void overflowBuffer();
+
+    const SystemConfig &cfg_;
+    SystemStats &stats_;
+    MemorySystem &msys_;
+    FaultConfig fc_;
+    ThreadId phantom_;
+    Rng rng_;
+};
+
+} // namespace glsc
+
+#endif // GLSC_ROBUST_FAULT_INJECTOR_H_

@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Configuration for the robustness subsystem: deterministic fault
+ * injection, the retry/backoff policy framework, and the
+ * forward-progress watchdog.
+ *
+ * GLSC's best-effort semantics (paper sections 3.2-3.4) make liveness
+ * under contention a correctness property: every vector atomic may
+ * partially fail, so the software retry loops -- not the hardware --
+ * carry the forward-progress guarantee.  These knobs let a run inject
+ * the adversarial conditions deterministically (reservation steals,
+ * spurious clears, capacity overflow, latency stretch) and prove the
+ * kernels survive them, with a watchdog that turns livelock from a
+ * 4-billion-cycle timeout into an attributed diagnosis.
+ *
+ * All three structs are plain data embedded in SystemConfig so a fault
+ * campaign is part of the experiment configuration and reproducible
+ * bit-for-bit from its seed.
+ */
+
+#ifndef GLSC_ROBUST_ROBUST_CONFIG_H_
+#define GLSC_ROBUST_ROBUST_CONFIG_H_
+
+#include <cstdint>
+
+#include "sim/types.h"
+
+namespace glsc {
+
+/**
+ * Deterministic fault injector knobs (src/robust/fault_injector.h).
+ *
+ * Each class fires independently with its own Bernoulli rate, rolled
+ * once per memory-system serialization point (scalar access, gather /
+ * scatter line request, vector load/store), so the fault schedule is a
+ * pure function of (configuration, seed, program).  Every class is
+ * failure-directed: faults may only destroy or misdirect reservations
+ * and stretch latencies, never manufacture a success, so any injected
+ * behaviour stays inside the paper's legal best-effort outcome set and
+ * the differential reference model must keep passing.
+ */
+struct FaultConfig
+{
+    /** Seed for the injector's private RNG stream. */
+    std::uint64_t seed = 0xFA111ull;
+
+    /** Clear one random live GLSC reservation (spurious entry loss). */
+    double spuriousClearRate = 0.0;
+    /** Evict the L1 line under one random live reservation. */
+    double evictLinkedRate = 0.0;
+    /**
+     * Re-link one random live reservation to a phantom SMT context
+     * (thread id threadsPerCore, matching no real thread): the
+     * cross-SMT reservation steal of section 3.3, made adversarial.
+     */
+    double stealReservationRate = 0.0;
+    /**
+     * Drop the oldest reservation of one random core's GLSC buffer,
+     * as if a burst of links overflowed GlscPolicy::bufferEntries.
+     * Inert in tag-bit mode (no buffer to overflow).
+     */
+    double bufferOverflowRate = 0.0;
+    /** Stretch one directory transaction by delayExtra cycles. */
+    double delayRate = 0.0;
+    /** NoC/bank latency added when a delay fault fires. */
+    Tick delayExtra = 64;
+
+    bool
+    anyEnabled() const
+    {
+        return spuriousClearRate > 0.0 || evictLinkedRate > 0.0 ||
+               stealReservationRate > 0.0 || bufferOverflowRate > 0.0 ||
+               delayRate > 0.0;
+    }
+};
+
+/** How a retry loop spaces its zero-progress rounds. */
+enum class RetryKind
+{
+    None,              //!< immediate retry (no delay) -- livelock-prone
+    Linear,            //!< asymmetric windowed linear ramp (default)
+    CappedExponential, //!< classic doubling with a ceiling
+    Randomized,        //!< uniform delay in [1, cap], per-thread stream
+};
+
+/**
+ * Software retry/backoff policy applied by every GLSC and ll/sc retry
+ * loop (src/core/retry.h).  The default reproduces the hand-rolled
+ * backoff the kernels previously carried: a linear ramp through a
+ * small prime-sized window, offset per thread so SMT siblings never
+ * steal each other's reservations in lockstep.
+ */
+struct RetryPolicy
+{
+    RetryKind kind = RetryKind::Linear;
+
+    /** Linear slope / first CappedExponential delay (cycles). */
+    std::uint64_t base = 2;
+    /** Delay ceiling for CappedExponential and Randomized (cycles). */
+    std::uint64_t cap = 64;
+    /**
+     * Graceful degradation (paper Fig. 2 path): after this many
+     * consecutive zero-progress rounds the loop abandons the vector
+     * path and completes the remaining lanes with scalar ll/sc (or
+     * sorted scalar locks), making every kernel livelock-free by
+     * construction.  0 disables the fallback.
+     */
+    int fallbackAfter = 0;
+    /** Seed for the Randomized kind (mixed with the global thread id). */
+    std::uint64_t seed = 0xB0FFull;
+};
+
+/**
+ * Forward-progress watchdog (src/robust/watchdog.h), swept inside
+ * System::run.  A thread is *starving* when its streak of consecutive
+ * failed atomic completions (sc / conditional scatter-line probes)
+ * reaches stallThreshold; starving for `strikes` consecutive sweeps is
+ * declared livelock.  Long-but-progressing runs never trip it because
+ * any successful completion resets the streak.
+ */
+struct WatchdogConfig
+{
+    bool enabled = false;
+    /** Cycles between sweeps. */
+    Tick checkInterval = 20'000;
+    /** Consecutive failed atomics before a thread counts as starving. */
+    std::uint64_t stallThreshold = 8192;
+    /** Consecutive starving sweeps before declaring livelock. */
+    int strikes = 2;
+    /**
+     * true: GLSC_PANIC with the full diagnostic dump (abort).
+     * false: stop the run and record the diagnosis in SystemStats
+     * (livelockDetected / starvingThreads / livelockReport) so tests
+     * and harnesses can inspect it.
+     */
+    bool panicOnLivelock = true;
+};
+
+} // namespace glsc
+
+#endif // GLSC_ROBUST_ROBUST_CONFIG_H_

@@ -1,0 +1,95 @@
+#include "robust/watchdog.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace glsc {
+
+std::string
+threadProgressDump(const SystemStats &stats, Tick now)
+{
+    std::string out;
+    char buf[256];
+    std::snprintf(buf, sizeof buf,
+                  "per-thread progress at tick %" PRIu64 ":\n",
+                  (std::uint64_t)now);
+    out += buf;
+    for (std::size_t g = 0; g < stats.threads.size(); ++g) {
+        const ThreadStats &ts = stats.threads[g];
+        std::snprintf(
+            buf, sizeof buf,
+            "  t%-3zu instrs=%-10" PRIu64 " lastIssue=%-10" PRIu64
+            " atomics=%" PRIu64 "/%" PRIu64 " streak=%" PRIu64
+            " (max %" PRIu64 ")",
+            g, ts.instructions, (std::uint64_t)ts.lastRetireTick,
+            ts.atomicSuccesses, ts.atomicAttempts,
+            ts.consecAtomicFailures, ts.maxConsecAtomicFailures);
+        out += buf;
+        if (ts.consecAtomicFailures > 0) {
+            std::snprintf(buf, sizeof buf,
+                          " lastFailLine=0x%" PRIx64
+                          " lastProgress=%" PRIu64,
+                          (std::uint64_t)ts.lastFailedLine,
+                          (std::uint64_t)ts.lastProgressTick);
+            out += buf;
+        }
+        if (ts.scalarFallbacks > 0) {
+            std::snprintf(buf, sizeof buf, " fallbacks=%" PRIu64,
+                          ts.scalarFallbacks);
+            out += buf;
+        }
+        out += '\n';
+    }
+    return out;
+}
+
+Watchdog::Watchdog(const WatchdogConfig &cfg, const SystemStats &stats)
+    : cfg_(cfg), stats_(stats), strikes_(stats.threads.size(), 0)
+{
+}
+
+bool
+Watchdog::sweep(Tick now, const std::vector<bool> &active)
+{
+    (void)now;
+    starving_.clear();
+    bool livelock = false;
+    for (std::size_t g = 0; g < stats_.threads.size(); ++g) {
+        const ThreadStats &ts = stats_.threads[g];
+        bool starved =
+            g < active.size() && active[g] &&
+            ts.consecAtomicFailures >=
+                static_cast<std::uint64_t>(cfg_.stallThreshold);
+        if (starved) {
+            starving_.push_back(static_cast<int>(g));
+            if (++strikes_[g] >= cfg_.strikes)
+                livelock = true;
+        } else {
+            strikes_[g] = 0;
+        }
+    }
+    if (!livelock)
+        starving_.clear();
+    return livelock;
+}
+
+std::string
+Watchdog::report(Tick now) const
+{
+    std::string out = "livelock detected: thread(s)";
+    char buf[128];
+    for (int g : starving_) {
+        std::snprintf(buf, sizeof buf, " %d", g);
+        out += buf;
+    }
+    std::snprintf(buf, sizeof buf,
+                  " starving (atomic-failure streak >= %" PRIu64
+                  " for %d consecutive sweeps, interval %" PRIu64 ")\n",
+                  cfg_.stallThreshold, cfg_.strikes,
+                  (std::uint64_t)cfg_.checkInterval);
+    out += buf;
+    out += threadProgressDump(stats_, now);
+    return out;
+}
+
+} // namespace glsc

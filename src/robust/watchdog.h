@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Forward-progress watchdog for the simulation loop.
+ *
+ * GLSC is best-effort: every vscattercond may legally fail, so a
+ * correct simulator can still livelock if software retries without
+ * backoff (or an injected fault storm keeps destroying reservations).
+ * Before this watchdog the only symptom was the maxCycles panic in
+ * System::run -- indistinguishable from a genuinely long run and
+ * silent about WHO was starving.
+ *
+ * The watchdog distinguishes the two by watching each thread's
+ * consecutive-atomic-failure streak (ThreadStats, maintained at the
+ * memory system's serialization points).  A long run makes progress:
+ * streaks keep resetting.  A livelocked thread's streak only grows.
+ * A thread is "starving" on a sweep when it is still active and its
+ * streak exceeds WatchdogConfig::stallThreshold; after `strikes`
+ * consecutive starving sweeps the watchdog declares livelock and
+ * produces a per-thread diagnostic naming the starving threads, the
+ * contended lines, and each thread's retry history.
+ *
+ * Threads politely spinning on a held lock do NOT accrue failures
+ * (the lock-acquire paths re-read the word and only attempt sc when
+ * they observe it free), so lock convoys cannot false-positive; only
+ * reservation-level starvation trips the watchdog.
+ */
+
+#ifndef GLSC_ROBUST_WATCHDOG_H_
+#define GLSC_ROBUST_WATCHDOG_H_
+
+#include <string>
+#include <vector>
+
+#include "robust/robust_config.h"
+#include "sim/types.h"
+#include "stats/stats.h"
+
+namespace glsc {
+
+/**
+ * Per-thread progress dump shared by the watchdog report and the
+ * deadlock/maxCycles panics in System::run: one line per hardware
+ * thread with its issue/atomic counters, last-activity ticks, current
+ * failure streak and the last line it failed on.
+ */
+std::string threadProgressDump(const SystemStats &stats, Tick now);
+
+class Watchdog
+{
+  public:
+    Watchdog(const WatchdogConfig &cfg, const SystemStats &stats);
+
+    /**
+     * One periodic inspection at tick @p now.  @p active flags which
+     * global thread ids still have unfinished kernels (done or
+     * never-spawned threads can't starve).  Returns true when the
+     * livelock verdict fires: some thread has been starving for
+     * WatchdogConfig::strikes consecutive sweeps.
+     */
+    bool sweep(Tick now, const std::vector<bool> &active);
+
+    /** Global ids starving at the last sweep, ascending. */
+    const std::vector<int> &starving() const { return starving_; }
+
+    /** Full diagnostic: verdict line + threadProgressDump. */
+    std::string report(Tick now) const;
+
+  private:
+    const WatchdogConfig &cfg_;
+    const SystemStats &stats_;
+    std::vector<int> strikes_;   //!< consecutive starving sweeps per gtid
+    std::vector<int> starving_;  //!< verdict of the last sweep
+};
+
+} // namespace glsc
+
+#endif // GLSC_ROBUST_WATCHDOG_H_

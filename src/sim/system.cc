@@ -1,5 +1,6 @@
 #include "sim/system.h"
 
+#include "robust/watchdog.h"
 #include "sim/log.h"
 #include "verify/invariants.h"
 
@@ -76,6 +77,16 @@ System::run(Tick maxCycles)
         return events_.empty();
     };
 
+    // Forward-progress watchdog: swept periodically so livelock is
+    // diagnosed with thread attribution instead of hitting maxCycles.
+    std::unique_ptr<Watchdog> dog;
+    Tick nextSweep = kTickMax;
+    if (cfg_.watchdog.enabled) {
+        dog = std::make_unique<Watchdog>(cfg_.watchdog, stats_);
+        nextSweep = cfg_.watchdog.checkInterval;
+    }
+    std::vector<bool> active(cfg_.totalThreads(), false);
+
     while (true) {
         events_.runDue();
         if (allDone() && quiescent())
@@ -92,6 +103,24 @@ System::run(Tick maxCycles)
             }
         }
 
+        if (dog != nullptr && events_.now() >= nextSweep) {
+            nextSweep = events_.now() + cfg_.watchdog.checkInterval;
+            for (int g = 0; g < cfg_.totalThreads(); ++g) {
+                ThreadState s = thread(g).state();
+                active[g] = s == ThreadState::Ready ||
+                            s == ThreadState::Blocked;
+            }
+            if (dog->sweep(events_.now(), active)) {
+                std::string rep = dog->report(events_.now());
+                if (cfg_.watchdog.panicOnLivelock)
+                    GLSC_PANIC("%s", rep.c_str());
+                stats_.livelockDetected = true;
+                stats_.starvingThreads = dog->starving();
+                stats_.livelockReport = rep;
+                break;
+            }
+        }
+
         Tick next = events_.now() + 1;
         if (!busy) {
             // Nothing needs per-cycle ticking: fast-forward to the
@@ -101,8 +130,10 @@ System::run(Tick maxCycles)
                 if (allDone())
                     break;
                 GLSC_PANIC("deadlock: no pending events and no core "
-                           "busy at tick %llu",
-                           (unsigned long long)events_.now());
+                           "busy at tick %llu\n%s",
+                           (unsigned long long)events_.now(),
+                           threadProgressDump(stats_, events_.now())
+                               .c_str());
             }
             if (ev > next) {
                 Tick skip = ev - next;
@@ -112,8 +143,9 @@ System::run(Tick maxCycles)
             }
         }
         if (next > maxCycles) {
-            GLSC_PANIC("simulation exceeded %llu cycles (livelock?)",
-                       (unsigned long long)maxCycles);
+            GLSC_PANIC("simulation exceeded %llu cycles (livelock?)\n%s",
+                       (unsigned long long)maxCycles,
+                       threadProgressDump(stats_, events_.now()).c_str());
         }
         events_.setNow(next);
     }

@@ -54,6 +54,33 @@ SystemStats::scFailureRate() const
     return static_cast<double>(scFailures) / static_cast<double>(scAttempts);
 }
 
+std::uint64_t
+SystemStats::faultsInjected() const
+{
+    return faultsSpuriousClear + faultsEvictLinked +
+           faultsStealReservation + faultsBufferOverflow + faultsDelay;
+}
+
+std::uint64_t
+SystemStats::totalScalarFallbacks() const
+{
+    std::uint64_t sum = 0;
+    for (const auto &t : threads)
+        sum += t.scalarFallbacks;
+    return sum;
+}
+
+std::array<std::uint64_t, kRetryHistBuckets>
+SystemStats::retryHistogram() const
+{
+    std::array<std::uint64_t, kRetryHistBuckets> hist{};
+    for (const auto &t : threads) {
+        for (int b = 0; b < kRetryHistBuckets; ++b)
+            hist[b] += t.retryHist[b];
+    }
+    return hist;
+}
+
 std::string
 SystemStats::consistencyError() const
 {
@@ -83,6 +110,21 @@ SystemStats::consistencyError() const
                          (unsigned long long)(glscLaneFailAlias +
                                               glscLaneFailLost),
                          (unsigned long long)glscLaneAttempts);
+    for (std::size_t g = 0; g < threads.size(); ++g) {
+        const ThreadStats &t = threads[g];
+        if (t.atomicSuccesses > t.atomicAttempts)
+            return strprintf("thread %zu atomic successes %llu exceed "
+                             "attempts %llu",
+                             g, (unsigned long long)t.atomicSuccesses,
+                             (unsigned long long)t.atomicAttempts);
+        if (t.consecAtomicFailures > t.maxConsecAtomicFailures)
+            return strprintf("thread %zu failure streak %llu exceeds "
+                             "its recorded maximum %llu",
+                             g,
+                             (unsigned long long)t.consecAtomicFailures,
+                             (unsigned long long)
+                                 t.maxConsecAtomicFailures);
+    }
     return "";
 }
 
@@ -122,6 +164,42 @@ SystemStats::toString() const
                      (unsigned long long)glscLaneFailAlias,
                      (unsigned long long)glscLaneFailLost,
                      (unsigned long long)glscLaneFailPolicy);
+    if (faultsInjected() > 0) {
+        out += strprintf("faults injected: %llu (clear %llu, evict %llu, "
+                         "steal %llu, overflow %llu, delay %llu/+%llu "
+                         "cycles)\n",
+                         (unsigned long long)faultsInjected(),
+                         (unsigned long long)faultsSpuriousClear,
+                         (unsigned long long)faultsEvictLinked,
+                         (unsigned long long)faultsStealReservation,
+                         (unsigned long long)faultsBufferOverflow,
+                         (unsigned long long)faultsDelay,
+                         (unsigned long long)faultDelayCycles);
+    }
+    if (totalScalarFallbacks() > 0) {
+        out += strprintf("scalar fallbacks: %llu\n",
+                         (unsigned long long)totalScalarFallbacks());
+    }
+    auto hist = retryHistogram();
+    std::uint64_t streaks = 0;
+    for (auto h : hist)
+        streaks += h;
+    if (streaks > 0) {
+        out += "retry streaks (log2 buckets):";
+        for (int b = 0; b < kRetryHistBuckets; ++b) {
+            if (hist[b] > 0)
+                out += strprintf(" [%d]=%llu", b,
+                                 (unsigned long long)hist[b]);
+        }
+        out += "\n";
+    }
+    if (livelockDetected) {
+        out += "LIVELOCK detected by the forward-progress watchdog; "
+               "starving threads:";
+        for (int g : starvingThreads)
+            out += strprintf(" %d", g);
+        out += "\n";
+    }
     return out;
 }
 

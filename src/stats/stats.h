@@ -11,6 +11,7 @@
 #ifndef GLSC_STATS_STATS_H_
 #define GLSC_STATS_STATS_H_
 
+#include <array>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -18,6 +19,9 @@
 #include "sim/types.h"
 
 namespace glsc {
+
+/** Log2 buckets of the retries-until-success histogram. */
+constexpr int kRetryHistBuckets = 16;
 
 /** Why an individual GLSC lane operation failed. */
 enum class LaneFailure
@@ -34,6 +38,23 @@ struct ThreadStats
     std::uint64_t memStallCycles = 0; //!< cycles blocked on a memory op
     std::uint64_t syncCycles = 0;     //!< cycles inside sync regions
     Tick doneTick = 0;                //!< tick the thread's kernel finished
+
+    // Forward-progress tracking (src/robust/watchdog.h).  An "atomic
+    // completion" is a store-conditional or a conditional scatter-line
+    // probe; the consecutive-failure streak is the watchdog's
+    // starvation signal and resets on any success.
+    std::uint64_t atomicAttempts = 0;
+    std::uint64_t atomicSuccesses = 0;
+    std::uint64_t consecAtomicFailures = 0;
+    std::uint64_t maxConsecAtomicFailures = 0;
+    Tick lastProgressTick = 0;  //!< tick of the last successful atomic
+    Tick lastRetireTick = 0;    //!< tick the last instruction issued
+    Addr lastFailedLine = 0;    //!< line of the most recent failed atomic
+
+    // Retry/backoff framework (src/core/retry.h).
+    std::uint64_t scalarFallbacks = 0; //!< vector loops degraded to ll/sc
+    /** retryHist[b] counts streaks resolved after [2^b, 2^(b+1)) rounds. */
+    std::array<std::uint64_t, kRetryHistBuckets> retryHist{};
 };
 
 /** Whole-system statistics for one simulation run. */
@@ -76,6 +97,20 @@ struct SystemStats
     std::uint64_t gsuCacheRequests = 0;
     std::uint64_t gsuConflictStallCycles = 0;
 
+    // Injected faults (src/robust/fault_injector.h).
+    std::uint64_t faultsSpuriousClear = 0;
+    std::uint64_t faultsEvictLinked = 0;
+    std::uint64_t faultsStealReservation = 0;
+    std::uint64_t faultsBufferOverflow = 0;
+    std::uint64_t faultsDelay = 0;
+    Tick faultDelayCycles = 0; //!< total injected latency
+
+    // Forward-progress watchdog verdict (report mode only; in panic
+    // mode a livelock aborts the run instead).
+    bool livelockDetected = false;
+    std::vector<int> starvingThreads;  //!< global ids, ascending
+    std::string livelockReport;        //!< full diagnostic dump
+
     /** Sum of dynamic instructions over all threads. */
     std::uint64_t totalInstructions() const;
     /** Sum of memory-stall cycles over all threads. */
@@ -88,6 +123,12 @@ struct SystemStats
     double glscFailureRate() const;
     /** Scalar sc failure rate (0 when none). */
     double scFailureRate() const;
+    /** All injected faults regardless of class. */
+    std::uint64_t faultsInjected() const;
+    /** Vector loops that degraded to the scalar path, all threads. */
+    std::uint64_t totalScalarFallbacks() const;
+    /** Per-bucket sum of every thread's retries-until-success counts. */
+    std::array<std::uint64_t, kRetryHistBuckets> retryHistogram() const;
 
     /**
      * Conservation check over the counters: returns an empty string

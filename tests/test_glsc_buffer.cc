@@ -12,6 +12,7 @@
 #include "mem/memsys.h"
 #include "sim/log.h"
 #include "sim/system.h"
+#include "verify/ref_model.h"
 
 namespace glsc {
 namespace {
@@ -235,6 +236,95 @@ INSTANTIATE_TEST_SUITE_P(
         return strprintf("w%d_%s", std::get<0>(info.param),
                          std::get<1>(info.param) ? "buf" : "tag");
     });
+
+// ----- Capacity overflow under full 4-way SMT (section 3.3). -----
+//
+// Four SMT contexts pressing distinct lines through one undersized
+// per-core buffer: the oldest context's reservation must be the
+// capacity victim, and only that context's scatter-conditional fails.
+
+class SmtOverflowSweep : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(SmtOverflowSweep, OldestReservationIsCapacityVictim)
+{
+    const int width = GetParam();
+    BufRig r(3); // 4 linking threads, 3 entries: one victim
+    const int smt = 4;
+    std::vector<std::vector<GsuLane>> lanes;
+    for (int t = 0; t < smt; ++t) {
+        // One distinct line per thread (width 16 fills it exactly).
+        lanes.push_back(
+            lineLanes(0x8000 + 0x40ull * t, width, 100 * (t + 1)));
+    }
+    for (int t = 0; t < smt; ++t)
+        EXPECT_TRUE(r.msys->gatherLine(0, t, lanes[t], 4, true).linked);
+    EXPECT_EQ(r.msys->reservationCount(0), 3);
+
+    // Thread 0 linked first, so its entry was the overflow victim.
+    EXPECT_FALSE(r.msys->scatterLine(0, 0, lanes[0], 4, true).scondOk);
+    for (int t = 1; t < smt; ++t)
+        EXPECT_TRUE(r.msys->scatterLine(0, t, lanes[t], 4, true).scondOk)
+            << "thread " << t;
+
+    // Victim's stores discarded; survivors' landed.
+    for (int l = 0; l < width; ++l) {
+        EXPECT_EQ(r.mem.readU32(0x8000 + 4ull * l), 0u);
+        EXPECT_EQ(r.mem.readU32(0x8040 + 4ull * l), 200u + l);
+    }
+}
+
+/** Per-lane distinct lines: width links per vgatherlink round. */
+Task<void>
+spreadHistKernel(SimThread &t, Addr bins, int reps)
+{
+    for (int r = 0; r < reps; ++r) {
+        VecReg idx;
+        for (int l = 0; l < t.width(); ++l)
+            idx[l] = static_cast<std::uint64_t>(l * 16); // 1 line apart
+        co_await vAtomicIncU32(t, bins, idx, Mask::allOnes(t.width()));
+    }
+}
+
+TEST_P(SmtOverflowSweep, KernelStaysExactUnderConstantOverflow)
+{
+    const int width = GetParam();
+    // 4-way SMT on one core, every round linking `width` distinct
+    // lines through a 2-entry buffer: constant capacity eviction plus
+    // cross-SMT stealing, checked against the reference model.
+    SystemConfig cfg = SystemConfig::make(1, 4, width);
+    cfg.glsc.bufferEntries = 2;
+    RefModel ref;
+    cfg.memObserver = &ref;
+
+    const int reps = 6;
+    std::uint64_t total = 0;
+    std::uint64_t lostFailures = 0;
+    {
+        System sys(cfg);
+        Addr bins = sys.layout().allocArray(width * 16, 4);
+        sys.spawnAll([&](SimThread &t) {
+            return spreadHistKernel(t, bins, reps);
+        });
+        SystemStats stats = sys.run();
+        for (int b = 0; b < width * 16; ++b)
+            total += sys.memory().readU32(bins + 4ull * b);
+        lostFailures = stats.glscLaneFailLost;
+    }
+    EXPECT_EQ(total, static_cast<std::uint64_t>(reps) * width *
+                         cfg.totalThreads());
+    // width links cannot fit in 2 entries: overflow retries required.
+    EXPECT_GT(lostFailures, 0u);
+    EXPECT_GT(ref.opsChecked(), 0u);
+    EXPECT_TRUE(ref.ok()) << ref.errorSummary();
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, SmtOverflowSweep,
+                         ::testing::Values(4, 16),
+                         [](const auto &info) {
+                             return strprintf("w%d", info.param);
+                         });
 
 // ----- Graceful fault masking (section 3.2). -----
 

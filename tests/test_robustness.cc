@@ -1,0 +1,371 @@
+/**
+ * @file
+ * Robustness-subsystem tests: deterministic fault injection across all
+ * RMS kernels, the forward-progress watchdog's livelock verdict, the
+ * retry/backoff policy framework, and the scalar degradation path.
+ *
+ * The central claim under test: every injected fault class stays
+ * inside GLSC's legal best-effort outcome set, so kernels must keep
+ * producing byte-identical results (differential reference model)
+ * under any fault schedule -- they just take longer.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/retry.h"
+#include "core/vatomic.h"
+#include "kernels/registry.h"
+#include "sim/system.h"
+#include "verify/ref_model.h"
+
+namespace glsc {
+namespace {
+
+// ----- retryDelayFor unit tests. -----------------------------------
+
+TEST(RetryPolicyMath, LinearDefaultMatchesSeedFormula)
+{
+    RetryPolicy p; // kind=Linear, base=2
+    Rng rng(1);
+    for (int gid : {0, 1, 5, 15}) {
+        for (std::uint64_t r = 1; r <= 40; ++r) {
+            std::uint64_t g = static_cast<std::uint64_t>(gid);
+            EXPECT_EQ(retryDelayFor(p, BackoffDomain::Vector, gid, r, rng),
+                      1 + ((r * 2 + g * 5) % 13));
+            EXPECT_EQ(retryDelayFor(p, BackoffDomain::Scalar, gid, r, rng),
+                      1 + ((r * 2 + g * 7) % 23));
+        }
+    }
+}
+
+TEST(RetryPolicyMath, NoneIsZero)
+{
+    RetryPolicy p;
+    p.kind = RetryKind::None;
+    Rng rng(1);
+    for (std::uint64_t r = 1; r < 10; ++r)
+        EXPECT_EQ(retryDelayFor(p, BackoffDomain::Vector, 3, r, rng), 0u);
+}
+
+TEST(RetryPolicyMath, CappedExponentialDoublesThenSaturates)
+{
+    RetryPolicy p;
+    p.kind = RetryKind::CappedExponential;
+    p.base = 2;
+    p.cap = 64;
+    Rng rng(1);
+    // gid 0 has no asymmetry offset: pure 2,4,8,...,64,64,64.
+    EXPECT_EQ(retryDelayFor(p, BackoffDomain::Vector, 0, 1, rng), 2u);
+    EXPECT_EQ(retryDelayFor(p, BackoffDomain::Vector, 0, 2, rng), 4u);
+    EXPECT_EQ(retryDelayFor(p, BackoffDomain::Vector, 0, 5, rng), 32u);
+    EXPECT_EQ(retryDelayFor(p, BackoffDomain::Vector, 0, 6, rng), 64u);
+    EXPECT_EQ(retryDelayFor(p, BackoffDomain::Vector, 0, 60, rng), 64u);
+    // Nonzero gid keeps a small per-thread offset even at saturation.
+    std::uint64_t d1 = retryDelayFor(p, BackoffDomain::Vector, 1, 60, rng);
+    std::uint64_t d2 = retryDelayFor(p, BackoffDomain::Vector, 2, 60, rng);
+    EXPECT_NE(d1, d2);
+    EXPECT_GE(d1, 64u);
+    EXPECT_LE(d1, 64u + 13u);
+}
+
+TEST(RetryPolicyMath, RandomizedStaysInRangeAndReproduces)
+{
+    RetryPolicy p;
+    p.kind = RetryKind::Randomized;
+    p.cap = 32;
+    Rng a(7), b(7);
+    for (int r = 1; r <= 100; ++r) {
+        std::uint64_t da = retryDelayFor(
+            p, BackoffDomain::Vector, 0, static_cast<std::uint64_t>(r), a);
+        std::uint64_t db = retryDelayFor(
+            p, BackoffDomain::Vector, 0, static_cast<std::uint64_t>(r), b);
+        EXPECT_EQ(da, db) << "same seed must reproduce";
+        EXPECT_GE(da, 1u);
+        EXPECT_LE(da, 32u);
+    }
+}
+
+// ----- Fault-injection matrix over every kernel. -------------------
+
+struct FaultCase
+{
+    const char *className; //!< leads the test name (CI filters on it)
+    const char *bench;
+    Scheme scheme;
+    FaultConfig faults;
+    int bufferEntries; //!< 0 = tag-bit mode
+};
+
+FaultConfig
+classFaults(const std::string &name)
+{
+    FaultConfig f;
+    if (name == "clear")
+        f.spuriousClearRate = 0.03;
+    else if (name == "evict")
+        f.evictLinkedRate = 0.03;
+    else if (name == "steal")
+        f.stealReservationRate = 0.03;
+    else if (name == "overflow")
+        f.bufferOverflowRate = 0.05;
+    else if (name == "delay") {
+        f.delayRate = 0.05;
+        f.delayExtra = 32;
+    } else { // combined
+        f.spuriousClearRate = 0.02;
+        f.evictLinkedRate = 0.02;
+        f.stealReservationRate = 0.02;
+        f.bufferOverflowRate = 0.02;
+        f.delayRate = 0.02;
+        f.delayExtra = 32;
+    }
+    return f;
+}
+
+std::string
+faultCaseName(const ::testing::TestParamInfo<FaultCase> &info)
+{
+    const FaultCase &c = info.param;
+    return strprintf("%s_%s_%s", c.className, c.bench,
+                     schemeName(c.scheme));
+}
+
+class FaultMatrix : public ::testing::TestWithParam<FaultCase>
+{
+};
+
+TEST_P(FaultMatrix, KernelsVerifyUnderFaults)
+{
+    const FaultCase &c = GetParam();
+    SystemConfig cfg = SystemConfig::make(2, 2, 4);
+    cfg.glsc.bufferEntries = c.bufferEntries;
+    cfg.faults = c.faults;
+    // Watchdog in report mode: a livelock becomes a test failure with
+    // attribution instead of a 4-billion-cycle timeout.
+    cfg.watchdog.enabled = true;
+    cfg.watchdog.panicOnLivelock = false;
+    RefModel ref;
+    cfg.memObserver = &ref;
+
+    RunResult r = runBenchmark(c.bench, 0, c.scheme, cfg, 0.02, 5);
+
+    EXPECT_TRUE(r.verified) << c.bench << ": " << r.detail;
+    EXPECT_GT(ref.opsChecked(), 0u);
+    EXPECT_TRUE(ref.ok()) << ref.errorSummary();
+    EXPECT_FALSE(r.stats.livelockDetected) << r.stats.livelockReport;
+    EXPECT_GT(r.stats.faultsInjected(), 0u)
+        << "fault class never fired -- vacuous run";
+}
+
+std::vector<FaultCase>
+makeFaultMatrix()
+{
+    std::vector<FaultCase> cases;
+    const char *benches[] = {"GBC", "FS", "GPS", "HIP",
+                             "SMC", "MFP", "TMS"};
+    // Each class individually, GLSC scheme (the paper's focus).  The
+    // overflow class needs buffer mode to have anything to overflow.
+    const char *classes[] = {"clear", "evict", "steal", "overflow",
+                             "delay"};
+    for (const char *b : benches) {
+        for (const char *cl : classes) {
+            int entries = std::string(cl) == "overflow" ? 4 : 0;
+            cases.push_back(
+                FaultCase{cl, b, Scheme::Glsc, classFaults(cl), entries});
+        }
+    }
+    // Every class at once, both schemes, buffer mode.
+    for (const char *b : benches) {
+        for (Scheme s : {Scheme::Base, Scheme::Glsc}) {
+            cases.push_back(
+                FaultCase{"combined", b, s, classFaults("combined"), 4});
+        }
+    }
+    return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(FaultInjection, FaultMatrix,
+                         ::testing::ValuesIn(makeFaultMatrix()),
+                         faultCaseName);
+
+// ----- Watchdog mutation test. -------------------------------------
+
+/**
+ * All lanes aliased to one element: the vscattercond admits a single
+ * winner per round, and a 100% reservation-steal rate guarantees even
+ * that winner's probe fails -- a certain livelock once backoff is
+ * disabled.  The watchdog must diagnose it (with the right thread)
+ * long before the maxCycles backstop.
+ */
+Task<void>
+livelockKernel(SimThread &t, Addr bins)
+{
+    VecReg idx; // all lanes hit element 0
+    co_await vAtomicIncU32(t, bins, idx, Mask::allOnes(t.width()));
+}
+
+TEST(Watchdog, DetectsLivelockWithAttribution)
+{
+    SystemConfig cfg = SystemConfig::make(2, 2, 4);
+    cfg.retry.kind = RetryKind::None; // the mutation: no backoff
+    cfg.faults.stealReservationRate = 1.0;
+    cfg.watchdog.enabled = true;
+    cfg.watchdog.checkInterval = 1'000;
+    cfg.watchdog.stallThreshold = 64;
+    cfg.watchdog.strikes = 2;
+    cfg.watchdog.panicOnLivelock = false;
+
+    System sys(cfg);
+    Addr bins = sys.layout().allocArray(4, 4);
+    sys.spawn(0, [&](SimThread &t) { return livelockKernel(t, bins); });
+    SystemStats stats = sys.run(2'000'000);
+
+    EXPECT_TRUE(stats.livelockDetected)
+        << "watchdog missed a certain livelock";
+    ASSERT_EQ(stats.starvingThreads.size(), 1u);
+    EXPECT_EQ(stats.starvingThreads[0], 0);
+    EXPECT_FALSE(stats.livelockReport.empty());
+    EXPECT_NE(stats.livelockReport.find("t0"), std::string::npos);
+    EXPECT_GT(stats.threads[0].maxConsecAtomicFailures, 64u);
+    // The run stopped at detection, far below the backstop.
+    EXPECT_LT(stats.cycles, 2'000'000u);
+}
+
+TEST(Watchdog, QuietOnHealthyRun)
+{
+    SystemConfig cfg = SystemConfig::make(2, 2, 4);
+    cfg.watchdog.enabled = true;
+    cfg.watchdog.checkInterval = 1'000;
+    cfg.watchdog.panicOnLivelock = false;
+    RunResult r = runBenchmark("HIP", 0, Scheme::Glsc, cfg, 0.02, 5);
+    EXPECT_TRUE(r.verified) << r.detail;
+    EXPECT_FALSE(r.stats.livelockDetected) << r.stats.livelockReport;
+    EXPECT_TRUE(r.stats.starvingThreads.empty());
+}
+
+// ----- Scalar degradation path. ------------------------------------
+
+/** Contended histogram: every thread increments the same 4 elements. */
+Task<void>
+contendedHistKernel(SimThread &t, Addr bins, int reps)
+{
+    for (int r = 0; r < reps; ++r) {
+        VecReg idx;
+        for (int l = 0; l < t.width(); ++l)
+            idx[l] = static_cast<std::uint64_t>(l % 4);
+        co_await vAtomicIncU32(t, bins, idx, Mask::allOnes(t.width()));
+    }
+}
+
+TEST(ScalarFallback, CompletesExactlyUnderFaultStorm)
+{
+    SystemConfig cfg = SystemConfig::make(2, 2, 4);
+    cfg.retry.fallbackAfter = 1; // degrade on the first starving round
+    cfg.faults.stealReservationRate = 0.5;
+    cfg.watchdog.enabled = true;
+    cfg.watchdog.panicOnLivelock = false;
+    RefModel ref;
+    cfg.memObserver = &ref;
+
+    const int reps = 10;
+    std::uint64_t total = 0;
+    std::uint64_t fallbacks = 0;
+    {
+        System sys(cfg);
+        Addr bins = sys.layout().allocArray(4, 4);
+        sys.spawnAll([&](SimThread &t) {
+            return contendedHistKernel(t, bins, reps);
+        });
+        SystemStats stats = sys.run(50'000'000);
+        EXPECT_FALSE(stats.livelockDetected) << stats.livelockReport;
+        for (int b = 0; b < 4; ++b)
+            total += sys.memory().readU32(bins + 4ull * b);
+        fallbacks = stats.totalScalarFallbacks();
+    }
+    EXPECT_EQ(total, static_cast<std::uint64_t>(reps) * 4 *
+                         cfg.totalThreads());
+    EXPECT_GT(fallbacks, 0u)
+        << "fault storm never triggered the scalar fallback";
+    EXPECT_TRUE(ref.ok()) << ref.errorSummary();
+}
+
+TEST(ScalarFallback, LockKernelsSurviveFallback)
+{
+    // GPS and MFP degrade to sorted scalar locks; GBC to scalar cell
+    // locks.  All must still verify with an aggressive trigger.
+    for (const char *bench : {"GBC", "GPS", "MFP"}) {
+        SystemConfig cfg = SystemConfig::make(2, 2, 4);
+        cfg.retry.fallbackAfter = 2;
+        cfg.faults.stealReservationRate = 0.3;
+        cfg.watchdog.enabled = true;
+        cfg.watchdog.panicOnLivelock = false;
+        RunResult r = runBenchmark(bench, 0, Scheme::Glsc, cfg, 0.02, 5);
+        EXPECT_TRUE(r.verified) << bench << ": " << r.detail;
+        EXPECT_FALSE(r.stats.livelockDetected) << r.stats.livelockReport;
+    }
+}
+
+// ----- Determinism. ------------------------------------------------
+
+TEST(FaultDeterminism, IdenticalConfigGivesIdenticalSchedule)
+{
+    auto run = [] {
+        SystemConfig cfg = SystemConfig::make(2, 2, 4);
+        cfg.glsc.bufferEntries = 4;
+        cfg.faults = classFaults("combined");
+        return runBenchmark("HIP", 0, Scheme::Glsc, cfg, 0.02, 5);
+    };
+    RunResult a = run();
+    RunResult b = run();
+    ASSERT_TRUE(a.verified) << a.detail;
+    EXPECT_EQ(a.stats.cycles, b.stats.cycles);
+    EXPECT_EQ(a.stats.totalInstructions(), b.stats.totalInstructions());
+    EXPECT_EQ(a.stats.faultsSpuriousClear, b.stats.faultsSpuriousClear);
+    EXPECT_EQ(a.stats.faultsEvictLinked, b.stats.faultsEvictLinked);
+    EXPECT_EQ(a.stats.faultsStealReservation,
+              b.stats.faultsStealReservation);
+    EXPECT_EQ(a.stats.faultsBufferOverflow, b.stats.faultsBufferOverflow);
+    EXPECT_EQ(a.stats.faultsDelay, b.stats.faultsDelay);
+    EXPECT_EQ(a.stats.faultDelayCycles, b.stats.faultDelayCycles);
+    EXPECT_EQ(a.stats.retryHistogram(), b.stats.retryHistogram());
+    EXPECT_EQ(a.stats.scFailureRate(), b.stats.scFailureRate());
+}
+
+TEST(FaultDeterminism, SeedChangesSchedule)
+{
+    auto run = [](std::uint64_t seed) {
+        SystemConfig cfg = SystemConfig::make(2, 2, 4);
+        cfg.faults.stealReservationRate = 0.05;
+        cfg.faults.seed = seed;
+        return runBenchmark("HIP", 0, Scheme::Glsc, cfg, 0.02, 5);
+    };
+    RunResult a = run(0xFA111);
+    RunResult b = run(0x5EED);
+    ASSERT_TRUE(a.verified && b.verified);
+    // Different streams virtually never inject at identical points.
+    EXPECT_NE(a.stats.faultsStealReservation +  a.stats.cycles,
+              b.stats.faultsStealReservation + b.stats.cycles);
+}
+
+// ----- Stats plumbing. ---------------------------------------------
+
+TEST(RetryStats, HistogramAndProgressCountersPopulate)
+{
+    SystemConfig cfg = SystemConfig::make(2, 2, 4);
+    RunResult r = runBenchmark("HIP", 0, Scheme::Glsc, cfg, 0.02, 5);
+    ASSERT_TRUE(r.verified) << r.detail;
+    std::uint64_t attempts = 0, successes = 0;
+    for (const ThreadStats &ts : r.stats.threads) {
+        attempts += ts.atomicAttempts;
+        successes += ts.atomicSuccesses;
+    }
+    EXPECT_GT(attempts, 0u);
+    EXPECT_GT(successes, 0u);
+    EXPECT_LE(successes, attempts);
+    // The dump renders without tripping the consistency checks.
+    EXPECT_EQ(r.stats.consistencyError(), "");
+    EXPECT_FALSE(r.stats.toString().empty());
+}
+
+} // namespace
+} // namespace glsc
