@@ -127,5 +127,6 @@ main(int argc, char **argv)
     std::printf("\nSmall buffers lose reservations to capacity "
                 "eviction; correctness is preserved (best-effort "
                 "retries), only retry counts grow.\n");
+    writeArtifacts(opt, "ablation");
     return 0;
 }

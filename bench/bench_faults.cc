@@ -112,5 +112,6 @@ main(int argc, char **argv)
     std::printf("\nWith degradation enabled every policy terminates; "
                 "the policies differ only in how much time is spent "
                 "backing off before lanes drain.\n");
+    writeArtifacts(opt, "faults");
     return 0;
 }

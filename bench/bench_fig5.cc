@@ -64,5 +64,6 @@ main(int argc, char **argv)
     std::printf("\nMean: 4-wide %.2fx (paper ~2.6x), 16-wide %.2fx "
                 "(paper ~5x)\n",
                 sum4 / n, sum16 / n);
+    writeArtifacts(opt, "fig5");
     return 0;
 }

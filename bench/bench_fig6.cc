@@ -75,5 +75,6 @@ main(int argc, char **argv)
     std::printf("  mean Base/GLSC time ratio 4x4: %.2f "
                 "(GLSC %+.0f%% faster)\n",
                 sumRatio4x4 / count, (sumRatio4x4 / count - 1.0) * 100);
+    writeArtifacts(opt, "fig6");
     return 0;
 }

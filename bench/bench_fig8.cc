@@ -46,5 +46,6 @@ main(int argc, char **argv)
     std::printf("\nMean ratio: 1-wide %.2f (paper ~1.0), 4-wide %.2f "
                 "(paper ~1.54), 16-wide %.2f (paper ~2.03)\n",
                 sum[0] / n, sum[1] / n, sum[2] / n);
+    writeArtifacts(opt, "fig8");
     return 0;
 }

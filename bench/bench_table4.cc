@@ -77,5 +77,6 @@ main(int argc, char **argv)
     }
     std::printf("\nMean instruction reduction: %s (paper: 33.8%%)\n",
                 pct(sumInstr / n).c_str());
+    writeArtifacts(opt, "table4");
     return 0;
 }

@@ -4,10 +4,46 @@
 #include <cstdlib>
 #include <cstring>
 
+#include "obs/stats_json.h"
+#include "obs/trace.h"
 #include "sim/log.h"
 
 namespace glsc {
 namespace bench {
+
+namespace {
+
+/** One recorded runChecked invocation (for the BENCH JSON document). */
+struct Row
+{
+    std::string bench;
+    int dataset = 0;
+    Scheme scheme = Scheme::Base;
+    std::string config;
+    std::string statsJson; //!< statsToJson of the run's SystemStats
+};
+
+/**
+ * Binary-lifetime artifact state: the rows every runChecked records
+ * when --json is active, and the tracer + Chrome sink shared by every
+ * run when --trace is active (one combined timeline per binary).
+ */
+struct ArtifactState
+{
+    std::vector<Row> rows;
+    Tracer tracer;
+    ChromeTraceSink chrome;
+    bool sinkAttached = false;
+};
+
+ArtifactState &
+artifactState()
+{
+    static ArtifactState s;
+    return s;
+}
+
+} // namespace
 
 Options
 parseArgs(int argc, char **argv, double default_scale)
@@ -21,9 +57,14 @@ parseArgs(int argc, char **argv, double default_scale)
             opt.seed = std::strtoull(argv[++i], nullptr, 10);
         } else if (std::strcmp(argv[i], "--quick") == 0) {
             opt.scale = default_scale * 0.25;
+        } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+            opt.jsonPath = argv[++i];
+        } else if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
+            opt.tracePath = argv[++i];
         } else {
             std::fprintf(stderr,
-                         "usage: %s [--scale f] [--seed n] [--quick]\n",
+                         "usage: %s [--scale f] [--seed n] [--quick]"
+                         " [--json path] [--trace path]\n",
                          argv[0]);
             std::exit(2);
         }
@@ -47,15 +88,102 @@ RunResult
 runChecked(const std::string &bench, int dataset, Scheme scheme,
            const SystemConfig &cfg, const Options &opt)
 {
+    ArtifactState &st = artifactState();
+    SystemConfig runCfg = cfg;
+    if (!opt.tracePath.empty()) {
+        if (!st.sinkAttached) {
+            st.tracer.addSink(&st.chrome);
+            st.sinkAttached = true;
+        }
+        runCfg.tracer = &st.tracer;
+    }
     RunResult r =
-        runBenchmark(bench, dataset, scheme, cfg, opt.scale, opt.seed);
+        runBenchmark(bench, dataset, scheme, runCfg, opt.scale, opt.seed);
     if (!r.verified) {
         GLSC_FATAL("%s dataset %c (%s, %s) failed verification: %s",
                    bench.c_str(), dataset == 0 ? 'A' : 'B',
                    schemeName(scheme), cfg.label().c_str(),
                    r.detail.c_str());
     }
+    if (!opt.jsonPath.empty()) {
+        Row row;
+        row.bench = bench;
+        row.dataset = dataset;
+        row.scheme = scheme;
+        row.config = cfg.label();
+        row.statsJson = statsToJson(r.stats);
+        st.rows.push_back(std::move(row));
+    }
     return r;
+}
+
+namespace {
+
+/** Minimal string escaping for the few labels we embed. */
+std::string
+jsonStr(const std::string &s)
+{
+    std::string out = "\"";
+    for (char c : s) {
+        if (c == '"' || c == '\\')
+            out += '\\';
+        out += c;
+    }
+    out += '"';
+    return out;
+}
+
+} // namespace
+
+void
+writeArtifacts(const Options &opt, const char *artifactId)
+{
+    ArtifactState &st = artifactState();
+    if (!opt.jsonPath.empty()) {
+        std::string doc = "{\n";
+        doc += strprintf("  \"benchSchema\": %d,\n",
+                         kStatsJsonSchemaVersion);
+        doc += strprintf("  \"artifact\": %s,\n",
+                         jsonStr(artifactId).c_str());
+        doc += strprintf("  \"scale\": %.17g,\n", opt.scale);
+        doc += strprintf("  \"seed\": %llu,\n",
+                         (unsigned long long)opt.seed);
+        doc += "  \"runs\": [";
+        for (std::size_t i = 0; i < st.rows.size(); ++i) {
+            const Row &row = st.rows[i];
+            doc += i == 0 ? "\n" : ",\n";
+            doc += "    {\n";
+            doc += strprintf("      \"bench\": %s,\n",
+                             jsonStr(row.bench).c_str());
+            doc += strprintf("      \"dataset\": %d,\n", row.dataset);
+            doc += strprintf("      \"scheme\": %s,\n",
+                             jsonStr(schemeName(row.scheme)).c_str());
+            doc += strprintf("      \"config\": %s,\n",
+                             jsonStr(row.config).c_str());
+            // statsToJson ends in a newline; embed it verbatim (the
+            // document stays parseable, just not uniformly indented).
+            doc += "      \"stats\": ";
+            doc += row.statsJson.substr(0, row.statsJson.size() - 1);
+            doc += "\n    }";
+        }
+        doc += "\n  ]\n}\n";
+        std::FILE *f = std::fopen(opt.jsonPath.c_str(), "wb");
+        if (f == nullptr ||
+            std::fwrite(doc.data(), 1, doc.size(), f) != doc.size() ||
+            std::fclose(f) != 0) {
+            GLSC_FATAL("cannot write bench JSON to %s",
+                       opt.jsonPath.c_str());
+        }
+        std::printf("\nwrote %zu run(s) to %s\n", st.rows.size(),
+                    opt.jsonPath.c_str());
+    }
+    if (!opt.tracePath.empty()) {
+        if (!st.chrome.writeFile(opt.tracePath))
+            GLSC_FATAL("cannot write trace to %s", opt.tracePath.c_str());
+        std::printf("wrote %llu trace event(s) to %s\n",
+                    (unsigned long long)st.tracer.eventsEmitted(),
+                    opt.tracePath.c_str());
+    }
 }
 
 } // namespace bench

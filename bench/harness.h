@@ -6,6 +6,16 @@
  *   --scale <f>   dataset scale factor (default per binary)
  *   --seed <n>    workload synthesis seed (default 1)
  *   --quick       quarter-scale smoke run
+ *   --json <p>    write the run statistics as BENCH JSON to <p>
+ *   --trace <p>   attach a tracer and write a Chrome trace to <p>
+ *
+ * With --json, every runChecked invocation is recorded and
+ * writeArtifacts persists them as one machine-readable document
+ * (schema-stable per-run SystemStats via statsToJson).  With --trace,
+ * every run executes with a shared Tracer + ChromeTraceSink attached
+ * and writeArtifacts dumps the combined timeline for chrome://tracing
+ * / Perfetto.  Tracing never changes simulated timing, so the printed
+ * tables are identical either way.
  */
 
 #ifndef GLSC_BENCH_HARNESS_H_
@@ -25,6 +35,8 @@ struct Options
 {
     double scale = 1.0;
     std::uint64_t seed = 1;
+    std::string jsonPath;  //!< --json destination ("" = off)
+    std::string tracePath; //!< --trace destination ("" = off)
 };
 
 Options parseArgs(int argc, char **argv, double default_scale);
@@ -42,6 +54,16 @@ std::string pct(double fraction);
  */
 RunResult runChecked(const std::string &bench, int dataset, Scheme scheme,
                      const SystemConfig &cfg, const Options &opt);
+
+/**
+ * Persists the artifacts requested on the command line: the BENCH
+ * JSON document (every runChecked row, tagged @p artifactId) when
+ * --json was given, and the Chrome trace when --trace was given.
+ * Call once at the end of main; a no-op when neither flag is set.
+ * Aborts the binary on I/O failure (a bench run whose artifact was
+ * silently dropped is worse than a loud failure in CI).
+ */
+void writeArtifacts(const Options &opt, const char *artifactId);
 
 } // namespace bench
 } // namespace glsc

@@ -21,6 +21,7 @@
 namespace glsc {
 
 class MemObserver;
+class Tracer;
 
 /**
  * Design-freedom policies for gather-linked element failure (paper
@@ -97,6 +98,14 @@ struct SystemConfig
      * functional reference model (src/verify/ref_model.h).
      */
     MemObserver *memObserver = nullptr;
+
+    /**
+     * Observability event tracer (src/obs/trace.h), or null for the
+     * default untraced run.  Every hook site null-checks this pointer,
+     * so tracing costs nothing when off and never changes simulated
+     * timing when on.
+     */
+    Tracer *tracer = nullptr;
 
     /** Software threads = cores * threadsPerCore. */
     int totalThreads() const { return cores * threadsPerCore; }

@@ -41,6 +41,23 @@ Gsu::push(SimThread *t, const PendingOp &op)
 }
 
 void
+Gsu::traceGsuEvent(TraceEventType type, ThreadId tid, Addr line,
+                   std::uint64_t lanes)
+{
+    Tracer *tr = cfg_.tracer;
+    if (tr == nullptr)
+        return;
+    TraceEvent ev;
+    ev.tick = events_.now();
+    ev.type = type;
+    ev.core = core_;
+    ev.tid = tid;
+    ev.line = line;
+    ev.a = lanes;
+    tr->emit(ev);
+}
+
+void
 Gsu::generateLane(Entry &e)
 {
     const PendingOp &op = e.op;
@@ -77,11 +94,18 @@ Gsu::generateLane(Entry &e)
 
         if (faulted) {
             stats_.glscLaneFailPolicy++;
+            traceGsuEvent(TraceEventType::LaneFailPolicy,
+                          e.thread->tid(), lineAddr(a), 1);
         } else if (aliasLoser) {
-            if (op.kind == OpKind::ScatterCond)
+            if (op.kind == OpKind::ScatterCond) {
                 stats_.glscLaneFailAlias++;
-            else if (op.kind == OpKind::GatherLink)
+                traceGsuEvent(TraceEventType::LaneFailAlias,
+                              e.thread->tid(), lineAddr(a), 1);
+            } else if (op.kind == OpKind::GatherLink) {
                 stats_.glscLaneFailPolicy++;
+                traceGsuEvent(TraceEventType::LaneFailPolicy,
+                              e.thread->tid(), lineAddr(a), 1);
+            }
             // Plain scatter: aliasing is architecturally undefined; we
             // deterministically drop all but the lowest lane.
         } else {
@@ -172,8 +196,10 @@ Gsu::tickDispatch()
             return true;
         }
     }
-    if (sawConflict)
+    if (sawConflict) {
         stats_.gsuConflictStallCycles++;
+        traceGsuEvent(TraceEventType::GsuConflictStall, -1, kNoAddr, 1);
+    }
     return false;
 }
 
@@ -207,6 +233,8 @@ Gsu::onGroupComplete(ThreadId tid, std::uint64_t generation,
         } else {
             stats_.glscLaneFailPolicy +=
                 static_cast<std::uint64_t>(grp.lanes.size());
+            traceGsuEvent(TraceEventType::LaneFailPolicy, tid, grp.line,
+                          static_cast<std::uint64_t>(grp.lanes.size()));
         }
         break;
 

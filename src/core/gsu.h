@@ -88,6 +88,10 @@ class Gsu
         std::unordered_map<Addr, std::size_t> groupOfLine;
     };
 
+    /** Emits a lane-failure / stall trace event when tracing is on. */
+    void traceGsuEvent(TraceEventType type, ThreadId tid, Addr line,
+                       std::uint64_t lanes);
+
     void generateLane(Entry &e);
     void finishGeneration(Entry &e);
     void onGroupComplete(ThreadId tid, std::uint64_t generation,

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <bit>
 
+#include "obs/trace.h"
+
 namespace glsc {
 
 namespace {
@@ -66,7 +68,19 @@ Backoff::failureDelay()
 {
     rounds_++;
     streak_++;
-    return retryDelayFor(policy_, domain_, t_.globalId(), rounds_, rng_);
+    std::uint64_t delay =
+        retryDelayFor(policy_, domain_, t_.globalId(), rounds_, rng_);
+    if (Tracer *tr = t_.config().tracer) {
+        TraceEvent e;
+        e.tick = t_.now();
+        e.type = TraceEventType::RetryRound;
+        e.core = t_.coreId();
+        e.tid = t_.tid();
+        e.a = delay;
+        e.b = rounds_;
+        tr->emit(e);
+    }
+    return delay;
 }
 
 void

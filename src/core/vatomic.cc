@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "core/retry.h"
+#include "obs/trace.h"
 
 namespace glsc {
 
@@ -87,6 +88,7 @@ vAtomicUpdate(SimThread &t, Addr base, const VecReg &idx, Mask todo,
             std::uint64_t delay = bk.failureDelay();
             if (bk.shouldFallback()) {
                 t.stats().scalarFallbacks++;
+                traceScalarFallback(t);
                 co_await scalarLaneFallback(t, base, idx, todo,
                                             elemSize, update,
                                             updateInstrs);
@@ -261,6 +263,7 @@ vLockAll(SimThread &t, Addr lockArray, const VecReg &idx, Mask want)
         // time with the scalar test-and-set loop, in ascending lock
         // order so concurrent fallback threads cannot deadlock.
         t.stats().scalarFallbacks++;
+        traceScalarFallback(t);
         std::vector<int> order;
         for (int i = 0; i < t.width(); ++i) {
             if (reps.test(i))

@@ -5,6 +5,7 @@
 
 #include "core/retry.h"
 #include "core/vatomic.h"
+#include "obs/trace.h"
 #include "sim/log.h"
 #include "workloads/synthetic.h"
 
@@ -117,6 +118,7 @@ gbcKernel(SimThread &t, Scheme scheme, GbcLayout lay, int objects,
                     std::uint64_t delay = bk.failureDelay();
                     if (bk.shouldFallback()) {
                         t.stats().scalarFallbacks++;
+                        traceScalarFallback(t);
                         co_await gbcScalarPath(t, lay, cells, todo, i,
                                                w);
                         bk.progress();

@@ -5,6 +5,7 @@
 
 #include "core/retry.h"
 #include "core/vatomic.h"
+#include "obs/trace.h"
 #include "sim/log.h"
 #include "workloads/synthetic.h"
 
@@ -140,6 +141,7 @@ gpsKernel(SimThread &t, Scheme scheme, GpsLayout lay, int constraints,
                             // Starving: finish this group on the
                             // scalar lock path (livelock-free).
                             t.stats().scalarFallbacks++;
+                            traceScalarFallback(t);
                             co_await gpsScalarPath(t, lay, a, b, cv,
                                                    todo, w);
                             bk.progress();

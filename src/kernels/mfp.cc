@@ -6,6 +6,7 @@
 
 #include "core/retry.h"
 #include "core/vatomic.h"
+#include "obs/trace.h"
 #include "sim/log.h"
 #include "workloads/synthetic.h"
 
@@ -207,6 +208,7 @@ mfpKernel(SimThread &t, Scheme scheme, MfpLayout lay, int edges,
                             // Starving: push the remaining lanes via
                             // the scalar lock path (livelock-free).
                             t.stats().scalarFallbacks++;
+                            traceScalarFallback(t);
                             co_await mfpScalarPath(t, lay, u, v, cv,
                                                    todo, i, w);
                             bk.progress();

@@ -30,6 +30,7 @@ MemorySystem::MemorySystem(const SystemConfig &cfg, EventQueue &events,
     if (cfg_.faults.anyEnabled())
         injector_ = std::make_unique<FaultInjector>(cfg_, stats_, *this);
     observer_ = cfg.memObserver;
+    tracer_ = cfg.tracer;
     if (observer_ != nullptr)
         observer_->onAttach(cfg_, mem_);
 }
@@ -89,11 +90,44 @@ MemorySystem::noteAtomicOutcome(CoreId c, ThreadId t, Addr line,
 }
 
 void
-MemorySystem::linkLine(CoreId c, ThreadId t, Addr line)
+MemorySystem::linkLine(CoreId c, ThreadId t, Addr line, LinkOrigin origin)
 {
 #ifdef GLSC_CHECK_ENABLED
     checker_->onLink(c, line, t);
 #endif
+    if (tracer_ != nullptr) {
+        ThreadId prev = linkOwner(c, line);
+        // Allocating a new entry in a full buffer evicts the oldest
+        // reservation (§3.3 best-effort overflow); trace the victim
+        // before the link overwrites it.
+        if (!resBuffers_.empty() && prev < 0 &&
+            resBuffers_[c]->size() == resBuffers_[c]->capacity()) {
+            Addr victim = kNoAddr;
+            if (resBuffers_[c]->oldest(&victim)) {
+                TraceEvent ev;
+                ev.tick = events_.now();
+                ev.type = TraceEventType::LinkCleared;
+                ev.core = c;
+                ev.tid = resBuffers_[c]->owner(victim);
+                ev.line = victim;
+                ev.a = static_cast<std::uint64_t>(ClearCause::Overflow);
+                tracer_->emit(ev);
+            }
+        }
+        TraceEvent e;
+        e.tick = events_.now();
+        e.core = c;
+        e.tid = t;
+        e.line = line;
+        e.a = static_cast<std::uint64_t>(origin);
+        if (prev >= 0 && prev != t) {
+            e.type = TraceEventType::LinkStolen;
+            e.tid2 = prev;
+        } else {
+            e.type = TraceEventType::LinkAcquired;
+        }
+        tracer_->emit(e);
+    }
     if (!resBuffers_.empty()) {
         resBuffers_[c]->link(line, t);
         return;
@@ -128,12 +162,37 @@ MemorySystem::linkedByOther(CoreId c, ThreadId t, Addr line)
     return l->glscValid && l->glscTid != t;
 }
 
+ThreadId
+MemorySystem::linkOwner(CoreId c, Addr line)
+{
+    if (!resBuffers_.empty())
+        return resBuffers_[c]->owner(line);
+    L1Line *l = l1s_[c]->lookup(line);
+    if (l == nullptr || !l->valid() || !l->glscValid)
+        return -1;
+    return l->glscTid;
+}
+
 void
-MemorySystem::clearLink(CoreId c, Addr line)
+MemorySystem::clearLink(CoreId c, Addr line, ClearCause cause, ThreadId by)
 {
 #ifdef GLSC_CHECK_ENABLED
     checker_->onClear(c, line);
 #endif
+    if (tracer_ != nullptr) {
+        ThreadId owner = linkOwner(c, line);
+        if (owner >= 0) {
+            TraceEvent e;
+            e.tick = events_.now();
+            e.type = TraceEventType::LinkCleared;
+            e.core = c;
+            e.tid = owner;
+            e.tid2 = cause == ClearCause::Write ? by : -1;
+            e.line = line;
+            e.a = static_cast<std::uint64_t>(cause);
+            tracer_->emit(e);
+        }
+    }
     if (!resBuffers_.empty()) {
         resBuffers_[c]->clear(line);
         return;
@@ -169,7 +228,7 @@ MemorySystem::evictL1(CoreId c, L1Line &way)
     checker_->onClear(c, line);
 #endif
     if (!l1s_[c]->testOnlySkipGlscClearOnEvict())
-        clearLink(c, line); // an evicted reservation is lost (§3.3)
+        clearLink(c, line, ClearCause::Evict); // reservation lost (§3.3)
     L2Line *dir = l2_.lookup(line);
     GLSC_ASSERT(dir != nullptr, "inclusion violated: L1 victim %llx has "
                 "no L2 line", (unsigned long long)line);
@@ -198,9 +257,18 @@ MemorySystem::evictL2(L2Line &way)
     Addr line = way.tag;
     for (int c = 0; c < cfg_.cores; ++c) {
         if (way.ownedModified ? (way.owner == c) : way.hasSharer(c)) {
-            clearLink(c, line);
+            clearLink(c, line, ClearCause::Inval);
             l1s_[c]->invalidate(line);
             stats_.invalidationsSent++;
+            if (tracer_ != nullptr) {
+                TraceEvent e;
+                e.tick = events_.now();
+                e.type = TraceEventType::DirectoryInval;
+                e.core = c;
+                e.line = line;
+                e.a = static_cast<std::uint64_t>(InvalReason::L2Recall);
+                tracer_->emit(e);
+            }
         }
     }
     if (way.ownedModified)
@@ -253,6 +321,16 @@ MemorySystem::lineAccess(CoreId c, Addr line, bool needM, bool isPrefetch)
     Tick start = noc_.reserveBank(bank, arrival);
     Tick lat = (start - now) + cfg_.l2Latency;
     stats_.l2Accesses++;
+    if (tracer_ != nullptr) {
+        TraceEvent e;
+        e.tick = now;
+        e.type = TraceEventType::L2BankAccess;
+        e.core = c;
+        e.line = line;
+        e.a = static_cast<std::uint64_t>(bank);
+        e.b = start - arrival; // cycles queued behind the bank
+        tracer_->emit(e);
+    }
 
     L2Line *dir = l2_.lookup(line);
     if (dir == nullptr) {
@@ -276,9 +354,18 @@ MemorySystem::lineAccess(CoreId c, Addr line, bool needM, bool isPrefetch)
                     "directory owner %d lacks M copy of %llx", owner,
                     (unsigned long long)line);
         if (needM) {
-            clearLink(owner, line);
+            clearLink(owner, line, ClearCause::Inval);
             l1s_[owner]->invalidate(line);
             stats_.invalidationsSent++;
+            if (tracer_ != nullptr) {
+                TraceEvent e;
+                e.tick = now;
+                e.type = TraceEventType::DirectoryInval;
+                e.core = owner;
+                e.line = line;
+                e.a = static_cast<std::uint64_t>(InvalReason::OwnerFetch);
+                tracer_->emit(e);
+            }
         } else {
             ol->state = L1State::Shared; // reservation survives a
                                          // downgrade; the line stays
@@ -295,10 +382,20 @@ MemorySystem::lineAccess(CoreId c, Addr line, bool needM, bool isPrefetch)
         bool any = false;
         for (int s = 0; s < cfg_.cores; ++s) {
             if (s != c && dir->hasSharer(s)) {
-                clearLink(s, line);
+                clearLink(s, line, ClearCause::Inval);
                 l1s_[s]->invalidate(line);
                 stats_.invalidationsSent++;
                 any = true;
+                if (tracer_ != nullptr) {
+                    TraceEvent e;
+                    e.tick = now;
+                    e.type = TraceEventType::DirectoryInval;
+                    e.core = s;
+                    e.line = line;
+                    e.a = static_cast<std::uint64_t>(
+                        InvalReason::WriteSharers);
+                    tracer_->emit(e);
+                }
             }
         }
         dir->sharers = 0;
@@ -369,14 +466,15 @@ MemorySystem::accessImpl(CoreId c, ThreadId t, Addr a, int size,
         stats_.l1AtomicAccesses++;
         res.latency = lineAccess(c, line, false, false);
         res.data = mem_.read(a, size);
-        linkLine(c, t, line);
+        linkLine(c, t, line, LinkOrigin::LoadLinked);
         break;
       }
 
       case MemOpType::Store: {
         res.latency = lineAccess(c, line, true, false);
         mem_.write(a, wdata, size);
-        clearLink(c, line); // intervening write kills any reservation
+        // Intervening write kills any reservation.
+        clearLink(c, line, ClearCause::Write, t);
         break;
       }
 
@@ -391,12 +489,40 @@ MemorySystem::accessImpl(CoreId c, ThreadId t, Addr a, int size,
             stats_.l1Hits++;
             res.latency = cfg_.l1Latency;
             res.scSuccess = false;
+            if (tracer_ != nullptr) {
+                // A live reservation held by someone else means ours
+                // was stolen; otherwise ask the tracer why it died.
+                ClearCause cause =
+                    linkedByOther(c, t, line)
+                        ? ClearCause::Stolen
+                        : tracer_->takeLossCause(c, line, t);
+                TraceEvent e;
+                e.tick = events_.now();
+                e.type = TraceEventType::ScFail;
+                e.core = c;
+                e.tid = t;
+                e.line = line;
+                e.a = static_cast<std::uint64_t>(cause);
+                tracer_->emit(e);
+            }
             noteAtomicOutcome(c, t, line, false);
             break;
         }
         res.latency = lineAccess(c, line, true, false);
         mem_.write(a, wdata, size);
-        clearLink(c, line);
+        if (tracer_ != nullptr) {
+            // Success is traced before the clear that consumes the
+            // reservation, so the stream shows every sc-success while
+            // its link is still live.
+            TraceEvent e;
+            e.tick = events_.now();
+            e.type = TraceEventType::ScSuccess;
+            e.core = c;
+            e.tid = t;
+            e.line = line;
+            tracer_->emit(e);
+        }
+        clearLink(c, line, ClearCause::Write, t);
         res.scSuccess = true;
         noteAtomicOutcome(c, t, line, true);
         break;
@@ -462,7 +588,8 @@ MemorySystem::gatherLineImpl(CoreId c, ThreadId t,
     for (const auto &ln : lanes)
         res.data[ln.lane] = mem_.read(ln.addr, size);
     if (linked) {
-        linkLine(c, t, line); // steals any other thread's reservation
+        // Steals any other thread's reservation.
+        linkLine(c, t, line, LinkOrigin::GatherLink);
         res.linked = true;
     }
     return res;
@@ -503,6 +630,21 @@ MemorySystem::scatterLineImpl(CoreId c, ThreadId t,
             stats_.l1Hits++; // tag probe only
             res.latency = cfg_.l1Latency;
             res.scondOk = false;
+            if (tracer_ != nullptr) {
+                ClearCause cause =
+                    linkedByOther(c, t, line)
+                        ? ClearCause::Stolen
+                        : tracer_->takeLossCause(c, line, t);
+                TraceEvent e;
+                e.tick = events_.now();
+                e.type = TraceEventType::ScatterCondFail;
+                e.core = c;
+                e.tid = t;
+                e.line = line;
+                e.a = static_cast<std::uint64_t>(lanes.size());
+                e.b = static_cast<std::uint64_t>(cause);
+                tracer_->emit(e);
+            }
             noteAtomicOutcome(c, t, line, false);
             return res;
         }
@@ -511,7 +653,18 @@ MemorySystem::scatterLineImpl(CoreId c, ThreadId t,
     res.latency = lineAccess(c, line, true, false);
     for (const auto &ln : lanes)
         mem_.write(ln.addr, ln.wdata, size);
-    clearLink(c, line);
+    if (conditional && tracer_ != nullptr) {
+        // Traced before the clear, while the reservation is live.
+        TraceEvent e;
+        e.tick = events_.now();
+        e.type = TraceEventType::ScatterCondSuccess;
+        e.core = c;
+        e.tid = t;
+        e.line = line;
+        e.a = static_cast<std::uint64_t>(lanes.size());
+        tracer_->emit(e);
+    }
+    clearLink(c, line, ClearCause::Write, t);
     res.scondOk = true;
     if (conditional)
         noteAtomicOutcome(c, t, line, true);
@@ -554,7 +707,7 @@ MemorySystem::vstore(CoreId c, Addr a, const VecReg &v, Mask mask,
         Tick lat = lineAccess(c, line, true, false);
         res.latency = std::max(res.latency, lat);
         res.lineAccesses++;
-        clearLink(c, line);
+        clearLink(c, line, ClearCause::Write);
     }
     res.latency += static_cast<Tick>(res.lineAccesses - 1);
     for (int i = 0; i < width; ++i) {

@@ -40,6 +40,7 @@
 #include "mem/l2.h"
 #include "mem/memory.h"
 #include "noc/interconnect.h"
+#include "obs/trace.h"
 #include "sim/event_queue.h"
 #include "stats/stats.h"
 
@@ -267,14 +268,28 @@ class MemorySystem
     void noteAtomicOutcome(CoreId c, ThreadId t, Addr line, bool success);
 
     // ----- GLSC reservation storage (tag bits or buffer, §3.3). -----
-    /** Records a reservation on @p line (line must be resident). */
-    void linkLine(CoreId c, ThreadId t, Addr line);
+    /**
+     * Records a reservation on @p line (line must be resident) and
+     * emits the lifecycle event: LinkStolen when another thread held
+     * it, LinkAcquired otherwise, plus an Overflow LinkCleared for the
+     * reservation a full buffer evicts to make room.
+     */
+    void linkLine(CoreId c, ThreadId t, Addr line, LinkOrigin origin);
     /** True iff @p t holds a live reservation on the resident line. */
     bool holdsLink(CoreId c, ThreadId t, Addr line);
     /** True iff some other thread holds the line's reservation. */
     bool linkedByOther(CoreId c, ThreadId t, Addr line);
-    /** Drops any reservation on @p line (stores, evictions, invals). */
-    void clearLink(CoreId c, Addr line);
+    /** Thread holding @p line's reservation on core @p c, or -1. */
+    ThreadId linkOwner(CoreId c, Addr line);
+    /**
+     * Drops any reservation on @p line (stores, evictions, invals),
+     * emitting LinkCleared with @p cause when a live owner loses one.
+     * For Write causes @p by names the storing context, so sinks can
+     * tell a thread consuming its own reservation from a conflicting
+     * write destroying someone else's.
+     */
+    void clearLink(CoreId c, Addr line, ClearCause cause,
+                   ThreadId by = -1);
     /**
      * Core of the protocol: ensures @p line is present in core @p c's
      * L1 with at least Shared (or Modified when @p needM) state and
@@ -307,6 +322,7 @@ class MemorySystem
     std::vector<std::pair<Addr, Addr>> faultRanges_;
     std::uint64_t stamp_ = 0;
     MemObserver *observer_ = nullptr;
+    Tracer *tracer_ = nullptr; //!< null = untraced (the default)
     std::unique_ptr<FaultInjector> injector_;
 #ifdef GLSC_CHECK_ENABLED
     std::unique_ptr<InvariantChecker> checker_;

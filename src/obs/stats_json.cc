@@ -1,0 +1,506 @@
+#include "obs/stats_json.h"
+
+#include <cctype>
+#include <cstdint>
+#include <map>
+#include <utility>
+
+#include "sim/log.h"
+
+namespace glsc {
+
+// Tripwire: if either struct changes size, someone added/removed a
+// field.  Revisit the X-macro lists in stats_json.h, the structured-
+// field code below and statsJsonFieldList(), then bump
+// kStatsJsonSchemaVersion and update these numbers.  (Only enforced on
+// the common LP64 + libstdc++-style ABI the CI containers use; other
+// ABIs just skip the check.)
+static_assert(sizeof(void *) != 8 || sizeof(std::string) != 32 ||
+                  (sizeof(SystemStats) == 400 && sizeof(ThreadStats) == 224),
+              "SystemStats/ThreadStats changed: update the JSON schema "
+              "(stats_json.h field macros) and bump "
+              "kStatsJsonSchemaVersion");
+
+// ---------------------------------------------------------------------
+// Writer.
+// ---------------------------------------------------------------------
+
+namespace {
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size() + 2);
+    for (unsigned char c : s) {
+        switch (c) {
+          case '"':  out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\t': out += "\\t"; break;
+          case '\r': out += "\\r"; break;
+          default:
+            if (c < 0x20)
+                out += strprintf("\\u%04x", c);
+            else
+                out += static_cast<char>(c);
+            break;
+        }
+    }
+    return out;
+}
+
+void
+appendU64Array(std::string &out, const std::vector<std::uint64_t> &v)
+{
+    out += '[';
+    for (std::size_t i = 0; i < v.size(); ++i) {
+        if (i)
+            out += ',';
+        out += strprintf("%llu", (unsigned long long)v[i]);
+    }
+    out += ']';
+}
+
+} // namespace
+
+std::string
+statsToJson(const SystemStats &stats)
+{
+    std::string out = strprintf("{\n  \"schema\": %d",
+                                kStatsJsonSchemaVersion);
+
+#define GLSC_X(f)                                                        \
+    out += strprintf(",\n  \"%s\": %llu", #f,                            \
+                     (unsigned long long)stats.f);
+    GLSC_STATS_U64_FIELDS(GLSC_X)
+#undef GLSC_X
+
+    out += strprintf(",\n  \"livelockDetected\": %s",
+                     stats.livelockDetected ? "true" : "false");
+    out += ",\n  \"starvingThreads\": [";
+    for (std::size_t i = 0; i < stats.starvingThreads.size(); ++i) {
+        if (i)
+            out += ',';
+        out += strprintf("%d", stats.starvingThreads[i]);
+    }
+    out += ']';
+    out += strprintf(",\n  \"livelockReport\": \"%s\"",
+                     jsonEscape(stats.livelockReport).c_str());
+
+    out += ",\n  \"l2BankAccesses\": ";
+    appendU64Array(out, stats.l2BankAccesses);
+    out += ",\n  \"l2BankWaitCycles\": ";
+    appendU64Array(out, stats.l2BankWaitCycles);
+    out += ",\n  \"hotLines\": [";
+    for (std::size_t i = 0; i < stats.hotLines.size(); ++i) {
+        if (i)
+            out += ',';
+        out += strprintf("{\"line\": %llu, \"events\": %llu}",
+                         (unsigned long long)stats.hotLines[i].line,
+                         (unsigned long long)stats.hotLines[i].events);
+    }
+    out += ']';
+
+    out += ",\n  \"threads\": [";
+    for (std::size_t g = 0; g < stats.threads.size(); ++g) {
+        const ThreadStats &t = stats.threads[g];
+        out += g ? ",\n    {" : "\n    {";
+        bool first = true;
+#define GLSC_X(f)                                                        \
+    out += strprintf("%s\"%s\": %llu", first ? "" : ", ", #f,            \
+                     (unsigned long long)t.f);                           \
+    first = false;
+        GLSC_THREAD_STATS_U64_FIELDS(GLSC_X)
+#undef GLSC_X
+        (void)first;
+        out += ", \"retryHist\": ";
+        appendU64Array(out, std::vector<std::uint64_t>(
+                                t.retryHist.begin(), t.retryHist.end()));
+        out += '}';
+    }
+    out += stats.threads.empty() ? "]" : "\n  ]";
+    out += "\n}\n";
+    return out;
+}
+
+// ---------------------------------------------------------------------
+// Parser: minimal recursive-descent JSON, just what the writer emits
+// (objects, arrays, strings, unsigned integers, booleans).  No
+// external dependency by design.
+// ---------------------------------------------------------------------
+
+namespace {
+
+struct JVal
+{
+    enum Kind { Num, Str, Bool, Arr, Obj } kind = Num;
+    std::uint64_t num = 0;
+    std::string str;
+    bool b = false;
+    std::vector<JVal> arr;
+    std::vector<std::pair<std::string, JVal>> obj;
+};
+
+class Parser
+{
+  public:
+    Parser(const std::string &text) : p_(text.c_str()),
+                                      end_(text.c_str() + text.size()) {}
+
+    bool value(JVal &out);
+    const std::string &error() const { return err_; }
+
+  private:
+    void ws()
+    {
+        while (p_ < end_ && std::isspace(static_cast<unsigned char>(*p_)))
+            p_++;
+    }
+
+    bool fail(const std::string &why)
+    {
+        if (err_.empty())
+            err_ = why;
+        return false;
+    }
+
+    bool expect(char c)
+    {
+        ws();
+        if (p_ >= end_ || *p_ != c)
+            return fail(strprintf("expected '%c'", c));
+        p_++;
+        return true;
+    }
+
+    bool string(std::string &out);
+    bool number(std::uint64_t &out);
+
+    const char *p_;
+    const char *end_;
+    std::string err_;
+};
+
+bool
+Parser::string(std::string &out)
+{
+    if (!expect('"'))
+        return false;
+    out.clear();
+    while (p_ < end_ && *p_ != '"') {
+        char c = *p_++;
+        if (c != '\\') {
+            out += c;
+            continue;
+        }
+        if (p_ >= end_)
+            return fail("dangling escape");
+        char e = *p_++;
+        switch (e) {
+          case '"':  out += '"'; break;
+          case '\\': out += '\\'; break;
+          case '/':  out += '/'; break;
+          case 'n':  out += '\n'; break;
+          case 't':  out += '\t'; break;
+          case 'r':  out += '\r'; break;
+          case 'u': {
+            if (end_ - p_ < 4)
+                return fail("truncated \\u escape");
+            unsigned v = 0;
+            for (int i = 0; i < 4; ++i) {
+                char h = *p_++;
+                v <<= 4;
+                if (h >= '0' && h <= '9')
+                    v |= h - '0';
+                else if (h >= 'a' && h <= 'f')
+                    v |= h - 'a' + 10;
+                else if (h >= 'A' && h <= 'F')
+                    v |= h - 'A' + 10;
+                else
+                    return fail("bad \\u escape");
+            }
+            if (v > 0xff)
+                return fail("non-latin \\u escape unsupported");
+            out += static_cast<char>(v);
+            break;
+          }
+          default:
+            return fail("unknown escape");
+        }
+    }
+    if (p_ >= end_)
+        return fail("unterminated string");
+    p_++; // closing quote
+    return true;
+}
+
+bool
+Parser::number(std::uint64_t &out)
+{
+    ws();
+    if (p_ >= end_ || !std::isdigit(static_cast<unsigned char>(*p_)))
+        return fail("expected number");
+    out = 0;
+    while (p_ < end_ && std::isdigit(static_cast<unsigned char>(*p_)))
+        out = out * 10 + static_cast<std::uint64_t>(*p_++ - '0');
+    return true;
+}
+
+bool
+Parser::value(JVal &out)
+{
+    ws();
+    if (p_ >= end_)
+        return fail("unexpected end of input");
+    switch (*p_) {
+      case '{': {
+        p_++;
+        out.kind = JVal::Obj;
+        ws();
+        if (p_ < end_ && *p_ == '}') {
+            p_++;
+            return true;
+        }
+        for (;;) {
+            std::string key;
+            if (!string(key) || !expect(':'))
+                return false;
+            JVal v;
+            if (!value(v))
+                return false;
+            out.obj.emplace_back(std::move(key), std::move(v));
+            ws();
+            if (p_ < end_ && *p_ == ',') {
+                p_++;
+                ws();
+                continue;
+            }
+            return expect('}');
+        }
+      }
+      case '[': {
+        p_++;
+        out.kind = JVal::Arr;
+        ws();
+        if (p_ < end_ && *p_ == ']') {
+            p_++;
+            return true;
+        }
+        for (;;) {
+            JVal v;
+            if (!value(v))
+                return false;
+            out.arr.push_back(std::move(v));
+            ws();
+            if (p_ < end_ && *p_ == ',') {
+                p_++;
+                continue;
+            }
+            return expect(']');
+        }
+      }
+      case '"':
+        out.kind = JVal::Str;
+        return string(out.str);
+      case 't':
+        if (end_ - p_ >= 4 && std::string(p_, p_ + 4) == "true") {
+            p_ += 4;
+            out.kind = JVal::Bool;
+            out.b = true;
+            return true;
+        }
+        return fail("bad literal");
+      case 'f':
+        if (end_ - p_ >= 5 && std::string(p_, p_ + 5) == "false") {
+            p_ += 5;
+            out.kind = JVal::Bool;
+            out.b = false;
+            return true;
+        }
+        return fail("bad literal");
+      default:
+        out.kind = JVal::Num;
+        return number(out.num);
+    }
+}
+
+/** Field extraction that records which keys were consumed. */
+class ObjReader
+{
+  public:
+    ObjReader(const JVal &obj, std::string &err) : obj_(obj), err_(err) {}
+
+    const JVal *get(const char *name, JVal::Kind kind)
+    {
+        for (const auto &[k, v] : obj_.obj) {
+            if (k == name) {
+                consumed_.push_back(name);
+                if (v.kind != kind) {
+                    if (err_.empty())
+                        err_ = strprintf("field '%s' has wrong type",
+                                         name);
+                    return nullptr;
+                }
+                return &v;
+            }
+        }
+        if (err_.empty())
+            err_ = strprintf("missing field '%s'", name);
+        return nullptr;
+    }
+
+    bool u64(const char *name, std::uint64_t &out)
+    {
+        const JVal *v = get(name, JVal::Num);
+        if (v == nullptr)
+            return false;
+        out = v->num;
+        return true;
+    }
+
+    /** True when the object has no keys beyond those consumed. */
+    bool exhausted()
+    {
+        for (const auto &[k, v] : obj_.obj) {
+            (void)v;
+            bool found = false;
+            for (const std::string &c : consumed_)
+                if (c == k)
+                    found = true;
+            if (!found) {
+                if (err_.empty())
+                    err_ = strprintf("unknown field '%s'", k.c_str());
+                return false;
+            }
+        }
+        return true;
+    }
+
+  private:
+    const JVal &obj_;
+    std::string &err_;
+    std::vector<std::string> consumed_;
+};
+
+} // namespace
+
+bool
+statsFromJson(const std::string &json, SystemStats &out, std::string *err)
+{
+    std::string why;
+    JVal root;
+    Parser parser(json);
+    if (!parser.value(root)) {
+        why = parser.error();
+    } else if (root.kind != JVal::Obj) {
+        why = "top level is not an object";
+    } else {
+        SystemStats s;
+        ObjReader r(root, why);
+        std::uint64_t schema = 0;
+        if (r.u64("schema", schema) &&
+            schema != std::uint64_t{kStatsJsonSchemaVersion} &&
+            why.empty()) {
+            why = strprintf("schema version %llu, expected %d",
+                            (unsigned long long)schema,
+                            kStatsJsonSchemaVersion);
+        }
+        if (why.empty()) {
+#define GLSC_X(f)                                                        \
+    {                                                                    \
+        std::uint64_t v = 0;                                             \
+        if (r.u64(#f, v))                                                \
+            s.f = v;                                                     \
+    }
+            GLSC_STATS_U64_FIELDS(GLSC_X)
+#undef GLSC_X
+        }
+        if (why.empty()) {
+            if (const JVal *v = r.get("livelockDetected", JVal::Bool))
+                s.livelockDetected = v->b;
+            if (const JVal *v = r.get("starvingThreads", JVal::Arr)) {
+                for (const JVal &e : v->arr)
+                    s.starvingThreads.push_back(
+                        static_cast<int>(e.num));
+            }
+            if (const JVal *v = r.get("livelockReport", JVal::Str))
+                s.livelockReport = v->str;
+            if (const JVal *v = r.get("l2BankAccesses", JVal::Arr)) {
+                for (const JVal &e : v->arr)
+                    s.l2BankAccesses.push_back(e.num);
+            }
+            if (const JVal *v = r.get("l2BankWaitCycles", JVal::Arr)) {
+                for (const JVal &e : v->arr)
+                    s.l2BankWaitCycles.push_back(e.num);
+            }
+            if (const JVal *v = r.get("hotLines", JVal::Arr)) {
+                for (const JVal &e : v->arr) {
+                    LineHotness h;
+                    ObjReader hr(e, why);
+                    hr.u64("line", h.line);
+                    hr.u64("events", h.events);
+                    hr.exhausted();
+                    s.hotLines.push_back(h);
+                }
+            }
+            if (const JVal *v = r.get("threads", JVal::Arr)) {
+                for (const JVal &e : v->arr) {
+                    ThreadStats t;
+                    ObjReader tr(e, why);
+#define GLSC_X(f)                                                        \
+    {                                                                    \
+        std::uint64_t tv = 0;                                            \
+        if (tr.u64(#f, tv))                                              \
+            t.f = tv;                                                    \
+    }
+                    GLSC_THREAD_STATS_U64_FIELDS(GLSC_X)
+#undef GLSC_X
+                    if (const JVal *h = tr.get("retryHist", JVal::Arr)) {
+                        if (h->arr.size() != t.retryHist.size() &&
+                            why.empty())
+                            why = "retryHist has wrong bucket count";
+                        for (std::size_t i = 0;
+                             i < h->arr.size() && i < t.retryHist.size();
+                             ++i)
+                            t.retryHist[i] = h->arr[i].num;
+                    }
+                    tr.exhausted();
+                    s.threads.push_back(std::move(t));
+                }
+            }
+            r.exhausted();
+        }
+        if (why.empty()) {
+            out = std::move(s);
+            return true;
+        }
+    }
+    if (err != nullptr)
+        *err = why;
+    return false;
+}
+
+std::vector<std::string>
+statsJsonFieldList()
+{
+    std::vector<std::string> fields;
+    fields.push_back("schema");
+#define GLSC_X(f) fields.push_back(#f);
+    GLSC_STATS_U64_FIELDS(GLSC_X)
+#undef GLSC_X
+    fields.push_back("livelockDetected");
+    fields.push_back("starvingThreads");
+    fields.push_back("livelockReport");
+    fields.push_back("l2BankAccesses");
+    fields.push_back("l2BankWaitCycles");
+    fields.push_back("hotLines");
+    fields.push_back("threads");
+#define GLSC_X(f) fields.push_back(std::string("threads[].") + #f);
+    GLSC_THREAD_STATS_U64_FIELDS(GLSC_X)
+#undef GLSC_X
+    fields.push_back("threads[].retryHist");
+    return fields;
+}
+
+} // namespace glsc

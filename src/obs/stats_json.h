@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Versioned, schema-stable JSON export of SystemStats.
+ *
+ * The bench harnesses persist run statistics as machine-readable
+ * artifacts (BENCH_<fig>.json) so CI and notebooks can consume them
+ * without scraping stdout.  Two rules keep the format trustworthy:
+ *
+ *  - Canonical form: statsToJson is a pure function of the stats with
+ *    a fixed field order, so exports of equal stats are byte-identical
+ *    and export -> parse -> re-export round-trips exactly
+ *    (tests/test_stats_json.cc).
+ *  - Schema versioning: the document carries kStatsJsonSchemaVersion.
+ *    The field set is defined once, by the X-macro lists below, and a
+ *    sizeof static_assert in stats_json.cc trips when anyone adds a
+ *    counter to SystemStats/ThreadStats without revisiting the lists
+ *    and bumping the version.  tests/test_stats_json.cc additionally
+ *    pins statsJsonFieldList() against a checked-in copy.
+ */
+
+#ifndef GLSC_OBS_STATS_JSON_H_
+#define GLSC_OBS_STATS_JSON_H_
+
+#include <string>
+#include <vector>
+
+#include "stats/stats.h"
+
+namespace glsc {
+
+/** Bump whenever the exported field set or layout changes. */
+inline constexpr int kStatsJsonSchemaVersion = 1;
+
+/**
+ * Every scalar counter of SystemStats, in export order.  Tick-typed
+ * fields are included (Tick is a uint64 alias).  Non-scalar members
+ * (threads, livelock verdict, observability breakdowns) are emitted
+ * by dedicated code in stats_json.cc and listed in
+ * statsJsonFieldList().
+ */
+#define GLSC_STATS_U64_FIELDS(X)                                         \
+    X(cycles)                                                            \
+    X(l1Accesses)                                                        \
+    X(l1Hits)                                                            \
+    X(l1Misses)                                                          \
+    X(l1AtomicAccesses)                                                  \
+    X(l1AccessesCombined)                                                \
+    X(prefetchesIssued)                                                  \
+    X(prefetchesUseful)                                                  \
+    X(l2Accesses)                                                        \
+    X(l2Misses)                                                          \
+    X(invalidationsSent)                                                 \
+    X(writebacks)                                                        \
+    X(llOps)                                                             \
+    X(scAttempts)                                                        \
+    X(scFailures)                                                        \
+    X(gatherLinkInstrs)                                                  \
+    X(scatterCondInstrs)                                                 \
+    X(glscLaneAttempts)                                                  \
+    X(glscLaneFailAlias)                                                 \
+    X(glscLaneFailLost)                                                  \
+    X(glscLaneFailPolicy)                                                \
+    X(gsuInstrs)                                                         \
+    X(gsuCacheRequests)                                                  \
+    X(gsuConflictStallCycles)                                            \
+    X(faultsSpuriousClear)                                               \
+    X(faultsEvictLinked)                                                 \
+    X(faultsStealReservation)                                            \
+    X(faultsBufferOverflow)                                              \
+    X(faultsDelay)                                                       \
+    X(faultDelayCycles)
+
+/** Every scalar counter of ThreadStats, in export order. */
+#define GLSC_THREAD_STATS_U64_FIELDS(X)                                  \
+    X(instructions)                                                      \
+    X(memStallCycles)                                                    \
+    X(syncCycles)                                                        \
+    X(doneTick)                                                          \
+    X(atomicAttempts)                                                    \
+    X(atomicSuccesses)                                                   \
+    X(consecAtomicFailures)                                              \
+    X(maxConsecAtomicFailures)                                           \
+    X(lastProgressTick)                                                  \
+    X(lastRetireTick)                                                    \
+    X(lastFailedLine)                                                    \
+    X(scalarFallbacks)
+
+/** Canonical JSON document for @p stats (ends in a newline). */
+std::string statsToJson(const SystemStats &stats);
+
+/**
+ * Parses a statsToJson document back into @p out.  Strict: the schema
+ * version must match, every expected field must be present, and no
+ * unknown fields are tolerated.  Returns false and sets @p err (when
+ * non-null) on any mismatch.
+ */
+bool statsFromJson(const std::string &json, SystemStats &out,
+                   std::string *err = nullptr);
+
+/**
+ * The exported field names in schema order: the scalar X-macro lists,
+ * then the structured fields.  Thread-level names carry a "threads[]."
+ * prefix.  tests/test_stats_json.cc pins this against a checked-in
+ * copy so schema drift cannot happen silently.
+ */
+std::vector<std::string> statsJsonFieldList();
+
+} // namespace glsc
+
+#endif // GLSC_OBS_STATS_JSON_H_

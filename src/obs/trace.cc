@@ -1,0 +1,390 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "config/config.h"
+#include "cpu/thread.h"
+#include "sim/log.h"
+#include "stats/stats.h"
+
+namespace glsc {
+
+const char *
+traceEventTypeName(TraceEventType t)
+{
+    switch (t) {
+      case TraceEventType::LinkAcquired:       return "link-acquired";
+      case TraceEventType::LinkStolen:         return "link-stolen";
+      case TraceEventType::LinkCleared:        return "link-cleared";
+      case TraceEventType::ScSuccess:          return "sc-success";
+      case TraceEventType::ScFail:             return "sc-fail";
+      case TraceEventType::ScatterCondSuccess: return "scond-success";
+      case TraceEventType::ScatterCondFail:    return "scond-fail";
+      case TraceEventType::LaneFailAlias:      return "lane-fail-alias";
+      case TraceEventType::LaneFailPolicy:     return "lane-fail-policy";
+      case TraceEventType::GsuConflictStall:   return "gsu-conflict";
+      case TraceEventType::L2BankAccess:       return "l2-bank";
+      case TraceEventType::DirectoryInval:     return "dir-inval";
+      case TraceEventType::RetryRound:         return "retry-round";
+      case TraceEventType::ScalarFallback:     return "scalar-fallback";
+      case TraceEventType::FaultInjected:      return "fault";
+      case TraceEventType::WatchdogSweep:      return "watchdog-sweep";
+    }
+    return "?";
+}
+
+const char *
+clearCauseName(ClearCause c)
+{
+    switch (c) {
+      case ClearCause::Unknown:  return "unknown";
+      case ClearCause::Write:    return "write";
+      case ClearCause::Evict:    return "evict";
+      case ClearCause::Inval:    return "inval";
+      case ClearCause::Overflow: return "overflow";
+      case ClearCause::Fault:    return "fault";
+      case ClearCause::Stolen:   return "stolen";
+    }
+    return "?";
+}
+
+std::string
+formatTraceEvent(const TraceEvent &e)
+{
+    std::string out = strprintf(
+        "%10llu %-15s c%-2d t%-2d", (unsigned long long)e.tick,
+        traceEventTypeName(e.type), e.core, e.tid);
+    if (e.tid2 >= 0)
+        out += strprintf(" from=t%d", e.tid2);
+    if (e.line != kNoAddr)
+        out += strprintf(" line=0x%llx", (unsigned long long)e.line);
+    switch (e.type) {
+      case TraceEventType::LinkCleared:
+        out += strprintf(" cause=%s",
+                         clearCauseName(static_cast<ClearCause>(e.a)));
+        break;
+      case TraceEventType::ScFail:
+        out += strprintf(" cause=%s",
+                         clearCauseName(static_cast<ClearCause>(e.a)));
+        break;
+      case TraceEventType::ScatterCondFail:
+        out += strprintf(" lanes=%llu cause=%s",
+                         (unsigned long long)e.a,
+                         clearCauseName(static_cast<ClearCause>(e.b)));
+        break;
+      default:
+        if (e.a != 0 || e.b != 0)
+            out += strprintf(" a=%llu b=%llu", (unsigned long long)e.a,
+                             (unsigned long long)e.b);
+        break;
+    }
+    return out;
+}
+
+// ---------------------------------------------------------------------
+// Tracer.
+// ---------------------------------------------------------------------
+
+void
+Tracer::addSink(TraceSink *sink)
+{
+    GLSC_ASSERT(sink != nullptr, "null trace sink");
+    sinks_.push_back(sink);
+}
+
+void
+Tracer::emit(const TraceEvent &e)
+{
+    emitted_++;
+    // Reservation-loss attribution: remember why each destroyed
+    // reservation died so the eventual failed probe can say.
+    switch (e.type) {
+      case TraceEventType::LinkCleared:
+        if (e.tid >= 0)
+            lossCause_[{e.core, e.line, e.tid}] =
+                static_cast<ClearCause>(e.a);
+        break;
+      case TraceEventType::LinkStolen:
+        if (e.tid2 >= 0)
+            lossCause_[{e.core, e.line, e.tid2}] = ClearCause::Stolen;
+        [[fallthrough]];
+      case TraceEventType::LinkAcquired:
+        // A fresh reservation supersedes any stale loss record.
+        lossCause_.erase({e.core, e.line, e.tid});
+        break;
+      default:
+        break;
+    }
+    for (TraceSink *s : sinks_)
+        s->onEvent(e);
+}
+
+void
+Tracer::finishRun(SystemStats &stats)
+{
+    for (TraceSink *s : sinks_)
+        s->onFinish(stats);
+}
+
+std::string
+Tracer::postMortem() const
+{
+    std::string out;
+    for (const TraceSink *s : sinks_)
+        out += s->postMortem();
+    return out;
+}
+
+ClearCause
+Tracer::takeLossCause(CoreId core, Addr line, ThreadId tid)
+{
+    auto it = lossCause_.find({core, line, tid});
+    if (it == lossCause_.end())
+        return ClearCause::Unknown;
+    ClearCause c = it->second;
+    lossCause_.erase(it);
+    return c;
+}
+
+// ---------------------------------------------------------------------
+// TextSink.
+// ---------------------------------------------------------------------
+
+void
+TextSink::onEvent(const TraceEvent &e)
+{
+    text_ += formatTraceEvent(e);
+    text_ += '\n';
+}
+
+// ---------------------------------------------------------------------
+// RingBufferSink.
+// ---------------------------------------------------------------------
+
+RingBufferSink::RingBufferSink(std::size_t capacity) : capacity_(capacity)
+{
+    GLSC_ASSERT(capacity > 0, "ring buffer needs capacity >= 1");
+    ring_.reserve(capacity);
+}
+
+void
+RingBufferSink::onEvent(const TraceEvent &e)
+{
+    seen_++;
+    if (ring_.size() < capacity_) {
+        ring_.push_back(e);
+        return;
+    }
+    ring_[next_] = e;
+    next_ = (next_ + 1) % capacity_;
+}
+
+std::vector<TraceEvent>
+RingBufferSink::snapshot() const
+{
+    std::vector<TraceEvent> out;
+    out.reserve(ring_.size());
+    for (std::size_t i = 0; i < ring_.size(); ++i)
+        out.push_back(ring_[(next_ + i) % ring_.size()]);
+    return out;
+}
+
+std::string
+RingBufferSink::postMortem() const
+{
+    std::string out = strprintf(
+        "trace ring buffer: last %zu of %llu events\n", ring_.size(),
+        (unsigned long long)seen_);
+    for (const TraceEvent &e : snapshot()) {
+        out += "  ";
+        out += formatTraceEvent(e);
+        out += '\n';
+    }
+    return out;
+}
+
+// ---------------------------------------------------------------------
+// ChromeTraceSink.
+// ---------------------------------------------------------------------
+
+void
+ChromeTraceSink::onEvent(const TraceEvent &e)
+{
+    events_.push_back(e);
+}
+
+std::string
+ChromeTraceSink::json() const
+{
+    // trace_event JSON Array Format; "s":"t" scopes instants to their
+    // thread track.  Core/thread map to pid/tid; system-level events
+    // (watchdog) land on pid 0 / tid -1's track.
+    std::string out = "{\"traceEvents\":[";
+    bool first = true;
+    for (const TraceEvent &e : events_) {
+        if (!first)
+            out += ",\n";
+        first = false;
+        out += strprintf(
+            "{\"name\":\"%s\",\"ph\":\"i\",\"s\":\"t\",\"ts\":%llu,"
+            "\"pid\":%d,\"tid\":%d,\"args\":{",
+            traceEventTypeName(e.type), (unsigned long long)e.tick,
+            e.core, e.tid);
+        bool firstArg = true;
+        auto arg = [&](const char *k, const std::string &v) {
+            if (!firstArg)
+                out += ",";
+            firstArg = false;
+            out += strprintf("\"%s\":%s", k, v.c_str());
+        };
+        if (e.line != kNoAddr)
+            arg("line", strprintf("\"0x%llx\"",
+                                  (unsigned long long)e.line));
+        if (e.tid2 >= 0)
+            arg("from_tid", strprintf("%d", e.tid2));
+        arg("a", strprintf("%llu", (unsigned long long)e.a));
+        arg("b", strprintf("%llu", (unsigned long long)e.b));
+        out += "}}";
+    }
+    out += "],\"displayTimeUnit\":\"ns\"}\n";
+    return out;
+}
+
+bool
+ChromeTraceSink::writeFile(const std::string &path) const
+{
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (f == nullptr)
+        return false;
+    std::string doc = json();
+    std::size_t n = std::fwrite(doc.data(), 1, doc.size(), f);
+    std::fclose(f);
+    return n == doc.size();
+}
+
+// ---------------------------------------------------------------------
+// CountingSink.
+// ---------------------------------------------------------------------
+
+void
+CountingSink::onEvent(const TraceEvent &e)
+{
+    int ti = static_cast<int>(e.type);
+    counts_[ti]++;
+    laneSums_[ti] += e.a;
+    switch (e.type) {
+      case TraceEventType::ScatterCondFail:
+        if (e.b < std::uint64_t{kClearCauses})
+            lostByCause_[e.b] += e.a;
+        break;
+      case TraceEventType::ScFail:
+        if (e.a < std::uint64_t{kClearCauses})
+            scFailByCause_[e.a]++;
+        break;
+      case TraceEventType::LinkAcquired:
+      case TraceEventType::LinkStolen:
+        if (e.a < std::uint64_t{3})
+            linksByOrigin_[e.a]++;
+        break;
+      case TraceEventType::FaultInjected:
+        if (e.a < std::uint64_t{5})
+            faultsByClass_[e.a]++;
+        break;
+      case TraceEventType::LinkCleared:
+        // A committed store legitimately consumes the writer's own
+        // reservation (tid2 == tid by the Write convention); only
+        // involuntary losses count toward line hotness.
+        if (!(static_cast<ClearCause>(e.a) == ClearCause::Write &&
+              e.tid2 == e.tid))
+            lineLosses_[e.line]++;
+        break;
+      case TraceEventType::L2BankAccess: {
+        std::size_t bank = static_cast<std::size_t>(e.a);
+        if (bankAccesses_.size() <= bank) {
+            bankAccesses_.resize(bank + 1, 0);
+            bankWait_.resize(bank + 1, 0);
+        }
+        bankAccesses_[bank]++;
+        bankWait_[bank] += e.b;
+        break;
+      }
+      default:
+        break;
+    }
+}
+
+void
+CountingSink::onFinish(SystemStats &stats)
+{
+    stats.l2BankAccesses = bankAccesses_;
+    stats.l2BankWaitCycles = bankWait_;
+    // Top lines by reservation-loss events; count-descending, line-
+    // ascending under ties so the export is deterministic.
+    std::vector<LineHotness> hot;
+    hot.reserve(lineLosses_.size());
+    for (const auto &[line, n] : lineLosses_)
+        hot.push_back(LineHotness{line, n});
+    std::sort(hot.begin(), hot.end(),
+              [](const LineHotness &x, const LineHotness &y) {
+                  return x.events != y.events ? x.events > y.events
+                                              : x.line < y.line;
+              });
+    if (hot.size() > kHotLineExportMax)
+        hot.resize(kHotLineExportMax);
+    stats.hotLines = std::move(hot);
+}
+
+std::uint64_t
+CountingSink::count(TraceEventType t) const
+{
+    return counts_[static_cast<int>(t)];
+}
+
+std::uint64_t
+CountingSink::lanes(TraceEventType t) const
+{
+    return laneSums_[static_cast<int>(t)];
+}
+
+std::uint64_t
+CountingSink::failLostLanesByCause(ClearCause c) const
+{
+    return lostByCause_[static_cast<int>(c)];
+}
+
+std::uint64_t
+CountingSink::scFailsByCause(ClearCause c) const
+{
+    return scFailByCause_[static_cast<int>(c)];
+}
+
+std::uint64_t
+CountingSink::linksByOrigin(LinkOrigin o) const
+{
+    return linksByOrigin_[static_cast<int>(o)];
+}
+
+std::uint64_t
+CountingSink::faultsByClass(TraceFaultClass c) const
+{
+    return faultsByClass_[static_cast<int>(c)];
+}
+
+// ---------------------------------------------------------------------
+
+void
+traceScalarFallback(SimThread &t)
+{
+    Tracer *tr = t.config().tracer;
+    if (tr == nullptr)
+        return;
+    TraceEvent e;
+    e.tick = t.now();
+    e.type = TraceEventType::ScalarFallback;
+    e.core = t.coreId();
+    e.tid = t.tid();
+    tr->emit(e);
+}
+
+} // namespace glsc

@@ -1,0 +1,333 @@
+/**
+ * @file
+ * Event tracing for the GLSC simulator (observability layer).
+ *
+ * The simulator applies every architectural effect at a deterministic
+ * serialization point, so the sequence of hook invocations IS a total
+ * order over everything the paper's evaluation reasons about:
+ * reservation lifecycle (acquired / cleared / stolen), atomic-
+ * completion outcomes per LaneFailure cause, L2 bank traffic,
+ * directory invalidations, software retry rounds, injected faults and
+ * watchdog sweeps.  This header turns that order into a typed event
+ * stream, in the tracing spirit of execution-driven simulators like
+ * gem5 (see PAPERS.md).
+ *
+ * Design rules:
+ *  - Zero overhead when off: every hook site is guarded by a
+ *    `Tracer * == nullptr` check on a pointer the component already
+ *    holds, so an untraced run executes one predicted branch per hook
+ *    and allocates nothing.  Tracing must never change simulated
+ *    timing: hooks only observe, and the acceptance bar is that cycle
+ *    counts with tracing on equal cycle counts with tracing off.
+ *  - Determinism: the simulator is single-threaded and event-ordered,
+ *    so identical (SystemConfig, seed) must produce byte-identical
+ *    event streams from every sink.  tests/test_trace.cc enforces it.
+ *  - Sinks are dumb and composable: the Tracer fans each event out to
+ *    any number of TraceSink implementations (ring buffer for post-
+ *    mortem dumps, Chrome trace_event JSON for timelines, a counting
+ *    sink feeding SystemStats breakdowns, a text sink for goldens).
+ *
+ * The one piece of state the Tracer itself keeps is reservation-loss
+ * attribution: when a store-conditional or vscattercond fails because
+ * the reservation is gone, the failure site cannot know WHY it is
+ * gone.  The Tracer remembers, per (core, line, thread), the cause of
+ * the most recent reservation destruction it saw, so failure events
+ * can carry "lost to an intervening write" vs "evicted" vs "stolen".
+ */
+
+#ifndef GLSC_OBS_TRACE_H_
+#define GLSC_OBS_TRACE_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "sim/types.h"
+
+namespace glsc {
+
+struct SystemStats;
+class SimThread;
+
+/** What happened.  One enumerator per hook site class. */
+enum class TraceEventType : std::uint8_t
+{
+    // GLSC reservation lifecycle (memsys serialization points).
+    LinkAcquired,       //!< a = LinkOrigin
+    LinkStolen,         //!< tid = new owner, tid2 = previous owner,
+                        //!< a = LinkOrigin of the stealing link
+    LinkCleared,        //!< tid = owner that lost it, a = ClearCause;
+                        //!< for Write causes tid2 = the storing
+                        //!< context (tid2 == tid is self-consumption)
+    // Atomic completion outcomes.
+    ScSuccess,          //!< scalar store-conditional committed
+    ScFail,             //!< scalar sc probe failed, a = ClearCause
+    ScatterCondSuccess, //!< a = lanes committed
+    ScatterCondFail,    //!< a = lanes discarded, b = ClearCause
+    LaneFailAlias,      //!< a = lanes lost to aliasing (GSU)
+    LaneFailPolicy,     //!< a = lanes failed by a section-3.2 policy
+    // Contention and traffic.
+    GsuConflictStall,   //!< one GSU cycle stalled on an LSU conflict
+    L2BankAccess,       //!< a = bank, b = cycles queued behind the bank
+    DirectoryInval,     //!< core = invalidated sharer, a = InvalReason
+    // Software robustness layer.
+    RetryRound,         //!< a = backoff delay, b = lifetime round count
+    ScalarFallback,     //!< a vector loop degraded to scalar ll/sc
+    FaultInjected,      //!< a = FaultClass, b = extra (delay cycles)
+    WatchdogSweep,      //!< a = starving threads, b = 1 on the
+                        //!< livelock verdict
+};
+
+/** How a reservation-acquiring request entered the memory system. */
+enum class LinkOrigin : std::uint8_t
+{
+    LoadLinked = 0, //!< scalar ll
+    GatherLink = 1, //!< vgatherlink lane group
+    Injected = 2,   //!< fault injector re-link to the phantom context
+};
+
+/** Why a reservation was destroyed (LinkCleared / *Fail attribution). */
+enum class ClearCause : std::uint8_t
+{
+    Unknown = 0,  //!< no destruction on record (should not happen)
+    Write = 1,    //!< intervening store / scatter / committed sc
+    Evict = 2,    //!< L1 replacement evicted the linked line
+    Inval = 3,    //!< directory invalidation or inclusion recall
+    Overflow = 4, //!< GLSC buffer capacity eviction (oldest dropped)
+    Fault = 5,    //!< fault injector spurious-clear
+    Stolen = 6,   //!< another context re-linked the line
+};
+
+/** Which directory action sent an invalidation. */
+enum class InvalReason : std::uint8_t
+{
+    WriteSharers = 0, //!< write request invalidating other sharers
+    OwnerFetch = 1,   //!< write request invalidating the M owner
+    L2Recall = 2,     //!< inclusive-L2 victim recalling L1 copies
+};
+
+/** Fault classes as carried by FaultInjected events. */
+enum class TraceFaultClass : std::uint8_t
+{
+    SpuriousClear = 0,
+    EvictLinked = 1,
+    StealReservation = 2,
+    BufferOverflow = 3,
+    Delay = 4,
+};
+
+inline constexpr int kTraceEventTypes =
+    static_cast<int>(TraceEventType::WatchdogSweep) + 1;
+inline constexpr int kClearCauses =
+    static_cast<int>(ClearCause::Stolen) + 1;
+
+/** One trace record.  Meaning of a/b depends on the type (above). */
+struct TraceEvent
+{
+    Tick tick = 0;
+    TraceEventType type = TraceEventType::LinkAcquired;
+    CoreId core = -1;
+    ThreadId tid = -1;
+    ThreadId tid2 = -1; //!< LinkStolen: the context that lost the link
+    Addr line = kNoAddr;
+    std::uint64_t a = 0;
+    std::uint64_t b = 0;
+};
+
+/** Stable lower-case name, used by every textual emitter. */
+const char *traceEventTypeName(TraceEventType t);
+const char *clearCauseName(ClearCause c);
+
+/** One fixed-format line per event (no trailing newline). */
+std::string formatTraceEvent(const TraceEvent &e);
+
+/** Consumer of the event stream. */
+class TraceSink
+{
+  public:
+    virtual ~TraceSink() = default;
+    virtual void onEvent(const TraceEvent &e) = 0;
+    /**
+     * End-of-run hook (System::run, before the stats are returned):
+     * sinks that aggregate may export breakdowns into @p stats here.
+     */
+    virtual void onFinish(SystemStats &stats) { (void)stats; }
+    /** Diagnostic dump appended to livelock/deadlock reports. */
+    virtual std::string postMortem() const { return ""; }
+};
+
+/**
+ * Fan-out point installed via SystemConfig::tracer.  Components emit
+ * through it only after a null check, so the traced path is opt-in.
+ */
+class Tracer
+{
+  public:
+    /** Registers @p sink (not owned); call before the run starts. */
+    void addSink(TraceSink *sink);
+
+    /** Delivers @p e to every sink and updates loss attribution. */
+    void emit(const TraceEvent &e);
+
+    /** Calls every sink's onFinish (System::run, end of simulation). */
+    void finishRun(SystemStats &stats);
+
+    /** Concatenated postMortem() of every sink that offers one. */
+    std::string postMortem() const;
+
+    /**
+     * Why (core, line, thread)'s most recent reservation died, per the
+     * LinkCleared / LinkStolen events seen so far; Unknown when no
+     * destruction is on record.  Consumes the record (one failure per
+     * destruction).
+     */
+    ClearCause takeLossCause(CoreId core, Addr line, ThreadId tid);
+
+    std::uint64_t eventsEmitted() const { return emitted_; }
+
+  private:
+    std::vector<TraceSink *> sinks_;
+    std::uint64_t emitted_ = 0;
+    // (core, line, tid) -> cause of the last destruction of that
+    // thread's reservation on that line.  std::map: iteration order
+    // never matters (lookup only), and keys are sparse.
+    std::map<std::tuple<CoreId, Addr, ThreadId>, ClearCause> lossCause_;
+};
+
+// ---------------------------------------------------------------------
+// Sinks.
+// ---------------------------------------------------------------------
+
+/** Keeps every event in order (tests and programmatic consumers). */
+class CollectSink : public TraceSink
+{
+  public:
+    void onEvent(const TraceEvent &e) override { events_.push_back(e); }
+    const std::vector<TraceEvent> &events() const { return events_; }
+
+  private:
+    std::vector<TraceEvent> events_;
+};
+
+/** Appends one formatted line per event (golden-trace comparisons). */
+class TextSink : public TraceSink
+{
+  public:
+    void onEvent(const TraceEvent &e) override;
+    const std::string &str() const { return text_; }
+
+  private:
+    std::string text_;
+};
+
+/**
+ * Bounded ring of the most recent events, dumped post-mortem: wired
+ * into the watchdog's livelock report so a starvation diagnosis shows
+ * WHAT happened to the starving thread's reservations, not just that
+ * they kept dying.
+ */
+class RingBufferSink : public TraceSink
+{
+  public:
+    explicit RingBufferSink(std::size_t capacity = 256);
+
+    void onEvent(const TraceEvent &e) override;
+    std::string postMortem() const override;
+
+    /** Retained events, oldest first. */
+    std::vector<TraceEvent> snapshot() const;
+    std::uint64_t totalSeen() const { return seen_; }
+
+  private:
+    std::size_t capacity_;
+    std::uint64_t seen_ = 0;
+    std::vector<TraceEvent> ring_;
+    std::size_t next_ = 0;
+};
+
+/**
+ * Chrome trace_event JSON (the "JSON Array Format"): load the written
+ * file in chrome://tracing or https://ui.perfetto.dev to see the run
+ * on a timeline.  Events are instant events ("ph":"i") with pid =
+ * core and tid = hardware thread; tick maps to the microsecond
+ * timestamp axis.  Output is a pure function of the event sequence,
+ * so golden-trace tests may compare it byte-for-byte.
+ */
+class ChromeTraceSink : public TraceSink
+{
+  public:
+    void onEvent(const TraceEvent &e) override;
+
+    /** Complete JSON document for the events seen so far. */
+    std::string json() const;
+
+    /** Writes json() to @p path; returns false on I/O failure. */
+    bool writeFile(const std::string &path) const;
+
+  private:
+    std::vector<TraceEvent> events_;
+};
+
+/**
+ * Aggregating sink: per-type event and lane totals, reservation-loss
+ * cause breakdowns, per-L2-bank traffic and per-line loss hotness.
+ * onFinish exports the bank and hotness breakdowns into SystemStats
+ * (l2BankAccesses / l2BankWaitCycles / hotLines), giving the stats
+ * dump dimensions the aggregate counters cannot express.  The
+ * cross-check tier asserts these totals against the independently
+ * maintained SystemStats counters.
+ */
+class CountingSink : public TraceSink
+{
+  public:
+    void onEvent(const TraceEvent &e) override;
+    void onFinish(SystemStats &stats) override;
+
+    /** Events seen of @p t. */
+    std::uint64_t count(TraceEventType t) const;
+    /** Sum of the lane payload (field a) over events of @p t. */
+    std::uint64_t lanes(TraceEventType t) const;
+    /** vscattercond lanes lost with destruction cause @p c. */
+    std::uint64_t failLostLanesByCause(ClearCause c) const;
+    /** Scalar sc failures with destruction cause @p c. */
+    std::uint64_t scFailsByCause(ClearCause c) const;
+    /** LinkAcquired + LinkStolen events with origin @p o. */
+    std::uint64_t linksByOrigin(LinkOrigin o) const;
+    /** FaultInjected events of class @p c. */
+    std::uint64_t faultsByClass(TraceFaultClass c) const;
+
+    const std::vector<std::uint64_t> &bankAccesses() const
+    {
+        return bankAccesses_;
+    }
+    const std::vector<std::uint64_t> &bankWaitCycles() const
+    {
+        return bankWait_;
+    }
+
+  private:
+    std::uint64_t counts_[kTraceEventTypes] = {};
+    std::uint64_t laneSums_[kTraceEventTypes] = {};
+    std::uint64_t lostByCause_[kClearCauses] = {};
+    std::uint64_t scFailByCause_[kClearCauses] = {};
+    std::uint64_t linksByOrigin_[3] = {};
+    std::uint64_t faultsByClass_[5] = {};
+    std::vector<std::uint64_t> bankAccesses_;
+    std::vector<std::uint64_t> bankWait_;
+    // Ordered by line so the exported hotness ranking is deterministic
+    // under ties.
+    std::map<Addr, std::uint64_t> lineLosses_;
+};
+
+/**
+ * Emits a ScalarFallback event for @p t's thread if its system has a
+ * tracer installed.  Free function so kernel code (which increments
+ * ThreadStats::scalarFallbacks at several sites) has a one-line hook.
+ */
+void traceScalarFallback(SimThread &t);
+
+} // namespace glsc
+
+#endif // GLSC_OBS_TRACE_H_

@@ -45,13 +45,27 @@ FaultInjector::pick(std::vector<Candidate> *cands, Candidate *out)
 }
 
 void
+FaultInjector::traceFault(TraceFaultClass cls, std::uint64_t extra)
+{
+    if (msys_.tracer_ == nullptr)
+        return;
+    TraceEvent e;
+    e.tick = msys_.events_.now();
+    e.type = TraceEventType::FaultInjected;
+    e.a = static_cast<std::uint64_t>(cls);
+    e.b = extra;
+    msys_.tracer_->emit(e);
+}
+
+void
 FaultInjector::spuriousClear()
 {
     auto cands = liveReservations();
     Candidate v;
     if (!pick(&cands, &v))
         return;
-    msys_.clearLink(v.core, v.line);
+    traceFault(TraceFaultClass::SpuriousClear);
+    msys_.clearLink(v.core, v.line, ClearCause::Fault);
     stats_.faultsSpuriousClear++;
 }
 
@@ -65,6 +79,7 @@ FaultInjector::evictLinked()
     L1Line *l = msys_.l1s_[v.core]->lookup(v.line);
     if (l == nullptr || !l->valid())
         return; // reservation outlived residency; nothing to evict
+    traceFault(TraceFaultClass::EvictLinked);
     msys_.evictL1(v.core, *l);
     stats_.faultsEvictLinked++;
 }
@@ -79,7 +94,8 @@ FaultInjector::stealReservation()
     // Re-link to the phantom SMT context: no real thread's probe will
     // ever match it, so the victim's completion can only fail -- the
     // adversarial form of the section-3.3 last-linker-wins steal.
-    msys_.linkLine(v.core, phantom_, v.line);
+    traceFault(TraceFaultClass::StealReservation);
+    msys_.linkLine(v.core, phantom_, v.line, LinkOrigin::Injected);
     stats_.faultsStealReservation++;
 }
 
@@ -101,7 +117,8 @@ FaultInjector::overflowBuffer()
         return;
     // Exactly what a burst of links past bufferEntries would do: the
     // oldest reservation is dropped (section 3.3 best-effort overflow).
-    msys_.clearLink(c, line);
+    traceFault(TraceFaultClass::BufferOverflow);
+    msys_.clearLink(c, line, ClearCause::Overflow);
     stats_.faultsBufferOverflow++;
 }
 
@@ -125,6 +142,7 @@ FaultInjector::delayPenalty()
 {
     if (fc_.delayRate <= 0.0 || !rng_.chance(fc_.delayRate))
         return 0;
+    traceFault(TraceFaultClass::Delay, fc_.delayExtra);
     stats_.faultsDelay++;
     stats_.faultDelayCycles += fc_.delayExtra;
     return fc_.delayExtra;

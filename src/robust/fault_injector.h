@@ -31,6 +31,7 @@
 #include <vector>
 
 #include "config/config.h"
+#include "obs/trace.h"
 #include "sim/random.h"
 #include "sim/types.h"
 #include "stats/stats.h"
@@ -77,6 +78,9 @@ class FaultInjector
     void evictLinked();
     void stealReservation();
     void overflowBuffer();
+
+    /** Emits a FaultInjected trace event when a tracer is installed. */
+    void traceFault(TraceFaultClass cls, std::uint64_t extra = 0);
 
     const SystemConfig &cfg_;
     SystemStats &stats_;

@@ -3,6 +3,8 @@
 #include <cinttypes>
 #include <cstdio>
 
+#include "obs/trace.h"
+
 namespace glsc {
 
 std::string
@@ -26,11 +28,17 @@ threadProgressDump(const SystemStats &stats, Tick now)
             ts.consecAtomicFailures, ts.maxConsecAtomicFailures);
         out += buf;
         if (ts.consecAtomicFailures > 0) {
-            std::snprintf(buf, sizeof buf,
-                          " lastFailLine=0x%" PRIx64
-                          " lastProgress=%" PRIu64,
-                          (std::uint64_t)ts.lastFailedLine,
-                          (std::uint64_t)ts.lastProgressTick);
+            if (ts.lastFailedLine == kNoAddr) {
+                std::snprintf(buf, sizeof buf,
+                              " lastFailLine=never lastProgress=%" PRIu64,
+                              (std::uint64_t)ts.lastProgressTick);
+            } else {
+                std::snprintf(buf, sizeof buf,
+                              " lastFailLine=0x%" PRIx64
+                              " lastProgress=%" PRIu64,
+                              (std::uint64_t)ts.lastFailedLine,
+                              (std::uint64_t)ts.lastProgressTick);
+            }
             out += buf;
         }
         if (ts.scalarFallbacks > 0) {
@@ -43,8 +51,10 @@ threadProgressDump(const SystemStats &stats, Tick now)
     return out;
 }
 
-Watchdog::Watchdog(const WatchdogConfig &cfg, const SystemStats &stats)
-    : cfg_(cfg), stats_(stats), strikes_(stats.threads.size(), 0)
+Watchdog::Watchdog(const WatchdogConfig &cfg, const SystemStats &stats,
+                   Tracer *tracer)
+    : cfg_(cfg), stats_(stats), tracer_(tracer),
+      strikes_(stats.threads.size(), 0)
 {
 }
 
@@ -70,6 +80,14 @@ Watchdog::sweep(Tick now, const std::vector<bool> &active)
     }
     if (!livelock)
         starving_.clear();
+    if (tracer_ != nullptr) {
+        TraceEvent e;
+        e.tick = now;
+        e.type = TraceEventType::WatchdogSweep;
+        e.a = static_cast<std::uint64_t>(starving_.size());
+        e.b = livelock ? 1 : 0;
+        tracer_->emit(e);
+    }
     return livelock;
 }
 
@@ -89,6 +107,13 @@ Watchdog::report(Tick now) const
                   (std::uint64_t)cfg_.checkInterval);
     out += buf;
     out += threadProgressDump(stats_, now);
+    if (tracer_ != nullptr) {
+        std::string pm = tracer_->postMortem();
+        if (!pm.empty()) {
+            out += "last trace events before the verdict:\n";
+            out += pm;
+        }
+    }
     return out;
 }
 

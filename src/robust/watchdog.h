@@ -37,6 +37,8 @@
 
 namespace glsc {
 
+class Tracer;
+
 /**
  * Per-thread progress dump shared by the watchdog report and the
  * deadlock/maxCycles panics in System::run: one line per hardware
@@ -48,7 +50,8 @@ std::string threadProgressDump(const SystemStats &stats, Tick now);
 class Watchdog
 {
   public:
-    Watchdog(const WatchdogConfig &cfg, const SystemStats &stats);
+    Watchdog(const WatchdogConfig &cfg, const SystemStats &stats,
+             Tracer *tracer = nullptr);
 
     /**
      * One periodic inspection at tick @p now.  @p active flags which
@@ -62,12 +65,17 @@ class Watchdog
     /** Global ids starving at the last sweep, ascending. */
     const std::vector<int> &starving() const { return starving_; }
 
-    /** Full diagnostic: verdict line + threadProgressDump. */
+    /**
+     * Full diagnostic: verdict line + threadProgressDump, followed by
+     * the tracer's ring-buffer post-mortem (the last events before the
+     * livelock verdict) when a tracer with a RingBufferSink is wired.
+     */
     std::string report(Tick now) const;
 
   private:
     const WatchdogConfig &cfg_;
     const SystemStats &stats_;
+    Tracer *tracer_ = nullptr;
     std::vector<int> strikes_;   //!< consecutive starving sweeps per gtid
     std::vector<int> starving_;  //!< verdict of the last sweep
 };

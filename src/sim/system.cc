@@ -1,5 +1,6 @@
 #include "sim/system.h"
 
+#include "obs/trace.h"
 #include "robust/watchdog.h"
 #include "sim/log.h"
 #include "verify/invariants.h"
@@ -82,7 +83,8 @@ System::run(Tick maxCycles)
     std::unique_ptr<Watchdog> dog;
     Tick nextSweep = kTickMax;
     if (cfg_.watchdog.enabled) {
-        dog = std::make_unique<Watchdog>(cfg_.watchdog, stats_);
+        dog = std::make_unique<Watchdog>(cfg_.watchdog, stats_,
+                                         cfg_.tracer);
         nextSweep = cfg_.watchdog.checkInterval;
     }
     std::vector<bool> active(cfg_.totalThreads(), false);
@@ -151,6 +153,10 @@ System::run(Tick maxCycles)
     }
 
     stats_.cycles = events_.now();
+    // Let sinks export their aggregations (per-bank breakdowns, line
+    // hotness) into stats_ before the invariant sweep sees them.
+    if (cfg_.tracer != nullptr)
+        cfg_.tracer->finishRun(stats_);
 #ifdef GLSC_CHECK_ENABLED
     // End-of-run structural sweep: catches corruption the per-op
     // checks missed (untouched lines, stale buffer entries, stats).

@@ -28,6 +28,13 @@ using GlobalThreadId = int;
 /** A value guaranteed to compare greater than any real tick. */
 inline constexpr Tick kTickMax = ~Tick{0};
 
+/**
+ * Sentinel for "no address recorded".  Address 0 is a legal simulated
+ * location (MemLayout hands it out first), so fields like
+ * ThreadStats::lastFailedLine use this instead of 0 to mean "never".
+ */
+inline constexpr Addr kNoAddr = ~Addr{0};
+
 /** Cache line geometry used throughout the memory system. */
 inline constexpr int kLineBytes = 64;
 inline constexpr int kLineShift = 6;

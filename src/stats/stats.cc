@@ -110,6 +110,36 @@ SystemStats::consistencyError() const
                          (unsigned long long)(glscLaneFailAlias +
                                               glscLaneFailLost),
                          (unsigned long long)glscLaneAttempts);
+    // Per-bank breakdowns exist only when a counting trace sink ran;
+    // when they do, they must partition the aggregate counters.
+    if (!l2BankAccesses.empty()) {
+        std::uint64_t sum = 0;
+        for (std::uint64_t n : l2BankAccesses)
+            sum += n;
+        if (sum != l2Accesses)
+            return strprintf("per-bank accesses sum %llu != L2 "
+                             "accesses %llu",
+                             (unsigned long long)sum,
+                             (unsigned long long)l2Accesses);
+        if (l2BankWaitCycles.size() != l2BankAccesses.size())
+            return strprintf("bank wait breakdown has %zu banks, "
+                             "access breakdown %zu",
+                             l2BankWaitCycles.size(),
+                             l2BankAccesses.size());
+        for (std::size_t b = 0; b < l2BankAccesses.size(); ++b) {
+            if (l2BankAccesses[b] == 0 && l2BankWaitCycles[b] != 0)
+                return strprintf("bank %zu queued %llu cycles with "
+                                 "zero accesses",
+                                 b,
+                                 (unsigned long long)l2BankWaitCycles[b]);
+        }
+    }
+    for (std::size_t h = 0; h < hotLines.size(); ++h) {
+        if (hotLines[h].events == 0)
+            return strprintf("hot line %zu exported with zero events", h);
+        if (h > 0 && hotLines[h].events > hotLines[h - 1].events)
+            return strprintf("hot-line ranking not descending at %zu", h);
+    }
     for (std::size_t g = 0; g < threads.size(); ++g) {
         const ThreadStats &t = threads[g];
         if (t.atomicSuccesses > t.atomicAttempts)

@@ -12,6 +12,7 @@
 #define GLSC_STATS_STATS_H_
 
 #include <array>
+#include <cstddef>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -22,6 +23,16 @@ namespace glsc {
 
 /** Log2 buckets of the retries-until-success histogram. */
 constexpr int kRetryHistBuckets = 16;
+
+/** Most hot lines the counting trace sink exports into SystemStats. */
+constexpr std::size_t kHotLineExportMax = 8;
+
+/** One contended line in the hotness breakdown (loss events on it). */
+struct LineHotness
+{
+    Addr line = kNoAddr;
+    std::uint64_t events = 0;
+};
 
 /** Why an individual GLSC lane operation failed. */
 enum class LaneFailure
@@ -49,7 +60,12 @@ struct ThreadStats
     std::uint64_t maxConsecAtomicFailures = 0;
     Tick lastProgressTick = 0;  //!< tick of the last successful atomic
     Tick lastRetireTick = 0;    //!< tick the last instruction issued
-    Addr lastFailedLine = 0;    //!< line of the most recent failed atomic
+    /**
+     * Line of the most recent failed atomic, or kNoAddr when the
+     * thread has never failed one.  Address 0 is a legal simulated
+     * location, so 0 cannot double as "never".
+     */
+    Addr lastFailedLine = kNoAddr;
 
     // Retry/backoff framework (src/core/retry.h).
     std::uint64_t scalarFallbacks = 0; //!< vector loops degraded to ll/sc
@@ -110,6 +126,16 @@ struct SystemStats
     bool livelockDetected = false;
     std::vector<int> starvingThreads;  //!< global ids, ascending
     std::string livelockReport;        //!< full diagnostic dump
+
+    // Observability breakdowns (src/obs/trace.h): populated at end of
+    // run by a CountingSink when a tracer is installed, empty
+    // otherwise.  Indexed by L2 bank id; sums must match the aggregate
+    // counters (consistencyError checks, tests/test_trace.cc
+    // cross-checks).
+    std::vector<std::uint64_t> l2BankAccesses;
+    std::vector<std::uint64_t> l2BankWaitCycles;
+    /** Lines losing the most reservations, hottest first. */
+    std::vector<LineHotness> hotLines;
 
     /** Sum of dynamic instructions over all threads. */
     std::uint64_t totalInstructions() const;

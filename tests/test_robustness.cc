@@ -15,6 +15,7 @@
 #include "core/retry.h"
 #include "core/vatomic.h"
 #include "kernels/registry.h"
+#include "robust/watchdog.h"
 #include "sim/system.h"
 #include "verify/ref_model.h"
 
@@ -329,6 +330,51 @@ TEST(FaultDeterminism, IdenticalConfigGivesIdenticalSchedule)
     EXPECT_EQ(a.stats.faultDelayCycles, b.stats.faultDelayCycles);
     EXPECT_EQ(a.stats.retryHistogram(), b.stats.retryHistogram());
     EXPECT_EQ(a.stats.scFailureRate(), b.stats.scFailureRate());
+}
+
+// ----- lastFailedLine sentinel. ------------------------------------
+
+TEST(LastFailedLine, AddressZeroIsDistinguishableFromNever)
+{
+    // Address 0 is a legal simulated location, so "never failed" must
+    // be the kNoAddr sentinel, not 0.  Two SMT threads hammer a
+    // counter AT line 0 under a fault storm (guaranteed sc failures);
+    // a third hardware thread never runs an atomic at all.
+    static_assert(kNoAddr != 0, "sentinel must not alias address 0");
+    EXPECT_EQ(ThreadStats{}.lastFailedLine, kNoAddr);
+
+    SystemConfig cfg = SystemConfig::make(2, 2, 4);
+    cfg.faults.spuriousClearRate = 0.5;
+    System sys(cfg);
+    for (int g = 0; g < 2; ++g) {
+        sys.spawn(g, [&](SimThread &t) -> Task<void> {
+            for (int i = 0; i < 20; ++i)
+                co_await scalarAtomicIncU32(t, 0);
+        });
+    }
+    sys.spawn(2, [&](SimThread &t) -> Task<void> {
+        co_await t.exec(10); // no atomics: must stay at the sentinel
+    });
+    SystemStats stats = sys.run(10'000'000);
+
+    EXPECT_EQ(sys.memory().readU32(0), 40u);
+    std::uint64_t failures = 0;
+    for (int g = 0; g < 2; ++g) {
+        const ThreadStats &ts = stats.threads[g];
+        failures += ts.atomicAttempts - ts.atomicSuccesses;
+        if (ts.atomicAttempts > ts.atomicSuccesses) {
+            // A real failure on line 0 records 0, not the sentinel.
+            EXPECT_EQ(ts.lastFailedLine, 0u);
+        }
+    }
+    EXPECT_GT(failures, 0u) << "fault storm produced no sc failures";
+    EXPECT_EQ(stats.threads[2].lastFailedLine, kNoAddr);
+    // The progress dump prints "never", not a fake line address.
+    std::string dump = threadProgressDump(stats, stats.cycles);
+    EXPECT_EQ(dump.find(strprintf("0x%llx",
+                                  (unsigned long long)kNoAddr)),
+              std::string::npos)
+        << dump;
 }
 
 TEST(FaultDeterminism, SeedChangesSchedule)

@@ -1,0 +1,253 @@
+/**
+ * @file
+ * Stats-JSON schema tests (src/obs/stats_json.h): canonical round-
+ * trips, strict-parser rejection cases, and the anti-drift gates --
+ * the checked-in field list below and the schema version pin must be
+ * updated TOGETHER with any SystemStats/ThreadStats change, so a new
+ * counter cannot slip into the artifact format silently.
+ */
+
+#include <gtest/gtest.h>
+
+#include "kernels/registry.h"
+#include "obs/stats_json.h"
+#include "obs/trace.h"
+
+namespace glsc {
+namespace {
+
+/**
+ * The schema, spelled out.  This is intentionally a verbatim copy,
+ * NOT a call into the X-macros: if statsJsonFieldList() changes (a
+ * field added, removed, renamed or reordered), this test fails until
+ * someone consciously re-approves the schema here and bumps
+ * kStatsJsonSchemaVersion.
+ */
+const char *const kExpectedFields[] = {
+    "schema",
+    // SystemStats scalars.
+    "cycles",
+    "l1Accesses",
+    "l1Hits",
+    "l1Misses",
+    "l1AtomicAccesses",
+    "l1AccessesCombined",
+    "prefetchesIssued",
+    "prefetchesUseful",
+    "l2Accesses",
+    "l2Misses",
+    "invalidationsSent",
+    "writebacks",
+    "llOps",
+    "scAttempts",
+    "scFailures",
+    "gatherLinkInstrs",
+    "scatterCondInstrs",
+    "glscLaneAttempts",
+    "glscLaneFailAlias",
+    "glscLaneFailLost",
+    "glscLaneFailPolicy",
+    "gsuInstrs",
+    "gsuCacheRequests",
+    "gsuConflictStallCycles",
+    "faultsSpuriousClear",
+    "faultsEvictLinked",
+    "faultsStealReservation",
+    "faultsBufferOverflow",
+    "faultsDelay",
+    "faultDelayCycles",
+    // Structured fields.
+    "livelockDetected",
+    "starvingThreads",
+    "livelockReport",
+    "l2BankAccesses",
+    "l2BankWaitCycles",
+    "hotLines",
+    "threads",
+    // ThreadStats scalars.
+    "threads[].instructions",
+    "threads[].memStallCycles",
+    "threads[].syncCycles",
+    "threads[].doneTick",
+    "threads[].atomicAttempts",
+    "threads[].atomicSuccesses",
+    "threads[].consecAtomicFailures",
+    "threads[].maxConsecAtomicFailures",
+    "threads[].lastProgressTick",
+    "threads[].lastRetireTick",
+    "threads[].lastFailedLine",
+    "threads[].scalarFallbacks",
+    "threads[].retryHist",
+};
+
+TEST(StatsJsonSchema, VersionIsPinned)
+{
+    // Bumping the version is a conscious act: update this pin and the
+    // field list together with the format change.
+    EXPECT_EQ(kStatsJsonSchemaVersion, 1);
+}
+
+TEST(StatsJsonSchema, FieldListMatchesCheckedInCopy)
+{
+    std::vector<std::string> got = statsJsonFieldList();
+    std::vector<std::string> want(std::begin(kExpectedFields),
+                                  std::end(kExpectedFields));
+    EXPECT_EQ(got, want)
+        << "exported schema drifted: re-approve the field list in "
+           "this test and bump kStatsJsonSchemaVersion";
+}
+
+/** A stats object with every field kind populated. */
+SystemStats
+sampleStats()
+{
+    SystemStats s;
+    s.cycles = 123456;
+    s.l1Accesses = 1000;
+    s.l1Hits = 900;
+    s.l1Misses = 100;
+    s.l2Accesses = 7;
+    s.invalidationsSent = 3;
+    s.llOps = 42;
+    s.scAttempts = 42;
+    s.scFailures = 5;
+    s.livelockDetected = true;
+    s.starvingThreads = {1, 3};
+    s.livelockReport = "line1\nwith \"quotes\" and\ttabs";
+    s.l2BankAccesses = {3, 4};
+    s.l2BankWaitCycles = {0, 9};
+    s.hotLines = {{0x1000, 8}, {0x0, 2}};
+    s.threads.resize(2);
+    s.threads[0].instructions = 11;
+    s.threads[0].lastFailedLine = kNoAddr; // never failed
+    s.threads[1].lastFailedLine = 0;       // failed on line 0
+    s.threads[1].retryHist[0] = 4;
+    s.threads[1].retryHist[15] = 1;
+    return s;
+}
+
+TEST(StatsJsonRoundTrip, ExportParseReExportIsByteIdentical)
+{
+    SystemStats s = sampleStats();
+    std::string doc = statsToJson(s);
+    SystemStats parsed;
+    std::string err;
+    ASSERT_TRUE(statsFromJson(doc, parsed, &err)) << err;
+    EXPECT_EQ(statsToJson(parsed), doc);
+    // Spot-check the trickier fields survived.
+    EXPECT_EQ(parsed.livelockReport, s.livelockReport);
+    EXPECT_EQ(parsed.starvingThreads, s.starvingThreads);
+    ASSERT_EQ(parsed.hotLines.size(), 2u);
+    EXPECT_EQ(parsed.hotLines[0].line, 0x1000u);
+    ASSERT_EQ(parsed.threads.size(), 2u);
+    EXPECT_EQ(parsed.threads[0].lastFailedLine, kNoAddr);
+    EXPECT_EQ(parsed.threads[1].lastFailedLine, 0u);
+    EXPECT_EQ(parsed.threads[1].retryHist, s.threads[1].retryHist);
+}
+
+TEST(StatsJsonRoundTrip, RealRunRoundTrips)
+{
+    SystemConfig cfg = SystemConfig::make(2, 2, 4);
+    Tracer tracer;
+    CountingSink counting;
+    tracer.addSink(&counting);
+    cfg.tracer = &tracer; // populate the observability breakdowns too
+    RunResult r = runBenchmark("HIP", 0, Scheme::Glsc, cfg, 0.02, 5);
+    ASSERT_TRUE(r.verified) << r.detail;
+    std::string doc = statsToJson(r.stats);
+    SystemStats parsed;
+    std::string err;
+    ASSERT_TRUE(statsFromJson(doc, parsed, &err)) << err;
+    EXPECT_EQ(statsToJson(parsed), doc);
+    EXPECT_EQ(parsed.cycles, r.stats.cycles);
+    EXPECT_EQ(parsed.l2BankAccesses, r.stats.l2BankAccesses);
+}
+
+TEST(StatsJsonParser, RejectsUnknownField)
+{
+    std::string doc = statsToJson(sampleStats());
+    std::size_t pos = doc.find("\"cycles\":");
+    ASSERT_NE(pos, std::string::npos);
+    doc.insert(pos, "\"bogusCounter\": 1,\n  ");
+    SystemStats parsed;
+    std::string err;
+    EXPECT_FALSE(statsFromJson(doc, parsed, &err));
+    EXPECT_NE(err.find("bogusCounter"), std::string::npos) << err;
+}
+
+TEST(StatsJsonParser, RejectsMissingField)
+{
+    std::string doc = statsToJson(sampleStats());
+    std::size_t pos = doc.find("  \"writebacks\":");
+    ASSERT_NE(pos, std::string::npos);
+    std::size_t eol = doc.find('\n', pos);
+    doc.erase(pos, eol - pos + 1);
+    SystemStats parsed;
+    EXPECT_FALSE(statsFromJson(doc, parsed));
+}
+
+TEST(StatsJsonParser, RejectsWrongSchemaVersion)
+{
+    std::string doc = statsToJson(sampleStats());
+    std::size_t pos = doc.find("\"schema\": 1");
+    ASSERT_NE(pos, std::string::npos);
+    doc.replace(pos, 11, "\"schema\": 2");
+    SystemStats parsed;
+    std::string err;
+    EXPECT_FALSE(statsFromJson(doc, parsed, &err));
+    EXPECT_NE(err.find("schema"), std::string::npos) << err;
+}
+
+TEST(StatsJsonParser, RejectsGarbage)
+{
+    SystemStats parsed;
+    EXPECT_FALSE(statsFromJson("", parsed));
+    EXPECT_FALSE(statsFromJson("{", parsed));
+    EXPECT_FALSE(statsFromJson("[1, 2]", parsed));
+}
+
+// ----- consistencyError coverage for the new breakdowns. -----------
+
+TEST(StatsConsistency, BankSumMustMatchL2Accesses)
+{
+    SystemStats s;
+    s.l1Accesses = 0;
+    s.l2Accesses = 10;
+    s.l2BankAccesses = {4, 4}; // sums to 8, not 10
+    s.l2BankWaitCycles = {0, 0};
+    EXPECT_NE(s.consistencyError(), "");
+    s.l2BankAccesses = {6, 4};
+    EXPECT_EQ(s.consistencyError(), "") << s.consistencyError();
+}
+
+TEST(StatsConsistency, BankVectorSizesMustAgree)
+{
+    SystemStats s;
+    s.l2Accesses = 4;
+    s.l2BankAccesses = {4};
+    s.l2BankWaitCycles = {0, 0};
+    EXPECT_NE(s.consistencyError(), "");
+}
+
+TEST(StatsConsistency, IdleBankCannotAccumulateWait)
+{
+    SystemStats s;
+    s.l2Accesses = 4;
+    s.l2BankAccesses = {4, 0};
+    s.l2BankWaitCycles = {0, 7}; // waited behind a bank never accessed
+    EXPECT_NE(s.consistencyError(), "");
+}
+
+TEST(StatsConsistency, HotLinesMustBeSortedAndNonEmpty)
+{
+    SystemStats s;
+    s.hotLines = {{0x40, 2}, {0x80, 5}}; // ascending: not hottest-first
+    EXPECT_NE(s.consistencyError(), "");
+    s.hotLines = {{0x80, 5}, {0x40, 0}}; // zero-event entry
+    EXPECT_NE(s.consistencyError(), "");
+    s.hotLines = {{0x80, 5}, {0x40, 2}};
+    EXPECT_EQ(s.consistencyError(), "") << s.consistencyError();
+}
+
+} // namespace
+} // namespace glsc
