@@ -61,10 +61,12 @@ parseArgs(int argc, char **argv, double default_scale)
             opt.jsonPath = argv[++i];
         } else if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
             opt.tracePath = argv[++i];
+        } else if (std::strcmp(argv[i], "--noc-armed") == 0) {
+            opt.nocArmed = true;
         } else {
             std::fprintf(stderr,
                          "usage: %s [--scale f] [--seed n] [--quick]"
-                         " [--json path] [--trace path]\n",
+                         " [--json path] [--trace path] [--noc-armed]\n",
                          argv[0]);
             std::exit(2);
         }
@@ -97,6 +99,8 @@ runChecked(const std::string &bench, int dataset, Scheme scheme,
         }
         runCfg.tracer = &st.tracer;
     }
+    if (opt.nocArmed)
+        runCfg.noc.protocol = true;
     RunResult r =
         runBenchmark(bench, dataset, scheme, runCfg, opt.scale, opt.seed);
     if (!r.verified) {

@@ -8,6 +8,8 @@
  *   --quick       quarter-scale smoke run
  *   --json <p>    write the run statistics as BENCH JSON to <p>
  *   --trace <p>   attach a tracer and write a Chrome trace to <p>
+ *   --noc-armed   arm the NoC message layer (fault-free: must not
+ *                 change any table -- CI diffs armed vs. unarmed)
  *
  * With --json, every runChecked invocation is recorded and
  * writeArtifacts persists them as one machine-readable document
@@ -37,6 +39,7 @@ struct Options
     std::uint64_t seed = 1;
     std::string jsonPath;  //!< --json destination ("" = off)
     std::string tracePath; //!< --trace destination ("" = off)
+    bool nocArmed = false; //!< --noc-armed: NocConfig::protocol on
 };
 
 Options parseArgs(int argc, char **argv, double default_scale);

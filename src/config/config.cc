@@ -33,6 +33,18 @@ SystemConfig::validate() const
         !rate(faults.stealReservationRate) ||
         !rate(faults.bufferOverflowRate) || !rate(faults.delayRate))
         GLSC_FATAL("fault rates must be probabilities in [0, 1]");
+    if (!rate(faults.nocDropRate) || !rate(faults.nocDuplicateRate) ||
+        !rate(faults.nocReorderRate) || !rate(faults.nocDelayRate))
+        GLSC_FATAL("NoC fault rates must be probabilities in [0, 1]");
+    if (faults.nocDropRate >= 1.0)
+        GLSC_FATAL("a NoC drop rate of 1.0 can never converge");
+    if (noc.bankQueueDepth < 1 || noc.timeoutCycles < 1 ||
+        noc.maxRetransmits < 1 || noc.reorderWindow < 1)
+        GLSC_FATAL("NoC queue depth, timeout, retransmit budget and "
+                   "reorder window must be positive");
+    if (noc.retransmit.base < 1 || noc.retransmit.cap < 1)
+        GLSC_FATAL("NoC retransmit backoff base and cap must be at "
+                   "least 1 cycle");
     if (retry.base < 1 || retry.cap < 1)
         GLSC_FATAL("retry base and cap must be at least 1 cycle");
     if (retry.fallbackAfter < 0)

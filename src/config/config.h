@@ -91,6 +91,11 @@ struct SystemConfig
     RetryPolicy retry;
     WatchdogConfig watchdog;
 
+    // Transaction-level NoC message layer (src/noc/interconnect.h):
+    // armed by noc.protocol or by any FaultConfig NoC fault rate;
+    // unarmed runs keep the pure latency-calculator behaviour.
+    NocConfig noc;
+
     /**
      * Differential-verification shadow (not a Table-1 parameter): the
      * MemorySystem notifies this observer at every serialization

@@ -31,6 +31,9 @@ MemorySystem::MemorySystem(const SystemConfig &cfg, EventQueue &events,
         injector_ = std::make_unique<FaultInjector>(cfg_, stats_, *this);
     observer_ = cfg.memObserver;
     tracer_ = cfg.tracer;
+    noc_.attach(&events_, &stats_);
+    noc_.setTracer(tracer_);
+    noc_.setInjector(injector_.get());
     if (observer_ != nullptr)
         observer_->onAttach(cfg_, mem_);
 }
@@ -278,7 +281,8 @@ MemorySystem::evictL2(L2Line &way)
 }
 
 Tick
-MemorySystem::lineAccess(CoreId c, Addr line, bool needM, bool isPrefetch)
+MemorySystem::lineAccess(CoreId c, Addr line, bool needM, bool isPrefetch,
+                         ThreadId t)
 {
     GLSC_ASSERT(lineOffset(line) == 0, "lineAccess on unaligned %llx",
                 (unsigned long long)line);
@@ -315,10 +319,14 @@ MemorySystem::lineAccess(CoreId c, Addr line, bool needM, bool isPrefetch)
         stats_.l1Misses++;
 
     // --- Directory transaction. ---
+    // The request leg rides the NoC message layer: begin() resolves
+    // delivery (and, when armed, the whole loss/NACK/retransmission
+    // dialogue) and reserves the bank's service slot.  Unarmed it is
+    // exactly the legacy arrival-and-reserve computation.
     Tick now = events_.now();
     int bank = noc_.bankOf(line);
-    Tick arrival = now + cfg_.l1Latency + noc_.hopLatency(c, bank);
-    Tick start = noc_.reserveBank(bank, arrival);
+    NocTxn txn = noc_.begin(c, t, line, bank, now + cfg_.l1Latency);
+    Tick start = txn.serviceStart;
     Tick lat = (start - now) + cfg_.l2Latency;
     stats_.l2Accesses++;
     if (tracer_ != nullptr) {
@@ -328,7 +336,7 @@ MemorySystem::lineAccess(CoreId c, Addr line, bool needM, bool isPrefetch)
         e.core = c;
         e.line = line;
         e.a = static_cast<std::uint64_t>(bank);
-        e.b = start - arrival; // cycles queued behind the bank
+        e.b = start - txn.deliveredTick; // cycles queued behind the bank
         tracer_->emit(e);
     }
 
@@ -429,9 +437,13 @@ MemorySystem::lineAccess(CoreId c, Addr line, bool needM, bool isPrefetch)
     if (injector_ != nullptr)
         lat += injector_->delayPenalty(); // injected NoC/bank stretch
 
-    lat += noc_.hopLatency(c, bank); // reply traversal
-    mshr_[c][line] = now + lat;
-    return lat;
+    // The reply leg: complete() adds the reply traversal and, when
+    // armed, resolves reply loss (timeout -> retransmit -> bank-side
+    // dedup -> reply re-send) and schedules the transaction's
+    // retirement at the completion tick.
+    Tick done = noc_.complete(txn, now + lat);
+    mshr_[c][line] = done;
+    return done - now;
 }
 
 ScalarResult
@@ -457,21 +469,21 @@ MemorySystem::accessImpl(CoreId c, ThreadId t, Addr a, int size,
     ScalarResult res;
     switch (type) {
       case MemOpType::Load:
-        res.latency = lineAccess(c, line, false, false);
+        res.latency = lineAccess(c, line, false, false, t);
         res.data = mem_.read(a, size);
         break;
 
       case MemOpType::LoadLinked: {
         stats_.llOps++;
         stats_.l1AtomicAccesses++;
-        res.latency = lineAccess(c, line, false, false);
+        res.latency = lineAccess(c, line, false, false, t);
         res.data = mem_.read(a, size);
         linkLine(c, t, line, LinkOrigin::LoadLinked);
         break;
       }
 
       case MemOpType::Store: {
-        res.latency = lineAccess(c, line, true, false);
+        res.latency = lineAccess(c, line, true, false, t);
         mem_.write(a, wdata, size);
         // Intervening write kills any reservation.
         clearLink(c, line, ClearCause::Write, t);
@@ -508,7 +520,7 @@ MemorySystem::accessImpl(CoreId c, ThreadId t, Addr a, int size,
             noteAtomicOutcome(c, t, line, false);
             break;
         }
-        res.latency = lineAccess(c, line, true, false);
+        res.latency = lineAccess(c, line, true, false, t);
         mem_.write(a, wdata, size);
         if (tracer_ != nullptr) {
             // Success is traced before the clear that consumes the
@@ -530,7 +542,7 @@ MemorySystem::accessImpl(CoreId c, ThreadId t, Addr a, int size,
 
       case MemOpType::Prefetch:
         stats_.prefetchesIssued++;
-        res.latency = lineAccess(c, line, false, true);
+        res.latency = lineAccess(c, line, false, true, t);
         break;
     }
     return res;
@@ -575,7 +587,7 @@ MemorySystem::gatherLineImpl(CoreId c, ThreadId t,
         if (cfg_.glsc.failOnMiss && (l == nullptr || !l->valid())) {
             // Fail fast but start the fill so a retry will succeed.
             stats_.prefetchesIssued++;
-            lineAccess(c, line, false, true);
+            lineAccess(c, line, false, true, t);
             stats_.l1Accesses++;
             stats_.l1Hits++; // tag probe only
             res.latency = cfg_.l1Latency;
@@ -584,7 +596,7 @@ MemorySystem::gatherLineImpl(CoreId c, ThreadId t,
         }
     }
 
-    res.latency = lineAccess(c, line, false, false);
+    res.latency = lineAccess(c, line, false, false, t);
     for (const auto &ln : lanes)
         res.data[ln.lane] = mem_.read(ln.addr, size);
     if (linked) {
@@ -650,7 +662,7 @@ MemorySystem::scatterLineImpl(CoreId c, ThreadId t,
         }
     }
 
-    res.latency = lineAccess(c, line, true, false);
+    res.latency = lineAccess(c, line, true, false, t);
     for (const auto &ln : lanes)
         mem_.write(ln.addr, ln.wdata, size);
     if (conditional && tracer_ != nullptr) {

@@ -202,6 +202,10 @@ class MemorySystem
      */
     FaultInjector *faultInjector() { return injector_.get(); }
 
+    /** The on-die interconnect (watchdog NoC dump, tests). */
+    Interconnect &noc() { return noc_; }
+    const Interconnect &noc() const { return noc_; }
+
     /** Inclusion: every valid L1 line has a valid L2 line. */
     bool checkInclusion() const;
     /** Directory: sharers/owner agree with actual L1 states. */
@@ -295,9 +299,12 @@ class MemorySystem
      * L1 with at least Shared (or Modified when @p needM) state and
      * returns the access latency.  Applies all state transitions
      * (victim eviction, remote invalidation/downgrade, directory
-     * updates) immediately.
+     * updates) immediately.  @p t identifies the requesting hardware
+     * thread for the NoC message layer's transaction ids (-1 for
+     * threadless requests such as contiguous vector traffic).
      */
-    Tick lineAccess(CoreId c, Addr line, bool needM, bool isPrefetch);
+    Tick lineAccess(CoreId c, Addr line, bool needM, bool isPrefetch,
+                    ThreadId t = -1);
 
     /** Evicts an L1 victim: writeback + directory update. */
     void evictL1(CoreId c, L1Line &way);

@@ -1,0 +1,347 @@
+#include "noc/interconnect.h"
+
+#include "core/retry.h"
+#include "obs/trace.h"
+#include "robust/fault_injector.h"
+#include "sim/event_queue.h"
+#include "stats/stats.h"
+
+namespace glsc {
+
+int
+Interconnect::queuedAt(int bank, Tick arrival) const
+{
+    Tick backlog =
+        bankFree_[bank] > arrival ? bankFree_[bank] - arrival : 0;
+    return static_cast<int>((backlog + bankOccupancy_ - 1) /
+                            std::max<Tick>(bankOccupancy_, 1));
+}
+
+Interconnect::Roll
+Interconnect::rollFor(bool reply)
+{
+    Roll r;
+    if (injector_ != nullptr) {
+        NocMessageFaults f = injector_->rollNocMessage();
+        r.drop = f.drop;
+        r.duplicate = f.duplicate;
+        r.reorder = f.reorder;
+        r.delay = f.delay;
+    }
+    if (!reply && dropNextRequest_) {
+        dropNextRequest_ = false;
+        r.drop = true;
+    }
+    if (reply && dropNextReply_) {
+        dropNextReply_ = false;
+        r.drop = true;
+    }
+    return r;
+}
+
+Tick
+Interconnect::backoffDelay(const NocTxn &txn, std::uint64_t round)
+{
+    int gid = txn.core * threadsPerCore_ + std::max<ThreadId>(txn.tid, 0);
+    return static_cast<Tick>(retryDelayFor(
+        noc_.retransmit, BackoffDomain::Vector, gid, round, backoffRng_));
+}
+
+void
+Interconnect::trace(TraceEventType type, const NocTxn &txn, Tick tick,
+                    std::uint64_t b)
+{
+    if (tracer_ == nullptr)
+        return;
+    TraceEvent e;
+    e.tick = tick;
+    e.type = type;
+    e.core = txn.core;
+    e.tid = txn.tid;
+    e.line = txn.line;
+    e.a = txn.seq;
+    e.b = b;
+    tracer_->emit(e);
+}
+
+Tick
+Interconnect::driveRequest(NocTxn &txn, Tick send, bool retransmission)
+{
+    const std::uint64_t leg =
+        static_cast<std::uint64_t>(NocLeg::Request);
+    for (;;) {
+        GLSC_ASSERT(txn.rounds <=
+                        static_cast<std::uint64_t>(noc_.maxRetransmits),
+                    "NoC transaction seq %llu exceeded its retransmit "
+                    "budget of %d (drop rate too hostile?)",
+                    (unsigned long long)txn.seq, noc_.maxRetransmits);
+        txn.messages++;
+        stats_->nocMessagesSent++;
+        trace(TraceEventType::NocSend, txn, send, leg);
+
+        Roll roll = rollFor(false);
+        if (roll.drop) {
+            // Lost in flight: the end-to-end timer fires a timeout
+            // one full window after this send, the core backs off
+            // and retransmits.
+            stats_->nocDropsInjected++;
+            trace(TraceEventType::NocDrop, txn, send, leg);
+            Tick deadline = send + noc_.timeoutCycles;
+            txn.rounds++;
+            stats_->nocTimeouts++;
+            trace(TraceEventType::NocTimeout, txn, deadline, txn.rounds);
+            send = deadline + backoffDelay(txn, txn.rounds);
+            stats_->nocRetransmits++;
+            trace(TraceEventType::NocRetransmit, txn, send, txn.rounds);
+            // Note: a dropped message never reached the bank, so the
+            // retransmission is only a dedup hit when an EARLIER copy
+            // of this request was delivered (retransmission == true
+            // from the reply-loss path); a fresh request stays fresh.
+            continue;
+        }
+
+        Tick arrival = send + hopLatency(txn.core, txn.bank);
+        if (roll.delay > 0) {
+            stats_->nocDelaysInjected++;
+            stats_->nocFaultDelayCycles += roll.delay;
+            arrival += roll.delay;
+        }
+        if (roll.reorder) {
+            // Delivered out of order: the message sat out one reorder
+            // window behind younger traffic.
+            stats_->nocReordersInjected++;
+            trace(TraceEventType::NocReorder, txn, arrival,
+                  noc_.reorderWindow);
+            arrival += noc_.reorderWindow;
+        }
+
+        int queued = queuedAt(txn.bank, arrival);
+        if (queued >= noc_.bankQueueDepth) {
+            // Ingress queue full: the bank NACKs; the rejection rides
+            // the reply path back, the core backs off, retransmits.
+            // The NACK carries a retry-after hint -- the earliest
+            // arrival at which the queue will have drained below
+            // capacity -- because capped backoff alone advances the
+            // retry only ~cap cycles per round, and a deeply
+            // backlogged bank (congestion collapse under loss) would
+            // otherwise burn the whole retransmit budget on NACKs.
+            stats_->nocNacks++;
+            trace(TraceEventType::NocNack, txn, arrival,
+                  static_cast<std::uint64_t>(queued));
+            txn.rounds++;
+            Tick hop = hopLatency(txn.core, txn.bank);
+            Tick depthCycles =
+                static_cast<Tick>(noc_.bankQueueDepth - 1) *
+                bankOccupancy_;
+            Tick okArrival = bankFree_[txn.bank] > depthCycles
+                                 ? bankFree_[txn.bank] - depthCycles
+                                 : 0;
+            send = arrival + hop + backoffDelay(txn, txn.rounds);
+            if (send + hop < okArrival)
+                send = okArrival - hop;
+            stats_->nocRetransmits++;
+            trace(TraceEventType::NocRetransmit, txn, send, txn.rounds);
+            continue;
+        }
+
+        txn.lastSend = send;
+        if (retransmission) {
+            // The original request already reached the bank; the
+            // (core, seq) filter absorbs this copy, but it still
+            // occupies an ingress slot and a service slot (the bank
+            // must look it up to know it is stale).
+            stats_->nocDedupHits++;
+            trace(TraceEventType::NocDeliver, txn, arrival,
+                  static_cast<std::uint64_t>(
+                      NocDeliverKind::DedupRequest));
+        } else {
+            trace(TraceEventType::NocDeliver, txn, arrival,
+                  static_cast<std::uint64_t>(NocDeliverKind::Request));
+            dedup_.insert({txn.core, txn.seq});
+        }
+
+        if (roll.duplicate) {
+            // A duplicated copy arrives right behind the original:
+            // the dedup filter drops it, but it burns one bank slot.
+            stats_->nocDupsInjected++;
+            stats_->nocDedupHits++;
+            trace(TraceEventType::NocDuplicate, txn, arrival, 0);
+            reserveBank(txn.bank, arrival);
+        }
+        return arrival;
+    }
+}
+
+NocTxn
+Interconnect::begin(CoreId c, ThreadId t, Addr line, int bank, Tick send)
+{
+    NocTxn txn;
+    txn.core = c;
+    txn.tid = t;
+    txn.line = line;
+    txn.bank = bank;
+    txn.sendTick = send;
+    txn.lastSend = send;
+
+    if (!armed_) {
+        txn.deliveredTick = send + hopLatency(c, bank);
+        txn.serviceStart = reserveBank(bank, txn.deliveredTick);
+        return txn;
+    }
+
+    GLSC_ASSERT(events_ != nullptr && stats_ != nullptr,
+                "armed interconnect used before attach()");
+    pruneRetired(events_->now());
+    txn.seq = ++nextSeq_;
+    stats_->nocTransactions++;
+    txn.deliveredTick = driveRequest(txn, send, false);
+    txn.serviceStart = reserveBank(bank, txn.deliveredTick);
+    outstanding_.emplace(
+        txn.seq, Outstanding{c, t, line, bank, send, txn.rounds});
+    return txn;
+}
+
+Tick
+Interconnect::complete(NocTxn &txn, Tick replyLeave)
+{
+    Tick hop = hopLatency(txn.core, txn.bank);
+    if (!armed_)
+        return replyLeave + hop;
+
+    const std::uint64_t leg = static_cast<std::uint64_t>(NocLeg::Reply);
+    Tick leave = replyLeave;
+    Tick deadline = txn.lastSend + noc_.timeoutCycles;
+    Tick done;
+    for (;;) {
+        txn.messages++;
+        stats_->nocMessagesSent++;
+        trace(TraceEventType::NocSend, txn, leave, leg);
+
+        Roll roll = rollFor(true);
+        if (!roll.drop) {
+            Tick arrive = leave + hop;
+            if (roll.delay > 0) {
+                stats_->nocDelaysInjected++;
+                stats_->nocFaultDelayCycles += roll.delay;
+                arrive += roll.delay;
+            }
+            if (roll.reorder) {
+                stats_->nocReordersInjected++;
+                trace(TraceEventType::NocReorder, txn, arrive,
+                      noc_.reorderWindow);
+                arrive += noc_.reorderWindow;
+            }
+            if (arrive > deadline) {
+                // The reply is late but not lost: the core has
+                // already timed out and retransmitted.  The stale
+                // copy hits the bank's dedup filter and dies there;
+                // the original reply still completes the
+                // transaction when it lands.
+                txn.rounds++;
+                stats_->nocTimeouts++;
+                trace(TraceEventType::NocTimeout, txn, deadline,
+                      txn.rounds);
+                Tick resend = deadline + backoffDelay(txn, txn.rounds);
+                stats_->nocRetransmits++;
+                trace(TraceEventType::NocRetransmit, txn, resend,
+                      txn.rounds);
+                stats_->nocMessagesSent++;
+                txn.messages++;
+                trace(TraceEventType::NocSend, txn, resend,
+                      static_cast<std::uint64_t>(NocLeg::Request));
+                stats_->nocDedupHits++;
+                trace(TraceEventType::NocDeliver, txn, resend + hop,
+                      static_cast<std::uint64_t>(
+                          NocDeliverKind::DedupRequest));
+                reserveBank(txn.bank, resend + hop);
+            }
+            trace(TraceEventType::NocDeliver, txn, arrive,
+                  static_cast<std::uint64_t>(NocDeliverKind::Reply));
+            done = arrive;
+            break;
+        }
+
+        // Reply lost: the end-to-end timer fires, the core backs off
+        // and retransmits the request; the bank recognizes the
+        // duplicate via the (core, seq) filter and re-sends the
+        // cached reply after one service slot.
+        stats_->nocDropsInjected++;
+        trace(TraceEventType::NocDrop, txn, leave, leg);
+        txn.rounds++;
+        stats_->nocTimeouts++;
+        trace(TraceEventType::NocTimeout, txn, deadline, txn.rounds);
+        Tick resend = deadline + backoffDelay(txn, txn.rounds);
+        stats_->nocRetransmits++;
+        trace(TraceEventType::NocRetransmit, txn, resend, txn.rounds);
+
+        Tick reqArrival = driveRequest(txn, resend, true);
+        Tick service = reserveBank(txn.bank, reqArrival);
+        leave = service + bankOccupancy_;
+        deadline = txn.lastSend + noc_.timeoutCycles;
+    }
+
+    // Record the retirement tick: the transaction stays in the
+    // in-flight set (and the watchdog's dump) until the simulation
+    // clock passes `done` -- exactly as long as the requester is
+    // architecturally stalled on it.  Pruning is lazy so no event is
+    // scheduled (an extra wake tick would perturb the run loop's idle
+    // fast-forward and break fault-free cycle identity).
+    auto inflight = outstanding_.find(txn.seq);
+    if (inflight != outstanding_.end()) {
+        inflight->second.rounds = txn.rounds;
+        inflight->second.retireAt = done;
+    }
+    trace(TraceEventType::NocRetire, txn, done, txn.messages);
+    return done;
+}
+
+void
+Interconnect::pruneRetired(Tick now)
+{
+    for (auto it = outstanding_.begin(); it != outstanding_.end();) {
+        if (it->second.retireAt <= now) {
+            dedup_.erase({it->second.core, it->first});
+            it = outstanding_.erase(it);
+        } else {
+            ++it;
+        }
+    }
+}
+
+std::size_t
+Interconnect::outstandingCount(Tick now) const
+{
+    std::size_t n = 0;
+    for (const auto &[seq, o] : outstanding_) {
+        (void)seq;
+        if (o.retireAt > now)
+            n++;
+    }
+    return n;
+}
+
+std::string
+Interconnect::inFlightReport(Tick now) const
+{
+    std::size_t stuck = outstandingCount(now);
+    if (stuck == 0)
+        return "";
+    std::string out = strprintf(
+        "in-flight NoC transactions at tick %llu (%zu stuck):\n",
+        (unsigned long long)now, stuck);
+    for (const auto &[seq, o] : outstanding_) {
+        if (o.retireAt <= now)
+            continue;
+        out += strprintf("  seq=%-6llu c%-2d t%-2d line=0x%llx bank=%d "
+                         "age=%llu rounds=%llu\n",
+                         (unsigned long long)seq, o.core, o.tid,
+                         (unsigned long long)o.line, o.bank,
+                         (unsigned long long)(now >= o.sendTick
+                                                  ? now - o.sendTick
+                                                  : 0),
+                         (unsigned long long)o.rounds);
+    }
+    return out;
+}
+
+} // namespace glsc

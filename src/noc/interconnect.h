@@ -3,11 +3,41 @@
  * On-die interconnect model.
  *
  * Cores and L2 bank slices sit on a shared on-die network (paper Fig.
- * 1).  We model it at the transaction level: a message from a core to
- * a bank pays a distance-dependent hop latency, and each bank serializes
- * the requests it receives (bankOccupancy cycles apiece).  This captures
- * the two effects the evaluation depends on -- non-uniform L2 latency
- * and bank contention -- without simulating individual flits.
+ * 1).  The base model is transaction-level: a message from a core to
+ * a bank pays a distance-dependent hop latency, and each bank
+ * serializes the requests it receives (bankOccupancy cycles apiece).
+ * This captures the two effects the evaluation depends on --
+ * non-uniform L2 latency and bank contention -- without simulating
+ * individual flits.
+ *
+ * On top of that sits an optional *message layer* (NocConfig): every
+ * directory transaction becomes a typed request/reply pair carrying a
+ * (core, tid, seq) identity.  Requests land in a finite per-bank
+ * ingress queue that NACKs when full; the core runs an end-to-end
+ * timeout and retransmits with capped-exponential backoff; the bank
+ * deduplicates on (core, seq) so duplicated or retransmitted-but-not-
+ * lost messages are idempotent; and the whole lifecycle (send,
+ * deliver, drop, dup, reorder, nack, timeout, retransmit, retire) is
+ * traced and counted.  The layer is *armed* by NocConfig::protocol or
+ * by enabling any NoC fault class in FaultConfig; when unarmed -- the
+ * default -- begin()/complete() reduce exactly to the legacy latency
+ * computation, so fault-free timing is unchanged, and a fault-free
+ * *armed* run is also cycle-identical because no fault ever fires and
+ * the protocol's bookkeeping adds zero latency
+ * (tests/test_noc_protocol.cc pins both).
+ *
+ * The simulator computes each transaction's full latency at its
+ * acceptance tick (DESIGN.md section 2), so the message layer resolves
+ * the entire retransmission dialogue synchronously at that tick: the
+ * fault schedule is a pure function of the FaultConfig seed, and the
+ * resulting delivery/retirement ticks are deterministic.  A
+ * transaction stays in the in-flight set until its completion tick --
+ * complete() records the retirement tick and the set is pruned
+ * lazily against the current time -- so the watchdog can dump exactly
+ * the transactions whose requesters are still architecturally stalled.
+ * (Scheduling retirements on the event queue instead would inject
+ * extra wake ticks into System::run's idle fast-forward and perturb
+ * fault-free cycle identity.)
  */
 
 #ifndef GLSC_NOC_INTERCONNECT_H_
@@ -15,13 +45,43 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <map>
+#include <set>
+#include <string>
 #include <vector>
 
 #include "config/config.h"
 #include "sim/log.h"
+#include "sim/random.h"
 #include "sim/types.h"
 
 namespace glsc {
+
+class EventQueue;
+class FaultInjector;
+class Tracer;
+struct SystemStats;
+enum class TraceEventType : std::uint8_t;
+
+/**
+ * One directory transaction's passage through the message layer,
+ * returned by Interconnect::begin and consumed by
+ * Interconnect::complete.
+ */
+struct NocTxn
+{
+    CoreId core = -1;
+    ThreadId tid = -1;
+    Addr line = kNoAddr;
+    int bank = -1;
+    std::uint64_t seq = 0;       //!< global sequence number (armed only)
+    Tick sendTick = 0;           //!< first request left the core
+    Tick lastSend = 0;           //!< send tick of the delivered attempt
+    Tick deliveredTick = 0;      //!< request arrival at the bank
+    Tick serviceStart = 0;       //!< bank begins service (reserveBank)
+    std::uint64_t rounds = 0;    //!< retransmit rounds so far
+    std::uint64_t messages = 0;  //!< messages this transaction has cost
+};
 
 /** Transaction-level on-die network with per-bank serialization. */
 class Interconnect
@@ -29,8 +89,10 @@ class Interconnect
   public:
     Interconnect(const SystemConfig &cfg)
         : hopLatency_(cfg.nocHopLatency), bankOccupancy_(cfg.bankOccupancy),
-          cores_(cfg.cores), banks_(cfg.l2Banks),
-          bankFree_(cfg.l2Banks, 0)
+          cores_(cfg.cores), threadsPerCore_(cfg.threadsPerCore),
+          banks_(cfg.l2Banks), noc_(cfg.noc),
+          armed_(cfg.noc.protocol || cfg.faults.anyNocEnabled()),
+          backoffRng_(cfg.noc.retransmit.seed), bankFree_(cfg.l2Banks, 0)
     {
     }
 
@@ -44,19 +106,28 @@ class Interconnect
     Tick
     hopLatency(CoreId core, int bank) const
     {
-        int corePos = (core * banks_) / std::max(cores_, 1);
-        int d = std::abs(corePos - bank);
-        d = std::min(d, banks_ - d);
+        int d = ringDistance(corePos(core), bank);
         // Scale distance into [0, hopLatency_] extra cycles.
         return (static_cast<Tick>(d) * hopLatency_) /
                std::max(banks_ / 2, 1);
     }
 
-    /** One-way latency between two cores (invalidations, forwards). */
+    /**
+     * One-way latency between two cores (invalidations, forwards),
+     * distance-aware on the same logical ring as hopLatency so the
+     * invalidation/forward path is consistent with the bank path.
+     * Distinct cores always pay at least one cycle, even when the
+     * core->ring mapping folds them onto the same position.
+     */
     Tick
     coreToCore(CoreId a, CoreId b) const
     {
-        return a == b ? 0 : hopLatency_;
+        if (a == b)
+            return 0;
+        int d = ringDistance(corePos(a), corePos(b));
+        Tick lat = (static_cast<Tick>(d) * hopLatency_) /
+                   std::max(banks_ / 2, 1);
+        return std::max<Tick>(lat, 1);
     }
 
     /**
@@ -82,12 +153,140 @@ class Interconnect
 
     int banks() const { return banks_; }
 
+    // ----- Message layer. ------------------------------------------
+
+    /** Wires the event queue and counters (MemorySystem ctor). */
+    void
+    attach(EventQueue *events, SystemStats *stats)
+    {
+        events_ = events;
+        stats_ = stats;
+    }
+
+    void setTracer(Tracer *tracer) { tracer_ = tracer; }
+    void setInjector(FaultInjector *injector) { injector_ = injector; }
+
+    bool armed() const { return armed_; }
+
+    /**
+     * Runs the request leg of one directory transaction whose request
+     * leaves core @p c at @p send (the L1 acceptance tick plus the L1
+     * latency): delivery, loss/timeout/retransmission, queue-full
+     * NACK + backoff and bank-slot reservation, per the configured
+     * fault schedule.  Unarmed, this is exactly the legacy
+     * arrival-and-reserve computation.
+     */
+    NocTxn begin(CoreId c, ThreadId t, Addr line, int bank, Tick send);
+
+    /**
+     * Runs the reply leg: the bank's reply leaves at @p replyLeave
+     * (acceptance tick + accumulated service latency).  Handles reply
+     * loss -- timeout, request retransmission, bank-side dedup and
+     * reply re-send -- until a reply reaches the core.  Returns the
+     * transaction's completion tick and schedules its retirement.
+     * Unarmed, returns replyLeave + the reply hop.
+     */
+    Tick complete(NocTxn &txn, Tick replyLeave);
+
+    /**
+     * Transactions still in flight at @p now, i.e. begun but not yet
+     * retired (armed mode; watchdog dump + tests).
+     */
+    std::size_t outstandingCount(Tick now) const;
+
+    /**
+     * Human-readable dump of every in-flight transaction at @p now --
+     * (seq, core, tid, line, bank, age, rounds) -- appended by the
+     * watchdog to its livelock report.  Empty when nothing is stuck.
+     */
+    std::string inFlightReport(Tick now) const;
+
+    // Deterministic single-shot loss hooks for tests: force the next
+    // request (or reply) message to be dropped exactly once,
+    // independent of any configured fault rate.  Armed mode only.
+    void testOnlyDropNextRequest() { dropNextRequest_ = true; }
+    void testOnlyDropNextReply() { dropNextReply_ = true; }
+
   private:
+    struct Outstanding
+    {
+        CoreId core;
+        ThreadId tid;
+        Addr line;
+        int bank;
+        Tick sendTick;
+        std::uint64_t rounds;
+        Tick retireAt = kTickMax; //!< completion tick; kTickMax = open
+    };
+
+    /** Drops every transaction retired at or before @p now. */
+    void pruneRetired(Tick now);
+
+    int
+    corePos(CoreId core) const
+    {
+        return (core * banks_) / std::max(cores_, 1);
+    }
+
+    int
+    ringDistance(int a, int b) const
+    {
+        int d = std::abs(a - b);
+        return std::min(d, banks_ - d);
+    }
+
+    /** Requests the bank's ingress queue would hold at @p arrival. */
+    int queuedAt(int bank, Tick arrival) const;
+
+    /** One message's fault roll (injector rates + test hooks). */
+    struct Roll
+    {
+        bool drop = false;
+        bool duplicate = false;
+        bool reorder = false;
+        Tick delay = 0;
+    };
+    Roll rollFor(bool reply);
+
+    /** Backoff delay for retransmit round @p round of @p txn. */
+    Tick backoffDelay(const NocTxn &txn, std::uint64_t round);
+
+    /**
+     * Sends the request until the bank accepts it: loss -> timeout ->
+     * backoff -> retransmit; queue full -> NACK -> backoff ->
+     * retransmit.  Returns the accepted arrival tick and updates
+     * txn.lastSend/rounds/messages.  @p retransmission marks re-sends
+     * after a reply loss, which hit the dedup filter at the bank.
+     */
+    Tick driveRequest(NocTxn &txn, Tick send, bool retransmission);
+
+    /** Emits one NoC lifecycle event when a tracer is installed. */
+    void trace(TraceEventType type, const NocTxn &txn, Tick tick,
+               std::uint64_t b);
+
     Tick hopLatency_;
     Tick bankOccupancy_;
     int cores_;
+    int threadsPerCore_;
     int banks_;
+    NocConfig noc_;
+    bool armed_;
+    Rng backoffRng_;
     std::vector<Tick> bankFree_; //!< next tick each bank is available
+
+    EventQueue *events_ = nullptr;
+    SystemStats *stats_ = nullptr;
+    Tracer *tracer_ = nullptr;
+    FaultInjector *injector_ = nullptr;
+
+    std::uint64_t nextSeq_ = 0;
+    bool dropNextRequest_ = false;
+    bool dropNextReply_ = false;
+    // Ordered by seq so the watchdog dump is deterministic.  Entries
+    // persist until pruned past their retirement tick.
+    std::map<std::uint64_t, Outstanding> outstanding_;
+    // The banks' (core, seq) dedup filter; erased at retirement.
+    std::set<std::pair<CoreId, std::uint64_t>> dedup_;
 };
 
 } // namespace glsc

@@ -29,7 +29,7 @@
 namespace glsc {
 
 /** Bump whenever the exported field set or layout changes. */
-inline constexpr int kStatsJsonSchemaVersion = 1;
+inline constexpr int kStatsJsonSchemaVersion = 2; // v2: NoC message layer
 
 /**
  * Every scalar counter of SystemStats, in export order.  Tick-typed
@@ -68,7 +68,18 @@ inline constexpr int kStatsJsonSchemaVersion = 1;
     X(faultsStealReservation)                                            \
     X(faultsBufferOverflow)                                              \
     X(faultsDelay)                                                       \
-    X(faultDelayCycles)
+    X(faultDelayCycles)                                                  \
+    X(nocTransactions)                                                   \
+    X(nocMessagesSent)                                                   \
+    X(nocNacks)                                                          \
+    X(nocTimeouts)                                                       \
+    X(nocRetransmits)                                                    \
+    X(nocDedupHits)                                                      \
+    X(nocDropsInjected)                                                  \
+    X(nocDupsInjected)                                                   \
+    X(nocReordersInjected)                                               \
+    X(nocDelaysInjected)                                                 \
+    X(nocFaultDelayCycles)
 
 /** Every scalar counter of ThreadStats, in export order. */
 #define GLSC_THREAD_STATS_U64_FIELDS(X)                                  \

@@ -30,6 +30,15 @@ traceEventTypeName(TraceEventType t)
       case TraceEventType::ScalarFallback:     return "scalar-fallback";
       case TraceEventType::FaultInjected:      return "fault";
       case TraceEventType::WatchdogSweep:      return "watchdog-sweep";
+      case TraceEventType::NocSend:            return "noc-send";
+      case TraceEventType::NocDeliver:         return "noc-deliver";
+      case TraceEventType::NocDrop:            return "noc-drop";
+      case TraceEventType::NocDuplicate:       return "noc-dup";
+      case TraceEventType::NocReorder:         return "noc-reorder";
+      case TraceEventType::NocNack:            return "noc-nack";
+      case TraceEventType::NocTimeout:         return "noc-timeout";
+      case TraceEventType::NocRetransmit:      return "noc-retransmit";
+      case TraceEventType::NocRetire:          return "noc-retire";
     }
     return "?";
 }
@@ -72,6 +81,26 @@ formatTraceEvent(const TraceEvent &e)
         out += strprintf(" lanes=%llu cause=%s",
                          (unsigned long long)e.a,
                          clearCauseName(static_cast<ClearCause>(e.b)));
+        break;
+      case TraceEventType::NocSend:
+      case TraceEventType::NocDrop:
+        out += strprintf(" seq=%llu leg=%s", (unsigned long long)e.a,
+                         e.b == 0 ? "request" : "reply");
+        break;
+      case TraceEventType::NocDeliver:
+        out += strprintf(" seq=%llu kind=%s", (unsigned long long)e.a,
+                         e.b == 0   ? "request"
+                         : e.b == 1 ? "reply"
+                                    : "dedup-request");
+        break;
+      case TraceEventType::NocDuplicate:
+      case TraceEventType::NocReorder:
+      case TraceEventType::NocNack:
+      case TraceEventType::NocTimeout:
+      case TraceEventType::NocRetransmit:
+      case TraceEventType::NocRetire:
+        out += strprintf(" seq=%llu b=%llu", (unsigned long long)e.a,
+                         (unsigned long long)e.b);
         break;
       default:
         if (e.a != 0 || e.b != 0)

@@ -78,6 +78,21 @@ enum class TraceEventType : std::uint8_t
     FaultInjected,      //!< a = FaultClass, b = extra (delay cycles)
     WatchdogSweep,      //!< a = starving threads, b = 1 on the
                         //!< livelock verdict
+    // NoC message-layer transaction lifecycle (armed interconnect
+    // only; see src/noc/interconnect.h).  All carry a = the
+    // transaction sequence number.  Events are emitted at the
+    // transaction's serialization point but stamped with the tick the
+    // modeled message actually moves, so a Perfetto timeline shows
+    // the protocol's real schedule.
+    NocSend,            //!< b = NocLeg (0 request / 1 reply)
+    NocDeliver,         //!< b = NocDeliverKind
+    NocDrop,            //!< b = NocLeg of the lost message
+    NocDuplicate,       //!< duplicated request copy (dedup absorbs it)
+    NocReorder,         //!< b = reorder-window delay imposed
+    NocNack,            //!< b = bank ingress backlog (requests queued)
+    NocTimeout,         //!< b = retransmit round that timed out
+    NocRetransmit,      //!< b = retransmit round (1-based)
+    NocRetire,          //!< b = total messages the transaction cost
 };
 
 /** How a reservation-acquiring request entered the memory system. */
@@ -118,8 +133,24 @@ enum class TraceFaultClass : std::uint8_t
     Delay = 4,
 };
 
+/** Which direction a NoC message was travelling (NocSend/NocDrop b). */
+enum class NocLeg : std::uint8_t
+{
+    Request = 0, //!< core -> home L2 bank
+    Reply = 1,   //!< bank -> core
+};
+
+/** What a NocDeliver event delivered (its b field). */
+enum class NocDeliverKind : std::uint8_t
+{
+    Request = 0,     //!< first delivery of the request
+    Reply = 1,       //!< reply reaching the requesting core
+    DedupRequest = 2 //!< retransmitted request absorbed by the bank's
+                     //!< (core, seq) dedup filter (reply re-sent)
+};
+
 inline constexpr int kTraceEventTypes =
-    static_cast<int>(TraceEventType::WatchdogSweep) + 1;
+    static_cast<int>(TraceEventType::NocRetire) + 1;
 inline constexpr int kClearCauses =
     static_cast<int>(ClearCause::Stolen) + 1;
 

@@ -8,7 +8,8 @@ namespace glsc {
 FaultInjector::FaultInjector(const SystemConfig &cfg, SystemStats &stats,
                              MemorySystem &msys)
     : cfg_(cfg), stats_(stats), msys_(msys), fc_(cfg.faults),
-      phantom_(cfg.threadsPerCore), rng_(cfg.faults.seed)
+      phantom_(cfg.threadsPerCore), rng_(cfg.faults.seed),
+      nocRng_(cfg.faults.seed ^ 0x9E3779B97F4A7C15ull)
 {
 }
 
@@ -135,6 +136,22 @@ FaultInjector::beforeOp()
     if (fc_.bufferOverflowRate > 0.0 &&
         rng_.chance(fc_.bufferOverflowRate))
         overflowBuffer();
+}
+
+NocMessageFaults
+FaultInjector::rollNocMessage()
+{
+    NocMessageFaults f;
+    if (fc_.nocDropRate > 0.0 && nocRng_.chance(fc_.nocDropRate))
+        f.drop = true;
+    if (fc_.nocDuplicateRate > 0.0 &&
+        nocRng_.chance(fc_.nocDuplicateRate))
+        f.duplicate = true;
+    if (fc_.nocReorderRate > 0.0 && nocRng_.chance(fc_.nocReorderRate))
+        f.reorder = true;
+    if (fc_.nocDelayRate > 0.0 && nocRng_.chance(fc_.nocDelayRate))
+        f.delay = fc_.nocDelayExtra;
+    return f;
 }
 
 Tick

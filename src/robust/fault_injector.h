@@ -40,6 +40,20 @@ namespace glsc {
 
 class MemorySystem;
 
+/**
+ * One NoC message's fault roll (src/noc/interconnect.h): each enabled
+ * class fires independently per message, so a single message can be
+ * both delayed and duplicated, say.  Drop wins over everything else by
+ * construction -- a lost message is never delivered at all.
+ */
+struct NocMessageFaults
+{
+    bool drop = false;
+    bool duplicate = false;
+    bool reorder = false;
+    Tick delay = 0;
+};
+
 class FaultInjector
 {
   public:
@@ -59,6 +73,15 @@ class FaultInjector
      * 0 unless an enabled delay fault fires.
      */
     Tick delayPenalty();
+
+    /**
+     * Rolls the message-level NoC fault classes (drop, duplicate,
+     * reorder, delay) for one message.  Called by the Interconnect's
+     * armed message layer once per request/reply send.  Uses a
+     * dedicated RNG stream so enabling NoC faults leaves the
+     * reservation-directed fault schedule untouched (and vice versa).
+     */
+    NocMessageFaults rollNocMessage();
 
     /** The SMT context id reservations are stolen to. */
     ThreadId phantomTid() const { return phantom_; }
@@ -88,6 +111,7 @@ class FaultInjector
     FaultConfig fc_;
     ThreadId phantom_;
     Rng rng_;
+    Rng nocRng_; //!< separate stream for message-level NoC faults
 };
 
 } // namespace glsc

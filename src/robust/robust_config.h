@@ -65,12 +65,39 @@ struct FaultConfig
     /** NoC/bank latency added when a delay fault fires. */
     Tick delayExtra = 64;
 
+    // ----- Protocol-level NoC faults (message granularity). --------
+    // Rolled once per request/reply message by the transaction layer
+    // in src/noc/interconnect.h, from a dedicated RNG stream so
+    // enabling them never perturbs the reservation-fault schedule
+    // above.  All four stay inside the protocol's legal outcome set:
+    // a lost or duplicated message can only cost time (timeout,
+    // retransmission, wasted bank slot), never corrupt state, because
+    // every transaction is retired exactly once and the bank
+    // deduplicates on (core, seq).
+    /** Silently discard a message in flight (request or reply). */
+    double nocDropRate = 0.0;
+    /** Deliver a second, idempotent copy of a delivered request. */
+    double nocDuplicateRate = 0.0;
+    /** Deliver out of order: the message waits a reorder window. */
+    double nocReorderRate = 0.0;
+    /** Stretch one message's traversal by nocDelayExtra cycles. */
+    double nocDelayRate = 0.0;
+    /** Extra traversal cycles when a NoC delay fault fires. */
+    Tick nocDelayExtra = 32;
+
+    bool
+    anyNocEnabled() const
+    {
+        return nocDropRate > 0.0 || nocDuplicateRate > 0.0 ||
+               nocReorderRate > 0.0 || nocDelayRate > 0.0;
+    }
+
     bool
     anyEnabled() const
     {
         return spuriousClearRate > 0.0 || evictLinkedRate > 0.0 ||
                stealReservationRate > 0.0 || bufferOverflowRate > 0.0 ||
-               delayRate > 0.0;
+               delayRate > 0.0 || anyNocEnabled();
     }
 };
 
@@ -108,6 +135,54 @@ struct RetryPolicy
     int fallbackAfter = 0;
     /** Seed for the Randomized kind (mixed with the global thread id). */
     std::uint64_t seed = 0xB0FFull;
+};
+
+/**
+ * Transaction-level message layer of the on-die network
+ * (src/noc/interconnect.h).  When armed -- explicitly via `protocol`
+ * or implicitly by enabling any FaultConfig NoC fault class -- every
+ * core->bank directory transaction becomes a typed request/reply
+ * message pair with a sequence number, a finite per-bank ingress
+ * queue that NACKs when full, an end-to-end timeout, and
+ * retransmission with (core, seq) deduplication at the bank.  When
+ * unarmed (the default) the interconnect reduces to the pure latency
+ * calculator the rest of the timing model was calibrated against,
+ * and fault-free armed runs are cycle-identical to unarmed ones
+ * (tests/test_noc_protocol.cc pins this).
+ */
+struct NocConfig
+{
+    /** Arm the message layer even with no NoC faults configured. */
+    bool protocol = false;
+    /**
+     * Ingress-queue capacity of each L2 bank, in requests.  A request
+     * arriving when the bank's backlog already holds this many is
+     * NACKed back to the core, which backs off and retransmits.
+     */
+    int bankQueueDepth = 64;
+    /**
+     * End-to-end transaction timeout: if the reply has not arrived
+     * this many cycles after the (re)transmitted request left the
+     * core, the core assumes loss and retransmits.  Must exceed the
+     * worst fault-free round trip or healthy runs pay spurious
+     * retransmissions (the dedup rule keeps even those harmless).
+     */
+    Tick timeoutCycles = 4096;
+    /**
+     * Retransmission budget per transaction; exhausting it is a
+     * modeled-hardware bug, not a legal outcome, so the simulator
+     * panics (a real controller would machine-check).
+     */
+    int maxRetransmits = 32;
+    /** Extra delivery delay a reorder fault imposes on a message. */
+    Tick reorderWindow = 8;
+    /**
+     * Backoff between a timeout/NACK and the retransmission.  The
+     * default is the classic capped-exponential the paper's software
+     * retry loops use, scaled for NoC round-trip magnitudes.
+     */
+    RetryPolicy retransmit = {RetryKind::CappedExponential, 16, 1024, 0,
+                              0xB0CCull};
 };
 
 /**

@@ -3,6 +3,7 @@
 #include <cinttypes>
 #include <cstdio>
 
+#include "noc/interconnect.h"
 #include "obs/trace.h"
 
 namespace glsc {
@@ -107,6 +108,13 @@ Watchdog::report(Tick now) const
                   (std::uint64_t)cfg_.checkInterval);
     out += buf;
     out += threadProgressDump(stats_, now);
+    if (noc_ != nullptr) {
+        // Stuck NoC transactions (in flight at the verdict): a thread
+        // starving behind endless retransmission shows up here.
+        std::string inflight = noc_->inFlightReport(now);
+        if (!inflight.empty())
+            out += inflight;
+    }
     if (tracer_ != nullptr) {
         std::string pm = tracer_->postMortem();
         if (!pm.empty()) {

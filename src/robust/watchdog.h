@@ -37,6 +37,7 @@
 
 namespace glsc {
 
+class Interconnect;
 class Tracer;
 
 /**
@@ -66,6 +67,13 @@ class Watchdog
     const std::vector<int> &starving() const { return starving_; }
 
     /**
+     * Wires the interconnect so report() can dump the in-flight NoC
+     * transactions -- a stuck transaction (endless retransmission
+     * under loss) shows up here with its seq, age and round count.
+     */
+    void attachNoc(const Interconnect *noc) { noc_ = noc; }
+
+    /**
      * Full diagnostic: verdict line + threadProgressDump, followed by
      * the tracer's ring-buffer post-mortem (the last events before the
      * livelock verdict) when a tracer with a RingBufferSink is wired.
@@ -76,6 +84,7 @@ class Watchdog
     const WatchdogConfig &cfg_;
     const SystemStats &stats_;
     Tracer *tracer_ = nullptr;
+    const Interconnect *noc_ = nullptr;
     std::vector<int> strikes_;   //!< consecutive starving sweeps per gtid
     std::vector<int> starving_;  //!< verdict of the last sweep
 };

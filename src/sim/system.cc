@@ -85,6 +85,7 @@ System::run(Tick maxCycles)
     if (cfg_.watchdog.enabled) {
         dog = std::make_unique<Watchdog>(cfg_.watchdog, stats_,
                                          cfg_.tracer);
+        dog->attachNoc(&msys_->noc());
         nextSweep = cfg_.watchdog.checkInterval;
     }
     std::vector<bool> active(cfg_.totalThreads(), false);

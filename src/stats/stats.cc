@@ -62,6 +62,13 @@ SystemStats::faultsInjected() const
 }
 
 std::uint64_t
+SystemStats::nocFaultsInjected() const
+{
+    return nocDropsInjected + nocDupsInjected + nocReordersInjected +
+           nocDelaysInjected;
+}
+
+std::uint64_t
 SystemStats::totalScalarFallbacks() const
 {
     std::uint64_t sum = 0;
@@ -110,6 +117,31 @@ SystemStats::consistencyError() const
                          (unsigned long long)(glscLaneFailAlias +
                                               glscLaneFailLost),
                          (unsigned long long)glscLaneAttempts);
+    // NoC message-layer conservation: every retransmission is the
+    // direct consequence of exactly one timeout or NACK, and the
+    // dedup filter can only absorb what duplication or retransmission
+    // produced.  Transactions each cost at least a request + a reply.
+    if (nocRetransmits != nocTimeouts + nocNacks)
+        return strprintf("NoC retransmits %llu != timeouts %llu + "
+                         "NACKs %llu",
+                         (unsigned long long)nocRetransmits,
+                         (unsigned long long)nocTimeouts,
+                         (unsigned long long)nocNacks);
+    if (nocDedupHits > nocDupsInjected + nocRetransmits)
+        return strprintf("NoC dedup hits %llu exceed duplicates %llu + "
+                         "retransmits %llu",
+                         (unsigned long long)nocDedupHits,
+                         (unsigned long long)nocDupsInjected,
+                         (unsigned long long)nocRetransmits);
+    if (nocMessagesSent < 2 * nocTransactions)
+        return strprintf("NoC messages %llu below the 2-per-transaction "
+                         "floor (%llu transactions)",
+                         (unsigned long long)nocMessagesSent,
+                         (unsigned long long)nocTransactions);
+    if (nocDropsInjected > nocMessagesSent)
+        return strprintf("NoC drops %llu exceed messages sent %llu",
+                         (unsigned long long)nocDropsInjected,
+                         (unsigned long long)nocMessagesSent);
     // Per-bank breakdowns exist only when a counting trace sink ran;
     // when they do, they must partition the aggregate counters.
     if (!l2BankAccesses.empty()) {
@@ -205,6 +237,26 @@ SystemStats::toString() const
                          (unsigned long long)faultsBufferOverflow,
                          (unsigned long long)faultsDelay,
                          (unsigned long long)faultDelayCycles);
+    }
+    if (nocTransactions > 0) {
+        out += strprintf("noc: txns %llu msgs %llu nacks %llu timeouts "
+                         "%llu retransmits %llu dedup %llu\n",
+                         (unsigned long long)nocTransactions,
+                         (unsigned long long)nocMessagesSent,
+                         (unsigned long long)nocNacks,
+                         (unsigned long long)nocTimeouts,
+                         (unsigned long long)nocRetransmits,
+                         (unsigned long long)nocDedupHits);
+    }
+    if (nocFaultsInjected() > 0) {
+        out += strprintf("noc faults: %llu (drop %llu, dup %llu, "
+                         "reorder %llu, delay %llu/+%llu cycles)\n",
+                         (unsigned long long)nocFaultsInjected(),
+                         (unsigned long long)nocDropsInjected,
+                         (unsigned long long)nocDupsInjected,
+                         (unsigned long long)nocReordersInjected,
+                         (unsigned long long)nocDelaysInjected,
+                         (unsigned long long)nocFaultDelayCycles);
     }
     if (totalScalarFallbacks() > 0) {
         out += strprintf("scalar fallbacks: %llu\n",

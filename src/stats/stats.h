@@ -121,6 +121,24 @@ struct SystemStats
     std::uint64_t faultsDelay = 0;
     Tick faultDelayCycles = 0; //!< total injected latency
 
+    // NoC message layer (src/noc/interconnect.h; all zero when the
+    // transaction layer is unarmed).  Conservation rules enforced by
+    // consistencyError(): every retransmission is caused by exactly
+    // one timeout or NACK, and every dedup hit by a duplicate or a
+    // retransmission.
+    std::uint64_t nocTransactions = 0;     //!< directory round trips
+    std::uint64_t nocMessagesSent = 0;     //!< requests + replies, incl.
+                                           //!< retransmissions
+    std::uint64_t nocNacks = 0;            //!< queue-full rejections
+    std::uint64_t nocTimeouts = 0;         //!< end-to-end timer firings
+    std::uint64_t nocRetransmits = 0;      //!< requests re-sent
+    std::uint64_t nocDedupHits = 0;        //!< (core, seq) filter absorbs
+    std::uint64_t nocDropsInjected = 0;    //!< messages lost to faults
+    std::uint64_t nocDupsInjected = 0;     //!< duplicate copies delivered
+    std::uint64_t nocReordersInjected = 0; //!< reorder-window deferrals
+    std::uint64_t nocDelaysInjected = 0;   //!< per-message delay faults
+    Tick nocFaultDelayCycles = 0;          //!< total injected NoC latency
+
     // Forward-progress watchdog verdict (report mode only; in panic
     // mode a livelock aborts the run instead).
     bool livelockDetected = false;
@@ -151,6 +169,8 @@ struct SystemStats
     double scFailureRate() const;
     /** All injected faults regardless of class. */
     std::uint64_t faultsInjected() const;
+    /** All injected NoC message faults regardless of class. */
+    std::uint64_t nocFaultsInjected() const;
     /** Vector loops that degraded to the scalar path, all threads. */
     std::uint64_t totalScalarFallbacks() const;
     /** Per-bucket sum of every thread's retries-until-success counts. */

@@ -37,7 +37,44 @@ TEST(Noc, HopLatencyBoundedAndStable)
         }
     }
     EXPECT_EQ(noc.coreToCore(2, 2), 0u);
-    EXPECT_EQ(noc.coreToCore(0, 3), cfg.nocHopLatency);
+}
+
+TEST(Noc, CoreToCoreIsDistanceAwareOnTheRing)
+{
+    // 4 cores spread over a 16-position ring at {0, 4, 8, 12}.
+    SystemConfig cfg = SystemConfig::make(4, 4, 4);
+    Interconnect noc(cfg);
+    for (CoreId a = 0; a < 4; ++a) {
+        for (CoreId b = 0; b < 4; ++b) {
+            Tick h = noc.coreToCore(a, b);
+            // Symmetric, zero only on self, bounded by the bank path's
+            // maximum (half the ring).
+            EXPECT_EQ(h, noc.coreToCore(b, a));
+            EXPECT_EQ(h == 0, a == b);
+            EXPECT_LE(h, cfg.nocHopLatency);
+        }
+    }
+    // Opposite cores (ring distance 8 of 16) pay the full hop budget;
+    // adjacent cores (distance 4) pay half; the ring wraps, so cores
+    // 0 and 3 are adjacent too.
+    EXPECT_EQ(noc.coreToCore(0, 2), cfg.nocHopLatency);
+    EXPECT_EQ(noc.coreToCore(0, 1), cfg.nocHopLatency / 2);
+    EXPECT_EQ(noc.coreToCore(0, 3), noc.coreToCore(0, 1));
+    // Consistency with the core->bank path: the core-to-core latency
+    // equals the hop latency to the bank at the peer's ring position.
+    EXPECT_EQ(noc.coreToCore(0, 1), noc.hopLatency(0, 4));
+    EXPECT_EQ(noc.coreToCore(0, 2), noc.hopLatency(0, 8));
+}
+
+TEST(Noc, CoreToCoreNeverFreeWhenPositionsFold)
+{
+    // More cores than ring positions: distinct cores can fold onto
+    // the same position, but an off-core message still costs a cycle.
+    SystemConfig cfg = SystemConfig::make(4, 4, 4);
+    cfg.cores = 32;
+    Interconnect noc(cfg);
+    EXPECT_EQ(noc.coreToCore(0, 0), 0u);
+    EXPECT_GE(noc.coreToCore(0, 1), 1u);
 }
 
 TEST(Noc, BankSerializesBackToBackRequests)

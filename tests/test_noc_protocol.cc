@@ -1,0 +1,235 @@
+/**
+ * @file
+ * NoC message-layer tests (src/noc/interconnect.h): fault-free cycle
+ * identity of the armed protocol, duplicate-delivery idempotence,
+ * reorder determinism, queue-full NACK + backoff, exactly-once timeout
+ * accounting, and the lossy-NoC convergence matrix the CI job runs
+ * (drop rate x reorder on/off across every kernel and scheme).
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "kernels/registry.h"
+#include "noc/interconnect.h"
+#include "obs/stats_json.h"
+#include "sim/event_queue.h"
+#include "stats/stats.h"
+
+namespace glsc {
+namespace {
+
+/** Small-scale run of one kernel under @p cfg; asserts verification. */
+RunResult
+runKernel(const std::string &name, Scheme scheme, const SystemConfig &cfg,
+          double scale = 0.03)
+{
+    RunResult r = runBenchmark(name, 0, scheme, cfg, scale, 7);
+    EXPECT_TRUE(r.verified) << name << ": " << r.detail;
+    EXPECT_EQ(r.stats.consistencyError(), "") << name;
+    return r;
+}
+
+/**
+ * Every kernel x scheme must converge and verify against the
+ * reference model under the given NoC fault rates, with the
+ * forward-progress watchdog armed (panicOnLivelock aborts the test on
+ * a livelock verdict).  Reused by the LossyNoc matrix below.
+ */
+void
+lossyMatrix(double dropRate, bool reorder)
+{
+    SystemConfig cfg = SystemConfig::make(4, 2, 4);
+    cfg.faults.nocDropRate = dropRate;
+    cfg.faults.nocReorderRate = reorder ? 0.10 : 0.0;
+    cfg.faults.seed = 99;
+    cfg.watchdog.enabled = true;
+    for (const BenchmarkInfo &b : benchmarkList()) {
+        for (Scheme s : {Scheme::Base, Scheme::Glsc}) {
+            RunResult r = runKernel(b.name, s, cfg);
+            if (dropRate > 0.0 || reorder)
+                EXPECT_GT(r.stats.nocTransactions, 0u) << b.name;
+        }
+    }
+}
+
+TEST(NocProtocol, ArmedFaultFreeRunsAreCycleIdentical)
+{
+    // Arming the message layer without any fault class enabled must
+    // not move a single cycle or counter: no roll ever fires and the
+    // protocol bookkeeping adds zero latency.  This is the same
+    // property CI's armed-vs-unarmed diff gate checks end to end.
+    for (const BenchmarkInfo &b : benchmarkList()) {
+        for (Scheme s : {Scheme::Base, Scheme::Glsc}) {
+            SystemConfig plain = SystemConfig::make(4, 2, 4);
+            RunResult base = runKernel(b.name, s, plain);
+
+            SystemConfig armed = plain;
+            armed.noc.protocol = true;
+            RunResult prot = runKernel(b.name, s, armed);
+
+            EXPECT_EQ(prot.stats.cycles, base.stats.cycles) << b.name;
+            EXPECT_GT(prot.stats.nocTransactions, 0u) << b.name;
+            EXPECT_EQ(prot.stats.nocTimeouts, 0u) << b.name;
+            EXPECT_EQ(prot.stats.nocNacks, 0u) << b.name;
+            EXPECT_EQ(prot.stats.nocRetransmits, 0u) << b.name;
+            EXPECT_EQ(prot.stats.nocFaultsInjected(), 0u) << b.name;
+            EXPECT_EQ(prot.stats.nocMessagesSent,
+                      2 * prot.stats.nocTransactions)
+                << b.name;
+
+            // The JSON export differs only in the NoC counters the
+            // unarmed run leaves at zero; blank them and the two runs
+            // must serialize byte-identically.
+            SystemStats scrubbed = prot.stats;
+            scrubbed.nocTransactions = 0;
+            scrubbed.nocMessagesSent = 0;
+            EXPECT_EQ(statsToJson(scrubbed), statsToJson(base.stats))
+                << b.name;
+        }
+    }
+}
+
+TEST(NocProtocol, DuplicateDeliveryIsIdempotent)
+{
+    // Duplicate EVERY message: the (core, seq) filter must absorb
+    // every duplicate copy, and the kernel's results stay correct.
+    SystemConfig cfg = SystemConfig::make(4, 2, 4);
+    cfg.faults.nocDuplicateRate = 1.0;
+    cfg.watchdog.enabled = true;
+    for (Scheme s : {Scheme::Base, Scheme::Glsc}) {
+        RunResult r = runKernel("GBC", s, cfg);
+        EXPECT_GT(r.stats.nocDupsInjected, 0u);
+        EXPECT_GE(r.stats.nocDedupHits, r.stats.nocDupsInjected);
+    }
+}
+
+TEST(NocProtocol, ReorderScheduleIsDeterministicUnderFixedSeed)
+{
+    SystemConfig cfg = SystemConfig::make(4, 2, 4);
+    cfg.faults.nocReorderRate = 0.3;
+    cfg.faults.nocDropRate = 0.02;
+    cfg.faults.seed = 1234;
+    cfg.watchdog.enabled = true;
+    RunResult a = runKernel("HIP", Scheme::Glsc, cfg);
+    RunResult b = runKernel("HIP", Scheme::Glsc, cfg);
+    EXPECT_GT(a.stats.nocReordersInjected, 0u);
+    // Same seed -> identical fault schedule -> identical run, down to
+    // every exported counter.
+    EXPECT_EQ(statsToJson(a.stats), statsToJson(b.stats));
+
+    // A different seed produces a different schedule (same totals
+    // would be an astronomical coincidence at these rates).
+    SystemConfig other = cfg;
+    other.faults.seed = 4321;
+    RunResult c = runKernel("HIP", Scheme::Glsc, other);
+    EXPECT_NE(statsToJson(a.stats), statsToJson(c.stats));
+}
+
+/** Standalone armed interconnect wired to a private queue + stats. */
+struct NocRig
+{
+    SystemConfig cfg;
+    EventQueue events;
+    SystemStats stats;
+    Interconnect noc;
+
+    explicit NocRig(SystemConfig c) : cfg(c), noc(cfg)
+    {
+        noc.attach(&events, &stats);
+    }
+};
+
+SystemConfig
+armedConfig()
+{
+    SystemConfig cfg = SystemConfig::make(4, 2, 4);
+    cfg.noc.protocol = true;
+    return cfg;
+}
+
+TEST(NocProtocol, QueueFullNacksThenBacksOffAndRetries)
+{
+    SystemConfig cfg = armedConfig();
+    cfg.noc.bankQueueDepth = 1;
+    NocRig rig(cfg);
+
+    // Pile enough work on bank 0 that a request arriving now sees a
+    // backlog deeper than the one-entry ingress queue.
+    for (int i = 0; i < 8; ++i)
+        rig.noc.reserveBank(0, 100);
+
+    NocTxn txn = rig.noc.begin(0, 0, 0, 0, 100);
+    EXPECT_GT(rig.stats.nocNacks, 0u);
+    EXPECT_EQ(rig.stats.nocRetransmits, rig.stats.nocNacks);
+    EXPECT_EQ(rig.stats.nocTimeouts, 0u);
+    // The accepted attempt landed after backoff pushed its arrival
+    // past the backlog, and service still serializes behind it.
+    EXPECT_GT(txn.deliveredTick, Tick{100});
+    EXPECT_GE(txn.serviceStart, txn.deliveredTick);
+    EXPECT_EQ(rig.noc.outstandingCount(200), 1u);
+    EXPECT_NE(rig.noc.inFlightReport(200).find("in-flight"),
+              std::string::npos);
+
+    Tick done = rig.noc.complete(txn, txn.serviceStart + 10);
+    EXPECT_GT(done, txn.serviceStart);
+    // In flight until the completion tick passes, retired after.
+    EXPECT_EQ(rig.noc.outstandingCount(done - 1), 1u);
+    EXPECT_EQ(rig.noc.outstandingCount(done), 0u);
+    EXPECT_EQ(rig.noc.inFlightReport(done), "");
+    EXPECT_EQ(rig.stats.consistencyError(), "");
+}
+
+TEST(NocProtocol, RequestLossTimesOutExactlyOnce)
+{
+    NocRig rig(armedConfig());
+    rig.noc.testOnlyDropNextRequest();
+
+    NocTxn txn = rig.noc.begin(1, 0, 0, rig.noc.bankOf(0), 1000);
+    EXPECT_EQ(rig.stats.nocDropsInjected, 1u);
+    EXPECT_EQ(rig.stats.nocTimeouts, 1u);
+    EXPECT_EQ(rig.stats.nocRetransmits, 1u);
+    EXPECT_EQ(rig.stats.nocDedupHits, 0u); // original never delivered
+    // The retransmission waited out the full end-to-end window.
+    EXPECT_GT(txn.deliveredTick, Tick{1000} + rig.cfg.noc.timeoutCycles);
+
+    Tick done = rig.noc.complete(txn, txn.serviceStart + 10);
+    // The reply leg was clean: no further timeouts.
+    EXPECT_EQ(rig.stats.nocTimeouts, 1u);
+    EXPECT_EQ(rig.stats.nocRetransmits, 1u);
+    EXPECT_EQ(rig.stats.consistencyError(), "");
+}
+
+TEST(NocProtocol, ReplyLossTimesOutExactlyOnceAndDedups)
+{
+    NocRig rig(armedConfig());
+    NocTxn txn = rig.noc.begin(1, 0, 0, rig.noc.bankOf(0), 1000);
+    EXPECT_EQ(rig.stats.nocTimeouts, 0u);
+
+    rig.noc.testOnlyDropNextReply();
+    Tick done = rig.noc.complete(txn, txn.serviceStart + 10);
+    // One loss -> one timeout -> one retransmission, which the bank's
+    // (core, seq) filter recognizes as a duplicate of the serviced
+    // request before re-sending the reply.
+    EXPECT_EQ(rig.stats.nocDropsInjected, 1u);
+    EXPECT_EQ(rig.stats.nocTimeouts, 1u);
+    EXPECT_EQ(rig.stats.nocRetransmits, 1u);
+    EXPECT_EQ(rig.stats.nocDedupHits, 1u);
+    EXPECT_GT(done, Tick{1000} + rig.cfg.noc.timeoutCycles);
+    EXPECT_EQ(rig.noc.outstandingCount(done), 0u);
+    EXPECT_EQ(rig.stats.consistencyError(), "");
+}
+
+// ----- The lossy-NoC convergence matrix (CI runs these by name). ----
+
+TEST(LossyNoc, Drop0ReorderOff) { lossyMatrix(0.0, false); }
+TEST(LossyNoc, Drop0ReorderOn) { lossyMatrix(0.0, true); }
+TEST(LossyNoc, Drop1ReorderOff) { lossyMatrix(0.01, false); }
+TEST(LossyNoc, Drop1ReorderOn) { lossyMatrix(0.01, true); }
+TEST(LossyNoc, Drop5ReorderOff) { lossyMatrix(0.05, false); }
+TEST(LossyNoc, Drop5ReorderOn) { lossyMatrix(0.05, true); }
+
+} // namespace
+} // namespace glsc

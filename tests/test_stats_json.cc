@@ -56,6 +56,17 @@ const char *const kExpectedFields[] = {
     "faultsBufferOverflow",
     "faultsDelay",
     "faultDelayCycles",
+    "nocTransactions",
+    "nocMessagesSent",
+    "nocNacks",
+    "nocTimeouts",
+    "nocRetransmits",
+    "nocDedupHits",
+    "nocDropsInjected",
+    "nocDupsInjected",
+    "nocReordersInjected",
+    "nocDelaysInjected",
+    "nocFaultDelayCycles",
     // Structured fields.
     "livelockDetected",
     "starvingThreads",
@@ -84,7 +95,7 @@ TEST(StatsJsonSchema, VersionIsPinned)
 {
     // Bumping the version is a conscious act: update this pin and the
     // field list together with the format change.
-    EXPECT_EQ(kStatsJsonSchemaVersion, 1);
+    EXPECT_EQ(kStatsJsonSchemaVersion, 2);
 }
 
 TEST(StatsJsonSchema, FieldListMatchesCheckedInCopy)
@@ -111,6 +122,17 @@ sampleStats()
     s.llOps = 42;
     s.scAttempts = 42;
     s.scFailures = 5;
+    s.nocTransactions = 6;
+    s.nocMessagesSent = 15;
+    s.nocNacks = 1;
+    s.nocTimeouts = 1;
+    s.nocRetransmits = 2;
+    s.nocDedupHits = 2;
+    s.nocDropsInjected = 1;
+    s.nocDupsInjected = 1;
+    s.nocReordersInjected = 1;
+    s.nocDelaysInjected = 1;
+    s.nocFaultDelayCycles = 32;
     s.livelockDetected = true;
     s.starvingThreads = {1, 3};
     s.livelockReport = "line1\nwith \"quotes\" and\ttabs";
@@ -189,9 +211,9 @@ TEST(StatsJsonParser, RejectsMissingField)
 TEST(StatsJsonParser, RejectsWrongSchemaVersion)
 {
     std::string doc = statsToJson(sampleStats());
-    std::size_t pos = doc.find("\"schema\": 1");
+    std::size_t pos = doc.find("\"schema\": 2");
     ASSERT_NE(pos, std::string::npos);
-    doc.replace(pos, 11, "\"schema\": 2");
+    doc.replace(pos, 11, "\"schema\": 3");
     SystemStats parsed;
     std::string err;
     EXPECT_FALSE(statsFromJson(doc, parsed, &err));
@@ -235,6 +257,29 @@ TEST(StatsConsistency, IdleBankCannotAccumulateWait)
     s.l2Accesses = 4;
     s.l2BankAccesses = {4, 0};
     s.l2BankWaitCycles = {0, 7}; // waited behind a bank never accessed
+    EXPECT_NE(s.consistencyError(), "");
+}
+
+TEST(StatsConsistency, NocCountersMustConserve)
+{
+    SystemStats s;
+    s.nocTransactions = 2;
+    s.nocMessagesSent = 5;
+    s.nocTimeouts = 1;
+    s.nocRetransmits = 1;
+    EXPECT_EQ(s.consistencyError(), "") << s.consistencyError();
+    // A retransmit without a cause (timeout or NACK) is a bug...
+    s.nocRetransmits = 2;
+    EXPECT_NE(s.consistencyError(), "");
+    s.nocNacks = 1;
+    EXPECT_EQ(s.consistencyError(), "") << s.consistencyError();
+    // ...as is a dedup hit nothing could have produced...
+    s.nocDedupHits = 3;
+    EXPECT_NE(s.consistencyError(), "");
+    s.nocDupsInjected = 1;
+    EXPECT_EQ(s.consistencyError(), "") << s.consistencyError();
+    // ...or fewer messages than a request + reply per transaction.
+    s.nocMessagesSent = 3;
     EXPECT_NE(s.consistencyError(), "");
 }
 

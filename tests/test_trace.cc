@@ -406,6 +406,43 @@ TEST(CrossCheckFaults, FaultEventsMatchInjectorCounters)
     EXPECT_EQ(k.faultsByClass(TraceFaultClass::Delay), s.faultsDelay);
 }
 
+TEST(CrossCheckNoc, MessageEventsMatchProtocolCounters)
+{
+    // Every NoC lifecycle counter has an event stream behind it; the
+    // two accountings are maintained independently (counters in
+    // Interconnect, events in the sinks) and must agree exactly.
+    SystemConfig cfg = SystemConfig::make(2, 2, 4);
+    cfg.faults.nocDropRate = 0.03;
+    cfg.faults.nocDuplicateRate = 0.03;
+    cfg.faults.nocReorderRate = 0.05;
+    cfg.faults.nocDelayRate = 0.05;
+    cfg.faults.nocDelayExtra = 16;
+    cfg.faults.seed = 7;
+    TracedRun r;
+    tracedRun(r, "HIP", Scheme::Glsc, cfg);
+    ASSERT_TRUE(r.result.verified) << r.result.detail;
+    const SystemStats &s = r.result.stats;
+    const CountingSink &k = r.counting;
+    ASSERT_GT(s.nocTransactions, 0u);
+    ASSERT_GT(s.nocDropsInjected, 0u) << "vacuous lossy run";
+    EXPECT_EQ(k.count(TraceEventType::NocSend), s.nocMessagesSent);
+    EXPECT_EQ(k.count(TraceEventType::NocDrop), s.nocDropsInjected);
+    EXPECT_EQ(k.count(TraceEventType::NocDuplicate), s.nocDupsInjected);
+    EXPECT_EQ(k.count(TraceEventType::NocReorder),
+              s.nocReordersInjected);
+    EXPECT_EQ(k.count(TraceEventType::NocNack), s.nocNacks);
+    EXPECT_EQ(k.count(TraceEventType::NocTimeout), s.nocTimeouts);
+    EXPECT_EQ(k.count(TraceEventType::NocRetransmit), s.nocRetransmits);
+    EXPECT_EQ(k.count(TraceEventType::NocRetire), s.nocTransactions);
+    // Deliveries: one fresh request + one reply per transaction, plus
+    // one dedup-request per dedup hit NOT caused by a duplicated copy
+    // (those trace as NocDuplicate instead).
+    EXPECT_EQ(k.count(TraceEventType::NocDeliver),
+              2 * s.nocTransactions + s.nocDedupHits -
+                  s.nocDupsInjected);
+    EXPECT_EQ(s.consistencyError(), "") << s.consistencyError();
+}
+
 // ----- Perf smoke (the CI trace job's cheap regression gate). ------
 
 TEST(PerfSmoke, GlscBeatsBaseOnHipSmall)

@@ -92,7 +92,11 @@ mutexKernel(SimThread &t, Addr locks, Addr owner, int iters,
             co_await t.store(owner, 0, 4);
             co_await vUnlock(t, locks, idx, got);
         } else {
-            co_await t.exec(3);
+            // Stagger the retry pause per thread: a fixed pause can
+            // phase-lock the deterministic schedule into livelock
+            // (every try happening while the lock is held), which is a
+            // property of this retry idiom, not of the lock.
+            co_await t.exec(3 + t.globalId() % 7);
             i--; // retry until acquired
         }
     }
