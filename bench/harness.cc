@@ -4,6 +4,7 @@
 #include <cstdlib>
 #include <cstring>
 
+#include "analyze/analyzer.h"
 #include "obs/stats_json.h"
 #include "obs/trace.h"
 #include "sim/log.h"
@@ -34,6 +35,9 @@ struct ArtifactState
     Tracer tracer;
     ChromeTraceSink chrome;
     bool sinkAttached = false;
+    Analyzer analyzer; //!< attached to every run when --analyze is on
+    std::vector<Finding> findings; //!< accumulated across runs
+    std::uint64_t findingTotal = 0;
 };
 
 ArtifactState &
@@ -63,10 +67,14 @@ parseArgs(int argc, char **argv, double default_scale)
             opt.tracePath = argv[++i];
         } else if (std::strcmp(argv[i], "--noc-armed") == 0) {
             opt.nocArmed = true;
+        } else if (std::strcmp(argv[i], "--analyze") == 0 &&
+                   i + 1 < argc) {
+            opt.analyzePath = argv[++i];
         } else {
             std::fprintf(stderr,
                          "usage: %s [--scale f] [--seed n] [--quick]"
-                         " [--json path] [--trace path] [--noc-armed]\n",
+                         " [--json path] [--trace path] [--noc-armed]"
+                         " [--analyze path]\n",
                          argv[0]);
             std::exit(2);
         }
@@ -101,8 +109,17 @@ runChecked(const std::string &bench, int dataset, Scheme scheme,
     }
     if (opt.nocArmed)
         runCfg.noc.protocol = true;
+    if (!opt.analyzePath.empty())
+        runCfg.analyzer = &st.analyzer;
     RunResult r =
         runBenchmark(bench, dataset, scheme, runCfg, opt.scale, opt.seed);
+    if (!opt.analyzePath.empty()) {
+        // The analyzer resets at every System construction (onAttach),
+        // so bank this run's findings before the next run wipes them.
+        const std::vector<Finding> &found = st.analyzer.findings();
+        st.findings.insert(st.findings.end(), found.begin(), found.end());
+        st.findingTotal += st.analyzer.totalFindings();
+    }
     if (!r.verified) {
         GLSC_FATAL("%s dataset %c (%s, %s) failed verification: %s",
                    bench.c_str(), dataset == 0 ? 'A' : 'B',
@@ -187,6 +204,19 @@ writeArtifacts(const Options &opt, const char *artifactId)
         std::printf("wrote %llu trace event(s) to %s\n",
                     (unsigned long long)st.tracer.eventsEmitted(),
                     opt.tracePath.c_str());
+    }
+    if (!opt.analyzePath.empty()) {
+        std::string doc = findingsToJson(st.findings);
+        std::FILE *f = std::fopen(opt.analyzePath.c_str(), "wb");
+        if (f == nullptr ||
+            std::fwrite(doc.data(), 1, doc.size(), f) != doc.size() ||
+            std::fclose(f) != 0) {
+            GLSC_FATAL("cannot write findings JSON to %s",
+                       opt.analyzePath.c_str());
+        }
+        std::printf("wrote %llu finding(s) to %s\n",
+                    (unsigned long long)st.findingTotal,
+                    opt.analyzePath.c_str());
     }
 }
 

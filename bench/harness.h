@@ -10,6 +10,9 @@
  *   --trace <p>   attach a tracer and write a Chrome trace to <p>
  *   --noc-armed   arm the NoC message layer (fault-free: must not
  *                 change any table -- CI diffs armed vs. unarmed)
+ *   --analyze <p> attach the guest-program analyzer to every run and
+ *                 write its findings JSON to <p> (observation-only:
+ *                 must not change any table -- CI diffs with/without)
  *
  * With --json, every runChecked invocation is recorded and
  * writeArtifacts persists them as one machine-readable document
@@ -39,6 +42,7 @@ struct Options
     std::uint64_t seed = 1;
     std::string jsonPath;  //!< --json destination ("" = off)
     std::string tracePath; //!< --trace destination ("" = off)
+    std::string analyzePath; //!< --analyze findings destination ("" = off)
     bool nocArmed = false; //!< --noc-armed: NocConfig::protocol on
 };
 

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Configuration knobs for the guest-program analysis subsystem
+ * (src/analyze/analyzer.h).  All analyses are armed together by
+ * installing an Analyzer via SystemConfig::analyzer; this struct only
+ * tunes thresholds and reporting volume.
+ */
+
+#ifndef GLSC_ANALYZE_ANALYZE_CONFIG_H_
+#define GLSC_ANALYZE_ANALYZE_CONFIG_H_
+
+#include <cstddef>
+
+#include "sim/types.h"
+
+namespace glsc {
+
+struct AnalyzeConfig
+{
+    /**
+     * A gather-linked reservation older than this many cycles at its
+     * scatter-conditional is flagged ReservationOverBudget: the window
+     * is long enough that capacity eviction or an intervening writer
+     * becomes likely, and the kernel should shrink its critical
+     * section.  The worst clean window observed across the 7 RMS
+     * kernels (W=16, serial line-group misses) is ~5k cycles, so the
+     * default leaves a generous margin.
+     */
+    Tick reservationWindowBudget = 100000;
+
+    /**
+     * Findings beyond this count are tallied in the stats counters but
+     * not stored (nor traced) individually, bounding analyzer memory
+     * on a pathological run.
+     */
+    std::size_t maxStoredFindings = 4096;
+};
+
+} // namespace glsc
+
+#endif // GLSC_ANALYZE_ANALYZE_CONFIG_H_

@@ -1,0 +1,420 @@
+#include "analyze/analyzer.h"
+
+#include "analyze/finding_log.h"
+#include "analyze/glsc_linter.h"
+#include "analyze/lock_order.h"
+#include "analyze/race_detector.h"
+#include "cpu/thread.h"
+
+namespace glsc {
+
+Analyzer::Analyzer(AnalyzeConfig cfg) : cfg_(cfg) {}
+
+Analyzer::~Analyzer() = default;
+
+void
+Analyzer::onAttach(const SystemConfig &cfg)
+{
+    threadsPerCore_ = cfg.threadsPerCore;
+    totalThreads_ = cfg.totalThreads();
+    pendingStoreEpochs_.assign(
+        static_cast<std::size_t>(totalThreads_), {});
+    log_ = std::make_unique<FindingLog>(cfg_, cfg.tracer);
+    races_ = std::make_unique<RaceDetector>(totalThreads_, *log_);
+    locks_ = std::make_unique<LockOrderAnalyzer>(totalThreads_, *log_);
+    linter_ = std::make_unique<GlscLinter>(totalThreads_, *log_);
+}
+
+int
+Analyzer::gtidOf(CoreId c, ThreadId t) const
+{
+    // Bare-memsys test rigs drive ops with out-of-range or phantom
+    // thread ids (and write-buffer drains historically carried none);
+    // same bounds guard as MemorySystem::noteAtomicOutcome.
+    if (t < 0)
+        return -1;
+    int gtid = c * threadsPerCore_ + t;
+    return gtid >= 0 && gtid < totalThreads_ ? gtid : -1;
+}
+
+AccessSite
+Analyzer::site(CoreId c, ThreadId t, Addr a, SiteOp op, bool atomic,
+               Tick now, int lane) const
+{
+    AccessSite s;
+    s.gtid = gtidOf(c, t);
+    s.core = c;
+    s.tid = t;
+    s.tick = now;
+    s.addr = a;
+    s.lane = lane;
+    s.op = op;
+    s.atomic = atomic;
+    return s;
+}
+
+void
+Analyzer::onScalar(CoreId c, ThreadId t, Addr a, int size, MemOpType type,
+                   std::uint64_t wdata, const ScalarResult &res, Tick now)
+{
+    (void)wdata;
+    int g = gtidOf(c, t);
+    if (g < 0 || races_ == nullptr)
+        return;
+    switch (type) {
+    case MemOpType::Load:
+        races_->onRead(site(c, t, a, SiteOp::Load, false, now), size);
+        break;
+    case MemOpType::Store: {
+        AccessSite s = site(c, t, a, SiteOp::Store, false, now);
+        std::uint64_t epoch = popStoreEpoch(g);
+        linter_->onPlainWrite(g, lineAddr(a), s);
+        // A plain store to a lock word is the unlock: it publishes the
+        // releasing thread's clock exactly when the (possibly
+        // write-buffered) store reaches the serialization point.
+        if (races_->isSyncAddr(a))
+            races_->release(g, a);
+        else
+            races_->onWrite(s, size, epoch);
+        break;
+    }
+    case MemOpType::LoadLinked: {
+        AccessSite s = site(c, t, a, SiteOp::LoadLinked, true, now);
+        races_->acquire(g, a);
+        races_->onRead(s, size);
+        linter_->onLink(g, lineAddr(a), {a}, s);
+        break;
+    }
+    case MemOpType::StoreCond: {
+        AccessSite s = site(c, t, a, SiteOp::StoreCond, true, now);
+        linter_->onCondStore(g, lineAddr(a), {a}, s);
+        if (res.scSuccess) {
+            races_->acquire(g, a);
+            races_->onWrite(s, size);
+            races_->release(g, a);
+        }
+        break;
+    }
+    case MemOpType::Prefetch:
+        break;
+    }
+}
+
+void
+Analyzer::onGatherLine(CoreId c, ThreadId t,
+                       const std::vector<GsuLane> &lanes, int size,
+                       bool linked, const LineOpResult &res, Tick now)
+{
+    int g = gtidOf(c, t);
+    if (g < 0 || races_ == nullptr || lanes.empty())
+        return;
+    if (linked && !res.linked)
+        return; // failure-policy miss: no lanes serviced, no record
+    if (linked) {
+        std::vector<Addr> addrs;
+        addrs.reserve(lanes.size());
+        for (const GsuLane &l : lanes) {
+            addrs.push_back(l.addr);
+            races_->acquire(g, l.addr);
+            races_->onRead(site(c, t, l.addr, SiteOp::GatherLink, true,
+                                now, l.lane),
+                           size);
+        }
+        linter_->onLink(g, lineAddr(lanes[0].addr), addrs,
+                        site(c, t, lanes[0].addr, SiteOp::GatherLink,
+                             true, now, lanes[0].lane));
+    } else {
+        for (const GsuLane &l : lanes) {
+            races_->onRead(site(c, t, l.addr, SiteOp::Gather, false, now,
+                                l.lane),
+                           size);
+        }
+    }
+}
+
+void
+Analyzer::onScatterLine(CoreId c, ThreadId t,
+                        const std::vector<GsuLane> &lanes, int size,
+                        bool conditional, const LineOpResult &res,
+                        Tick now)
+{
+    int g = gtidOf(c, t);
+    if (g < 0 || races_ == nullptr || lanes.empty())
+        return;
+    if (conditional) {
+        std::vector<Addr> addrs;
+        addrs.reserve(lanes.size());
+        for (const GsuLane &l : lanes)
+            addrs.push_back(l.addr);
+        linter_->onCondStore(g, lineAddr(lanes[0].addr), addrs,
+                             site(c, t, lanes[0].addr,
+                                  SiteOp::ScatterCond, true, now,
+                                  lanes[0].lane));
+        if (!res.scondOk)
+            return; // failed probe: no memory effect, no HB edge
+        for (const GsuLane &l : lanes) {
+            AccessSite s = site(c, t, l.addr, SiteOp::ScatterCond, true,
+                                now, l.lane);
+            races_->acquire(g, l.addr);
+            races_->onWrite(s, size);
+            races_->release(g, l.addr);
+        }
+    } else {
+        linter_->onPlainWrite(g, lineAddr(lanes[0].addr),
+                              site(c, t, lanes[0].addr, SiteOp::Scatter,
+                                   false, now, lanes[0].lane));
+        for (const GsuLane &l : lanes) {
+            AccessSite s = site(c, t, l.addr, SiteOp::Scatter, false,
+                                now, l.lane);
+            if (races_->isSyncAddr(l.addr))
+                races_->release(g, l.addr); // VUNLOCK lane
+            else
+                races_->onWrite(s, size);
+        }
+    }
+}
+
+void
+Analyzer::onVload(CoreId c, ThreadId t, Addr a, int width, int elemSize,
+                  Tick now)
+{
+    int g = gtidOf(c, t);
+    if (g < 0 || races_ == nullptr)
+        return;
+    for (int i = 0; i < width; i++) {
+        Addr ea = a + static_cast<Addr>(i) * elemSize;
+        races_->onRead(site(c, t, ea, SiteOp::VLoad, false, now, i),
+                       elemSize);
+    }
+}
+
+void
+Analyzer::onVstore(CoreId c, ThreadId t, Addr a, Mask mask, int width,
+                   int elemSize, Tick now)
+{
+    int g = gtidOf(c, t);
+    if (g < 0 || races_ == nullptr)
+        return;
+    std::uint64_t epoch = popStoreEpoch(g); // one issue per VStore op
+    for (int i = 0; i < width; i++) {
+        if (!mask.test(i))
+            continue;
+        Addr ea = a + static_cast<Addr>(i) * elemSize;
+        AccessSite s = site(c, t, ea, SiteOp::VStore, false, now, i);
+        linter_->onPlainWrite(g, lineAddr(ea), s);
+        if (races_->isSyncAddr(ea))
+            races_->release(g, ea);
+        else
+            races_->onWrite(s, elemSize, epoch);
+    }
+}
+
+void
+Analyzer::onLockAcquired(CoreId c, ThreadId t, Addr lock, Tick now)
+{
+    int g = gtidOf(c, t);
+    if (g < 0 || races_ == nullptr)
+        return;
+    races_->registerSyncAddr(lock);
+    locks_->onBlockingAcquire(g, lock,
+                              site(c, t, lock, SiteOp::Lock, true, now));
+}
+
+void
+Analyzer::onLockReleased(CoreId c, ThreadId t, Addr lock)
+{
+    int g = gtidOf(c, t);
+    if (g < 0 || locks_ == nullptr)
+        return;
+    locks_->onRelease(g, lock);
+}
+
+void
+Analyzer::onVLockTry(CoreId c, ThreadId t, Addr lock, bool granted,
+                     Tick now)
+{
+    int g = gtidOf(c, t);
+    if (g < 0 || races_ == nullptr)
+        return;
+    races_->registerSyncAddr(lock);
+    locks_->onTryAcquire(g, lock, granted,
+                         site(c, t, lock, SiteOp::Lock, true, now));
+}
+
+void
+Analyzer::onVUnlock(CoreId c, ThreadId t, Addr lock)
+{
+    int g = gtidOf(c, t);
+    if (g < 0 || locks_ == nullptr)
+        return;
+    locks_->onRelease(g, lock);
+}
+
+void
+Analyzer::onStoreIssued(CoreId c, ThreadId t)
+{
+    int g = gtidOf(c, t);
+    if (g < 0 || races_ == nullptr)
+        return;
+    pendingStoreEpochs_[static_cast<std::size_t>(g)].push_back(
+        races_->epochOf(g));
+}
+
+std::uint64_t
+Analyzer::popStoreEpoch(int gtid)
+{
+    auto &q = pendingStoreEpochs_[static_cast<std::size_t>(gtid)];
+    if (q.empty()) // store not seen at issue (bare-memsys test rigs)
+        return races_->epochOf(gtid);
+    std::uint64_t epoch = q.front();
+    q.pop_front();
+    return epoch;
+}
+
+void
+Analyzer::onBarrierArrive(CoreId c, ThreadId t, Tick now)
+{
+    int g = gtidOf(c, t);
+    if (g < 0 || locks_ == nullptr)
+        return;
+    locks_->onBarrierArrive(g, site(c, t, kNoAddr, SiteOp::Barrier,
+                                    false, now));
+}
+
+void
+Analyzer::onBarrierComplete(const std::vector<int> &gtids)
+{
+    if (races_ != nullptr)
+        races_->barrierMerge(gtids);
+}
+
+void
+Analyzer::onThreadExit(CoreId c, ThreadId t, Tick now)
+{
+    int g = gtidOf(c, t);
+    if (g < 0 || locks_ == nullptr)
+        return;
+    locks_->onThreadExit(g, site(c, t, kNoAddr, SiteOp::None, false,
+                                 now));
+}
+
+void
+Analyzer::finishRun(SystemStats &stats, Tick now)
+{
+    if (log_ == nullptr)
+        return;
+    locks_->finishRun(now);
+    stats.analyzerRaces = log_->count(FindingKind::Race);
+    stats.analyzerLockCycles = log_->count(FindingKind::LockCycle);
+    stats.analyzerLockHeldAtExit =
+        log_->count(FindingKind::LockHeldAtExit);
+    stats.analyzerLockHeldAcrossBarrier =
+        log_->count(FindingKind::LockHeldAcrossBarrier);
+    stats.analyzerDanglingReservations =
+        log_->count(FindingKind::DanglingReservation);
+    stats.analyzerReservationOverBudget =
+        log_->count(FindingKind::ReservationOverBudget);
+    stats.analyzerSelfWritesToLinked =
+        log_->count(FindingKind::SelfWriteToLinked);
+    stats.analyzerMaskMismatches =
+        log_->count(FindingKind::MaskMismatch);
+}
+
+std::string
+Analyzer::postMortem(Tick now) const
+{
+    if (log_ == nullptr)
+        return "";
+    std::string out = locks_->postMortem();
+    out += linter_->postMortem(now);
+    if (log_->total() > 0)
+        out += strprintf("analyzer findings so far: %llu (%zu stored)\n",
+                         (unsigned long long)log_->total(),
+                         log_->stored().size());
+    return out;
+}
+
+const std::vector<Finding> &
+Analyzer::findings() const
+{
+    static const std::vector<Finding> kEmpty;
+    return log_ == nullptr ? kEmpty : log_->stored();
+}
+
+std::uint64_t
+Analyzer::count(FindingKind kind) const
+{
+    return log_ == nullptr ? 0 : log_->count(kind);
+}
+
+std::uint64_t
+Analyzer::totalFindings() const
+{
+    return log_ == nullptr ? 0 : log_->total();
+}
+
+std::string
+Analyzer::findingsJson() const
+{
+    return findingsToJson(findings());
+}
+
+// ----- Kernel-side hooks (call sites in src/core/vatomic.cc). -----
+
+void
+analyzerOnLockAcquired(SimThread &t, Addr lock)
+{
+    Analyzer *a = t.config().analyzer;
+    if (a != nullptr)
+        a->onLockAcquired(t.coreId(), t.tid(), lock, t.now());
+}
+
+void
+analyzerOnLockReleased(SimThread &t, Addr lock)
+{
+    Analyzer *a = t.config().analyzer;
+    if (a != nullptr)
+        a->onLockReleased(t.coreId(), t.tid(), lock);
+}
+
+void
+analyzerOnVLockTry(SimThread &t, Addr lockArray, const VecReg &idx,
+                   Mask requested, Mask got)
+{
+    Analyzer *a = t.config().analyzer;
+    if (a == nullptr)
+        return;
+    // Aliased lanes contend for one lock word and at most one wins;
+    // report each distinct lock once, as granted if any lane got it.
+    for (int i = 0; i < t.width(); i++) {
+        if (!requested.test(i))
+            continue;
+        bool dup = false;
+        for (int j = 0; j < i && !dup; j++)
+            dup = requested.test(j) && idx[j] == idx[i];
+        if (dup)
+            continue;
+        bool granted = false;
+        for (int j = i; j < t.width(); j++) {
+            if (requested.test(j) && idx[j] == idx[i] && got.test(j))
+                granted = true;
+        }
+        a->onVLockTry(t.coreId(), t.tid(), lockArray + idx[i] * 4,
+                      granted, t.now());
+    }
+}
+
+void
+analyzerOnVUnlock(SimThread &t, Addr lockArray, const VecReg &idx,
+                  Mask mask)
+{
+    Analyzer *a = t.config().analyzer;
+    if (a == nullptr)
+        return;
+    for (int i = 0; i < t.width(); i++) {
+        if (mask.test(i))
+            a->onVUnlock(t.coreId(), t.tid(), lockArray + idx[i] * 4);
+    }
+}
+
+} // namespace glsc

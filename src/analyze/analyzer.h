@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Guest-program analysis facade: owns the happens-before race
+ * detector, the VLOCK lock-order/deadlock analyzer and the
+ * GLSC-protocol linter, and translates simulator hook callbacks into
+ * their events.
+ *
+ * Installed via SystemConfig::analyzer and observed through the same
+ * null-guarded hook pattern as the Tracer: every hook site checks the
+ * pointer, so an un-analyzed run costs nothing, and an analyzed run
+ * never changes simulated timing -- the analyzer only reads the
+ * operations the MemorySystem already serialized.
+ *
+ * Hook placement matters (DESIGN.md section 10): all happens-before
+ * clock transfer happens at MemorySystem serialization points, not at
+ * kernel-hook time, because write-buffered release stores drain
+ * asynchronously.  Kernel-level hooks (vatomic.cc) only classify lock
+ * protocol events -- which addresses are locks, which acquisitions
+ * block -- never clock order.
+ */
+
+#ifndef GLSC_ANALYZE_ANALYZER_H_
+#define GLSC_ANALYZE_ANALYZER_H_
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "analyze/analyze_config.h"
+#include "analyze/finding.h"
+#include "mem/memsys.h"
+
+namespace glsc {
+
+class FindingLog;
+class RaceDetector;
+class LockOrderAnalyzer;
+class GlscLinter;
+class SimThread;
+
+class Analyzer
+{
+  public:
+    explicit Analyzer(AnalyzeConfig cfg = {});
+    ~Analyzer();
+
+    Analyzer(const Analyzer &) = delete;
+    Analyzer &operator=(const Analyzer &) = delete;
+
+    /** Called once by the MemorySystem when a run binds the analyzer. */
+    void onAttach(const SystemConfig &cfg);
+
+    // ----- MemorySystem serialization-point hooks. -----
+    void onScalar(CoreId c, ThreadId t, Addr a, int size, MemOpType type,
+                  std::uint64_t wdata, const ScalarResult &res, Tick now);
+    void onGatherLine(CoreId c, ThreadId t,
+                      const std::vector<GsuLane> &lanes, int size,
+                      bool linked, const LineOpResult &res, Tick now);
+    void onScatterLine(CoreId c, ThreadId t,
+                       const std::vector<GsuLane> &lanes, int size,
+                       bool conditional, const LineOpResult &res,
+                       Tick now);
+    void onVload(CoreId c, ThreadId t, Addr a, int width, int elemSize,
+                 Tick now);
+    void onVstore(CoreId c, ThreadId t, Addr a, Mask mask, int width,
+                  int elemSize, Tick now);
+
+    // ----- Kernel-level lock-protocol hooks. -----
+    void onLockAcquired(CoreId c, ThreadId t, Addr lock, Tick now);
+    void onLockReleased(CoreId c, ThreadId t, Addr lock);
+    /** One vLockTry lane: @p lock requested, @p granted its outcome. */
+    void onVLockTry(CoreId c, ThreadId t, Addr lock, bool granted,
+                    Tick now);
+    void onVUnlock(CoreId c, ThreadId t, Addr lock);
+
+    /**
+     * A buffered store (plain Store or VStore) was ISSUED by the
+     * thread.  The write buffer drains at serialization time, which
+     * can be after the thread's next barrier merge or lock release;
+     * recording the drain with the thread's then-current clock would
+     * make a pre-barrier store look post-barrier (a false race).  The
+     * issue-time epoch is queued here and consumed FIFO at the drain
+     * hooks -- per-thread drain order matches issue order.
+     */
+    void onStoreIssued(CoreId c, ThreadId t);
+
+    // ----- Control-flow hooks. -----
+    void onBarrierArrive(CoreId c, ThreadId t, Tick now);
+    /** All participants arrived; @p gtids are merged and released. */
+    void onBarrierComplete(const std::vector<int> &gtids);
+    void onThreadExit(CoreId c, ThreadId t, Tick now);
+
+    /** End of run: cycle detection, counter export into @p stats. */
+    void finishRun(SystemStats &stats, Tick now);
+
+    /** Open analyzer state for the watchdog panic dump. */
+    std::string postMortem(Tick now) const;
+
+    const std::vector<Finding> &findings() const;
+    std::uint64_t count(FindingKind kind) const;
+    std::uint64_t totalFindings() const;
+    std::string findingsJson() const;
+
+    const AnalyzeConfig &config() const { return cfg_; }
+
+  private:
+    int gtidOf(CoreId c, ThreadId t) const;
+    AccessSite site(CoreId c, ThreadId t, Addr a, SiteOp op, bool atomic,
+                    Tick now, int lane = -1) const;
+
+    std::uint64_t popStoreEpoch(int gtid);
+
+    AnalyzeConfig cfg_;
+    int threadsPerCore_ = 0;
+    int totalThreads_ = 0;
+    //! Issue-time epochs of not-yet-drained buffered stores, per gtid.
+    std::vector<std::deque<std::uint64_t>> pendingStoreEpochs_;
+    std::unique_ptr<FindingLog> log_;
+    std::unique_ptr<RaceDetector> races_;
+    std::unique_ptr<LockOrderAnalyzer> locks_;
+    std::unique_ptr<GlscLinter> linter_;
+};
+
+// Kernel-side convenience hooks (src/core/vatomic.cc): null-guarded on
+// SimThread::config().analyzer, so call sites stay one-liners.
+void analyzerOnLockAcquired(SimThread &t, Addr lock);
+void analyzerOnLockReleased(SimThread &t, Addr lock);
+void analyzerOnVLockTry(SimThread &t, Addr lockArray, const VecReg &idx,
+                        Mask requested, Mask got);
+void analyzerOnVUnlock(SimThread &t, Addr lockArray, const VecReg &idx,
+                       Mask mask);
+
+} // namespace glsc
+
+#endif // GLSC_ANALYZE_ANALYZER_H_

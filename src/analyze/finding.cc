@@ -1,0 +1,449 @@
+#include "analyze/finding.h"
+
+#include <cctype>
+#include <cstdint>
+
+#include "sim/log.h"
+
+namespace glsc {
+
+const char *
+findingKindName(FindingKind kind)
+{
+    switch (kind) {
+    case FindingKind::Race:
+        return "race";
+    case FindingKind::LockCycle:
+        return "lock-cycle";
+    case FindingKind::LockHeldAtExit:
+        return "lock-held-at-exit";
+    case FindingKind::LockHeldAcrossBarrier:
+        return "lock-held-across-barrier";
+    case FindingKind::DanglingReservation:
+        return "dangling-reservation";
+    case FindingKind::ReservationOverBudget:
+        return "reservation-over-budget";
+    case FindingKind::SelfWriteToLinked:
+        return "self-write-to-linked";
+    case FindingKind::MaskMismatch:
+        return "mask-mismatch";
+    }
+    return "?";
+}
+
+const char *
+siteOpName(SiteOp op)
+{
+    switch (op) {
+    case SiteOp::None:
+        return "none";
+    case SiteOp::Load:
+        return "load";
+    case SiteOp::Store:
+        return "store";
+    case SiteOp::LoadLinked:
+        return "ll";
+    case SiteOp::StoreCond:
+        return "sc";
+    case SiteOp::VLoad:
+        return "vload";
+    case SiteOp::VStore:
+        return "vstore";
+    case SiteOp::Gather:
+        return "gather";
+    case SiteOp::GatherLink:
+        return "gatherlink";
+    case SiteOp::Scatter:
+        return "scatter";
+    case SiteOp::ScatterCond:
+        return "scattercond";
+    case SiteOp::Lock:
+        return "lock";
+    case SiteOp::Unlock:
+        return "unlock";
+    case SiteOp::Barrier:
+        return "barrier";
+    }
+    return "?";
+}
+
+std::string
+AccessSite::toString() const
+{
+    std::string out = strprintf("g%d (c%d t%d) %s", gtid, core, tid,
+                                siteOpName(op));
+    if (atomic)
+        out += " [atomic]";
+    if (addr != kNoAddr)
+        out += strprintf(" addr=0x%llx", (unsigned long long)addr);
+    if (lane >= 0)
+        out += strprintf(" lane=%d", lane);
+    out += strprintf(" @%llu", (unsigned long long)tick);
+    return out;
+}
+
+std::string
+Finding::toString() const
+{
+    std::string out = strprintf("[%s] ", findingKindName(kind));
+    if (first.op != SiteOp::None)
+        out += first.toString();
+    if (second.op != SiteOp::None) {
+        out += "  vs  ";
+        out += second.toString();
+    }
+    if (!detail.empty()) {
+        out += "  -- ";
+        out += detail;
+    }
+    return out;
+}
+
+namespace {
+
+void
+appendEscaped(std::string &out, const std::string &s)
+{
+    out += '"';
+    for (char c : s) {
+        switch (c) {
+        case '"':
+            out += "\\\"";
+            break;
+        case '\\':
+            out += "\\\\";
+            break;
+        case '\n':
+            out += "\\n";
+            break;
+        case '\t':
+            out += "\\t";
+            break;
+        default:
+            if (static_cast<unsigned char>(c) < 0x20)
+                out += strprintf("\\u%04x", c);
+            else
+                out += c;
+        }
+    }
+    out += '"';
+}
+
+void
+appendSite(std::string &out, const char *name, const AccessSite &s)
+{
+    out += strprintf("      \"%s\": {\"gtid\": %d, \"core\": %d, "
+                     "\"tid\": %d, \"tick\": %llu, \"addr\": %llu, "
+                     "\"lane\": %d, \"op\": \"%s\", \"atomic\": %s}",
+                     name, s.gtid, s.core, s.tid,
+                     (unsigned long long)s.tick,
+                     (unsigned long long)s.addr, s.lane, siteOpName(s.op),
+                     s.atomic ? "true" : "false");
+}
+
+} // namespace
+
+std::string
+findingsToJson(const std::vector<Finding> &findings)
+{
+    std::string out = "{\n  \"schema\": \"glsc-findings-v1\",\n";
+    out += strprintf("  \"count\": %zu,\n", findings.size());
+    out += "  \"findings\": [";
+    for (std::size_t i = 0; i < findings.size(); i++) {
+        const Finding &f = findings[i];
+        out += i ? ",\n    {\n" : "\n    {\n";
+        out += strprintf("      \"kind\": \"%s\",\n",
+                         findingKindName(f.kind));
+        appendSite(out, "first", f.first);
+        out += ",\n";
+        appendSite(out, "second", f.second);
+        out += ",\n      \"detail\": ";
+        appendEscaped(out, f.detail);
+        out += "\n    }";
+    }
+    out += findings.empty() ? "]\n}\n" : "\n  ]\n}\n";
+    return out;
+}
+
+// ----- Strict parser (inverse of the writer above). -----
+
+namespace {
+
+struct FindingsParser
+{
+    const std::string &s;
+    std::size_t pos = 0;
+
+    explicit FindingsParser(const std::string &text) : s(text) {}
+
+    [[noreturn]] void
+    fail(const char *what)
+    {
+        GLSC_FATAL("findings JSON: %s at offset %zu", what, pos);
+    }
+
+    void
+    skipWs()
+    {
+        while (pos < s.size() && std::isspace(
+                                     static_cast<unsigned char>(s[pos])))
+            pos++;
+    }
+
+    void
+    expect(char c)
+    {
+        skipWs();
+        if (pos >= s.size() || s[pos] != c)
+            fail("unexpected character");
+        pos++;
+    }
+
+    bool
+    consume(char c)
+    {
+        skipWs();
+        if (pos < s.size() && s[pos] == c) {
+            pos++;
+            return true;
+        }
+        return false;
+    }
+
+    std::string
+    string()
+    {
+        expect('"');
+        std::string out;
+        while (pos < s.size() && s[pos] != '"') {
+            char c = s[pos++];
+            if (c != '\\') {
+                out += c;
+                continue;
+            }
+            if (pos >= s.size())
+                fail("dangling escape");
+            char e = s[pos++];
+            switch (e) {
+            case '"':
+                out += '"';
+                break;
+            case '\\':
+                out += '\\';
+                break;
+            case 'n':
+                out += '\n';
+                break;
+            case 't':
+                out += '\t';
+                break;
+            case 'u': {
+                if (pos + 4 > s.size())
+                    fail("short \\u escape");
+                unsigned v = 0;
+                for (int i = 0; i < 4; i++) {
+                    char h = s[pos++];
+                    v <<= 4;
+                    if (h >= '0' && h <= '9')
+                        v |= static_cast<unsigned>(h - '0');
+                    else if (h >= 'a' && h <= 'f')
+                        v |= static_cast<unsigned>(h - 'a' + 10);
+                    else
+                        fail("bad \\u escape");
+                }
+                out += static_cast<char>(v);
+                break;
+            }
+            default:
+                fail("unknown escape");
+            }
+        }
+        expect('"');
+        return out;
+    }
+
+    std::int64_t
+    integer()
+    {
+        skipWs();
+        bool neg = consume('-');
+        skipWs();
+        if (pos >= s.size() || !std::isdigit(
+                                   static_cast<unsigned char>(s[pos])))
+            fail("expected integer");
+        std::uint64_t v = 0;
+        while (pos < s.size() &&
+               std::isdigit(static_cast<unsigned char>(s[pos])))
+            v = v * 10 + static_cast<std::uint64_t>(s[pos++] - '0');
+        return neg ? -static_cast<std::int64_t>(v)
+                   : static_cast<std::int64_t>(v);
+    }
+
+    std::uint64_t
+    unsignedInt()
+    {
+        // Full u64 range: addr can be kNoAddr (2^64-1), which would
+        // look negative through the signed integer() round-trip.
+        skipWs();
+        if (pos >= s.size() || !std::isdigit(
+                                   static_cast<unsigned char>(s[pos])))
+            fail("expected non-negative integer");
+        std::uint64_t v = 0;
+        while (pos < s.size() &&
+               std::isdigit(static_cast<unsigned char>(s[pos])))
+            v = v * 10 + static_cast<std::uint64_t>(s[pos++] - '0');
+        return v;
+    }
+
+    bool
+    boolean()
+    {
+        skipWs();
+        if (s.compare(pos, 4, "true") == 0) {
+            pos += 4;
+            return true;
+        }
+        if (s.compare(pos, 5, "false") == 0) {
+            pos += 5;
+            return false;
+        }
+        fail("expected boolean");
+    }
+
+    std::string
+    key()
+    {
+        std::string k = string();
+        expect(':');
+        return k;
+    }
+
+    SiteOp
+    siteOp(const std::string &name)
+    {
+        for (int i = 0; i <= static_cast<int>(SiteOp::Barrier); i++) {
+            SiteOp op = static_cast<SiteOp>(i);
+            if (name == siteOpName(op))
+                return op;
+        }
+        fail("unknown site op");
+    }
+
+    FindingKind
+    findingKind(const std::string &name)
+    {
+        for (int i = 0; i < kFindingKinds; i++) {
+            FindingKind k = static_cast<FindingKind>(i);
+            if (name == findingKindName(k))
+                return k;
+        }
+        fail("unknown finding kind");
+    }
+
+    AccessSite
+    site()
+    {
+        AccessSite out;
+        expect('{');
+        bool first = true;
+        while (!consume('}')) {
+            if (!first)
+                expect(',');
+            first = false;
+            std::string k = key();
+            if (k == "gtid")
+                out.gtid = static_cast<int>(integer());
+            else if (k == "core")
+                out.core = static_cast<CoreId>(integer());
+            else if (k == "tid")
+                out.tid = static_cast<ThreadId>(integer());
+            else if (k == "tick")
+                out.tick = unsignedInt();
+            else if (k == "addr")
+                out.addr = unsignedInt();
+            else if (k == "lane")
+                out.lane = static_cast<int>(integer());
+            else if (k == "op")
+                out.op = siteOp(string());
+            else if (k == "atomic")
+                out.atomic = boolean();
+            else
+                fail("unknown site field");
+        }
+        return out;
+    }
+
+    std::vector<Finding>
+    document()
+    {
+        std::vector<Finding> out;
+        std::uint64_t count = 0;
+        bool sawSchema = false, sawCount = false, sawFindings = false;
+        expect('{');
+        bool first = true;
+        while (!consume('}')) {
+            if (!first)
+                expect(',');
+            first = false;
+            std::string k = key();
+            if (k == "schema") {
+                if (string() != "glsc-findings-v1")
+                    fail("unsupported schema");
+                sawSchema = true;
+            } else if (k == "count") {
+                count = unsignedInt();
+                sawCount = true;
+            } else if (k == "findings") {
+                sawFindings = true;
+                expect('[');
+                bool firstElem = true;
+                while (!consume(']')) {
+                    if (!firstElem)
+                        expect(',');
+                    firstElem = false;
+                    Finding f;
+                    expect('{');
+                    bool firstField = true;
+                    while (!consume('}')) {
+                        if (!firstField)
+                            expect(',');
+                        firstField = false;
+                        std::string fk = key();
+                        if (fk == "kind")
+                            f.kind = findingKind(string());
+                        else if (fk == "first")
+                            f.first = site();
+                        else if (fk == "second")
+                            f.second = site();
+                        else if (fk == "detail")
+                            f.detail = string();
+                        else
+                            fail("unknown finding field");
+                    }
+                    out.push_back(std::move(f));
+                }
+            } else {
+                fail("unknown document field");
+            }
+        }
+        skipWs();
+        if (pos != s.size())
+            fail("trailing content");
+        if (!sawSchema || !sawCount || !sawFindings)
+            fail("missing required field");
+        if (count != out.size())
+            fail("count disagrees with findings array");
+        return out;
+    }
+};
+
+} // namespace
+
+std::vector<Finding>
+findingsFromJson(const std::string &json)
+{
+    FindingsParser p(json);
+    return p.document();
+}
+
+} // namespace glsc

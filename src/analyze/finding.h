@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Analyzer finding records: what the race detector, lock-order
+ * analyzer and GLSC-protocol linter report, plus their text and JSON
+ * renderings.  A Finding carries up to two attributed access sites
+ * (the racing pair, or the link/scatter pair) so every report names
+ * exact (thread, tick, address, lane) coordinates.
+ */
+
+#ifndef GLSC_ANALYZE_FINDING_H_
+#define GLSC_ANALYZE_FINDING_H_
+
+#include <string>
+#include <vector>
+
+#include "sim/types.h"
+
+namespace glsc {
+
+enum class FindingKind
+{
+    Race,
+    LockCycle,
+    LockHeldAtExit,
+    LockHeldAcrossBarrier,
+    DanglingReservation,
+    ReservationOverBudget,
+    SelfWriteToLinked,
+    MaskMismatch,
+};
+
+constexpr int kFindingKinds =
+    static_cast<int>(FindingKind::MaskMismatch) + 1;
+
+const char *findingKindName(FindingKind kind);
+
+/** The kind of guest access an AccessSite attributes. */
+enum class SiteOp
+{
+    None,
+    Load,
+    Store,
+    LoadLinked,
+    StoreCond,
+    VLoad,
+    VStore,
+    Gather,
+    GatherLink,
+    Scatter,
+    ScatterCond,
+    Lock,
+    Unlock,
+    Barrier,
+};
+
+const char *siteOpName(SiteOp op);
+
+/** One attributed guest access: who touched what, when, and how. */
+struct AccessSite
+{
+    int gtid = -1;       //!< global thread id, or -1 if unknown
+    CoreId core = -1;
+    ThreadId tid = -1;
+    Tick tick = 0;
+    Addr addr = kNoAddr; //!< word or lock address, kNoAddr if n/a
+    int lane = -1;       //!< SIMD lane, or -1 for scalar/whole-op
+    SiteOp op = SiteOp::None;
+    bool atomic = false; //!< ll/sc or gather-link/scatter-cond access
+
+    std::string toString() const;
+};
+
+struct Finding
+{
+    FindingKind kind = FindingKind::Race;
+    AccessSite first;     //!< e.g. the earlier racing access
+    AccessSite second;    //!< e.g. the later racing access
+    std::string detail;   //!< human-readable specifics (cycle path...)
+
+    std::string toString() const;
+};
+
+/** Renders a findings report as a stable, versioned JSON document. */
+std::string findingsToJson(const std::vector<Finding> &findings);
+
+/** Strict inverse of findingsToJson; GLSC_FATAL on malformed input. */
+std::vector<Finding> findingsFromJson(const std::string &json);
+
+} // namespace glsc
+
+#endif // GLSC_ANALYZE_FINDING_H_

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Shared sink for analyzer findings: tallies per-kind counts, stores
+ * the first AnalyzeConfig::maxStoredFindings findings verbatim, and
+ * mirrors each stored finding into the Tracer (when one is installed)
+ * as an AnalyzerFinding event at detection time.
+ */
+
+#ifndef GLSC_ANALYZE_FINDING_LOG_H_
+#define GLSC_ANALYZE_FINDING_LOG_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "analyze/analyze_config.h"
+#include "analyze/finding.h"
+#include "obs/trace.h"
+
+namespace glsc {
+
+class FindingLog
+{
+  public:
+    FindingLog(const AnalyzeConfig &cfg, Tracer *tracer)
+        : cfg_(cfg), tracer_(tracer)
+    {
+    }
+
+    void
+    report(Finding f, Tick now)
+    {
+        counts_[static_cast<int>(f.kind)]++;
+        if (stored_.size() >= cfg_.maxStoredFindings)
+            return;
+        if (tracer_ != nullptr) {
+            TraceEvent e;
+            e.tick = now;
+            e.type = TraceEventType::AnalyzerFinding;
+            e.core = f.first.core;
+            e.tid = f.first.tid;
+            e.tid2 = static_cast<ThreadId>(f.second.gtid);
+            e.line = f.first.addr == kNoAddr ? kNoAddr
+                                             : lineAddr(f.first.addr);
+            e.a = static_cast<std::uint64_t>(f.kind);
+            e.b = f.second.tick;
+            tracer_->emit(e);
+        }
+        stored_.push_back(std::move(f));
+    }
+
+    const std::vector<Finding> &stored() const { return stored_; }
+
+    std::uint64_t
+    count(FindingKind kind) const
+    {
+        return counts_[static_cast<int>(kind)];
+    }
+
+    std::uint64_t
+    total() const
+    {
+        std::uint64_t n = 0;
+        for (std::uint64_t c : counts_)
+            n += c;
+        return n;
+    }
+
+    const AnalyzeConfig &config() const { return cfg_; }
+
+  private:
+    AnalyzeConfig cfg_;
+    Tracer *tracer_;
+    std::vector<Finding> stored_;
+    std::uint64_t counts_[kFindingKinds] = {};
+};
+
+} // namespace glsc
+
+#endif // GLSC_ANALYZE_FINDING_LOG_H_

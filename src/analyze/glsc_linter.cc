@@ -1,0 +1,121 @@
+#include "analyze/glsc_linter.h"
+
+#include "sim/log.h"
+
+namespace glsc {
+
+GlscLinter::GlscLinter(int totalThreads, FindingLog &log)
+    : links_(static_cast<std::size_t>(totalThreads)), log_(log)
+{
+}
+
+void
+GlscLinter::onLink(int gtid, Addr line,
+                   const std::vector<Addr> &laneAddrs,
+                   const AccessSite &site)
+{
+    LinkRec rec;
+    rec.site = site;
+    for (Addr a : laneAddrs)
+        rec.addrs.insert(a);
+    links_[static_cast<std::size_t>(gtid)][line] = std::move(rec);
+}
+
+void
+GlscLinter::onCondStore(int gtid, Addr line,
+                        const std::vector<Addr> &laneAddrs,
+                        const AccessSite &site)
+{
+    auto &mine = links_[static_cast<std::size_t>(gtid)];
+    auto it = mine.find(line);
+    if (it == mine.end()) {
+        Finding f;
+        f.kind = FindingKind::DanglingReservation;
+        f.first = site;
+        f.detail = strprintf("conditional store to line 0x%llx with no "
+                             "live gather-link reservation",
+                             (unsigned long long)line);
+        log_.report(std::move(f), site.tick);
+        return;
+    }
+    const LinkRec &rec = it->second;
+    Tick window = site.tick >= rec.site.tick
+                      ? site.tick - rec.site.tick
+                      : 0;
+    if (window > log_.config().reservationWindowBudget) {
+        Finding f;
+        f.kind = FindingKind::ReservationOverBudget;
+        f.first = rec.site;
+        f.second = site;
+        f.detail = strprintf(
+            "link-to-scatter window of %llu cycles exceeds the %llu "
+            "cycle budget (eviction-prone reservation)",
+            (unsigned long long)window,
+            (unsigned long long)log_.config().reservationWindowBudget);
+        log_.report(std::move(f), site.tick);
+    }
+    for (Addr a : laneAddrs) {
+        if (rec.addrs.count(a))
+            continue;
+        Finding f;
+        f.kind = FindingKind::MaskMismatch;
+        f.first = rec.site;
+        f.second = site;
+        f.second.addr = a;
+        f.detail = strprintf("scatter-cond lane address 0x%llx was not "
+                             "covered by the matching gather-link",
+                             (unsigned long long)a);
+        log_.report(std::move(f), site.tick);
+        break;
+    }
+    mine.erase(it);
+}
+
+void
+GlscLinter::onPlainWrite(int gtid, Addr line, const AccessSite &site)
+{
+    auto &mine = links_[static_cast<std::size_t>(gtid)];
+    auto it = mine.find(line);
+    if (it == mine.end())
+        return;
+    Finding f;
+    f.kind = FindingKind::SelfWriteToLinked;
+    f.first = it->second.site;
+    f.second = site;
+    f.detail = strprintf("plain write to own linked line 0x%llx kills "
+                         "the live reservation",
+                         (unsigned long long)line);
+    log_.report(std::move(f), site.tick);
+    mine.erase(it);
+}
+
+int
+GlscLinter::liveLinks(int gtid) const
+{
+    return static_cast<int>(
+        links_[static_cast<std::size_t>(gtid)].size());
+}
+
+std::string
+GlscLinter::postMortem(Tick now) const
+{
+    std::string out;
+    for (std::size_t g = 0; g < links_.size(); g++) {
+        for (const auto &[line, rec] : links_[g]) {
+            out += strprintf(
+                "  g%zu: line 0x%llx linked @%llu (age %llu, %zu "
+                "lanes)\n",
+                g, (unsigned long long)line,
+                (unsigned long long)rec.site.tick,
+                (unsigned long long)(now >= rec.site.tick
+                                         ? now - rec.site.tick
+                                         : 0),
+                rec.addrs.size());
+        }
+    }
+    if (!out.empty())
+        out = "live gather-link reservations:\n" + out;
+    return out;
+}
+
+} // namespace glsc

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * GLSC-protocol linter over the per-thread op stream.
+ *
+ * Tracks every live gather-linked reservation per (global thread,
+ * line) as the *program* expressed it -- independent of whether the
+ * hardware entry survived -- and flags protocol misuse:
+ *
+ *  - DanglingReservation: a vscattercond (or sc) to a line the thread
+ *    never gather-linked, or whose reservation it already consumed;
+ *  - ReservationOverBudget: link-to-scatter window exceeding
+ *    AnalyzeConfig::reservationWindowBudget cycles (eviction-prone);
+ *  - SelfWriteToLinked: a plain store/scatter by the linking thread to
+ *    its own live linked line, which silently kills the reservation;
+ *  - MaskMismatch: a scatter-cond lane address the matching
+ *    gather-link never linked (a scatter of a SUBSET of linked lanes
+ *    is legal -- vLockTry scatters only its available lanes).
+ *
+ * Re-linking a live line is normal retry behaviour, not a finding.
+ */
+
+#ifndef GLSC_ANALYZE_GLSC_LINTER_H_
+#define GLSC_ANALYZE_GLSC_LINTER_H_
+
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "analyze/finding_log.h"
+#include "sim/types.h"
+
+namespace glsc {
+
+class GlscLinter
+{
+  public:
+    GlscLinter(int totalThreads, FindingLog &log);
+
+    /** Successful link (gather-linked line or scalar ll). */
+    void onLink(int gtid, Addr line,
+                const std::vector<Addr> &laneAddrs,
+                const AccessSite &site);
+
+    /**
+     * Conditional-store attempt (scatter-cond line or scalar sc);
+     * consumes the reservation record whatever the outcome.
+     */
+    void onCondStore(int gtid, Addr line,
+                     const std::vector<Addr> &laneAddrs,
+                     const AccessSite &site);
+
+    /** Plain (unconditional) write touching @p line by @p gtid. */
+    void onPlainWrite(int gtid, Addr line, const AccessSite &site);
+
+    /** Live reservation count for @p gtid (tests). */
+    int liveLinks(int gtid) const;
+
+    /** Human-readable open state for the watchdog panic dump. */
+    std::string postMortem(Tick now) const;
+
+  private:
+    struct LinkRec
+    {
+        AccessSite site;
+        std::unordered_set<Addr> addrs; //!< linked lane addresses
+    };
+
+    std::vector<std::unordered_map<Addr, LinkRec>> links_;
+    FindingLog &log_;
+};
+
+} // namespace glsc
+
+#endif // GLSC_ANALYZE_GLSC_LINTER_H_

@@ -1,0 +1,224 @@
+#include "analyze/lock_order.h"
+
+#include <algorithm>
+#include <functional>
+
+#include "sim/log.h"
+
+namespace glsc {
+
+LockOrderAnalyzer::LockOrderAnalyzer(int totalThreads, FindingLog &log)
+    : threads_(static_cast<std::size_t>(totalThreads)), log_(log)
+{
+}
+
+void
+LockOrderAnalyzer::addWaitEdge(Addr from, Addr to, const AccessSite &site)
+{
+    wait_[from].try_emplace(to, EdgeInfo{site});
+}
+
+void
+LockOrderAnalyzer::promotePending(ThreadLockState &st, Addr lock,
+                                  const AccessSite &site)
+{
+    auto it = st.pending.find(lock);
+    if (it == st.pending.end())
+        return;
+    // Hold-and-wait observed: the thread failed to take `lock` while
+    // holding these, kept holding them, and is trying again.
+    for (const HeldLock &h : st.held) {
+        if (h.addr != lock && it->second.count(h.addr))
+            addWaitEdge(h.addr, lock, site);
+    }
+}
+
+void
+LockOrderAnalyzer::onBlockingAcquire(int gtid, Addr lock,
+                                     const AccessSite &site)
+{
+    ThreadLockState &st = threads_[static_cast<std::size_t>(gtid)];
+    for (const HeldLock &h : st.held)
+        addWaitEdge(h.addr, lock, site);
+    st.pending.erase(lock);
+    st.held.push_back({lock, site});
+}
+
+void
+LockOrderAnalyzer::onTryAcquire(int gtid, Addr lock, bool granted,
+                                const AccessSite &site)
+{
+    ThreadLockState &st = threads_[static_cast<std::size_t>(gtid)];
+    promotePending(st, lock, site);
+    if (granted) {
+        st.pending.erase(lock);
+        st.held.push_back({lock, site});
+        return;
+    }
+    std::unordered_set<Addr> snapshot;
+    for (const HeldLock &h : st.held) {
+        if (h.addr != lock)
+            snapshot.insert(h.addr);
+    }
+    if (snapshot.empty())
+        st.pending.erase(lock);
+    else
+        st.pending[lock] = std::move(snapshot);
+}
+
+void
+LockOrderAnalyzer::onRelease(int gtid, Addr lock)
+{
+    ThreadLockState &st = threads_[static_cast<std::size_t>(gtid)];
+    st.held.erase(std::remove_if(st.held.begin(), st.held.end(),
+                                 [lock](const HeldLock &h) {
+                                     return h.addr == lock;
+                                 }),
+                  st.held.end());
+    // A pending want only proves hold-and-wait while every snapshot
+    // lock stays continuously held.
+    for (auto it = st.pending.begin(); it != st.pending.end();) {
+        it->second.erase(lock);
+        if (it->second.empty())
+            it = st.pending.erase(it);
+        else
+            ++it;
+    }
+}
+
+void
+LockOrderAnalyzer::onBarrierArrive(int gtid, const AccessSite &site)
+{
+    const ThreadLockState &st = threads_[static_cast<std::size_t>(gtid)];
+    for (const HeldLock &h : st.held) {
+        Finding f;
+        f.kind = FindingKind::LockHeldAcrossBarrier;
+        f.first = h.site;
+        f.second = site;
+        f.detail = strprintf("lock 0x%llx held while arriving at a "
+                             "barrier",
+                             (unsigned long long)h.addr);
+        log_.report(std::move(f), site.tick);
+    }
+}
+
+void
+LockOrderAnalyzer::onThreadExit(int gtid, const AccessSite &site)
+{
+    const ThreadLockState &st = threads_[static_cast<std::size_t>(gtid)];
+    for (const HeldLock &h : st.held) {
+        Finding f;
+        f.kind = FindingKind::LockHeldAtExit;
+        f.first = h.site;
+        f.second = site;
+        f.detail = strprintf("lock 0x%llx never released",
+                             (unsigned long long)h.addr);
+        log_.report(std::move(f), site.tick);
+    }
+}
+
+void
+LockOrderAnalyzer::finishRun(Tick now)
+{
+    // Iterative colored DFS over the wait graph; every back edge
+    // closes a cycle.  Each cycle is canonicalized (rotated to its
+    // smallest lock address) so it is reported exactly once no matter
+    // where the DFS entered it.
+    std::vector<Addr> nodes;
+    for (const auto &[from, tos] : wait_) {
+        (void)tos;
+        nodes.push_back(from);
+    }
+    std::sort(nodes.begin(), nodes.end());
+
+    std::unordered_map<Addr, int> color; // 0 white, 1 grey, 2 black
+    std::vector<Addr> stack;
+    std::unordered_set<std::string> reported;
+
+    // Recursive lambda via explicit work list keeps this simple: the
+    // graph is tiny (one node per distinct lock address in the run).
+    std::function<void(Addr)> dfs = [&](Addr node) {
+        color[node] = 1;
+        stack.push_back(node);
+        auto it = wait_.find(node);
+        if (it != wait_.end()) {
+            std::vector<Addr> succs;
+            for (const auto &[to, e] : it->second) {
+                (void)e;
+                succs.push_back(to);
+            }
+            std::sort(succs.begin(), succs.end());
+            for (Addr to : succs) {
+                int c = color.count(to) ? color[to] : 0;
+                if (c == 0) {
+                    dfs(to);
+                } else if (c == 1) {
+                    // Back edge: the cycle is the stack suffix
+                    // starting at `to`, closed by node -> to.
+                    auto at = std::find(stack.begin(), stack.end(), to);
+                    std::vector<Addr> cycle(at, stack.end());
+                    auto low = std::min_element(cycle.begin(),
+                                                cycle.end());
+                    std::rotate(cycle.begin(), low, cycle.end());
+                    std::string path;
+                    for (Addr a : cycle)
+                        path += strprintf("0x%llx -> ",
+                                          (unsigned long long)a);
+                    path += strprintf("0x%llx",
+                                      (unsigned long long)cycle[0]);
+                    if (!reported.insert(path).second)
+                        continue;
+                    Finding f;
+                    f.kind = FindingKind::LockCycle;
+                    f.first = wait_[node].at(to).site;
+                    Addr second = cycle.size() > 1 ? cycle[1] : cycle[0];
+                    f.second = wait_[cycle[0]].at(second).site;
+                    f.detail =
+                        strprintf("lock-order cycle: %s", path.c_str());
+                    log_.report(std::move(f), now);
+                }
+            }
+        }
+        stack.pop_back();
+        color[node] = 2;
+    };
+    for (Addr n : nodes) {
+        if (!color.count(n) || color[n] == 0)
+            dfs(n);
+    }
+}
+
+std::vector<Addr>
+LockOrderAnalyzer::heldBy(int gtid) const
+{
+    std::vector<Addr> out;
+    for (const HeldLock &h : threads_[static_cast<std::size_t>(gtid)].held)
+        out.push_back(h.addr);
+    return out;
+}
+
+std::string
+LockOrderAnalyzer::postMortem() const
+{
+    std::string out;
+    for (std::size_t g = 0; g < threads_.size(); g++) {
+        const ThreadLockState &st = threads_[g];
+        if (st.held.empty() && st.pending.empty())
+            continue;
+        out += strprintf("  g%zu:", g);
+        for (const HeldLock &h : st.held)
+            out += strprintf(" holds 0x%llx (since @%llu)",
+                             (unsigned long long)h.addr,
+                             (unsigned long long)h.site.tick);
+        for (const auto &[want, snapshot] : st.pending) {
+            out += strprintf(" wants 0x%llx (holding %zu)",
+                             (unsigned long long)want, snapshot.size());
+        }
+        out += "\n";
+    }
+    if (!out.empty())
+        out = "open lock state:\n" + out;
+    return out;
+}
+
+} // namespace glsc

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * VLOCK lock-order / deadlock analyzer.
+ *
+ * Builds a lock-acquisition graph whose nodes are lock addresses and
+ * whose edges H -> L mean "some thread waited for L while holding H";
+ * a cycle over such *wait* edges is a potential deadlock even when the
+ * observed run completed.  Edge classification (DESIGN.md section 10):
+ *
+ *  - a blocking scalar lockAcquire of L while holding H is a wait edge
+ *    directly -- the thread demonstrably holds-and-waits;
+ *  - a vLockTry of L is non-blocking, so a single failed try proves
+ *    nothing (vLockPairTry deliberately releases its first lock on
+ *    failure).  A failed try of L while holding H records a pending
+ *    want {H...}; releasing H purges it; only a LATER attempt on L
+ *    while still continuously holding H promotes H -> L to a wait
+ *    edge.  This keeps the clean GLSC kernels (which take their lock
+ *    pairs in arbitrary address order but never hold-and-retry) free
+ *    of false cycles, while catching real spin-on-second-lock loops.
+ *
+ * Also checks: locks held across a barrier arrival, and locks still
+ * held when a thread exits.
+ */
+
+#ifndef GLSC_ANALYZE_LOCK_ORDER_H_
+#define GLSC_ANALYZE_LOCK_ORDER_H_
+
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "analyze/finding_log.h"
+#include "sim/types.h"
+
+namespace glsc {
+
+class LockOrderAnalyzer
+{
+  public:
+    LockOrderAnalyzer(int totalThreads, FindingLog &log);
+
+    /** Blocking scalar acquisition of @p lock succeeded. */
+    void onBlockingAcquire(int gtid, Addr lock, const AccessSite &site);
+
+    /**
+     * One lock of a non-blocking try (vLockTry lane).  Call per
+     * requested lock; @p granted reflects that lane's outcome.  An
+     * attempt on a lock with a live pending want promotes the
+     * recorded hold-and-wait edges, whatever the outcome.
+     */
+    void onTryAcquire(int gtid, Addr lock, bool granted,
+                      const AccessSite &site);
+
+    /** @p lock released (scalar lockRelease or a VUNLOCK lane). */
+    void onRelease(int gtid, Addr lock);
+
+    /** Thread arrived at a barrier; flags any held locks. */
+    void onBarrierArrive(int gtid, const AccessSite &site);
+
+    /** Thread finished its kernel; flags any still-held locks. */
+    void onThreadExit(int gtid, const AccessSite &site);
+
+    /** End of run: wait-edge cycle detection. */
+    void finishRun(Tick now);
+
+    /** Locks currently held by @p gtid (tests, post-mortem). */
+    std::vector<Addr> heldBy(int gtid) const;
+
+    /** Human-readable open state for the watchdog panic dump. */
+    std::string postMortem() const;
+
+  private:
+    struct HeldLock
+    {
+        Addr addr = kNoAddr;
+        AccessSite site;
+    };
+
+    struct ThreadLockState
+    {
+        std::vector<HeldLock> held;
+        /** failed-try target -> locks held continuously since. */
+        std::unordered_map<Addr, std::unordered_set<Addr>> pending;
+    };
+
+    struct EdgeInfo
+    {
+        AccessSite site; //!< acquisition that first created the edge
+    };
+
+    void addWaitEdge(Addr from, Addr to, const AccessSite &site);
+    void promotePending(ThreadLockState &st, Addr lock,
+                        const AccessSite &site);
+
+    std::vector<ThreadLockState> threads_;
+    std::unordered_map<Addr, std::unordered_map<Addr, EdgeInfo>> wait_;
+    FindingLog &log_;
+};
+
+} // namespace glsc
+
+#endif // GLSC_ANALYZE_LOCK_ORDER_H_

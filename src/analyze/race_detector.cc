@@ -1,0 +1,149 @@
+#include "analyze/race_detector.h"
+
+namespace glsc {
+
+RaceDetector::RaceDetector(int totalThreads, FindingLog &log)
+    : clocks_(static_cast<std::size_t>(totalThreads),
+              VectorClock(totalThreads)),
+      log_(log)
+{
+    // Epochs start at 1, not 0: a thread's first access must not look
+    // covered by every other thread's all-zero initial view.
+    for (int g = 0; g < totalThreads; g++)
+        clocks_[static_cast<std::size_t>(g)].tick(g);
+}
+
+RaceDetector::AccessRec
+RaceDetector::makeRec(const AccessSite &site) const
+{
+    return makeRec(site,
+                   clocks_[static_cast<std::size_t>(site.gtid)]
+                          [site.gtid]);
+}
+
+RaceDetector::AccessRec
+RaceDetector::makeRec(const AccessSite &site, std::uint64_t epoch) const
+{
+    AccessRec rec;
+    rec.clk = epoch;
+    rec.site = site;
+    rec.valid = true;
+    return rec;
+}
+
+void
+RaceDetector::checkPair(WordState &w, const AccessRec &prev,
+                        const AccessSite &cur)
+{
+    if (w.raceReported)
+        return;
+    if (prev.site.gtid == cur.gtid)
+        return;
+    if (prev.site.atomic && cur.atomic)
+        return;
+    if (ordered(prev, cur.gtid))
+        return;
+    w.raceReported = true;
+    Finding f;
+    f.kind = FindingKind::Race;
+    f.first = prev.site;
+    f.second = cur;
+    f.detail = "unordered conflicting accesses to the same word";
+    log_.report(std::move(f), cur.tick);
+}
+
+void
+RaceDetector::onRead(const AccessSite &site, int size)
+{
+    Addr first = wordOf(site.addr);
+    Addr last = wordOf(site.addr + static_cast<Addr>(size) - 1);
+    for (Addr word = first; word <= last; word++) {
+        if (syncWords_.count(word))
+            continue;
+        WordState &w = words_[word];
+        if (w.lastWrite.valid)
+            checkPair(w, w.lastWrite, site);
+        AccessRec rec = makeRec(site);
+        bool updated = false;
+        for (AccessRec &r : w.reads) {
+            if (r.site.gtid == site.gtid) {
+                r = rec;
+                updated = true;
+                break;
+            }
+        }
+        if (!updated)
+            w.reads.push_back(rec);
+    }
+}
+
+void
+RaceDetector::onWrite(const AccessSite &site, int size)
+{
+    onWrite(site, size, epochOf(site.gtid));
+}
+
+void
+RaceDetector::onWrite(const AccessSite &site, int size,
+                      std::uint64_t epoch)
+{
+    Addr first = wordOf(site.addr);
+    Addr last = wordOf(site.addr + static_cast<Addr>(size) - 1);
+    for (Addr word = first; word <= last; word++) {
+        if (syncWords_.count(word))
+            continue;
+        WordState &w = words_[word];
+        if (w.lastWrite.valid)
+            checkPair(w, w.lastWrite, site);
+        for (const AccessRec &r : w.reads)
+            checkPair(w, r, site);
+        w.reads.clear();
+        w.lastWrite = makeRec(site, epoch);
+    }
+}
+
+void
+RaceDetector::acquire(int gtid, Addr syncAddr)
+{
+    auto it = releaseClocks_.find(wordOf(syncAddr));
+    if (it != releaseClocks_.end())
+        clocks_[static_cast<std::size_t>(gtid)].join(it->second);
+}
+
+void
+RaceDetector::release(int gtid, Addr syncAddr)
+{
+    VectorClock &mine = clocks_[static_cast<std::size_t>(gtid)];
+    auto [it, fresh] =
+        releaseClocks_.try_emplace(wordOf(syncAddr), mine.size());
+    (void)fresh;
+    it->second.join(mine);
+    mine.tick(gtid);
+}
+
+void
+RaceDetector::registerSyncAddr(Addr addr)
+{
+    syncWords_.insert(wordOf(addr));
+}
+
+bool
+RaceDetector::isSyncAddr(Addr addr) const
+{
+    return syncWords_.count(wordOf(addr)) != 0;
+}
+
+void
+RaceDetector::barrierMerge(const std::vector<int> &gtids)
+{
+    VectorClock merged(clocks_.empty() ? 0 : clocks_[0].size());
+    for (int g : gtids)
+        merged.join(clocks_[static_cast<std::size_t>(g)]);
+    for (int g : gtids) {
+        VectorClock &c = clocks_[static_cast<std::size_t>(g)];
+        c.join(merged);
+        c.tick(g);
+    }
+}
+
+} // namespace glsc

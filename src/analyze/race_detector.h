@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Happens-before data-race detector over simulated guest accesses.
+ *
+ * Clock model (DESIGN.md section 10): one vector clock per global
+ * thread, advanced only at release points; one release clock per
+ * synchronization address.  All transfer happens at MemorySystem
+ * serialization points -- crucially NOT at kernel-hook time, because
+ * write-buffered stores drain asynchronously and a release published
+ * before its unlock store drains would miss the releasing thread's
+ * earlier data stores.
+ *
+ *  - successful atomic write (sc, or a successful vscattercond lane)
+ *    to address a: acquire (join C_t with release[a]), then release
+ *    (publish join back to release[a], increment C_t[t]);
+ *  - plain store to a registered lock word: release only (this is the
+ *    unlock -- the paper's VLOCK release is a plain vector scatter);
+ *  - ll / gather-linked lane at a: acquire only;
+ *  - barrier completion: merge all participants, each ticks its own
+ *    component.
+ *
+ * Race rule (C11-style, word granularity): two accesses to the same
+ * 4-byte word by different threads, at least one a write, at least one
+ * non-atomic, neither happens-before the other, and the word is not a
+ * registered lock word.  Only the first race per word is reported --
+ * later races on an already-racy word add no information.
+ */
+
+#ifndef GLSC_ANALYZE_RACE_DETECTOR_H_
+#define GLSC_ANALYZE_RACE_DETECTOR_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "analyze/finding_log.h"
+#include "analyze/vector_clock.h"
+#include "sim/types.h"
+
+namespace glsc {
+
+class RaceDetector
+{
+  public:
+    RaceDetector(int totalThreads, FindingLog &log);
+
+    /** Non-atomic or atomic data read by @p site's thread. */
+    void onRead(const AccessSite &site, int size);
+    /** Committed data write (plain store, sc success lane, ...). */
+    void onWrite(const AccessSite &site, int size);
+    /**
+     * Write recorded with an explicit epoch: buffered stores drain at
+     * serialization time but are ordered at ISSUE time -- a store that
+     * drains after its thread's barrier merge must not look like a
+     * post-barrier access (see Analyzer::onStoreIssued).
+     */
+    void onWrite(const AccessSite &site, int size, std::uint64_t epoch);
+
+    /** Thread @p gtid's current own-component epoch. */
+    std::uint64_t
+    epochOf(int gtid) const
+    {
+        return clocks_[static_cast<std::size_t>(gtid)][gtid];
+    }
+
+    /** Join C_t with the release clock published at @p syncAddr. */
+    void acquire(int gtid, Addr syncAddr);
+    /** Publish C_t into @p syncAddr's release clock; tick C_t[t]. */
+    void release(int gtid, Addr syncAddr);
+
+    /**
+     * Exempts @p addr's word from race checking: lock words are
+     * legitimately written non-atomically on release (VUNLOCK's plain
+     * scatter of zeros), which would otherwise race with the atomic
+     * acquire probes.
+     */
+    void registerSyncAddr(Addr addr);
+    bool isSyncAddr(Addr addr) const;
+
+    /** Barrier completion: merge every participant, tick each. */
+    void barrierMerge(const std::vector<int> &gtids);
+
+  private:
+    struct AccessRec
+    {
+        std::uint64_t clk = 0;
+        AccessSite site;
+        bool valid = false;
+    };
+
+    struct WordState
+    {
+        AccessRec lastWrite;
+        std::vector<AccessRec> reads; //!< at most one live per thread
+        bool raceReported = false;
+    };
+
+    static Addr wordOf(Addr a) { return a >> 2; }
+
+    /**
+     * True iff the recorded access happens-before the current access
+     * by @p gtid: the recorder's epoch is covered by @p gtid's view.
+     */
+    bool
+    ordered(const AccessRec &rec, int gtid) const
+    {
+        return rec.clk <=
+               clocks_[static_cast<std::size_t>(gtid)][rec.site.gtid];
+    }
+
+    void checkPair(WordState &w, const AccessRec &prev,
+                   const AccessSite &cur);
+    AccessRec makeRec(const AccessSite &site) const;
+    AccessRec makeRec(const AccessSite &site, std::uint64_t epoch) const;
+
+    std::vector<VectorClock> clocks_;
+    std::unordered_map<Addr, VectorClock> releaseClocks_;
+    std::unordered_map<Addr, WordState> words_;
+    std::unordered_set<Addr> syncWords_;
+    FindingLog &log_;
+};
+
+} // namespace glsc
+
+#endif // GLSC_ANALYZE_RACE_DETECTOR_H_

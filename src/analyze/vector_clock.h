@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Dense vector clocks over global thread ids, sized once at analyzer
+ * construction (totalThreads is fixed for a run).  Used by the race
+ * detector: per-thread clocks C_t plus per-address release clocks.
+ */
+
+#ifndef GLSC_ANALYZE_VECTOR_CLOCK_H_
+#define GLSC_ANALYZE_VECTOR_CLOCK_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace glsc {
+
+class VectorClock
+{
+  public:
+    VectorClock() = default;
+    explicit VectorClock(int threads)
+        : clk_(static_cast<std::size_t>(threads), 0)
+    {
+    }
+
+    std::uint64_t
+    operator[](int gtid) const
+    {
+        return clk_[static_cast<std::size_t>(gtid)];
+    }
+
+    void
+    tick(int gtid)
+    {
+        clk_[static_cast<std::size_t>(gtid)]++;
+    }
+
+    /** Component-wise max: this := join(this, other). */
+    void
+    join(const VectorClock &other)
+    {
+        for (std::size_t i = 0; i < clk_.size(); i++) {
+            if (other.clk_[i] > clk_[i])
+                clk_[i] = other.clk_[i];
+        }
+    }
+
+    bool empty() const { return clk_.empty(); }
+    int size() const { return static_cast<int>(clk_.size()); }
+
+  private:
+    std::vector<std::uint64_t> clk_;
+};
+
+} // namespace glsc
+
+#endif // GLSC_ANALYZE_VECTOR_CLOCK_H_

@@ -20,6 +20,7 @@
 
 namespace glsc {
 
+class Analyzer;
 class MemObserver;
 class Tracer;
 
@@ -111,6 +112,15 @@ struct SystemConfig
      * timing when on.
      */
     Tracer *tracer = nullptr;
+
+    /**
+     * Guest-program analysis subsystem (src/analyze/analyzer.h), or
+     * null for the default un-analyzed run.  Same null-guarded hook
+     * contract as the tracer: zero cost when off, and the analyzer
+     * only observes serialization points, so it never changes
+     * simulated timing when on.
+     */
+    Analyzer *analyzer = nullptr;
 
     /** Software threads = cores * threadsPerCore. */
     int totalThreads() const { return cores * threadsPerCore; }

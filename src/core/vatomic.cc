@@ -4,6 +4,7 @@
 #include <bit>
 #include <vector>
 
+#include "analyze/analyzer.h"
 #include "core/retry.h"
 #include "obs/trace.h"
 
@@ -193,6 +194,7 @@ vLockTry(SimThread &t, Addr lockArray, const VecReg &idx, Mask want)
     }
     VecReg ones = VecReg::splat(1, t.width());
     Mask got = co_await t.vscattercond(lockArray, idx, ones, avail, 4);
+    analyzerOnVLockTry(t, lockArray, idx, want, got);
     t.syncEnd();
     co_return got;
 }
@@ -206,6 +208,7 @@ vUnlock(SimThread &t, Addr lockArray, const VecReg &idx, Mask held)
     t.syncBegin();
     VecReg zeros;
     co_await t.vscatter(lockArray, idx, zeros, held, 4);
+    analyzerOnVUnlock(t, lockArray, idx, held);
     t.syncEnd();
 }
 
@@ -300,6 +303,7 @@ lockAcquire(SimThread &t, Addr lock)
         }
         co_await t.exec(bk.failureDelay());
     }
+    analyzerOnLockAcquired(t, lock);
     t.syncEnd();
 }
 
@@ -308,6 +312,7 @@ lockRelease(SimThread &t, Addr lock)
 {
     t.syncBegin();
     co_await t.store(lock, 0, 4);
+    analyzerOnLockReleased(t, lock);
     t.syncEnd();
 }
 

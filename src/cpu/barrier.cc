@@ -1,5 +1,7 @@
 #include "cpu/barrier.h"
 
+#include "analyze/analyzer.h"
+#include "config/config.h"
 #include "cpu/thread.h"
 #include "sim/log.h"
 
@@ -10,8 +12,22 @@ Barrier::arrive(SimThread *t)
 {
     GLSC_ASSERT(static_cast<int>(waiting_.size()) < expected_,
                 "barrier overflow");
+    Analyzer *analyzer = t->config().analyzer;
+    if (analyzer != nullptr)
+        analyzer->onBarrierArrive(t->coreId(), t->tid(), t->now());
     waiting_.push_back(t);
     if (static_cast<int>(waiting_.size()) == expected_) {
+        if (analyzer != nullptr) {
+            // Clock merge at completion is sound even though it runs
+            // at the last ARRIVAL tick: every participant is blocked
+            // until the release, so none can access memory between
+            // its arrival and the merge.
+            std::vector<int> gtids;
+            gtids.reserve(waiting_.size());
+            for (SimThread *w : waiting_)
+                gtids.push_back(w->globalId());
+            analyzer->onBarrierComplete(gtids);
+        }
         std::vector<SimThread *> released = std::move(waiting_);
         waiting_.clear();
         events_.scheduleIn(latency_, [released] {

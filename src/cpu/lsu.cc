@@ -119,7 +119,8 @@ Lsu::tickDemand()
 
       case OpKind::VLoad: {
         pf_.observe(t->tid(), op.addr);
-        auto res = msys_.vload(core_, op.addr, t->width(), op.elemSize);
+        auto res = msys_.vload(core_, op.addr, op.vwidth, op.elemSize,
+                               t->tid());
         events_.scheduleIn(res.latency, [t, res] {
             t->completeVector(res.data);
         });
@@ -141,12 +142,12 @@ Lsu::tickWriteBuffer()
     PendingOp op = wb_.front();
     wb_.pop_front();
     if (op.kind == OpKind::Store) {
-        msys_.access(core_, 0, op.addr, op.size, MemOpType::Store,
+        msys_.access(core_, op.tid, op.addr, op.size, MemOpType::Store,
                      op.wdata);
     } else {
         GLSC_ASSERT(op.kind == OpKind::VStore, "bad WB entry");
         msys_.vstore(core_, op.addr, op.source, op.mask, op.vwidth,
-                     op.elemSize);
+                     op.elemSize, op.tid);
     }
     return true;
 }

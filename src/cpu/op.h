@@ -50,6 +50,14 @@ struct PendingOp
 {
     OpKind kind = OpKind::None;
 
+    /**
+     * Issuing hardware thread, stamped by SimThread::suspendWith so
+     * ops that outlive their thread's turn (write-buffer drains)
+     * still attribute correctly to the guest context that produced
+     * them (-1 until stamped).
+     */
+    ThreadId tid = -1;
+
     // Exec.
     std::uint64_t execRemaining = 0;
 

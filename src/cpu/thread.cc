@@ -1,5 +1,6 @@
 #include "cpu/thread.h"
 
+#include "analyze/analyzer.h"
 #include "cpu/barrier.h"
 #include "cpu/core.h"
 #include "sim/log.h"
@@ -44,6 +45,8 @@ SimThread::start()
         root_.rethrowIfFailed();
         state_ = ThreadState::Done;
         stats_.doneTick = now();
+        if (config().analyzer != nullptr)
+            config().analyzer->onThreadExit(coreId_, tid_, now());
     }
     // Otherwise the first co_await has set a pending op via
     // suspendWith() and the thread is Ready.
@@ -53,6 +56,12 @@ void
 SimThread::suspendWith(const PendingOp &op, std::coroutine_handle<> h)
 {
     op_ = op;
+    op_.tid = tid_;
+    // Buffered stores are ordered at issue, not at drain: tell the
+    // analyzer now so the eventual drain records this epoch.
+    if ((op_.kind == OpKind::Store || op_.kind == OpKind::VStore) &&
+        config().analyzer != nullptr)
+        config().analyzer->onStoreIssued(coreId_, tid_);
     resumePoint_ = h;
     state_ = ThreadState::Ready;
 }
@@ -81,6 +90,8 @@ SimThread::resumeNow()
         stats_.doneTick = now();
         while (syncDepth_ > 0)
             syncEnd();
+        if (config().analyzer != nullptr)
+            config().analyzer->onThreadExit(coreId_, tid_, now());
     }
 }
 

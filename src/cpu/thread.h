@@ -100,15 +100,20 @@ class SimThread
         return BoolAwaiter{*this, scalarOp(OpKind::StoreCond, a, v, size)};
     }
 
-    /** Blocking contiguous vector load of simdWidth elements. */
+    /**
+     * Blocking contiguous vector load.  @p lanes bounds the load to
+     * the first N elements (a VL-style partial load for partition
+     * tails, so the hardware never touches a neighbor's words);
+     * defaults to the full SIMD width.  Unloaded lanes read as zero.
+     */
     auto
-    vload(Addr a, int elemSize = 4)
+    vload(Addr a, int elemSize = 4, int lanes = -1)
     {
         PendingOp op;
         op.kind = OpKind::VLoad;
         op.addr = a;
         op.elemSize = elemSize;
-        op.vwidth = simdWidth_;
+        op.vwidth = lanes < 0 ? simdWidth_ : lanes;
         return VecAwaiter{*this, op};
     }
 

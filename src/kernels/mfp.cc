@@ -76,7 +76,7 @@ groupIndependentEdges(std::vector<FlowEdge> &edges, int begin, int end,
  */
 Task<void>
 mfpScalarPath(SimThread &t, MfpLayout lay, VecReg u, VecReg v, VecReg cv,
-              Mask todo, int i, int w)
+              Mask todo, int i, int w, int lanes)
 {
     while (todo.any()) {
         co_await t.exec(2);
@@ -94,7 +94,7 @@ mfpScalarPath(SimThread &t, MfpLayout lay, VecReg u, VecReg v, VecReg cv,
             co_await lockAcquire(t, lay.locks + 4ull * li);
 
         GatherResult ex = co_await t.vgather(lay.excess, u, cf, 4);
-        VecReg fl = co_await t.vload(lay.flow + 4ull * i, 4);
+        VecReg fl = co_await t.vload(lay.flow + 4ull * i, 4, lanes);
         co_await t.exec(3);
         VecReg newEx, newFl, delta;
         for (int l = 0; l < w; ++l) {
@@ -131,9 +131,13 @@ mfpKernel(SimThread &t, Scheme scheme, MfpLayout lay, int edges,
     for (int round = 0; round < rounds; ++round) {
         for (int i = begin; i < end; i += w) {
             Mask m = tailMask(end - i, w);
-            VecReg fv = co_await t.vload(lay.from + 4ull * i, 4);
-            VecReg tv = co_await t.vload(lay.to + 4ull * i, 4);
-            VecReg cv = co_await t.vload(lay.cap + 4ull * i, 4);
+            // Bound tail-group loads to the partition: an unbounded
+            // vload would read the neighbor's words (a real data race
+            // on `flow`, flagged by the race detector).
+            const int lanes = std::min(end - i, w);
+            VecReg fv = co_await t.vload(lay.from + 4ull * i, 4, lanes);
+            VecReg tv = co_await t.vload(lay.to + 4ull * i, 4, lanes);
+            VecReg cv = co_await t.vload(lay.cap + 4ull * i, 4, lanes);
             VecReg u, v;
             for (int l = 0; l < w; ++l) {
                 u[l] = fv.u32(l);
@@ -146,7 +150,8 @@ mfpKernel(SimThread &t, Scheme scheme, MfpLayout lay, int edges,
             // the source has no excess) is recomputed under locks.
             GatherResult hu = co_await t.vgather(lay.height, u, m, 4);
             GatherResult hv = co_await t.vgather(lay.height, v, m, 4);
-            VecReg flPre = co_await t.vload(lay.flow + 4ull * i, 4);
+            VecReg flPre =
+                co_await t.vload(lay.flow + 4ull * i, 4, lanes);
             co_await t.exec(4);
             Mask elig = Mask::none();
             for (int l = 0; l < w; ++l) {
@@ -168,8 +173,8 @@ mfpKernel(SimThread &t, Scheme scheme, MfpLayout lay, int edges,
                     if (got2.any()) {
                         GatherResult ex =
                             co_await t.vgather(lay.excess, u, got2, 4);
-                        VecReg fl =
-                            co_await t.vload(lay.flow + 4ull * i, 4);
+                        VecReg fl = co_await t.vload(
+                            lay.flow + 4ull * i, 4, lanes);
                         co_await t.exec(3);
                         VecReg newEx, newFl, delta;
                         for (int l = 0; l < w; ++l) {
@@ -210,7 +215,7 @@ mfpKernel(SimThread &t, Scheme scheme, MfpLayout lay, int edges,
                             t.stats().scalarFallbacks++;
                             traceScalarFallback(t);
                             co_await mfpScalarPath(t, lay, u, v, cv,
-                                                   todo, i, w);
+                                                   todo, i, w, lanes);
                             bk.progress();
                             break;
                         }
@@ -218,7 +223,8 @@ mfpKernel(SimThread &t, Scheme scheme, MfpLayout lay, int edges,
                     }
                 }
             } else {
-                co_await mfpScalarPath(t, lay, u, v, cv, elig, i, w);
+                co_await mfpScalarPath(t, lay, u, v, cv, elig, i, w,
+                                       lanes);
             }
             co_await t.exec(1); // loop bookkeeping
         }

@@ -118,7 +118,122 @@ makeStream(MicroScenario sc, int g, int iters, int width,
     return out;
 }
 
+// ----- Test-only mutation kernels (see MicroMutation in micro.h). ---
+
+/**
+ * BUG (planted): read-modify-write increments of a shared counter with
+ * no atomicity and no lock -- the textbook lost-update race.  Every
+ * thread hammers the same word, so the race detector must flag the
+ * very first cross-thread pair.
+ */
+Task<void>
+racyHistogramKernel(SimThread &t, Addr hist, int iters)
+{
+    for (int i = 0; i < iters; ++i) {
+        std::uint64_t v = co_await t.load(hist, 4);
+        co_await t.exec(1); // increment
+        co_await t.store(hist, v + 1, 4);
+    }
+}
+
+/**
+ * BUG (planted): thread pairs (2p, 2p+1) each blocking-acquire their
+ * own lock, then repeatedly try-lock their partner's while still
+ * holding -- hold-and-wait in opposite orders, the classic ABBA
+ * deadlock recipe.  The barrier guarantees both locks are held when
+ * the try-lock attempts run, so both first attempts fail and the
+ * retries promote the pending wants into wait edges; the run still
+ * completes (try-locks never block), and finishRun must report the
+ * L_even -> L_odd -> L_even cycle.
+ */
+Task<void>
+lockCycleKernel(SimThread &t, Addr locks, Barrier *bar)
+{
+    const int mine = t.globalId();
+    const int partner = mine ^ 1;
+    co_await lockAcquire(t, locks + 4ull * mine);
+    co_await t.barrier(*bar); // both locks of the pair now held
+    VecReg idx;
+    idx[0] = static_cast<std::uint32_t>(partner);
+    Mask one = Mask::none();
+    one.set(0);
+    for (int attempt = 0; attempt < 2; ++attempt) {
+        Mask got = co_await vLockTry(t, locks, idx, one);
+        if (got.any()) // partner's lock: never free before barrier 2
+            co_await vUnlock(t, locks, idx, got);
+        co_await t.exec(1);
+    }
+    co_await t.barrier(*bar); // keep holding until partner retried too
+    co_await lockRelease(t, locks + 4ull * mine);
+}
+
+/**
+ * BUG (planted): a conditional scatter with no preceding gather-link.
+ * The hardware correctly fails every lane (no reservation), but the
+ * guest program pattern is broken -- the linter must flag the dangling
+ * vscattercond.
+ */
+Task<void>
+danglingReservationKernel(SimThread &t, Addr data)
+{
+    VecReg idx;
+    VecReg vals;
+    for (int l = 0; l < t.width(); ++l) {
+        idx[l] = static_cast<std::uint32_t>(l);
+        vals[l] = 1;
+    }
+    Mask all = tailMask(t.width(), t.width());
+    co_await t.vscattercond(data, idx, vals, all, 4);
+    co_await t.exec(1);
+}
+
 } // namespace
+
+RunResult
+runMicroMutation(const SystemConfig &cfg, MicroMutation mut,
+                 MicroMutationLayout *layoutOut)
+{
+    System sys(cfg);
+    MicroMutationLayout lay;
+    lay.histogram = sys.layout().allocArray(kWordsPerLine, 4);
+    lay.locks = sys.layout().allocArray(
+        std::max(cfg.totalThreads(), kWordsPerLine), 4);
+    lay.data = sys.layout().allocArray(kWordsPerLine, 4);
+
+    switch (mut) {
+    case MicroMutation::RacyHistogram:
+        GLSC_ASSERT(cfg.totalThreads() >= 2,
+                    "racy histogram needs two threads");
+        sys.spawnAll([&](SimThread &t) {
+            return racyHistogramKernel(t, lay.histogram, 8);
+        });
+        break;
+    case MicroMutation::LockCycle: {
+        GLSC_ASSERT(cfg.totalThreads() % 2 == 0,
+                    "lock cycle pairs threads");
+        Barrier &bar = sys.makeBarrier(cfg.totalThreads());
+        sys.spawnAll([&, barp = &bar](SimThread &t) {
+            return lockCycleKernel(t, lay.locks, barp);
+        });
+        break;
+    }
+    case MicroMutation::DanglingReservation:
+        sys.spawnAll([&](SimThread &t) {
+            return danglingReservationKernel(t, lay.data);
+        });
+        break;
+    }
+
+    if (layoutOut != nullptr)
+        *layoutOut = lay;
+    RunResult res;
+    res.stats = sys.run();
+    // The defects are the point: the run "verifies" as long as it
+    // completed (the analyzer's findings are asserted by the test).
+    res.verified = true;
+    res.detail = "mutation ran to completion";
+    return res;
+}
 
 RunResult
 runMicro(const SystemConfig &cfg, MicroScenario sc, Scheme scheme,

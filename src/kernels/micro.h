@@ -37,6 +37,30 @@ RunResult runMicro(const SystemConfig &cfg, MicroScenario sc,
                    Scheme scheme, int itersPerThread = 2048,
                    std::uint64_t seed = 1);
 
+/**
+ * Test-only seeded guest bugs for the analyzer (src/analyze/): each
+ * mutation plants exactly one class of defect in a tiny kernel so
+ * tests/test_analyze.cc can assert the analyzer reports it with exact
+ * site attribution.  No bench binary reaches these.
+ */
+enum class MicroMutation
+{
+    RacyHistogram,       //!< plain load/inc/store on shared counters
+    LockCycle,           //!< pairs of threads lock two VLOCKs ABBA-style
+    DanglingReservation, //!< vscattercond with no live vgatherlink
+};
+
+/** Where runMicroMutation planted its defect (for site assertions). */
+struct MicroMutationLayout
+{
+    Addr histogram = 0; //!< RacyHistogram: the racy counter word
+    Addr locks = 0;     //!< LockCycle: the lock array (one per thread)
+    Addr data = 0;      //!< DanglingReservation: the scattered line
+};
+
+RunResult runMicroMutation(const SystemConfig &cfg, MicroMutation mut,
+                           MicroMutationLayout *layoutOut = nullptr);
+
 } // namespace glsc
 
 #endif // GLSC_KERNELS_MICRO_H_

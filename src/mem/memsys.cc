@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "analyze/analyzer.h"
 #include "robust/fault_injector.h"
 #include "sim/log.h"
 #include "verify/invariants.h"
@@ -31,11 +32,14 @@ MemorySystem::MemorySystem(const SystemConfig &cfg, EventQueue &events,
         injector_ = std::make_unique<FaultInjector>(cfg_, stats_, *this);
     observer_ = cfg.memObserver;
     tracer_ = cfg.tracer;
+    analyzer_ = cfg.analyzer;
     noc_.attach(&events_, &stats_);
     noc_.setTracer(tracer_);
     noc_.setInjector(injector_.get());
     if (observer_ != nullptr)
         observer_->onAttach(cfg_, mem_);
+    if (analyzer_ != nullptr)
+        analyzer_->onAttach(cfg_);
 }
 
 MemorySystem::~MemorySystem()
@@ -454,6 +458,9 @@ MemorySystem::access(CoreId c, ThreadId t, Addr a, int size, MemOpType type,
     ScalarResult res = accessImpl(c, t, a, size, type, wdata);
     if (observer_ != nullptr)
         observer_->onScalar(c, t, a, size, type, wdata, res);
+    if (analyzer_ != nullptr)
+        analyzer_->onScalar(c, t, a, size, type, wdata, res,
+                            events_.now());
     checkAfterOp(lineAddr(a));
     return res;
 }
@@ -557,6 +564,9 @@ MemorySystem::gatherLine(CoreId c, ThreadId t,
     LineOpResult res = gatherLineImpl(c, t, lanes, size, linked);
     if (observer_ != nullptr)
         observer_->onGatherLine(c, t, lanes, size, linked, res);
+    if (analyzer_ != nullptr)
+        analyzer_->onGatherLine(c, t, lanes, size, linked, res,
+                                events_.now());
     checkAfterOp(lineAddr(lanes.front().addr));
     return res;
 }
@@ -616,6 +626,9 @@ MemorySystem::scatterLine(CoreId c, ThreadId t,
     LineOpResult res = scatterLineImpl(c, t, lanes, size, conditional);
     if (observer_ != nullptr)
         observer_->onScatterLine(c, t, lanes, size, conditional, res);
+    if (analyzer_ != nullptr)
+        analyzer_->onScatterLine(c, t, lanes, size, conditional, res,
+                                 events_.now());
     checkAfterOp(lineAddr(lanes.front().addr));
     return res;
 }
@@ -684,7 +697,7 @@ MemorySystem::scatterLineImpl(CoreId c, ThreadId t,
 }
 
 VectorResult
-MemorySystem::vload(CoreId c, Addr a, int width, int elemSize)
+MemorySystem::vload(CoreId c, Addr a, int width, int elemSize, ThreadId t)
 {
     maybeInjectFaults();
     VectorResult res;
@@ -702,6 +715,8 @@ MemorySystem::vload(CoreId c, Addr a, int width, int elemSize)
                                 elemSize);
     if (observer_ != nullptr)
         observer_->onVload(c, a, width, elemSize, res);
+    if (analyzer_ != nullptr)
+        analyzer_->onVload(c, t, a, width, elemSize, events_.now());
     for (Addr line = first; line <= last; line += kLineBytes)
         checkAfterOp(line);
     return res;
@@ -709,7 +724,7 @@ MemorySystem::vload(CoreId c, Addr a, int width, int elemSize)
 
 VectorResult
 MemorySystem::vstore(CoreId c, Addr a, const VecReg &v, Mask mask,
-                     int width, int elemSize)
+                     int width, int elemSize, ThreadId t)
 {
     maybeInjectFaults();
     VectorResult res;
@@ -729,6 +744,9 @@ MemorySystem::vstore(CoreId c, Addr a, const VecReg &v, Mask mask,
     }
     if (observer_ != nullptr)
         observer_->onVstore(c, a, v, mask, width, elemSize);
+    if (analyzer_ != nullptr)
+        analyzer_->onVstore(c, t, a, mask, width, elemSize,
+                            events_.now());
     for (Addr line = first; line <= last; line += kLineBytes)
         checkAfterOp(line);
     return res;

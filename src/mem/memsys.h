@@ -169,12 +169,17 @@ class MemorySystem
                              const std::vector<GsuLane> &lanes, int size,
                              bool conditional);
 
-    /** Contiguous vector load of @p width elements at @p a. */
-    VectorResult vload(CoreId c, Addr a, int width, int elemSize);
+    /**
+     * Contiguous vector load of @p width elements at @p a.  @p t names
+     * the issuing hardware thread for observers and the analyzer (-1
+     * for threadless traffic such as prefetches).
+     */
+    VectorResult vload(CoreId c, Addr a, int width, int elemSize,
+                       ThreadId t = -1);
 
     /** Contiguous vector store under @p mask. */
     VectorResult vstore(CoreId c, Addr a, const VecReg &v, Mask mask,
-                        int width, int elemSize);
+                        int width, int elemSize, ThreadId t = -1);
 
     // --- Introspection for tests and debug. ---
     const L1Cache &l1(CoreId c) const { return *l1s_[c]; }
@@ -330,6 +335,7 @@ class MemorySystem
     std::uint64_t stamp_ = 0;
     MemObserver *observer_ = nullptr;
     Tracer *tracer_ = nullptr; //!< null = untraced (the default)
+    Analyzer *analyzer_ = nullptr; //!< null = un-analyzed (the default)
     std::unique_ptr<FaultInjector> injector_;
 #ifdef GLSC_CHECK_ENABLED
     std::unique_ptr<InvariantChecker> checker_;

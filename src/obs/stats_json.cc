@@ -16,7 +16,7 @@ namespace glsc {
 // the common LP64 + libstdc++-style ABI the CI containers use; other
 // ABIs just skip the check.)
 static_assert(sizeof(void *) != 8 || sizeof(std::string) != 32 ||
-                  (sizeof(SystemStats) == 488 && sizeof(ThreadStats) == 224),
+                  (sizeof(SystemStats) == 552 && sizeof(ThreadStats) == 224),
               "SystemStats/ThreadStats changed: update the JSON schema "
               "(stats_json.h field macros) and bump "
               "kStatsJsonSchemaVersion");

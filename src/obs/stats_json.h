@@ -29,7 +29,7 @@
 namespace glsc {
 
 /** Bump whenever the exported field set or layout changes. */
-inline constexpr int kStatsJsonSchemaVersion = 2; // v2: NoC message layer
+inline constexpr int kStatsJsonSchemaVersion = 3; // v3: analyzer findings
 
 /**
  * Every scalar counter of SystemStats, in export order.  Tick-typed
@@ -79,7 +79,15 @@ inline constexpr int kStatsJsonSchemaVersion = 2; // v2: NoC message layer
     X(nocDupsInjected)                                                   \
     X(nocReordersInjected)                                               \
     X(nocDelaysInjected)                                                 \
-    X(nocFaultDelayCycles)
+    X(nocFaultDelayCycles)                                               \
+    X(analyzerRaces)                                                     \
+    X(analyzerLockCycles)                                                \
+    X(analyzerLockHeldAtExit)                                            \
+    X(analyzerLockHeldAcrossBarrier)                                     \
+    X(analyzerDanglingReservations)                                      \
+    X(analyzerReservationOverBudget)                                     \
+    X(analyzerSelfWritesToLinked)                                        \
+    X(analyzerMaskMismatches)
 
 /** Every scalar counter of ThreadStats, in export order. */
 #define GLSC_THREAD_STATS_U64_FIELDS(X)                                  \

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstdio>
 
+#include "analyze/finding.h"
 #include "config/config.h"
 #include "cpu/thread.h"
 #include "sim/log.h"
@@ -39,6 +40,7 @@ traceEventTypeName(TraceEventType t)
       case TraceEventType::NocTimeout:         return "noc-timeout";
       case TraceEventType::NocRetransmit:      return "noc-retransmit";
       case TraceEventType::NocRetire:          return "noc-retire";
+      case TraceEventType::AnalyzerFinding:    return "analyzer-finding";
     }
     return "?";
 }
@@ -100,6 +102,11 @@ formatTraceEvent(const TraceEvent &e)
       case TraceEventType::NocRetransmit:
       case TraceEventType::NocRetire:
         out += strprintf(" seq=%llu b=%llu", (unsigned long long)e.a,
+                         (unsigned long long)e.b);
+        break;
+      case TraceEventType::AnalyzerFinding:
+        out += strprintf(" kind=%s other=@%llu",
+                         findingKindName(static_cast<FindingKind>(e.a)),
                          (unsigned long long)e.b);
         break;
       default:

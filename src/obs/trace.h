@@ -93,6 +93,10 @@ enum class TraceEventType : std::uint8_t
     NocTimeout,         //!< b = retransmit round that timed out
     NocRetransmit,      //!< b = retransmit round (1-based)
     NocRetire,          //!< b = total messages the transaction cost
+    // Guest-program analysis (src/analyze/): one event per stored
+    // finding, emitted at detection time.
+    AnalyzerFinding,    //!< a = FindingKind, tid2 = other thread's
+                        //!< gtid, b = the other site's tick
 };
 
 /** How a reservation-acquiring request entered the memory system. */
@@ -150,7 +154,7 @@ enum class NocDeliverKind : std::uint8_t
 };
 
 inline constexpr int kTraceEventTypes =
-    static_cast<int>(TraceEventType::NocRetire) + 1;
+    static_cast<int>(TraceEventType::AnalyzerFinding) + 1;
 inline constexpr int kClearCauses =
     static_cast<int>(ClearCause::Stolen) + 1;
 

@@ -3,6 +3,7 @@
 #include <cinttypes>
 #include <cstdio>
 
+#include "analyze/analyzer.h"
 #include "noc/interconnect.h"
 #include "obs/trace.h"
 
@@ -114,6 +115,14 @@ Watchdog::report(Tick now) const
         std::string inflight = noc_->inFlightReport(now);
         if (!inflight.empty())
             out += inflight;
+    }
+    if (analyzer_ != nullptr) {
+        // Open analyzer state: locks still held / wanted and live
+        // gather-link reservations name the resources being fought
+        // over at the verdict.
+        std::string pm = analyzer_->postMortem(now);
+        if (!pm.empty())
+            out += pm;
     }
     if (tracer_ != nullptr) {
         std::string pm = tracer_->postMortem();

@@ -37,6 +37,7 @@
 
 namespace glsc {
 
+class Analyzer;
 class Interconnect;
 class Tracer;
 
@@ -74,6 +75,15 @@ class Watchdog
     void attachNoc(const Interconnect *noc) { noc_ = noc; }
 
     /**
+     * Wires the guest-program analyzer so report() can dump open
+     * analyzer state (held locks, live reservations) with the panic.
+     */
+    void attachAnalyzer(const Analyzer *analyzer)
+    {
+        analyzer_ = analyzer;
+    }
+
+    /**
      * Full diagnostic: verdict line + threadProgressDump, followed by
      * the tracer's ring-buffer post-mortem (the last events before the
      * livelock verdict) when a tracer with a RingBufferSink is wired.
@@ -85,6 +95,7 @@ class Watchdog
     const SystemStats &stats_;
     Tracer *tracer_ = nullptr;
     const Interconnect *noc_ = nullptr;
+    const Analyzer *analyzer_ = nullptr;
     std::vector<int> strikes_;   //!< consecutive starving sweeps per gtid
     std::vector<int> starving_;  //!< verdict of the last sweep
 };

@@ -1,5 +1,6 @@
 #include "sim/system.h"
 
+#include "analyze/analyzer.h"
 #include "obs/trace.h"
 #include "robust/watchdog.h"
 #include "sim/log.h"
@@ -86,6 +87,7 @@ System::run(Tick maxCycles)
         dog = std::make_unique<Watchdog>(cfg_.watchdog, stats_,
                                          cfg_.tracer);
         dog->attachNoc(&msys_->noc());
+        dog->attachAnalyzer(cfg_.analyzer);
         nextSweep = cfg_.watchdog.checkInterval;
     }
     std::vector<bool> active(cfg_.totalThreads(), false);
@@ -154,6 +156,11 @@ System::run(Tick maxCycles)
     }
 
     stats_.cycles = events_.now();
+    // Analyzer first: end-of-run lock-cycle detection exports its
+    // finding counters into stats_, and the tracer's finishRun below
+    // must see the AnalyzerFinding events already emitted.
+    if (cfg_.analyzer != nullptr)
+        cfg_.analyzer->finishRun(stats_, events_.now());
     // Let sinks export their aggregations (per-bank breakdowns, line
     // hotness) into stats_ before the invariant sweep sees them.
     if (cfg_.tracer != nullptr)

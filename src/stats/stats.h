@@ -139,6 +139,18 @@ struct SystemStats
     std::uint64_t nocDelaysInjected = 0;   //!< per-message delay faults
     Tick nocFaultDelayCycles = 0;          //!< total injected NoC latency
 
+    // Guest-program analysis findings (src/analyze/analyzer.h; all
+    // zero when no Analyzer is installed).  Exported by
+    // Analyzer::finishRun; one counter per FindingKind.
+    std::uint64_t analyzerRaces = 0;
+    std::uint64_t analyzerLockCycles = 0;
+    std::uint64_t analyzerLockHeldAtExit = 0;
+    std::uint64_t analyzerLockHeldAcrossBarrier = 0;
+    std::uint64_t analyzerDanglingReservations = 0;
+    std::uint64_t analyzerReservationOverBudget = 0;
+    std::uint64_t analyzerSelfWritesToLinked = 0;
+    std::uint64_t analyzerMaskMismatches = 0;
+
     // Forward-progress watchdog verdict (report mode only; in panic
     // mode a livelock aborts the run instead).
     bool livelockDetected = false;

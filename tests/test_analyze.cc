@@ -1,0 +1,469 @@
+/**
+ * @file
+ * Guest-program analyzer tests (src/analyze/): the clean matrix (all
+ * seven kernels x both schemes must produce ZERO findings), seeded
+ * mutation detection with exact site attribution (the analyzer must
+ * name the planted defect's addresses and threads), linter rules on
+ * hand-written kernels, determinism, export plumbing (stats counters,
+ * trace events, findings JSON) and the analyzer-off timing identity.
+ */
+
+#include <gtest/gtest.h>
+
+#include "analyze/analyzer.h"
+#include "core/vatomic.h"
+#include "kernels/micro.h"
+#include "kernels/registry.h"
+#include "obs/stats_json.h"
+#include "obs/trace.h"
+
+namespace glsc {
+namespace {
+
+// ----- Clean matrix: no false positives on correct kernels. --------
+
+struct CleanCase
+{
+    const char *bench;
+    Scheme scheme;
+};
+
+std::string
+cleanName(const ::testing::TestParamInfo<CleanCase> &info)
+{
+    return strprintf("%s_%s", info.param.bench,
+                     schemeName(info.param.scheme));
+}
+
+class AnalyzerCleanMatrix : public ::testing::TestWithParam<CleanCase>
+{
+};
+
+TEST_P(AnalyzerCleanMatrix, ZeroFindingsOnCorrectKernels)
+{
+    const CleanCase &c = GetParam();
+    Analyzer analyzer;
+    SystemConfig cfg = SystemConfig::make(2, 2, 4);
+    cfg.analyzer = &analyzer;
+    RunResult r = runBenchmark(c.bench, 0, c.scheme, cfg, 0.02, 5);
+    ASSERT_TRUE(r.verified) << r.detail;
+    EXPECT_EQ(analyzer.totalFindings(), 0u)
+        << "false positive: " << analyzer.findings()[0].toString();
+    EXPECT_EQ(r.stats.analyzerRaces, 0u);
+    EXPECT_EQ(r.stats.analyzerLockCycles, 0u);
+    EXPECT_EQ(r.stats.analyzerDanglingReservations, 0u);
+}
+
+std::vector<CleanCase>
+makeCleanMatrix()
+{
+    std::vector<CleanCase> cases;
+    const char *benches[] = {"GBC", "FS", "GPS", "HIP",
+                             "SMC", "MFP", "TMS"};
+    for (const char *b : benches) {
+        for (Scheme s : {Scheme::Base, Scheme::Glsc})
+            cases.push_back(CleanCase{b, s});
+    }
+    return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKernels, AnalyzerCleanMatrix,
+                         ::testing::ValuesIn(makeCleanMatrix()),
+                         cleanName);
+
+TEST(AnalyzerCleanMatrix, MfpPartitionTailsStayBounded)
+{
+    // Regression: MFP's tail-group vloads used to read the full SIMD
+    // width past the partition boundary (and, for the last thread,
+    // past `flow` into `excess`), racing with the neighbor's writes
+    // once enough threads share the edge array.  The bounded VL-style
+    // vload keeps the hardware inside the partition; this pins the
+    // 16-thread configuration where the detector first caught it.
+    for (Scheme s : {Scheme::Base, Scheme::Glsc}) {
+        Analyzer analyzer;
+        SystemConfig cfg = SystemConfig::make(4, 4, 4);
+        cfg.analyzer = &analyzer;
+        RunResult r = runBenchmark("MFP", 0, s, cfg, 0.05, 1);
+        ASSERT_TRUE(r.verified) << r.detail;
+        EXPECT_EQ(analyzer.totalFindings(), 0u)
+            << schemeName(s) << ": "
+            << analyzer.findings()[0].toString();
+    }
+}
+
+// ----- Seeded mutations: each defect found, correctly attributed. --
+
+TEST(AnalyzerMutation, RacyHistogramIsDetectedWithExactSites)
+{
+    Analyzer analyzer;
+    SystemConfig cfg = SystemConfig::make(2, 1, 4);
+    cfg.analyzer = &analyzer;
+    MicroMutationLayout lay;
+    RunResult r =
+        runMicroMutation(cfg, MicroMutation::RacyHistogram, &lay);
+    ASSERT_TRUE(r.verified);
+    ASSERT_GE(analyzer.count(FindingKind::Race), 1u);
+    EXPECT_EQ(r.stats.analyzerRaces, analyzer.count(FindingKind::Race));
+
+    const Finding *race = nullptr;
+    for (const Finding &f : analyzer.findings()) {
+        if (f.kind == FindingKind::Race) {
+            race = &f;
+            break;
+        }
+    }
+    ASSERT_NE(race, nullptr);
+    // Exact attribution: both sites name the planted histogram word,
+    // from two different threads, with plain (non-atomic) ops.
+    EXPECT_EQ(race->first.addr, lay.histogram);
+    EXPECT_EQ(race->second.addr, lay.histogram);
+    EXPECT_NE(race->first.gtid, race->second.gtid);
+    EXPECT_GE(race->first.gtid, 0);
+    EXPECT_GE(race->second.gtid, 0);
+    EXPECT_FALSE(race->first.atomic && race->second.atomic);
+    EXPECT_TRUE(race->first.op == SiteOp::Load ||
+                race->first.op == SiteOp::Store)
+        << siteOpName(race->first.op);
+    EXPECT_TRUE(race->second.op == SiteOp::Load ||
+                race->second.op == SiteOp::Store)
+        << siteOpName(race->second.op);
+    EXPECT_GT(race->second.tick, 0u);
+}
+
+TEST(AnalyzerMutation, AbbaLockCycleIsDetected)
+{
+    Analyzer analyzer;
+    SystemConfig cfg = SystemConfig::make(2, 1, 4);
+    cfg.analyzer = &analyzer;
+    MicroMutationLayout lay;
+    RunResult r = runMicroMutation(cfg, MicroMutation::LockCycle, &lay);
+    ASSERT_TRUE(r.verified);
+    ASSERT_GE(analyzer.count(FindingKind::LockCycle), 1u);
+    EXPECT_EQ(r.stats.analyzerLockCycles,
+              analyzer.count(FindingKind::LockCycle));
+
+    const Finding *cyc = nullptr;
+    for (const Finding &f : analyzer.findings()) {
+        if (f.kind == FindingKind::LockCycle) {
+            cyc = &f;
+            break;
+        }
+    }
+    ASSERT_NE(cyc, nullptr);
+    // The cycle names both planted locks: the sites are the try-lock
+    // attempts, whose addresses are the two lock words.
+    EXPECT_TRUE(cyc->first.addr == lay.locks ||
+                cyc->first.addr == lay.locks + 4);
+    EXPECT_EQ(cyc->first.op, SiteOp::Lock);
+    EXPECT_NE(cyc->detail.find("lock-order cycle"), std::string::npos)
+        << cyc->detail;
+    EXPECT_NE(cyc->detail.find(strprintf("0x%llx",
+                                         (unsigned long long)lay.locks)),
+              std::string::npos)
+        << cyc->detail;
+    // Both threads also held their lock across the choreography
+    // barrier -- that is reported too, on top of the cycle.
+    EXPECT_GE(analyzer.count(FindingKind::LockHeldAcrossBarrier), 2u);
+}
+
+TEST(AnalyzerMutation, DanglingReservationIsDetected)
+{
+    Analyzer analyzer;
+    SystemConfig cfg = SystemConfig::make(1, 1, 4);
+    cfg.analyzer = &analyzer;
+    MicroMutationLayout lay;
+    RunResult r =
+        runMicroMutation(cfg, MicroMutation::DanglingReservation, &lay);
+    ASSERT_TRUE(r.verified);
+    ASSERT_GE(analyzer.count(FindingKind::DanglingReservation), 1u);
+    EXPECT_EQ(r.stats.analyzerDanglingReservations,
+              analyzer.count(FindingKind::DanglingReservation));
+
+    const Finding &f = analyzer.findings().front();
+    ASSERT_EQ(f.kind, FindingKind::DanglingReservation);
+    EXPECT_EQ(f.first.addr, lay.data);
+    EXPECT_EQ(f.first.op, SiteOp::ScatterCond);
+    EXPECT_TRUE(f.first.atomic);
+    EXPECT_EQ(f.first.gtid, 0);
+}
+
+// ----- Linter rules on hand-written one-shot kernels. --------------
+
+/** Links a line, then plainly stores into it before the cond-store. */
+Task<void>
+selfWriteKernel(SimThread &t, Addr data)
+{
+    VecReg idx;
+    idx[0] = 0;
+    Mask one = Mask::none();
+    one.set(0);
+    GatherResult g = co_await t.vgatherlink(data, idx, one, 4);
+    co_await t.exec(1);
+    co_await t.store(data + 4, 7, 4); // same line: kills own link
+    co_await t.vscattercond(data, idx, g.value, g.mask, 4);
+}
+
+TEST(AnalyzerLinter, SelfWriteToLinkedLine)
+{
+    Analyzer analyzer;
+    SystemConfig cfg = SystemConfig::make(1, 1, 4);
+    cfg.analyzer = &analyzer;
+    System sys(cfg);
+    Addr data = sys.layout().allocArray(16, 4);
+    sys.spawnAll(
+        [&](SimThread &t) { return selfWriteKernel(t, data); });
+    sys.run();
+    EXPECT_GE(analyzer.count(FindingKind::SelfWriteToLinked), 1u);
+    const Finding *f = nullptr;
+    for (const Finding &c : analyzer.findings()) {
+        if (c.kind == FindingKind::SelfWriteToLinked) {
+            f = &c;
+            break;
+        }
+    }
+    ASSERT_NE(f, nullptr);
+    EXPECT_EQ(f->first.op, SiteOp::GatherLink); // the link site
+    EXPECT_EQ(f->first.addr, data);
+    EXPECT_EQ(f->second.op, SiteOp::Store); // the killing write
+    EXPECT_EQ(f->second.addr, data + 4);
+    // The scattercond then finds its record consumed: dangling too.
+    EXPECT_GE(analyzer.count(FindingKind::DanglingReservation), 1u);
+}
+
+/** Cond-stores a lane the matching gather-link never covered. */
+Task<void>
+maskMismatchKernel(SimThread &t, Addr data)
+{
+    VecReg idx;
+    idx[0] = 0;
+    idx[1] = 1;
+    idx[2] = 2;
+    Mask linkLanes = Mask::none();
+    linkLanes.set(0);
+    linkLanes.set(1);
+    GatherResult g = co_await t.vgatherlink(data, idx, linkLanes, 4);
+    co_await t.exec(1);
+    Mask storeLanes = Mask::none();
+    storeLanes.set(0);
+    storeLanes.set(2); // lane 2 was never linked
+    co_await t.vscattercond(data, idx, g.value, storeLanes, 4);
+}
+
+TEST(AnalyzerLinter, MaskMismatchBetweenLinkAndScatter)
+{
+    Analyzer analyzer;
+    SystemConfig cfg = SystemConfig::make(1, 1, 4);
+    cfg.analyzer = &analyzer;
+    System sys(cfg);
+    Addr data = sys.layout().allocArray(16, 4);
+    sys.spawnAll(
+        [&](SimThread &t) { return maskMismatchKernel(t, data); });
+    sys.run();
+    ASSERT_GE(analyzer.count(FindingKind::MaskMismatch), 1u);
+    const Finding *f = nullptr;
+    for (const Finding &c : analyzer.findings()) {
+        if (c.kind == FindingKind::MaskMismatch) {
+            f = &c;
+            break;
+        }
+    }
+    ASSERT_NE(f, nullptr);
+    EXPECT_EQ(f->first.op, SiteOp::GatherLink);
+    EXPECT_EQ(f->second.addr, data + 8); // the uncovered lane address
+}
+
+/** Sits on a reservation far longer than the configured budget. */
+Task<void>
+slowReservationKernel(SimThread &t, Addr data)
+{
+    VecReg idx;
+    idx[0] = 0;
+    Mask one = Mask::none();
+    one.set(0);
+    GatherResult g = co_await t.vgatherlink(data, idx, one, 4);
+    co_await t.exec(500); // "long computation" inside the window
+    co_await t.vscattercond(data, idx, g.value, g.mask, 4);
+}
+
+TEST(AnalyzerLinter, ReservationWindowOverBudget)
+{
+    AnalyzeConfig acfg;
+    acfg.reservationWindowBudget = 100;
+    Analyzer analyzer(acfg);
+    SystemConfig cfg = SystemConfig::make(1, 1, 4);
+    cfg.analyzer = &analyzer;
+    System sys(cfg);
+    Addr data = sys.layout().allocArray(16, 4);
+    sys.spawnAll(
+        [&](SimThread &t) { return slowReservationKernel(t, data); });
+    sys.run();
+    ASSERT_GE(analyzer.count(FindingKind::ReservationOverBudget), 1u);
+    const Finding *f = nullptr;
+    for (const Finding &c : analyzer.findings()) {
+        if (c.kind == FindingKind::ReservationOverBudget) {
+            f = &c;
+            break;
+        }
+    }
+    ASSERT_NE(f, nullptr);
+    EXPECT_EQ(f->first.op, SiteOp::GatherLink);
+    EXPECT_EQ(f->second.op, SiteOp::ScatterCond);
+    EXPECT_GT(f->second.tick - f->first.tick, 100u);
+    EXPECT_NE(f->detail.find("budget"), std::string::npos);
+}
+
+// ----- Lock hygiene checks. ----------------------------------------
+
+Task<void>
+leakyLockKernel(SimThread &t, Addr lock)
+{
+    co_await lockAcquire(t, lock);
+    co_await t.exec(4); // "forgets" to release
+}
+
+TEST(AnalyzerLocks, LockHeldAtThreadExit)
+{
+    Analyzer analyzer;
+    SystemConfig cfg = SystemConfig::make(1, 1, 4);
+    cfg.analyzer = &analyzer;
+    System sys(cfg);
+    Addr lock = sys.layout().allocArray(16, 4);
+    sys.spawnAll(
+        [&](SimThread &t) { return leakyLockKernel(t, lock); });
+    SystemStats stats = sys.run();
+    ASSERT_GE(analyzer.count(FindingKind::LockHeldAtExit), 1u);
+    EXPECT_EQ(stats.analyzerLockHeldAtExit,
+              analyzer.count(FindingKind::LockHeldAtExit));
+    const Finding &f = analyzer.findings().front();
+    EXPECT_EQ(f.kind, FindingKind::LockHeldAtExit);
+    EXPECT_EQ(f.first.addr, lock); // the acquisition site
+    EXPECT_EQ(f.first.op, SiteOp::Lock);
+    // The open hold also shows up in the post-mortem dump.
+    std::string pm = analyzer.postMortem(stats.cycles);
+    EXPECT_NE(pm.find("open lock state"), std::string::npos) << pm;
+    EXPECT_NE(pm.find("holds"), std::string::npos) << pm;
+}
+
+Task<void>
+barrierWithLockKernel(SimThread &t, Addr lock, Barrier *bar)
+{
+    if (t.globalId() == 0)
+        co_await lockAcquire(t, lock);
+    co_await t.barrier(*bar);
+    if (t.globalId() == 0)
+        co_await lockRelease(t, lock);
+}
+
+TEST(AnalyzerLocks, LockHeldAcrossBarrier)
+{
+    Analyzer analyzer;
+    SystemConfig cfg = SystemConfig::make(2, 1, 4);
+    cfg.analyzer = &analyzer;
+    System sys(cfg);
+    Addr lock = sys.layout().allocArray(16, 4);
+    Barrier &bar = sys.makeBarrier(cfg.totalThreads());
+    sys.spawnAll([&, barp = &bar](SimThread &t) {
+        return barrierWithLockKernel(t, lock, barp);
+    });
+    sys.run();
+    ASSERT_EQ(analyzer.count(FindingKind::LockHeldAcrossBarrier), 1u);
+    const Finding &f = analyzer.findings().front();
+    EXPECT_EQ(f.first.addr, lock);
+    EXPECT_EQ(f.second.op, SiteOp::Barrier);
+    EXPECT_EQ(f.first.gtid, 0);
+    // Correct epilogue: no held-at-exit, no cycle.
+    EXPECT_EQ(analyzer.count(FindingKind::LockHeldAtExit), 0u);
+    EXPECT_EQ(analyzer.count(FindingKind::LockCycle), 0u);
+}
+
+// ----- Export plumbing: stats, trace events, findings JSON. --------
+
+TEST(AnalyzerExport, FindingsFlowIntoTracerAndJson)
+{
+    Tracer tracer;
+    CountingSink counting;
+    tracer.addSink(&counting);
+    Analyzer analyzer;
+    SystemConfig cfg = SystemConfig::make(2, 1, 4);
+    cfg.analyzer = &analyzer;
+    cfg.tracer = &tracer;
+    RunResult r = runMicroMutation(cfg, MicroMutation::LockCycle);
+    ASSERT_TRUE(r.verified);
+    ASSERT_GT(analyzer.totalFindings(), 0u);
+    // Every reported finding became a typed trace event.
+    EXPECT_EQ(counting.count(TraceEventType::AnalyzerFinding),
+              analyzer.totalFindings());
+    // And the findings JSON round-trips through the strict parser.
+    std::string doc = analyzer.findingsJson();
+    std::vector<Finding> parsed = findingsFromJson(doc);
+    ASSERT_EQ(parsed.size(), analyzer.findings().size());
+    EXPECT_EQ(findingsToJson(parsed), doc);
+}
+
+TEST(AnalyzerExport, FindingsAreDeterministicAcrossRuns)
+{
+    std::string docs[2];
+    for (int i = 0; i < 2; ++i) {
+        Analyzer analyzer;
+        SystemConfig cfg = SystemConfig::make(2, 1, 4);
+        cfg.analyzer = &analyzer;
+        runMicroMutation(cfg, MicroMutation::RacyHistogram);
+        docs[i] = analyzer.findingsJson();
+    }
+    EXPECT_EQ(docs[0], docs[1]);
+}
+
+TEST(AnalyzerExport, FindingStorageRespectsCap)
+{
+    AnalyzeConfig acfg;
+    acfg.maxStoredFindings = 2;
+    Analyzer analyzer(acfg);
+    SystemConfig cfg = SystemConfig::make(2, 1, 4);
+    cfg.analyzer = &analyzer;
+    runMicroMutation(cfg, MicroMutation::LockCycle);
+    EXPECT_GT(analyzer.totalFindings(), 2u); // counted past the cap...
+    EXPECT_LE(analyzer.findings().size(), 2u); // ...but storage bounded
+}
+
+// ----- Observation-only: the analyzer must not change the run. -----
+
+TEST(AnalyzerIdentity, CleanRunStatsAreByteIdenticalWithAnalyzerOn)
+{
+    SystemConfig off = SystemConfig::make(2, 2, 4);
+    RunResult plain = runBenchmark("HIP", 0, Scheme::Glsc, off, 0.02, 5);
+    ASSERT_TRUE(plain.verified);
+
+    Analyzer analyzer;
+    SystemConfig on = SystemConfig::make(2, 2, 4);
+    on.analyzer = &analyzer;
+    RunResult analyzed =
+        runBenchmark("HIP", 0, Scheme::Glsc, on, 0.02, 5);
+    ASSERT_TRUE(analyzed.verified);
+
+    // Zero findings on a clean kernel, so every analyzer counter is 0
+    // in both runs and the full stats documents must match exactly.
+    EXPECT_EQ(analyzer.totalFindings(), 0u);
+    EXPECT_EQ(statsToJson(analyzed.stats), statsToJson(plain.stats));
+}
+
+TEST(AnalyzerIdentity, MutantRunTimingUnchangedByAnalyzer)
+{
+    // Even when the analyzer DOES find defects, observing them must
+    // not change simulated timing.
+    SystemConfig off = SystemConfig::make(2, 1, 4);
+    RunResult plain = runMicroMutation(off, MicroMutation::LockCycle);
+
+    Analyzer analyzer;
+    SystemConfig on = SystemConfig::make(2, 1, 4);
+    on.analyzer = &analyzer;
+    RunResult analyzed = runMicroMutation(on, MicroMutation::LockCycle);
+
+    EXPECT_GT(analyzer.totalFindings(), 0u);
+    EXPECT_EQ(analyzed.stats.cycles, plain.stats.cycles);
+    EXPECT_EQ(analyzed.stats.totalInstructions(),
+              plain.stats.totalInstructions());
+    EXPECT_EQ(analyzed.stats.l1Accesses, plain.stats.l1Accesses);
+}
+
+} // namespace
+} // namespace glsc

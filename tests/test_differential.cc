@@ -95,8 +95,8 @@ TEST_P(DifferentialFuzz, TimingSimMatchesReferenceModel)
 
 INSTANTIATE_TEST_SUITE_P(Sweep, DifferentialFuzz,
                          ::testing::ValuesIn(kVariants),
-                         [](const auto &info) {
-                             return std::string(info.param.name);
+                         [](const auto &param_info) {
+                             return std::string(param_info.param.name);
                          });
 
 // ----- Full benchmarks under the reference model. ------------------
@@ -126,9 +126,9 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Combine(::testing::Values("GBC", "FS", "GPS", "HIP", "SMC",
                                          "MFP", "TMS"),
                        ::testing::Values(0, 1)),
-    [](const auto &info) {
-        return std::string(std::get<0>(info.param)) +
-               (std::get<1>(info.param) ? "_GLSC" : "_Base");
+    [](const auto &param_info) {
+        return std::string(std::get<0>(param_info.param)) +
+               (std::get<1>(param_info.param) ? "_GLSC" : "_Base");
     });
 
 // ----- Mutation smoke tests (non-vacuity). -------------------------

@@ -232,9 +232,9 @@ INSTANTIATE_TEST_SUITE_P(
     WidthsAndModes, SmtStealSweep,
     ::testing::Combine(::testing::Values(4, 16),   // SIMD width
                       ::testing::Values(0, 4)),    // tag bits / buffer
-    [](const auto &info) {
-        return strprintf("w%d_%s", std::get<0>(info.param),
-                         std::get<1>(info.param) ? "buf" : "tag");
+    [](const auto &param_info) {
+        return strprintf("w%d_%s", std::get<0>(param_info.param),
+                         std::get<1>(param_info.param) ? "buf" : "tag");
     });
 
 // ----- Capacity overflow under full 4-way SMT (section 3.3). -----
@@ -322,8 +322,8 @@ TEST_P(SmtOverflowSweep, KernelStaysExactUnderConstantOverflow)
 
 INSTANTIATE_TEST_SUITE_P(Widths, SmtOverflowSweep,
                          ::testing::Values(4, 16),
-                         [](const auto &info) {
-                             return strprintf("w%d", info.param);
+                         [](const auto &param_info) {
+                             return strprintf("w%d", param_info.param);
                          });
 
 // ----- Graceful fault masking (section 3.2). -----

@@ -49,8 +49,9 @@ lossyMatrix(double dropRate, bool reorder)
     for (const BenchmarkInfo &b : benchmarkList()) {
         for (Scheme s : {Scheme::Base, Scheme::Glsc}) {
             RunResult r = runKernel(b.name, s, cfg);
-            if (dropRate > 0.0 || reorder)
+            if (dropRate > 0.0 || reorder) {
                 EXPECT_GT(r.stats.nocTransactions, 0u) << b.name;
+            }
         }
     }
 }
@@ -195,7 +196,7 @@ TEST(NocProtocol, RequestLossTimesOutExactlyOnce)
     // The retransmission waited out the full end-to-end window.
     EXPECT_GT(txn.deliveredTick, Tick{1000} + rig.cfg.noc.timeoutCycles);
 
-    Tick done = rig.noc.complete(txn, txn.serviceStart + 10);
+    (void)rig.noc.complete(txn, txn.serviceStart + 10);
     // The reply leg was clean: no further timeouts.
     EXPECT_EQ(rig.stats.nocTimeouts, 1u);
     EXPECT_EQ(rig.stats.nocRetransmits, 1u);

@@ -46,9 +46,9 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Combine(::testing::Values("GBC", "FS", "GPS", "HIP",
                                          "SMC", "MFP", "TMS"),
                        ::testing::Values(0, 1)),
-    [](const auto &info) {
-        return std::string(std::get<0>(info.param)) +
-               (std::get<1>(info.param) ? "_GLSC" : "_Base");
+    [](const auto &param_info) {
+        return std::string(std::get<0>(param_info.param)) +
+               (std::get<1>(param_info.param) ? "_GLSC" : "_Base");
     });
 
 class ConsistencySweep : public ::testing::TestWithParam<const char *>

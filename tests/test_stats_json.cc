@@ -9,6 +9,7 @@
 
 #include <gtest/gtest.h>
 
+#include "analyze/finding.h"
 #include "kernels/registry.h"
 #include "obs/stats_json.h"
 #include "obs/trace.h"
@@ -67,6 +68,14 @@ const char *const kExpectedFields[] = {
     "nocReordersInjected",
     "nocDelaysInjected",
     "nocFaultDelayCycles",
+    "analyzerRaces",
+    "analyzerLockCycles",
+    "analyzerLockHeldAtExit",
+    "analyzerLockHeldAcrossBarrier",
+    "analyzerDanglingReservations",
+    "analyzerReservationOverBudget",
+    "analyzerSelfWritesToLinked",
+    "analyzerMaskMismatches",
     // Structured fields.
     "livelockDetected",
     "starvingThreads",
@@ -95,7 +104,7 @@ TEST(StatsJsonSchema, VersionIsPinned)
 {
     // Bumping the version is a conscious act: update this pin and the
     // field list together with the format change.
-    EXPECT_EQ(kStatsJsonSchemaVersion, 2);
+    EXPECT_EQ(kStatsJsonSchemaVersion, 3);
 }
 
 TEST(StatsJsonSchema, FieldListMatchesCheckedInCopy)
@@ -133,6 +142,14 @@ sampleStats()
     s.nocReordersInjected = 1;
     s.nocDelaysInjected = 1;
     s.nocFaultDelayCycles = 32;
+    s.analyzerRaces = 2;
+    s.analyzerLockCycles = 1;
+    s.analyzerLockHeldAtExit = 1;
+    s.analyzerLockHeldAcrossBarrier = 1;
+    s.analyzerDanglingReservations = 3;
+    s.analyzerReservationOverBudget = 1;
+    s.analyzerSelfWritesToLinked = 1;
+    s.analyzerMaskMismatches = 1;
     s.livelockDetected = true;
     s.starvingThreads = {1, 3};
     s.livelockReport = "line1\nwith \"quotes\" and\ttabs";
@@ -211,9 +228,9 @@ TEST(StatsJsonParser, RejectsMissingField)
 TEST(StatsJsonParser, RejectsWrongSchemaVersion)
 {
     std::string doc = statsToJson(sampleStats());
-    std::size_t pos = doc.find("\"schema\": 2");
+    std::size_t pos = doc.find("\"schema\": 3");
     ASSERT_NE(pos, std::string::npos);
-    doc.replace(pos, 11, "\"schema\": 3");
+    doc.replace(pos, 11, "\"schema\": 4");
     SystemStats parsed;
     std::string err;
     EXPECT_FALSE(statsFromJson(doc, parsed, &err));
@@ -226,6 +243,125 @@ TEST(StatsJsonParser, RejectsGarbage)
     EXPECT_FALSE(statsFromJson("", parsed));
     EXPECT_FALSE(statsFromJson("{", parsed));
     EXPECT_FALSE(statsFromJson("[1, 2]", parsed));
+}
+
+// ----- Findings-JSON golden round-trip (schema glsc-findings-v1). --
+
+/** One finding of every kind, with both sites populated. */
+std::vector<Finding>
+sampleFindings()
+{
+    std::vector<Finding> out;
+    for (int k = 0; k < kFindingKinds; ++k) {
+        Finding f;
+        f.kind = static_cast<FindingKind>(k);
+        f.first.gtid = k;
+        f.first.core = k / 2;
+        f.first.tid = k % 2;
+        f.first.tick = 100 + k;
+        f.first.addr = 0x1000 + 4u * k;
+        f.first.lane = k % 4;
+        f.first.op = SiteOp::StoreCond;
+        f.first.atomic = true;
+        f.second.gtid = k + 1;
+        f.second.tick = 200 + k;
+        f.second.addr = 0x2000 + 4u * k;
+        f.second.op = SiteOp::VStore;
+        f.detail = "detail with \"quotes\" and\ttabs #" +
+                   std::to_string(k);
+        out.push_back(f);
+    }
+    return out;
+}
+
+TEST(FindingsJson, GoldenDocumentIsStable)
+{
+    // The exact serialized form is part of the artifact contract:
+    // CI diffs findings files, so formatting drift is schema drift.
+    Finding f;
+    f.kind = FindingKind::Race;
+    f.first.gtid = 0;
+    f.first.core = 0;
+    f.first.tid = 0;
+    f.first.tick = 41;
+    f.first.addr = 0x1000;
+    f.first.op = SiteOp::Store;
+    f.second.gtid = 3;
+    f.second.core = 1;
+    f.second.tid = 1;
+    f.second.tick = 57;
+    f.second.addr = 0x1000;
+    f.second.lane = 2;
+    f.second.op = SiteOp::ScatterCond;
+    f.second.atomic = true;
+    f.detail = "unordered conflicting accesses to the same word";
+    std::string doc = findingsToJson({f});
+    const char *want =
+        "{\n"
+        "  \"schema\": \"glsc-findings-v1\",\n"
+        "  \"count\": 1,\n"
+        "  \"findings\": [\n"
+        "    {\n"
+        "      \"kind\": \"race\",\n"
+        "      \"first\": {\"gtid\": 0, \"core\": 0, \"tid\": 0, "
+        "\"tick\": 41, \"addr\": 4096, \"lane\": -1, "
+        "\"op\": \"store\", \"atomic\": false},\n"
+        "      \"second\": {\"gtid\": 3, \"core\": 1, \"tid\": 1, "
+        "\"tick\": 57, \"addr\": 4096, \"lane\": 2, "
+        "\"op\": \"scattercond\", \"atomic\": true},\n"
+        "      \"detail\": \"unordered conflicting accesses to the "
+        "same word\"\n"
+        "    }\n"
+        "  ]\n"
+        "}\n";
+    EXPECT_EQ(doc, want);
+}
+
+TEST(FindingsJson, RoundTripsEveryKindByteIdentically)
+{
+    std::vector<Finding> fs = sampleFindings();
+    std::string doc = findingsToJson(fs);
+    std::vector<Finding> parsed = findingsFromJson(doc);
+    ASSERT_EQ(parsed.size(), fs.size());
+    EXPECT_EQ(findingsToJson(parsed), doc);
+    for (std::size_t i = 0; i < fs.size(); ++i) {
+        EXPECT_EQ(parsed[i].kind, fs[i].kind);
+        EXPECT_EQ(parsed[i].first.gtid, fs[i].first.gtid);
+        EXPECT_EQ(parsed[i].first.tick, fs[i].first.tick);
+        EXPECT_EQ(parsed[i].first.addr, fs[i].first.addr);
+        EXPECT_EQ(parsed[i].first.lane, fs[i].first.lane);
+        EXPECT_EQ(parsed[i].first.op, fs[i].first.op);
+        EXPECT_EQ(parsed[i].first.atomic, fs[i].first.atomic);
+        EXPECT_EQ(parsed[i].second.addr, fs[i].second.addr);
+        EXPECT_EQ(parsed[i].detail, fs[i].detail);
+    }
+}
+
+TEST(FindingsJson, EmptyReportRoundTrips)
+{
+    std::string doc = findingsToJson({});
+    EXPECT_NE(doc.find("\"count\": 0"), std::string::npos);
+    EXPECT_TRUE(findingsFromJson(doc).empty());
+}
+
+TEST(FindingsJsonDeath, RejectsTamperedDocuments)
+{
+    std::string doc = findingsToJson(sampleFindings());
+    std::string wrongSchema = doc;
+    std::size_t pos = wrongSchema.find("glsc-findings-v1");
+    ASSERT_NE(pos, std::string::npos);
+    wrongSchema.replace(pos, 16, "glsc-findings-v9");
+    EXPECT_DEATH((void)findingsFromJson(wrongSchema), "schema");
+
+    std::string wrongCount = doc;
+    pos = wrongCount.find("\"count\": 8");
+    ASSERT_NE(pos, std::string::npos);
+    wrongCount.replace(pos, 10, "\"count\": 7");
+    EXPECT_DEATH((void)findingsFromJson(wrongCount), "count");
+
+    EXPECT_DEATH((void)findingsFromJson(""), "");
+    EXPECT_DEATH((void)findingsFromJson("{"), "");
+    EXPECT_DEATH((void)findingsFromJson(doc + "x"), "");
 }
 
 // ----- consistencyError coverage for the new breakdowns. -----------

@@ -90,8 +90,9 @@ TEST(Sparse, LevelScheduleRespectsDependencies)
     for (int r = 0; r < 120; ++r) {
         for (int k = l.rowPtr[r]; k < l.rowPtr[r + 1]; ++k) {
             int c = l.colIdx[k];
-            if (c < r)
+            if (c < r) {
                 EXPECT_LT(levelOf[c], levelOf[r]);
+            }
         }
     }
 }
@@ -150,8 +151,9 @@ TEST(Synthetic, ConstraintsCanonicalAndLocal)
         const Constraint &c = cs.constraints[i];
         EXPECT_LT(c.a, c.b);
         EXPECT_LE(c.b - c.a, 6 + 6); // clamping can stretch slightly
-        if (i > 0)
+        if (i > 0) {
             EXPECT_LE(cs.constraints[i - 1].a, c.a); // sorted
+        }
     }
 }
 
