@@ -68,7 +68,7 @@ main(int argc, char **argv)
     std::printf("Min L2 Access Latency      %llu cycles\n",
                 (unsigned long long)cfg.l2Latency);
     std::printf("Main Memory Access         %llu cycles\n",
-                (unsigned long long)cfg.memLatency);
+                (unsigned long long)cfg.fixedMem.latency);
     std::printf("Min GLSC Latency (model)   (4 + SIMD-width) cycles\n");
     for (int w : {1, 4, 16}) {
         std::printf("Min GLSC Latency measured  width %2d: %llu cycles "

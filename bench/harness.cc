@@ -70,14 +70,23 @@ parseArgs(int argc, char **argv, double default_scale)
         } else if (std::strcmp(argv[i], "--analyze") == 0 &&
                    i + 1 < argc) {
             opt.analyzePath = argv[++i];
+        } else if (std::strcmp(argv[i], "--mem") == 0 && i + 1 < argc) {
+            opt.mem = argv[++i];
+        } else if (std::strncmp(argv[i], "--mem=", 6) == 0) {
+            opt.mem = argv[i] + 6;
         } else {
             std::fprintf(stderr,
                          "usage: %s [--scale f] [--seed n] [--quick]"
                          " [--json path] [--trace path] [--noc-armed]"
-                         " [--analyze path]\n",
+                         " [--analyze path] [--mem fixed|dram]\n",
                          argv[0]);
             std::exit(2);
         }
+    }
+    if (opt.mem != "fixed" && opt.mem != "dram") {
+        std::fprintf(stderr, "--mem must be \"fixed\" or \"dram\", got"
+                     " \"%s\"\n", opt.mem.c_str());
+        std::exit(2);
     }
     return opt;
 }
@@ -109,6 +118,8 @@ runChecked(const std::string &bench, int dataset, Scheme scheme,
     }
     if (opt.nocArmed)
         runCfg.noc.protocol = true;
+    if (opt.mem == "dram")
+        runCfg.memBackend = MemBackendKind::Dram;
     if (!opt.analyzePath.empty())
         runCfg.analyzer = &st.analyzer;
     RunResult r =

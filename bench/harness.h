@@ -10,6 +10,10 @@
  *   --trace <p>   attach a tracer and write a Chrome trace to <p>
  *   --noc-armed   arm the NoC message layer (fault-free: must not
  *                 change any table -- CI diffs armed vs. unarmed)
+ *   --mem <kind>  main-memory backend: "fixed" (default; flat 280-
+ *                 cycle latency, cycle-identical to the pre-backend
+ *                 engine -- CI diffs against goldens) or "dram"
+ *                 (banked DRAM with row-buffer timing)
  *   --analyze <p> attach the guest-program analyzer to every run and
  *                 write its findings JSON to <p> (observation-only:
  *                 must not change any table -- CI diffs with/without)
@@ -44,6 +48,7 @@ struct Options
     std::string tracePath; //!< --trace destination ("" = off)
     std::string analyzePath; //!< --analyze findings destination ("" = off)
     bool nocArmed = false; //!< --noc-armed: NocConfig::protocol on
+    std::string mem = "fixed"; //!< --mem: "fixed" or "dram"
 };
 
 Options parseArgs(int argc, char **argv, double default_scale);

@@ -28,6 +28,18 @@ SystemConfig::validate() const
                    "size");
     if (writeBufferEntries < 1 || lsqEntries < 1)
         GLSC_FATAL("write buffer and LSQ need at least one entry");
+    if (fixedMem.latency < 1)
+        GLSC_FATAL("fixed memory latency must be at least 1 cycle");
+    if (dram.channels < 1 || dram.banksPerChannel < 1)
+        GLSC_FATAL("DRAM needs at least one channel and one bank per "
+                   "channel");
+    if (dram.queueDepth < 1)
+        GLSC_FATAL("DRAM queue depth must be at least 1");
+    if (dram.rowBytes < kLineBytes || dram.rowBytes % kLineBytes != 0)
+        GLSC_FATAL("DRAM row size must be a positive multiple of the "
+                   "%d-byte line", kLineBytes);
+    if (dram.tRcd < 1 || dram.tRp < 1 || dram.tCas < 1 || dram.tBurst < 1)
+        GLSC_FATAL("DRAM timing parameters must be at least 1 cycle");
     auto rate = [](double r) { return r >= 0.0 && r <= 1.0; };
     if (!rate(faults.spuriousClearRate) || !rate(faults.evictLinkedRate) ||
         !rate(faults.stealReservationRate) ||

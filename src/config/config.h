@@ -15,6 +15,7 @@
 
 #include <string>
 
+#include "mem/mem_config.h"
 #include "robust/robust_config.h"
 #include "sim/types.h"
 
@@ -67,8 +68,12 @@ struct SystemConfig
     int l2Banks = 16;
     Tick l2Latency = 12;     //!< minimum (unloaded) L2 access latency
 
-    // Main memory.
-    Tick memLatency = 280;
+    // Main memory (src/mem/mem_config.h): which backend services L2
+    // misses, plus each backend's parameters.  The default fixed
+    // backend reproduces Table 1's flat 280-cycle memory latency.
+    MemBackendKind memBackend = MemBackendKind::Fixed;
+    FixedLatencyConfig fixedMem;
+    DramConfig dram;
 
     // Interconnect: the 12-cycle min L2 latency already includes the
     // average on-die traversal; these model additional queueing and

@@ -1,0 +1,88 @@
+#include "mem/backend.h"
+
+#include <algorithm>
+
+#include "obs/trace.h"
+#include "stats/stats.h"
+
+namespace glsc {
+
+namespace {
+
+/** Emits one lifecycle event if @p tracer is attached. */
+void
+emitMemEvent(Tracer *tracer, TraceEventType type, Tick tick,
+             const MemReq &req, std::uint64_t a, std::uint64_t b)
+{
+    if (tracer == nullptr)
+        return;
+    TraceEvent e;
+    e.tick = tick;
+    e.type = type;
+    e.core = req.core;
+    e.tid = req.tid;
+    e.line = req.line;
+    e.a = a;
+    e.b = b;
+    tracer->emit(e);
+}
+
+} // namespace
+
+FixedLatencyBackend::FixedLatencyBackend(const FixedLatencyConfig &cfg,
+                                         SystemStats &stats)
+    : cfg_(cfg), stats_(stats)
+{
+}
+
+std::uint64_t
+FixedLatencyBackend::send(const MemReq &req)
+{
+    // Infinite bandwidth: nothing ever rejects or queues behind
+    // anything, which is exactly the legacy inline-latency model.
+    std::uint64_t id = nextId_++;
+    if (req.write)
+        stats_.memWrites++;
+    else
+        stats_.memReads++;
+    emitMemEvent(tracer_, TraceEventType::MemReqQueued, req.arrival, req,
+                 0, req.write ? 1 : 0);
+    emitMemEvent(tracer_, TraceEventType::MemReqIssued, req.arrival, req,
+                 0, static_cast<std::uint64_t>(MemRowOutcome::Flat));
+    MemResp resp;
+    resp.id = id;
+    resp.line = req.line;
+    resp.write = req.write;
+    resp.completeTick = req.arrival + cfg_.latency;
+    emitMemEvent(tracer_, TraceEventType::MemReqDone, resp.completeTick,
+                 req, 0, 0);
+    // Completion-tick order with id as the tie-break keeps callback
+    // order deterministic even when arrivals are not monotonic.
+    auto pos = std::upper_bound(
+        pending_.begin(), pending_.end(), resp,
+        [](const MemResp &x, const MemResp &y) {
+            if (x.completeTick != y.completeTick)
+                return x.completeTick < y.completeTick;
+            return x.id < y.id;
+        });
+    pending_.insert(pos, resp);
+    return id;
+}
+
+void
+FixedLatencyBackend::tick(Tick upTo)
+{
+    while (!pending_.empty() && pending_.front().completeTick <= upTo) {
+        MemResp resp = pending_.front();
+        pending_.erase(pending_.begin());
+        notify(resp);
+    }
+}
+
+Tick
+FixedLatencyBackend::nextEventTick() const
+{
+    return pending_.empty() ? kTickMax : pending_.front().completeTick;
+}
+
+} // namespace glsc

@@ -1,0 +1,150 @@
+/**
+ * @file
+ * MemBackend: the asynchronous request interface everything below the
+ * shared L2 sits behind.
+ *
+ * The shape follows the DRAMsim3 / Ramulator2 integration contract
+ * (see PAPERS.md and SNIPPETS.md #2-3): the cache side calls
+ * send(MemReq) to enqueue a request and is notified of completion
+ * through a callback carrying the completion tick; tick(upTo) advances
+ * the controller model through simulated time, issuing queued requests
+ * and firing callbacks.  Because this simulator resolves every
+ * transaction's latency up front at its acceptance tick (DESIGN.md
+ * section 2), the MemorySystem drives tick() forward in virtual time
+ * until the fill it is waiting on resolves; posted writebacks stay
+ * queued and drain as later traffic (or the end-of-run drain) advances
+ * the model.  The interface is nonetheless fully asynchronous: unit
+ * tests enqueue many requests before ticking at all and watch the
+ * scheduler order them.
+ *
+ * Contract rules every backend must obey:
+ *  - send() either accepts the request (returns its id, counts it in
+ *    SystemStats) or rejects it with kMemReqRejected when the target
+ *    queue is full at req.arrival; the caller must advance the model
+ *    (tick) and retry -- that is the backpressure path.
+ *  - tick(upTo) performs every issue/complete whose modeled tick is
+ *    <= upTo, in a deterministic order that is a pure function of the
+ *    backend state (no RNG, no wall clock): identical request
+ *    sequences produce identical completion ticks, which the
+ *    determinism tests in tests/test_mem_backend.cc pin.
+ *  - nextEventTick() returns the earliest tick at which tick() would
+ *    make progress, or kTickMax when idle; the resolve/drain loops
+ *    use it so they can never spin.
+ */
+
+#ifndef GLSC_MEM_BACKEND_H_
+#define GLSC_MEM_BACKEND_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "mem/mem_config.h"
+#include "sim/types.h"
+
+namespace glsc {
+
+struct SystemStats;
+class Tracer;
+
+/** send() result when the controller queue is full (backpressure). */
+inline constexpr std::uint64_t kMemReqRejected = ~std::uint64_t{0};
+
+/** One request below the L2: a demand fill or a posted writeback. */
+struct MemReq
+{
+    Addr line = 0;      //!< line-aligned address
+    bool write = false; //!< true: posted writeback (no one waits)
+    CoreId core = -1;   //!< requesting core (-1 for L2-initiated)
+    ThreadId tid = -1;  //!< requesting hardware thread (-1 if none)
+    Tick arrival = 0;   //!< tick the request reaches the controller
+};
+
+/** Completion notice delivered through the callback. */
+struct MemResp
+{
+    std::uint64_t id = 0; //!< id send() returned for this request
+    Addr line = 0;
+    bool write = false;
+    Tick completeTick = 0; //!< tick the data is back at the L2
+};
+
+/** Async main-memory model: send + completion callback + tick. */
+class MemBackend
+{
+  public:
+    using Callback = std::function<void(const MemResp &)>;
+
+    virtual ~MemBackend() = default;
+
+    /** Stable lower-case backend name ("fixed", "dram"). */
+    virtual const char *name() const = 0;
+
+    /**
+     * Enqueues @p req; returns its id, or kMemReqRejected when the
+     * controller cannot accept it at req.arrival (queue full).
+     */
+    virtual std::uint64_t send(const MemReq &req) = 0;
+
+    /** Advances the model, completing everything due at <= @p upTo. */
+    virtual void tick(Tick upTo) = 0;
+
+    /** Earliest tick tick() would act on; kTickMax when idle. */
+    virtual Tick nextEventTick() const = 0;
+
+    /** True when no request is queued or in flight. */
+    virtual bool idle() const = 0;
+
+    /** Completion consumer (the MemorySystem); at most one. */
+    void setCallback(Callback cb) { cb_ = std::move(cb); }
+
+    /** Lifecycle event tracer, or null for the untraced default. */
+    void setTracer(Tracer *t) { tracer_ = t; }
+
+    /** Runs the model dry: every queued request completes. */
+    void
+    drain()
+    {
+        while (!idle())
+            tick(nextEventTick());
+    }
+
+  protected:
+    void
+    notify(const MemResp &resp)
+    {
+        if (cb_)
+            cb_(resp);
+    }
+
+    Callback cb_;
+    Tracer *tracer_ = nullptr;
+};
+
+/**
+ * The legacy model: every request completes a flat
+ * FixedLatencyConfig::latency after arrival, with infinite bandwidth.
+ * When selected, simulated timing is bit-cycle-identical to the
+ * pre-backend engine (tests/test_mem_backend.cc pins the goldens).
+ */
+class FixedLatencyBackend : public MemBackend
+{
+  public:
+    FixedLatencyBackend(const FixedLatencyConfig &cfg, SystemStats &stats);
+
+    const char *name() const override { return "fixed"; }
+    std::uint64_t send(const MemReq &req) override;
+    void tick(Tick upTo) override;
+    Tick nextEventTick() const override;
+    bool idle() const override { return pending_.empty(); }
+
+  private:
+    FixedLatencyConfig cfg_;
+    SystemStats &stats_;
+    std::vector<MemResp> pending_; //!< completion-tick order
+    std::uint64_t nextId_ = 0;
+};
+
+} // namespace glsc
+
+#endif // GLSC_MEM_BACKEND_H_

@@ -1,0 +1,308 @@
+#include "mem/dram.h"
+
+#include <algorithm>
+
+#include "obs/trace.h"
+#include "stats/stats.h"
+
+namespace glsc {
+
+namespace {
+
+void
+emitMemEvent(Tracer *tracer, TraceEventType type, Tick tick, CoreId core,
+             ThreadId tid, Addr line, std::uint64_t a, std::uint64_t b)
+{
+    if (tracer == nullptr)
+        return;
+    TraceEvent e;
+    e.tick = tick;
+    e.type = type;
+    e.core = core;
+    e.tid = tid;
+    e.line = line;
+    e.a = a;
+    e.b = b;
+    tracer->emit(e);
+}
+
+MemRowOutcome
+toRowOutcome(DramOutcome o)
+{
+    switch (o) {
+    case DramOutcome::Hit:
+        return MemRowOutcome::Hit;
+    case DramOutcome::Miss:
+        return MemRowOutcome::Miss;
+    case DramOutcome::Conflict:
+        return MemRowOutcome::Conflict;
+    }
+    return MemRowOutcome::Miss;
+}
+
+} // namespace
+
+BankedDramBackend::BankedDramBackend(const DramConfig &cfg,
+                                     SystemStats &stats)
+    : cfg_(cfg), stats_(stats), linesPerRow_(cfg.rowBytes / kLineBytes)
+{
+    channels_.resize(static_cast<std::size_t>(cfg_.channels));
+    for (Channel &c : channels_)
+        c.banks.resize(static_cast<std::size_t>(cfg_.banksPerChannel));
+    // Size the per-channel stats vectors up front so the conservation
+    // relations hold from the first counted request on.
+    stats_.dramChannelReqs.assign(static_cast<std::size_t>(cfg_.channels),
+                                  0);
+    stats_.dramChannelPeakQueue.assign(
+        static_cast<std::size_t>(cfg_.channels), 0);
+}
+
+int
+BankedDramBackend::channelOf(Addr line) const
+{
+    std::uint64_t lineIdx = line >> kLineShift;
+    return static_cast<int>(lineIdx %
+                            static_cast<std::uint64_t>(cfg_.channels));
+}
+
+int
+BankedDramBackend::bankOf(Addr line) const
+{
+    std::uint64_t lineIdx = line >> kLineShift;
+    return static_cast<int>(
+        (lineIdx / static_cast<std::uint64_t>(cfg_.channels)) %
+        static_cast<std::uint64_t>(cfg_.banksPerChannel));
+}
+
+std::int64_t
+BankedDramBackend::rowOf(Addr line) const
+{
+    std::uint64_t lineIdx = line >> kLineShift;
+    std::uint64_t perBankLine =
+        lineIdx / static_cast<std::uint64_t>(cfg_.channels *
+                                             cfg_.banksPerChannel);
+    return static_cast<std::int64_t>(
+        perBankLine / static_cast<std::uint64_t>(linesPerRow_));
+}
+
+Tick
+BankedDramBackend::latencyFor(DramOutcome o) const
+{
+    Tick lat = cfg_.staticLatency + cfg_.tCas + cfg_.tBurst;
+    if (o != DramOutcome::Hit)
+        lat += cfg_.tRcd;
+    if (o == DramOutcome::Conflict)
+        lat += cfg_.tRp;
+    return lat;
+}
+
+int
+BankedDramBackend::queueDepth(int channel) const
+{
+    return static_cast<int>(
+        channels_[static_cast<std::size_t>(channel)].queue.size());
+}
+
+std::uint64_t
+BankedDramBackend::send(const MemReq &req)
+{
+    std::size_t ci = static_cast<std::size_t>(channelOf(req.line));
+    Channel &c = channels_[ci];
+    if (static_cast<int>(c.queue.size()) >= cfg_.queueDepth) {
+        stats_.dramQueueFullStalls++;
+        return kMemReqRejected;
+    }
+    Entry e;
+    e.req = req;
+    e.id = nextId_++;
+    c.queue.push_back(e);
+    if (req.write)
+        stats_.memWrites++;
+    else
+        stats_.memReads++;
+    std::uint64_t depth = c.queue.size();
+    if (depth > stats_.dramChannelPeakQueue[ci])
+        stats_.dramChannelPeakQueue[ci] = depth;
+    emitMemEvent(tracer_, TraceEventType::MemReqQueued, req.arrival,
+                 req.core, req.tid, req.line,
+                 static_cast<std::uint64_t>(ci), req.write ? 1 : 0);
+    return e.id;
+}
+
+Tick
+BankedDramBackend::issueReadyTick(const Channel &c, const Entry &e) const
+{
+    const Bank &b = c.banks[static_cast<std::size_t>(bankOf(e.req.line))];
+    return std::max({e.req.arrival, c.busFreeAt, b.readyAt});
+}
+
+DramOutcome
+BankedDramBackend::outcomeFor(const Channel &c, const Entry &e) const
+{
+    const Bank &b = c.banks[static_cast<std::size_t>(bankOf(e.req.line))];
+    if (b.openRow < 0)
+        return DramOutcome::Miss;
+    if (b.openRow == rowOf(e.req.line))
+        return DramOutcome::Hit;
+    return DramOutcome::Conflict;
+}
+
+int
+BankedDramBackend::pickFrFcfs(const Channel &c, Tick now) const
+{
+    // Priority tuple, lower wins: (row-hit? 0 : 1,
+    // posted-write-behind-read? 1 : 0, acceptance order).  A pure
+    // function of model state, so scheduling is deterministic.
+    int best = -1;
+    int bestHit = 0;
+    int bestWrite = 0;
+    std::uint64_t bestId = 0;
+    for (int i = 0; i < static_cast<int>(c.queue.size()); ++i) {
+        const Entry &e = c.queue[static_cast<std::size_t>(i)];
+        if (issueReadyTick(c, e) > now)
+            continue;
+        int hit = outcomeFor(c, e) == DramOutcome::Hit ? 0 : 1;
+        int wr = (cfg_.readPriority && e.req.write) ? 1 : 0;
+        if (best < 0 || hit < bestHit ||
+            (hit == bestHit &&
+             (wr < bestWrite || (wr == bestWrite && e.id < bestId)))) {
+            best = i;
+            bestHit = hit;
+            bestWrite = wr;
+            bestId = e.id;
+        }
+    }
+    return best;
+}
+
+void
+BankedDramBackend::issue(int ci, int qi, Tick now)
+{
+    Channel &c = channels_[static_cast<std::size_t>(ci)];
+    Entry e = c.queue[static_cast<std::size_t>(qi)];
+    c.queue.erase(c.queue.begin() + qi);
+
+    DramOutcome outcome = outcomeFor(c, e);
+    Bank &b = c.banks[static_cast<std::size_t>(bankOf(e.req.line))];
+    Tick lat = latencyFor(outcome);
+
+    switch (outcome) {
+    case DramOutcome::Hit:
+        stats_.dramRowHits++;
+        break;
+    case DramOutcome::Miss:
+        stats_.dramRowMisses++;
+        break;
+    case DramOutcome::Conflict:
+        stats_.dramRowConflicts++;
+        break;
+    }
+    stats_.dramChannelReqs[static_cast<std::size_t>(ci)]++;
+    Tick wait = now - e.req.arrival;
+    stats_.dramQueueWaitCycles += wait;
+
+    // The bank is busy for the DRAM-core portion of the access; the
+    // controller/PHY portion (staticLatency) overlaps with the next
+    // activate.  The channel bus holds for one burst.
+    b.readyAt = now + (lat - cfg_.staticLatency);
+    b.openRow = cfg_.closedPage ? -1 : rowOf(e.req.line);
+    c.busFreeAt = now + cfg_.tBurst;
+
+    Inflight f;
+    f.id = e.id;
+    f.line = e.req.line;
+    f.write = e.req.write;
+    f.core = e.req.core;
+    f.tid = e.req.tid;
+    f.queueWait = wait;
+    f.completeTick = now + lat;
+    auto pos = std::upper_bound(
+        c.flight.begin(), c.flight.end(), f,
+        [](const Inflight &x, const Inflight &y) {
+            if (x.completeTick != y.completeTick)
+                return x.completeTick < y.completeTick;
+            return x.id < y.id;
+        });
+    c.flight.insert(pos, f);
+
+    emitMemEvent(tracer_, TraceEventType::MemReqIssued, now, e.req.core,
+                 e.req.tid, e.req.line, static_cast<std::uint64_t>(ci),
+                 static_cast<std::uint64_t>(toRowOutcome(outcome)));
+}
+
+void
+BankedDramBackend::stepAt(Tick now)
+{
+    // Completions first, in (completion tick, acceptance id) order
+    // across every channel so callback order is deterministic.
+    std::vector<std::pair<int, Inflight>> due;
+    for (int ci = 0; ci < static_cast<int>(channels_.size()); ++ci) {
+        Channel &c = channels_[static_cast<std::size_t>(ci)];
+        while (!c.flight.empty() && c.flight.front().completeTick <= now) {
+            due.emplace_back(ci, c.flight.front());
+            c.flight.erase(c.flight.begin());
+        }
+    }
+    std::sort(due.begin(), due.end(),
+              [](const auto &x, const auto &y) {
+                  if (x.second.completeTick != y.second.completeTick)
+                      return x.second.completeTick < y.second.completeTick;
+                  return x.second.id < y.second.id;
+              });
+    for (const auto &[ci, f] : due) {
+        emitMemEvent(tracer_, TraceEventType::MemReqDone, f.completeTick,
+                     f.core, f.tid, f.line,
+                     static_cast<std::uint64_t>(ci), f.queueWait);
+        MemResp resp;
+        resp.id = f.id;
+        resp.line = f.line;
+        resp.write = f.write;
+        resp.completeTick = f.completeTick;
+        notify(resp);
+    }
+
+    // Then issue: at most one request per channel per step (the bus
+    // busies for tBurst >= 1, so repeated steps make progress).
+    for (int ci = 0; ci < static_cast<int>(channels_.size()); ++ci) {
+        Channel &c = channels_[static_cast<std::size_t>(ci)];
+        int qi = pickFrFcfs(c, now);
+        if (qi >= 0)
+            issue(ci, qi, now);
+    }
+}
+
+void
+BankedDramBackend::tick(Tick upTo)
+{
+    for (;;) {
+        Tick t = nextEventTick();
+        if (t == kTickMax || t > upTo)
+            return;
+        stepAt(t);
+    }
+}
+
+Tick
+BankedDramBackend::nextEventTick() const
+{
+    Tick best = kTickMax;
+    for (const Channel &c : channels_) {
+        if (!c.flight.empty())
+            best = std::min(best, c.flight.front().completeTick);
+        for (const Entry &e : c.queue)
+            best = std::min(best, issueReadyTick(c, e));
+    }
+    return best;
+}
+
+bool
+BankedDramBackend::idle() const
+{
+    for (const Channel &c : channels_) {
+        if (!c.queue.empty() || !c.flight.empty())
+            return false;
+    }
+    return true;
+}
+
+} // namespace glsc

@@ -1,0 +1,150 @@
+/**
+ * @file
+ * BankedDramBackend: a banked DRAM timing model behind the MemBackend
+ * interface.
+ *
+ * Structure (DramConfig): `channels` independent channels, each with
+ * its own bounded request queue and command/data bus, and
+ * `banksPerChannel` banks per channel, each with one open-row buffer.
+ * Lines interleave across channels first, then banks, so consecutive
+ * lines hit different channels (the mapping is documented at
+ * channelOf/bankOf/rowOf below).
+ *
+ * Timing: a request issues on its channel when the bus is free and its
+ * bank is ready; the row-buffer state classifies it:
+ *
+ *   HIT      (row already open)   tCAS + tBURST            = 48 cyc
+ *   MISS     (bank precharged)    tRCD + tCAS + tBURST     = 88 cyc
+ *   CONFLICT (other row open)     tRP + tRCD + tCAS + tBURST = 128 cyc
+ *
+ * plus DramConfig::staticLatency (controller/PHY/board) end to end.
+ * With the defaults a MISS totals exactly the FixedLatencyBackend's
+ * 280 cycles -- the flat model is this model with row state averaged
+ * away (see mem_config.h for the derivation).
+ *
+ * Scheduling is FR-FCFS (first-ready, first-come-first-served): among
+ * requests that could issue this tick the scheduler prefers row-buffer
+ * hits, then (when DramConfig::readPriority) demand reads over posted
+ * writebacks, then the oldest by acceptance order.  Closed-page mode
+ * auto-precharges after every access, so nothing ever hits or
+ * conflicts.
+ *
+ * Everything is pure integer state -- no RNG, no wall clock -- so the
+ * model is deterministic: identical request sequences produce
+ * identical completion ticks (pinned by tests/test_mem_backend.cc).
+ */
+
+#ifndef GLSC_MEM_DRAM_H_
+#define GLSC_MEM_DRAM_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "mem/backend.h"
+#include "mem/mem_config.h"
+#include "sim/types.h"
+
+namespace glsc {
+
+struct SystemStats;
+
+/** Row-buffer outcome of one issued DRAM request (stats + trace). */
+enum class DramOutcome : std::uint8_t
+{
+    Hit = 0,
+    Miss = 1,
+    Conflict = 2,
+};
+
+class BankedDramBackend : public MemBackend
+{
+  public:
+    BankedDramBackend(const DramConfig &cfg, SystemStats &stats);
+
+    const char *name() const override { return "dram"; }
+    std::uint64_t send(const MemReq &req) override;
+    void tick(Tick upTo) override;
+    Tick nextEventTick() const override;
+    bool idle() const override;
+
+    // --- Address mapping (tests pin these). -------------------------
+    //
+    // lineIdx = line / kLineBytes interleaves channel-first:
+    //   channel =  lineIdx % channels
+    //   bank    = (lineIdx / channels) % banksPerChannel
+    //   row     = (lineIdx / (channels * banksPerChannel))
+    //             / (rowBytes / kLineBytes)
+    int channelOf(Addr line) const;
+    int bankOf(Addr line) const;
+    std::int64_t rowOf(Addr line) const;
+
+    /**
+     * End-to-end latency (issue to data back at the L2) a request with
+     * outcome @p o costs.  Pure function of the config; the unit tests
+     * check the model's observed completions against it.
+     */
+    Tick latencyFor(DramOutcome o) const;
+
+    /** Queued (not yet issued) requests on @p channel (tests). */
+    int queueDepth(int channel) const;
+
+  private:
+    struct Entry
+    {
+        MemReq req;
+        std::uint64_t id = 0;  //!< send() order; FR-FCFS FIFO tier
+    };
+
+    struct Inflight
+    {
+        std::uint64_t id = 0;
+        Addr line = 0;
+        bool write = false;
+        CoreId core = -1;
+        ThreadId tid = -1;
+        Tick queueWait = 0; //!< issue tick - arrival tick
+        Tick completeTick = 0;
+    };
+
+    struct Bank
+    {
+        std::int64_t openRow = -1; //!< -1: precharged (no open row)
+        Tick readyAt = 0;          //!< bank busy with the prior access
+    };
+
+    struct Channel
+    {
+        std::vector<Entry> queue;      //!< waiting to issue (unordered)
+        std::vector<Inflight> flight;  //!< issued, completion-tick order
+        std::vector<Bank> banks;
+        Tick busFreeAt = 0; //!< command/data bus occupied until here
+    };
+
+    /** Earliest tick @p e could issue on channel @p c. */
+    Tick issueReadyTick(const Channel &c, const Entry &e) const;
+
+    /** Row-buffer outcome @p e would see right now on its bank. */
+    DramOutcome outcomeFor(const Channel &c, const Entry &e) const;
+
+    /**
+     * FR-FCFS: index into c.queue of the best entry issuable at
+     * @p now, or -1 when none is.
+     */
+    int pickFrFcfs(const Channel &c, Tick now) const;
+
+    /** Completes and issues everything actionable at exactly @p now. */
+    void stepAt(Tick now);
+
+    /** Issues queue entry @p qi of channel @p ci at @p now. */
+    void issue(int ci, int qi, Tick now);
+
+    DramConfig cfg_;
+    SystemStats &stats_;
+    std::vector<Channel> channels_;
+    int linesPerRow_;
+    std::uint64_t nextId_ = 0;
+};
+
+} // namespace glsc
+
+#endif // GLSC_MEM_DRAM_H_

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Configuration of the pluggable main-memory backend (everything
+ * below the shared L2).  Dependency-free so config/config.h can embed
+ * these structs without pulling the memory system in.
+ *
+ * Two backends exist (src/mem/backend.h, src/mem/dram.h):
+ *
+ *  - FixedLatencyBackend: the legacy flat-latency model.  Selected by
+ *    default and bit-cycle-identical to the pre-backend engine, pinned
+ *    by goldens in tests/test_mem_backend.cc and a CI diff gate.
+ *  - BankedDramBackend: per-channel request queues, per-bank row
+ *    buffers with hit/miss/conflict timing, FR-FCFS scheduling and a
+ *    configurable open/closed-page policy, in the DRAMsim3/Ramulator2
+ *    tradition of callback-based memory controllers.
+ */
+
+#ifndef GLSC_MEM_MEM_CONFIG_H_
+#define GLSC_MEM_MEM_CONFIG_H_
+
+#include "sim/types.h"
+
+namespace glsc {
+
+/** Which model services L2 misses (SystemConfig::memBackend). */
+enum class MemBackendKind
+{
+    Fixed, //!< legacy flat latency (the Table-1 evaluated system)
+    Dram,  //!< banked DRAM with row-buffer timing and queues
+};
+
+/**
+ * FixedLatencyBackend parameters.
+ *
+ * The 280-cycle default is the paper's Table-1 main-memory latency:
+ * at the evaluated core clock it decomposes into roughly 192 cycles
+ * of controller, PHY and board traversal plus one closed-row DRAM
+ * access (activate tRCD 40 + column read tCAS 40 + first-burst
+ * transfer 8 = 88 cycles).  DramConfig's defaults below reproduce
+ * exactly this decomposition, so a BankedDramBackend row MISS costs
+ * the same 280 cycles the flat model charges every access, a row HIT
+ * is cheaper (no activate) and a row CONFLICT dearer (precharge
+ * first) -- the flat model is the DRAM model with the row-state terms
+ * averaged away.
+ */
+struct FixedLatencyConfig
+{
+    Tick latency = 280;
+};
+
+/**
+ * BankedDramBackend parameters (timings in core cycles).  Defaults
+ * are chosen so staticLatency + tRcd + tCas + tBurst equals the
+ * FixedLatencyConfig default of 280 (see above).
+ */
+struct DramConfig
+{
+    int channels = 2;        //!< independent channel queues + buses
+    int banksPerChannel = 8; //!< row buffers per channel
+    int queueDepth = 16;     //!< per-channel queue entries (backpressure)
+    int rowBytes = 2048;     //!< row-buffer coverage per bank
+
+    Tick tRcd = 40;   //!< activate -> column command
+    Tick tRp = 40;    //!< precharge (row conflict penalty)
+    Tick tCas = 40;   //!< column command -> first data
+    Tick tBurst = 8;  //!< channel-bus occupancy per line transfer
+    /** Everything outside the DRAM core: controller, PHY, board. */
+    Tick staticLatency = 192;
+
+    /** Auto-precharge after every access (no open-row hits). */
+    bool closedPage = false;
+    /** FR-FCFS tier between row classes: reads bypass posted writes. */
+    bool readPriority = true;
+};
+
+} // namespace glsc
+
+#endif // GLSC_MEM_MEM_CONFIG_H_

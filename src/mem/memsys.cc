@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "analyze/analyzer.h"
+#include "mem/dram.h"
 #include "robust/fault_injector.h"
 #include "sim/log.h"
 #include "verify/invariants.h"
@@ -33,6 +34,18 @@ MemorySystem::MemorySystem(const SystemConfig &cfg, EventQueue &events,
     observer_ = cfg.memObserver;
     tracer_ = cfg.tracer;
     analyzer_ = cfg.analyzer;
+    if (cfg_.memBackend == MemBackendKind::Dram)
+        backend_ = std::make_unique<BankedDramBackend>(cfg_.dram, stats_);
+    else
+        backend_ = std::make_unique<FixedLatencyBackend>(cfg_.fixedMem,
+                                                         stats_);
+    backend_->setTracer(tracer_);
+    backend_->setCallback([this](const MemResp &r) {
+        // Posted writebacks complete unwatched; only the demand fill
+        // memFetch is spinning on resolves its rendezvous.
+        if (!r.write && r.id == fetchWaitId_)
+            fetchDoneTick_ = r.completeTick;
+    });
     noc_.attach(&events_, &stats_);
     noc_.setTracer(tracer_);
     noc_.setInjector(injector_.get());
@@ -44,6 +57,7 @@ MemorySystem::MemorySystem(const SystemConfig &cfg, EventQueue &events,
 
 MemorySystem::~MemorySystem()
 {
+    backend_->drain(); // leftover posted writebacks complete
     if (observer_ != nullptr)
         observer_->onDetach();
 }
@@ -280,8 +294,50 @@ MemorySystem::evictL2(L2Line &way)
     }
     if (way.ownedModified)
         stats_.writebacks++;
+    if (way.dirty || way.ownedModified) {
+        // The victim holds data newer than memory: post the writeback
+        // to the backend fire-and-forget.  Nobody waits on it, so the
+        // fixed backend's timing is untouched; under the DRAM backend
+        // it occupies queue, bank and bus like real eviction traffic.
+        MemReq wb;
+        wb.line = line;
+        wb.write = true;
+        wb.arrival = events_.now();
+        while (backend_->send(wb) == kMemReqRejected)
+            backend_->tick(backend_->nextEventTick());
+    }
     way.valid = false;
     way.clearDirectory();
+}
+
+Tick
+MemorySystem::memFetch(CoreId c, ThreadId t, Addr line, Tick arrival)
+{
+    MemReq req;
+    req.line = line;
+    req.core = c;
+    req.tid = t;
+    req.arrival = arrival;
+    std::uint64_t id = backend_->send(req);
+    while (id == kMemReqRejected) {
+        // Queue full: advance the model to its next event and retry.
+        backend_->tick(backend_->nextEventTick());
+        id = backend_->send(req);
+    }
+    // Resolve loop: the transaction's full latency is charged up front
+    // at the serialization point (DESIGN.md section 2), so drive the
+    // backend forward in virtual time until this fill's callback fires.
+    fetchWaitId_ = id;
+    fetchDoneTick_ = kTickMax;
+    while (fetchDoneTick_ == kTickMax)
+        backend_->tick(backend_->nextEventTick());
+    fetchWaitId_ = kMemReqRejected;
+    GLSC_ASSERT(fetchDoneTick_ >= arrival,
+                "memory fill for %llx completed at %llu before its "
+                "arrival %llu", (unsigned long long)line,
+                (unsigned long long)fetchDoneTick_,
+                (unsigned long long)arrival);
+    return fetchDoneTick_ - arrival;
 }
 
 Tick
@@ -347,7 +403,7 @@ MemorySystem::lineAccess(CoreId c, Addr line, bool needM, bool isPrefetch,
     L2Line *dir = l2_.lookup(line);
     if (dir == nullptr) {
         stats_.l2Misses++;
-        lat += cfg_.memLatency;
+        lat += memFetch(c, t, line, now + lat);
         L2Line &v = l2_.victim(line);
         if (v.valid)
             evictL2(v);

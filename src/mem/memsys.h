@@ -36,6 +36,7 @@
 #include "config/config.h"
 #include "core/glsc_buffer.h"
 #include "isa/vector.h"
+#include "mem/backend.h"
 #include "mem/cache.h"
 #include "mem/l2.h"
 #include "mem/memory.h"
@@ -211,6 +212,17 @@ class MemorySystem
     Interconnect &noc() { return noc_; }
     const Interconnect &noc() const { return noc_; }
 
+    /** The main-memory backend below the L2 (src/mem/backend.h). */
+    MemBackend &memBackend() { return *backend_; }
+    const MemBackend &memBackend() const { return *backend_; }
+
+    /**
+     * Completes every posted writeback still queued in the memory
+     * backend (System::run calls this at end of simulation, before
+     * the aggregating trace sinks export their totals).
+     */
+    void drainMemBackend() { backend_->drain(); }
+
     /** Inclusion: every valid L1 line has a valid L2 line. */
     bool checkInclusion() const;
     /** Directory: sharers/owner agree with actual L1 states. */
@@ -317,6 +329,14 @@ class MemorySystem
     /** Evicts an L2 victim: recall every L1 copy (inclusion). */
     void evictL2(L2Line &way);
 
+    /**
+     * Fetches @p line from the memory backend: sends the demand read
+     * at @p arrival (retrying through backpressure), then drives the
+     * backend forward in virtual time until the fill completes.
+     * Returns the fill latency (completion tick - @p arrival).
+     */
+    Tick memFetch(CoreId c, ThreadId t, Addr line, Tick arrival);
+
     /** Residual fill-in-flight delay for (core, line); 0 if none. */
     Tick mshrResidual(CoreId c, Addr line);
 
@@ -327,6 +347,11 @@ class MemorySystem
     Memory &mem_;
     SystemStats &stats_;
     Interconnect noc_;
+    std::unique_ptr<MemBackend> backend_;
+    // Rendezvous between memFetch's resolve loop and the backend
+    // completion callback (single-threaded: one fetch in flight).
+    std::uint64_t fetchWaitId_ = kMemReqRejected;
+    Tick fetchDoneTick_ = kTickMax;
     std::vector<std::unique_ptr<L1Cache>> l1s_;
     std::vector<std::unique_ptr<GlscBuffer>> resBuffers_;
     L2Cache l2_;

@@ -16,7 +16,7 @@ namespace glsc {
 // the common LP64 + libstdc++-style ABI the CI containers use; other
 // ABIs just skip the check.)
 static_assert(sizeof(void *) != 8 || sizeof(std::string) != 32 ||
-                  (sizeof(SystemStats) == 552 && sizeof(ThreadStats) == 224),
+                  (sizeof(SystemStats) == 656 && sizeof(ThreadStats) == 224),
               "SystemStats/ThreadStats changed: update the JSON schema "
               "(stats_json.h field macros) and bump "
               "kStatsJsonSchemaVersion");
@@ -101,6 +101,10 @@ statsToJson(const SystemStats &stats)
                          (unsigned long long)stats.hotLines[i].events);
     }
     out += ']';
+    out += ",\n  \"dramChannelReqs\": ";
+    appendU64Array(out, stats.dramChannelReqs);
+    out += ",\n  \"dramChannelPeakQueue\": ";
+    appendU64Array(out, stats.dramChannelPeakQueue);
 
     out += ",\n  \"threads\": [";
     for (std::size_t g = 0; g < stats.threads.size(); ++g) {
@@ -444,6 +448,15 @@ statsFromJson(const std::string &json, SystemStats &out, std::string *err)
                     s.hotLines.push_back(h);
                 }
             }
+            if (const JVal *v = r.get("dramChannelReqs", JVal::Arr)) {
+                for (const JVal &e : v->arr)
+                    s.dramChannelReqs.push_back(e.num);
+            }
+            if (const JVal *v = r.get("dramChannelPeakQueue",
+                                      JVal::Arr)) {
+                for (const JVal &e : v->arr)
+                    s.dramChannelPeakQueue.push_back(e.num);
+            }
             if (const JVal *v = r.get("threads", JVal::Arr)) {
                 for (const JVal &e : v->arr) {
                     ThreadStats t;
@@ -495,6 +508,8 @@ statsJsonFieldList()
     fields.push_back("l2BankAccesses");
     fields.push_back("l2BankWaitCycles");
     fields.push_back("hotLines");
+    fields.push_back("dramChannelReqs");
+    fields.push_back("dramChannelPeakQueue");
     fields.push_back("threads");
 #define GLSC_X(f) fields.push_back(std::string("threads[].") + #f);
     GLSC_THREAD_STATS_U64_FIELDS(GLSC_X)

@@ -29,7 +29,7 @@
 namespace glsc {
 
 /** Bump whenever the exported field set or layout changes. */
-inline constexpr int kStatsJsonSchemaVersion = 3; // v3: analyzer findings
+inline constexpr int kStatsJsonSchemaVersion = 4; // v4: memory backend
 
 /**
  * Every scalar counter of SystemStats, in export order.  Tick-typed
@@ -87,7 +87,14 @@ inline constexpr int kStatsJsonSchemaVersion = 3; // v3: analyzer findings
     X(analyzerDanglingReservations)                                      \
     X(analyzerReservationOverBudget)                                     \
     X(analyzerSelfWritesToLinked)                                        \
-    X(analyzerMaskMismatches)
+    X(analyzerMaskMismatches)                                            \
+    X(memReads)                                                          \
+    X(memWrites)                                                         \
+    X(dramRowHits)                                                       \
+    X(dramRowMisses)                                                     \
+    X(dramRowConflicts)                                                  \
+    X(dramQueueFullStalls)                                               \
+    X(dramQueueWaitCycles)
 
 /** Every scalar counter of ThreadStats, in export order. */
 #define GLSC_THREAD_STATS_U64_FIELDS(X)                                  \

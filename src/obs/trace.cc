@@ -41,6 +41,21 @@ traceEventTypeName(TraceEventType t)
       case TraceEventType::NocRetransmit:      return "noc-retransmit";
       case TraceEventType::NocRetire:          return "noc-retire";
       case TraceEventType::AnalyzerFinding:    return "analyzer-finding";
+      case TraceEventType::MemReqQueued:       return "mem-queued";
+      case TraceEventType::MemReqIssued:       return "mem-issued";
+      case TraceEventType::MemReqDone:         return "mem-done";
+    }
+    return "?";
+}
+
+static const char *
+memRowOutcomeName(MemRowOutcome o)
+{
+    switch (o) {
+      case MemRowOutcome::Hit:      return "hit";
+      case MemRowOutcome::Miss:     return "miss";
+      case MemRowOutcome::Conflict: return "conflict";
+      case MemRowOutcome::Flat:     return "flat";
     }
     return "?";
 }
@@ -107,6 +122,19 @@ formatTraceEvent(const TraceEvent &e)
       case TraceEventType::AnalyzerFinding:
         out += strprintf(" kind=%s other=@%llu",
                          findingKindName(static_cast<FindingKind>(e.a)),
+                         (unsigned long long)e.b);
+        break;
+      case TraceEventType::MemReqQueued:
+        out += strprintf(" chan=%llu %s", (unsigned long long)e.a,
+                         e.b != 0 ? "write" : "read");
+        break;
+      case TraceEventType::MemReqIssued:
+        out += strprintf(
+            " chan=%llu row=%s", (unsigned long long)e.a,
+            memRowOutcomeName(static_cast<MemRowOutcome>(e.b)));
+        break;
+      case TraceEventType::MemReqDone:
+        out += strprintf(" chan=%llu wait=%llu", (unsigned long long)e.a,
                          (unsigned long long)e.b);
         break;
       default:
@@ -327,6 +355,10 @@ CountingSink::onEvent(const TraceEvent &e)
         if (e.a < std::uint64_t{5})
             faultsByClass_[e.a]++;
         break;
+      case TraceEventType::MemReqIssued:
+        if (e.b < std::uint64_t{kMemRowOutcomes})
+            memIssuedByOutcome_[e.b]++;
+        break;
       case TraceEventType::LinkCleared:
         // A committed store legitimately consumes the writer's own
         // reservation (tid2 == tid by the Write convention); only
@@ -405,6 +437,12 @@ std::uint64_t
 CountingSink::faultsByClass(TraceFaultClass c) const
 {
     return faultsByClass_[static_cast<int>(c)];
+}
+
+std::uint64_t
+CountingSink::memIssuedByOutcome(MemRowOutcome o) const
+{
+    return memIssuedByOutcome_[static_cast<int>(o)];
 }
 
 // ---------------------------------------------------------------------

@@ -97,6 +97,13 @@ enum class TraceEventType : std::uint8_t
     // finding, emitted at detection time.
     AnalyzerFinding,    //!< a = FindingKind, tid2 = other thread's
                         //!< gtid, b = the other site's tick
+    // Main-memory backend request lifecycle (src/mem/backend.h).
+    // All carry a = the channel index (0 for the fixed backend).
+    // Stamped with the modeled tick of the action (acceptance, issue,
+    // completion), not the serialization point that caused it.
+    MemReqQueued,       //!< b = 1 posted writeback / 0 demand fill
+    MemReqIssued,       //!< b = MemRowOutcome
+    MemReqDone,         //!< b = cycles queued before issue
 };
 
 /** How a reservation-acquiring request entered the memory system. */
@@ -153,8 +160,20 @@ enum class NocDeliverKind : std::uint8_t
                      //!< (core, seq) dedup filter (reply re-sent)
 };
 
+/** Row-buffer outcome carried by MemReqIssued's b field. */
+enum class MemRowOutcome : std::uint8_t
+{
+    Hit = 0,      //!< row already open: column access only
+    Miss = 1,     //!< bank precharged: activate first
+    Conflict = 2, //!< other row open: precharge, then activate
+    Flat = 3,     //!< fixed-latency backend (no row state)
+};
+
+inline constexpr int kMemRowOutcomes =
+    static_cast<int>(MemRowOutcome::Flat) + 1;
+
 inline constexpr int kTraceEventTypes =
-    static_cast<int>(TraceEventType::AnalyzerFinding) + 1;
+    static_cast<int>(TraceEventType::MemReqDone) + 1;
 inline constexpr int kClearCauses =
     static_cast<int>(ClearCause::Stolen) + 1;
 
@@ -332,6 +351,8 @@ class CountingSink : public TraceSink
     std::uint64_t linksByOrigin(LinkOrigin o) const;
     /** FaultInjected events of class @p c. */
     std::uint64_t faultsByClass(TraceFaultClass c) const;
+    /** MemReqIssued events with row outcome @p o. */
+    std::uint64_t memIssuedByOutcome(MemRowOutcome o) const;
 
     const std::vector<std::uint64_t> &bankAccesses() const
     {
@@ -349,6 +370,7 @@ class CountingSink : public TraceSink
     std::uint64_t scFailByCause_[kClearCauses] = {};
     std::uint64_t linksByOrigin_[3] = {};
     std::uint64_t faultsByClass_[5] = {};
+    std::uint64_t memIssuedByOutcome_[kMemRowOutcomes] = {};
     std::vector<std::uint64_t> bankAccesses_;
     std::vector<std::uint64_t> bankWait_;
     // Ordered by line so the exported hotness ranking is deterministic

@@ -156,6 +156,10 @@ System::run(Tick maxCycles)
     }
 
     stats_.cycles = events_.now();
+    // Run the memory backend dry: posted writebacks still queued
+    // complete (and emit their lifecycle events) before any sink
+    // aggregates totals.
+    msys_->drainMemBackend();
     // Analyzer first: end-of-run lock-cycle detection exports its
     // finding counters into stats_, and the tracer's finishRun below
     // must see the AnalyzerFinding events already emitted.

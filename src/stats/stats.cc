@@ -142,6 +142,44 @@ SystemStats::consistencyError() const
         return strprintf("NoC drops %llu exceed messages sent %llu",
                          (unsigned long long)nocDropsInjected,
                          (unsigned long long)nocMessagesSent);
+    // Memory-backend conservation: every issued DRAM request has
+    // exactly one row outcome and belongs to exactly one channel;
+    // issue never outruns acceptance; the fixed backend (no channel
+    // vectors) never reports row outcomes or queue effects.
+    if (dramIssued() > memReads + memWrites)
+        return strprintf("DRAM issued %llu exceed accepted %llu",
+                         (unsigned long long)dramIssued(),
+                         (unsigned long long)(memReads + memWrites));
+    if (dramChannelReqs.empty()) {
+        if (dramIssued() != 0 || dramQueueWaitCycles != 0 ||
+            dramQueueFullStalls != 0)
+            return strprintf("DRAM counters nonzero (issued %llu, wait "
+                             "%llu, stalls %llu) without a DRAM backend",
+                             (unsigned long long)dramIssued(),
+                             (unsigned long long)dramQueueWaitCycles,
+                             (unsigned long long)dramQueueFullStalls);
+    } else {
+        std::uint64_t chanSum = 0;
+        for (std::uint64_t n : dramChannelReqs)
+            chanSum += n;
+        if (chanSum != dramIssued())
+            return strprintf("per-channel DRAM requests sum %llu != row "
+                             "outcomes %llu",
+                             (unsigned long long)chanSum,
+                             (unsigned long long)dramIssued());
+        if (dramChannelPeakQueue.size() != dramChannelReqs.size())
+            return strprintf("DRAM peak-queue breakdown has %zu "
+                             "channels, request breakdown %zu",
+                             dramChannelPeakQueue.size(),
+                             dramChannelReqs.size());
+        for (std::size_t c = 0; c < dramChannelReqs.size(); ++c) {
+            if (dramChannelReqs[c] != 0 && dramChannelPeakQueue[c] == 0)
+                return strprintf("DRAM channel %zu issued %llu requests "
+                                 "with zero peak queue depth",
+                                 c,
+                                 (unsigned long long)dramChannelReqs[c]);
+        }
+    }
     // Per-bank breakdowns exist only when a counting trace sink ran;
     // when they do, they must partition the aggregate counters.
     if (!l2BankAccesses.empty()) {
@@ -237,6 +275,28 @@ SystemStats::toString() const
                          (unsigned long long)faultsBufferOverflow,
                          (unsigned long long)faultsDelay,
                          (unsigned long long)faultDelayCycles);
+    }
+    if (memReads + memWrites > 0) {
+        out += strprintf("mem: reads %llu writes %llu",
+                         (unsigned long long)memReads,
+                         (unsigned long long)memWrites);
+        if (!dramChannelReqs.empty()) {
+            out += strprintf(
+                "  dram rows: hit %llu miss %llu conflict %llu "
+                "(wait %llu cycles, %llu queue-full stalls)",
+                (unsigned long long)dramRowHits,
+                (unsigned long long)dramRowMisses,
+                (unsigned long long)dramRowConflicts,
+                (unsigned long long)dramQueueWaitCycles,
+                (unsigned long long)dramQueueFullStalls);
+            out += "\n  dram channels:";
+            for (std::size_t c = 0; c < dramChannelReqs.size(); ++c)
+                out += strprintf(
+                    " [%zu]=%llu/peak%llu", c,
+                    (unsigned long long)dramChannelReqs[c],
+                    (unsigned long long)dramChannelPeakQueue[c]);
+        }
+        out += "\n";
     }
     if (nocTransactions > 0) {
         out += strprintf("noc: txns %llu msgs %llu nacks %llu timeouts "

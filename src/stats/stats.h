@@ -139,6 +139,22 @@ struct SystemStats
     std::uint64_t nocDelaysInjected = 0;   //!< per-message delay faults
     Tick nocFaultDelayCycles = 0;          //!< total injected NoC latency
 
+    // Main-memory backend (src/mem/backend.h).  memReads/memWrites
+    // count requests the backend ACCEPTED (demand fills / posted
+    // writebacks); the dram* counters exist only for the banked DRAM
+    // backend and stay zero under the fixed-latency model.
+    // Conservation rules enforced by consistencyError(): every issued
+    // request has exactly one row outcome, issue never outruns
+    // acceptance, and the fixed backend (empty channel vectors) never
+    // reports row outcomes.
+    std::uint64_t memReads = 0;           //!< demand fills accepted
+    std::uint64_t memWrites = 0;          //!< posted writebacks accepted
+    std::uint64_t dramRowHits = 0;        //!< issued to an open row
+    std::uint64_t dramRowMisses = 0;      //!< issued to a precharged bank
+    std::uint64_t dramRowConflicts = 0;   //!< issued over another row
+    std::uint64_t dramQueueFullStalls = 0; //!< send() rejections
+    Tick dramQueueWaitCycles = 0;         //!< total accept-to-issue wait
+
     // Guest-program analysis findings (src/analyze/analyzer.h; all
     // zero when no Analyzer is installed).  Exported by
     // Analyzer::finishRun; one counter per FindingKind.
@@ -166,6 +182,18 @@ struct SystemStats
     std::vector<std::uint64_t> l2BankWaitCycles;
     /** Lines losing the most reservations, hottest first. */
     std::vector<LineHotness> hotLines;
+
+    // Per-channel DRAM breakdowns, indexed by channel id; sized by the
+    // BankedDramBackend at construction, empty under the fixed
+    // backend.  dramChannelReqs must sum to the row-outcome total.
+    std::vector<std::uint64_t> dramChannelReqs;      //!< issued per channel
+    std::vector<std::uint64_t> dramChannelPeakQueue; //!< max queue depth
+
+    /** Requests the DRAM model issued (all row outcomes). */
+    std::uint64_t dramIssued() const
+    {
+        return dramRowHits + dramRowMisses + dramRowConflicts;
+    }
 
     /** Sum of dynamic instructions over all threads. */
     std::uint64_t totalInstructions() const;

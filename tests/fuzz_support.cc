@@ -99,13 +99,18 @@ fuzzThread(SimThread &t, Addr vecBase, Addr scBase, Addr scratch,
 std::string
 FuzzCase::name() const
 {
-    return strprintf("%dc%dt_w%d_r%d%s%s%s%s%s_s%llu", cores, smt, width,
-                     region, smallL1 ? "_smallL1" : "",
+    return strprintf("%dc%dt_w%d_r%d%s%s%s%s%s%s_s%llu", cores, smt,
+                     width, region, smallL1 ? "_smallL1" : "",
                      policy.failOnMiss ? "_failMiss" : "",
                      policy.failIfLinkedByOther ? "_failOther" : "",
                      policy.aliasAtGather ? "_aliasGl" : "",
                      policy.bufferEntries > 0
                          ? strprintf("_buf%d", policy.bufferEntries).c_str()
+                         : "",
+                     backend == MemBackendKind::Dram
+                         ? strprintf("_dram%dch%s_q%d", channels,
+                                     closedPage ? "cp" : "op", queueDepth)
+                               .c_str()
                          : "",
                      (unsigned long long)seed);
 }
@@ -137,6 +142,10 @@ runFuzzDifferential(const FuzzCase &fc)
     if (fc.smallL1) {
         cfg.l1SizeBytes = 8 * kLineBytes; // 2 sets x 4 ways
     }
+    cfg.memBackend = fc.backend;
+    cfg.dram.closedPage = fc.closedPage;
+    cfg.dram.channels = fc.channels;
+    cfg.dram.queueDepth = fc.queueDepth;
 
     RefModel ref;
     cfg.memObserver = &ref;

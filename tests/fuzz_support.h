@@ -44,6 +44,15 @@ struct FuzzCase
     /** Shrink the L1 to 8 lines so evictions hit reservations. */
     bool smallL1 = false;
     GlscPolicy policy;
+    /**
+     * Main-memory backend axis: the timing below L2 must never change
+     * architectural outcomes, so every backend/page-policy/channel
+     * combination has to pass the same differential checks.
+     */
+    MemBackendKind backend = MemBackendKind::Fixed;
+    bool closedPage = false; //!< DRAM page policy (backend == Dram)
+    int channels = 2;        //!< DRAM channel count (backend == Dram)
+    int queueDepth = 16;     //!< DRAM queue depth (small => backpressure)
     std::uint64_t seed = 1;
 
     std::string name() const;

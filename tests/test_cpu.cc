@@ -156,8 +156,8 @@ TEST(Core, MemStallCyclesTrackMissLatency)
     Addr a = sys.layout().alloc(kLineBytes);
     sys.spawn(0, [&](SimThread &t) { return missStall(t, a); });
     SystemStats stats = sys.run();
-    EXPECT_GE(stats.threads[0].memStallCycles, cfg.memLatency);
-    EXPECT_LE(stats.threads[0].memStallCycles, cfg.memLatency + 60);
+    EXPECT_GE(stats.threads[0].memStallCycles, cfg.fixedMem.latency);
+    EXPECT_LE(stats.threads[0].memStallCycles, cfg.fixedMem.latency + 60);
 }
 
 TEST(Prefetcher, DetectsUnitStrideStream)

@@ -4,6 +4,10 @@
  *  - DifferentialFuzz: randomized sweep over (cores x SMT x SIMD-width
  *    x alias-density x GLSC policy/storage x seed), every run mirrored
  *    through the functional reference model (src/verify/ref_model.h);
+ *  - DifferentialFuzzMem: the main-memory backend axis (fixed vs.
+ *    banked DRAM x page policy x channel count x queue depth) -- the
+ *    backend reshapes timing below the L2 and must never change
+ *    architectural outcomes;
  *  - KernelDifferential: all seven registered RMS benchmarks under both
  *    schemes with the reference model attached;
  *  - MutationSmoke: proves the harness is not vacuous by injecting the
@@ -95,6 +99,78 @@ TEST_P(DifferentialFuzz, TimingSimMatchesReferenceModel)
 
 INSTANTIATE_TEST_SUITE_P(Sweep, DifferentialFuzz,
                          ::testing::ValuesIn(kVariants),
+                         [](const auto &param_info) {
+                             return std::string(param_info.param.name);
+                         });
+
+// ----- Memory-backend axis of the sweep. ---------------------------
+
+/**
+ * Named main-memory backend variants.  The backend only reshapes
+ * timing below the L2, so every variant must pass the same
+ * differential checks with bit-identical architectural outcomes.
+ */
+struct BackendVariant
+{
+    const char *name;
+    MemBackendKind backend;
+    bool closedPage;
+    int channels;
+    int queueDepth;
+};
+
+const BackendVariant kBackendVariants[] = {
+    {"Fixed", MemBackendKind::Fixed, false, 2, 16},
+    {"DramOpenPage", MemBackendKind::Dram, false, 2, 16},
+    {"DramClosedPage", MemBackendKind::Dram, true, 1, 16},
+    // Depth-2 queue on one channel: demand fills and posted
+    // writebacks constantly collide with backpressure retries.
+    {"DramShallowQueue", MemBackendKind::Dram, false, 1, 2},
+};
+
+class DifferentialFuzzMem
+    : public ::testing::TestWithParam<BackendVariant>
+{
+};
+
+TEST_P(DifferentialFuzzMem, BackendTimingNeverChangesOutcomes)
+{
+    const BackendVariant &variant = GetParam();
+    const std::pair<int, int> topologies[] = {{1, 4}, {2, 2}, {4, 4}};
+
+    int combos = 0;
+    std::uint64_t totalOps = 0;
+    for (auto [cores, smt] : topologies) {
+        for (int width : {4, 16}) {
+            for (int rep = 0; rep < 2; ++rep) {
+                FuzzCase fc;
+                fc.cores = cores;
+                fc.smt = smt;
+                fc.width = width;
+                fc.region = 48; // dense enough for real contention
+                fc.backend = variant.backend;
+                fc.closedPage = variant.closedPage;
+                fc.channels = variant.channels;
+                fc.queueDepth = variant.queueDepth;
+                // Second rep shrinks the L1: capacity evictions post
+                // dirty writebacks into the DRAM queues mid-run.
+                fc.smallL1 = rep == 1;
+                if (rep == 1)
+                    fc.policy.bufferEntries = 4;
+                fc.seed = 0xBEEFull + combos * 97 + rep;
+                FuzzOutcome out = fuzz::runFuzzDifferential(fc);
+                ASSERT_TRUE(out.ok) << out.detail;
+                totalOps += out.opsChecked;
+                combos++;
+            }
+        }
+    }
+    EXPECT_EQ(combos, 12);
+    EXPECT_GT(totalOps, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, DifferentialFuzzMem,
+                         ::testing::ValuesIn(kBackendVariants),
                          [](const auto &param_info) {
                              return std::string(param_info.param.name);
                          });

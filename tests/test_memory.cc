@@ -81,7 +81,7 @@ TEST(Config, DefaultsMatchTableOne)
     EXPECT_EQ(cfg.l2Assoc, 8);
     EXPECT_EQ(cfg.l2Banks, 16);
     EXPECT_EQ(cfg.l2Latency, 12u);
-    EXPECT_EQ(cfg.memLatency, 280u);
+    EXPECT_EQ(cfg.fixedMem.latency, 280u);
     EXPECT_EQ(cfg.issueWidth, 2);
     cfg.validate(); // must not abort
 }

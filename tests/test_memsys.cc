@@ -61,8 +61,18 @@ TEST(MemSys, ColdMissPaysMemoryLatency)
 {
     Rig r = Rig::standard();
     auto res = r.msys->access(0, 0, 0x1000, 4, MemOpType::Load);
-    EXPECT_GE(res.latency, r.cfg.memLatency);
+    EXPECT_GE(res.latency, r.cfg.fixedMem.latency);
     EXPECT_EQ(r.stats.l2Misses, 1u);
+}
+
+TEST(MemSys, DefaultMemoryLatencyIsTableOnesValue)
+{
+    // Table 1's 280-cycle main-memory latency moved from SystemConfig
+    // into the fixed backend's own config; the default must survive
+    // the move (the cycle-identity goldens depend on it).
+    EXPECT_EQ(FixedLatencyConfig{}.latency, 280u);
+    EXPECT_EQ(SystemConfig{}.fixedMem.latency, 280u);
+    EXPECT_EQ(SystemConfig{}.memBackend, MemBackendKind::Fixed);
 }
 
 TEST(MemSys, L2HitAfterRemoteFill)
@@ -71,7 +81,7 @@ TEST(MemSys, L2HitAfterRemoteFill)
     r.msys->access(0, 0, 0x1000, 4, MemOpType::Load);
     r.events.setNow(1000);
     auto res = r.msys->access(1, 0, 0x1000, 4, MemOpType::Load);
-    EXPECT_LT(res.latency, r.cfg.memLatency);
+    EXPECT_LT(res.latency, r.cfg.fixedMem.latency);
     EXPECT_GE(res.latency, r.cfg.l2Latency);
     EXPECT_EQ(r.stats.l2Misses, 1u);
 }

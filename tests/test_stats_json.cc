@@ -76,6 +76,13 @@ const char *const kExpectedFields[] = {
     "analyzerReservationOverBudget",
     "analyzerSelfWritesToLinked",
     "analyzerMaskMismatches",
+    "memReads",
+    "memWrites",
+    "dramRowHits",
+    "dramRowMisses",
+    "dramRowConflicts",
+    "dramQueueFullStalls",
+    "dramQueueWaitCycles",
     // Structured fields.
     "livelockDetected",
     "starvingThreads",
@@ -83,6 +90,8 @@ const char *const kExpectedFields[] = {
     "l2BankAccesses",
     "l2BankWaitCycles",
     "hotLines",
+    "dramChannelReqs",
+    "dramChannelPeakQueue",
     "threads",
     // ThreadStats scalars.
     "threads[].instructions",
@@ -104,7 +113,7 @@ TEST(StatsJsonSchema, VersionIsPinned)
 {
     // Bumping the version is a conscious act: update this pin and the
     // field list together with the format change.
-    EXPECT_EQ(kStatsJsonSchemaVersion, 3);
+    EXPECT_EQ(kStatsJsonSchemaVersion, 4);
 }
 
 TEST(StatsJsonSchema, FieldListMatchesCheckedInCopy)
@@ -150,6 +159,15 @@ sampleStats()
     s.analyzerReservationOverBudget = 1;
     s.analyzerSelfWritesToLinked = 1;
     s.analyzerMaskMismatches = 1;
+    s.memReads = 20;
+    s.memWrites = 4;
+    s.dramRowHits = 9;
+    s.dramRowMisses = 8;
+    s.dramRowConflicts = 5;
+    s.dramQueueFullStalls = 2;
+    s.dramQueueWaitCycles = 77;
+    s.dramChannelReqs = {12, 10};
+    s.dramChannelPeakQueue = {3, 2};
     s.livelockDetected = true;
     s.starvingThreads = {1, 3};
     s.livelockReport = "line1\nwith \"quotes\" and\ttabs";
@@ -228,9 +246,9 @@ TEST(StatsJsonParser, RejectsMissingField)
 TEST(StatsJsonParser, RejectsWrongSchemaVersion)
 {
     std::string doc = statsToJson(sampleStats());
-    std::size_t pos = doc.find("\"schema\": 3");
+    std::size_t pos = doc.find("\"schema\": 4");
     ASSERT_NE(pos, std::string::npos);
-    doc.replace(pos, 11, "\"schema\": 4");
+    doc.replace(pos, 11, "\"schema\": 5");
     SystemStats parsed;
     std::string err;
     EXPECT_FALSE(statsFromJson(doc, parsed, &err));
@@ -417,6 +435,61 @@ TEST(StatsConsistency, NocCountersMustConserve)
     // ...or fewer messages than a request + reply per transaction.
     s.nocMessagesSent = 3;
     EXPECT_NE(s.consistencyError(), "");
+}
+
+TEST(StatsConsistency, DramChannelSumMustMatchRowOutcomes)
+{
+    SystemStats s;
+    s.memReads = 10;
+    s.dramRowHits = 3;
+    s.dramRowMisses = 4;
+    s.dramRowConflicts = 2;
+    s.dramChannelReqs = {5, 5}; // sums to 10, outcomes to 9
+    s.dramChannelPeakQueue = {2, 2};
+    EXPECT_NE(s.consistencyError(), "");
+    s.dramChannelReqs = {5, 4};
+    EXPECT_EQ(s.consistencyError(), "") << s.consistencyError();
+}
+
+TEST(StatsConsistency, FixedBackendCannotReportRowOutcomes)
+{
+    // No channel vectors means the fixed backend ran: DRAM-only
+    // counters must all be zero then.
+    SystemStats s;
+    s.memReads = 10;
+    s.dramRowHits = 1;
+    EXPECT_NE(s.consistencyError(), "");
+    s.dramRowHits = 0;
+    s.dramQueueFullStalls = 1;
+    EXPECT_NE(s.consistencyError(), "");
+    s.dramQueueFullStalls = 0;
+    EXPECT_EQ(s.consistencyError(), "") << s.consistencyError();
+}
+
+TEST(StatsConsistency, DramIssueCannotOutrunAcceptance)
+{
+    SystemStats s;
+    s.memReads = 2;
+    s.memWrites = 1;
+    s.dramRowMisses = 4; // 4 issued, only 3 accepted
+    s.dramChannelReqs = {4};
+    s.dramChannelPeakQueue = {1};
+    EXPECT_NE(s.consistencyError(), "");
+    s.dramRowMisses = 3;
+    s.dramChannelReqs = {3};
+    EXPECT_EQ(s.consistencyError(), "") << s.consistencyError();
+}
+
+TEST(StatsConsistency, ActiveChannelNeedsNonzeroPeakQueue)
+{
+    SystemStats s;
+    s.memReads = 2;
+    s.dramRowMisses = 2;
+    s.dramChannelReqs = {2, 0};
+    s.dramChannelPeakQueue = {0, 0}; // channel 0 issued but never queued?
+    EXPECT_NE(s.consistencyError(), "");
+    s.dramChannelPeakQueue = {1, 0};
+    EXPECT_EQ(s.consistencyError(), "") << s.consistencyError();
 }
 
 TEST(StatsConsistency, HotLinesMustBeSortedAndNonEmpty)

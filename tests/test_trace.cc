@@ -21,6 +21,7 @@
 #include "core/retry.h"
 #include "core/vatomic.h"
 #include "kernels/registry.h"
+#include "obs/stats_json.h"
 #include "obs/trace.h"
 #include "sim/system.h"
 #include "stats/stats.h"
@@ -441,6 +442,71 @@ TEST(CrossCheckNoc, MessageEventsMatchProtocolCounters)
               2 * s.nocTransactions + s.nocDedupHits -
                   s.nocDupsInjected);
     EXPECT_EQ(s.consistencyError(), "") << s.consistencyError();
+}
+
+TEST(CrossCheckDram, MemoryEventsMatchBackendCounters)
+{
+    // The DRAM backend maintains its counters in issue()/send() and its
+    // events in the tracer hooks; the two accountings must agree: one
+    // MemReqQueued per accepted request, one MemReqIssued per row
+    // outcome (classified identically), one MemReqDone per completion.
+    SystemConfig cfg = SystemConfig::make(2, 2, 4);
+    cfg.memBackend = MemBackendKind::Dram;
+    TracedRun r;
+    tracedRun(r, "HIP", Scheme::Glsc, cfg);
+    ASSERT_TRUE(r.result.verified) << r.result.detail;
+    const SystemStats &s = r.result.stats;
+    const CountingSink &k = r.counting;
+    ASSERT_GT(s.memReads, 0u);
+    EXPECT_EQ(k.count(TraceEventType::MemReqQueued),
+              s.memReads + s.memWrites);
+    EXPECT_EQ(k.count(TraceEventType::MemReqIssued), s.dramIssued());
+    EXPECT_EQ(k.count(TraceEventType::MemReqDone), s.dramIssued());
+    EXPECT_EQ(k.memIssuedByOutcome(MemRowOutcome::Hit), s.dramRowHits);
+    EXPECT_EQ(k.memIssuedByOutcome(MemRowOutcome::Miss),
+              s.dramRowMisses);
+    EXPECT_EQ(k.memIssuedByOutcome(MemRowOutcome::Conflict),
+              s.dramRowConflicts);
+    EXPECT_EQ(k.memIssuedByOutcome(MemRowOutcome::Flat), 0u);
+    EXPECT_EQ(s.consistencyError(), "") << s.consistencyError();
+}
+
+TEST(CrossCheckDram, FixedBackendTracesFlatOutcomesOnly)
+{
+    TracedRun r;
+    tracedRun(r, "HIP", Scheme::Glsc, SystemConfig::make(2, 2, 4));
+    ASSERT_TRUE(r.result.verified) << r.result.detail;
+    const SystemStats &s = r.result.stats;
+    const CountingSink &k = r.counting;
+    ASSERT_GT(s.memReads, 0u);
+    EXPECT_EQ(k.count(TraceEventType::MemReqQueued),
+              s.memReads + s.memWrites);
+    EXPECT_EQ(k.memIssuedByOutcome(MemRowOutcome::Flat),
+              s.memReads + s.memWrites);
+    EXPECT_EQ(k.memIssuedByOutcome(MemRowOutcome::Hit), 0u);
+}
+
+TEST(TraceDeterminism, TracingNeverChangesDramTiming)
+{
+    // Same bar as the fixed-backend variant above, with the banked
+    // DRAM model armed: attaching sinks must not move a single cycle.
+    SystemConfig cfg = SystemConfig::make(2, 2, 4);
+    cfg.memBackend = MemBackendKind::Dram;
+    RunResult plain = runBenchmark("HIP", 0, Scheme::Glsc, cfg, 0.02, 5);
+    TracedRun traced;
+    tracedRun(traced, "HIP", Scheme::Glsc, cfg);
+    ASSERT_TRUE(plain.verified);
+    EXPECT_EQ(plain.stats.cycles, traced.result.stats.cycles);
+    EXPECT_EQ(plain.stats.dramRowHits, traced.result.stats.dramRowHits);
+    EXPECT_EQ(plain.stats.dramQueueWaitCycles,
+              traced.result.stats.dramQueueWaitCycles);
+    // Full-stats identity modulo the observability-only detail vectors
+    // that only populate when a tracer is attached.
+    SystemStats scrubbed = traced.result.stats;
+    scrubbed.l2BankAccesses.clear();
+    scrubbed.l2BankWaitCycles.clear();
+    scrubbed.hotLines.clear();
+    EXPECT_EQ(statsToJson(plain.stats), statsToJson(scrubbed));
 }
 
 // ----- Perf smoke (the CI trace job's cheap regression gate). ------
