@@ -5,6 +5,7 @@
 #include <cstring>
 
 #include "analyze/analyzer.h"
+#include "obs/artifact.h"
 #include "obs/stats_json.h"
 #include "obs/trace.h"
 #include "sim/log.h"
@@ -14,24 +15,15 @@ namespace bench {
 
 namespace {
 
-/** One recorded runChecked invocation (for the BENCH JSON document). */
-struct Row
-{
-    std::string bench;
-    int dataset = 0;
-    Scheme scheme = Scheme::Base;
-    std::string config;
-    std::string statsJson; //!< statsToJson of the run's SystemStats
-};
-
 /**
- * Binary-lifetime artifact state: the rows every runChecked records
- * when --json is active, and the tracer + Chrome sink shared by every
- * run when --trace is active (one combined timeline per binary).
+ * Binary-lifetime artifact state: the BENCH document every runChecked
+ * appends to when --json is active, and the tracer + Chrome sink
+ * shared by every run when --trace is active (one combined timeline
+ * per binary).
  */
 struct ArtifactState
 {
-    std::vector<Row> rows;
+    BenchDoc doc;
     Tracer tracer;
     ChromeTraceSink chrome;
     bool sinkAttached = false;
@@ -45,6 +37,18 @@ artifactState()
 {
     static ArtifactState s;
     return s;
+}
+
+[[noreturn]] void
+usage(const char *argv0)
+{
+    std::fprintf(stderr,
+                 "usage: %s [--scale f] [--seed n] [--quick]"
+                 " [--json path] [--trace path] [--noc-armed]"
+                 " [--analyze path] [--mem fixed|dram]"
+                 " [--only bench[:scheme]]\n",
+                 argv0);
+    std::exit(2);
 }
 
 } // namespace
@@ -74,13 +78,14 @@ parseArgs(int argc, char **argv, double default_scale)
             opt.mem = argv[++i];
         } else if (std::strncmp(argv[i], "--mem=", 6) == 0) {
             opt.mem = argv[i] + 6;
+        } else if (std::strcmp(argv[i], "--only") == 0 && i + 1 < argc) {
+            std::string cell = argv[++i];
+            std::size_t colon = cell.find(':');
+            opt.onlyBench = cell.substr(0, colon);
+            if (colon != std::string::npos)
+                opt.onlyScheme = cell.substr(colon + 1);
         } else {
-            std::fprintf(stderr,
-                         "usage: %s [--scale f] [--seed n] [--quick]"
-                         " [--json path] [--trace path] [--noc-armed]"
-                         " [--analyze path] [--mem fixed|dram]\n",
-                         argv[0]);
-            std::exit(2);
+            usage(argv[0]);
         }
     }
     if (opt.mem != "fixed" && opt.mem != "dram") {
@@ -88,7 +93,38 @@ parseArgs(int argc, char **argv, double default_scale)
                      " \"%s\"\n", opt.mem.c_str());
         std::exit(2);
     }
+    if (!opt.onlyBench.empty()) {
+        bool known = false;
+        std::string names;
+        for (const auto &info : benchmarkList()) {
+            known = known || info.name == opt.onlyBench;
+            names += names.empty() ? info.name : ", " + info.name;
+        }
+        if (!known) {
+            std::fprintf(stderr,
+                         "--only: unknown benchmark \"%s\" (valid: %s)\n",
+                         opt.onlyBench.c_str(), names.c_str());
+            usage(argv[0]);
+        }
+    }
+    if (!opt.onlyScheme.empty() && opt.onlyScheme != "Base" &&
+        opt.onlyScheme != "GLSC") {
+        std::fprintf(stderr,
+                     "--only: unknown scheme \"%s\" (valid: Base, GLSC)\n",
+                     opt.onlyScheme.c_str());
+        usage(argv[0]);
+    }
     return opt;
+}
+
+bool
+cellSelected(const Options &opt, const std::string &bench, Scheme scheme)
+{
+    if (!opt.onlyBench.empty() && bench != opt.onlyBench)
+        return false;
+    if (!opt.onlyScheme.empty() && schemeName(scheme) != opt.onlyScheme)
+        return false;
+    return true;
 }
 
 void
@@ -107,6 +143,12 @@ RunResult
 runChecked(const std::string &bench, int dataset, Scheme scheme,
            const SystemConfig &cfg, const Options &opt)
 {
+    if (!cellSelected(opt, bench, scheme)) {
+        RunResult skipped;
+        skipped.verified = true;
+        skipped.detail = "skipped by --only";
+        return skipped;
+    }
     ArtifactState &st = artifactState();
     SystemConfig runCfg = cfg;
     if (!opt.tracePath.empty()) {
@@ -137,91 +179,57 @@ runChecked(const std::string &bench, int dataset, Scheme scheme,
                    schemeName(scheme), cfg.label().c_str(),
                    r.detail.c_str());
     }
+    // Conservation gate: a run whose counters violate their own
+    // relations is corrupt even if the guest result verified, and a
+    // supervisor (CI, the campaign orchestrator) must see it fail
+    // loudly instead of ingesting poisoned statistics.
+    std::string broken = r.stats.consistencyError();
+    if (!broken.empty()) {
+        std::fprintf(stderr,
+                     "%s dataset %c (%s, %s): stats consistency "
+                     "violation: %s\n",
+                     bench.c_str(), dataset == 0 ? 'A' : 'B',
+                     schemeName(scheme), cfg.label().c_str(),
+                     broken.c_str());
+        std::exit(1);
+    }
     if (!opt.jsonPath.empty()) {
-        Row row;
+        BenchRun row;
         row.bench = bench;
         row.dataset = dataset;
-        row.scheme = scheme;
+        row.scheme = schemeName(scheme);
         row.config = cfg.label();
-        row.statsJson = statsToJson(r.stats);
-        st.rows.push_back(std::move(row));
+        row.stats = r.stats;
+        st.doc.runs.push_back(std::move(row));
     }
     return r;
 }
-
-namespace {
-
-/** Minimal string escaping for the few labels we embed. */
-std::string
-jsonStr(const std::string &s)
-{
-    std::string out = "\"";
-    for (char c : s) {
-        if (c == '"' || c == '\\')
-            out += '\\';
-        out += c;
-    }
-    out += '"';
-    return out;
-}
-
-} // namespace
 
 void
 writeArtifacts(const Options &opt, const char *artifactId)
 {
     ArtifactState &st = artifactState();
     if (!opt.jsonPath.empty()) {
-        std::string doc = "{\n";
-        doc += strprintf("  \"benchSchema\": %d,\n",
-                         kStatsJsonSchemaVersion);
-        doc += strprintf("  \"artifact\": %s,\n",
-                         jsonStr(artifactId).c_str());
-        doc += strprintf("  \"scale\": %.17g,\n", opt.scale);
-        doc += strprintf("  \"seed\": %llu,\n",
-                         (unsigned long long)opt.seed);
-        doc += "  \"runs\": [";
-        for (std::size_t i = 0; i < st.rows.size(); ++i) {
-            const Row &row = st.rows[i];
-            doc += i == 0 ? "\n" : ",\n";
-            doc += "    {\n";
-            doc += strprintf("      \"bench\": %s,\n",
-                             jsonStr(row.bench).c_str());
-            doc += strprintf("      \"dataset\": %d,\n", row.dataset);
-            doc += strprintf("      \"scheme\": %s,\n",
-                             jsonStr(schemeName(row.scheme)).c_str());
-            doc += strprintf("      \"config\": %s,\n",
-                             jsonStr(row.config).c_str());
-            // statsToJson ends in a newline; embed it verbatim (the
-            // document stays parseable, just not uniformly indented).
-            doc += "      \"stats\": ";
-            doc += row.statsJson.substr(0, row.statsJson.size() - 1);
-            doc += "\n    }";
-        }
-        doc += "\n  ]\n}\n";
-        std::FILE *f = std::fopen(opt.jsonPath.c_str(), "wb");
-        if (f == nullptr ||
-            std::fwrite(doc.data(), 1, doc.size(), f) != doc.size() ||
-            std::fclose(f) != 0) {
+        st.doc.artifact = artifactId;
+        st.doc.scale = opt.scale;
+        st.doc.seed = opt.seed;
+        if (!atomicWriteFile(opt.jsonPath, benchDocToJson(st.doc))) {
             GLSC_FATAL("cannot write bench JSON to %s",
                        opt.jsonPath.c_str());
         }
-        std::printf("\nwrote %zu run(s) to %s\n", st.rows.size(),
+        std::printf("\nwrote %zu run(s) to %s\n", st.doc.runs.size(),
                     opt.jsonPath.c_str());
     }
     if (!opt.tracePath.empty()) {
-        if (!st.chrome.writeFile(opt.tracePath))
+        if (!atomicWriteFile(opt.tracePath, st.chrome.json()))
             GLSC_FATAL("cannot write trace to %s", opt.tracePath.c_str());
         std::printf("wrote %llu trace event(s) to %s\n",
                     (unsigned long long)st.tracer.eventsEmitted(),
                     opt.tracePath.c_str());
     }
     if (!opt.analyzePath.empty()) {
-        std::string doc = findingsToJson(st.findings);
-        std::FILE *f = std::fopen(opt.analyzePath.c_str(), "wb");
-        if (f == nullptr ||
-            std::fwrite(doc.data(), 1, doc.size(), f) != doc.size() ||
-            std::fclose(f) != 0) {
+        if (!atomicWriteFile(opt.analyzePath,
+                             findingsToJson(st.findings))) {
             GLSC_FATAL("cannot write findings JSON to %s",
                        opt.analyzePath.c_str());
         }

@@ -17,6 +17,16 @@
  *   --analyze <p> attach the guest-program analyzer to every run and
  *                 write its findings JSON to <p> (observation-only:
  *                 must not change any table -- CI diffs with/without)
+ *   --only <bench>[:<scheme>]
+ *                 run only the matching matrix cell(s): non-matching
+ *                 runChecked calls are skipped entirely (no
+ *                 simulation, no JSON row).  This is how the campaign
+ *                 orchestrator (tools/campaign/) shards one binary's
+ *                 matrix across worker processes.  Printed rows that
+ *                 DERIVE from a skipped run (ratios against a skipped
+ *                 baseline) are meaningless -- shard consumers must
+ *                 read the JSON artifact, which contains only the
+ *                 selected runs.
  *
  * With --json, every runChecked invocation is recorded and
  * writeArtifacts persists them as one machine-readable document
@@ -49,9 +59,18 @@ struct Options
     std::string analyzePath; //!< --analyze findings destination ("" = off)
     bool nocArmed = false; //!< --noc-armed: NocConfig::protocol on
     std::string mem = "fixed"; //!< --mem: "fixed" or "dram"
+    std::string onlyBench;    //!< --only bench filter ("" = all)
+    std::string onlyScheme;   //!< --only scheme filter ("" = both)
 };
 
 Options parseArgs(int argc, char **argv, double default_scale);
+
+/**
+ * True when the --only filter (if any) selects this (bench, scheme)
+ * cell.  Always true when no filter was given.
+ */
+bool cellSelected(const Options &opt, const std::string &bench,
+                  Scheme scheme);
 
 /** Prints a boxed section header. */
 void printHeader(const std::string &title);
@@ -62,7 +81,12 @@ std::string pct(double fraction);
 /**
  * Runs one benchmark and verifies it; aborts the binary on a
  * verification failure (a bench result from a corrupt run is
- * meaningless).
+ * meaningless), and exits nonzero with the broken relation when the
+ * run's SystemStats::consistencyError() conservation rules fail --
+ * silent stats corruption must never look like success to a
+ * supervisor.  Cells deselected by --only are skipped: no simulation
+ * runs and a default RunResult (verified, detail "skipped by --only")
+ * is returned.
  */
 RunResult runChecked(const std::string &bench, int dataset, Scheme scheme,
                      const SystemConfig &cfg, const Options &opt);
@@ -73,7 +97,10 @@ RunResult runChecked(const std::string &bench, int dataset, Scheme scheme,
  * --json was given, and the Chrome trace when --trace was given.
  * Call once at the end of main; a no-op when neither flag is set.
  * Aborts the binary on I/O failure (a bench run whose artifact was
- * silently dropped is worse than a loud failure in CI).
+ * silently dropped is worse than a loud failure in CI).  Every
+ * artifact is written atomically (temp file + rename, see
+ * src/obs/artifact.h), so a killed run can never leave a torn
+ * half-written document for a supervisor or CI to ingest.
  */
 void writeArtifacts(const Options &opt, const char *artifactId);
 

@@ -1,0 +1,42 @@
+#include "obs/artifact.h"
+
+#include <cstdio>
+
+namespace glsc {
+
+bool
+atomicWriteFile(const std::string &path, const std::string &data)
+{
+    const std::string tmp = path + ".tmp";
+    std::FILE *f = std::fopen(tmp.c_str(), "wb");
+    if (f == nullptr)
+        return false;
+    bool ok = std::fwrite(data.data(), 1, data.size(), f) == data.size();
+    ok = ok && std::fflush(f) == 0;
+    // Close unconditionally, but only count a clean close as success:
+    // fclose can surface the deferred write error.
+    ok = (std::fclose(f) == 0) && ok;
+    if (!ok || std::rename(tmp.c_str(), path.c_str()) != 0) {
+        std::remove(tmp.c_str());
+        return false;
+    }
+    return true;
+}
+
+bool
+readFile(const std::string &path, std::string &out)
+{
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    if (f == nullptr)
+        return false;
+    out.clear();
+    char buf[65536];
+    std::size_t n;
+    while ((n = std::fread(buf, 1, sizeof buf, f)) > 0)
+        out.append(buf, n);
+    bool ok = std::ferror(f) == 0;
+    std::fclose(f);
+    return ok;
+}
+
+} // namespace glsc

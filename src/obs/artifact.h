@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Crash-safe artifact file I/O.
+ *
+ * Every machine-readable artifact this repository emits (BENCH_*.json,
+ * Chrome traces, findings JSON, CAMPAIGN_*.json) is consumed by a
+ * supervisor that must distinguish "run produced no artifact" from
+ * "run produced this artifact": a half-written file confuses the two
+ * and silently poisons downstream analysis.  atomicWriteFile gives
+ * writers the standard fix -- write the full document to a temporary
+ * name in the SAME directory, then rename(2) into place -- so a run
+ * killed mid-write leaves either the old artifact or none at all,
+ * never a torn one.
+ */
+
+#ifndef GLSC_OBS_ARTIFACT_H_
+#define GLSC_OBS_ARTIFACT_H_
+
+#include <string>
+
+namespace glsc {
+
+/**
+ * Writes @p data to @p path atomically: the bytes land in
+ * "<path>.tmp" first and are rename(2)d over @p path only after a
+ * successful flush + close.  Returns false (leaving no temporary
+ * behind) on any I/O failure.  The temporary lives in the target's
+ * directory, so the rename never crosses a filesystem boundary.
+ */
+bool atomicWriteFile(const std::string &path, const std::string &data);
+
+/** Reads all of @p path into @p out; false on any I/O failure. */
+bool readFile(const std::string &path, std::string &out);
+
+} // namespace glsc
+
+#endif // GLSC_OBS_ARTIFACT_H_

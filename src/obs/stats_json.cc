@@ -2,6 +2,7 @@
 
 #include <cctype>
 #include <cstdint>
+#include <cstdlib>
 #include <map>
 #include <utility>
 
@@ -62,7 +63,20 @@ appendU64Array(std::string &out, const std::vector<std::uint64_t> &v)
     out += ']';
 }
 
+/** Shortest %g form that still round-trips through strtod. */
+std::string
+jsonDouble(double v)
+{
+    return strprintf("%.17g", v);
+}
+
 } // namespace
+
+std::string
+jsonQuote(const std::string &s)
+{
+    return "\"" + jsonEscape(s) + "\"";
+}
 
 std::string
 statsToJson(const SystemStats &stats)
@@ -139,7 +153,9 @@ namespace {
 struct JVal
 {
     enum Kind { Num, Str, Bool, Arr, Obj } kind = Num;
-    std::uint64_t num = 0;
+    std::uint64_t num = 0;   //!< valid when isInt
+    double dbl = 0.0;        //!< always valid for Num
+    bool isInt = true;       //!< digits only: exact u64 in num
     std::string str;
     bool b = false;
     std::vector<JVal> arr;
@@ -179,7 +195,7 @@ class Parser
     }
 
     bool string(std::string &out);
-    bool number(std::uint64_t &out);
+    bool number(JVal &out);
 
     const char *p_;
     const char *end_;
@@ -240,14 +256,39 @@ Parser::string(std::string &out)
 }
 
 bool
-Parser::number(std::uint64_t &out)
+Parser::number(JVal &out)
 {
     ws();
+    const char *start = p_;
+    if (p_ < end_ && *p_ == '-')
+        p_++;
     if (p_ >= end_ || !std::isdigit(static_cast<unsigned char>(*p_)))
         return fail("expected number");
-    out = 0;
+    out.num = 0;
     while (p_ < end_ && std::isdigit(static_cast<unsigned char>(*p_)))
-        out = out * 10 + static_cast<std::uint64_t>(*p_++ - '0');
+        out.num = out.num * 10 + static_cast<std::uint64_t>(*p_++ - '0');
+    // Only a bare digit run is an exact integer; a sign, fraction or
+    // exponent demotes the value to double-only (u64 readers reject).
+    out.isInt = *start != '-';
+    if (p_ < end_ && *p_ == '.') {
+        out.isInt = false;
+        p_++;
+        if (p_ >= end_ || !std::isdigit(static_cast<unsigned char>(*p_)))
+            return fail("digits must follow the decimal point");
+        while (p_ < end_ && std::isdigit(static_cast<unsigned char>(*p_)))
+            p_++;
+    }
+    if (p_ < end_ && (*p_ == 'e' || *p_ == 'E')) {
+        out.isInt = false;
+        p_++;
+        if (p_ < end_ && (*p_ == '+' || *p_ == '-'))
+            p_++;
+        if (p_ >= end_ || !std::isdigit(static_cast<unsigned char>(*p_)))
+            return fail("digits must follow the exponent");
+        while (p_ < end_ && std::isdigit(static_cast<unsigned char>(*p_)))
+            p_++;
+    }
+    out.dbl = std::strtod(std::string(start, p_).c_str(), nullptr);
     return true;
 }
 
@@ -325,7 +366,7 @@ Parser::value(JVal &out)
         return fail("bad literal");
       default:
         out.kind = JVal::Num;
-        return number(out.num);
+        return number(out);
     }
 }
 
@@ -359,7 +400,40 @@ class ObjReader
         const JVal *v = get(name, JVal::Num);
         if (v == nullptr)
             return false;
+        if (!v->isInt) {
+            if (err_.empty())
+                err_ = strprintf("field '%s' is not an unsigned "
+                                 "integer", name);
+            return false;
+        }
         out = v->num;
+        return true;
+    }
+
+    bool dbl(const char *name, double &out)
+    {
+        const JVal *v = get(name, JVal::Num);
+        if (v == nullptr)
+            return false;
+        out = v->dbl;
+        return true;
+    }
+
+    bool str(const char *name, std::string &out)
+    {
+        const JVal *v = get(name, JVal::Str);
+        if (v == nullptr)
+            return false;
+        out = v->str;
+        return true;
+    }
+
+    bool boolean(const char *name, bool &out)
+    {
+        const JVal *v = get(name, JVal::Bool);
+        if (v == nullptr)
+            return false;
+        out = v->b;
         return true;
     }
 
@@ -387,18 +461,17 @@ class ObjReader
     std::vector<std::string> consumed_;
 };
 
-} // namespace
-
+/**
+ * Strict JVal -> SystemStats extraction shared by statsFromJson and
+ * the BENCH-document reader (which meets the same object embedded in
+ * a "runs" record).  Leaves @p why set on the first violation.
+ */
 bool
-statsFromJson(const std::string &json, SystemStats &out, std::string *err)
+statsFromJVal(const JVal &root, SystemStats &out, std::string &why)
 {
-    std::string why;
-    JVal root;
-    Parser parser(json);
-    if (!parser.value(root)) {
-        why = parser.error();
-    } else if (root.kind != JVal::Obj) {
-        why = "top level is not an object";
+    if (root.kind != JVal::Obj) {
+        if (why.empty())
+            why = "stats is not an object";
     } else {
         SystemStats s;
         ObjReader r(root, why);
@@ -484,6 +557,298 @@ statsFromJson(const std::string &json, SystemStats &out, std::string *err)
             }
             r.exhausted();
         }
+        if (why.empty()) {
+            out = std::move(s);
+            return true;
+        }
+    }
+    return false;
+}
+
+} // namespace
+
+bool
+statsFromJson(const std::string &json, SystemStats &out, std::string *err)
+{
+    std::string why;
+    JVal root;
+    Parser parser(json);
+    if (!parser.value(root))
+        why = parser.error();
+    else if (statsFromJVal(root, out, why))
+        return true;
+    if (why.empty())
+        why = "unparseable stats document";
+    if (err != nullptr)
+        *err = why;
+    return false;
+}
+
+// ---------------------------------------------------------------------
+// BENCH document.
+// ---------------------------------------------------------------------
+
+std::string
+benchDocToJson(const BenchDoc &doc)
+{
+    std::string out = "{\n";
+    out += strprintf("  \"benchSchema\": %d,\n", kStatsJsonSchemaVersion);
+    out += strprintf("  \"artifact\": %s,\n",
+                     jsonQuote(doc.artifact).c_str());
+    out += strprintf("  \"scale\": %s,\n", jsonDouble(doc.scale).c_str());
+    out += strprintf("  \"seed\": %llu,\n", (unsigned long long)doc.seed);
+    out += "  \"runs\": [";
+    for (std::size_t i = 0; i < doc.runs.size(); ++i) {
+        const BenchRun &run = doc.runs[i];
+        out += i == 0 ? "\n" : ",\n";
+        out += "    {\n";
+        out += strprintf("      \"bench\": %s,\n",
+                         jsonQuote(run.bench).c_str());
+        out += strprintf("      \"dataset\": %d,\n", run.dataset);
+        out += strprintf("      \"scheme\": %s,\n",
+                         jsonQuote(run.scheme).c_str());
+        out += strprintf("      \"config\": %s,\n",
+                         jsonQuote(run.config).c_str());
+        // statsToJson ends in a newline; embed it verbatim (the
+        // document stays parseable, just not uniformly indented).
+        std::string stats = statsToJson(run.stats);
+        out += "      \"stats\": ";
+        out += stats.substr(0, stats.size() - 1);
+        out += "\n    }";
+    }
+    out += "\n  ]\n}\n";
+    return out;
+}
+
+bool
+benchDocFromJson(const std::string &json, BenchDoc &out, std::string *err)
+{
+    std::string why;
+    JVal root;
+    Parser parser(json);
+    if (!parser.value(root)) {
+        why = parser.error();
+    } else if (root.kind != JVal::Obj) {
+        why = "top level is not an object";
+    } else {
+        BenchDoc d;
+        ObjReader r(root, why);
+        std::uint64_t schema = 0;
+        if (r.u64("benchSchema", schema) &&
+            schema != std::uint64_t{kStatsJsonSchemaVersion} &&
+            why.empty()) {
+            why = strprintf("benchSchema version %llu, expected %d",
+                            (unsigned long long)schema,
+                            kStatsJsonSchemaVersion);
+        }
+        r.str("artifact", d.artifact);
+        r.dbl("scale", d.scale);
+        r.u64("seed", d.seed);
+        if (const JVal *v = r.get("runs", JVal::Arr)) {
+            for (const JVal &e : v->arr) {
+                if (why.empty() && e.kind != JVal::Obj)
+                    why = "run record is not an object";
+                if (!why.empty())
+                    break;
+                BenchRun run;
+                ObjReader rr(e, why);
+                rr.str("bench", run.bench);
+                std::uint64_t ds = 0;
+                if (rr.u64("dataset", ds))
+                    run.dataset = static_cast<int>(ds);
+                rr.str("scheme", run.scheme);
+                rr.str("config", run.config);
+                if (const JVal *sv = rr.get("stats", JVal::Obj))
+                    statsFromJVal(*sv, run.stats, why);
+                rr.exhausted();
+                d.runs.push_back(std::move(run));
+            }
+        }
+        r.exhausted();
+        if (why.empty()) {
+            out = std::move(d);
+            return true;
+        }
+    }
+    if (err != nullptr)
+        *err = why;
+    return false;
+}
+
+// ---------------------------------------------------------------------
+// CAMPAIGN summary.
+// ---------------------------------------------------------------------
+
+std::string
+campaignToJson(const CampaignSummary &s)
+{
+    std::string out = "{\n";
+    out += strprintf("  \"campaignSchema\": %d,\n",
+                     kCampaignJsonSchemaVersion);
+    out += strprintf("  \"campaign\": %s,\n",
+                     jsonQuote(s.campaign).c_str());
+    out += strprintf("  \"spec\": %s,\n", jsonQuote(s.spec).c_str());
+    out += strprintf("  \"matrixSize\": %llu,\n",
+                     (unsigned long long)s.matrixSize);
+    out += strprintf("  \"completed\": %llu,\n",
+                     (unsigned long long)s.completed);
+    out += strprintf("  \"quarantined\": %llu,\n",
+                     (unsigned long long)s.quarantined);
+    out += strprintf("  \"gaps\": %llu,\n", (unsigned long long)s.gaps);
+    out += strprintf("  \"retries\": %llu,\n",
+                     (unsigned long long)s.retries);
+    out += "  \"runs\": [";
+    for (std::size_t i = 0; i < s.runs.size(); ++i) {
+        const CampaignRunRecord &run = s.runs[i];
+        out += i == 0 ? "\n    {" : ",\n    {";
+        out += strprintf("\"bench\": %s, ", jsonQuote(run.bench).c_str());
+        out += strprintf("\"scheme\": %s, ",
+                         jsonQuote(run.scheme).c_str());
+        out += strprintf("\"mem\": %s, ", jsonQuote(run.mem).c_str());
+        out += strprintf("\"nocArmed\": %s, ",
+                         run.nocArmed ? "true" : "false");
+        out += strprintf("\"seed\": %llu, ",
+                         (unsigned long long)run.seed);
+        out += strprintf("\"attempts\": %d, ", run.attempts);
+        out += strprintf("\"outcome\": %s, ",
+                         jsonQuote(run.outcome).c_str());
+        out += strprintf("\"detail\": %s, ",
+                         jsonQuote(run.detail).c_str());
+        out += strprintf("\"repro\": %s}", jsonQuote(run.repro).c_str());
+    }
+    out += s.runs.empty() ? "],\n" : "\n  ],\n";
+    out += "  \"cells\": [";
+    for (std::size_t i = 0; i < s.cells.size(); ++i) {
+        const CampaignCell &cell = s.cells[i];
+        out += i == 0 ? "\n    {" : ",\n    {";
+        out += strprintf("\"bench\": %s, ",
+                         jsonQuote(cell.bench).c_str());
+        out += strprintf("\"dataset\": %d, ", cell.dataset);
+        out += strprintf("\"scheme\": %s, ",
+                         jsonQuote(cell.scheme).c_str());
+        out += strprintf("\"config\": %s, ",
+                         jsonQuote(cell.config).c_str());
+        out += strprintf("\"mem\": %s, ", jsonQuote(cell.mem).c_str());
+        out += strprintf("\"nocArmed\": %s, ",
+                         cell.nocArmed ? "true" : "false");
+        out += strprintf("\"seeds\": %llu,\n",
+                         (unsigned long long)cell.seeds);
+        out += "     \"metrics\": [";
+        for (std::size_t j = 0; j < cell.metrics.size(); ++j) {
+            const CampaignMetric &m = cell.metrics[j];
+            out += j == 0 ? "\n       {" : ",\n       {";
+            out += strprintf("\"name\": %s, ",
+                             jsonQuote(m.name).c_str());
+            out += strprintf("\"n\": %llu, ",
+                             (unsigned long long)m.stat.n);
+            out += strprintf("\"mean\": %s, ",
+                             jsonDouble(m.stat.mean).c_str());
+            out += strprintf("\"ci95\": %s, ",
+                             jsonDouble(m.stat.ci95).c_str());
+            out += strprintf("\"min\": %s, ",
+                             jsonDouble(m.stat.min).c_str());
+            out += strprintf("\"max\": %s}",
+                             jsonDouble(m.stat.max).c_str());
+        }
+        out += cell.metrics.empty() ? "]}" : "\n     ]}";
+    }
+    out += s.cells.empty() ? "]\n" : "\n  ]\n";
+    out += "}\n";
+    return out;
+}
+
+bool
+campaignFromJson(const std::string &json, CampaignSummary &out,
+                 std::string *err)
+{
+    std::string why;
+    JVal root;
+    Parser parser(json);
+    if (!parser.value(root)) {
+        why = parser.error();
+    } else if (root.kind != JVal::Obj) {
+        why = "top level is not an object";
+    } else {
+        CampaignSummary s;
+        ObjReader r(root, why);
+        std::uint64_t schema = 0;
+        if (r.u64("campaignSchema", schema) &&
+            schema != std::uint64_t{kCampaignJsonSchemaVersion} &&
+            why.empty()) {
+            why = strprintf("campaignSchema version %llu, expected %d",
+                            (unsigned long long)schema,
+                            kCampaignJsonSchemaVersion);
+        }
+        r.str("campaign", s.campaign);
+        r.str("spec", s.spec);
+        r.u64("matrixSize", s.matrixSize);
+        r.u64("completed", s.completed);
+        r.u64("quarantined", s.quarantined);
+        r.u64("gaps", s.gaps);
+        r.u64("retries", s.retries);
+        if (const JVal *v = r.get("runs", JVal::Arr)) {
+            for (const JVal &e : v->arr) {
+                if (why.empty() && e.kind != JVal::Obj)
+                    why = "run record is not an object";
+                if (!why.empty())
+                    break;
+                CampaignRunRecord run;
+                ObjReader rr(e, why);
+                rr.str("bench", run.bench);
+                rr.str("scheme", run.scheme);
+                rr.str("mem", run.mem);
+                rr.boolean("nocArmed", run.nocArmed);
+                rr.u64("seed", run.seed);
+                std::uint64_t attempts = 0;
+                if (rr.u64("attempts", attempts))
+                    run.attempts = static_cast<int>(attempts);
+                rr.str("outcome", run.outcome);
+                rr.str("detail", run.detail);
+                rr.str("repro", run.repro);
+                rr.exhausted();
+                s.runs.push_back(std::move(run));
+            }
+        }
+        if (const JVal *v = r.get("cells", JVal::Arr)) {
+            for (const JVal &e : v->arr) {
+                if (why.empty() && e.kind != JVal::Obj)
+                    why = "cell record is not an object";
+                if (!why.empty())
+                    break;
+                CampaignCell cell;
+                ObjReader cr(e, why);
+                cr.str("bench", cell.bench);
+                std::uint64_t ds = 0;
+                if (cr.u64("dataset", ds))
+                    cell.dataset = static_cast<int>(ds);
+                cr.str("scheme", cell.scheme);
+                cr.str("config", cell.config);
+                cr.str("mem", cell.mem);
+                cr.boolean("nocArmed", cell.nocArmed);
+                cr.u64("seeds", cell.seeds);
+                if (const JVal *mv = cr.get("metrics", JVal::Arr)) {
+                    for (const JVal &me : mv->arr) {
+                        if (why.empty() && me.kind != JVal::Obj)
+                            why = "metric record is not an object";
+                        if (!why.empty())
+                            break;
+                        CampaignMetric m;
+                        ObjReader mr(me, why);
+                        mr.str("name", m.name);
+                        mr.u64("n", m.stat.n);
+                        mr.dbl("mean", m.stat.mean);
+                        mr.dbl("ci95", m.stat.ci95);
+                        mr.dbl("min", m.stat.min);
+                        mr.dbl("max", m.stat.max);
+                        mr.exhausted();
+                        cell.metrics.push_back(std::move(m));
+                    }
+                }
+                cr.exhausted();
+                s.cells.push_back(std::move(cell));
+            }
+        }
+        r.exhausted();
         if (why.empty()) {
             out = std::move(s);
             return true;

@@ -3,8 +3,9 @@
  * Versioned, schema-stable JSON export of SystemStats.
  *
  * The bench harnesses persist run statistics as machine-readable
- * artifacts (BENCH_<fig>.json) so CI and notebooks can consume them
- * without scraping stdout.  Two rules keep the format trustworthy:
+ * artifacts (BENCH_<fig>.json) so CI, notebooks, and the campaign
+ * orchestrator (tools/campaign/) can consume them without scraping
+ * stdout.  Two rules keep the format trustworthy:
  *
  *  - Canonical form: statsToJson is a pure function of the stats with
  *    a fixed field order, so exports of equal stats are byte-identical
@@ -130,6 +131,129 @@ bool statsFromJson(const std::string &json, SystemStats &out,
  * copy so schema drift cannot happen silently.
  */
 std::vector<std::string> statsJsonFieldList();
+
+/**
+ * Escapes @p s and wraps it in double quotes as a JSON string
+ * literal.  Control characters (embedded newlines, tabs, raw bytes
+ * below 0x20) become escape sequences, so any label -- however
+ * hostile -- round-trips through the strict parser.
+ */
+std::string jsonQuote(const std::string &s);
+
+// ---------------------------------------------------------------------
+// BENCH document: the artifact a bench binary writes under --json.
+// One record per runChecked invocation, each embedding a full
+// statsToJson object.  benchDocToJson is the single writer (the bench
+// harness and the chaos self-test children both use it) and
+// benchDocFromJson the strict reader the campaign orchestrator
+// ingests with: schema mismatch, missing field, unknown field, or a
+// type error all reject the document.
+// ---------------------------------------------------------------------
+
+/** One recorded benchmark run inside a BENCH document. */
+struct BenchRun
+{
+    std::string bench;  //!< registry name ("GBC", "FS", ...)
+    int dataset = 0;    //!< 0 = A, 1 = B
+    std::string scheme; //!< schemeName(): "Base" or "GLSC"
+    std::string config; //!< SystemConfig::label()
+    SystemStats stats;
+};
+
+/** A whole BENCH_<fig>.json artifact. */
+struct BenchDoc
+{
+    std::string artifact;   //!< producing binary's artifact id
+    double scale = 1.0;
+    std::uint64_t seed = 1;
+    std::vector<BenchRun> runs;
+};
+
+/** Canonical JSON for @p doc (ends in a newline). */
+std::string benchDocToJson(const BenchDoc &doc);
+
+/**
+ * Strictly parses a benchDocToJson document (same contract as
+ * statsFromJson, applied recursively to every embedded stats object).
+ */
+bool benchDocFromJson(const std::string &json, BenchDoc &out,
+                      std::string *err = nullptr);
+
+// ---------------------------------------------------------------------
+// CAMPAIGN summary: the merged artifact the orchestrator emits after
+// a sharded sweep.  Run records account for every planned child
+// invocation (completed + quarantined + gaps == matrixSize, pinned by
+// the chaos self-test), and cells carry per-(bench, dataset, scheme,
+// config, axes) mean/CI statistics across seeds.
+// ---------------------------------------------------------------------
+
+/** Bump whenever the campaign summary field set or layout changes. */
+inline constexpr int kCampaignJsonSchemaVersion = 1;
+
+/** Aggregate of one metric across a cell's surviving seeds. */
+struct CampaignStat
+{
+    std::uint64_t n = 0; //!< samples aggregated
+    double mean = 0.0;
+    double ci95 = 0.0;   //!< 1.96 * s / sqrt(n) (0 when n < 2)
+    double min = 0.0;
+    double max = 0.0;
+};
+
+/** A named metric aggregate inside a cell. */
+struct CampaignMetric
+{
+    std::string name;
+    CampaignStat stat;
+};
+
+/** Statistics for one measured matrix cell across seeds. */
+struct CampaignCell
+{
+    std::string bench;
+    int dataset = 0;
+    std::string scheme;
+    std::string config;   //!< SystemConfig::label() of the run
+    std::string mem;      //!< backend axis ("fixed" / "dram")
+    bool nocArmed = false;
+    std::uint64_t seeds = 0; //!< surviving samples per metric
+    std::vector<CampaignMetric> metrics;
+};
+
+/** Supervision outcome of one planned child run. */
+struct CampaignRunRecord
+{
+    std::string bench;
+    std::string scheme;
+    std::string mem;
+    bool nocArmed = false;
+    std::uint64_t seed = 0;
+    int attempts = 0;      //!< child invocations spent (>= 1)
+    std::string outcome;   //!< "completed" | "quarantined" | "gap"
+    std::string detail;    //!< failure/quarantine reason ("" if none)
+    std::string repro;     //!< exact argv for a deterministic re-run
+};
+
+/** The merged result of a whole campaign. */
+struct CampaignSummary
+{
+    std::string campaign;       //!< campaign name (--name)
+    std::string spec;           //!< one-line spec echo
+    std::uint64_t matrixSize = 0;
+    std::uint64_t completed = 0;
+    std::uint64_t quarantined = 0;
+    std::uint64_t gaps = 0;
+    std::uint64_t retries = 0;  //!< attempts beyond each run's first
+    std::vector<CampaignRunRecord> runs;
+    std::vector<CampaignCell> cells;
+};
+
+/** Canonical JSON for @p s (ends in a newline). */
+std::string campaignToJson(const CampaignSummary &s);
+
+/** Strict parse of a campaignToJson document (statsFromJson rules). */
+bool campaignFromJson(const std::string &json, CampaignSummary &out,
+                      std::string *err = nullptr);
 
 } // namespace glsc
 

@@ -1,0 +1,444 @@
+/**
+ * @file
+ * Campaign orchestrator unit tests (tools/campaign/): matrix
+ * expansion, chaos accounting, merge statistics, artifact ingestion,
+ * the campaign summary schema, and the bench harness's --only cell
+ * filter the orchestrator shards with.  The end-to-end supervision
+ * path (timeouts, SIGKILL escalation, retries) is covered by the
+ * CampaignChaosSelfTest ctest entry, which runs the real binary.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "campaign/chaos.h"
+#include "campaign/merge.h"
+#include "campaign/spec.h"
+#include "harness.h"
+#include "obs/artifact.h"
+#include "obs/stats_json.h"
+
+namespace glsc {
+namespace {
+
+using namespace glsc::campaign;
+
+// ---------------------------------------------------------------- spec
+
+TEST(CampaignSpec, MatrixExpandsInDocumentedOrder)
+{
+    CampaignSpec spec;
+    spec.benches = {"GBC", "FS"};
+    spec.schemes = {"Base", "GLSC"};
+    spec.mems = {"fixed", "dram"};
+    spec.nocArmed = {false, true};
+    spec.seeds = {1, 2, 3};
+
+    std::vector<PlannedRun> runs = expandMatrix(spec);
+    ASSERT_EQ(runs.size(), 2u * 2u * 2u * 2u * 3u);
+    // Bench-major, seed-minor; index equals position.
+    EXPECT_EQ(runs[0].bench, "GBC");
+    EXPECT_EQ(runs[0].scheme, "Base");
+    EXPECT_EQ(runs[0].mem, "fixed");
+    EXPECT_FALSE(runs[0].nocArmed);
+    EXPECT_EQ(runs[0].seed, 1u);
+    EXPECT_EQ(runs[1].seed, 2u);
+    EXPECT_EQ(runs[3].nocArmed, true);
+    EXPECT_EQ(runs[6].mem, "dram");
+    EXPECT_EQ(runs[12].scheme, "GLSC");
+    EXPECT_EQ(runs[24].bench, "FS");
+    for (std::size_t i = 0; i < runs.size(); ++i)
+        EXPECT_EQ(runs[i].index, static_cast<int>(i));
+}
+
+TEST(CampaignSpec, RunIdIsFilesystemSafeAndUnique)
+{
+    CampaignSpec spec;
+    spec.benches = {"GBC", "FS"};
+    spec.seeds = {1, 2};
+    std::vector<PlannedRun> runs = expandMatrix(spec);
+    std::set<std::string> ids;
+    for (const PlannedRun &r : runs) {
+        std::string id = r.id();
+        EXPECT_EQ(id.find_first_of(" /\\:*?\"<>|"), std::string::npos)
+            << id;
+        ids.insert(id);
+    }
+    EXPECT_EQ(ids.size(), runs.size());
+}
+
+TEST(CampaignSpec, RealModeArgvShardsWithOnlyFilter)
+{
+    CampaignSpec spec;
+    spec.runner = "/path/bench_table4";
+    PlannedRun run;
+    run.bench = "HIP";
+    run.scheme = "GLSC";
+    run.mem = "dram";
+    run.nocArmed = true;
+    run.seed = 7;
+    std::vector<std::string> argv =
+        runArgv(spec, "/self", run, "out.json", 1);
+    ASSERT_GE(argv.size(), 2u);
+    EXPECT_EQ(argv[0], "/path/bench_table4");
+    std::string joined = argvToString(argv);
+    EXPECT_NE(joined.find("--only HIP:GLSC"), std::string::npos);
+    EXPECT_NE(joined.find("--seed 7"), std::string::npos);
+    EXPECT_NE(joined.find("--mem dram"), std::string::npos);
+    EXPECT_NE(joined.find("--noc-armed"), std::string::npos);
+}
+
+TEST(CampaignSpec, ArgvToStringQuotesHostileArguments)
+{
+    EXPECT_EQ(argvToString({"a", "b c", "d'e"}),
+              "a 'b c' 'd'\\''e'");
+}
+
+// --------------------------------------------------------------- chaos
+
+TEST(CampaignChaos, BehaviorAssignmentIsRoundRobin)
+{
+    EXPECT_EQ(chaosBehaviorFor(0), ChaosBehavior::Ok);
+    EXPECT_EQ(chaosBehaviorFor(1), ChaosBehavior::Flaky);
+    EXPECT_EQ(chaosBehaviorFor(2), ChaosBehavior::Crash);
+    EXPECT_EQ(chaosBehaviorFor(3), ChaosBehavior::Hang);
+    EXPECT_EQ(chaosBehaviorFor(4), ChaosBehavior::Corrupt);
+    EXPECT_EQ(chaosBehaviorFor(5), ChaosBehavior::Torn);
+    EXPECT_EQ(chaosBehaviorFor(6), ChaosBehavior::Ok);
+}
+
+TEST(CampaignChaos, BehaviorNamesRoundTrip)
+{
+    for (int i = 0; i < kChaosBehaviorCount; ++i) {
+        ChaosBehavior b = static_cast<ChaosBehavior>(i);
+        ChaosBehavior back;
+        ASSERT_TRUE(chaosBehaviorFromName(chaosBehaviorName(b), back));
+        EXPECT_EQ(back, b);
+    }
+    ChaosBehavior out;
+    EXPECT_FALSE(chaosBehaviorFromName("explode", out));
+}
+
+TEST(CampaignChaos, ExpectedAccountingForTheCiMatrix)
+{
+    // The exact configuration the CampaignChaosSelfTest ctest entry
+    // and the CI campaign job run: 2 benches x 2 schemes x 3 seeds.
+    CampaignSpec spec;
+    spec.chaos = true;
+    spec.benches = {"GBC", "FS"};
+    spec.schemes = {"Base", "GLSC"};
+    spec.seeds = {1, 2, 3};
+    spec.maxAttempts = 3;
+    spec.chaosFlakyAfter = 2;
+    ChaosExpect e = chaosExpected(spec);
+    EXPECT_EQ(e.completed, 4u);     // 2 ok + 2 flaky
+    EXPECT_EQ(e.quarantined, 4u);   // 2 corrupt + 2 torn
+    EXPECT_EQ(e.gaps, 4u);          // 2 crash + 2 hang
+    EXPECT_EQ(e.retries, 10u);      // 2*1 flaky + 4*2 exhausted
+    EXPECT_EQ(e.completed + e.quarantined + e.gaps, 12u);
+}
+
+TEST(CampaignChaos, FlakyBeyondAttemptBudgetBecomesAGap)
+{
+    CampaignSpec spec;
+    spec.chaos = true;
+    spec.benches = {"GBC"};
+    spec.schemes = {"Base", "GLSC"};
+    spec.seeds = {1, 2, 3};        // 6 runs: one of each behaviour
+    spec.maxAttempts = 2;
+    spec.chaosFlakyAfter = 5;      // needs more attempts than allowed
+    ChaosExpect e = chaosExpected(spec);
+    EXPECT_EQ(e.completed, 1u);
+    EXPECT_EQ(e.gaps, 3u);         // flaky joins crash + hang
+    EXPECT_EQ(e.quarantined, 2u);
+    EXPECT_EQ(e.retries, 3u);      // 3 gap runs x (2 - 1)
+}
+
+// --------------------------------------------------------------- merge
+
+TEST(CampaignMerge, ComputeStatMatchesHandComputedValues)
+{
+    CampaignStat st = computeStat({1.0, 2.0, 3.0, 4.0});
+    EXPECT_EQ(st.n, 4u);
+    EXPECT_DOUBLE_EQ(st.mean, 2.5);
+    EXPECT_DOUBLE_EQ(st.min, 1.0);
+    EXPECT_DOUBLE_EQ(st.max, 4.0);
+    // s = sqrt(5/3), ci95 = 1.96 * s / 2.
+    EXPECT_NEAR(st.ci95, 1.96 * std::sqrt(5.0 / 3.0) / 2.0, 1e-12);
+}
+
+TEST(CampaignMerge, SingleSampleHasNoConfidenceInterval)
+{
+    CampaignStat st = computeStat({42.0});
+    EXPECT_EQ(st.n, 1u);
+    EXPECT_DOUBLE_EQ(st.mean, 42.0);
+    EXPECT_DOUBLE_EQ(st.ci95, 0.0);
+    CampaignStat empty = computeStat({});
+    EXPECT_EQ(empty.n, 0u);
+}
+
+TEST(CampaignMerge, GroupsRunsByCellAndAggregatesSeeds)
+{
+    Merger m;
+    BenchRun a;
+    a.bench = "GBC";
+    a.dataset = 0;
+    a.scheme = "Base";
+    a.config = "c16";
+    a.stats.cycles = 100;
+    m.add(a, "fixed", false);
+    a.stats.cycles = 200;   // second seed, same cell
+    m.add(a, "fixed", false);
+    a.scheme = "GLSC";      // different cell
+    a.stats.cycles = 50;
+    m.add(a, "fixed", false);
+
+    std::vector<CampaignCell> cells = m.cells();
+    ASSERT_EQ(cells.size(), 2u);
+    EXPECT_EQ(cells[0].scheme, "Base");
+    EXPECT_EQ(cells[0].seeds, 2u);
+    ASSERT_FALSE(cells[0].metrics.empty());
+    EXPECT_EQ(cells[0].metrics[0].name, "cycles");
+    EXPECT_DOUBLE_EQ(cells[0].metrics[0].stat.mean, 150.0);
+    EXPECT_EQ(cells[1].scheme, "GLSC");
+    EXPECT_EQ(cells[1].seeds, 1u);
+}
+
+TEST(CampaignMerge, IngestAcceptsAValidArtifact)
+{
+    BenchDoc doc;
+    doc.artifact = "t";
+    doc.seed = 3;
+    BenchRun run;
+    run.bench = "GBC";
+    run.scheme = "Base";
+    run.config = "c16";
+    doc.runs.push_back(run);
+    std::string path = testing::TempDir() + "campaign_ok.json";
+    ASSERT_TRUE(atomicWriteFile(path, benchDocToJson(doc)));
+
+    std::vector<BenchRun> rows;
+    std::string why;
+    EXPECT_TRUE(ingestArtifact(path, rows, why)) << why;
+    ASSERT_EQ(rows.size(), 1u);
+    EXPECT_EQ(rows[0].bench, "GBC");
+    std::remove(path.c_str());
+}
+
+TEST(CampaignMerge, IngestQuarantinesConservationViolations)
+{
+    // Schema-valid document whose counters break the L1 relation: the
+    // strict parser alone would accept it, so the merge must apply
+    // consistencyError() too.
+    BenchDoc doc;
+    BenchRun run;
+    run.bench = "GBC";
+    run.stats.l1Hits = 10;      // hits + misses != accesses (0)
+    doc.runs.push_back(run);
+    std::string path = testing::TempDir() + "campaign_bad.json";
+    ASSERT_TRUE(atomicWriteFile(path, benchDocToJson(doc)));
+
+    std::vector<BenchRun> rows;
+    std::string why;
+    EXPECT_FALSE(ingestArtifact(path, rows, why));
+    EXPECT_NE(why.find("conservation"), std::string::npos) << why;
+    EXPECT_TRUE(rows.empty());
+    std::remove(path.c_str());
+}
+
+TEST(CampaignMerge, IngestRejectsMissingAndMalformedFiles)
+{
+    std::vector<BenchRun> rows;
+    std::string why;
+    EXPECT_FALSE(
+        ingestArtifact("/nonexistent/campaign.json", rows, why));
+    EXPECT_NE(why.find("missing"), std::string::npos);
+
+    std::string path = testing::TempDir() + "campaign_torn.json";
+    BenchDoc doc;
+    std::string full = benchDocToJson(doc);
+    ASSERT_TRUE(atomicWriteFile(path, full.substr(0, full.size() / 2)));
+    EXPECT_FALSE(ingestArtifact(path, rows, why));
+    EXPECT_NE(why.find("strict parser"), std::string::npos);
+    std::remove(path.c_str());
+}
+
+// ------------------------------------------------------ summary schema
+
+CampaignSummary
+sampleSummary()
+{
+    CampaignSummary s;
+    s.campaign = "unit";
+    s.spec = "benches=GBC";
+    s.matrixSize = 2;
+    s.completed = 1;
+    s.gaps = 1;
+    s.retries = 2;
+    CampaignRunRecord r;
+    r.bench = "GBC";
+    r.scheme = "Base";
+    r.mem = "fixed";
+    r.seed = 1;
+    r.attempts = 1;
+    r.outcome = "completed";
+    s.runs.push_back(r);
+    r.seed = 2;
+    r.attempts = 3;
+    r.outcome = "gap";
+    r.detail = "attempts exhausted; last: exit code 42";
+    r.repro = "./bench --only GBC:Base --seed 2";
+    s.runs.push_back(r);
+    CampaignCell c;
+    c.bench = "GBC";
+    c.scheme = "Base";
+    c.config = "c16";
+    c.mem = "fixed";
+    c.seeds = 1;
+    CampaignMetric metric;
+    metric.name = "cycles";
+    metric.stat = computeStat({123.0});
+    c.metrics.push_back(metric);
+    s.cells.push_back(c);
+    return s;
+}
+
+TEST(CampaignSummaryJson, RoundTripsByteIdentically)
+{
+    CampaignSummary s = sampleSummary();
+    std::string json = campaignToJson(s);
+    CampaignSummary back;
+    std::string err;
+    ASSERT_TRUE(campaignFromJson(json, back, &err)) << err;
+    EXPECT_EQ(campaignToJson(back), json);
+    EXPECT_EQ(back.runs.size(), 2u);
+    EXPECT_EQ(back.cells.size(), 1u);
+    EXPECT_EQ(back.runs[1].repro, s.runs[1].repro);
+}
+
+TEST(CampaignSummaryJson, EmptySummaryRoundTrips)
+{
+    CampaignSummary s;
+    s.campaign = "empty";
+    std::string json = campaignToJson(s);
+    CampaignSummary back;
+    std::string err;
+    ASSERT_TRUE(campaignFromJson(json, back, &err)) << err;
+    EXPECT_EQ(campaignToJson(back), json);
+}
+
+TEST(CampaignSummaryJson, RejectsWrongSchemaVersion)
+{
+    std::string json = campaignToJson(sampleSummary());
+    std::size_t pos = json.find("\"campaignSchema\": 1");
+    ASSERT_NE(pos, std::string::npos);
+    json.replace(pos, std::string("\"campaignSchema\": 1").size(),
+                 "\"campaignSchema\": 99");
+    CampaignSummary back;
+    std::string err;
+    EXPECT_FALSE(campaignFromJson(json, back, &err));
+    EXPECT_NE(err.find("campaignSchema"), std::string::npos) << err;
+}
+
+TEST(CampaignSummaryJson, RejectsUnknownFieldsAndGarbage)
+{
+    std::string json = campaignToJson(sampleSummary());
+    std::size_t pos = json.find("\"matrixSize\"");
+    ASSERT_NE(pos, std::string::npos);
+    std::string tampered = json;
+    tampered.insert(pos, "\"bogusCounter\": 1, ");
+    CampaignSummary back;
+    EXPECT_FALSE(campaignFromJson(tampered, back, nullptr));
+    EXPECT_FALSE(campaignFromJson("not json at all", back, nullptr));
+    EXPECT_FALSE(
+        campaignFromJson(json.substr(0, json.size() / 2), back,
+                         nullptr));
+}
+
+// -------------------------------------------- harness --only filtering
+
+bench::Options
+onlyOptions(const std::string &b, const std::string &s)
+{
+    bench::Options opt;
+    opt.onlyBench = b;
+    opt.onlyScheme = s;
+    return opt;
+}
+
+TEST(OnlyFilter, NoFilterSelectsEverything)
+{
+    bench::Options opt;
+    EXPECT_TRUE(bench::cellSelected(opt, "GBC", Scheme::Base));
+    EXPECT_TRUE(bench::cellSelected(opt, "TMS", Scheme::Glsc));
+}
+
+TEST(OnlyFilter, BenchFilterSelectsBothSchemes)
+{
+    bench::Options opt = onlyOptions("HIP", "");
+    EXPECT_TRUE(bench::cellSelected(opt, "HIP", Scheme::Base));
+    EXPECT_TRUE(bench::cellSelected(opt, "HIP", Scheme::Glsc));
+    EXPECT_FALSE(bench::cellSelected(opt, "GBC", Scheme::Base));
+}
+
+TEST(OnlyFilter, SchemeFilterSelectsOneCell)
+{
+    bench::Options opt = onlyOptions("HIP", "GLSC");
+    EXPECT_FALSE(bench::cellSelected(opt, "HIP", Scheme::Base));
+    EXPECT_TRUE(bench::cellSelected(opt, "HIP", Scheme::Glsc));
+    EXPECT_FALSE(bench::cellSelected(opt, "GBC", Scheme::Glsc));
+}
+
+int
+parseArgsExitCode(std::vector<std::string> args)
+{
+    std::vector<char *> argv;
+    std::string exe = "bench_test";
+    argv.push_back(exe.data());
+    for (std::string &a : args)
+        argv.push_back(a.data());
+    bench::parseArgs(static_cast<int>(argv.size()), argv.data(), 1.0);
+    return 0;
+}
+
+TEST(OnlyFilterDeath, UnknownBenchmarkExitsWithUsageError)
+{
+    EXPECT_EXIT(parseArgsExitCode({"--only", "BOGUS"}),
+                testing::ExitedWithCode(2), "unknown benchmark");
+}
+
+TEST(OnlyFilterDeath, UnknownSchemeExitsWithUsageError)
+{
+    EXPECT_EXIT(parseArgsExitCode({"--only", "GBC:Weird"}),
+                testing::ExitedWithCode(2), "scheme");
+}
+
+TEST(OnlyFilterDeath, UnknownFlagPrintsUsage)
+{
+    EXPECT_EXIT(parseArgsExitCode({"--frobnicate"}),
+                testing::ExitedWithCode(2), "usage");
+}
+
+TEST(OnlyFilter, ParseArgsAcceptsWellFormedFilter)
+{
+    std::vector<std::string> args = {"--only", "GBC:GLSC", "--seed",
+                                     "9"};
+    std::vector<char *> argv;
+    std::string exe = "bench_test";
+    argv.push_back(exe.data());
+    for (std::string &a : args)
+        argv.push_back(a.data());
+    bench::Options opt = bench::parseArgs(
+        static_cast<int>(argv.size()), argv.data(), 1.0);
+    EXPECT_EQ(opt.onlyBench, "GBC");
+    EXPECT_EQ(opt.onlyScheme, "GLSC");
+    EXPECT_EQ(opt.seed, 9u);
+}
+
+} // namespace
+} // namespace glsc

@@ -503,5 +503,102 @@ TEST(StatsConsistency, HotLinesMustBeSortedAndNonEmpty)
     EXPECT_EQ(s.consistencyError(), "") << s.consistencyError();
 }
 
+// ----- jsonQuote: hostile strings must survive the strict parser. --
+
+TEST(JsonQuote, EscapesControlCharactersAndSpecials)
+{
+    EXPECT_EQ(jsonQuote("plain"), "\"plain\"");
+    EXPECT_EQ(jsonQuote("a\"b\\c"), "\"a\\\"b\\\\c\"");
+    EXPECT_EQ(jsonQuote("tab\there"), "\"tab\\there\"");
+    EXPECT_EQ(jsonQuote("line1\nline2"), "\"line1\\nline2\"");
+    EXPECT_EQ(jsonQuote("cr\rlf"), "\"cr\\rlf\"");
+    // Raw control bytes below 0x20 without a short escape become
+    // \u00XX sequences, never raw bytes in the document.
+    EXPECT_EQ(jsonQuote(std::string("x\x01y", 3)), "\"x\\u0001y\"");
+    EXPECT_EQ(jsonQuote(std::string("nul\0!", 5)), "\"nul\\u0000!\"");
+}
+
+TEST(JsonQuote, HostileLivelockReportRoundTrips)
+{
+    // A report full of control characters must round-trip through the
+    // strict parser byte-for-byte: this is the failure mode jsonQuote
+    // exists for (a raw 0x01 inside a string is invalid JSON).
+    SystemStats s;
+    s.livelockDetected = true;
+    s.livelockReport = "thread 3:\n\tstuck\x01 at \"line\" 0x40\r";
+    std::string doc = statsToJson(s);
+    SystemStats parsed;
+    std::string err;
+    ASSERT_TRUE(statsFromJson(doc, parsed, &err)) << err;
+    EXPECT_EQ(parsed.livelockReport, s.livelockReport);
+    EXPECT_EQ(statsToJson(parsed), doc);
+}
+
+// ----- BENCH document: the artifact the campaign runner ingests. ---
+
+BenchDoc
+sampleBenchDoc()
+{
+    BenchDoc doc;
+    doc.artifact = "table4";
+    doc.scale = 0.25;
+    doc.seed = 7;
+    for (int dataset = 0; dataset < 2; ++dataset) {
+        BenchRun run;
+        run.bench = "GBC";
+        run.dataset = dataset;
+        run.scheme = dataset ? "GLSC" : "Base";
+        run.config = "glsc44";
+        run.stats = sampleStats();
+        doc.runs.push_back(run);
+    }
+    return doc;
+}
+
+TEST(BenchDocJson, RoundTripsByteIdentically)
+{
+    BenchDoc doc = sampleBenchDoc();
+    std::string json = benchDocToJson(doc);
+    BenchDoc parsed;
+    std::string err;
+    ASSERT_TRUE(benchDocFromJson(json, parsed, &err)) << err;
+    EXPECT_EQ(benchDocToJson(parsed), json);
+    ASSERT_EQ(parsed.runs.size(), 2u);
+    EXPECT_EQ(parsed.artifact, "table4");
+    EXPECT_DOUBLE_EQ(parsed.scale, 0.25);
+    EXPECT_EQ(parsed.seed, 7u);
+    EXPECT_EQ(parsed.runs[1].scheme, "GLSC");
+    EXPECT_EQ(statsToJson(parsed.runs[0].stats),
+              statsToJson(doc.runs[0].stats));
+}
+
+TEST(BenchDocJson, RejectsWrongSchemaVersion)
+{
+    std::string json = benchDocToJson(sampleBenchDoc());
+    std::size_t pos = json.find("\"benchSchema\": 4");
+    ASSERT_NE(pos, std::string::npos);
+    json.replace(pos, std::string("\"benchSchema\": 4").size(),
+                 "\"benchSchema\": 99");
+    BenchDoc parsed;
+    std::string err;
+    EXPECT_FALSE(benchDocFromJson(json, parsed, &err));
+    EXPECT_NE(err.find("benchSchema"), std::string::npos) << err;
+}
+
+TEST(BenchDocJson, RejectsUnknownFieldAndTruncation)
+{
+    std::string json = benchDocToJson(sampleBenchDoc());
+    std::string tampered = json;
+    std::size_t pos = tampered.find("\"artifact\"");
+    ASSERT_NE(pos, std::string::npos);
+    tampered.insert(pos, "\"bogusCounter\": 1, ");
+    BenchDoc parsed;
+    EXPECT_FALSE(benchDocFromJson(tampered, parsed, nullptr));
+    // A torn write (the campaign quarantine case) is never accepted.
+    EXPECT_FALSE(benchDocFromJson(json.substr(0, json.size() / 2),
+                                  parsed, nullptr));
+    EXPECT_FALSE(benchDocFromJson("", parsed, nullptr));
+}
+
 } // namespace
 } // namespace glsc

@@ -1,0 +1,213 @@
+#include "campaign/chaos.h"
+
+#include <signal.h>
+
+#include <cstdio>
+
+#include "campaign/supervisor.h"
+#include "obs/artifact.h"
+#include "obs/stats_json.h"
+#include "sim/random.h"
+
+namespace glsc {
+namespace campaign {
+
+ChaosBehavior
+chaosBehaviorFor(int runIndex)
+{
+    return static_cast<ChaosBehavior>(runIndex % kChaosBehaviorCount);
+}
+
+const char *
+chaosBehaviorName(ChaosBehavior b)
+{
+    switch (b) {
+    case ChaosBehavior::Ok: return "ok";
+    case ChaosBehavior::Flaky: return "flaky";
+    case ChaosBehavior::Crash: return "crash";
+    case ChaosBehavior::Hang: return "hang";
+    case ChaosBehavior::Corrupt: return "corrupt";
+    case ChaosBehavior::Torn: return "torn";
+    }
+    return "ok";
+}
+
+bool
+chaosBehaviorFromName(const std::string &name, ChaosBehavior &out)
+{
+    for (int i = 0; i < kChaosBehaviorCount; ++i) {
+        ChaosBehavior b = static_cast<ChaosBehavior>(i);
+        if (name == chaosBehaviorName(b)) {
+            out = b;
+            return true;
+        }
+    }
+    return false;
+}
+
+namespace {
+
+/**
+ * Seed-deterministic synthetic run statistics that satisfy every
+ * SystemStats::consistencyError relation, so a chaos campaign's merge
+ * stage exercises exactly the same ingestion path as a real sweep.
+ */
+SystemStats
+syntheticStats(const ChaosChildArgs &args, int dataset)
+{
+    std::uint64_t h = args.seed * 1000003ull +
+                      static_cast<std::uint64_t>(dataset) * 131ull;
+    for (char c : args.bench)
+        h = h * 31ull + static_cast<unsigned char>(c);
+    for (char c : args.scheme)
+        h = h * 31ull + static_cast<unsigned char>(c);
+    Rng rng(h);
+
+    SystemStats s;
+    s.cycles = 10000 + rng.below(5000);
+    s.l1Hits = 4000 + rng.below(1000);
+    s.l1Misses = 200 + rng.below(100);
+    s.l1Accesses = s.l1Hits + s.l1Misses;
+    s.l2Accesses = s.l1Misses;
+    s.l2Misses = s.l2Accesses / 2;
+    s.llOps = 100 + rng.below(50);
+    s.scAttempts = s.llOps;
+    s.scFailures = rng.below(s.scAttempts / 4 + 1);
+    if (args.scheme == "GLSC") {
+        s.gatherLinkInstrs = 50 + rng.below(20);
+        s.scatterCondInstrs = s.gatherLinkInstrs;
+        s.glscLaneAttempts = s.scatterCondInstrs * 4;
+        s.glscLaneFailAlias = rng.below(s.glscLaneAttempts / 8 + 1);
+        s.glscLaneFailLost = rng.below(s.glscLaneAttempts / 8 + 1);
+    }
+    s.threads.resize(4);
+    for (ThreadStats &t : s.threads) {
+        t.instructions = 2000 + rng.below(500);
+        t.memStallCycles = 500 + rng.below(200);
+        t.syncCycles = 100 + rng.below(50);
+        t.doneTick = s.cycles - rng.below(100);
+        t.atomicAttempts = 50 + rng.below(20);
+        t.atomicSuccesses = t.atomicAttempts - rng.below(10);
+        t.lastProgressTick = t.doneTick;
+        t.lastRetireTick = t.doneTick;
+        t.scalarFallbacks = rng.below(3);
+    }
+    return s;
+}
+
+int
+writeValidArtifact(const ChaosChildArgs &args)
+{
+    BenchDoc doc;
+    doc.artifact = "chaos";
+    doc.scale = 1.0;
+    doc.seed = args.seed;
+    for (int dataset = 0; dataset < 2; ++dataset) {
+        BenchRun run;
+        run.bench = args.bench;
+        run.dataset = dataset;
+        run.scheme = args.scheme;
+        run.config = "chaos16";
+        run.stats = syntheticStats(args, dataset);
+        doc.runs.push_back(std::move(run));
+    }
+    return atomicWriteFile(args.jsonPath, benchDocToJson(doc)) ? 0 : 4;
+}
+
+} // namespace
+
+int
+chaosChildMain(const ChaosChildArgs &args)
+{
+    switch (args.behavior) {
+    case ChaosBehavior::Ok:
+        return writeValidArtifact(args);
+
+    case ChaosBehavior::Flaky:
+        // Fails attempts 1..flakyAfter-1 with a distinctive code, then
+        // behaves like a healthy worker.
+        if (args.attempt < args.flakyAfter)
+            return 3;
+        return writeValidArtifact(args);
+
+    case ChaosBehavior::Crash:
+        return 42;
+
+    case ChaosBehavior::Hang:
+        // Ignore SIGTERM so the supervisor must escalate to SIGKILL;
+        // deterministic coverage of the full containment path.
+        signal(SIGTERM, SIG_IGN);
+        for (;;)
+            sleepMs(100);
+
+    case ChaosBehavior::Corrupt:
+        // Complete, atomic write of a document the strict parser must
+        // reject (wrong schema version): exercises quarantine without
+        // any torn-write ambiguity.
+        atomicWriteFile(args.jsonPath,
+                        "{\n  \"benchSchema\": 999,\n  \"artifact\": "
+                        "\"chaos\"\n}\n");
+        return 0;
+
+    case ChaosBehavior::Torn: {
+        // Simulates a worker that died mid-write WITHOUT the atomic
+        // temp+rename discipline: half a valid document lands at the
+        // final path.
+        BenchDoc doc;
+        doc.artifact = "chaos";
+        doc.seed = args.seed;
+        std::string full = benchDocToJson(doc);
+        std::string half = full.substr(0, full.size() / 2);
+        FILE *f = std::fopen(args.jsonPath.c_str(), "w");
+        if (f) {
+            std::fwrite(half.data(), 1, half.size(), f);
+            std::fclose(f);
+        }
+        return 0;
+    }
+    }
+    return 0;
+}
+
+ChaosExpect
+chaosExpected(const CampaignSpec &spec)
+{
+    ChaosExpect e;
+    const std::uint64_t n = expandMatrix(spec).size();
+    const std::uint64_t perGapRetries =
+        spec.maxAttempts > 0
+            ? static_cast<std::uint64_t>(spec.maxAttempts - 1)
+            : 0;
+    for (std::uint64_t i = 0; i < n; ++i) {
+        switch (chaosBehaviorFor(static_cast<int>(i))) {
+        case ChaosBehavior::Ok:
+            e.completed++;
+            break;
+        case ChaosBehavior::Flaky:
+            if (spec.chaosFlakyAfter <= spec.maxAttempts) {
+                e.completed++;
+                e.retries += static_cast<std::uint64_t>(
+                    spec.chaosFlakyAfter - 1);
+            } else {
+                e.gaps++;
+                e.retries += perGapRetries;
+            }
+            break;
+        case ChaosBehavior::Crash:
+        case ChaosBehavior::Hang:
+            e.gaps++;
+            e.retries += perGapRetries;
+            break;
+        case ChaosBehavior::Corrupt:
+        case ChaosBehavior::Torn:
+            // Exit 0 with a bad artifact: quarantined on the first
+            // attempt, never retried (retrying cannot fix bad data).
+            e.quarantined++;
+            break;
+        }
+    }
+    return e;
+}
+
+} // namespace campaign
+} // namespace glsc

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Chaos self-test children: seeded misbehaving workers that exercise
+ * the orchestrator's own robustness paths deterministically, the way
+ * PR 2's in-simulator fault injector validated the GLSC retry loops.
+ *
+ * In --chaos mode the orchestrator replaces every real bench child
+ * with `glsc-campaign --chaos-child <behaviour>`, where the behaviour
+ * is a pure function of the run's matrix index (round-robin through
+ * the six classes below).  The expected campaign accounting --
+ * completed / quarantined / gap / retry counts -- is therefore
+ * computable in closed form (chaosExpected), and --self-check
+ * verifies the orchestrator against it exactly.
+ */
+
+#ifndef GLSC_TOOLS_CAMPAIGN_CHAOS_H_
+#define GLSC_TOOLS_CAMPAIGN_CHAOS_H_
+
+#include <cstdint>
+#include <string>
+
+#include "campaign/spec.h"
+
+namespace glsc {
+namespace campaign {
+
+/** The six misbehaviour classes, in round-robin assignment order. */
+enum class ChaosBehavior
+{
+    Ok,      //!< healthy worker: valid artifact on the first attempt
+    Flaky,   //!< fails attempts < chaosFlakyAfter, then succeeds
+    Crash,   //!< exits nonzero immediately, every attempt
+    Hang,    //!< ignores SIGTERM and sleeps forever (forces SIGKILL)
+    Corrupt, //!< complete write of schema-invalid JSON, exit 0
+    Torn,    //!< non-atomic half-written artifact, exit 0
+};
+
+inline constexpr int kChaosBehaviorCount = 6;
+
+/** Behaviour of the run at matrix @p runIndex (round-robin). */
+ChaosBehavior chaosBehaviorFor(int runIndex);
+
+const char *chaosBehaviorName(ChaosBehavior b);
+
+/** Reverse lookup for the --chaos-child flag; false if unknown. */
+bool chaosBehaviorFromName(const std::string &name, ChaosBehavior &out);
+
+/** Flags a chaos child is launched with. */
+struct ChaosChildArgs
+{
+    ChaosBehavior behavior = ChaosBehavior::Ok;
+    int flakyAfter = 2;  //!< Flaky succeeds on this attempt (1-based)
+    int attempt = 1;     //!< which attempt this invocation is
+    std::string bench = "GBC";
+    std::string scheme = "Base";
+    std::uint64_t seed = 1;
+    std::string jsonPath;
+};
+
+/**
+ * Entry point of a chaos child process; returns its exit code (does
+ * not return for Hang).  Artifacts written by Ok/Flaky are valid
+ * BENCH documents with seed-deterministic synthetic statistics, so
+ * the merge stage produces reproducible per-cell mean/CI values.
+ */
+int chaosChildMain(const ChaosChildArgs &args);
+
+/** Closed-form expected accounting for a chaos campaign. */
+struct ChaosExpect
+{
+    std::uint64_t completed = 0;
+    std::uint64_t quarantined = 0;
+    std::uint64_t gaps = 0;
+    std::uint64_t retries = 0;
+};
+
+ChaosExpect chaosExpected(const CampaignSpec &spec);
+
+} // namespace campaign
+} // namespace glsc
+
+#endif // GLSC_TOOLS_CAMPAIGN_CHAOS_H_

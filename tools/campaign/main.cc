@@ -1,0 +1,306 @@
+/**
+ * @file
+ * glsc-campaign: fault-tolerant orchestrator for sharded simulation
+ * sweeps (tools/campaign/).  See DESIGN.md section 12 and
+ * EXPERIMENTS.md for recipes.
+ *
+ * Exit codes: 0 campaign ran (gaps/quarantines are reported in the
+ * summary, not fatal, unless --strict); 1 self-check, strict-mode, or
+ * baseline-gate failure; 2 usage error.
+ */
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "campaign/chaos.h"
+#include "campaign/merge.h"
+#include "campaign/orchestrator.h"
+#include "campaign/spec.h"
+#include "obs/artifact.h"
+#include "obs/stats_json.h"
+#include "sim/log.h"
+
+namespace {
+
+using namespace glsc;
+using namespace glsc::campaign;
+
+[[noreturn]] void
+usage(const char *argv0)
+{
+    std::fprintf(
+        stderr,
+        "usage: %s [options]\n"
+        "  --name NAME            campaign name (default: sweep)\n"
+        "  --runner PATH          bench binary to shard (required "
+        "unless --chaos)\n"
+        "  --benches A,B,...      benchmark axis (default: all)\n"
+        "  --schemes Base,GLSC    scheme axis\n"
+        "  --mems fixed,dram      main-memory backend axis\n"
+        "  --noc off,on           NoC transaction-layer axis\n"
+        "  --seeds 1,2,3          workload seed axis\n"
+        "  --scale F              workload scale per run\n"
+        "  --jobs N               worker-process slots (default 4)\n"
+        "  --max-attempts N       tries per run incl. first "
+        "(default 3)\n"
+        "  --timeout-ms N         per-attempt wall-clock cap\n"
+        "  --kill-grace-ms N      SIGTERM -> SIGKILL grace\n"
+        "  --out PATH             summary path (default "
+        "CAMPAIGN_<name>.json)\n"
+        "  --work-dir PATH        scratch dir (default "
+        "campaign_runs)\n"
+        "  --baseline PATH        prior summary for the perf gate\n"
+        "  --gate-pct F           mean-cycles regression tolerance\n"
+        "  --strict               exit 1 on any gap or quarantine\n"
+        "  --chaos                self-test with misbehaving "
+        "children\n"
+        "  --chaos-flaky-after N  flaky child succeeds on attempt N\n"
+        "  --self-check           assert exact chaos accounting\n",
+        argv0);
+    std::exit(2);
+}
+
+std::vector<std::string>
+splitCsv(const std::string &s)
+{
+    std::vector<std::string> out;
+    std::size_t start = 0;
+    while (start <= s.size()) {
+        std::size_t comma = s.find(',', start);
+        if (comma == std::string::npos) {
+            out.push_back(s.substr(start));
+            break;
+        }
+        out.push_back(s.substr(start, comma - start));
+        start = comma + 1;
+    }
+    return out;
+}
+
+std::string
+selfExePath(const char *argv0)
+{
+    char buf[4096];
+    ssize_t n = readlink("/proc/self/exe", buf, sizeof(buf) - 1);
+    if (n > 0) {
+        buf[n] = '\0';
+        return buf;
+    }
+    return argv0;
+}
+
+/** Dispatch for the hidden --chaos-child worker mode. */
+int
+chaosChildDispatch(int argc, char **argv)
+{
+    ChaosChildArgs args;
+    if (argc < 3 ||
+        !chaosBehaviorFromName(argv[2], args.behavior)) {
+        std::fprintf(stderr, "unknown chaos behaviour\n");
+        return 2;
+    }
+    for (int i = 3; i + 1 < argc; i += 2) {
+        std::string flag = argv[i];
+        std::string val = argv[i + 1];
+        if (flag == "--flaky-after")
+            args.flakyAfter = std::atoi(val.c_str());
+        else if (flag == "--attempt")
+            args.attempt = std::atoi(val.c_str());
+        else if (flag == "--bench")
+            args.bench = val;
+        else if (flag == "--scheme")
+            args.scheme = val;
+        else if (flag == "--seed")
+            args.seed = std::strtoull(val.c_str(), nullptr, 10);
+        else if (flag == "--json")
+            args.jsonPath = val;
+        else {
+            std::fprintf(stderr, "unknown chaos-child flag %s\n",
+                         flag.c_str());
+            return 2;
+        }
+    }
+    return chaosChildMain(args);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc >= 2 && std::strcmp(argv[1], "--chaos-child") == 0)
+        return chaosChildDispatch(argc, argv);
+
+    CampaignSpec spec;
+    for (int i = 1; i < argc; ++i) {
+        std::string flag = argv[i];
+        auto want = [&](const char *name) -> std::string {
+            if (flag != name)
+                return "";
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "%s needs a value\n", name);
+                usage(argv[0]);
+            }
+            return argv[++i];
+        };
+        std::string v;
+        if (!(v = want("--name")).empty())
+            spec.name = v;
+        else if (!(v = want("--runner")).empty())
+            spec.runner = v;
+        else if (!(v = want("--benches")).empty())
+            spec.benches = splitCsv(v);
+        else if (!(v = want("--schemes")).empty())
+            spec.schemes = splitCsv(v);
+        else if (!(v = want("--mems")).empty())
+            spec.mems = splitCsv(v);
+        else if (!(v = want("--noc")).empty()) {
+            spec.nocArmed.clear();
+            for (const std::string &tok : splitCsv(v)) {
+                if (tok == "off")
+                    spec.nocArmed.push_back(false);
+                else if (tok == "on")
+                    spec.nocArmed.push_back(true);
+                else {
+                    std::fprintf(stderr,
+                                 "--noc values are off/on, got %s\n",
+                                 tok.c_str());
+                    usage(argv[0]);
+                }
+            }
+        } else if (!(v = want("--seeds")).empty()) {
+            spec.seeds.clear();
+            for (const std::string &tok : splitCsv(v))
+                spec.seeds.push_back(
+                    std::strtoull(tok.c_str(), nullptr, 10));
+        } else if (!(v = want("--scale")).empty())
+            spec.scale = std::atof(v.c_str());
+        else if (!(v = want("--jobs")).empty())
+            spec.jobs = std::atoi(v.c_str());
+        else if (!(v = want("--max-attempts")).empty())
+            spec.maxAttempts = std::atoi(v.c_str());
+        else if (!(v = want("--timeout-ms")).empty())
+            spec.timeoutMs = std::strtoull(v.c_str(), nullptr, 10);
+        else if (!(v = want("--kill-grace-ms")).empty())
+            spec.killGraceMs = std::strtoull(v.c_str(), nullptr, 10);
+        else if (!(v = want("--out")).empty())
+            spec.outPath = v;
+        else if (!(v = want("--work-dir")).empty())
+            spec.workDir = v;
+        else if (!(v = want("--baseline")).empty())
+            spec.baseline = v;
+        else if (!(v = want("--gate-pct")).empty())
+            spec.gatePct = std::atof(v.c_str());
+        else if (!(v = want("--chaos-flaky-after")).empty())
+            spec.chaosFlakyAfter = std::atoi(v.c_str());
+        else if (flag == "--chaos")
+            spec.chaos = true;
+        else if (flag == "--self-check")
+            spec.selfCheck = true;
+        else if (flag == "--strict")
+            spec.strict = true;
+        else if (flag == "--help" || flag == "-h")
+            usage(argv[0]);
+        else {
+            std::fprintf(stderr, "unknown flag %s\n", flag.c_str());
+            usage(argv[0]);
+        }
+    }
+
+    if (spec.benches.empty() || spec.schemes.empty() ||
+        spec.mems.empty() || spec.nocArmed.empty() ||
+        spec.seeds.empty()) {
+        std::fprintf(stderr, "empty matrix axis\n");
+        usage(argv[0]);
+    }
+    if (!spec.chaos && spec.runner.empty()) {
+        std::fprintf(stderr,
+                     "--runner is required unless --chaos is set\n");
+        usage(argv[0]);
+    }
+    if (spec.selfCheck && !spec.chaos) {
+        std::fprintf(stderr, "--self-check requires --chaos\n");
+        usage(argv[0]);
+    }
+    if (spec.jobs < 1 || spec.maxAttempts < 1) {
+        std::fprintf(stderr, "--jobs and --max-attempts must be >= 1\n");
+        usage(argv[0]);
+    }
+
+    const std::string selfExe = selfExePath(argv[0]);
+    std::printf("campaign '%s': %s\n", spec.name.c_str(),
+                spec.summaryLine().c_str());
+
+    CampaignSummary summary = runCampaign(spec, selfExe);
+
+    const std::string outFile = spec.outFile();
+    if (!atomicWriteFile(outFile, campaignToJson(summary))) {
+        std::fprintf(stderr, "cannot write summary %s\n",
+                     outFile.c_str());
+        return 1;
+    }
+
+    std::printf("matrix %llu: completed %llu, quarantined %llu, "
+                "gaps %llu, retries %llu\n",
+                (unsigned long long)summary.matrixSize,
+                (unsigned long long)summary.completed,
+                (unsigned long long)summary.quarantined,
+                (unsigned long long)summary.gaps,
+                (unsigned long long)summary.retries);
+    for (const CampaignRunRecord &r : summary.runs) {
+        if (r.outcome == "completed")
+            continue;
+        std::printf("  %s %s/%s seed %llu (%s): %s\n    repro: %s\n",
+                    r.outcome.c_str(), r.bench.c_str(),
+                    r.scheme.c_str(), (unsigned long long)r.seed,
+                    r.mem.c_str(), r.detail.c_str(), r.repro.c_str());
+    }
+    std::printf("summary: %s (%zu cells)\n", outFile.c_str(),
+                summary.cells.size());
+
+    int rc = 0;
+    if (spec.selfCheck) {
+        ChaosExpect e = chaosExpected(spec);
+        if (summary.completed != e.completed ||
+            summary.quarantined != e.quarantined ||
+            summary.gaps != e.gaps || summary.retries != e.retries ||
+            summary.completed + summary.quarantined + summary.gaps !=
+                summary.matrixSize) {
+            std::fprintf(stderr,
+                         "SELF-CHECK FAILED: expected completed %llu "
+                         "quarantined %llu gaps %llu retries %llu\n",
+                         (unsigned long long)e.completed,
+                         (unsigned long long)e.quarantined,
+                         (unsigned long long)e.gaps,
+                         (unsigned long long)e.retries);
+            rc = 1;
+        } else {
+            std::printf("self-check passed: accounting matches the "
+                        "closed-form chaos expectation\n");
+        }
+    }
+    if (!spec.baseline.empty()) {
+        std::string report;
+        bool pass =
+            baselineGate(summary, spec.baseline, spec.gatePct, report);
+        if (!report.empty())
+            std::printf("baseline gate report:\n%s", report.c_str());
+        if (!pass) {
+            std::fprintf(stderr, "BASELINE GATE FAILED\n");
+            rc = 1;
+        }
+    }
+    if (spec.strict && (summary.gaps > 0 || summary.quarantined > 0)) {
+        std::fprintf(stderr,
+                     "STRICT MODE: %llu gaps, %llu quarantined\n",
+                     (unsigned long long)summary.gaps,
+                     (unsigned long long)summary.quarantined);
+        rc = 1;
+    }
+    return rc;
+}

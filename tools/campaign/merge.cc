@@ -1,0 +1,222 @@
+#include "campaign/merge.h"
+
+#include <cmath>
+
+#include "obs/artifact.h"
+#include "sim/log.h"
+
+namespace glsc {
+namespace campaign {
+
+std::vector<std::string>
+campaignMetricNames()
+{
+    return {"cycles",     "instructions",    "memStallCycles",
+            "l1Misses",   "l2Misses",        "glscLaneFailures",
+            "scalarFallbacks"};
+}
+
+namespace {
+
+/** Metric values of one run, aligned with campaignMetricNames(). */
+std::vector<double>
+metricValues(const SystemStats &s)
+{
+    return {static_cast<double>(s.cycles),
+            static_cast<double>(s.totalInstructions()),
+            static_cast<double>(s.totalMemStallCycles()),
+            static_cast<double>(s.l1Misses),
+            static_cast<double>(s.l2Misses),
+            static_cast<double>(s.glscLaneFailures()),
+            static_cast<double>(s.totalScalarFallbacks())};
+}
+
+} // namespace
+
+CampaignStat
+computeStat(const std::vector<double> &samples)
+{
+    CampaignStat st;
+    st.n = samples.size();
+    if (samples.empty())
+        return st;
+    double sum = 0.0;
+    st.min = samples[0];
+    st.max = samples[0];
+    for (double v : samples) {
+        sum += v;
+        if (v < st.min)
+            st.min = v;
+        if (v > st.max)
+            st.max = v;
+    }
+    st.mean = sum / static_cast<double>(st.n);
+    if (st.n >= 2) {
+        double ss = 0.0;
+        for (double v : samples)
+            ss += (v - st.mean) * (v - st.mean);
+        double sdev = std::sqrt(ss / static_cast<double>(st.n - 1));
+        st.ci95 = 1.96 * sdev / std::sqrt(static_cast<double>(st.n));
+    }
+    return st;
+}
+
+bool
+ingestArtifact(const std::string &path, std::vector<BenchRun> &out,
+               std::string &why)
+{
+    std::string json;
+    if (!readFile(path, json)) {
+        why = "artifact missing or unreadable: " + path;
+        return false;
+    }
+    BenchDoc doc;
+    std::string err;
+    if (!benchDocFromJson(json, doc, &err)) {
+        why = "artifact rejected by strict parser: " + err;
+        return false;
+    }
+    for (const BenchRun &run : doc.runs) {
+        std::string broken = run.stats.consistencyError();
+        if (!broken.empty()) {
+            why = strprintf("conservation violation in %s dataset %c "
+                            "(%s): %s",
+                            run.bench.c_str(), 'A' + run.dataset,
+                            run.scheme.c_str(), broken.c_str());
+            return false;
+        }
+    }
+    for (BenchRun &run : doc.runs)
+        out.push_back(std::move(run));
+    return true;
+}
+
+Merger::Group *
+Merger::findOrCreate(const BenchRun &run, const std::string &mem,
+                     bool nocArmed)
+{
+    for (Group &g : groups_) {
+        if (g.bench == run.bench && g.dataset == run.dataset &&
+            g.scheme == run.scheme && g.config == run.config &&
+            g.mem == mem && g.nocArmed == nocArmed)
+            return &g;
+    }
+    Group g;
+    g.bench = run.bench;
+    g.dataset = run.dataset;
+    g.scheme = run.scheme;
+    g.config = run.config;
+    g.mem = mem;
+    g.nocArmed = nocArmed;
+    g.samples.resize(campaignMetricNames().size());
+    groups_.push_back(std::move(g));
+    return &groups_.back();
+}
+
+void
+Merger::add(const BenchRun &run, const std::string &mem, bool nocArmed)
+{
+    Group *g = findOrCreate(run, mem, nocArmed);
+    std::vector<double> vals = metricValues(run.stats);
+    for (std::size_t m = 0; m < vals.size(); ++m)
+        g->samples[m].push_back(vals[m]);
+}
+
+std::vector<CampaignCell>
+Merger::cells() const
+{
+    std::vector<std::string> names = campaignMetricNames();
+    std::vector<CampaignCell> out;
+    for (const Group &g : groups_) {
+        CampaignCell c;
+        c.bench = g.bench;
+        c.dataset = g.dataset;
+        c.scheme = g.scheme;
+        c.config = g.config;
+        c.mem = g.mem;
+        c.nocArmed = g.nocArmed;
+        c.seeds = g.samples.empty() ? 0 : g.samples[0].size();
+        for (std::size_t m = 0; m < names.size(); ++m) {
+            CampaignMetric metric;
+            metric.name = names[m];
+            metric.stat = computeStat(g.samples[m]);
+            c.metrics.push_back(std::move(metric));
+        }
+        out.push_back(std::move(c));
+    }
+    return out;
+}
+
+namespace {
+
+const CampaignCell *
+findCell(const CampaignSummary &s, const CampaignCell &like)
+{
+    for (const CampaignCell &c : s.cells) {
+        if (c.bench == like.bench && c.dataset == like.dataset &&
+            c.scheme == like.scheme && c.config == like.config &&
+            c.mem == like.mem && c.nocArmed == like.nocArmed)
+            return &c;
+    }
+    return nullptr;
+}
+
+double
+meanCycles(const CampaignCell &c)
+{
+    for (const CampaignMetric &m : c.metrics)
+        if (m.name == "cycles")
+            return m.stat.mean;
+    return 0.0;
+}
+
+} // namespace
+
+bool
+baselineGate(const CampaignSummary &current,
+             const std::string &baselinePath, double gatePct,
+             std::string &report)
+{
+    std::string json;
+    if (!readFile(baselinePath, json)) {
+        report += "baseline unreadable: " + baselinePath + "\n";
+        return false;
+    }
+    CampaignSummary base;
+    std::string err;
+    if (!campaignFromJson(json, base, &err)) {
+        report += "baseline rejected by strict parser: " + err + "\n";
+        return false;
+    }
+    bool pass = true;
+    for (const CampaignCell &cur : current.cells) {
+        const CampaignCell *old = findCell(base, cur);
+        if (!old) {
+            report += strprintf("new cell (no baseline): %s/%c/%s/%s\n",
+                                cur.bench.c_str(), 'A' + cur.dataset,
+                                cur.scheme.c_str(), cur.config.c_str());
+            continue;
+        }
+        double was = meanCycles(*old);
+        double now = meanCycles(cur);
+        if (was > 0.0 && now > was * (1.0 + gatePct / 100.0)) {
+            pass = false;
+            report += strprintf(
+                "REGRESSION %s/%c/%s/%s: mean cycles %.0f -> %.0f "
+                "(+%.2f%%, gate %.2f%%)\n",
+                cur.bench.c_str(), 'A' + cur.dataset,
+                cur.scheme.c_str(), cur.config.c_str(), was, now,
+                (now / was - 1.0) * 100.0, gatePct);
+        }
+    }
+    for (const CampaignCell &old : base.cells) {
+        if (!findCell(current, old))
+            report += strprintf("cell lost vs baseline: %s/%c/%s/%s\n",
+                                old.bench.c_str(), 'A' + old.dataset,
+                                old.scheme.c_str(), old.config.c_str());
+    }
+    return pass;
+}
+
+} // namespace campaign
+} // namespace glsc

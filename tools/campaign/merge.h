@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Artifact ingestion and statistical merge for the campaign
+ * orchestrator.
+ *
+ * Every surviving child artifact goes through the same gauntlet: read
+ * the file, strict-parse it with benchDocFromJson (schema version,
+ * field set, and types all pinned), and re-check every embedded run's
+ * SystemStats::consistencyError conservation relations.  Anything
+ * that fails is quarantined -- the merge never averages over data it
+ * cannot vouch for.  Surviving runs are grouped into matrix cells
+ * (bench, dataset, scheme, config, mem, nocArmed) and each metric is
+ * aggregated across seeds into mean / CI95 / min / max.
+ */
+
+#ifndef GLSC_TOOLS_CAMPAIGN_MERGE_H_
+#define GLSC_TOOLS_CAMPAIGN_MERGE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/stats_json.h"
+
+namespace glsc {
+namespace campaign {
+
+/** Metric names every cell aggregates, in emission order. */
+std::vector<std::string> campaignMetricNames();
+
+/** Mean / CI95 / min / max of @p samples (ci95 = 0 when n < 2). */
+CampaignStat computeStat(const std::vector<double> &samples);
+
+/**
+ * Reads and strictly validates one child artifact.  On success
+ * appends the document's runs to @p out and returns true; on any
+ * failure (unreadable file, parse/schema error, conservation
+ * violation) returns false with the reason in @p why.
+ */
+bool ingestArtifact(const std::string &path, std::vector<BenchRun> &out,
+                    std::string &why);
+
+/** Accumulates validated runs and folds them into campaign cells. */
+class Merger
+{
+  public:
+    /** Adds one validated run under its (mem, nocArmed) axis point. */
+    void add(const BenchRun &run, const std::string &mem, bool nocArmed);
+
+    /**
+     * Aggregates everything added so far into cells, ordered by first
+     * insertion (i.e. matrix order, since the orchestrator ingests
+     * run records in index order).
+     */
+    std::vector<CampaignCell> cells() const;
+
+  private:
+    struct Group
+    {
+        std::string bench;
+        int dataset = 0;
+        std::string scheme;
+        std::string config;
+        std::string mem;
+        bool nocArmed = false;
+        /** samples[m][i] = metric m of the i-th surviving seed. */
+        std::vector<std::vector<double>> samples;
+    };
+
+    Group *findOrCreate(const BenchRun &run, const std::string &mem,
+                        bool nocArmed);
+
+    std::vector<Group> groups_;
+};
+
+/**
+ * Compares @p current against @p baselinePath (a prior campaign
+ * summary): for every cell present in both, the mean "cycles" metric
+ * may regress by at most @p gatePct percent.  Returns true when the
+ * gate passes; on failure returns false and appends one line per
+ * regressed cell to @p report.  Cells missing from either side are
+ * reported but do not fail the gate (a grown matrix is not a
+ * regression).
+ */
+bool baselineGate(const CampaignSummary &current,
+                  const std::string &baselinePath, double gatePct,
+                  std::string &report);
+
+} // namespace campaign
+} // namespace glsc
+
+#endif // GLSC_TOOLS_CAMPAIGN_MERGE_H_

@@ -1,0 +1,280 @@
+#include "campaign/orchestrator.h"
+
+#include <cstdio>
+#include <filesystem>
+
+#include "campaign/merge.h"
+#include "campaign/supervisor.h"
+#include "core/retry.h"
+#include "obs/artifact.h"
+#include "sim/log.h"
+#include "sim/random.h"
+
+namespace glsc {
+namespace campaign {
+namespace {
+
+namespace fs = std::filesystem;
+
+enum class RunState
+{
+    Pending,
+    WaitingRetry,
+    Running,
+    Done,
+};
+
+/** Orchestrator-side bookkeeping for one planned run. */
+struct RunTracker
+{
+    PlannedRun plan;
+    RunState state = RunState::Pending;
+    int attempts = 0;            //!< child invocations spent so far
+    std::uint64_t readyAtMs = 0; //!< WaitingRetry release time
+    std::string lastFailure;     //!< describe() of the last bad attempt
+    CampaignRunRecord record;
+    std::vector<BenchRun> runs;  //!< validated rows once completed
+};
+
+/** One busy worker slot. */
+struct Slot
+{
+    SupervisedChild child;
+    int runIdx = -1;
+    std::vector<std::string> argv;
+    std::string logPath;
+    std::string jsonPath;
+};
+
+std::string
+tailOfFile(const std::string &path, std::size_t maxBytes = 2048)
+{
+    std::string all;
+    if (!readFile(path, all))
+        return "";
+    if (all.size() <= maxBytes)
+        return all;
+    return "...\n" + all.substr(all.size() - maxBytes);
+}
+
+void
+writePostmortem(const std::string &dir, const RunTracker &t,
+                const CampaignSpec &spec, const std::string &argvLine,
+                const std::string &logPath)
+{
+    std::string body = strprintf(
+        "run: %s\noutcome: %s\nattempts: %d/%d\ndetail: %s\n"
+        "repro: %s\nseed: %llu\nlog tail:\n%s",
+        t.plan.id().c_str(), t.record.outcome.c_str(), t.attempts,
+        spec.maxAttempts, t.record.detail.c_str(), argvLine.c_str(),
+        (unsigned long long)t.plan.seed, tailOfFile(logPath).c_str());
+    atomicWriteFile(dir + "/" + t.plan.id() + ".txt", body);
+}
+
+} // namespace
+
+CampaignSummary
+runCampaign(const CampaignSpec &spec, const std::string &selfExe)
+{
+    const fs::path work(spec.workDir);
+    const std::string artifactsDir = (work / "artifacts").string();
+    const std::string logsDir = (work / "logs").string();
+    const std::string postmortemDir = (work / "postmortems").string();
+    const std::string quarantineDir = (work / "quarantine").string();
+    std::error_code ec;
+    for (const std::string &d :
+         {artifactsDir, logsDir, postmortemDir, quarantineDir})
+        fs::create_directories(d, ec);
+
+    std::vector<PlannedRun> matrix = expandMatrix(spec);
+    std::vector<RunTracker> trackers;
+    trackers.reserve(matrix.size());
+    for (PlannedRun &p : matrix) {
+        RunTracker t;
+        t.plan = p;
+        t.record.bench = p.bench;
+        t.record.scheme = p.scheme;
+        t.record.mem = p.mem;
+        t.record.nocArmed = p.nocArmed;
+        t.record.seed = p.seed;
+        trackers.push_back(std::move(t));
+    }
+
+    CampaignSummary summary;
+    summary.campaign = spec.name;
+    summary.spec = spec.summaryLine();
+    summary.matrixSize = trackers.size();
+
+    // Backoff jitter source: seeded from the policy so reruns of the
+    // same campaign schedule retries identically.
+    Rng retryRng(spec.retry.seed ^ 0xCAFEF00Dull);
+
+    std::vector<Slot> slots(
+        static_cast<std::size_t>(spec.jobs > 0 ? spec.jobs : 1));
+    std::size_t remaining = trackers.size();
+
+    auto finishRun = [&](RunTracker &t, const std::string &outcome,
+                         const std::string &detail,
+                         const std::string &argvLine,
+                         const std::string &logPath) {
+        t.state = RunState::Done;
+        t.record.attempts = t.attempts;
+        t.record.outcome = outcome;
+        t.record.detail = detail;
+        t.record.repro = argvLine;
+        if (outcome != "completed")
+            writePostmortem(postmortemDir, t, spec, argvLine, logPath);
+        remaining--;
+    };
+
+    auto launch = [&](Slot &slot, int runIdx) -> bool {
+        RunTracker &t = trackers[static_cast<std::size_t>(runIdx)];
+        t.attempts++;
+        t.state = RunState::Running;
+        slot.runIdx = runIdx;
+        slot.jsonPath = artifactsDir + "/" + t.plan.id() + ".json";
+        slot.logPath = logsDir + "/" +
+                       strprintf("%s_a%d.log", t.plan.id().c_str(),
+                                 t.attempts);
+        // A fresh attempt must not inherit a stale artifact from a
+        // previous one.
+        fs::remove(slot.jsonPath, ec);
+        slot.argv =
+            runArgv(spec, selfExe, t.plan, slot.jsonPath, t.attempts);
+        if (!slot.child.start(slot.argv, slot.logPath, spec.timeoutMs,
+                              spec.killGraceMs)) {
+            // fork() itself failed: count the attempt as a failure and
+            // let the normal retry path handle it.
+            t.lastFailure = "spawn failed";
+            slot.runIdx = -1;
+            if (t.attempts >= spec.maxAttempts) {
+                finishRun(t, "gap", "spawn failed",
+                          argvToString(slot.argv), slot.logPath);
+            } else {
+                summary.retries++;
+                t.state = RunState::WaitingRetry;
+                t.readyAtMs = monotonicMs() +
+                              retryDelayFor(spec.retry,
+                                            BackoffDomain::Scalar,
+                                            t.plan.index,
+                                            (std::uint64_t)t.attempts,
+                                            retryRng);
+            }
+            return false;
+        }
+        return true;
+    };
+
+    auto handleFinished = [&](Slot &slot) {
+        RunTracker &t =
+            trackers[static_cast<std::size_t>(slot.runIdx)];
+        const ChildOutcome &oc = slot.child.outcome();
+        const std::string argvLine = argvToString(slot.argv);
+        slot.runIdx = -1;
+
+        if (oc.ok()) {
+            std::vector<BenchRun> rows;
+            std::string why;
+            bool haveFile = fs::exists(slot.jsonPath, ec);
+            if (haveFile && ingestArtifact(slot.jsonPath, rows, why)) {
+                t.runs = std::move(rows);
+                finishRun(t, "completed", "", argvLine, slot.logPath);
+                return;
+            }
+            if (haveFile) {
+                // Complete exit, bad data: quarantine, never retry.
+                fs::rename(slot.jsonPath,
+                           quarantineDir + "/" + t.plan.id() + ".json",
+                           ec);
+                finishRun(t, "quarantined", why, argvLine,
+                          slot.logPath);
+                return;
+            }
+            // Exit 0 without an artifact is still a failed attempt.
+            t.lastFailure = "exit 0 but no artifact written";
+        } else {
+            t.lastFailure = oc.describe(spec.timeoutMs);
+        }
+
+        if (t.attempts >= spec.maxAttempts) {
+            finishRun(t, "gap",
+                      strprintf("attempts exhausted; last: %s",
+                                t.lastFailure.c_str()),
+                      argvLine, slot.logPath);
+            return;
+        }
+        summary.retries++;
+        t.state = RunState::WaitingRetry;
+        t.readyAtMs =
+            monotonicMs() +
+            retryDelayFor(spec.retry, BackoffDomain::Scalar,
+                          t.plan.index, (std::uint64_t)t.attempts,
+                          retryRng);
+    };
+
+    std::size_t nextPending = 0;
+    while (remaining > 0) {
+        // Reap / supervise busy slots.
+        bool progressed = false;
+        for (Slot &slot : slots) {
+            if (slot.runIdx < 0)
+                continue;
+            if (slot.child.poll()) {
+                handleFinished(slot);
+                progressed = true;
+            }
+        }
+
+        // Fill free slots: first-time runs in matrix order, then any
+        // retry whose backoff expired.
+        const std::uint64_t now = monotonicMs();
+        for (Slot &slot : slots) {
+            if (slot.runIdx >= 0)
+                continue;
+            int pick = -1;
+            while (nextPending < trackers.size() &&
+                   trackers[nextPending].state != RunState::Pending)
+                nextPending++;
+            if (nextPending < trackers.size()) {
+                pick = static_cast<int>(nextPending);
+            } else {
+                for (std::size_t i = 0; i < trackers.size(); ++i) {
+                    if (trackers[i].state == RunState::WaitingRetry &&
+                        trackers[i].readyAtMs <= now) {
+                        pick = static_cast<int>(i);
+                        break;
+                    }
+                }
+            }
+            if (pick < 0)
+                break;
+            if (launch(slot, pick))
+                progressed = true;
+        }
+
+        if (remaining > 0 && !progressed)
+            sleepMs(5);
+    }
+
+    // Fold the surviving data, in matrix order, into summary records
+    // and merged cells -- deterministic regardless of completion
+    // interleaving.
+    Merger merger;
+    for (RunTracker &t : trackers) {
+        summary.runs.push_back(t.record);
+        if (t.record.outcome == "completed") {
+            summary.completed++;
+            for (const BenchRun &run : t.runs)
+                merger.add(run, t.plan.mem, t.plan.nocArmed);
+        } else if (t.record.outcome == "quarantined") {
+            summary.quarantined++;
+        } else {
+            summary.gaps++;
+        }
+    }
+    summary.cells = merger.cells();
+    return summary;
+}
+
+} // namespace campaign
+} // namespace glsc

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * The campaign orchestrator: a fault-tolerant supervisor for sharded
+ * simulation sweeps.
+ *
+ * runCampaign expands the spec into its run matrix, then drives a
+ * fixed pool of worker slots through a deterministic scheduling loop:
+ *
+ *   Pending -> Running(attempt k) -> Completed
+ *                                 -> WaitingRetry -> Running(k+1)
+ *                                 -> Quarantined
+ *                                 -> Gap
+ *
+ * Transition policy:
+ *  - A child that exits nonzero, dies to a signal, or blows its
+ *    wall-clock deadline is retried (capped-exponential backoff with
+ *    jitter, reusing the simulator's own RetryPolicy machinery in
+ *    milliseconds) up to maxAttempts; exhausting attempts records a
+ *    GAP with a one-command repro line and a post-mortem file.
+ *  - A child that exits 0 but whose artifact is missing is also
+ *    retried: a clean exit without data is a failure.
+ *  - A child that exits 0 with an artifact the strict parser or the
+ *    conservation checker rejects is QUARANTINED immediately -- no
+ *    retry, because re-running cannot launder bad data -- and the
+ *    offending file is moved to workDir/quarantine/ for forensics.
+ *
+ * Accounting invariant (pinned by the chaos self-test):
+ *   completed + quarantined + gaps == matrixSize.
+ */
+
+#ifndef GLSC_TOOLS_CAMPAIGN_ORCHESTRATOR_H_
+#define GLSC_TOOLS_CAMPAIGN_ORCHESTRATOR_H_
+
+#include <string>
+
+#include "campaign/spec.h"
+#include "obs/stats_json.h"
+
+namespace glsc {
+namespace campaign {
+
+/**
+ * Runs the whole campaign described by @p spec, sharding children
+ * across spec.jobs worker slots.  @p selfExe is this binary's own
+ * path (used to spawn --chaos-child workers in chaos mode).  Returns
+ * the merged summary; the caller decides exit status (self-check,
+ * strict mode, baseline gate) and writes the summary artifact.
+ */
+CampaignSummary runCampaign(const CampaignSpec &spec,
+                            const std::string &selfExe);
+
+} // namespace campaign
+} // namespace glsc
+
+#endif // GLSC_TOOLS_CAMPAIGN_ORCHESTRATOR_H_

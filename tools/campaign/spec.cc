@@ -1,0 +1,133 @@
+#include "campaign/spec.h"
+
+#include "campaign/chaos.h"
+#include "sim/log.h"
+
+namespace glsc {
+namespace campaign {
+
+std::string
+CampaignSpec::summaryLine() const
+{
+    auto join = [](const std::vector<std::string> &v) {
+        std::string out;
+        for (const std::string &s : v)
+            out += out.empty() ? s : "," + s;
+        return out;
+    };
+    std::string noc;
+    for (bool b : nocArmed)
+        noc += (noc.empty() ? "" : ",") + std::string(b ? "on" : "off");
+    std::string seedList;
+    for (std::uint64_t s : seeds)
+        seedList += (seedList.empty() ? "" : ",") +
+                    strprintf("%llu", (unsigned long long)s);
+    return strprintf(
+        "benches=%s schemes=%s mems=%s noc=%s seeds=%s scale=%g "
+        "attempts=%d timeoutMs=%llu%s",
+        join(benches).c_str(), join(schemes).c_str(), join(mems).c_str(),
+        noc.c_str(), seedList.c_str(), scale, maxAttempts,
+        (unsigned long long)timeoutMs, chaos ? " chaos" : "");
+}
+
+std::string
+CampaignSpec::outFile() const
+{
+    return outPath.empty() ? "CAMPAIGN_" + name + ".json" : outPath;
+}
+
+std::string
+PlannedRun::id() const
+{
+    return strprintf("%03d_%s_%s_%s_noc%d_s%llu", index, bench.c_str(),
+                     scheme.c_str(), mem.c_str(), nocArmed ? 1 : 0,
+                     (unsigned long long)seed);
+}
+
+std::vector<PlannedRun>
+expandMatrix(const CampaignSpec &spec)
+{
+    std::vector<PlannedRun> runs;
+    for (const std::string &bench : spec.benches) {
+        for (const std::string &scheme : spec.schemes) {
+            for (const std::string &mem : spec.mems) {
+                for (bool noc : spec.nocArmed) {
+                    for (std::uint64_t seed : spec.seeds) {
+                        PlannedRun r;
+                        r.index = static_cast<int>(runs.size());
+                        r.bench = bench;
+                        r.scheme = scheme;
+                        r.mem = mem;
+                        r.nocArmed = noc;
+                        r.seed = seed;
+                        runs.push_back(std::move(r));
+                    }
+                }
+            }
+        }
+    }
+    return runs;
+}
+
+std::vector<std::string>
+runArgv(const CampaignSpec &spec, const std::string &selfExe,
+        const PlannedRun &run, const std::string &jsonPath, int attempt)
+{
+    std::vector<std::string> argv;
+    if (spec.chaos) {
+        ChaosBehavior b = chaosBehaviorFor(run.index);
+        argv = {selfExe,
+                "--chaos-child",
+                chaosBehaviorName(b),
+                "--flaky-after",
+                strprintf("%d", spec.chaosFlakyAfter),
+                "--attempt",
+                strprintf("%d", attempt),
+                "--bench",
+                run.bench,
+                "--scheme",
+                run.scheme,
+                "--seed",
+                strprintf("%llu", (unsigned long long)run.seed),
+                "--json",
+                jsonPath};
+        return argv;
+    }
+    argv = {spec.runner,
+            "--only",
+            run.bench + ":" + run.scheme,
+            "--seed",
+            strprintf("%llu", (unsigned long long)run.seed),
+            "--scale",
+            strprintf("%.17g", spec.scale),
+            "--mem",
+            run.mem,
+            "--json",
+            jsonPath};
+    if (run.nocArmed)
+        argv.push_back("--noc-armed");
+    return argv;
+}
+
+std::string
+argvToString(const std::vector<std::string> &argv)
+{
+    std::string out;
+    for (const std::string &a : argv) {
+        if (!out.empty())
+            out += ' ';
+        if (a.find_first_of(" \t\"'\\") == std::string::npos) {
+            out += a;
+        } else {
+            out += '\'';
+            for (char c : a)
+                out += c == '\'' ? std::string("'\\''")
+                                 : std::string(1, c);
+            out += '\'';
+        }
+    }
+    return out;
+}
+
+} // namespace campaign
+} // namespace glsc

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Declarative sweep specification for the campaign orchestrator.
+ *
+ * A campaign is the cross product of the bench-harness axes the
+ * repository already exposes per binary -- benchmark x scheme x
+ * main-memory backend x NoC arming x workload seed -- expanded into a
+ * deterministic, ordered run matrix.  Each PlannedRun is one child
+ * process invocation of the runner binary (sharded via the harness's
+ * --only cell filter), or of a seeded chaos child when the campaign
+ * runs in --chaos self-test mode.
+ */
+
+#ifndef GLSC_TOOLS_CAMPAIGN_SPEC_H_
+#define GLSC_TOOLS_CAMPAIGN_SPEC_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "robust/robust_config.h"
+
+namespace glsc {
+namespace campaign {
+
+/** Everything that defines a campaign, all deterministic. */
+struct CampaignSpec
+{
+    std::string name = "sweep";
+    /** Bench binary to shard (required unless chaos is set). */
+    std::string runner;
+
+    // Matrix axes.
+    std::vector<std::string> benches = {"GBC", "FS",  "GPS", "HIP",
+                                        "SMC", "MFP", "TMS"};
+    std::vector<std::string> schemes = {"Base", "GLSC"};
+    std::vector<std::string> mems = {"fixed"};
+    std::vector<bool> nocArmed = {false};
+    std::vector<std::uint64_t> seeds = {1};
+    double scale = 0.05;
+
+    // Supervision policy.
+    int jobs = 4;              //!< worker-process slots
+    int maxAttempts = 3;       //!< first try + retries per run
+    std::uint64_t timeoutMs = 120000; //!< per-attempt wall-clock cap
+    std::uint64_t killGraceMs = 2000; //!< SIGTERM -> SIGKILL grace
+    /**
+     * Host-side retry backoff between attempts, in MILLISECONDS: the
+     * same RetryPolicy shape the simulated retry loops use
+     * (src/core/retry.h), evaluated through retryDelayFor with the
+     * run index as the "thread id" so concurrent retries de-phase.
+     */
+    RetryPolicy retry = {RetryKind::CappedExponential, 50, 2000, 0,
+                         0xCA3Full};
+
+    // Outputs.
+    std::string outPath;       //!< "" = CAMPAIGN_<name>.json
+    std::string workDir = "campaign_runs";
+
+    // Optional perf-regression gate.
+    std::string baseline;      //!< prior CAMPAIGN_*.json ("" = off)
+    double gatePct = 5.0;      //!< mean-cycles regression tolerance
+
+    // Chaos self-test mode.
+    bool chaos = false;
+    int chaosFlakyAfter = 2;   //!< flaky child succeeds on this attempt
+    bool selfCheck = false;    //!< assert exact chaos accounting
+    bool strict = false;       //!< exit nonzero on any gap/quarantine
+
+    /** One-line human echo, embedded in the summary "spec" field. */
+    std::string summaryLine() const;
+
+    /** Resolved summary path (outPath or CAMPAIGN_<name>.json). */
+    std::string outFile() const;
+};
+
+/** One planned child invocation of the run matrix. */
+struct PlannedRun
+{
+    int index = 0; //!< position in expansion order (stable)
+    std::string bench;
+    std::string scheme;
+    std::string mem;
+    bool nocArmed = false;
+    std::uint64_t seed = 1;
+
+    /** Filesystem-safe unique id, e.g. "003_GBC_GLSC_fixed_noc0_s2". */
+    std::string id() const;
+};
+
+/**
+ * Expands the spec axes into the ordered run matrix:
+ * bench-major, then scheme, mem, nocArmed, seed.  The order -- and
+ * therefore each run's index -- is a pure function of the spec, which
+ * is what makes the chaos behaviour assignment reproducible.
+ */
+std::vector<PlannedRun> expandMatrix(const CampaignSpec &spec);
+
+/**
+ * Child argv for @p run's attempt @p attempt (1-based): the runner
+ * binary with --only/--seed/--scale/--mem/--json in real mode, or
+ * @p selfExe with --chaos-child in chaos mode.
+ */
+std::vector<std::string> runArgv(const CampaignSpec &spec,
+                                 const std::string &selfExe,
+                                 const PlannedRun &run,
+                                 const std::string &jsonPath,
+                                 int attempt);
+
+/** Single-line shell-quoted repro string for @p argv. */
+std::string argvToString(const std::vector<std::string> &argv);
+
+} // namespace campaign
+} // namespace glsc
+
+#endif // GLSC_TOOLS_CAMPAIGN_SPEC_H_

@@ -1,0 +1,130 @@
+#include "campaign/supervisor.h"
+
+#include <fcntl.h>
+#include <signal.h>
+#include <sys/wait.h>
+#include <time.h>
+#include <unistd.h>
+
+#include <cerrno>
+
+#include "sim/log.h"
+
+namespace glsc {
+namespace campaign {
+
+std::uint64_t
+monotonicMs()
+{
+    struct timespec ts;
+    clock_gettime(CLOCK_MONOTONIC, &ts);
+    return static_cast<std::uint64_t>(ts.tv_sec) * 1000ull +
+           static_cast<std::uint64_t>(ts.tv_nsec) / 1000000ull;
+}
+
+void
+sleepMs(std::uint64_t ms)
+{
+    struct timespec ts;
+    ts.tv_sec = static_cast<time_t>(ms / 1000);
+    ts.tv_nsec = static_cast<long>((ms % 1000) * 1000000ull);
+    nanosleep(&ts, nullptr);
+}
+
+std::string
+ChildOutcome::describe(std::uint64_t timeoutMs) const
+{
+    if (timedOut) {
+        return strprintf("timeout after %llu ms%s",
+                         (unsigned long long)timeoutMs,
+                         escalated ? " (SIGTERM ignored, SIGKILL)"
+                                   : " (SIGTERM)");
+    }
+    if (termSignal != 0)
+        return strprintf("killed by signal %d", termSignal);
+    return strprintf("exit code %d", exitCode);
+}
+
+bool
+SupervisedChild::start(const std::vector<std::string> &argv,
+                       const std::string &logPath,
+                       std::uint64_t timeoutMs,
+                       std::uint64_t killGraceMs)
+{
+    std::vector<char *> cargv;
+    cargv.reserve(argv.size() + 1);
+    for (const std::string &a : argv)
+        cargv.push_back(const_cast<char *>(a.c_str()));
+    cargv.push_back(nullptr);
+
+    pid_t pid = fork();
+    if (pid < 0)
+        return false;
+    if (pid == 0) {
+        // Child: capture stdout+stderr in the per-attempt log so a
+        // post-mortem can quote the worker's last words.
+        int fd = open(logPath.c_str(), O_WRONLY | O_CREAT | O_TRUNC,
+                      0644);
+        if (fd >= 0) {
+            dup2(fd, STDOUT_FILENO);
+            dup2(fd, STDERR_FILENO);
+            if (fd > STDERR_FILENO)
+                close(fd);
+        }
+        execv(cargv[0], cargv.data());
+        // exec failed: 127 mirrors the shell's command-not-found.
+        _exit(127);
+    }
+    pid_ = pid;
+    startMs_ = monotonicMs();
+    deadlineMs_ = startMs_ + timeoutMs;
+    killAtMs_ = deadlineMs_ + killGraceMs;
+    termSent_ = false;
+    timedOut_ = false;
+    escalated_ = false;
+    outcome_ = ChildOutcome{};
+    return true;
+}
+
+bool
+SupervisedChild::poll()
+{
+    if (pid_ <= 0)
+        return true;
+    int status = 0;
+    pid_t r = waitpid(pid_, &status, WNOHANG);
+    if (r == pid_) {
+        outcome_.wallMs = monotonicMs() - startMs_;
+        outcome_.timedOut = timedOut_;
+        outcome_.escalated = escalated_;
+        if (WIFEXITED(status)) {
+            outcome_.exited = true;
+            outcome_.exitCode = WEXITSTATUS(status);
+        } else if (WIFSIGNALED(status)) {
+            outcome_.termSignal = WTERMSIG(status);
+        }
+        pid_ = -1;
+        return true;
+    }
+    if (r < 0 && errno == ECHILD) {
+        // Should not happen (we only wait on our own children), but
+        // never spin forever on a lost child.
+        outcome_.termSignal = SIGKILL;
+        outcome_.timedOut = timedOut_;
+        pid_ = -1;
+        return true;
+    }
+    const std::uint64_t now = monotonicMs();
+    if (!termSent_ && now >= deadlineMs_) {
+        timedOut_ = true;
+        termSent_ = true;
+        kill(pid_, SIGTERM);
+    } else if (termSent_ && !escalated_ && now >= killAtMs_) {
+        escalated_ = true;
+        kill(pid_, SIGKILL);
+    }
+    return false;
+}
+
+} // namespace campaign
+} // namespace glsc

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Host-side child-process supervision primitives.
+ *
+ * The campaign orchestrator treats every simulation run as an
+ * unreliable worker: it may crash, hang, ignore SIGTERM, or die
+ * mid-write.  SupervisedChild wraps one child process with the full
+ * containment toolkit -- wall-clock deadline, SIGTERM with a kill
+ * grace window, SIGKILL escalation, and exit-status attribution --
+ * driven by the orchestrator's polling loop (no signals or threads in
+ * the parent, so supervision stays deterministic and debuggable).
+ */
+
+#ifndef GLSC_TOOLS_CAMPAIGN_SUPERVISOR_H_
+#define GLSC_TOOLS_CAMPAIGN_SUPERVISOR_H_
+
+#include <sys/types.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace glsc {
+namespace campaign {
+
+/** Milliseconds on the monotonic clock. */
+std::uint64_t monotonicMs();
+
+void sleepMs(std::uint64_t ms);
+
+/** Final, attributed state of one reaped child. */
+struct ChildOutcome
+{
+    bool exited = false;    //!< normal _exit; exitCode valid
+    int exitCode = -1;
+    int termSignal = 0;     //!< nonzero when the child died to a signal
+    bool timedOut = false;  //!< the supervisor's deadline fired
+    bool escalated = false; //!< SIGTERM grace expired, SIGKILL sent
+    std::uint64_t wallMs = 0;
+
+    bool ok() const { return exited && exitCode == 0 && !timedOut; }
+
+    /**
+     * Deterministic one-line description ("exit code 42", "timeout
+     * after 1000 ms (SIGTERM ignored, SIGKILL)").  Wall-clock time is
+     * deliberately excluded so campaign summaries are byte-stable.
+     */
+    std::string describe(std::uint64_t timeoutMs) const;
+};
+
+/** One supervised child process. */
+class SupervisedChild
+{
+  public:
+    /**
+     * Forks and execs @p argv with stdout+stderr redirected
+     * (truncating) to @p logPath.  Returns false if the child could
+     * not be spawned.
+     */
+    bool start(const std::vector<std::string> &argv,
+               const std::string &logPath, std::uint64_t timeoutMs,
+               std::uint64_t killGraceMs);
+
+    /**
+     * Non-blocking progress check: reaps the child if it finished,
+     * enforces the deadline (SIGTERM, then SIGKILL after the grace
+     * window).  Returns true once the child reached a final state;
+     * outcome() is then valid.
+     */
+    bool poll();
+
+    bool running() const { return pid_ > 0; }
+    const ChildOutcome &outcome() const { return outcome_; }
+
+  private:
+    pid_t pid_ = -1;
+    std::uint64_t startMs_ = 0;
+    std::uint64_t deadlineMs_ = 0;
+    std::uint64_t killAtMs_ = 0;
+    bool termSent_ = false;
+    bool timedOut_ = false;
+    bool escalated_ = false;
+    ChildOutcome outcome_;
+};
+
+} // namespace campaign
+} // namespace glsc
+
+#endif // GLSC_TOOLS_CAMPAIGN_SUPERVISOR_H_
