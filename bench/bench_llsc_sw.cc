@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Hardware GLSC vs. the software multi-word LL/SC construction
+ * (kernels/llsc_sw.h): the same multi-word atomic fetch-and-increment
+ * contract implemented with vgatherlink/vscattercond (Scheme::Glsc)
+ * and with the Blelloch--Wei seqlock on scalar ll/sc (Scheme::Base).
+ *
+ * The printed table reports cycles per cell and the hardware speedup
+ * per configuration; both cells verify multi-word atomicity (zero
+ * torn snapshots) and update conservation before being reported.
+ * Rows scale with threads because the software path serializes every
+ * update through one version word per object while GLSC contends
+ * only on the line reservations.
+ *
+ * The bench name for --only / campaign sharding is "LLSC" (not a
+ * registry kernel: the golden corpus pins the registry's exact
+ * membership, so this matrix lives in its own binary).
+ */
+
+#include <cstdio>
+
+#include "harness.h"
+#include "kernels/llsc_sw.h"
+
+using namespace glsc;
+using namespace glsc::bench;
+
+namespace {
+
+constexpr const char *kBenchName = "LLSC";
+
+struct Row
+{
+    const char *label;
+    int cores;
+    int smt;
+};
+
+constexpr Row kRows[] = {
+    {"1 core, 1 thread ", 1, 1},
+    {"4 cores, 1 thread", 4, 1},
+    {"4 cores, 2 SMT   ", 4, 2},
+    {"4 cores, 4 SMT   ", 4, 4},
+};
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Options opt = parseArgs(argc, argv, 1.0, {kBenchName});
+
+    printHeader("Software multi-word LL/SC vs hardware GLSC");
+    std::printf("%-18s %14s %14s %9s\n", "config", "sw ll/sc (cyc)",
+                "hw GLSC (cyc)", "speedup");
+
+    for (const Row &row : kRows) {
+        SystemConfig cfg =
+            SystemConfig::make(row.cores, row.smt, 4);
+        RunResult sw = runCheckedWith(
+            kBenchName, 0, Scheme::Base, cfg, opt,
+            [&](const SystemConfig &runCfg) {
+                return runLlscSwBench(Scheme::Base, runCfg, opt.scale,
+                                      opt.seed);
+            });
+        RunResult hw = runCheckedWith(
+            kBenchName, 0, Scheme::Glsc, cfg, opt,
+            [&](const SystemConfig &runCfg) {
+                return runLlscSwBench(Scheme::Glsc, runCfg, opt.scale,
+                                      opt.seed);
+            });
+        const bool both =
+            sw.stats.cycles != 0 && hw.stats.cycles != 0;
+        std::printf("%-18s %14llu %14llu %8.2fx\n", row.label,
+                    (unsigned long long)sw.stats.cycles,
+                    (unsigned long long)hw.stats.cycles,
+                    both ? (double)sw.stats.cycles /
+                               (double)hw.stats.cycles
+                         : 0.0);
+    }
+    std::printf("\n(cells skipped by --only report 0 cycles; read the "
+                "--json artifact, not derived columns)\n");
+
+    writeArtifacts(opt, "LLSC_SW");
+    return 0;
+}

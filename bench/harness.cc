@@ -46,6 +46,7 @@ usage(const char *argv0)
                  "usage: %s [--scale f] [--seed n] [--quick]"
                  " [--json path] [--trace path] [--noc-armed]"
                  " [--analyze path] [--mem fixed|dram]"
+                 " [--consistency sc|tso|weak]"
                  " [--only bench[:scheme]]\n",
                  argv0);
     std::exit(2);
@@ -54,7 +55,8 @@ usage(const char *argv0)
 } // namespace
 
 Options
-parseArgs(int argc, char **argv, double default_scale)
+parseArgs(int argc, char **argv, double default_scale,
+          const std::vector<std::string> &extra_benches)
 {
     Options opt;
     opt.scale = default_scale;
@@ -78,6 +80,11 @@ parseArgs(int argc, char **argv, double default_scale)
             opt.mem = argv[++i];
         } else if (std::strncmp(argv[i], "--mem=", 6) == 0) {
             opt.mem = argv[i] + 6;
+        } else if (std::strcmp(argv[i], "--consistency") == 0 &&
+                   i + 1 < argc) {
+            opt.consistency = argv[++i];
+        } else if (std::strncmp(argv[i], "--consistency=", 14) == 0) {
+            opt.consistency = argv[i] + 14;
         } else if (std::strcmp(argv[i], "--only") == 0 && i + 1 < argc) {
             std::string cell = argv[++i];
             std::size_t colon = cell.find(':');
@@ -93,12 +100,26 @@ parseArgs(int argc, char **argv, double default_scale)
                      " \"%s\"\n", opt.mem.c_str());
         std::exit(2);
     }
+    if (!opt.consistency.empty()) {
+        ConsistencyMode parsed;
+        if (!consistencyModeFromName(opt.consistency, &parsed)) {
+            std::fprintf(stderr,
+                         "--consistency must be \"sc\", \"tso\" or "
+                         "\"weak\", got \"%s\"\n",
+                         opt.consistency.c_str());
+            std::exit(2);
+        }
+    }
     if (!opt.onlyBench.empty()) {
         bool known = false;
         std::string names;
         for (const auto &info : benchmarkList()) {
             known = known || info.name == opt.onlyBench;
             names += names.empty() ? info.name : ", " + info.name;
+        }
+        for (const std::string &name : extra_benches) {
+            known = known || name == opt.onlyBench;
+            names += names.empty() ? name : ", " + name;
         }
         if (!known) {
             std::fprintf(stderr,
@@ -140,8 +161,9 @@ pct(double fraction)
 }
 
 RunResult
-runChecked(const std::string &bench, int dataset, Scheme scheme,
-           const SystemConfig &cfg, const Options &opt)
+runCheckedWith(const std::string &bench, int dataset, Scheme scheme,
+               const SystemConfig &cfg, const Options &opt,
+               const std::function<RunResult(const SystemConfig &)> &run_fn)
 {
     if (!cellSelected(opt, bench, scheme)) {
         RunResult skipped;
@@ -162,10 +184,12 @@ runChecked(const std::string &bench, int dataset, Scheme scheme,
         runCfg.noc.protocol = true;
     if (opt.mem == "dram")
         runCfg.memBackend = MemBackendKind::Dram;
+    if (!opt.consistency.empty())
+        consistencyModeFromName(opt.consistency,
+                                &runCfg.consistency.mode);
     if (!opt.analyzePath.empty())
         runCfg.analyzer = &st.analyzer;
-    RunResult r =
-        runBenchmark(bench, dataset, scheme, runCfg, opt.scale, opt.seed);
+    RunResult r = run_fn(runCfg);
     if (!opt.analyzePath.empty()) {
         // The analyzer resets at every System construction (onAttach),
         // so bank this run's findings before the next run wipes them.
@@ -203,6 +227,18 @@ runChecked(const std::string &bench, int dataset, Scheme scheme,
         st.doc.runs.push_back(std::move(row));
     }
     return r;
+}
+
+RunResult
+runChecked(const std::string &bench, int dataset, Scheme scheme,
+           const SystemConfig &cfg, const Options &opt)
+{
+    return runCheckedWith(
+        bench, dataset, scheme, cfg, opt,
+        [&](const SystemConfig &runCfg) {
+            return runBenchmark(bench, dataset, scheme, runCfg,
+                                opt.scale, opt.seed);
+        });
 }
 
 void

@@ -41,6 +41,7 @@
 #define GLSC_BENCH_HARNESS_H_
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -59,11 +60,21 @@ struct Options
     std::string analyzePath; //!< --analyze findings destination ("" = off)
     bool nocArmed = false; //!< --noc-armed: NocConfig::protocol on
     std::string mem = "fixed"; //!< --mem: "fixed" or "dram"
+    //! --consistency: "sc", "tso" or "weak" ("" = leave the config
+    //! untouched; since SystemConfig defaults to SC, an explicit
+    //! "sc" must be cycle-identical to no flag -- CI diffs the two).
+    std::string consistency;
     std::string onlyBench;    //!< --only bench filter ("" = all)
     std::string onlyScheme;   //!< --only scheme filter ("" = both)
 };
 
-Options parseArgs(int argc, char **argv, double default_scale);
+/**
+ * @p extra_benches extends the --only validation set beyond the
+ * kernel registry, for binaries whose matrix has cells of their own
+ * (bench_llsc_sw's "LLSC").
+ */
+Options parseArgs(int argc, char **argv, double default_scale,
+                  const std::vector<std::string> &extra_benches = {});
 
 /**
  * True when the --only filter (if any) selects this (bench, scheme)
@@ -90,6 +101,19 @@ std::string pct(double fraction);
  */
 RunResult runChecked(const std::string &bench, int dataset, Scheme scheme,
                      const SystemConfig &cfg, const Options &opt);
+
+/**
+ * runChecked for cells the kernel registry does not know: identical
+ * option plumbing (--only skip, tracer/NoC/mem/analyzer/consistency
+ * application, verification + conservation gates, --json row), but
+ * the simulation itself is delegated to @p run_fn, which receives the
+ * fully-prepared config.  bench_llsc_sw uses this for its software
+ * multi-word-LL/SC cells.
+ */
+RunResult runCheckedWith(
+    const std::string &bench, int dataset, Scheme scheme,
+    const SystemConfig &cfg, const Options &opt,
+    const std::function<RunResult(const SystemConfig &)> &run_fn);
 
 /**
  * Persists the artifacts requested on the command line: the BENCH

@@ -260,14 +260,31 @@ Analyzer::onStoreIssued(CoreId c, ThreadId t)
         races_->epochOf(g));
 }
 
+void
+Analyzer::onStoreDrainIndex(CoreId c, ThreadId t, int index)
+{
+    int g = gtidOf(c, t);
+    if (g < 0 || races_ == nullptr)
+        return;
+    drainIndexGtid_ = g;
+    drainIndex_ = index;
+}
+
 std::uint64_t
 Analyzer::popStoreEpoch(int gtid)
 {
     auto &q = pendingStoreEpochs_[static_cast<std::size_t>(gtid)];
     if (q.empty()) // store not seen at issue (bare-memsys test rigs)
         return races_->epochOf(gtid);
-    std::uint64_t epoch = q.front();
-    q.pop_front();
+    std::size_t idx = 0;
+    if (drainIndexGtid_ == gtid) {
+        idx = std::min(static_cast<std::size_t>(drainIndex_),
+                       q.size() - 1);
+        drainIndexGtid_ = -1;
+        drainIndex_ = 0;
+    }
+    std::uint64_t epoch = q[idx];
+    q.erase(q.begin() + static_cast<std::ptrdiff_t>(idx));
     return epoch;
 }
 

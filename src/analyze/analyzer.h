@@ -86,6 +86,16 @@ class Analyzer
      */
     void onStoreIssued(CoreId c, ThreadId t);
 
+    /**
+     * Weak mode drains the write buffer out of order (cpu/lsu.cc):
+     * the next drained store for (c, t) is the @p index-th (0-based)
+     * of that thread's still-queued issue epochs, not the oldest.
+     * One-shot: consumed by the next popStoreEpoch for the thread.
+     * Never called under SC/TSO (FIFO drain), so the epoch queue
+     * semantics there are exactly the seed's.
+     */
+    void onStoreDrainIndex(CoreId c, ThreadId t, int index);
+
     // ----- Control-flow hooks. -----
     void onBarrierArrive(CoreId c, ThreadId t, Tick now);
     /** All participants arrived; @p gtids are merged and released. */
@@ -117,6 +127,9 @@ class Analyzer
     int totalThreads_ = 0;
     //! Issue-time epochs of not-yet-drained buffered stores, per gtid.
     std::vector<std::deque<std::uint64_t>> pendingStoreEpochs_;
+    //! One-shot out-of-order drain cursor: {gtid, index} or {-1, 0}.
+    int drainIndexGtid_ = -1;
+    int drainIndex_ = 0;
     std::unique_ptr<FindingLog> log_;
     std::unique_ptr<RaceDetector> races_;
     std::unique_ptr<LockOrderAnalyzer> locks_;

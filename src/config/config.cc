@@ -65,6 +65,10 @@ SystemConfig::validate() const
         watchdog.strikes < 1)
         GLSC_FATAL("watchdog interval, threshold and strikes must be "
                    "positive");
+    if (consistency.mode != ConsistencyMode::Weak &&
+        consistency.weakMaxDrainDelay != 0)
+        GLSC_FATAL("weakMaxDrainDelay is a Weak-mode knob; SC/TSO drain "
+                   "order is architectural and may not be perturbed");
 }
 
 std::string

@@ -15,6 +15,7 @@
 
 #include <string>
 
+#include "isa/mem_order.h"
 #include "mem/mem_config.h"
 #include "robust/robust_config.h"
 #include "sim/types.h"
@@ -89,6 +90,11 @@ struct SystemConfig
     // Gather/scatter unit.
     Tick gsuFixedOverhead = 4;    //!< pipeline overhead (min lat = 4 + W)
     GlscPolicy glsc;
+
+    // Memory-consistency mode (src/isa/mem_order.h): SC (the default)
+    // is bit-cycle-identical to the pre-consistency engine; TSO makes
+    // atomics fencing; Weak relaxes write-buffer drain order.
+    ConsistencyConfig consistency;
 
     // Robustness subsystem (src/robust/): deterministic fault
     // injection, software retry/backoff policy, and the

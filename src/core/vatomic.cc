@@ -311,7 +311,11 @@ Task<void>
 lockRelease(SimThread &t, Addr lock)
 {
     t.syncBegin();
-    co_await t.store(lock, 0, 4);
+    // Release annotation: under SC/TSO the FIFO write buffer already
+    // drains critical-section stores before the unlock (no gate, so
+    // the goldens are untouched); under Weak the gate keeps the
+    // unlock from becoming visible before the data it protects.
+    co_await t.store(lock, 0, 4, MemOrder::Release);
     analyzerOnLockReleased(t, lock);
     t.syncEnd();
 }

@@ -24,6 +24,16 @@ int
 Core::issueOne(SimThread &t, int slotsLeft)
 {
     PendingOp &op = t.pending();
+    // Consistency-mode ordering point (isa/mem_order.h): an op whose
+    // effective order fences holds at issue until the write buffer
+    // has drained.  Under the default SC mode no unannotated op
+    // gates, so the seed engine's issue timing is untouched.
+    if (op.kind != OpKind::Exec && op.kind != OpKind::Barrier &&
+        gatesIssueOnWbEmpty(cfg_.consistency.mode,
+                            accessClassOf(op.kind), op.order) &&
+        !lsu_.wbEmpty()) {
+        return 0; // ordering stall: buffered stores must drain first
+    }
     switch (op.kind) {
       case OpKind::Exec: {
         std::uint64_t take = std::min<std::uint64_t>(
@@ -70,6 +80,13 @@ Core::issueOne(SimThread &t, int slotsLeft)
         t.stats().instructions++;
         t.setBlocked();
         op.barrier->arrive(&t);
+        return 1;
+
+      case OpKind::Fence:
+        // The drain gate above is the fence's entire effect; once it
+        // passes (or the fence is Relaxed) the op retires in place.
+        t.stats().instructions++;
+        t.resumeNow();
         return 1;
 
       case OpKind::None:

@@ -1,5 +1,6 @@
 #include "cpu/lsu.h"
 
+#include "analyze/analyzer.h"
 #include "cpu/thread.h"
 #include "sim/log.h"
 
@@ -8,7 +9,9 @@ namespace glsc {
 Lsu::Lsu(CoreId core, const SystemConfig &cfg, EventQueue &events,
          MemorySystem &msys, StridePrefetcher &pf, SystemStats &stats)
     : core_(core), cfg_(cfg), events_(events), msys_(msys), pf_(pf),
-      stats_(stats)
+      stats_(stats),
+      weakRng_(cfg.consistency.weakDrainSeed ^
+               (0x9E3779B97F4A7C15ull * (static_cast<std::uint64_t>(core) + 1)))
 {
 }
 
@@ -42,7 +45,13 @@ void
 Lsu::pushStore(const PendingOp &op)
 {
     GLSC_ASSERT(!wbFull(), "write buffer overflow");
-    wb_.push_back(op);
+    WbEntry e{op, 0};
+    if (drainsOutOfOrder(cfg_.consistency.mode) &&
+        cfg_.consistency.weakMaxDrainDelay > 0) {
+        e.holdUntil = events_.now() +
+                      weakRng_.below(cfg_.consistency.weakMaxDrainDelay + 1);
+    }
+    wb_.push_back(e);
 }
 
 bool
@@ -59,10 +68,10 @@ Lsu::tickDemand()
     // reservation, so it never forwards.)
     if (d.op.kind == OpKind::Load) {
         for (auto it = wb_.rbegin(); it != wb_.rend(); ++it) {
-            if (it->kind == OpKind::Store && it->addr == d.op.addr &&
-                it->size == d.op.size) {
+            if (it->op.kind == OpKind::Store &&
+                it->op.addr == d.op.addr && it->op.size == d.op.size) {
                 SimThread *t = d.thread;
-                std::uint64_t v = it->wdata;
+                std::uint64_t v = it->op.wdata;
                 demand_.pop_front();
                 events_.scheduleIn(cfg_.l1Latency, [t, v] {
                     t->completeScalar(v, false);
@@ -78,9 +87,9 @@ Lsu::tickDemand()
     // forward progress.)
     Addr lines[2];
     int n = coveredLines(d.op, lines);
-    for (const PendingOp &w : wb_) {
+    for (const WbEntry &w : wb_) {
         Addr wl[2];
-        int wn = coveredLines(w, wl);
+        int wn = coveredLines(w.op, wl);
         for (int i = 0; i < n; ++i) {
             for (int j = 0; j < wn; ++j) {
                 if (lines[i] == wl[j])
@@ -139,8 +148,67 @@ Lsu::tickWriteBuffer()
 {
     if (wb_.empty())
         return false;
-    PendingOp op = wb_.front();
-    wb_.pop_front();
+
+    if (!drainsOutOfOrder(cfg_.consistency.mode)) {
+        // SC/TSO: strict FIFO drain, exactly the seed engine.
+        drainEntry(0);
+        return true;
+    }
+
+    // Weak mode: any entry may drain once (a) its seeded hold has
+    // elapsed and (b) no older entry overlaps one of its lines --
+    // per-location (coherence) order is preserved even when the
+    // global drain order is not.
+    std::size_t eligible[64];
+    std::size_t nEligible = 0;
+    Tick now = events_.now();
+    for (std::size_t i = 0; i < wb_.size() && nEligible < 64; ++i) {
+        if (wb_[i].holdUntil > now)
+            continue;
+        Addr lines[2];
+        int n = coveredLines(wb_[i].op, lines);
+        bool blocked = false;
+        for (std::size_t j = 0; j < i && !blocked; ++j) {
+            Addr ol[2];
+            int on = coveredLines(wb_[j].op, ol);
+            for (int a = 0; a < n && !blocked; ++a) {
+                for (int b = 0; b < on; ++b) {
+                    if (lines[a] == ol[b]) {
+                        blocked = true;
+                        break;
+                    }
+                }
+            }
+        }
+        if (!blocked)
+            eligible[nEligible++] = i;
+    }
+    if (nEligible == 0)
+        return false; // all entries still held; port stays free
+    drainEntry(eligible[weakRng_.below(nEligible)]);
+    return true;
+}
+
+void
+Lsu::drainEntry(std::size_t idx)
+{
+    GLSC_ASSERT(idx < wb_.size(), "bad WB drain index");
+    PendingOp op = wb_[idx].op;
+    if (cfg_.analyzer != nullptr && idx > 0) {
+        // Out-of-order drain: tell the race detector which of this
+        // thread's queued issue-time epochs this drain consumes, so
+        // the per-thread epoch FIFO does not misattribute clocks.
+        int sameTidBefore = 0;
+        for (std::size_t j = 0; j < idx; ++j) {
+            if (wb_[j].op.tid == op.tid)
+                sameTidBefore++;
+        }
+        if (sameTidBefore > 0) {
+            cfg_.analyzer->onStoreDrainIndex(core_, op.tid,
+                                             sameTidBefore);
+        }
+    }
+    wb_.erase(wb_.begin() + static_cast<std::ptrdiff_t>(idx));
     if (op.kind == OpKind::Store) {
         msys_.access(core_, op.tid, op.addr, op.size, MemOpType::Store,
                      op.wdata);
@@ -149,7 +217,6 @@ Lsu::tickWriteBuffer()
         msys_.vstore(core_, op.addr, op.source, op.mask, op.vwidth,
                      op.elemSize, op.tid);
     }
-    return true;
 }
 
 bool
@@ -163,9 +230,9 @@ Lsu::hasLineConflict(Addr line) const
                 return true;
         }
     }
-    for (const PendingOp &w : wb_) {
+    for (const WbEntry &w : wb_) {
         Addr lines[2];
-        int n = coveredLines(w, lines);
+        int n = coveredLines(w.op, lines);
         for (int i = 0; i < n; ++i) {
             if (lines[i] == line)
                 return true;

@@ -20,6 +20,7 @@
 #include "mem/memsys.h"
 #include "mem/prefetcher.h"
 #include "sim/event_queue.h"
+#include "sim/random.h"
 
 namespace glsc {
 
@@ -45,6 +46,9 @@ class Lsu
         return static_cast<int>(wb_.size()) >= cfg_.writeBufferEntries;
     }
 
+    /** True when no buffered store awaits drain (ordering gates). */
+    bool wbEmpty() const { return wb_.empty(); }
+
     /** Enqueues a store or vstore into the write buffer. */
     void pushStore(const PendingOp &op);
 
@@ -67,8 +71,22 @@ class Lsu
         PendingOp op;
     };
 
+    /**
+     * One buffered store.  holdUntil is 0 outside Weak mode; under
+     * Weak it is the seeded earliest drain tick (isa/mem_order.h,
+     * ConsistencyConfig::weakMaxDrainDelay).
+     */
+    struct WbEntry
+    {
+        PendingOp op;
+        Tick holdUntil = 0;
+    };
+
     /** Lines covered by @p op (1 or, for vector ops, up to 2). */
     static int coveredLines(const PendingOp &op, Addr out[2]);
+
+    /** Sends WB entry @p idx to the memory system (after removal). */
+    void drainEntry(std::size_t idx);
 
     CoreId core_;
     const SystemConfig &cfg_;
@@ -77,7 +95,8 @@ class Lsu
     StridePrefetcher &pf_;
     SystemStats &stats_;
     std::deque<Demand> demand_;
-    std::deque<PendingOp> wb_;
+    std::deque<WbEntry> wb_;
+    Rng weakRng_; //!< Weak-mode drain choices; untouched under SC/TSO
 };
 
 } // namespace glsc

@@ -12,6 +12,7 @@
 
 #include <cstdint>
 
+#include "isa/mem_order.h"
 #include "isa/vector.h"
 #include "sim/types.h"
 
@@ -35,6 +36,7 @@ enum class OpKind
     Scatter,     //!< indexed SIMD store via the GSU
     ScatterCond, //!< vscattercond (paper section 3.1)
     Barrier,     //!< software barrier arrival
+    Fence,       //!< explicit memory fence (no data movement)
 };
 
 /** True for kinds serviced by the gather/scatter unit. */
@@ -43,6 +45,35 @@ isGsuOp(OpKind k)
 {
     return k == OpKind::Gather || k == OpKind::GatherLink ||
            k == OpKind::Scatter || k == OpKind::ScatterCond;
+}
+
+/**
+ * Ordering class of an op kind (isa/mem_order.h).  Reservation-
+ * carrying ops are Atomic; Exec/Barrier/None have no memory ordering
+ * and map to Fence(Relaxed)-equivalent "never gates" via their issue
+ * paths never consulting the predicate.
+ */
+constexpr AccessClass
+accessClassOf(OpKind k)
+{
+    switch (k) {
+      case OpKind::Load:
+      case OpKind::VLoad:
+      case OpKind::Gather:
+        return AccessClass::Load;
+      case OpKind::Store:
+      case OpKind::VStore:
+      case OpKind::Scatter:
+        return AccessClass::Store;
+      case OpKind::LoadLinked:
+      case OpKind::StoreCond:
+      case OpKind::GatherLink:
+      case OpKind::ScatterCond:
+        return AccessClass::Atomic;
+      case OpKind::Fence:
+      default:
+        return AccessClass::Fence;
+    }
 }
 
 /** The operation a thread most recently awaited. */
@@ -76,6 +107,12 @@ struct PendingOp
 
     // Barrier.
     class Barrier *barrier = nullptr;
+
+    /**
+     * C11-style ordering annotation; ModeDefault resolves per the
+     * system's ConsistencyMode at issue time (isa/mem_order.h).
+     */
+    MemOrder order = MemOrder::ModeDefault;
 };
 
 } // namespace glsc

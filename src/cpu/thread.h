@@ -74,30 +74,48 @@ class SimThread
 
     /** Blocking scalar load; returns the (zero-extended) value. */
     auto
-    load(Addr a, int size = 4)
+    load(Addr a, int size = 4, MemOrder o = MemOrder::ModeDefault)
     {
-        return U64Awaiter{*this, scalarOp(OpKind::Load, a, 0, size)};
+        return U64Awaiter{*this, scalarOp(OpKind::Load, a, 0, size, o)};
     }
 
     /** Load-linked: load plus reservation (paper section 2.3). */
     auto
-    loadLinked(Addr a, int size = 4)
+    loadLinked(Addr a, int size = 4, MemOrder o = MemOrder::ModeDefault)
     {
-        return U64Awaiter{*this, scalarOp(OpKind::LoadLinked, a, 0, size)};
+        return U64Awaiter{*this,
+                          scalarOp(OpKind::LoadLinked, a, 0, size, o)};
     }
 
     /** Non-blocking scalar store through the write buffer. */
     auto
-    store(Addr a, std::uint64_t v, int size = 4)
+    store(Addr a, std::uint64_t v, int size = 4,
+          MemOrder o = MemOrder::ModeDefault)
     {
-        return VoidAwaiter{*this, scalarOp(OpKind::Store, a, v, size)};
+        return VoidAwaiter{*this, scalarOp(OpKind::Store, a, v, size, o)};
     }
 
     /** Store-conditional; returns success. */
     auto
-    storeCond(Addr a, std::uint64_t v, int size = 4)
+    storeCond(Addr a, std::uint64_t v, int size = 4,
+              MemOrder o = MemOrder::ModeDefault)
     {
-        return BoolAwaiter{*this, scalarOp(OpKind::StoreCond, a, v, size)};
+        return BoolAwaiter{*this,
+                           scalarOp(OpKind::StoreCond, a, v, size, o)};
+    }
+
+    /**
+     * Explicit memory fence (isa/mem_order.h): holds at issue until
+     * this core's write buffer has drained.  One instruction, no data
+     * movement; fence(Relaxed) is a no-op beyond the issue slot.
+     */
+    auto
+    fence(MemOrder o = MemOrder::SeqCst)
+    {
+        PendingOp op;
+        op.kind = OpKind::Fence;
+        op.order = o;
+        return VoidAwaiter{*this, op};
     }
 
     /**
@@ -119,7 +137,8 @@ class SimThread
 
     /** Contiguous vector store under @p mask via the write buffer. */
     auto
-    vstore(Addr a, const VecReg &v, Mask mask, int elemSize = 4)
+    vstore(Addr a, const VecReg &v, Mask mask, int elemSize = 4,
+           MemOrder o = MemOrder::ModeDefault)
     {
         PendingOp op;
         op.kind = OpKind::VStore;
@@ -128,6 +147,7 @@ class SimThread
         op.mask = mask;
         op.elemSize = elemSize;
         op.vwidth = simdWidth_;
+        op.order = o;
         return VoidAwaiter{*this, op};
     }
 
@@ -154,10 +174,10 @@ class SimThread
      */
     auto
     vgatherlink(Addr base, const VecReg &index, Mask mask,
-                int elemSize = 4)
+                int elemSize = 4, MemOrder o = MemOrder::ModeDefault)
     {
         return GatherAwaiter{*this, gsuOp(OpKind::GatherLink, base, index,
-                                          {}, mask, elemSize)};
+                                          {}, mask, elemSize, o)};
     }
 
     /**
@@ -167,10 +187,11 @@ class SimThread
      */
     auto
     vscattercond(Addr base, const VecReg &index, const VecReg &src,
-                 Mask mask, int elemSize = 4)
+                 Mask mask, int elemSize = 4,
+                 MemOrder o = MemOrder::ModeDefault)
     {
         return MaskAwaiter{*this, gsuOp(OpKind::ScatterCond, base, index,
-                                        src, mask, elemSize)};
+                                        src, mask, elemSize, o)};
     }
 
     /** Arrives at @p b and blocks until all participants arrive. */
@@ -303,19 +324,22 @@ class SimThread
     };
 
     static PendingOp
-    scalarOp(OpKind k, Addr a, std::uint64_t v, int size)
+    scalarOp(OpKind k, Addr a, std::uint64_t v, int size,
+             MemOrder o = MemOrder::ModeDefault)
     {
         PendingOp op;
         op.kind = k;
         op.addr = a;
         op.wdata = v;
         op.size = size;
+        op.order = o;
         return op;
     }
 
     PendingOp
     gsuOp(OpKind k, Addr base, const VecReg &index, const VecReg &src,
-          Mask mask, int elemSize) const
+          Mask mask, int elemSize,
+          MemOrder o = MemOrder::ModeDefault) const
     {
         PendingOp op;
         op.kind = k;
@@ -325,6 +349,7 @@ class SimThread
         op.mask = mask;
         op.elemSize = elemSize;
         op.vwidth = simdWidth_;
+        op.order = o;
         return op;
     }
 

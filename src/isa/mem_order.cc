@@ -1,0 +1,53 @@
+#include "isa/mem_order.h"
+
+namespace glsc {
+
+const char *
+consistencyModeName(ConsistencyMode mode)
+{
+    switch (mode) {
+      case ConsistencyMode::SC:
+        return "sc";
+      case ConsistencyMode::TSO:
+        return "tso";
+      case ConsistencyMode::Weak:
+        return "weak";
+    }
+    return "?";
+}
+
+bool
+consistencyModeFromName(const std::string &name, ConsistencyMode *out)
+{
+    if (name == "sc")
+        *out = ConsistencyMode::SC;
+    else if (name == "tso")
+        *out = ConsistencyMode::TSO;
+    else if (name == "weak")
+        *out = ConsistencyMode::Weak;
+    else
+        return false;
+    return true;
+}
+
+const char *
+memOrderName(MemOrder o)
+{
+    switch (o) {
+      case MemOrder::ModeDefault:
+        return "dflt";
+      case MemOrder::Relaxed:
+        return "rlx";
+      case MemOrder::Acquire:
+        return "acq";
+      case MemOrder::Release:
+        return "rel";
+      case MemOrder::AcqRel:
+        return "acqrel";
+      case MemOrder::SeqCst:
+        return "sc";
+    }
+    return "?";
+}
+
+} // namespace glsc

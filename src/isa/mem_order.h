@@ -1,0 +1,165 @@
+/**
+ * @file
+ * Memory-consistency mode and C11-style ordering annotations.
+ *
+ * The engine's baseline ordering (ConsistencyMode::SC, the default)
+ * is the seed engine exactly: blocking in-order loads plus a per-core
+ * FIFO write buffer with exact-match store-to-load forwarding.  That
+ * machine is sequentially consistent *per core pipeline* but admits
+ * store-buffering relaxation (SB's 0/0 outcome) across cores, so at
+ * litmus granularity it is indistinguishable from TSO; we keep the
+ * name SC because the mode's contract is bit-cycle-identity with the
+ * pre-consistency engine, pinned by the goldens (DESIGN.md section
+ * 13.1 documents the deviation).
+ *
+ * The other two modes relax or strengthen specific points:
+ *  - TSO: plain loads/stores behave exactly as in SC (the FIFO write
+ *    buffer already provides TSO's store->store and load->load
+ *    order), but atomics (ll / sc / vgatherlink / vscattercond)
+ *    default to SeqCst and therefore fence: they hold at issue until
+ *    the write buffer has drained, the x86/SPARC-TSO "atomic RMWs are
+ *    fences" rule.
+ *  - Weak: everything defaults to Relaxed and the write buffer may
+ *    drain out of order (seeded, per-location order preserved), so
+ *    store->store reordering becomes architecturally visible.
+ *    Ordering is recovered only through explicit annotations.
+ *
+ * Explicit annotations are honored identically in every mode; only
+ * the resolution of MemOrder::ModeDefault differs.  The helpers below
+ * are the single source of truth for both the timing engine
+ * (cpu/core.cc issue gating, cpu/lsu.cc drain selection) and the
+ * litmus harness's exhaustive abstract machine (verify/litmus.cc), so
+ * the two cannot drift apart.
+ */
+
+#ifndef GLSC_ISA_MEM_ORDER_H_
+#define GLSC_ISA_MEM_ORDER_H_
+
+#include <cstdint>
+#include <string>
+
+#include "sim/types.h"
+
+namespace glsc {
+
+/** Global memory-consistency mode of a simulated system. */
+enum class ConsistencyMode
+{
+    SC,   //!< seed engine, bit-cycle-identical (see file comment)
+    TSO,  //!< SC pipeline rules + fencing (SeqCst) atomics
+    Weak, //!< relaxed defaults + out-of-order write-buffer drain
+};
+
+/** C11-style ordering annotation carried by a memory operation. */
+enum class MemOrder
+{
+    ModeDefault, //!< resolve per ConsistencyMode (the normal case)
+    Relaxed,
+    Acquire,
+    Release,
+    AcqRel,
+    SeqCst,
+};
+
+/**
+ * Coarse operation class for ordering decisions.  Atomic covers
+ * ll / sc / vgatherlink / vscattercond -- the ops that carry a
+ * reservation and commit GLSC updates.
+ */
+enum class AccessClass
+{
+    Load,
+    Store,
+    Atomic,
+    Fence,
+};
+
+/** Consistency knob threaded through SystemConfig. */
+struct ConsistencyConfig
+{
+    ConsistencyMode mode = ConsistencyMode::SC;
+
+    /**
+     * Seed for the Weak mode's out-of-order drain choices (mixed with
+     * the core id so cores decorrelate).  Ignored under SC/TSO.
+     */
+    std::uint64_t weakDrainSeed = 1;
+
+    /**
+     * Weak mode only: each write-buffer entry is held for a seeded
+     * random delay in [0, weakMaxDrainDelay] cycles before it becomes
+     * eligible to drain.  0 (default) disables the hold; the litmus
+     * runner raises it so store->store reorder windows are wide
+     * enough for another core's loads to land inside them.
+     */
+    Tick weakMaxDrainDelay = 0;
+};
+
+/** Resolves ModeDefault to the mode's effective order. */
+constexpr MemOrder
+resolveOrder(ConsistencyMode mode, AccessClass cls, MemOrder o)
+{
+    if (o != MemOrder::ModeDefault)
+        return o;
+    // SC's default is "whatever the seed engine did": no gating
+    // anywhere, which the predicates below treat as Relaxed.  (The
+    // pipeline's own rules -- blocking loads, FIFO drain -- supply
+    // the actual strength.)
+    if (mode == ConsistencyMode::TSO && cls == AccessClass::Atomic)
+        return MemOrder::SeqCst;
+    if (cls == AccessClass::Fence)
+        return MemOrder::SeqCst; // a bare fence() means a full fence
+    return MemOrder::Relaxed;
+}
+
+/**
+ * True when the core must hold this operation at issue until its
+ * write buffer is empty.  This is the only ordering-strength
+ * mechanism the modes add on top of the seed pipeline:
+ *  - a fence (unless Relaxed) drains the buffer in every mode;
+ *  - a SeqCst load/atomic may not issue past buffered stores (this
+ *    is what forbids SB's 0/0 once annotated, and what TSO's
+ *    fencing-atomics default expands to);
+ *  - a Release (or stronger) store/atomic needs the drain gate only
+ *    under Weak -- SC/TSO's FIFO drain already serializes prior
+ *    stores before it.
+ */
+constexpr bool
+gatesIssueOnWbEmpty(ConsistencyMode mode, AccessClass cls, MemOrder o)
+{
+    MemOrder eff = resolveOrder(mode, cls, o);
+    switch (cls) {
+      case AccessClass::Fence:
+        return eff != MemOrder::Relaxed;
+      case AccessClass::Load:
+        return eff == MemOrder::SeqCst;
+      case AccessClass::Store:
+      case AccessClass::Atomic:
+        if (eff == MemOrder::SeqCst)
+            return true;
+        return mode == ConsistencyMode::Weak &&
+               (eff == MemOrder::Release || eff == MemOrder::AcqRel);
+    }
+    return false;
+}
+
+/** True when the mode may drain write-buffer entries out of order. */
+constexpr bool
+drainsOutOfOrder(ConsistencyMode mode)
+{
+    return mode == ConsistencyMode::Weak;
+}
+
+/** Lower-case mode name used by CLI flags and test labels. */
+const char *consistencyModeName(ConsistencyMode mode);
+
+/** Parses "sc" / "tso" / "weak"; returns false on anything else. */
+bool consistencyModeFromName(const std::string &name,
+                             ConsistencyMode *out);
+
+/** Short order name for diagnostics ("rlx", "acq", ...). */
+const char *memOrderName(MemOrder o);
+
+} // namespace glsc
+
+#endif // GLSC_ISA_MEM_ORDER_H_

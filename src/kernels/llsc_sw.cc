@@ -1,0 +1,224 @@
+#include "kernels/llsc_sw.h"
+
+#include <algorithm>
+
+#include "core/retry.h"
+#include "sim/log.h"
+#include "sim/random.h"
+#include "sim/system.h"
+
+namespace glsc {
+
+namespace {
+
+/** Objects are line-aligned so GLSC links cover exactly one object. */
+constexpr Addr kObjStride = kLineBytes;
+
+Addr
+objWords(Addr wordBase, int obj)
+{
+    return wordBase + static_cast<Addr>(obj) * kObjStride;
+}
+
+int
+pickObject(Rng &rng, const LlscSwParams &p)
+{
+    if (rng.chance(p.hotFraction))
+        return 0; // hot head: dense cross-thread contention
+    return static_cast<int>(
+        rng.below(static_cast<std::uint64_t>(p.objects)));
+}
+
+} // namespace
+
+Task<void>
+mwLlscSwThread(SimThread &t, Addr selBase, Addr wordBase, LlscSwParams p,
+               std::uint64_t seed, LlscSwTally *tally)
+{
+    Rng rng(seed + 0x9e3779b9ull *
+                       static_cast<std::uint64_t>(t.globalId() + 1));
+    for (int i = 0; i < p.itersPerThread; ++i) {
+        const int obj = pickObject(rng, p);
+        const Addr sel = selBase + static_cast<Addr>(obj) * kObjStride;
+        const Addr w = objWords(wordBase, obj);
+        t.syncBegin();
+        Backoff bk(t, BackoffDomain::Scalar);
+        while (true) {
+            // mwLL: an even version brackets a stable snapshot.
+            std::uint64_t v = co_await t.load(sel, 4);
+            co_await t.exec(1); // parity test
+            if (v & 1) {
+                co_await t.exec(bk.failureDelay());
+                continue;
+            }
+            VecReg snap;
+            for (int k = 0; k < p.words; ++k)
+                snap[k] = co_await t.load(w + 4ull * k, 4);
+            // mwSC begins: revalidate the version under a link and
+            // lock the object by bumping it odd.  Any completed
+            // writer in between moved sel past v, so the snapshot
+            // stays consistent or we retry.
+            std::uint64_t vv = co_await t.loadLinked(sel, 4);
+            co_await t.exec(1); // compare
+            if (vv != v) {
+                co_await t.exec(bk.failureDelay());
+                continue;
+            }
+            bool locked = co_await t.storeCond(sel, v + 1, 4);
+            co_await t.exec(1); // branch
+            if (!locked) {
+                co_await t.exec(bk.failureDelay());
+                continue;
+            }
+            // Exclusive section: the snapshot is consistent as of the
+            // lock, so unequal words mean a torn publish upstream.
+            co_await t.exec(p.words); // equality scan
+            for (int k = 1; k < p.words; ++k) {
+                if (snap.u32(k) != snap.u32(0))
+                    tally->mismatches++;
+            }
+            for (int k = 0; k < p.words; ++k)
+                co_await t.store(w + 4ull * k, snap.u32(k) + 1, 4);
+            // Publish: even version again.  Release keeps the word
+            // stores ahead of the publish under Weak; under SC/TSO
+            // the FIFO buffer already guarantees it.
+            co_await t.store(sel, v + 2, 4, MemOrder::Release);
+            tally->updates++;
+            bk.progress();
+            break;
+        }
+        t.syncEnd();
+    }
+}
+
+Task<void>
+mwGlscThread(SimThread &t, Addr wordBase, LlscSwParams p,
+             std::uint64_t seed, LlscSwTally *tally)
+{
+    Rng rng(seed + 0x9e3779b9ull *
+                       static_cast<std::uint64_t>(t.globalId() + 1));
+    VecReg idx;
+    for (int k = 0; k < p.words; ++k)
+        idx[k] = k;
+    const Mask lanes = Mask::allOnes(p.words);
+    for (int i = 0; i < p.itersPerThread; ++i) {
+        const int obj = pickObject(rng, p);
+        const Addr w = objWords(wordBase, obj);
+        t.syncBegin();
+        // One-line gather-link: the link is line-granular, so the
+        // scatter-conditional writes every word or none -- the
+        // multi-word atomic the software path has to emulate.  No
+        // scalar fallback here: per-word ll/sc would tear the
+        // snapshot other threads gather-link.  The asymmetric backoff
+        // (core/retry.h) breaks steal lockstep instead.
+        Backoff bk(t, BackoffDomain::Vector);
+        while (true) {
+            GatherResult g = co_await t.vgatherlink(w, idx, lanes, 4);
+            co_await t.exec(1 + p.words); // equality scan + vinc
+            if (g.mask.any()) {
+                for (int k = 1; k < p.words; ++k) {
+                    if (g.value.u32(k) != g.value.u32(0))
+                        tally->mismatches++;
+                }
+            }
+            VecReg upd;
+            for (int k = 0; k < p.words; ++k)
+                upd[k] = g.value.u32(k) + 1;
+            Mask done =
+                co_await t.vscattercond(w, idx, upd, g.mask, 4);
+            co_await t.exec(1); // loop branch
+            if (done.any()) {
+                tally->updates++;
+                bk.progress();
+                break;
+            }
+            co_await t.exec(bk.failureDelay());
+        }
+        t.syncEnd();
+    }
+}
+
+RunResult
+runLlscSwBench(Scheme scheme, const SystemConfig &cfg, double scale,
+               std::uint64_t seed, LlscSwParams p)
+{
+    p.itersPerThread = std::max(
+        1, static_cast<int>(p.itersPerThread * scale));
+
+    RunResult r;
+    System sys(cfg);
+    Addr wordBase = sys.layout().alloc(
+        static_cast<Addr>(p.objects) * kObjStride, kLineBytes);
+    // The version words live one line apart as well, so one object's
+    // ll/sc traffic never kills a neighbor's reservation.
+    Addr selBase = sys.layout().alloc(
+        static_cast<Addr>(p.objects) * kObjStride, kLineBytes);
+
+    std::vector<LlscSwTally> tallies(
+        static_cast<std::size_t>(cfg.totalThreads()));
+    sys.spawnAll([&](SimThread &t) -> Task<void> {
+        LlscSwTally *tally = &tallies[t.globalId()];
+        if (scheme == Scheme::Glsc)
+            return mwGlscThread(t, wordBase, p, seed, tally);
+        return mwLlscSwThread(t, selBase, wordBase, p, seed, tally);
+    });
+    r.stats = sys.run();
+
+    // --- Verification: atomicity, then conservation. ---
+    std::uint64_t updates = 0, mismatches = 0;
+    for (const LlscSwTally &ta : tallies) {
+        updates += ta.updates;
+        mismatches += ta.mismatches;
+    }
+    const std::uint64_t expected =
+        static_cast<std::uint64_t>(cfg.totalThreads()) *
+        static_cast<std::uint64_t>(p.itersPerThread);
+    if (updates != expected) {
+        r.detail = strprintf("lost updates: %llu applied, %llu issued",
+                             (unsigned long long)updates,
+                             (unsigned long long)expected);
+        return r;
+    }
+    if (mismatches != 0) {
+        r.detail = strprintf(
+            "%llu torn snapshot(s): multi-word atomicity violated",
+            (unsigned long long)mismatches);
+        return r;
+    }
+    std::uint64_t sum0 = 0;
+    for (int obj = 0; obj < p.objects; ++obj) {
+        const Addr w = objWords(wordBase, obj);
+        std::uint32_t first = sys.memory().readU32(w);
+        sum0 += first;
+        for (int k = 1; k < p.words; ++k) {
+            if (sys.memory().readU32(w + 4ull * k) != first) {
+                r.detail = strprintf(
+                    "object %d words unequal at end of run", obj);
+                return r;
+            }
+        }
+        if (scheme == Scheme::Base) {
+            std::uint32_t v =
+                sys.memory().readU32(selBase +
+                                     static_cast<Addr>(obj) * kObjStride);
+            if (v % 2 != 0 || v != 2u * first) {
+                r.detail = strprintf(
+                    "object %d version %u inconsistent with count %u",
+                    obj, v, first);
+                return r;
+            }
+        }
+    }
+    if (sum0 != updates) {
+        r.detail = strprintf(
+            "word sums to %llu but %llu updates reported success",
+            (unsigned long long)sum0, (unsigned long long)updates);
+        return r;
+    }
+    r.verified = true;
+    r.detail = strprintf("%llu multi-word updates, 0 torn snapshots",
+                         (unsigned long long)updates);
+    return r;
+}
+
+} // namespace glsc

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Software multi-word LL/SC (the Blelloch--Wei seqlock construction
+ * on scalar ll/sc) head-to-head against hardware GLSC, for the
+ * bench_llsc_sw table.
+ *
+ * The guest workload is a multi-word atomic fetch-and-increment: each
+ * object is W words that an update must read as a consistent snapshot
+ * (all equal, by construction) and increment together.  A torn
+ * snapshot is observable as unequal words, so the benchmark verifies
+ * atomicity itself, not just the final sums.
+ *
+ * Two implementations of the same contract:
+ *  - Scheme::Base -- the software construction: a per-object version
+ *    word ("sel") managed with scalar ll/sc.  Readers snapshot the
+ *    words between two even-version checks; a writer bumps sel to odd
+ *    with ll/sc (locking the object), writes the words through the
+ *    write buffer, and publishes with a Release store of the next
+ *    even version (the Release gate keeps the data ahead of the
+ *    publish under the Weak consistency mode).
+ *  - Scheme::Glsc -- hardware gather-linked / scatter-conditional
+ *    over the object's words.  The words share one cache line, the
+ *    link is line-granular, and vscattercond writes all lanes or
+ *    none, so the snapshot+update is atomic by construction.
+ *
+ * NOT in the kernel registry: the registry's golden corpus pins its
+ * exact membership, and this workload exists for the dedicated
+ * bench_llsc_sw binary (plus unit tests), not the paper tables.
+ */
+
+#ifndef GLSC_KERNELS_LLSC_SW_H_
+#define GLSC_KERNELS_LLSC_SW_H_
+
+#include <cstdint>
+
+#include "config/config.h"
+#include "kernels/common.h"
+
+namespace glsc {
+
+/** Shape of one llsc_sw run; the same for both schemes. */
+struct LlscSwParams
+{
+    int objects = 8;     //!< shared objects (one cache line each)
+    int words = 4;       //!< words per object (fits line and SIMD)
+    int itersPerThread = 300;
+    double hotFraction = 0.4; //!< updates aimed at object 0
+};
+
+/** Per-thread tallies the verification closes over. */
+struct LlscSwTally
+{
+    std::uint64_t updates = 0;    //!< successful multi-word updates
+    std::uint64_t mismatches = 0; //!< torn snapshots observed (must be 0)
+};
+
+/**
+ * One guest thread of the software construction (Scheme::Base).
+ * @p selBase holds one version word per object (line stride),
+ * @p wordBase the W data words per object (line stride).
+ */
+Task<void> mwLlscSwThread(SimThread &t, Addr selBase, Addr wordBase,
+                          LlscSwParams p, std::uint64_t seed,
+                          LlscSwTally *tally);
+
+/** One guest thread of the hardware-GLSC variant (Scheme::Glsc). */
+Task<void> mwGlscThread(SimThread &t, Addr wordBase, LlscSwParams p,
+                        std::uint64_t seed, LlscSwTally *tally);
+
+/**
+ * Builds the system, runs one (scheme, config) cell and verifies it:
+ * zero torn snapshots, every word of an object equal, and the word
+ * sums conserving the successful-update tally.  @p scale multiplies
+ * itersPerThread.
+ */
+RunResult runLlscSwBench(Scheme scheme, const SystemConfig &cfg,
+                         double scale, std::uint64_t seed,
+                         LlscSwParams p = {});
+
+} // namespace glsc
+
+#endif // GLSC_KERNELS_LLSC_SW_H_

@@ -15,6 +15,16 @@
  * bank contention, and reservation loss under contention (DESIGN.md
  * section 2 documents this substitution).
  *
+ * Consistency modes (DESIGN.md section 13): the acceptance tick is
+ * also the ordering point every ConsistencyMode shares.  The order in
+ * which requests reach this port IS the global memory order -- the
+ * MemObserver callback sequence replays it -- so SC/TSO/Weak all
+ * leave this class untouched: relaxation lives entirely above it, in
+ * when the core pipeline lets operations reach the port (issue gating
+ * in cpu/core.cc, write-buffer drain order in cpu/lsu.cc).  That is
+ * why the PR 1 reference model remains a valid oracle under every
+ * mode.
+ *
  * GLSC semantics implemented here (paper sections 3.1-3.3):
  *  - a gather-linked line request links the line for (core, thread);
  *  - any store (scalar store, scatter, successful sc/scatter-cond)

@@ -883,4 +883,134 @@ statsJsonFieldList()
     return fields;
 }
 
+// ---------------------------------------------------------------------
+// LITMUS verdict document.
+// ---------------------------------------------------------------------
+
+namespace {
+
+/** "[[0, 1], [2, 3]]" -- one verdict outcome set, inline. */
+std::string
+outcomeSetToJson(const std::vector<std::vector<std::uint64_t>> &set)
+{
+    std::string out = "[";
+    for (std::size_t i = 0; i < set.size(); ++i) {
+        out += i == 0 ? "[" : ", [";
+        for (std::size_t j = 0; j < set[i].size(); ++j) {
+            out += j == 0 ? "" : ", ";
+            out += strprintf("%llu", (unsigned long long)set[i][j]);
+        }
+        out += "]";
+    }
+    out += "]";
+    return out;
+}
+
+/** Strictly extracts an array-of-arrays-of-u64 verdict outcome set. */
+bool
+outcomeSetFromJVal(const JVal &v, const char *what,
+                   std::vector<std::vector<std::uint64_t>> &out,
+                   std::string &why)
+{
+    for (const JVal &row : v.arr) {
+        if (row.kind != JVal::Arr) {
+            if (why.empty())
+                why = strprintf("%s outcome is not an array", what);
+            return false;
+        }
+        std::vector<std::uint64_t> outcome;
+        for (const JVal &n : row.arr) {
+            if (n.kind != JVal::Num || !n.isInt) {
+                if (why.empty())
+                    why = strprintf("%s outcome element is not an "
+                                    "unsigned integer", what);
+                return false;
+            }
+            outcome.push_back(n.num);
+        }
+        out.push_back(std::move(outcome));
+    }
+    return true;
+}
+
+} // namespace
+
+std::string
+litmusDocToJson(const LitmusDoc &doc)
+{
+    std::string out = "{\n";
+    out += strprintf("  \"litmusSchema\": %d,\n",
+                     kLitmusJsonSchemaVersion);
+    out += "  \"verdicts\": [";
+    for (std::size_t i = 0; i < doc.rows.size(); ++i) {
+        const LitmusVerdictRow &row = doc.rows[i];
+        out += i == 0 ? "\n" : ",\n";
+        out += "    {\n";
+        out += strprintf("      \"test\": %s,\n",
+                         jsonQuote(row.test).c_str());
+        out += strprintf("      \"mode\": %s,\n",
+                         jsonQuote(row.mode).c_str());
+        out += strprintf("      \"forbidden\": %s,\n",
+                         outcomeSetToJson(row.forbidden).c_str());
+        out += strprintf("      \"required\": %s\n",
+                         outcomeSetToJson(row.required).c_str());
+        out += "    }";
+    }
+    out += "\n  ]\n}\n";
+    return out;
+}
+
+bool
+litmusDocFromJson(const std::string &json, LitmusDoc &out,
+                  std::string *err)
+{
+    std::string why;
+    JVal root;
+    Parser parser(json);
+    if (!parser.value(root)) {
+        why = parser.error();
+    } else if (root.kind != JVal::Obj) {
+        why = "top level is not an object";
+    } else {
+        LitmusDoc d;
+        ObjReader r(root, why);
+        std::uint64_t schema = 0;
+        if (r.u64("litmusSchema", schema) &&
+            schema != std::uint64_t{kLitmusJsonSchemaVersion} &&
+            why.empty()) {
+            why = strprintf("litmusSchema version %llu, expected %d",
+                            (unsigned long long)schema,
+                            kLitmusJsonSchemaVersion);
+        }
+        if (const JVal *v = r.get("verdicts", JVal::Arr)) {
+            for (const JVal &e : v->arr) {
+                if (why.empty() && e.kind != JVal::Obj)
+                    why = "verdict record is not an object";
+                if (!why.empty())
+                    break;
+                LitmusVerdictRow row;
+                ObjReader rr(e, why);
+                rr.str("test", row.test);
+                rr.str("mode", row.mode);
+                if (const JVal *f = rr.get("forbidden", JVal::Arr))
+                    outcomeSetFromJVal(*f, "forbidden", row.forbidden,
+                                       why);
+                if (const JVal *q = rr.get("required", JVal::Arr))
+                    outcomeSetFromJVal(*q, "required", row.required,
+                                       why);
+                rr.exhausted();
+                d.rows.push_back(std::move(row));
+            }
+        }
+        r.exhausted();
+        if (why.empty()) {
+            out = std::move(d);
+            return true;
+        }
+    }
+    if (err != nullptr)
+        *err = why;
+    return false;
+}
+
 } // namespace glsc

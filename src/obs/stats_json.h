@@ -255,6 +255,46 @@ std::string campaignToJson(const CampaignSummary &s);
 bool campaignFromJson(const std::string &json, CampaignSummary &out,
                       std::string *err = nullptr);
 
+// ---------------------------------------------------------------------
+// LITMUS document: the machine-readable allow/forbid verdict tables of
+// the memory-consistency litmus corpus (src/verify/litmus.h).  The
+// canonical copy is the C++ tables in litmus.cc; litmusVerdictDoc()
+// exports them, the checked-in tests/data/litmus_verdicts.json pins
+// them byte-for-byte (test_litmus.cc), and external consumers
+// (notebooks, other simulators' conformance suites) read the JSON via
+// the strict parser instead of scraping C++.
+// ---------------------------------------------------------------------
+
+/** Bump whenever the litmus verdict field set or layout changes. */
+inline constexpr int kLitmusJsonSchemaVersion = 1;
+
+/**
+ * The verdict of one (test, mode) cell.  An outcome is the register
+ * values in thread order followed by the final variable values --
+ * exactly a LitmusOutcome (litmus.h), kept as raw integer rows here
+ * so this header stays free of the verify/ dependency.
+ */
+struct LitmusVerdictRow
+{
+    std::string test;  //!< corpus name ("SB", "MP", "glsc_clear", ...)
+    std::string mode;  //!< consistencyModeName(): "sc" | "tso" | "weak"
+    std::vector<std::vector<std::uint64_t>> forbidden;
+    std::vector<std::vector<std::uint64_t>> required;
+};
+
+/** A whole litmus-verdict artifact. */
+struct LitmusDoc
+{
+    std::vector<LitmusVerdictRow> rows;
+};
+
+/** Canonical JSON for @p doc (ends in a newline). */
+std::string litmusDocToJson(const LitmusDoc &doc);
+
+/** Strict parse of a litmusDocToJson document (statsFromJson rules). */
+bool litmusDocFromJson(const std::string &json, LitmusDoc &out,
+                       std::string *err = nullptr);
+
 } // namespace glsc
 
 #endif // GLSC_OBS_STATS_JSON_H_

@@ -1,0 +1,795 @@
+#include "verify/litmus.h"
+
+#include <algorithm>
+#include <string>
+
+#include "analyze/analyzer.h"
+#include "obs/trace.h"
+#include "sim/log.h"
+#include "sim/random.h"
+#include "sim/system.h"
+#include "verify/ref_model.h"
+
+namespace glsc {
+
+int
+LitmusTest::numCores() const
+{
+    int n = 0;
+    for (const LitmusThread &th : threads)
+        n = std::max(n, th.core + 1);
+    return n;
+}
+
+int
+LitmusTest::numRegs() const
+{
+    int n = 0;
+    for (const LitmusThread &th : threads) {
+        for (const LitmusOp &op : th.ops) {
+            if (litmusOpWritesReg(op.kind))
+                ++n;
+        }
+    }
+    return n;
+}
+
+std::string
+outcomeToString(const LitmusTest &t, const LitmusOutcome &o)
+{
+    std::string s = "r=(";
+    const int regs = t.numRegs();
+    for (int i = 0; i < static_cast<int>(o.size()); ++i) {
+        if (i == regs)
+            s += ") m=(";
+        else if (i > 0)
+            s += ",";
+        s += std::to_string(o[i]);
+    }
+    return s + ")";
+}
+
+// ===================================================================
+// Abstract-machine explorer.
+// ===================================================================
+
+namespace {
+
+/** One buffered (not yet serialized) store in the abstract machine. */
+struct AbsSbEntry
+{
+    int var;
+    std::uint64_t val;
+};
+
+/** Full abstract-machine state; everything the future depends on. */
+struct AbsState
+{
+    std::vector<int> pc;                           // per thread
+    std::vector<std::vector<std::uint64_t>> regs;  // per thread
+    std::vector<std::uint64_t> mem;                // per var
+    std::vector<std::vector<AbsSbEntry>> sb;       // per core
+    std::vector<std::vector<int>> resv;            // per core x var
+};
+
+AccessClass
+litmusClassOf(LitmusOpKind k)
+{
+    switch (k) {
+    case LitmusOpKind::Load:
+        return AccessClass::Load;
+    case LitmusOpKind::Store:
+        return AccessClass::Store;
+    case LitmusOpKind::LoadLinked:
+    case LitmusOpKind::StoreCond:
+    case LitmusOpKind::GatherLink:
+    case LitmusOpKind::ScatterCond:
+        return AccessClass::Atomic;
+    case LitmusOpKind::Fence:
+        break;
+    }
+    return AccessClass::Fence;
+}
+
+bool
+isLinkKind(LitmusOpKind k)
+{
+    return k == LitmusOpKind::LoadLinked || k == LitmusOpKind::GatherLink;
+}
+
+bool
+isCondKind(LitmusOpKind k)
+{
+    return k == LitmusOpKind::StoreCond || k == LitmusOpKind::ScatterCond;
+}
+
+std::string
+encodeState(const AbsState &s)
+{
+    std::string k;
+    auto num = [&k](std::uint64_t v) {
+        k += std::to_string(v);
+        k += ',';
+    };
+    for (int p : s.pc)
+        num(static_cast<std::uint64_t>(p));
+    k += '|';
+    for (const auto &r : s.regs) {
+        for (std::uint64_t v : r)
+            num(v);
+        k += ';';
+    }
+    k += '|';
+    for (std::uint64_t v : s.mem)
+        num(v);
+    k += '|';
+    for (const auto &q : s.sb) {
+        for (const AbsSbEntry &e : q) {
+            num(static_cast<std::uint64_t>(e.var));
+            num(e.val);
+        }
+        k += ';';
+    }
+    k += '|';
+    for (const auto &r : s.resv) {
+        for (int o : r)
+            num(static_cast<std::uint64_t>(o + 1));
+        k += ';';
+    }
+    return k;
+}
+
+/**
+ * Mirrors the LSU's store-to-load forwarding: the youngest entry for
+ * the location in the issuing CORE's buffer, whichever SMT thread
+ * buffered it.  Litmus vars are whole distinct lines accessed with
+ * one size, so every same-var entry is an exact match.
+ */
+bool
+forwardFromSb(const AbsState &s, int core, int var, std::uint64_t *out)
+{
+    const auto &q = s.sb[core];
+    for (auto it = q.rbegin(); it != q.rend(); ++it) {
+        if (it->var == var) {
+            *out = it->val;
+            return true;
+        }
+    }
+    return false;
+}
+
+bool
+threadEnabled(const LitmusTest &t, ConsistencyMode mode, const AbsState &s,
+              int j)
+{
+    const LitmusThread &th = t.threads[j];
+    if (s.pc[j] >= static_cast<int>(th.ops.size()))
+        return false;
+    const LitmusOp &op = th.ops[s.pc[j]];
+    // The issue gate (cpu/core.cc): ordering-sensitive ops hold until
+    // the core's write buffer has drained.
+    if (gatesIssueOnWbEmpty(mode, litmusClassOf(op.kind), op.order) &&
+        !s.sb[th.core].empty())
+        return false;
+    // Reservation ops are demand accesses with no forwarding path:
+    // the LSU holds them while the buffer still covers the line.
+    if ((isLinkKind(op.kind) || isCondKind(op.kind))) {
+        for (const AbsSbEntry &e : s.sb[th.core]) {
+            if (e.var == op.var)
+                return false;
+        }
+    }
+    return true;
+}
+
+/** Serializes one store: globally visible, kills every reservation. */
+void
+serializeStore(AbsState &s, int var, std::uint64_t val)
+{
+    s.mem[var] = val;
+    for (auto &r : s.resv)
+        r[var] = -1;
+}
+
+void
+applyThreadStep(const LitmusTest &t, AbsState &s, int j)
+{
+    const LitmusThread &th = t.threads[j];
+    const LitmusOp &op = th.ops[s.pc[j]];
+    const int c = th.core;
+    switch (op.kind) {
+    case LitmusOpKind::Load: {
+        std::uint64_t v;
+        if (!forwardFromSb(s, c, op.var, &v))
+            v = s.mem[op.var];
+        s.regs[j].push_back(v);
+        break;
+    }
+    case LitmusOpKind::Store:
+        s.sb[c].push_back(AbsSbEntry{op.var, op.value});
+        break;
+    case LitmusOpKind::LoadLinked:
+    case LitmusOpKind::GatherLink:
+        // Demand read (never forwarded; the same-line hold above makes
+        // memory current) plus the reservation, stealing an SMT
+        // sibling's link on the same line.
+        s.regs[j].push_back(s.mem[op.var]);
+        s.resv[c][op.var] = j;
+        break;
+    case LitmusOpKind::StoreCond:
+    case LitmusOpKind::ScatterCond: {
+        const bool ok = s.resv[c][op.var] == j;
+        if (ok)
+            serializeStore(s, op.var, op.value); // consumes own link too
+        s.regs[j].push_back(ok ? 1 : 0);
+        break;
+    }
+    case LitmusOpKind::Fence:
+        break; // the issue gate is the fence's entire effect
+    }
+    s.pc[j]++;
+}
+
+void
+exploreDfs(const LitmusTest &t, ConsistencyMode mode, AbsState &s,
+           std::set<std::string> &seen, LitmusOutcomeSet &out)
+{
+    if (!seen.insert(encodeState(s)).second)
+        return;
+
+    bool any = false;
+    const int threads = static_cast<int>(t.threads.size());
+    for (int j = 0; j < threads; ++j) {
+        if (!threadEnabled(t, mode, s, j))
+            continue;
+        any = true;
+        AbsState n = s;
+        applyThreadStep(t, n, j);
+        exploreDfs(t, mode, n, seen, out);
+    }
+    const int cores = t.numCores();
+    for (int c = 0; c < cores; ++c) {
+        const auto &q = s.sb[c];
+        for (int i = 0; i < static_cast<int>(q.size()); ++i) {
+            if (!drainsOutOfOrder(mode) && i > 0)
+                break; // SC/TSO: strict FIFO
+            // Per-location order is architectural in every mode: an
+            // entry may not pass an older same-location entry.
+            bool blocked = false;
+            for (int k = 0; k < i && !blocked; ++k)
+                blocked = q[k].var == q[i].var;
+            if (blocked)
+                continue;
+            any = true;
+            AbsState n = s;
+            AbsSbEntry e = n.sb[c][i];
+            n.sb[c].erase(n.sb[c].begin() + i);
+            serializeStore(n, e.var, e.val);
+            exploreDfs(t, mode, n, seen, out);
+        }
+    }
+
+    if (any)
+        return;
+    // Quiescent: every thread done, every buffer drained.
+    LitmusOutcome o;
+    for (const auto &r : s.regs)
+        o.insert(o.end(), r.begin(), r.end());
+    o.insert(o.end(), s.mem.begin(), s.mem.end());
+    out.insert(o);
+}
+
+} // namespace
+
+LitmusOutcomeSet
+exploreLitmus(const LitmusTest &t, ConsistencyMode mode)
+{
+    AbsState s;
+    const int threads = static_cast<int>(t.threads.size());
+    const int cores = t.numCores();
+    s.pc.assign(threads, 0);
+    s.regs.assign(threads, {});
+    s.mem.assign(t.vars, 0);
+    s.sb.assign(cores, {});
+    s.resv.assign(cores, std::vector<int>(t.vars, -1));
+    std::set<std::string> seen;
+    LitmusOutcomeSet out;
+    exploreDfs(t, mode, s, seen, out);
+    return out;
+}
+
+// ===================================================================
+// Timing-engine runner.
+// ===================================================================
+
+namespace {
+
+/**
+ * One litmus thread as an engine kernel.  Seeded exec padding jitters
+ * the schedule so a sweep of seeds explores many alignments of issue,
+ * drain and serialization: @p initialSpread staggers thread starts
+ * (wide enough to cover the Weak drain-hold window and full
+ * thread-after-thread separations), @p padCap jitters the gaps
+ * between a thread's own operations.
+ */
+Task<void>
+litmusKernel(SimThread &t, LitmusThread th, std::vector<Addr> varAddr,
+             std::uint64_t seed, std::uint64_t initialSpread,
+             std::uint64_t padCap, std::vector<std::uint64_t> *regs)
+{
+    Rng rng(seed);
+    if (initialSpread > 0)
+        co_await t.exec(rng.below(initialSpread + 1));
+    for (const LitmusOp &op : th.ops) {
+        if (padCap > 0)
+            co_await t.exec(rng.below(padCap + 1));
+        const Addr a = varAddr[op.var];
+        switch (op.kind) {
+        case LitmusOpKind::Load:
+            regs->push_back(co_await t.load(a, 4, op.order));
+            break;
+        case LitmusOpKind::Store:
+            co_await t.store(a, op.value, 4, op.order);
+            break;
+        case LitmusOpKind::LoadLinked:
+            regs->push_back(co_await t.loadLinked(a, 4, op.order));
+            break;
+        case LitmusOpKind::StoreCond:
+            regs->push_back(
+                co_await t.storeCond(a, op.value, 4, op.order) ? 1 : 0);
+            break;
+        case LitmusOpKind::GatherLink: {
+            VecReg idx;
+            Mask lane = Mask::none();
+            lane.set(0);
+            GatherResult g =
+                co_await t.vgatherlink(a, idx, lane, 4, op.order);
+            regs->push_back(g.value.u32(0));
+            break;
+        }
+        case LitmusOpKind::ScatterCond: {
+            VecReg idx;
+            VecReg src;
+            src[0] = op.value;
+            Mask lane = Mask::none();
+            lane.set(0);
+            Mask done =
+                co_await t.vscattercond(a, idx, src, lane, 4, op.order);
+            regs->push_back(done.test(0) ? 1 : 0);
+            break;
+        }
+        case LitmusOpKind::Fence:
+            co_await t.fence(op.order);
+            break;
+        }
+    }
+}
+
+struct OneRun
+{
+    bool ok = false;
+    std::string detail;
+    LitmusOutcome outcome;
+    std::uint64_t races = 0;
+};
+
+/**
+ * Litmus shapes are a handful of accesses; a full-size cache
+ * hierarchy would spend the run warming tag arrays.  This config
+ * keeps System construction cheap across thousands of seeded runs
+ * while exercising the same LSU/GSU/L1/L2 path.
+ */
+SystemConfig
+litmusConfig(const LitmusTest &t, ConsistencyMode mode,
+             std::uint64_t seed, const LitmusEngineOptions &opts)
+{
+    int smt = 1;
+    std::vector<int> perCore(t.numCores(), 0);
+    for (const LitmusThread &th : t.threads)
+        smt = std::max(smt, ++perCore[th.core]);
+    SystemConfig cfg = SystemConfig::make(t.numCores(), smt, 4);
+    cfg.l1SizeBytes = 8 * kLineBytes; // 2 sets x 4 ways
+    cfg.l2SizeBytes = 64 * 1024;
+    cfg.l2Assoc = 4;
+    cfg.l2Banks = 2;
+    cfg.stridePrefetcher = false;
+    cfg.consistency.mode = mode;
+    if (mode == ConsistencyMode::Weak) {
+        cfg.consistency.weakDrainSeed = seed;
+        cfg.consistency.weakMaxDrainDelay = opts.weakMaxDrainDelay;
+    }
+    return cfg;
+}
+
+OneRun
+runLitmusOnce(const LitmusTest &t, ConsistencyMode mode,
+              std::uint64_t seed, const LitmusEngineOptions &opts,
+              Tracer *tracer)
+{
+    SystemConfig cfg = litmusConfig(t, mode, seed, opts);
+    RefModel ref;
+    cfg.memObserver = &ref;
+    Analyzer analyzer;
+    if (opts.attachAnalyzer)
+        cfg.analyzer = &analyzer;
+    cfg.tracer = tracer;
+
+    OneRun out;
+    const int threads = static_cast<int>(t.threads.size());
+    std::vector<std::vector<std::uint64_t>> regs(threads);
+    {
+        System sys(cfg);
+        std::vector<Addr> varAddr;
+        for (int v = 0; v < t.vars; ++v)
+            varAddr.push_back(sys.layout().alloc(kLineBytes));
+
+        // A quarter of the seeds run TIGHT (pads 0-3): the narrow
+        // alignments -- both SB loads racing the 1-2 cycle FIFO drain
+        // window -- only line up when the jitter is of the window's
+        // own scale.  The rest run loose for coverage of the wide
+        // shapes (thread-after-thread, Weak drain-hold overlap).
+        Rng shape(seed ^ 0xC0FFEEull);
+        std::uint64_t padCap =
+            shape.chance(0.25)
+                ? shape.below(4)
+                : static_cast<std::uint64_t>(opts.maxPad);
+        std::uint64_t spread = padCap * 4;
+        if (mode == ConsistencyMode::Weak)
+            spread += static_cast<std::uint64_t>(opts.weakMaxDrainDelay);
+
+        std::vector<int> slot(t.numCores(), 0);
+        for (int j = 0; j < threads; ++j) {
+            const LitmusThread &th = t.threads[j];
+            const int gtid =
+                th.core * cfg.threadsPerCore + slot[th.core]++;
+            sys.spawn(gtid, [&, j, padCap, spread](SimThread &st) {
+                return litmusKernel(
+                    st, t.threads[j], varAddr,
+                    seed * 0x9E3779B97F4A7C15ull +
+                        static_cast<std::uint64_t>(j + 1),
+                    spread, padCap, &regs[j]);
+            });
+        }
+        sys.run();
+        ref.verifyFinalMemory();
+        if (!ref.ok()) {
+            out.detail = "reference model divergence on " + t.name +
+                         " seed " + std::to_string(seed) + ":\n" +
+                         ref.errorSummary();
+            return out;
+        }
+        for (const auto &r : regs)
+            out.outcome.insert(out.outcome.end(), r.begin(), r.end());
+        for (int v = 0; v < t.vars; ++v)
+            out.outcome.push_back(sys.memory().readU32(varAddr[v]));
+    }
+    if (opts.attachAnalyzer) {
+        for (const Finding &f : analyzer.findings()) {
+            if (f.kind == FindingKind::Race)
+                out.races++;
+        }
+    }
+    out.ok = true;
+    return out;
+}
+
+} // namespace
+
+LitmusEngineResult
+runLitmusEngine(const LitmusTest &t, ConsistencyMode mode,
+                const LitmusEngineOptions &opts)
+{
+    LitmusEngineResult res;
+    for (int i = 0; i < opts.seeds; ++i) {
+        const std::uint64_t seed =
+            opts.seedBase + static_cast<std::uint64_t>(i);
+        OneRun one = runLitmusOnce(t, mode, seed, opts, nullptr);
+        if (!one.ok) {
+            res.detail = one.detail;
+            return res;
+        }
+        res.raceFindings += one.races;
+        if (res.observed.insert(one.outcome).second)
+            res.firstSeed[one.outcome] = seed;
+    }
+    res.ok = true;
+    return res;
+}
+
+std::string
+replayLitmusSchedule(const LitmusTest &t, ConsistencyMode mode,
+                     std::uint64_t seed, const LitmusEngineOptions &opts,
+                     std::size_t maxChars)
+{
+    Tracer tracer;
+    TextSink text;
+    tracer.addSink(&text);
+    OneRun one = runLitmusOnce(t, mode, seed, opts, &tracer);
+    std::string s = "=== schedule replay: " + t.name + " mode=" +
+                    consistencyModeName(mode) + " seed=" +
+                    std::to_string(seed) + " outcome=" +
+                    (one.ok ? outcomeToString(t, one.outcome)
+                            : std::string("<ref-model divergence>")) +
+                    " ===\n" + text.str();
+    if (s.size() > maxChars)
+        s = "...(truncated)...\n" + s.substr(s.size() - maxChars);
+    return s;
+}
+
+// ===================================================================
+// Corpus and verdict tables.
+// ===================================================================
+
+namespace {
+
+LitmusOp
+op(LitmusOpKind k, int var, std::uint64_t value = 0,
+   MemOrder o = MemOrder::ModeDefault)
+{
+    return LitmusOp{k, var, value, o};
+}
+
+std::vector<LitmusTest>
+buildCorpus()
+{
+    using K = LitmusOpKind;
+    using O = MemOrder;
+    std::vector<LitmusTest> c;
+
+    // --- Store buffering (Dekker core).  x=0, y=1. ---
+    c.push_back({"SB",
+                 2,
+                 {{0, {op(K::Store, 0, 1), op(K::Load, 1)}},
+                  {1, {op(K::Store, 1, 1), op(K::Load, 0)}}}});
+    c.push_back({"SB_sc",
+                 2,
+                 {{0,
+                   {op(K::Store, 0, 1, O::SeqCst),
+                    op(K::Load, 1, 0, O::SeqCst)}},
+                  {1,
+                   {op(K::Store, 1, 1, O::SeqCst),
+                    op(K::Load, 0, 0, O::SeqCst)}}}});
+    c.push_back({"SB_fence",
+                 2,
+                 {{0,
+                   {op(K::Store, 0, 1), op(K::Fence, 0),
+                    op(K::Load, 1)}},
+                  {1,
+                   {op(K::Store, 1, 1), op(K::Fence, 0),
+                    op(K::Load, 0)}}}});
+    // The SC/TSO distinguisher: unannotated atomics default to SeqCst
+    // under TSO ("atomic RMWs are fences") but stay plain under the
+    // bit-identical SC pipeline.
+    c.push_back({"SB_rmw",
+                 2,
+                 {{0, {op(K::Store, 0, 1), op(K::LoadLinked, 1)}},
+                  {1, {op(K::Store, 1, 1), op(K::LoadLinked, 0)}}}});
+
+    // --- Message passing.  x=data (0), y=flag (1). ---
+    c.push_back({"MP",
+                 2,
+                 {{0, {op(K::Store, 0, 1), op(K::Store, 1, 1)}},
+                  {1, {op(K::Load, 1), op(K::Load, 0)}}}});
+    c.push_back({"MP_rel",
+                 2,
+                 {{0,
+                   {op(K::Store, 0, 1),
+                    op(K::Store, 1, 1, O::Release)}},
+                  {1, {op(K::Load, 1), op(K::Load, 0)}}}});
+    c.push_back({"MP_fence",
+                 2,
+                 {{0,
+                   {op(K::Store, 0, 1), op(K::Fence, 0),
+                    op(K::Store, 1, 1)}},
+                  {1, {op(K::Load, 1), op(K::Load, 0)}}}});
+
+    // --- Load buffering: forbidden everywhere (blocking loads). ---
+    c.push_back({"LB",
+                 2,
+                 {{0, {op(K::Load, 1), op(K::Store, 0, 1)}},
+                  {1, {op(K::Load, 0), op(K::Store, 1, 1)}}}});
+
+    // --- Coherence: same-location order holds in every mode. ---
+    c.push_back({"CoRR",
+                 1,
+                 {{0, {op(K::Store, 0, 1), op(K::Store, 0, 2)}},
+                  {1, {op(K::Load, 0), op(K::Load, 0)}}}});
+
+    // --- Independent reads of independent writes. ---
+    c.push_back({"IRIW",
+                 2,
+                 {{0, {op(K::Store, 0, 1)}},
+                  {1, {op(K::Store, 1, 1)}},
+                  {2, {op(K::Load, 0), op(K::Load, 1)}},
+                  {3, {op(K::Load, 1), op(K::Load, 0)}}}});
+    // Readers share a core with a writer: the SMT-shared write buffer
+    // forwards the sibling's store early, so the IRIW split is
+    // observable even under SC.  (Real SMT parts behave the same way;
+    // see DESIGN.md section 13.)
+    c.push_back({"IRIW_smt",
+                 2,
+                 {{0, {op(K::Store, 0, 1)}},
+                  {1, {op(K::Store, 1, 1)}},
+                  {0, {op(K::Load, 0), op(K::Load, 1)}},
+                  {1, {op(K::Load, 1), op(K::Load, 0)}}}});
+
+    // --- GLSC-specific: a remote store must atomically kill the
+    // linked line (no lost update), in every mode. ---
+    c.push_back({"glsc_clear",
+                 1,
+                 {{0,
+                   {op(K::GatherLink, 0), op(K::ScatterCond, 0, 1)}},
+                  {1, {op(K::Store, 0, 2)}}}});
+    // --- GLSC-specific: SMT siblings contending on one line; the
+    // steal is destructive but someone must win. ---
+    c.push_back({"glsc_steal_smt",
+                 1,
+                 {{0,
+                   {op(K::LoadLinked, 0), op(K::StoreCond, 0, 1)}},
+                  {0,
+                   {op(K::LoadLinked, 0), op(K::StoreCond, 0, 2)}}}});
+    return c;
+}
+
+LitmusVerdict
+verdict(const char *test, ConsistencyMode mode,
+        std::vector<LitmusOutcome> forbidden,
+        std::vector<LitmusOutcome> required)
+{
+    LitmusVerdict v;
+    v.test = test;
+    v.mode = mode;
+    v.forbidden = std::move(forbidden);
+    v.required = std::move(required);
+    return v;
+}
+
+std::vector<LitmusVerdict>
+buildVerdicts()
+{
+    constexpr ConsistencyMode kSC = ConsistencyMode::SC;
+    constexpr ConsistencyMode kTSO = ConsistencyMode::TSO;
+    constexpr ConsistencyMode kWeak = ConsistencyMode::Weak;
+    std::vector<LitmusVerdict> v;
+
+    // SB: outcome (r0, r1, x, y).  The write buffer makes (0,0)
+    // observable in EVERY mode -- including the mode named SC, whose
+    // contract is bit-identity with the seed engine, not textbook
+    // sequential consistency (DESIGN.md section 13).
+    for (ConsistencyMode m : {kSC, kTSO, kWeak})
+        v.push_back(verdict("SB", m, {}, {{0, 0, 1, 1}}));
+    // Annotating every access SeqCst restores the textbook verdict.
+    for (ConsistencyMode m : {kSC, kTSO, kWeak})
+        v.push_back(verdict("SB_sc", m, {{0, 0, 1, 1}}, {}));
+    for (ConsistencyMode m : {kSC, kTSO, kWeak})
+        v.push_back(verdict("SB_fence", m, {{0, 0, 1, 1}}, {}));
+    // Unannotated atomics fence under TSO only.
+    v.push_back(verdict("SB_rmw", kSC, {}, {{0, 0, 1, 1}}));
+    v.push_back(verdict("SB_rmw", kTSO, {{0, 0, 1, 1}}, {}));
+    v.push_back(verdict("SB_rmw", kWeak, {}, {{0, 0, 1, 1}}));
+
+    // MP: outcome (r_flag, r_data, x, y).  FIFO drain forbids seeing
+    // the flag without the data; Weak's out-of-order drain allows it.
+    v.push_back(verdict("MP", kSC, {{1, 0, 1, 1}}, {}));
+    v.push_back(verdict("MP", kTSO, {{1, 0, 1, 1}}, {}));
+    v.push_back(verdict("MP", kWeak, {}, {{1, 0, 1, 1}}));
+    // Release on the flag store restores MP in every mode.
+    for (ConsistencyMode m : {kSC, kTSO, kWeak})
+        v.push_back(verdict("MP_rel", m, {{1, 0, 1, 1}}, {}));
+    for (ConsistencyMode m : {kSC, kTSO, kWeak})
+        v.push_back(verdict("MP_fence", m, {{1, 0, 1, 1}}, {}));
+
+    // LB: blocking in-order loads forbid (1,1) in every mode.
+    for (ConsistencyMode m : {kSC, kTSO, kWeak})
+        v.push_back(verdict("LB", m, {{1, 1, 1, 1}}, {}));
+
+    // CoRR: per-location order is architectural in every mode; reads
+    // of one location never go backwards.  Outcome (r0, r1, x).
+    v.push_back(
+        verdict("CoRR", kSC, {{1, 0, 2}, {2, 0, 2}, {2, 1, 2}}, {}));
+    v.push_back(
+        verdict("CoRR", kTSO, {{1, 0, 2}, {2, 0, 2}, {2, 1, 2}}, {}));
+    // Weak holds both drains past the reader, but never reorders them.
+    v.push_back(verdict("CoRR", kWeak,
+                        {{1, 0, 2}, {2, 0, 2}, {2, 1, 2}},
+                        {{0, 0, 2}}));
+
+    // IRIW: one serialization point per line makes the engine
+    // multi-copy atomic; the split read is forbidden in every mode.
+    // Outcome (r0, r1, r2, r3, x, y).
+    for (ConsistencyMode m : {kSC, kTSO, kWeak})
+        v.push_back(verdict("IRIW", m, {{1, 0, 1, 0, 1, 1}}, {}));
+    // ...unless the readers share the writers' buffers (SMT
+    // forwarding), which legalizes the split even under SC -- no
+    // outcome is forbidden here.  The split itself only shows up
+    // reliably under Weak, where held drains stretch the forwarding
+    // window from 1-2 cycles to the full hold delay.
+    v.push_back(verdict("IRIW_smt", kSC, {}, {}));
+    v.push_back(verdict("IRIW_smt", kTSO, {}, {}));
+    v.push_back(verdict("IRIW_smt", kWeak, {}, {{1, 0, 1, 0, 1, 1}}));
+
+    // glsc_clear: outcome (r_gl, r_sc, x).  The lost-update shapes --
+    // a success whose value the remote store never overwrites, or a
+    // success after the gather already saw the remote store yet the
+    // store wins anyway, or a failure with nobody having killed the
+    // link -- are forbidden in every mode: GLSC atomicity is not a
+    // consistency-mode knob.
+    const std::vector<LitmusOutcome> glscClearForbidden = {
+        {0, 1, 1}, {2, 1, 2}, {2, 0, 0}, {2, 0, 1}, {2, 0, 2}};
+    v.push_back(verdict("glsc_clear", kSC, glscClearForbidden,
+                        {{0, 0, 2}, {2, 1, 1}}));
+    v.push_back(verdict("glsc_clear", kTSO, glscClearForbidden,
+                        {{0, 0, 2}, {2, 1, 1}}));
+    // Weak's held store widens the success window: the link usually
+    // survives and the remote store lands after the sc.
+    v.push_back(
+        verdict("glsc_clear", kWeak, glscClearForbidden, {{0, 1, 2}}));
+    // glsc_steal_smt: outcome (r0_ll, r0_sc, r1_ll, r1_sc, x).  The
+    // SMT steal is destructive, but a failed sc clears nothing, so
+    // both threads failing means neither wrote -- impossible.
+    v.push_back(verdict("glsc_steal_smt", kSC, {{0, 0, 0, 0, 0}},
+                        {{0, 0, 0, 1, 2}, {0, 1, 0, 0, 1}}));
+    v.push_back(verdict("glsc_steal_smt", kTSO, {{0, 0, 0, 0, 0}},
+                        {{0, 0, 0, 1, 2}, {0, 1, 0, 0, 1}}));
+    v.push_back(verdict("glsc_steal_smt", kWeak, {{0, 0, 0, 0, 0}},
+                        {{0, 0, 0, 1, 2},
+                         {0, 1, 0, 0, 1},
+                         {0, 1, 1, 1, 2},
+                         {2, 1, 0, 1, 1}}));
+    return v;
+}
+
+} // namespace
+
+const std::vector<LitmusTest> &
+litmusCorpus()
+{
+    static const std::vector<LitmusTest> corpus = buildCorpus();
+    return corpus;
+}
+
+const LitmusTest *
+litmusTestByName(const std::string &name)
+{
+    for (const LitmusTest &t : litmusCorpus()) {
+        if (t.name == name)
+            return &t;
+    }
+    return nullptr;
+}
+
+const std::vector<LitmusVerdict> &
+litmusVerdicts()
+{
+    static const std::vector<LitmusVerdict> verdicts = buildVerdicts();
+    return verdicts;
+}
+
+const LitmusVerdict *
+litmusVerdictFor(const std::string &test, ConsistencyMode mode)
+{
+    for (const LitmusVerdict &v : litmusVerdicts()) {
+        if (v.test == test && v.mode == mode)
+            return &v;
+    }
+    return nullptr;
+}
+
+LitmusDoc
+litmusVerdictDoc()
+{
+    LitmusDoc doc;
+    for (const LitmusVerdict &v : litmusVerdicts()) {
+        LitmusVerdictRow row;
+        row.test = v.test;
+        row.mode = consistencyModeName(v.mode);
+        for (const LitmusOutcome &o : v.forbidden)
+            row.forbidden.push_back(o);
+        for (const LitmusOutcome &o : v.required)
+            row.required.push_back(o);
+        doc.rows.push_back(std::move(row));
+    }
+    return doc;
+}
+
+} // namespace glsc

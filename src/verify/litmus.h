@@ -1,0 +1,181 @@
+/**
+ * @file
+ * Litmus-test harness for the consistency modes (DESIGN.md section
+ * 13): a small DSL for 2-4-thread litmus shapes, an exhaustive
+ * explorer over an abstract machine that shares its ordering rules
+ * with the engine (isa/mem_order.h), and a seeded-schedule runner
+ * that executes the same shape on the timing engine with the
+ * reference model attached.
+ *
+ * The abstract machine models exactly the engine's architectural
+ * ordering surface: blocking in-order loads, per-core store buffers
+ * with youngest-exact-match forwarding (shared across SMT siblings,
+ * which is why IRIW-on-siblings is allowed even under SC), per-mode
+ * drain rules (FIFO under SC/TSO, any-order-per-location under
+ * Weak), issue gates from gatesIssueOnWbEmpty, and per-(core, line)
+ * reservations with SMT stealing.  Its reachable final states are
+ * the mode's allowed outcomes; the verdict tables pin which of those
+ * are forbidden/required and tests assert
+ *   forbidden \cap model-allowed = empty,
+ *   forbidden never observed on the engine,
+ *   observed \subseteq model-allowed,
+ *   required \subseteq observed (the Weak-distinguishing outcomes).
+ */
+
+#ifndef GLSC_VERIFY_LITMUS_H_
+#define GLSC_VERIFY_LITMUS_H_
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "isa/mem_order.h"
+#include "obs/stats_json.h"
+
+namespace glsc {
+
+/** Operations expressible in a litmus thread. */
+enum class LitmusOpKind
+{
+    Load,        //!< reg := var
+    Store,       //!< var := value (via the write buffer)
+    LoadLinked,  //!< reg := var, link the line
+    StoreCond,   //!< reg := (sc var, value) ? 1 : 0
+    GatherLink,  //!< single-lane vgatherlink: reg := var, link
+    ScatterCond, //!< single-lane vscattercond: reg := success ? 1 : 0
+    Fence,       //!< ordering only, no data movement, no reg
+};
+
+/** One litmus instruction. */
+struct LitmusOp
+{
+    LitmusOpKind kind;
+    int var = 0;              //!< location id; each var is its own line
+    std::uint64_t value = 0;  //!< store payload
+    MemOrder order = MemOrder::ModeDefault;
+};
+
+/** True when @p k deposits one value into the outcome register file. */
+constexpr bool
+litmusOpWritesReg(LitmusOpKind k)
+{
+    return k != LitmusOpKind::Store && k != LitmusOpKind::Fence;
+}
+
+/** One litmus thread, pinned to an engine core (SMT when shared). */
+struct LitmusThread
+{
+    int core = 0;
+    std::vector<LitmusOp> ops;
+};
+
+/**
+ * A litmus shape.  The outcome of a run is the vector of register
+ * values (threads in order, each thread's reg-writing ops in program
+ * order) followed by the final value of every var.
+ */
+struct LitmusTest
+{
+    std::string name;
+    int vars = 0;
+    std::vector<LitmusThread> threads;
+
+    int numCores() const;
+    int numRegs() const;
+    /** Total outcome width: numRegs() + vars. */
+    int outcomeWidth() const { return numRegs() + vars; }
+};
+
+using LitmusOutcome = std::vector<std::uint64_t>;
+using LitmusOutcomeSet = std::set<LitmusOutcome>;
+
+/** "r=(a,b,..) m=(x,y)" rendering for diagnostics and JSON. */
+std::string outcomeToString(const LitmusTest &t, const LitmusOutcome &o);
+
+/**
+ * Exhaustively enumerates every final state the abstract machine can
+ * reach under @p mode (DFS over interleavings + drain choices with
+ * state memoization).
+ */
+LitmusOutcomeSet exploreLitmus(const LitmusTest &t, ConsistencyMode mode);
+
+/** Knobs for the seeded timing-engine runs. */
+struct LitmusEngineOptions
+{
+    int seeds = 200;                 //!< schedules per (test, mode)
+    std::uint64_t seedBase = 1;
+    int maxPad = 24;                 //!< random exec padding between ops
+    Tick weakMaxDrainDelay = 2048;   //!< drain-hold spread under Weak
+    bool attachAnalyzer = false;     //!< race-detector cross-check
+};
+
+/** Result of a seeded engine sweep for one (test, mode). */
+struct LitmusEngineResult
+{
+    bool ok = false;         //!< reference model clean on every run
+    std::string detail;      //!< divergence description when !ok
+    LitmusOutcomeSet observed;
+    //! First seed that produced each outcome (forbidden-replay hook).
+    std::map<LitmusOutcome, std::uint64_t> firstSeed;
+    std::uint64_t raceFindings = 0; //!< total, when attachAnalyzer
+};
+
+/**
+ * Runs @p t on the timing engine @p opts.seeds times with seeded
+ * exec padding (and, under Weak, seeded drain holds), the reference
+ * model attached to every run.
+ */
+LitmusEngineResult runLitmusEngine(const LitmusTest &t,
+                                   ConsistencyMode mode,
+                                   const LitmusEngineOptions &opts);
+
+/**
+ * Re-runs one seed with the tracer attached and returns the tail of
+ * the formatted event stream -- the schedule replay a forbidden
+ * observation is reported with.
+ */
+std::string replayLitmusSchedule(const LitmusTest &t, ConsistencyMode mode,
+                                 std::uint64_t seed,
+                                 const LitmusEngineOptions &opts,
+                                 std::size_t maxChars = 4000);
+
+/** Per-mode allow/forbid verdicts for one litmus test. */
+struct LitmusVerdict
+{
+    std::string test;
+    ConsistencyMode mode = ConsistencyMode::SC;
+    //! Must be unreachable in the model and never observed on the
+    //! engine.
+    std::vector<LitmusOutcome> forbidden;
+    //! Must be observed at least once across the seeded sweep (the
+    //! mode-distinguishing outcomes; checked when seeds are plentiful).
+    std::vector<LitmusOutcome> required;
+};
+
+/** The built-in corpus (SB, MP, LB, IRIW, CoRR, GLSC variants). */
+const std::vector<LitmusTest> &litmusCorpus();
+
+/** Looks a corpus test up by name; null when absent. */
+const LitmusTest *litmusTestByName(const std::string &name);
+
+/** Built-in verdict tables: one entry per (corpus test, mode). */
+const std::vector<LitmusVerdict> &litmusVerdicts();
+
+/** Looks the verdict for (test, mode) up; null when absent. */
+const LitmusVerdict *litmusVerdictFor(const std::string &test,
+                                      ConsistencyMode mode);
+
+/**
+ * Exports the built-in verdict tables as the LITMUS JSON document
+ * (obs/stats_json.h).  litmusDocToJson(litmusVerdictDoc()) is the
+ * canonical serialized form; tests/data/litmus_verdicts.json pins it
+ * byte-for-byte so the machine-readable artifact can never drift from
+ * the tables the tier-1 suite actually enforces.
+ */
+LitmusDoc litmusVerdictDoc();
+
+} // namespace glsc
+
+#endif // GLSC_VERIFY_LITMUS_H_

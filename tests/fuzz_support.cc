@@ -99,7 +99,7 @@ fuzzThread(SimThread &t, Addr vecBase, Addr scBase, Addr scratch,
 std::string
 FuzzCase::name() const
 {
-    return strprintf("%dc%dt_w%d_r%d%s%s%s%s%s%s_s%llu", cores, smt,
+    return strprintf("%dc%dt_w%d_r%d%s%s%s%s%s%s%s_s%llu", cores, smt,
                      width, region, smallL1 ? "_smallL1" : "",
                      policy.failOnMiss ? "_failMiss" : "",
                      policy.failIfLinkedByOther ? "_failOther" : "",
@@ -112,6 +112,10 @@ FuzzCase::name() const
                                      closedPage ? "cp" : "op", queueDepth)
                                .c_str()
                          : "",
+                     mode == ConsistencyMode::SC
+                         ? ""
+                         : strprintf("_%s", consistencyModeName(mode))
+                               .c_str(),
                      (unsigned long long)seed);
 }
 
@@ -146,6 +150,13 @@ runFuzzDifferential(const FuzzCase &fc)
     cfg.dram.closedPage = fc.closedPage;
     cfg.dram.channels = fc.channels;
     cfg.dram.queueDepth = fc.queueDepth;
+    cfg.consistency.mode = fc.mode;
+    if (fc.mode == ConsistencyMode::Weak) {
+        // Short hold window: long holds only serialize the workload
+        // behind drains without exposing more interleavings.
+        cfg.consistency.weakMaxDrainDelay = 48;
+        cfg.consistency.weakDrainSeed = fc.seed ^ 0x5EEDull;
+    }
 
     RefModel ref;
     cfg.memObserver = &ref;

@@ -53,6 +53,15 @@ struct FuzzCase
     bool closedPage = false; //!< DRAM page policy (backend == Dram)
     int channels = 2;        //!< DRAM channel count (backend == Dram)
     int queueDepth = 16;     //!< DRAM queue depth (small => backpressure)
+    /**
+     * Memory-consistency mode axis: the relaxations live entirely
+     * above the L1 serialization point (issue gating, write-buffer
+     * drain order), so the reference model -- which observes the
+     * global order at acceptance -- stays valid in every mode and the
+     * same differential checks must pass under TSO and Weak.  Weak
+     * runs get a nonzero weakMaxDrainDelay seeded from the case.
+     */
+    ConsistencyMode mode = ConsistencyMode::SC;
     std::uint64_t seed = 1;
 
     std::string name() const;

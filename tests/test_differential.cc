@@ -8,8 +8,15 @@
  *    banked DRAM x page policy x channel count x queue depth) -- the
  *    backend reshapes timing below the L2 and must never change
  *    architectural outcomes;
+ *  - DifferentialFuzzConsistency: the memory-consistency mode axis
+ *    (TSO, Weak) -- the relaxations live above the L1 serialization
+ *    point, so the reference model stays valid and every mode must
+ *    pass the same differential checks;
  *  - KernelDifferential: all seven registered RMS benchmarks under both
  *    schemes with the reference model attached;
+ *  - KernelDifferentialConsistency: the same 7x2 kernel matrix under
+ *    TSO and Weak -- kernel verification plus the reference model must
+ *    hold in every consistency mode;
  *  - MutationSmoke: proves the harness is not vacuous by injecting the
  *    classic leaked-reservation bug (an eviction that fails to clear
  *    the GLSC entry, L1Cache::testOnlySkipGlscClearOnEvict) and
@@ -175,6 +182,72 @@ INSTANTIATE_TEST_SUITE_P(Sweep, DifferentialFuzzMem,
                              return std::string(param_info.param.name);
                          });
 
+// ----- Consistency-mode axis of the sweep. -------------------------
+
+/**
+ * Named memory-consistency modes beyond the SC default (which the
+ * DifferentialFuzz sweep already covers implicitly).  TSO gates
+ * atomics on write-buffer drain; Weak additionally drains the buffer
+ * out of order under seeded per-entry hold delays.  Neither may ever
+ * diverge from the reference model: the relaxations reorder the
+ * global memory order, they do not break it.
+ */
+struct ConsistencyVariant
+{
+    const char *name;
+    ConsistencyMode mode;
+};
+
+const ConsistencyVariant kConsistencyVariants[] = {
+    {"Tso", ConsistencyMode::TSO},
+    {"Weak", ConsistencyMode::Weak},
+};
+
+class DifferentialFuzzConsistency
+    : public ::testing::TestWithParam<ConsistencyVariant>
+{
+};
+
+TEST_P(DifferentialFuzzConsistency, RelaxedModesMatchReferenceModel)
+{
+    const ConsistencyVariant &variant = GetParam();
+    const std::pair<int, int> topologies[] = {
+        {1, 1}, {1, 4}, {2, 2}, {4, 4}};
+
+    int combos = 0;
+    std::uint64_t totalOps = 0;
+    for (auto [cores, smt] : topologies) {
+        for (int width : {4, 16}) {
+            for (int rep = 0; rep < 2; ++rep) {
+                FuzzCase fc;
+                fc.cores = cores;
+                fc.smt = smt;
+                fc.width = width;
+                fc.region = 32; // dense: drains race real sharers
+                fc.mode = variant.mode;
+                // Second rep shrinks the L1 (evictions vs. pending
+                // drains) and adds the reservation buffer variant.
+                fc.smallL1 = rep == 1;
+                if (rep == 1)
+                    fc.policy.bufferEntries = 4;
+                fc.seed = 0xC0DEull + combos * 211 + rep;
+                FuzzOutcome out = fuzz::runFuzzDifferential(fc);
+                ASSERT_TRUE(out.ok) << out.detail;
+                totalOps += out.opsChecked;
+                combos++;
+            }
+        }
+    }
+    EXPECT_EQ(combos, 16);
+    EXPECT_GT(totalOps, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, DifferentialFuzzConsistency,
+                         ::testing::ValuesIn(kConsistencyVariants),
+                         [](const auto &param_info) {
+                             return std::string(param_info.param.name);
+                         });
+
 // ----- Full benchmarks under the reference model. ------------------
 
 class KernelDifferential
@@ -205,6 +278,52 @@ INSTANTIATE_TEST_SUITE_P(
     [](const auto &param_info) {
         return std::string(std::get<0>(param_info.param)) +
                (std::get<1>(param_info.param) ? "_GLSC" : "_Base");
+    });
+
+// ----- Kernels under relaxed consistency modes. --------------------
+
+/**
+ * The full 7x2 kernel matrix again, this time under TSO and Weak.
+ * Every kernel's own verification (exact sums, sorted outputs, ...)
+ * plus the reference model must hold: the kernels synchronize through
+ * atomics and barriers, both of which remain ordering points in every
+ * mode, so relaxing plain-store drain order must never change a
+ * verified result.
+ */
+class KernelDifferentialConsistency
+    : public ::testing::TestWithParam<
+          std::tuple<const char *, int, ConsistencyVariant>>
+{
+};
+
+TEST_P(KernelDifferentialConsistency, BenchmarkVerifiesUnderRelaxedMode)
+{
+    auto [bench, schemeIdx, variant] = GetParam();
+    Scheme scheme = schemeIdx ? Scheme::Glsc : Scheme::Base;
+    SystemConfig cfg = SystemConfig::make(2, 2, 4);
+    cfg.consistency.mode = variant.mode;
+    if (variant.mode == ConsistencyMode::Weak) {
+        cfg.consistency.weakMaxDrainDelay = 48;
+        cfg.consistency.weakDrainSeed = 23;
+    }
+    RefModel ref;
+    cfg.memObserver = &ref;
+    RunResult r = runBenchmark(bench, 0, scheme, cfg, 0.02, 11);
+    ASSERT_TRUE(r.verified) << r.detail;
+    EXPECT_GT(ref.opsChecked(), 0u);
+    EXPECT_TRUE(ref.ok()) << ref.errorSummary();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllBenches, KernelDifferentialConsistency,
+    ::testing::Combine(::testing::Values("GBC", "FS", "GPS", "HIP", "SMC",
+                                         "MFP", "TMS"),
+                       ::testing::Values(0, 1),
+                       ::testing::ValuesIn(kConsistencyVariants)),
+    [](const auto &param_info) {
+        return std::string(std::get<0>(param_info.param)) +
+               (std::get<1>(param_info.param) ? "_GLSC_" : "_Base_") +
+               std::get<2>(param_info.param).name;
     });
 
 // ----- Mutation smoke tests (non-vacuity). -------------------------

@@ -1,0 +1,324 @@
+/**
+ * @file
+ * Litmus-test harness checks (DESIGN.md section 13): the verdict
+ * tables against the exhaustive abstract model, the timing engine
+ * against both, and the PR 5 race detector as a cross-check.  A
+ * forbidden outcome observed on the engine fails with the offending
+ * seed's schedule replayed through the tracer.
+ *
+ * GLSC_LITMUS_SEEDS overrides the schedules per (test, mode); CI's
+ * sanitizer job raises it to 1000 (the acceptance bar), the tier-1
+ * default keeps the whole suite under a couple of seconds.
+ */
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "verify/litmus.h"
+
+namespace glsc {
+namespace {
+
+constexpr ConsistencyMode kAllModes[] = {
+    ConsistencyMode::SC, ConsistencyMode::TSO, ConsistencyMode::Weak};
+
+int
+envSeeds(int def)
+{
+    const char *s = std::getenv("GLSC_LITMUS_SEEDS");
+    if (s == nullptr)
+        return def;
+    int v = std::atoi(s);
+    return v > 0 ? v : def;
+}
+
+/**
+ * The required-outcome sets are pinned from outcomes that show up in
+ * >= 5% of seeded schedules, so a sweep this size misses one with
+ * probability under 1e-3; smaller sweeps skip the required check
+ * rather than flake.
+ */
+constexpr int kRequiredCheckMinSeeds = 100;
+
+std::string
+describeSet(const LitmusTest &t, const LitmusOutcomeSet &s)
+{
+    std::string out;
+    for (const LitmusOutcome &o : s)
+        out += "  " + outcomeToString(t, o) + "\n";
+    return out;
+}
+
+// ----- Model-level checks (no simulation). -------------------------
+
+TEST(LitmusModel, EveryCorpusEntryHasVerdictsForAllModes)
+{
+    ASSERT_FALSE(litmusCorpus().empty());
+    for (const LitmusTest &t : litmusCorpus()) {
+        EXPECT_GE(static_cast<int>(t.threads.size()), 2) << t.name;
+        EXPECT_LE(static_cast<int>(t.threads.size()), 4) << t.name;
+        for (ConsistencyMode m : kAllModes) {
+            EXPECT_NE(litmusVerdictFor(t.name, m), nullptr)
+                << t.name << " lacks a verdict for "
+                << consistencyModeName(m);
+        }
+    }
+}
+
+TEST(LitmusModel, ForbiddenOutcomesAreUnreachableInModel)
+{
+    for (const LitmusTest &t : litmusCorpus()) {
+        for (ConsistencyMode m : kAllModes) {
+            LitmusOutcomeSet allowed = exploreLitmus(t, m);
+            ASSERT_FALSE(allowed.empty()) << t.name;
+            const LitmusVerdict *v = litmusVerdictFor(t.name, m);
+            ASSERT_NE(v, nullptr);
+            for (const LitmusOutcome &f : v->forbidden) {
+                EXPECT_EQ(allowed.count(f), 0u)
+                    << t.name << " under " << consistencyModeName(m)
+                    << ": forbidden outcome "
+                    << outcomeToString(t, f)
+                    << " is reachable in the abstract model";
+            }
+            for (const LitmusOutcome &r : v->required) {
+                EXPECT_EQ(allowed.count(r), 1u)
+                    << t.name << " under " << consistencyModeName(m)
+                    << ": required outcome "
+                    << outcomeToString(t, r)
+                    << " is not even model-allowed";
+            }
+        }
+    }
+}
+
+TEST(LitmusModel, ModesFormARelaxationHierarchyPerTest)
+{
+    // Everything SC/TSO allows, Weak allows too (Weak only adds drain
+    // reorderings); and since SC and TSO differ solely in the default
+    // order of atomics, tests without atomics explore identically.
+    for (const LitmusTest &t : litmusCorpus()) {
+        LitmusOutcomeSet sc = exploreLitmus(t, ConsistencyMode::SC);
+        LitmusOutcomeSet tso = exploreLitmus(t, ConsistencyMode::TSO);
+        LitmusOutcomeSet weak = exploreLitmus(t, ConsistencyMode::Weak);
+        for (const LitmusOutcome &o : tso) {
+            EXPECT_EQ(sc.count(o), 1u)
+                << t.name << ": TSO reaches " << outcomeToString(t, o)
+                << " but the plain-pipeline SC mode does not";
+            EXPECT_EQ(weak.count(o), 1u)
+                << t.name << ": TSO reaches " << outcomeToString(t, o)
+                << " but Weak does not";
+        }
+        bool hasAtomic = false;
+        for (const LitmusThread &th : t.threads) {
+            for (const LitmusOp &op : th.ops) {
+                hasAtomic |= op.kind == LitmusOpKind::LoadLinked ||
+                             op.kind == LitmusOpKind::StoreCond ||
+                             op.kind == LitmusOpKind::GatherLink ||
+                             op.kind == LitmusOpKind::ScatterCond;
+            }
+        }
+        if (!hasAtomic) {
+            EXPECT_EQ(sc, tso)
+                << t.name << ": SC and TSO should explore identically "
+                << "without atomics, whose default order is the only "
+                << "knob that separates them";
+        }
+    }
+}
+
+TEST(LitmusModel, UnannotatedAtomicsAreTheScTsoDistinguisher)
+{
+    // SB_rmw is SB with the loads turned into ll: under TSO the
+    // unannotated atomics fence (x86's "atomic RMWs drain the store
+    // buffer"), under the bit-identity SC mode they stay plain.
+    const LitmusTest *t = litmusTestByName("SB_rmw");
+    ASSERT_NE(t, nullptr);
+    const LitmusOutcome split = {0, 0, 1, 1};
+    EXPECT_EQ(exploreLitmus(*t, ConsistencyMode::SC).count(split), 1u);
+    EXPECT_EQ(exploreLitmus(*t, ConsistencyMode::TSO).count(split), 0u);
+    EXPECT_EQ(exploreLitmus(*t, ConsistencyMode::Weak).count(split), 1u);
+}
+
+// ----- Engine sweeps: the simulator against model and verdicts. ----
+
+struct SweepCase
+{
+    const char *test;
+    ConsistencyMode mode;
+};
+
+std::string
+sweepName(const ::testing::TestParamInfo<SweepCase> &info)
+{
+    return std::string(info.param.test) + "_" +
+           consistencyModeName(info.param.mode);
+}
+
+class LitmusEngineSweep : public ::testing::TestWithParam<SweepCase>
+{
+};
+
+TEST_P(LitmusEngineSweep, ObservedOutcomesMatchModelAndVerdicts)
+{
+    const SweepCase &c = GetParam();
+    const LitmusTest *t = litmusTestByName(c.test);
+    ASSERT_NE(t, nullptr);
+    const LitmusVerdict *v = litmusVerdictFor(c.test, c.mode);
+    ASSERT_NE(v, nullptr);
+
+    LitmusEngineOptions opts;
+    opts.seeds = envSeeds(150);
+    LitmusEngineResult res = runLitmusEngine(*t, c.mode, opts);
+    ASSERT_TRUE(res.ok) << res.detail;
+
+    LitmusOutcomeSet allowed = exploreLitmus(*t, c.mode);
+    for (const LitmusOutcome &o : res.observed) {
+        if (allowed.count(o) == 0) {
+            ADD_FAILURE()
+                << t->name << " under " << consistencyModeName(c.mode)
+                << " produced " << outcomeToString(*t, o)
+                << ", which the abstract model cannot reach.\n"
+                << replayLitmusSchedule(*t, c.mode,
+                                        res.firstSeed.at(o), opts);
+        }
+    }
+    for (const LitmusOutcome &f : v->forbidden) {
+        if (res.observed.count(f) != 0) {
+            ADD_FAILURE()
+                << t->name << " under " << consistencyModeName(c.mode)
+                << " observed FORBIDDEN outcome "
+                << outcomeToString(*t, f) << ".\n"
+                << replayLitmusSchedule(*t, c.mode,
+                                        res.firstSeed.at(f), opts);
+        }
+    }
+    if (opts.seeds >= kRequiredCheckMinSeeds) {
+        for (const LitmusOutcome &r : v->required) {
+            EXPECT_EQ(res.observed.count(r), 1u)
+                << t->name << " under " << consistencyModeName(c.mode)
+                << " never produced the required outcome "
+                << outcomeToString(*t, r) << " across " << opts.seeds
+                << " schedules; observed:\n"
+                << describeSet(*t, res.observed);
+        }
+    }
+}
+
+std::vector<SweepCase>
+makeSweepMatrix()
+{
+    std::vector<SweepCase> cases;
+    for (const LitmusTest &t : litmusCorpus()) {
+        for (ConsistencyMode m : kAllModes)
+            cases.push_back(SweepCase{t.name.c_str(), m});
+    }
+    return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(Corpus, LitmusEngineSweep,
+                         ::testing::ValuesIn(makeSweepMatrix()),
+                         sweepName);
+
+// ----- Race-detector cross-check. ----------------------------------
+
+TEST(LitmusRaceCrossCheck, PlainShapesAreRacyAtomicShapesAreNot)
+{
+    // The litmus shapes double as known inputs for the PR 5 race
+    // detector: SB's plain cross-thread accesses are unsynchronized
+    // by construction (2 races per run, one per direction), while
+    // glsc_steal_smt touches its variable only through ll/sc.  Weak
+    // mode also exercises the analyzer's out-of-order drain
+    // bookkeeping (Analyzer::onStoreDrainIndex).
+    for (ConsistencyMode m : kAllModes) {
+        LitmusEngineOptions opts;
+        opts.seeds = 25;
+        opts.attachAnalyzer = true;
+
+        const LitmusTest *racy = litmusTestByName("SB");
+        ASSERT_NE(racy, nullptr);
+        LitmusEngineResult r = runLitmusEngine(*racy, m, opts);
+        ASSERT_TRUE(r.ok) << r.detail;
+        EXPECT_EQ(r.raceFindings,
+                  2u * static_cast<std::uint64_t>(opts.seeds))
+            << "SB under " << consistencyModeName(m);
+
+        const LitmusTest *clean = litmusTestByName("glsc_steal_smt");
+        ASSERT_NE(clean, nullptr);
+        LitmusEngineResult c = runLitmusEngine(*clean, m, opts);
+        ASSERT_TRUE(c.ok) << c.detail;
+        EXPECT_EQ(c.raceFindings, 0u)
+            << "glsc_steal_smt under " << consistencyModeName(m);
+    }
+}
+
+// ----- Replay plumbing. --------------------------------------------
+
+TEST(LitmusReplay, ReplayRendersTheSeedSchedule)
+{
+    const LitmusTest *t = litmusTestByName("SB");
+    ASSERT_NE(t, nullptr);
+    LitmusEngineOptions opts;
+    std::string rep =
+        replayLitmusSchedule(*t, ConsistencyMode::Weak, 7, opts);
+    EXPECT_NE(rep.find("schedule replay: SB"), std::string::npos);
+    EXPECT_NE(rep.find("mode=weak"), std::string::npos);
+    EXPECT_NE(rep.find("seed=7"), std::string::npos);
+    EXPECT_GT(rep.size(), 200u) << "trace body missing:\n" << rep;
+    // Deterministic: the same seed replays the same schedule.
+    EXPECT_EQ(rep, replayLitmusSchedule(*t, ConsistencyMode::Weak, 7,
+                                        opts));
+}
+
+// ----- Checked-in verdict artifact. --------------------------------
+
+TEST(LitmusArtifact, CheckedInJsonMatchesBuiltInTablesByteForByte)
+{
+    // tests/data/litmus_verdicts.json is the machine-readable copy of
+    // the verdict tables; it must track litmus.cc exactly.  On a
+    // mismatch, regenerate it from litmusDocToJson(litmusVerdictDoc())
+    // and review the diff like any other golden update.
+    std::ifstream in(std::string(GLSC_TESTS_DATA_DIR) +
+                     "/litmus_verdicts.json");
+    ASSERT_TRUE(in.good()) << "tests/data/litmus_verdicts.json missing";
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    EXPECT_EQ(buf.str(), litmusDocToJson(litmusVerdictDoc()))
+        << "checked-in verdict artifact drifted from litmus.cc";
+}
+
+TEST(LitmusArtifact, CheckedInJsonParsesStrictlyAndCoversTheCorpus)
+{
+    std::ifstream in(std::string(GLSC_TESTS_DATA_DIR) +
+                     "/litmus_verdicts.json");
+    ASSERT_TRUE(in.good());
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    LitmusDoc doc;
+    std::string err;
+    ASSERT_TRUE(litmusDocFromJson(buf.str(), doc, &err)) << err;
+    // One row per (corpus test, mode), in corpus x mode order, each
+    // matching the in-memory verdict exactly.
+    ASSERT_EQ(doc.rows.size(), litmusCorpus().size() * 3);
+    for (const LitmusVerdictRow &row : doc.rows) {
+        ConsistencyMode mode;
+        ASSERT_TRUE(consistencyModeFromName(row.mode, &mode))
+            << row.mode;
+        const LitmusVerdict *v = litmusVerdictFor(row.test, mode);
+        ASSERT_NE(v, nullptr) << row.test;
+        EXPECT_EQ(row.forbidden,
+                  std::vector<LitmusOutcome>(v->forbidden.begin(),
+                                             v->forbidden.end()))
+            << row.test << " " << row.mode;
+        EXPECT_EQ(row.required,
+                  std::vector<LitmusOutcome>(v->required.begin(),
+                                             v->required.end()))
+            << row.test << " " << row.mode;
+    }
+}
+
+} // namespace
+} // namespace glsc

@@ -9,6 +9,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cstring>
+
 #include "analyze/finding.h"
 #include "kernels/registry.h"
 #include "obs/stats_json.h"
@@ -598,6 +600,101 @@ TEST(BenchDocJson, RejectsUnknownFieldAndTruncation)
     EXPECT_FALSE(benchDocFromJson(json.substr(0, json.size() / 2),
                                   parsed, nullptr));
     EXPECT_FALSE(benchDocFromJson("", parsed, nullptr));
+}
+
+// ----- LITMUS verdict document. ------------------------------------
+
+LitmusDoc
+sampleLitmusDoc()
+{
+    LitmusDoc doc;
+    LitmusVerdictRow sb;
+    sb.test = "SB";
+    sb.mode = "tso";
+    sb.forbidden = {{0, 0, 1, 1}};
+    sb.required = {};
+    LitmusVerdictRow mp;
+    mp.test = "MP";
+    mp.mode = "weak";
+    mp.forbidden = {};
+    mp.required = {{1, 0, 1, 1}, {0, 0, 1, 1}};
+    doc.rows = {sb, mp};
+    return doc;
+}
+
+TEST(LitmusDocJson, RoundTripsByteIdentically)
+{
+    LitmusDoc doc = sampleLitmusDoc();
+    std::string json = litmusDocToJson(doc);
+    LitmusDoc parsed;
+    std::string err;
+    ASSERT_TRUE(litmusDocFromJson(json, parsed, &err)) << err;
+    ASSERT_EQ(parsed.rows.size(), doc.rows.size());
+    EXPECT_EQ(parsed.rows[0].test, "SB");
+    EXPECT_EQ(parsed.rows[0].mode, "tso");
+    EXPECT_EQ(parsed.rows[0].forbidden, doc.rows[0].forbidden);
+    EXPECT_EQ(parsed.rows[1].required, doc.rows[1].required);
+    EXPECT_EQ(litmusDocToJson(parsed), json);
+}
+
+TEST(LitmusDocJson, EmptyOutcomeSetsRoundTrip)
+{
+    LitmusDoc doc;
+    LitmusVerdictRow row;
+    row.test = "LB";
+    row.mode = "sc";
+    doc.rows = {row};
+    std::string json = litmusDocToJson(doc);
+    LitmusDoc parsed;
+    ASSERT_TRUE(litmusDocFromJson(json, parsed, nullptr));
+    EXPECT_TRUE(parsed.rows[0].forbidden.empty());
+    EXPECT_TRUE(parsed.rows[0].required.empty());
+    EXPECT_EQ(litmusDocToJson(parsed), json);
+}
+
+TEST(LitmusDocJson, RejectsTamperedDocuments)
+{
+    std::string json = litmusDocToJson(sampleLitmusDoc());
+    LitmusDoc parsed;
+    std::string err;
+
+    // Wrong schema version.
+    std::string wrong = json;
+    std::size_t pos = wrong.find("\"litmusSchema\": 1");
+    ASSERT_NE(pos, std::string::npos);
+    wrong.replace(pos, std::strlen("\"litmusSchema\": 1"),
+                  "\"litmusSchema\": 999");
+    EXPECT_FALSE(litmusDocFromJson(wrong, parsed, &err));
+    EXPECT_NE(err.find("litmusSchema"), std::string::npos) << err;
+
+    // Unknown field inside a verdict record.
+    std::string extra = json;
+    pos = extra.find("\"test\"");
+    ASSERT_NE(pos, std::string::npos);
+    extra.insert(pos, "\"verdict\": \"allowed\", ");
+    EXPECT_FALSE(litmusDocFromJson(extra, parsed, nullptr));
+
+    // Missing field: drop the "mode" line entirely.
+    std::string missing = json;
+    pos = missing.find("      \"mode\": \"tso\",\n");
+    ASSERT_NE(pos, std::string::npos);
+    missing.erase(pos, std::strlen("      \"mode\": \"tso\",\n"));
+    EXPECT_FALSE(litmusDocFromJson(missing, parsed, nullptr));
+
+    // Outcome elements must be unsigned integers, not strings or
+    // floats (a 0.5-register outcome is a corrupt table, not data).
+    std::string floaty = json;
+    pos = floaty.find("[0, 0, 1, 1]");
+    ASSERT_NE(pos, std::string::npos);
+    floaty.replace(pos, std::strlen("[0, 0, 1, 1]"), "[0, 0.5, 1, 1]");
+    EXPECT_FALSE(litmusDocFromJson(floaty, parsed, nullptr));
+
+    // Truncation / garbage.
+    EXPECT_FALSE(
+        litmusDocFromJson(json.substr(0, json.size() / 2), parsed,
+                          nullptr));
+    EXPECT_FALSE(litmusDocFromJson("", parsed, nullptr));
+    EXPECT_FALSE(litmusDocFromJson("[]", parsed, nullptr));
 }
 
 } // namespace
