@@ -47,6 +47,7 @@ usage(const char *argv0)
                  " [--json path] [--trace path] [--noc-armed]"
                  " [--analyze path] [--mem fixed|dram]"
                  " [--consistency sc|tso|weak]"
+                 " [--soft-errors rate]"
                  " [--only bench[:scheme]]\n",
                  argv0);
     std::exit(2);
@@ -85,6 +86,9 @@ parseArgs(int argc, char **argv, double default_scale,
             opt.consistency = argv[++i];
         } else if (std::strncmp(argv[i], "--consistency=", 14) == 0) {
             opt.consistency = argv[i] + 14;
+        } else if (std::strcmp(argv[i], "--soft-errors") == 0 &&
+                   i + 1 < argc) {
+            opt.softRate = std::atof(argv[++i]);
         } else if (std::strcmp(argv[i], "--only") == 0 && i + 1 < argc) {
             std::string cell = argv[++i];
             std::size_t colon = cell.find(':');
@@ -187,6 +191,15 @@ runCheckedWith(const std::string &bench, int dataset, Scheme scheme,
     if (!opt.consistency.empty())
         consistencyModeFromName(opt.consistency,
                                 &runCfg.consistency.mode);
+    if (opt.softRate >= 0.0) {
+        runCfg.soft.armed = true;
+        runCfg.soft.panicOnMachineCheck = false;
+        runCfg.soft.l1DataRate = opt.softRate;
+        runCfg.soft.l1TagRate = opt.softRate;
+        runCfg.soft.l2DataRate = opt.softRate;
+        runCfg.soft.directoryRate = opt.softRate;
+        runCfg.soft.glscEntryRate = opt.softRate;
+    }
     if (!opt.analyzePath.empty())
         runCfg.analyzer = &st.analyzer;
     RunResult r = run_fn(runCfg);

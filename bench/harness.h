@@ -17,6 +17,13 @@
  *   --analyze <p> attach the guest-program analyzer to every run and
  *                 write its findings JSON to <p> (observation-only:
  *                 must not change any table -- CI diffs with/without)
+ *   --soft-errors <rate>
+ *                 arm the soft-error injector with every per-op flip
+ *                 rate set to <rate>, in report mode (machine-check
+ *                 verdicts are recorded, not fatal, so sweeps
+ *                 complete).  `--soft-errors 0` arms the injector with
+ *                 zero rates and must be byte-identical to no flag --
+ *                 CI diffs the two
  *   --only <bench>[:<scheme>]
  *                 run only the matching matrix cell(s): non-matching
  *                 runChecked calls are skipped entirely (no
@@ -64,6 +71,9 @@ struct Options
     //! untouched; since SystemConfig defaults to SC, an explicit
     //! "sc" must be cycle-identical to no flag -- CI diffs the two).
     std::string consistency;
+    //! --soft-errors: uniform per-op flip rate for all five soft-error
+    //! sites, report mode (negative = injector not armed).
+    double softRate = -1.0;
     std::string onlyBench;    //!< --only bench filter ("" = all)
     std::string onlyScheme;   //!< --only scheme filter ("" = both)
 };

@@ -103,6 +103,13 @@ struct SystemConfig
     RetryPolicy retry;
     WatchdogConfig watchdog;
 
+    // Soft-error injection + parity/ECC protection model
+    // (src/robust/softerror.h): seeded bit flips in L1/L2 lines,
+    // directory entries and GLSC reservation state, recovered through
+    // the scrub -> refetch -> machine-check ladder.  Off by default;
+    // armed-with-zero-flips runs stay cycle-identical to unarmed ones.
+    SoftErrorConfig soft;
+
     // Transaction-level NoC message layer (src/noc/interconnect.h):
     // armed by noc.protocol or by any FaultConfig NoC fault rate;
     // unarmed runs keep the pure latency-calculator behaviour.

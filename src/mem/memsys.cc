@@ -29,7 +29,7 @@ MemorySystem::MemorySystem(const SystemConfig &cfg, EventQueue &events,
 #ifdef GLSC_CHECK_ENABLED
     checker_ = std::make_unique<InvariantChecker>(*this);
 #endif
-    if (cfg_.faults.anyEnabled())
+    if (cfg_.faults.anyEnabled() || cfg_.soft.anyEnabled())
         injector_ = std::make_unique<FaultInjector>(cfg_, stats_, *this);
     observer_ = cfg.memObserver;
     tracer_ = cfg.tracer;
@@ -494,8 +494,10 @@ MemorySystem::lineAccess(CoreId c, Addr line, bool needM, bool isPrefetch,
         dir->addSharer(c);
     }
 
-    if (injector_ != nullptr)
+    if (injector_ != nullptr) {
         lat += injector_->delayPenalty(); // injected NoC/bank stretch
+        lat += injector_->softScrubPenalty(); // pending ECC scrub time
+    }
 
     // The reply leg: complete() adds the reply traversal and, when
     // armed, resolves reply loss (timeout -> retransmit -> bank-side

@@ -152,6 +152,7 @@ class MemObserver
 
 class FaultInjector;
 class InvariantChecker;
+class SoftErrorInjector;
 
 class MemorySystem
 {
@@ -268,10 +269,12 @@ class MemorySystem
     }
 
   private:
-    // The injector mutates reservation state through the private
-    // linkLine/clearLink/evictL1 paths so the invariant checker's
-    // shadow map tracks every injected fault.
+    // The injectors mutate cache/directory/reservation state through
+    // the private linkLine/clearLink/evictL1/evictL2 paths so the
+    // invariant checker's shadow map tracks every injected fault and
+    // soft-error recovery action.
     friend class FaultInjector;
+    friend class SoftErrorInjector;
 
     // Bodies of the public operations; the public entry points wrap
     // them to notify the observer and the invariant checker exactly

@@ -17,7 +17,7 @@ namespace glsc {
 // the common LP64 + libstdc++-style ABI the CI containers use; other
 // ABIs just skip the check.)
 static_assert(sizeof(void *) != 8 || sizeof(std::string) != 32 ||
-                  (sizeof(SystemStats) == 656 && sizeof(ThreadStats) == 224),
+                  (sizeof(SystemStats) == 808 && sizeof(ThreadStats) == 224),
               "SystemStats/ThreadStats changed: update the JSON schema "
               "(stats_json.h field macros) and bump "
               "kStatsJsonSchemaVersion");
@@ -101,6 +101,10 @@ statsToJson(const SystemStats &stats)
     out += ']';
     out += strprintf(",\n  \"livelockReport\": \"%s\"",
                      jsonEscape(stats.livelockReport).c_str());
+    out += strprintf(",\n  \"machineCheckDetected\": %s",
+                     stats.machineCheckDetected ? "true" : "false");
+    out += strprintf(",\n  \"machineCheckReport\": \"%s\"",
+                     jsonEscape(stats.machineCheckReport).c_str());
 
     out += ",\n  \"l2BankAccesses\": ";
     appendU64Array(out, stats.l2BankAccesses);
@@ -119,6 +123,14 @@ statsToJson(const SystemStats &stats)
     appendU64Array(out, stats.dramChannelReqs);
     out += ",\n  \"dramChannelPeakQueue\": ";
     appendU64Array(out, stats.dramChannelPeakQueue);
+    out += ",\n  \"softFlips\": ";
+    appendU64Array(out, stats.softFlips);
+    out += ",\n  \"softCorrected\": ";
+    appendU64Array(out, stats.softCorrected);
+    out += ",\n  \"softRefetched\": ";
+    appendU64Array(out, stats.softRefetched);
+    out += ",\n  \"softAborted\": ";
+    appendU64Array(out, stats.softAborted);
 
     out += ",\n  \"threads\": [";
     for (std::size_t g = 0; g < stats.threads.size(); ++g) {
@@ -503,6 +515,11 @@ statsFromJVal(const JVal &root, SystemStats &out, std::string &why)
             }
             if (const JVal *v = r.get("livelockReport", JVal::Str))
                 s.livelockReport = v->str;
+            if (const JVal *v = r.get("machineCheckDetected",
+                                      JVal::Bool))
+                s.machineCheckDetected = v->b;
+            if (const JVal *v = r.get("machineCheckReport", JVal::Str))
+                s.machineCheckReport = v->str;
             if (const JVal *v = r.get("l2BankAccesses", JVal::Arr)) {
                 for (const JVal &e : v->arr)
                     s.l2BankAccesses.push_back(e.num);
@@ -529,6 +546,22 @@ statsFromJVal(const JVal &root, SystemStats &out, std::string &why)
                                       JVal::Arr)) {
                 for (const JVal &e : v->arr)
                     s.dramChannelPeakQueue.push_back(e.num);
+            }
+            if (const JVal *v = r.get("softFlips", JVal::Arr)) {
+                for (const JVal &e : v->arr)
+                    s.softFlips.push_back(e.num);
+            }
+            if (const JVal *v = r.get("softCorrected", JVal::Arr)) {
+                for (const JVal &e : v->arr)
+                    s.softCorrected.push_back(e.num);
+            }
+            if (const JVal *v = r.get("softRefetched", JVal::Arr)) {
+                for (const JVal &e : v->arr)
+                    s.softRefetched.push_back(e.num);
+            }
+            if (const JVal *v = r.get("softAborted", JVal::Arr)) {
+                for (const JVal &e : v->arr)
+                    s.softAborted.push_back(e.num);
             }
             if (const JVal *v = r.get("threads", JVal::Arr)) {
                 for (const JVal &e : v->arr) {
@@ -695,6 +728,8 @@ campaignToJson(const CampaignSummary &s)
     out += strprintf("  \"quarantined\": %llu,\n",
                      (unsigned long long)s.quarantined);
     out += strprintf("  \"gaps\": %llu,\n", (unsigned long long)s.gaps);
+    out += strprintf("  \"permanents\": %llu,\n",
+                     (unsigned long long)s.permanents);
     out += strprintf("  \"retries\": %llu,\n",
                      (unsigned long long)s.retries);
     out += "  \"runs\": [";
@@ -785,6 +820,7 @@ campaignFromJson(const std::string &json, CampaignSummary &out,
         r.u64("completed", s.completed);
         r.u64("quarantined", s.quarantined);
         r.u64("gaps", s.gaps);
+        r.u64("permanents", s.permanents);
         r.u64("retries", s.retries);
         if (const JVal *v = r.get("runs", JVal::Arr)) {
             for (const JVal &e : v->arr) {
@@ -870,11 +906,17 @@ statsJsonFieldList()
     fields.push_back("livelockDetected");
     fields.push_back("starvingThreads");
     fields.push_back("livelockReport");
+    fields.push_back("machineCheckDetected");
+    fields.push_back("machineCheckReport");
     fields.push_back("l2BankAccesses");
     fields.push_back("l2BankWaitCycles");
     fields.push_back("hotLines");
     fields.push_back("dramChannelReqs");
     fields.push_back("dramChannelPeakQueue");
+    fields.push_back("softFlips");
+    fields.push_back("softCorrected");
+    fields.push_back("softRefetched");
+    fields.push_back("softAborted");
     fields.push_back("threads");
 #define GLSC_X(f) fields.push_back(std::string("threads[].") + #f);
     GLSC_THREAD_STATS_U64_FIELDS(GLSC_X)

@@ -30,7 +30,7 @@
 namespace glsc {
 
 /** Bump whenever the exported field set or layout changes. */
-inline constexpr int kStatsJsonSchemaVersion = 4; // v4: memory backend
+inline constexpr int kStatsJsonSchemaVersion = 5; // v5: soft errors
 
 /**
  * Every scalar counter of SystemStats, in export order.  Tick-typed
@@ -81,6 +81,8 @@ inline constexpr int kStatsJsonSchemaVersion = 4; // v4: memory backend
     X(nocReordersInjected)                                               \
     X(nocDelaysInjected)                                                 \
     X(nocFaultDelayCycles)                                               \
+    X(softReservationsKilled)                                            \
+    X(softScrubCycles)                                                   \
     X(analyzerRaces)                                                     \
     X(analyzerLockCycles)                                                \
     X(analyzerLockHeldAtExit)                                            \
@@ -182,13 +184,14 @@ bool benchDocFromJson(const std::string &json, BenchDoc &out,
 // ---------------------------------------------------------------------
 // CAMPAIGN summary: the merged artifact the orchestrator emits after
 // a sharded sweep.  Run records account for every planned child
-// invocation (completed + quarantined + gaps == matrixSize, pinned by
-// the chaos self-test), and cells carry per-(bench, dataset, scheme,
+// invocation (completed + quarantined + gaps + permanents ==
+// matrixSize, pinned by the chaos self-test), and cells carry
+// per-(bench, dataset, scheme,
 // config, axes) mean/CI statistics across seeds.
 // ---------------------------------------------------------------------
 
 /** Bump whenever the campaign summary field set or layout changes. */
-inline constexpr int kCampaignJsonSchemaVersion = 1;
+inline constexpr int kCampaignJsonSchemaVersion = 2; // v2: permanents
 
 /** Aggregate of one metric across a cell's surviving seeds. */
 struct CampaignStat
@@ -229,7 +232,13 @@ struct CampaignRunRecord
     bool nocArmed = false;
     std::uint64_t seed = 0;
     int attempts = 0;      //!< child invocations spent (>= 1)
-    std::string outcome;   //!< "completed" | "quarantined" | "gap"
+    /**
+     * "completed" | "quarantined" | "gap" | "permanent".  A permanent
+     * run exited with kMachineCheckExitCode on its first attempt: the
+     * fault is deterministic (same seed -> same machine check), so the
+     * orchestrator records the repro line and does not retry.
+     */
+    std::string outcome;
     std::string detail;    //!< failure/quarantine reason ("" if none)
     std::string repro;     //!< exact argv for a deterministic re-run
 };
@@ -243,6 +252,7 @@ struct CampaignSummary
     std::uint64_t completed = 0;
     std::uint64_t quarantined = 0;
     std::uint64_t gaps = 0;
+    std::uint64_t permanents = 0; //!< machine-check exits (no retry)
     std::uint64_t retries = 0;  //!< attempts beyond each run's first
     std::vector<CampaignRunRecord> runs;
     std::vector<CampaignCell> cells;

@@ -44,6 +44,31 @@ traceEventTypeName(TraceEventType t)
       case TraceEventType::MemReqQueued:       return "mem-queued";
       case TraceEventType::MemReqIssued:       return "mem-issued";
       case TraceEventType::MemReqDone:         return "mem-done";
+      case TraceEventType::SoftErrorInjected:  return "soft-error";
+    }
+    return "?";
+}
+
+const char *
+softErrorSiteName(SoftErrorSite s)
+{
+    switch (s) {
+      case SoftErrorSite::L1Data:    return "l1-data";
+      case SoftErrorSite::L1Tag:     return "l1-tag";
+      case SoftErrorSite::L2Data:    return "l2-data";
+      case SoftErrorSite::Directory: return "directory";
+      case SoftErrorSite::GlscEntry: return "glsc-entry";
+    }
+    return "?";
+}
+
+const char *
+softErrorOutcomeName(SoftErrorOutcome o)
+{
+    switch (o) {
+      case SoftErrorOutcome::Corrected: return "corrected";
+      case SoftErrorOutcome::Refetched: return "refetched";
+      case SoftErrorOutcome::Aborted:   return "aborted";
     }
     return "?";
 }
@@ -71,6 +96,7 @@ clearCauseName(ClearCause c)
       case ClearCause::Overflow: return "overflow";
       case ClearCause::Fault:    return "fault";
       case ClearCause::Stolen:   return "stolen";
+      case ClearCause::SoftError: return "soft-error";
     }
     return "?";
 }
@@ -136,6 +162,12 @@ formatTraceEvent(const TraceEvent &e)
       case TraceEventType::MemReqDone:
         out += strprintf(" chan=%llu wait=%llu", (unsigned long long)e.a,
                          (unsigned long long)e.b);
+        break;
+      case TraceEventType::SoftErrorInjected:
+        out += strprintf(
+            " site=%s outcome=%s",
+            softErrorSiteName(static_cast<SoftErrorSite>(e.a)),
+            softErrorOutcomeName(static_cast<SoftErrorOutcome>(e.b)));
         break;
       default:
         if (e.a != 0 || e.b != 0)
@@ -359,6 +391,11 @@ CountingSink::onEvent(const TraceEvent &e)
         if (e.b < std::uint64_t{kMemRowOutcomes})
             memIssuedByOutcome_[e.b]++;
         break;
+      case TraceEventType::SoftErrorInjected:
+        if (e.a < std::uint64_t{kSoftErrorSites} &&
+            e.b < std::uint64_t{kSoftErrorOutcomes})
+            softErrors_[e.a][e.b]++;
+        break;
       case TraceEventType::LinkCleared:
         // A committed store legitimately consumes the writer's own
         // reservation (tid2 == tid by the Write convention); only
@@ -443,6 +480,12 @@ std::uint64_t
 CountingSink::memIssuedByOutcome(MemRowOutcome o) const
 {
     return memIssuedByOutcome_[static_cast<int>(o)];
+}
+
+std::uint64_t
+CountingSink::softErrors(SoftErrorSite s, SoftErrorOutcome o) const
+{
+    return softErrors_[static_cast<int>(s)][static_cast<int>(o)];
 }
 
 // ---------------------------------------------------------------------

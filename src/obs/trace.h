@@ -104,6 +104,12 @@ enum class TraceEventType : std::uint8_t
     MemReqQueued,       //!< b = 1 posted writeback / 0 demand fill
     MemReqIssued,       //!< b = MemRowOutcome
     MemReqDone,         //!< b = cycles queued before issue
+    // Soft-error injection (src/robust/softerror.h): one event per
+    // injected bit flip, emitted at the detecting serialization point
+    // with the corruption site and the escalation-ladder outcome.
+    SoftErrorInjected,  //!< a = SoftErrorSite, b = SoftErrorOutcome,
+                        //!< line/core = the victim (kNoAddr/-1 for
+                        //!< buffer-entry sites without a single line)
 };
 
 /** How a reservation-acquiring request entered the memory system. */
@@ -124,6 +130,7 @@ enum class ClearCause : std::uint8_t
     Overflow = 4, //!< GLSC buffer capacity eviction (oldest dropped)
     Fault = 5,    //!< fault injector spurious-clear
     Stolen = 6,   //!< another context re-linked the line
+    SoftError = 7, //!< uncorrectable soft error killed the line/entry
 };
 
 /** Which directory action sent an invalidation. */
@@ -172,10 +179,37 @@ enum class MemRowOutcome : std::uint8_t
 inline constexpr int kMemRowOutcomes =
     static_cast<int>(MemRowOutcome::Flat) + 1;
 
+/** Structure a soft error corrupted (SoftErrorInjected's a field). */
+enum class SoftErrorSite : std::uint8_t
+{
+    L1Data = 0,    //!< L1 data line (SECDED ECC)
+    L1Tag = 1,     //!< L1 tag/state entry (parity)
+    L2Data = 2,    //!< L2 data line (SECDED ECC)
+    Directory = 3, //!< directory sharer-vector/owner (parity)
+    GlscEntry = 4, //!< GLSC reservation entry word (parity)
+};
+
+inline constexpr int kSoftErrorSites =
+    static_cast<int>(SoftErrorSite::GlscEntry) + 1;
+
+/** Escalation-ladder outcome (SoftErrorInjected's b field). */
+enum class SoftErrorOutcome : std::uint8_t
+{
+    Corrected = 0, //!< single-bit ECC scrub in place (latency only)
+    Refetched = 1, //!< clean state invalidated; refetch on next miss
+    Aborted = 2,   //!< dirty/directory loss: machine check
+};
+
+inline constexpr int kSoftErrorOutcomes =
+    static_cast<int>(SoftErrorOutcome::Aborted) + 1;
+
+const char *softErrorSiteName(SoftErrorSite s);
+const char *softErrorOutcomeName(SoftErrorOutcome o);
+
 inline constexpr int kTraceEventTypes =
-    static_cast<int>(TraceEventType::MemReqDone) + 1;
+    static_cast<int>(TraceEventType::SoftErrorInjected) + 1;
 inline constexpr int kClearCauses =
-    static_cast<int>(ClearCause::Stolen) + 1;
+    static_cast<int>(ClearCause::SoftError) + 1;
 
 /** One trace record.  Meaning of a/b depends on the type (above). */
 struct TraceEvent
@@ -353,6 +387,8 @@ class CountingSink : public TraceSink
     std::uint64_t faultsByClass(TraceFaultClass c) const;
     /** MemReqIssued events with row outcome @p o. */
     std::uint64_t memIssuedByOutcome(MemRowOutcome o) const;
+    /** SoftErrorInjected events at @p s resolved as @p o. */
+    std::uint64_t softErrors(SoftErrorSite s, SoftErrorOutcome o) const;
 
     const std::vector<std::uint64_t> &bankAccesses() const
     {
@@ -371,6 +407,7 @@ class CountingSink : public TraceSink
     std::uint64_t linksByOrigin_[3] = {};
     std::uint64_t faultsByClass_[5] = {};
     std::uint64_t memIssuedByOutcome_[kMemRowOutcomes] = {};
+    std::uint64_t softErrors_[kSoftErrorSites][kSoftErrorOutcomes] = {};
     std::vector<std::uint64_t> bankAccesses_;
     std::vector<std::uint64_t> bankWait_;
     // Ordered by line so the exported hotness ranking is deterministic

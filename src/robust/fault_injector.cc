@@ -1,6 +1,9 @@
 #include "robust/fault_injector.h"
 
+#include <cstdio>
+
 #include "mem/memsys.h"
+#include "robust/softerror.h"
 #include "sim/log.h"
 
 namespace glsc {
@@ -11,6 +14,52 @@ FaultInjector::FaultInjector(const SystemConfig &cfg, SystemStats &stats,
       phantom_(cfg.threadsPerCore), rng_(cfg.faults.seed),
       nocRng_(cfg.faults.seed ^ 0x9E3779B97F4A7C15ull)
 {
+    if (cfg.soft.anyEnabled())
+        soft_ = std::make_unique<SoftErrorInjector>(cfg, stats, msys, *this);
+}
+
+FaultInjector::~FaultInjector() = default;
+
+void
+FaultInjector::recordFault(const char *cls, Addr site, CoreId core)
+{
+    FaultRecord rec{msys_.events_.now(), cls, site, core};
+    if (ring_.size() < kFaultRingCapacity) {
+        ring_.push_back(rec);
+    } else {
+        ring_[ringNext_] = rec;
+        ringNext_ = (ringNext_ + 1) % kFaultRingCapacity;
+    }
+    ringSeen_++;
+}
+
+std::string
+FaultInjector::ringDump() const
+{
+    if (ringSeen_ == 0)
+        return "";
+    char head[96];
+    std::snprintf(head, sizeof head,
+                  "injected-fault ring (last %zu of %llu):\n", ring_.size(),
+                  static_cast<unsigned long long>(ringSeen_));
+    std::string out = head;
+    for (std::size_t i = 0; i < ring_.size(); ++i) {
+        // Oldest first: once full, ringNext_ points at the oldest slot.
+        const FaultRecord &r =
+            ring_[(ringNext_ + i) % ring_.size()];
+        char buf[128];
+        if (r.site == kNoAddr) {
+            std::snprintf(buf, sizeof buf, "  tick=%llu class=%s\n",
+                          static_cast<unsigned long long>(r.tick), r.cls);
+        } else {
+            std::snprintf(buf, sizeof buf,
+                          "  tick=%llu class=%s core=%d line=0x%llx\n",
+                          static_cast<unsigned long long>(r.tick), r.cls,
+                          r.core, static_cast<unsigned long long>(r.site));
+        }
+        out += buf;
+    }
+    return out;
 }
 
 std::vector<FaultInjector::Candidate>
@@ -66,6 +115,7 @@ FaultInjector::spuriousClear()
     if (!pick(&cands, &v))
         return;
     traceFault(TraceFaultClass::SpuriousClear);
+    recordFault("spurious-clear", v.line, v.core);
     msys_.clearLink(v.core, v.line, ClearCause::Fault);
     stats_.faultsSpuriousClear++;
 }
@@ -81,6 +131,7 @@ FaultInjector::evictLinked()
     if (l == nullptr || !l->valid())
         return; // reservation outlived residency; nothing to evict
     traceFault(TraceFaultClass::EvictLinked);
+    recordFault("evict-linked", v.line, v.core);
     msys_.evictL1(v.core, *l);
     stats_.faultsEvictLinked++;
 }
@@ -96,6 +147,7 @@ FaultInjector::stealReservation()
     // ever match it, so the victim's completion can only fail -- the
     // adversarial form of the section-3.3 last-linker-wins steal.
     traceFault(TraceFaultClass::StealReservation);
+    recordFault("steal-reservation", v.line, v.core);
     msys_.linkLine(v.core, phantom_, v.line, LinkOrigin::Injected);
     stats_.faultsStealReservation++;
 }
@@ -119,6 +171,7 @@ FaultInjector::overflowBuffer()
     // Exactly what a burst of links past bufferEntries would do: the
     // oldest reservation is dropped (section 3.3 best-effort overflow).
     traceFault(TraceFaultClass::BufferOverflow);
+    recordFault("buffer-overflow", line, c);
     msys_.clearLink(c, line, ClearCause::Overflow);
     stats_.faultsBufferOverflow++;
 }
@@ -136,6 +189,10 @@ FaultInjector::beforeOp()
     if (fc_.bufferOverflowRate > 0.0 &&
         rng_.chance(fc_.bufferOverflowRate))
         overflowBuffer();
+    // Soft errors roll last, on their own stream: the draws above are
+    // identical whether or not the soft-error subsystem is armed.
+    if (soft_)
+        soft_->beforeOp();
 }
 
 NocMessageFaults
@@ -151,7 +208,21 @@ FaultInjector::rollNocMessage()
         f.reorder = true;
     if (fc_.nocDelayRate > 0.0 && nocRng_.chance(fc_.nocDelayRate))
         f.delay = fc_.nocDelayExtra;
+    if (f.drop)
+        recordFault("noc-drop");
+    if (f.duplicate)
+        recordFault("noc-duplicate");
+    if (f.reorder)
+        recordFault("noc-reorder");
+    if (f.delay > 0)
+        recordFault("noc-delay");
     return f;
+}
+
+Tick
+FaultInjector::softScrubPenalty()
+{
+    return soft_ ? soft_->takeScrubPenalty() : 0;
 }
 
 Tick
@@ -160,6 +231,7 @@ FaultInjector::delayPenalty()
     if (fc_.delayRate <= 0.0 || !rng_.chance(fc_.delayRate))
         return 0;
     traceFault(TraceFaultClass::Delay, fc_.delayExtra);
+    recordFault("delay");
     stats_.faultsDelay++;
     stats_.faultDelayCycles += fc_.delayExtra;
     return fc_.delayExtra;

@@ -28,6 +28,9 @@
 #ifndef GLSC_ROBUST_FAULT_INJECTOR_H_
 #define GLSC_ROBUST_FAULT_INJECTOR_H_
 
+#include <cstddef>
+#include <memory>
+#include <string>
 #include <vector>
 
 #include "config/config.h"
@@ -39,6 +42,7 @@
 namespace glsc {
 
 class MemorySystem;
+class SoftErrorInjector;
 
 /**
  * One NoC message's fault roll (src/noc/interconnect.h): each enabled
@@ -59,10 +63,12 @@ class FaultInjector
   public:
     FaultInjector(const SystemConfig &cfg, SystemStats &stats,
                   MemorySystem &msys);
+    ~FaultInjector(); // out of line: SoftErrorInjector is incomplete here
 
     /**
      * Rolls every enabled reservation-directed fault class once, in a
-     * fixed order (clear, evict, steal, overflow).  Called by the
+     * fixed order (clear, evict, steal, overflow), then hands the
+     * soft-error injector (when armed) its rolls.  Called by the
      * MemorySystem before applying each operation's architectural
      * effects.
      */
@@ -73,6 +79,33 @@ class FaultInjector
      * 0 unless an enabled delay fault fires.
      */
     Tick delayPenalty();
+
+    /**
+     * Drains the soft-error ladder's accumulated in-place scrub
+     * latency; 0 when soft errors are unarmed or no scrub fired since
+     * the last directory transaction.
+     */
+    Tick softScrubPenalty();
+
+    /**
+     * Appends one record to the bounded injected-fault ring every
+     * fault/flip that actually fires (GLSC classes, delay, NoC message
+     * faults, soft-error flips).  @p site is the victim line, or
+     * kNoAddr for site-less classes; @p core likewise -1.
+     */
+    void recordFault(const char *cls, Addr site = kNoAddr,
+                     CoreId core = -1);
+
+    /**
+     * Post-mortem dump of the last injected faults (oldest first), or
+     * "" when none ever fired.  The watchdog and the machine-check /
+     * deadlock / maxCycles panics append it so a fault-induced failure
+     * shows WHAT was injected right before the end.
+     */
+    std::string ringDump() const;
+
+    /** The soft-error subsystem; null unless SystemConfig::soft arms it. */
+    SoftErrorInjector *softErrors() { return soft_.get(); }
 
     /**
      * Rolls the message-level NoC fault classes (drop, duplicate,
@@ -87,11 +120,26 @@ class FaultInjector
     ThreadId phantomTid() const { return phantom_; }
 
   private:
+    // The soft-error injector shares the candidate enumeration and the
+    // fault ring.
+    friend class SoftErrorInjector;
+
     struct Candidate
     {
         CoreId core;
         Addr line;
     };
+
+    /** One entry of the injected-fault post-mortem ring. */
+    struct FaultRecord
+    {
+        Tick tick = 0;
+        const char *cls = "";
+        Addr site = kNoAddr;
+        CoreId core = -1;
+    };
+
+    static constexpr std::size_t kFaultRingCapacity = 32;
 
     /** Every live reservation, in deterministic (core, slot) order. */
     std::vector<Candidate> liveReservations() const;
@@ -112,6 +160,10 @@ class FaultInjector
     ThreadId phantom_;
     Rng rng_;
     Rng nocRng_; //!< separate stream for message-level NoC faults
+    std::unique_ptr<SoftErrorInjector> soft_; //!< null unless armed
+    std::vector<FaultRecord> ring_; //!< last kFaultRingCapacity faults
+    std::size_t ringNext_ = 0;      //!< oldest slot once the ring is full
+    std::uint64_t ringSeen_ = 0;    //!< total faults ever recorded
 };
 
 } // namespace glsc

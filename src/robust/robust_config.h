@@ -101,6 +101,86 @@ struct FaultConfig
     }
 };
 
+/**
+ * Soft-error (bit-flip) injector and state-protection knobs
+ * (src/robust/softerror.h).
+ *
+ * Models SRAM soft errors in the structures the paper's protocol keeps
+ * its state in -- L1 data lines, L1 tag/state, L2 data lines, directory
+ * entries, GLSC reservation storage -- together with the protection a
+ * production part would carry: SECDED ECC on data arrays (corrects
+ * single-bit, detects double-bit) and parity on tag/directory/GLSC
+ * metadata (detect-only).  Detection escalates through a fixed ladder:
+ * correctable errors scrub in place for scrubLatency cycles; detected-
+ * uncorrectable errors on clean state invalidate and refetch from the
+ * next level (killing any reservation on the line, which the software
+ * retry/fallback path already absorbs); detected-uncorrectable errors
+ * on dirty data or a directory entry are unrecoverable and machine-
+ * check the run.
+ *
+ * Each class fires per memory-system serialization point with its own
+ * Bernoulli rate, rolled on a dedicated RNG stream so arming soft
+ * errors never shifts the GLSC or NoC fault schedules (and vice
+ * versa).  With every rate zero and `armed` false the injector is not
+ * even constructed and the run is bit-cycle-identical to an engine
+ * without this subsystem; `armed` forces construction with zero flips,
+ * which must also be cycle-identical (pinned by tests and CI).
+ */
+struct SoftErrorConfig
+{
+    /** Seed for the soft-error injector's private RNG stream. */
+    std::uint64_t seed = 0x5EC0ull;
+
+    /** Per-op flip rate in an L1 data line (SECDED-protected). */
+    double l1DataRate = 0.0;
+    /** Per-op flip rate in an L1 tag/state entry (parity). */
+    double l1TagRate = 0.0;
+    /** Per-op flip rate in an L2 data line (SECDED-protected). */
+    double l2DataRate = 0.0;
+    /** Per-op flip rate in a directory sharer-vector/owner (parity). */
+    double directoryRate = 0.0;
+    /** Per-op flip rate in a live GLSC reservation entry (parity). */
+    double glscEntryRate = 0.0;
+
+    /**
+     * Probability a fired data-line flip is a double-bit (detected-
+     * uncorrectable) event rather than a correctable single-bit one.
+     * Tag/directory/GLSC metadata carries parity only, so every
+     * detected flip there is uncorrectable by construction.
+     */
+    double doubleBitFraction = 0.1;
+
+    /** Cycles an in-place SECDED scrub stretches the current access. */
+    Tick scrubLatency = 8;
+
+    /**
+     * Construct the injector even with all rates zero.  Used by the
+     * identity gates: an armed-with-zero-flips run must stay
+     * bit-cycle-identical to an unarmed one.
+     */
+    bool armed = false;
+
+    /**
+     * true: a detected-uncorrectable error on dirty state aborts the
+     * process with a machine-check post-mortem and exit code
+     * kMachineCheckExitCode (the campaign orchestrator classifies it
+     * as permanent).  false: record the verdict in SystemStats
+     * (machineCheckDetected / machineCheckReport), perform the safe
+     * invalidation anyway (legal: payload truth lives in the backing
+     * store) and keep running, so tests and sweeps can observe abort
+     * accounting without dying.
+     */
+    bool panicOnMachineCheck = true;
+
+    bool
+    anyEnabled() const
+    {
+        return armed || l1DataRate > 0.0 || l1TagRate > 0.0 ||
+               l2DataRate > 0.0 || directoryRate > 0.0 ||
+               glscEntryRate > 0.0;
+    }
+};
+
 /** How a retry loop spaces its zero-progress rounds. */
 enum class RetryKind
 {

@@ -1,0 +1,297 @@
+#include "robust/softerror.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "mem/memsys.h"
+#include "robust/fault_injector.h"
+#include "robust/watchdog.h"
+#include "sim/log.h"
+
+namespace glsc {
+
+SoftErrorInjector::SoftErrorInjector(const SystemConfig &cfg,
+                                     SystemStats &stats, MemorySystem &msys,
+                                     FaultInjector &parent)
+    : cfg_(cfg), stats_(stats), msys_(msys), parent_(parent), sc_(cfg.soft),
+      // Dedicated stream: arming soft errors must never shift the GLSC
+      // (rng_) or NoC (nocRng_) fault schedules, and its own schedule
+      // must be a pure function of SoftErrorConfig::seed.
+      rng_(cfg.soft.seed ^ 0xD1B54A32D192ED03ull)
+{
+    // Size the per-site breakdowns up front: "armed" is visible in the
+    // stats shape even when zero flips fire, and consistencyError()
+    // uses emptiness to mean "injector never existed".
+    stats_.softFlips.assign(kSoftErrorSites, 0);
+    stats_.softCorrected.assign(kSoftErrorSites, 0);
+    stats_.softRefetched.assign(kSoftErrorSites, 0);
+    stats_.softAborted.assign(kSoftErrorSites, 0);
+}
+
+void
+SoftErrorInjector::beforeOp()
+{
+    // Fixed class order; each class draws at most (1 roll + 1 pick +
+    // 1 DUE roll) so the schedule is deterministic per seed.
+    if (sc_.l1DataRate > 0.0 && rng_.chance(sc_.l1DataRate))
+        flipL1Data();
+    if (sc_.l1TagRate > 0.0 && rng_.chance(sc_.l1TagRate))
+        flipL1Tag();
+    if (sc_.l2DataRate > 0.0 && rng_.chance(sc_.l2DataRate))
+        flipL2Data();
+    if (sc_.directoryRate > 0.0 && rng_.chance(sc_.directoryRate))
+        flipDirectory();
+    if (sc_.glscEntryRate > 0.0 && rng_.chance(sc_.glscEntryRate))
+        flipGlscEntry();
+}
+
+Tick
+SoftErrorInjector::takeScrubPenalty()
+{
+    Tick p = pendingScrub_;
+    pendingScrub_ = 0;
+    return p;
+}
+
+bool
+SoftErrorInjector::rollDoubleBit()
+{
+    return sc_.doubleBitFraction > 0.0 && rng_.chance(sc_.doubleBitFraction);
+}
+
+void
+SoftErrorInjector::account(SoftErrorSite site, SoftErrorOutcome outcome,
+                           Addr line, CoreId core)
+{
+    auto s = static_cast<std::size_t>(site);
+    stats_.softFlips[s]++;
+    switch (outcome) {
+    case SoftErrorOutcome::Corrected:
+        stats_.softCorrected[s]++;
+        break;
+    case SoftErrorOutcome::Refetched:
+        stats_.softRefetched[s]++;
+        break;
+    case SoftErrorOutcome::Aborted:
+        stats_.softAborted[s]++;
+        break;
+    }
+    parent_.recordFault(softErrorSiteName(site), line, core);
+    if (msys_.tracer_ == nullptr)
+        return;
+    TraceEvent e;
+    e.tick = msys_.events_.now();
+    e.type = TraceEventType::SoftErrorInjected;
+    e.core = core;
+    e.line = line;
+    e.a = static_cast<std::uint64_t>(site);
+    e.b = static_cast<std::uint64_t>(outcome);
+    msys_.tracer_->emit(e);
+}
+
+void
+SoftErrorInjector::scrub(SoftErrorSite site, Addr line, CoreId core)
+{
+    account(site, SoftErrorOutcome::Corrected, line, core);
+    // SECDED corrected the bit in place; the only architectural effect
+    // is the scrub latency, charged to the next directory transaction
+    // exactly like the delay fault's penalty.
+    pendingScrub_ += sc_.scrubLatency;
+    stats_.softScrubCycles += sc_.scrubLatency;
+}
+
+void
+SoftErrorInjector::killReservation(CoreId core, Addr line)
+{
+    if (msys_.linkOwner(core, line) >= 0)
+        stats_.softReservationsKilled++;
+    msys_.clearLink(core, line, ClearCause::SoftError);
+}
+
+void
+SoftErrorInjector::machineCheck(SoftErrorSite site, Addr line, CoreId core)
+{
+    Tick now = msys_.events_.now();
+    char head[192];
+    std::snprintf(head, sizeof head,
+                  "MACHINE CHECK: detected-uncorrectable soft error"
+                  " site=%s line=0x%llx core=%d tick=%llu\n",
+                  softErrorSiteName(site),
+                  static_cast<unsigned long long>(line), core,
+                  static_cast<unsigned long long>(now));
+    std::string report = head;
+    report += threadProgressDump(stats_, now);
+    report += parent_.ringDump();
+    if (msys_.tracer_ != nullptr)
+        report += msys_.tracer_->postMortem();
+    if (sc_.panicOnMachineCheck) {
+        std::fprintf(stderr, "%s", report.c_str());
+        std::fflush(stderr);
+        // Distinct exit status (not GLSC_PANIC's SIGABRT or
+        // GLSC_FATAL's 1) so the campaign orchestrator classifies the
+        // run as PERMANENT instead of retrying a deterministic abort.
+        std::exit(kMachineCheckExitCode);
+    }
+    // Report mode: record the first verdict, let the caller apply the
+    // safe invalidation (payload truth lives in Memory) and keep
+    // simulating so tests can observe the full post-abort state.
+    if (!stats_.machineCheckDetected) {
+        stats_.machineCheckDetected = true;
+        stats_.machineCheckReport = report;
+    }
+}
+
+void
+SoftErrorInjector::flipL1Data()
+{
+    std::vector<std::pair<CoreId, Addr>> cands;
+    for (int c = 0; c < cfg_.cores; ++c) {
+        for (const L1Line &l : msys_.l1s_[c]->lines()) {
+            if (l.valid())
+                cands.push_back({c, l.tag});
+        }
+    }
+    if (cands.empty())
+        return;
+    auto [core, line] = cands[rng_.below(cands.size())];
+    L1Line *l = msys_.l1s_[core]->lookup(line);
+    GLSC_ASSERT(l != nullptr, "L1 soft-error victim vanished");
+    if (!rollDoubleBit()) {
+        scrub(SoftErrorSite::L1Data, line, core);
+        return;
+    }
+    if (l->state == L1State::Modified) {
+        // The only up-to-date copy is corrupt: data loss, machine check.
+        account(SoftErrorSite::L1Data, SoftErrorOutcome::Aborted, line,
+                core);
+        machineCheck(SoftErrorSite::L1Data, line, core);
+        killReservation(core, line); // report mode: safe invalidate
+        msys_.evictL1(core, *l);
+        return;
+    }
+    // Clean copy: drop it (and any reservation riding on it) and let
+    // the next access refetch from the L2 -- the PR 2 loss path.
+    account(SoftErrorSite::L1Data, SoftErrorOutcome::Refetched, line, core);
+    killReservation(core, line);
+    msys_.evictL1(core, *l);
+}
+
+void
+SoftErrorInjector::flipL1Tag()
+{
+    std::vector<std::pair<CoreId, Addr>> cands;
+    for (int c = 0; c < cfg_.cores; ++c) {
+        for (const L1Line &l : msys_.l1s_[c]->lines()) {
+            if (l.valid())
+                cands.push_back({c, l.tag});
+        }
+    }
+    if (cands.empty())
+        return;
+    auto [core, line] = cands[rng_.below(cands.size())];
+    L1Line *l = msys_.l1s_[core]->lookup(line);
+    GLSC_ASSERT(l != nullptr, "L1 soft-error victim vanished");
+    // Parity detects but never corrects.  A corrupt tag on a Modified
+    // line means the dirty data can no longer be attributed to an
+    // address: machine check.  On a clean line the entry is simply
+    // untrustworthy: invalidate and refetch.
+    if (l->state == L1State::Modified) {
+        account(SoftErrorSite::L1Tag, SoftErrorOutcome::Aborted, line,
+                core);
+        machineCheck(SoftErrorSite::L1Tag, line, core);
+        killReservation(core, line); // report mode: safe invalidate
+        msys_.evictL1(core, *l);
+        return;
+    }
+    account(SoftErrorSite::L1Tag, SoftErrorOutcome::Refetched, line, core);
+    killReservation(core, line);
+    msys_.evictL1(core, *l);
+}
+
+void
+SoftErrorInjector::flipL2Data()
+{
+    std::vector<Addr> cands;
+    for (const L2Line &l : msys_.l2_.lines()) {
+        if (l.valid)
+            cands.push_back(l.tag);
+    }
+    if (cands.empty())
+        return;
+    Addr line = cands[rng_.below(cands.size())];
+    L2Line *w = msys_.l2_.lookup(line);
+    GLSC_ASSERT(w != nullptr, "L2 soft-error victim vanished");
+    if (!rollDoubleBit()) {
+        scrub(SoftErrorSite::L2Data, line, -1);
+        return;
+    }
+    if (w->dirty || w->ownedModified) {
+        // Memory is stale and the newest data is corrupt (or lives in
+        // an owner whose writeback would land on a corrupt line).
+        account(SoftErrorSite::L2Data, SoftErrorOutcome::Aborted, line,
+                -1);
+        machineCheck(SoftErrorSite::L2Data, line, -1);
+        for (int c = 0; c < cfg_.cores; ++c) {
+            if (w->hasSharer(c) || (w->ownedModified && w->owner == c))
+                killReservation(c, line); // report mode: safe invalidate
+        }
+        msys_.evictL2(*w);
+        return;
+    }
+    // Clean everywhere: recall the sharers (killing their
+    // reservations with SoftError attribution first) and refetch from
+    // memory on the next miss.
+    account(SoftErrorSite::L2Data, SoftErrorOutcome::Refetched, line, -1);
+    for (int c = 0; c < cfg_.cores; ++c) {
+        if (w->hasSharer(c))
+            killReservation(c, line);
+    }
+    msys_.evictL2(*w);
+}
+
+void
+SoftErrorInjector::flipDirectory()
+{
+    std::vector<Addr> cands;
+    for (const L2Line &l : msys_.l2_.lines()) {
+        if (l.valid)
+            cands.push_back(l.tag);
+    }
+    if (cands.empty())
+        return;
+    Addr line = cands[rng_.below(cands.size())];
+    L2Line *w = msys_.l2_.lookup(line);
+    GLSC_ASSERT(w != nullptr, "directory soft-error victim vanished");
+    // A parity error in the sharer vector / owner id means the
+    // directory no longer knows who holds the line: any recovery could
+    // silently miss an invalidation, so this rung always escalates.
+    account(SoftErrorSite::Directory, SoftErrorOutcome::Aborted, line, -1);
+    machineCheck(SoftErrorSite::Directory, line, -1);
+    // Report mode: conservative recovery -- recall every possible copy.
+    for (int c = 0; c < cfg_.cores; ++c) {
+        if (w->hasSharer(c) || (w->ownedModified && w->owner == c))
+            killReservation(c, line);
+    }
+    msys_.evictL2(*w);
+}
+
+void
+SoftErrorInjector::flipGlscEntry()
+{
+    // Live reservations in either storage scheme (buffer entries or
+    // per-line tag bits), in the injector's deterministic order.
+    auto cands = parent_.liveReservations();
+    if (cands.empty())
+        return;
+    auto v = cands[rng_.below(cands.size())];
+    // A parity error in a reservation entry is the cheapest rung of
+    // all: the entry is best-effort state, so detection simply drops
+    // it and the owning thread's completion fails into the software
+    // retry path.  Counted as Refetched (the reservation, not the
+    // line, is re-established by the retry's gather-link).
+    account(SoftErrorSite::GlscEntry, SoftErrorOutcome::Refetched, v.line,
+            v.core);
+    killReservation(v.core, v.line);
+}
+
+} // namespace glsc

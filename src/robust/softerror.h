@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Soft-error injection and the parity/ECC state-protection model.
+ *
+ * Production SRAM takes bit flips; the paper's best-effort GLSC
+ * semantics ("a reservation may be lost for any reason, software
+ * retries") make the protocol a natural fit for surviving them.  This
+ * injector flips bits in the five structures the simulator keeps
+ * protocol state in and resolves each flip through the protection a
+ * production part would carry:
+ *
+ *   site        protection  correctable        detected-uncorrectable
+ *   ----------  ----------  -----------------  ----------------------
+ *   L1 data     SECDED ECC  in-place scrub     clean: invalidate +
+ *   L2 data     SECDED ECC  (latency-charged)  refetch; dirty:
+ *                                              machine check
+ *   L1 tag      parity      --                 clean: invalidate +
+ *                                              refetch; M: machine
+ *                                              check
+ *   directory   parity      --                 machine check
+ *   GLSC entry  parity      --                 reservation dropped
+ *                                              (software retries)
+ *
+ * The refetch rung reuses the PR 2 reservation-loss path: any live
+ * reservation on the victim line is cleared with
+ * ClearCause::SoftError, so kernels recover through the existing
+ * retry/backoff and scalar ll/sc fallback ladder and the functional
+ * reference model keeps verifying every recovered run.  Cache payload
+ * truth lives in the backing Memory (caches model state and timing
+ * only), so an invalidate-and-refetch is always value-correct; flips
+ * therefore perturb timing, residency and reservations, never
+ * architected data -- exactly the contract the differential oracle
+ * needs.
+ *
+ * Determinism: flips roll on a dedicated RNG stream seeded from
+ * SoftErrorConfig::seed, so arming soft errors never shifts the GLSC
+ * or NoC fault schedules (and vice versa); the soft-error schedule is
+ * a pure function of (configuration, seed, program).  All structural
+ * mutations route through MemorySystem::clearLink / evictL1 / evictL2,
+ * keeping the invariant checker's shadow state coherent with every
+ * injected flip.
+ */
+
+#ifndef GLSC_ROBUST_SOFTERROR_H_
+#define GLSC_ROBUST_SOFTERROR_H_
+
+#include <string>
+#include <vector>
+
+#include "config/config.h"
+#include "obs/trace.h"
+#include "sim/random.h"
+#include "sim/types.h"
+#include "stats/stats.h"
+
+namespace glsc {
+
+class FaultInjector;
+class MemorySystem;
+
+/**
+ * Process exit status of a machine-check abort (panicOnMachineCheck).
+ * Distinct from GLSC_FATAL's 1 and GLSC_PANIC's SIGABRT so the
+ * campaign orchestrator can classify the run as PERMANENT (a
+ * deterministic abort no retry can fix) instead of burning attempts.
+ */
+inline constexpr int kMachineCheckExitCode = 117;
+
+class SoftErrorInjector
+{
+  public:
+    SoftErrorInjector(const SystemConfig &cfg, SystemStats &stats,
+                      MemorySystem &msys, FaultInjector &parent);
+
+    /**
+     * Rolls every enabled bit-flip class once, in a fixed order
+     * (L1 data, L1 tag, L2 data, directory, GLSC entry).  Called by
+     * FaultInjector::beforeOp after the reservation-directed classes.
+     */
+    void beforeOp();
+
+    /**
+     * Drains the accumulated in-place scrub latency; charged to the
+     * next directory transaction (MemorySystem::lineAccess), like the
+     * delay fault's penalty.
+     */
+    Tick takeScrubPenalty();
+
+  private:
+    void flipL1Data();
+    void flipL1Tag();
+    void flipL2Data();
+    void flipDirectory();
+    void flipGlscEntry();
+
+    /** Counts the flip, records it in the fault ring, traces it. */
+    void account(SoftErrorSite site, SoftErrorOutcome outcome, Addr line,
+                 CoreId core);
+    /** Correctable rung: charge the scrub, nothing else moves. */
+    void scrub(SoftErrorSite site, Addr line, CoreId core);
+    /**
+     * Clears any live reservation on (core, line) with
+     * ClearCause::SoftError, counting the kill.
+     */
+    void killReservation(CoreId core, Addr line);
+    /**
+     * Terminal rung: build the watchdog-style post-mortem; in panic
+     * mode print it and exit(kMachineCheckExitCode), in report mode
+     * record the verdict in SystemStats and return so the caller can
+     * apply the safe invalidation and keep running.
+     */
+    void machineCheck(SoftErrorSite site, Addr line, CoreId core);
+
+    /** One RNG draw: is this fired data-array flip a double-bit DUE? */
+    bool rollDoubleBit();
+
+    const SystemConfig &cfg_;
+    SystemStats &stats_;
+    MemorySystem &msys_;
+    FaultInjector &parent_; //!< fault ring + shared post-mortem state
+    SoftErrorConfig sc_;
+    Rng rng_;               //!< dedicated stream (never shifts others)
+    Tick pendingScrub_ = 0; //!< scrub latency awaiting a lineAccess
+};
+
+} // namespace glsc
+
+#endif // GLSC_ROBUST_SOFTERROR_H_

@@ -6,6 +6,7 @@
 #include "analyze/analyzer.h"
 #include "noc/interconnect.h"
 #include "obs/trace.h"
+#include "robust/fault_injector.h"
 
 namespace glsc {
 
@@ -123,6 +124,13 @@ Watchdog::report(Tick now) const
         std::string pm = analyzer_->postMortem(now);
         if (!pm.empty())
             out += pm;
+    }
+    if (injector_ != nullptr) {
+        // The last injected faults/flips: a starvation verdict under
+        // an injection storm names its killers.
+        std::string ring = injector_->ringDump();
+        if (!ring.empty())
+            out += ring;
     }
     if (tracer_ != nullptr) {
         std::string pm = tracer_->postMortem();

@@ -38,6 +38,7 @@
 namespace glsc {
 
 class Analyzer;
+class FaultInjector;
 class Interconnect;
 class Tracer;
 
@@ -84,6 +85,16 @@ class Watchdog
     }
 
     /**
+     * Wires the fault injector so report() can dump the ring of the
+     * last injected faults/flips -- a livelock under an injected-fault
+     * storm names the exact faults that starved the victim.
+     */
+    void attachInjector(const FaultInjector *injector)
+    {
+        injector_ = injector;
+    }
+
+    /**
      * Full diagnostic: verdict line + threadProgressDump, followed by
      * the tracer's ring-buffer post-mortem (the last events before the
      * livelock verdict) when a tracer with a RingBufferSink is wired.
@@ -96,6 +107,7 @@ class Watchdog
     Tracer *tracer_ = nullptr;
     const Interconnect *noc_ = nullptr;
     const Analyzer *analyzer_ = nullptr;
+    const FaultInjector *injector_ = nullptr;
     std::vector<int> strikes_;   //!< consecutive starving sweeps per gtid
     std::vector<int> starving_;  //!< verdict of the last sweep
 };

@@ -2,6 +2,7 @@
 
 #include "analyze/analyzer.h"
 #include "obs/trace.h"
+#include "robust/fault_injector.h"
 #include "robust/watchdog.h"
 #include "sim/log.h"
 #include "verify/invariants.h"
@@ -69,6 +70,13 @@ System::run(Tick maxCycles)
     for (int g = 0; g < cfg_.totalThreads(); ++g)
         thread(g).start();
 
+    // The last injected faults/flips, appended to the deadlock and
+    // maxCycles panics: an injection-driven wedge names its killers.
+    auto injectorRing = [this]() -> std::string {
+        FaultInjector *inj = msys_->faultInjector();
+        return inj != nullptr ? inj->ringDump() : std::string();
+    };
+
     auto quiescent = [this] {
         // Kernel completion is not the end of simulated work: write
         // buffers may still hold stores (e.g. a final lock release).
@@ -88,6 +96,7 @@ System::run(Tick maxCycles)
                                          cfg_.tracer);
         dog->attachNoc(&msys_->noc());
         dog->attachAnalyzer(cfg_.analyzer);
+        dog->attachInjector(msys_->faultInjector());
         nextSweep = cfg_.watchdog.checkInterval;
     }
     std::vector<bool> active(cfg_.totalThreads(), false);
@@ -135,10 +144,11 @@ System::run(Tick maxCycles)
                 if (allDone())
                     break;
                 GLSC_PANIC("deadlock: no pending events and no core "
-                           "busy at tick %llu\n%s",
+                           "busy at tick %llu\n%s%s",
                            (unsigned long long)events_.now(),
                            threadProgressDump(stats_, events_.now())
-                               .c_str());
+                               .c_str(),
+                           injectorRing().c_str());
             }
             if (ev > next) {
                 Tick skip = ev - next;
@@ -148,9 +158,10 @@ System::run(Tick maxCycles)
             }
         }
         if (next > maxCycles) {
-            GLSC_PANIC("simulation exceeded %llu cycles (livelock?)\n%s",
+            GLSC_PANIC("simulation exceeded %llu cycles (livelock?)\n%s%s",
                        (unsigned long long)maxCycles,
-                       threadProgressDump(stats_, events_.now()).c_str());
+                       threadProgressDump(stats_, events_.now()).c_str(),
+                       injectorRing().c_str());
         }
         events_.setNow(next);
     }

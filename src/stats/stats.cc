@@ -69,6 +69,15 @@ SystemStats::nocFaultsInjected() const
 }
 
 std::uint64_t
+SystemStats::softFlipsInjected() const
+{
+    std::uint64_t sum = 0;
+    for (std::uint64_t n : softFlips)
+        sum += n;
+    return sum;
+}
+
+std::uint64_t
 SystemStats::totalScalarFallbacks() const
 {
     std::uint64_t sum = 0;
@@ -180,6 +189,45 @@ SystemStats::consistencyError() const
                                  (unsigned long long)dramChannelReqs[c]);
         }
     }
+    // Soft-error conservation: every injected flip resolves through
+    // exactly one rung of the ladder, parity-only sites cannot
+    // correct, and an unarmed run (empty vectors) reports no soft
+    // effects at all.
+    if (softCorrected.size() != softFlips.size() ||
+        softRefetched.size() != softFlips.size() ||
+        softAborted.size() != softFlips.size())
+        return strprintf("soft-error breakdowns disagree on site count "
+                         "(%zu/%zu/%zu/%zu)",
+                         softFlips.size(), softCorrected.size(),
+                         softRefetched.size(), softAborted.size());
+    if (softFlips.empty()) {
+        if (softReservationsKilled != 0 || softScrubCycles != 0 ||
+            machineCheckDetected)
+            return strprintf("soft-error effects (killed %llu, scrub "
+                             "%llu cycles, mce %d) without an armed "
+                             "injector",
+                             (unsigned long long)softReservationsKilled,
+                             (unsigned long long)softScrubCycles,
+                             machineCheckDetected ? 1 : 0);
+    } else {
+        for (std::size_t s = 0; s < softFlips.size(); ++s) {
+            if (softFlips[s] !=
+                softCorrected[s] + softRefetched[s] + softAborted[s])
+                return strprintf("soft-error site %zu: flips %llu != "
+                                 "corrected %llu + refetched %llu + "
+                                 "aborted %llu",
+                                 s, (unsigned long long)softFlips[s],
+                                 (unsigned long long)softCorrected[s],
+                                 (unsigned long long)softRefetched[s],
+                                 (unsigned long long)softAborted[s]);
+            // SECDED corrects only on the data arrays (sites 0 and 2);
+            // parity-only metadata detects but can never correct.
+            if (s != 0 && s != 2 && softCorrected[s] != 0)
+                return strprintf("soft-error site %zu corrected %llu "
+                                 "flips with parity-only protection",
+                                 s, (unsigned long long)softCorrected[s]);
+        }
+    }
     // Per-bank breakdowns exist only when a counting trace sink ran;
     // when they do, they must partition the aggregate counters.
     if (!l2BankAccesses.empty()) {
@@ -276,6 +324,25 @@ SystemStats::toString() const
                          (unsigned long long)faultsDelay,
                          (unsigned long long)faultDelayCycles);
     }
+    if (softFlipsInjected() > 0) {
+        std::uint64_t corr = 0, refetch = 0, abort = 0;
+        for (std::size_t s = 0; s < softFlips.size(); ++s) {
+            corr += softCorrected[s];
+            refetch += softRefetched[s];
+            abort += softAborted[s];
+        }
+        out += strprintf("soft errors: %llu (corrected %llu, refetched "
+                         "%llu, aborted %llu; reservations killed %llu, "
+                         "scrub +%llu cycles)\n",
+                         (unsigned long long)softFlipsInjected(),
+                         (unsigned long long)corr,
+                         (unsigned long long)refetch,
+                         (unsigned long long)abort,
+                         (unsigned long long)softReservationsKilled,
+                         (unsigned long long)softScrubCycles);
+    }
+    if (machineCheckDetected)
+        out += "MACHINE CHECK detected by the soft-error ladder\n";
     if (memReads + memWrites > 0) {
         out += strprintf("mem: reads %llu writes %llu",
                          (unsigned long long)memReads,

@@ -121,6 +121,15 @@ struct SystemStats
     std::uint64_t faultsDelay = 0;
     Tick faultDelayCycles = 0; //!< total injected latency
 
+    // Soft-error injection + protection ladder (src/robust/softerror.h;
+    // aggregate scalars here, per-site vectors further down with the
+    // other structured breakdowns).  Conservation rules enforced by
+    // consistencyError(): per site, flips == corrected + refetched +
+    // aborted; parity-only sites never correct; reservations can only
+    // be killed -- and scrub cycles charged -- when the injector ran.
+    std::uint64_t softReservationsKilled = 0; //!< live links flips destroyed
+    Tick softScrubCycles = 0;                 //!< total in-place scrub latency
+
     // NoC message layer (src/noc/interconnect.h; all zero when the
     // transaction layer is unarmed).  Conservation rules enforced by
     // consistencyError(): every retransmission is caused by exactly
@@ -173,6 +182,12 @@ struct SystemStats
     std::vector<int> starvingThreads;  //!< global ids, ascending
     std::string livelockReport;        //!< full diagnostic dump
 
+    // Machine-check verdict of the soft-error ladder (report mode
+    // only; in panic mode the process exits with
+    // kMachineCheckExitCode instead).
+    bool machineCheckDetected = false;
+    std::string machineCheckReport;    //!< first machine-check dump
+
     // Observability breakdowns (src/obs/trace.h): populated at end of
     // run by a CountingSink when a tracer is installed, empty
     // otherwise.  Indexed by L2 bank id; sums must match the aggregate
@@ -188,6 +203,17 @@ struct SystemStats
     // backend.  dramChannelReqs must sum to the row-outcome total.
     std::vector<std::uint64_t> dramChannelReqs;      //!< issued per channel
     std::vector<std::uint64_t> dramChannelPeakQueue; //!< max queue depth
+
+    // Per-site soft-error breakdowns, indexed by SoftErrorSite; sized
+    // to kSoftErrorSites by the SoftErrorInjector at construction,
+    // empty when soft errors are unarmed.  Per site,
+    // softFlips[s] == softCorrected[s] + softRefetched[s] +
+    // softAborted[s], and parity-only sites (L1 tag, directory, GLSC
+    // entry) never report a correction.
+    std::vector<std::uint64_t> softFlips;     //!< bit flips injected
+    std::vector<std::uint64_t> softCorrected; //!< single-bit ECC scrubs
+    std::vector<std::uint64_t> softRefetched; //!< clean-state invalidates
+    std::vector<std::uint64_t> softAborted;   //!< machine-check escalations
 
     /** Requests the DRAM model issued (all row outcomes). */
     std::uint64_t dramIssued() const
@@ -211,6 +237,8 @@ struct SystemStats
     std::uint64_t faultsInjected() const;
     /** All injected NoC message faults regardless of class. */
     std::uint64_t nocFaultsInjected() const;
+    /** All injected soft-error bit flips regardless of site. */
+    std::uint64_t softFlipsInjected() const;
     /** Vector loops that degraded to the scalar path, all threads. */
     std::uint64_t totalScalarFallbacks() const;
     /** Per-bucket sum of every thread's retries-until-success counts. */

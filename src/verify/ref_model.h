@@ -32,6 +32,17 @@
  * time an operation touches a page, the page is copied from the real
  * backing store (at that point it can only contain workload setup
  * data, since every simulated write is mirrored as it happens).
+ *
+ * The oracle survives soft-error recovery (src/robust/softerror.h)
+ * for the same reason it survives fault injection: cache payload
+ * truth lives in the backing Memory, so an uncorrectable flip's
+ * invalidate-and-refetch changes residency and timing but never the
+ * value any later load observes, and a flip-killed reservation is
+ * just another best-effort loss -- the subsequent sc/vscattercond
+ * failure is already in the legal outcome set.  Only a machine-check
+ * abort ends a run without a final-memory comparison (in panic mode
+ * the process exits; in report mode the safe invalidation keeps the
+ * schedule legal and verification continues).
  */
 
 #ifndef GLSC_VERIFY_REF_MODEL_H_

@@ -109,7 +109,8 @@ TEST(CampaignChaos, BehaviorAssignmentIsRoundRobin)
     EXPECT_EQ(chaosBehaviorFor(3), ChaosBehavior::Hang);
     EXPECT_EQ(chaosBehaviorFor(4), ChaosBehavior::Corrupt);
     EXPECT_EQ(chaosBehaviorFor(5), ChaosBehavior::Torn);
-    EXPECT_EQ(chaosBehaviorFor(6), ChaosBehavior::Ok);
+    EXPECT_EQ(chaosBehaviorFor(6), ChaosBehavior::Mce);
+    EXPECT_EQ(chaosBehaviorFor(7), ChaosBehavior::Ok);
 }
 
 TEST(CampaignChaos, BehaviorNamesRoundTrip)
@@ -137,10 +138,11 @@ TEST(CampaignChaos, ExpectedAccountingForTheCiMatrix)
     spec.chaosFlakyAfter = 2;
     ChaosExpect e = chaosExpected(spec);
     EXPECT_EQ(e.completed, 4u);     // 2 ok + 2 flaky
-    EXPECT_EQ(e.quarantined, 4u);   // 2 corrupt + 2 torn
+    EXPECT_EQ(e.quarantined, 3u);   // 2 corrupt + 1 torn
     EXPECT_EQ(e.gaps, 4u);          // 2 crash + 2 hang
+    EXPECT_EQ(e.permanents, 1u);    // 1 mce (first attempt, no retry)
     EXPECT_EQ(e.retries, 10u);      // 2*1 flaky + 4*2 exhausted
-    EXPECT_EQ(e.completed + e.quarantined + e.gaps, 12u);
+    EXPECT_EQ(e.completed + e.quarantined + e.gaps + e.permanents, 12u);
 }
 
 TEST(CampaignChaos, FlakyBeyondAttemptBudgetBecomesAGap)
@@ -156,6 +158,7 @@ TEST(CampaignChaos, FlakyBeyondAttemptBudgetBecomesAGap)
     EXPECT_EQ(e.completed, 1u);
     EXPECT_EQ(e.gaps, 3u);         // flaky joins crash + hang
     EXPECT_EQ(e.quarantined, 2u);
+    EXPECT_EQ(e.permanents, 0u);   // 6 runs: the mce slot never rolls
     EXPECT_EQ(e.retries, 3u);      // 3 gap runs x (2 - 1)
 }
 
@@ -276,9 +279,10 @@ sampleSummary()
     CampaignSummary s;
     s.campaign = "unit";
     s.spec = "benches=GBC";
-    s.matrixSize = 2;
+    s.matrixSize = 3;
     s.completed = 1;
     s.gaps = 1;
+    s.permanents = 1;
     s.retries = 2;
     CampaignRunRecord r;
     r.bench = "GBC";
@@ -293,6 +297,12 @@ sampleSummary()
     r.outcome = "gap";
     r.detail = "attempts exhausted; last: exit code 42";
     r.repro = "./bench --only GBC:Base --seed 2";
+    s.runs.push_back(r);
+    r.seed = 3;
+    r.attempts = 1;
+    r.outcome = "permanent";
+    r.detail = "exit code 117";
+    r.repro = "./bench --only GBC:Base --seed 3";
     s.runs.push_back(r);
     CampaignCell c;
     c.bench = "GBC";
@@ -316,9 +326,11 @@ TEST(CampaignSummaryJson, RoundTripsByteIdentically)
     std::string err;
     ASSERT_TRUE(campaignFromJson(json, back, &err)) << err;
     EXPECT_EQ(campaignToJson(back), json);
-    EXPECT_EQ(back.runs.size(), 2u);
+    EXPECT_EQ(back.runs.size(), 3u);
     EXPECT_EQ(back.cells.size(), 1u);
     EXPECT_EQ(back.runs[1].repro, s.runs[1].repro);
+    EXPECT_EQ(back.permanents, 1u);
+    EXPECT_EQ(back.runs[2].outcome, "permanent");
 }
 
 TEST(CampaignSummaryJson, EmptySummaryRoundTrips)
@@ -335,9 +347,9 @@ TEST(CampaignSummaryJson, EmptySummaryRoundTrips)
 TEST(CampaignSummaryJson, RejectsWrongSchemaVersion)
 {
     std::string json = campaignToJson(sampleSummary());
-    std::size_t pos = json.find("\"campaignSchema\": 1");
+    std::size_t pos = json.find("\"campaignSchema\": 2");
     ASSERT_NE(pos, std::string::npos);
-    json.replace(pos, std::string("\"campaignSchema\": 1").size(),
+    json.replace(pos, std::string("\"campaignSchema\": 2").size(),
                  "\"campaignSchema\": 99");
     CampaignSummary back;
     std::string err;

@@ -97,6 +97,8 @@ struct FaultCase
     int bufferEntries; //!< 0 = tag-bit mode
     /** Memory backend under the faults (Dram adds row-timing jitter). */
     MemBackendKind backend = MemBackendKind::Fixed;
+    /** Soft-error arming (default: unarmed) for the soft_ rows. */
+    SoftErrorConfig soft{};
 };
 
 FaultConfig
@@ -143,6 +145,7 @@ TEST_P(FaultMatrix, KernelsVerifyUnderFaults)
     SystemConfig cfg = SystemConfig::make(2, 2, 4);
     cfg.glsc.bufferEntries = c.bufferEntries;
     cfg.faults = c.faults;
+    cfg.soft = c.soft;
     cfg.memBackend = c.backend;
     if (c.backend == MemBackendKind::Dram) {
         // Shallow single-channel queue: fault-retry traffic and posted
@@ -163,7 +166,7 @@ TEST_P(FaultMatrix, KernelsVerifyUnderFaults)
     EXPECT_GT(ref.opsChecked(), 0u);
     EXPECT_TRUE(ref.ok()) << ref.errorSummary();
     EXPECT_FALSE(r.stats.livelockDetected) << r.stats.livelockReport;
-    EXPECT_GT(r.stats.faultsInjected(), 0u)
+    EXPECT_GT(r.stats.faultsInjected() + r.stats.softFlipsInjected(), 0u)
         << "fault class never fired -- vacuous run";
 }
 
@@ -198,6 +201,29 @@ makeFaultMatrix()
         cases.push_back(FaultCase{"dram", b, Scheme::Glsc,
                                   classFaults("combined"), 4,
                                   MemBackendKind::Dram});
+    }
+    // Soft errors on every site at once (report mode so directory
+    // flips record their machine-check verdict instead of aborting
+    // the test binary): recovery rides the same reservation-loss
+    // path, so every kernel must still verify.
+    SoftErrorConfig soft;
+    soft.armed = true;
+    soft.panicOnMachineCheck = false;
+    soft.l1DataRate = 0.01;
+    soft.l1TagRate = 0.01;
+    soft.l2DataRate = 0.01;
+    soft.directoryRate = 0.005;
+    soft.glscEntryRate = 0.01;
+    for (const char *b : benches) {
+        cases.push_back(FaultCase{"soft", b, Scheme::Glsc, FaultConfig{},
+                                  4, MemBackendKind::Fixed, soft});
+    }
+    // Soft errors and the reservation-directed fault storm together:
+    // both injector families fire from their own RNG streams.
+    for (const char *b : benches) {
+        cases.push_back(FaultCase{"soft_combined", b, Scheme::Glsc,
+                                  classFaults("combined"), 4,
+                                  MemBackendKind::Fixed, soft});
     }
     return cases;
 }

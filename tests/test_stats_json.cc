@@ -70,6 +70,8 @@ const char *const kExpectedFields[] = {
     "nocReordersInjected",
     "nocDelaysInjected",
     "nocFaultDelayCycles",
+    "softReservationsKilled",
+    "softScrubCycles",
     "analyzerRaces",
     "analyzerLockCycles",
     "analyzerLockHeldAtExit",
@@ -89,11 +91,17 @@ const char *const kExpectedFields[] = {
     "livelockDetected",
     "starvingThreads",
     "livelockReport",
+    "machineCheckDetected",
+    "machineCheckReport",
     "l2BankAccesses",
     "l2BankWaitCycles",
     "hotLines",
     "dramChannelReqs",
     "dramChannelPeakQueue",
+    "softFlips",
+    "softCorrected",
+    "softRefetched",
+    "softAborted",
     "threads",
     // ThreadStats scalars.
     "threads[].instructions",
@@ -115,7 +123,7 @@ TEST(StatsJsonSchema, VersionIsPinned)
 {
     // Bumping the version is a conscious act: update this pin and the
     // field list together with the format change.
-    EXPECT_EQ(kStatsJsonSchemaVersion, 4);
+    EXPECT_EQ(kStatsJsonSchemaVersion, 5);
 }
 
 TEST(StatsJsonSchema, FieldListMatchesCheckedInCopy)
@@ -173,6 +181,14 @@ sampleStats()
     s.livelockDetected = true;
     s.starvingThreads = {1, 3};
     s.livelockReport = "line1\nwith \"quotes\" and\ttabs";
+    s.machineCheckDetected = true;
+    s.machineCheckReport = "MACHINE CHECK: site=directory\n";
+    s.softReservationsKilled = 2;
+    s.softScrubCycles = 64;
+    s.softFlips = {3, 1, 2, 1, 2};
+    s.softCorrected = {2, 0, 1, 0, 0};
+    s.softRefetched = {1, 1, 1, 0, 2};
+    s.softAborted = {0, 0, 0, 1, 0};
     s.l2BankAccesses = {3, 4};
     s.l2BankWaitCycles = {0, 9};
     s.hotLines = {{0x1000, 8}, {0x0, 2}};
@@ -248,9 +264,9 @@ TEST(StatsJsonParser, RejectsMissingField)
 TEST(StatsJsonParser, RejectsWrongSchemaVersion)
 {
     std::string doc = statsToJson(sampleStats());
-    std::size_t pos = doc.find("\"schema\": 4");
+    std::size_t pos = doc.find("\"schema\": 5");
     ASSERT_NE(pos, std::string::npos);
-    doc.replace(pos, 11, "\"schema\": 5");
+    doc.replace(pos, 11, "\"schema\": 6");
     SystemStats parsed;
     std::string err;
     EXPECT_FALSE(statsFromJson(doc, parsed, &err));
@@ -577,9 +593,9 @@ TEST(BenchDocJson, RoundTripsByteIdentically)
 TEST(BenchDocJson, RejectsWrongSchemaVersion)
 {
     std::string json = benchDocToJson(sampleBenchDoc());
-    std::size_t pos = json.find("\"benchSchema\": 4");
+    std::size_t pos = json.find("\"benchSchema\": 5");
     ASSERT_NE(pos, std::string::npos);
-    json.replace(pos, std::string("\"benchSchema\": 4").size(),
+    json.replace(pos, std::string("\"benchSchema\": 5").size(),
                  "\"benchSchema\": 99");
     BenchDoc parsed;
     std::string err;

@@ -7,6 +7,7 @@
 #include "campaign/supervisor.h"
 #include "obs/artifact.h"
 #include "obs/stats_json.h"
+#include "robust/softerror.h"
 #include "sim/random.h"
 
 namespace glsc {
@@ -28,6 +29,7 @@ chaosBehaviorName(ChaosBehavior b)
     case ChaosBehavior::Hang: return "hang";
     case ChaosBehavior::Corrupt: return "corrupt";
     case ChaosBehavior::Torn: return "torn";
+    case ChaosBehavior::Mce: return "mce";
     }
     return "ok";
 }
@@ -165,6 +167,13 @@ chaosChildMain(const ChaosChildArgs &args)
         }
         return 0;
     }
+
+    case ChaosBehavior::Mce:
+        // The soft-error ladder's machine-check abort: a deterministic
+        // failure (same seed, same flip, same abort) that retrying can
+        // never fix.  The orchestrator must classify it PERMANENT on
+        // the first attempt instead of burning --max-attempts.
+        return kMachineCheckExitCode;
     }
     return 0;
 }
@@ -203,6 +212,11 @@ chaosExpected(const CampaignSpec &spec)
             // Exit 0 with a bad artifact: quarantined on the first
             // attempt, never retried (retrying cannot fix bad data).
             e.quarantined++;
+            break;
+        case ChaosBehavior::Mce:
+            // Machine-check exit: permanent on the first attempt,
+            // never retried (the abort is deterministic).
+            e.permanents++;
             break;
         }
     }

@@ -7,8 +7,9 @@
  * In --chaos mode the orchestrator replaces every real bench child
  * with `glsc-campaign --chaos-child <behaviour>`, where the behaviour
  * is a pure function of the run's matrix index (round-robin through
- * the six classes below).  The expected campaign accounting --
- * completed / quarantined / gap / retry counts -- is therefore
+ * the seven classes below).  The expected campaign accounting --
+ * completed / quarantined / gap / permanent / retry counts -- is
+ * therefore
  * computable in closed form (chaosExpected), and --self-check
  * verifies the orchestrator against it exactly.
  */
@@ -24,7 +25,7 @@
 namespace glsc {
 namespace campaign {
 
-/** The six misbehaviour classes, in round-robin assignment order. */
+/** The seven misbehaviour classes, in round-robin assignment order. */
 enum class ChaosBehavior
 {
     Ok,      //!< healthy worker: valid artifact on the first attempt
@@ -33,9 +34,10 @@ enum class ChaosBehavior
     Hang,    //!< ignores SIGTERM and sleeps forever (forces SIGKILL)
     Corrupt, //!< complete write of schema-invalid JSON, exit 0
     Torn,    //!< non-atomic half-written artifact, exit 0
+    Mce,     //!< exits with kMachineCheckExitCode (deterministic abort)
 };
 
-inline constexpr int kChaosBehaviorCount = 6;
+inline constexpr int kChaosBehaviorCount = 7;
 
 /** Behaviour of the run at matrix @p runIndex (round-robin). */
 ChaosBehavior chaosBehaviorFor(int runIndex);
@@ -71,6 +73,7 @@ struct ChaosExpect
     std::uint64_t completed = 0;
     std::uint64_t quarantined = 0;
     std::uint64_t gaps = 0;
+    std::uint64_t permanents = 0;
     std::uint64_t retries = 0;
 };
 

@@ -4,9 +4,9 @@
  * sweeps (tools/campaign/).  See DESIGN.md section 12 and
  * EXPERIMENTS.md for recipes.
  *
- * Exit codes: 0 campaign ran (gaps/quarantines are reported in the
- * summary, not fatal, unless --strict); 1 self-check, strict-mode, or
- * baseline-gate failure; 2 usage error.
+ * Exit codes: 0 campaign ran (gaps/quarantines/permanents are
+ * reported in the summary, not fatal, unless --strict); 1 self-check,
+ * strict-mode, or baseline-gate failure; 2 usage error.
  */
 
 #include <unistd.h>
@@ -56,7 +56,8 @@ usage(const char *argv0)
         "campaign_runs)\n"
         "  --baseline PATH        prior summary for the perf gate\n"
         "  --gate-pct F           mean-cycles regression tolerance\n"
-        "  --strict               exit 1 on any gap or quarantine\n"
+        "  --strict               exit 1 on any gap, quarantine, or "
+        "permanent\n"
         "  --chaos                self-test with misbehaving "
         "children\n"
         "  --chaos-flaky-after N  flaky child succeeds on attempt N\n"
@@ -246,11 +247,12 @@ main(int argc, char **argv)
     }
 
     std::printf("matrix %llu: completed %llu, quarantined %llu, "
-                "gaps %llu, retries %llu\n",
+                "gaps %llu, permanents %llu, retries %llu\n",
                 (unsigned long long)summary.matrixSize,
                 (unsigned long long)summary.completed,
                 (unsigned long long)summary.quarantined,
                 (unsigned long long)summary.gaps,
+                (unsigned long long)summary.permanents,
                 (unsigned long long)summary.retries);
     for (const CampaignRunRecord &r : summary.runs) {
         if (r.outcome == "completed")
@@ -268,15 +270,20 @@ main(int argc, char **argv)
         ChaosExpect e = chaosExpected(spec);
         if (summary.completed != e.completed ||
             summary.quarantined != e.quarantined ||
-            summary.gaps != e.gaps || summary.retries != e.retries ||
-            summary.completed + summary.quarantined + summary.gaps !=
+            summary.gaps != e.gaps ||
+            summary.permanents != e.permanents ||
+            summary.retries != e.retries ||
+            summary.completed + summary.quarantined + summary.gaps +
+                    summary.permanents !=
                 summary.matrixSize) {
             std::fprintf(stderr,
                          "SELF-CHECK FAILED: expected completed %llu "
-                         "quarantined %llu gaps %llu retries %llu\n",
+                         "quarantined %llu gaps %llu permanents %llu "
+                         "retries %llu\n",
                          (unsigned long long)e.completed,
                          (unsigned long long)e.quarantined,
                          (unsigned long long)e.gaps,
+                         (unsigned long long)e.permanents,
                          (unsigned long long)e.retries);
             rc = 1;
         } else {
@@ -295,11 +302,14 @@ main(int argc, char **argv)
             rc = 1;
         }
     }
-    if (spec.strict && (summary.gaps > 0 || summary.quarantined > 0)) {
+    if (spec.strict && (summary.gaps > 0 || summary.quarantined > 0 ||
+                        summary.permanents > 0)) {
         std::fprintf(stderr,
-                     "STRICT MODE: %llu gaps, %llu quarantined\n",
+                     "STRICT MODE: %llu gaps, %llu quarantined, "
+                     "%llu permanent\n",
                      (unsigned long long)summary.gaps,
-                     (unsigned long long)summary.quarantined);
+                     (unsigned long long)summary.quarantined,
+                     (unsigned long long)summary.permanents);
         rc = 1;
     }
     return rc;

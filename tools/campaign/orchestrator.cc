@@ -7,6 +7,7 @@
 #include "campaign/supervisor.h"
 #include "core/retry.h"
 #include "obs/artifact.h"
+#include "robust/softerror.h"
 #include "sim/log.h"
 #include "sim/random.h"
 
@@ -193,6 +194,15 @@ runCampaign(const CampaignSpec &spec, const std::string &selfExe)
             // Exit 0 without an artifact is still a failed attempt.
             t.lastFailure = "exit 0 but no artifact written";
         } else {
+            if (oc.exited && oc.exitCode == kMachineCheckExitCode) {
+                // A machine-check abort is deterministic: the same
+                // seed replays the same bit flip and the same abort,
+                // so retrying only burns attempts.  Classify it as a
+                // permanent loss with a repro line and move on.
+                finishRun(t, "permanent", oc.describe(spec.timeoutMs),
+                          argvLine, slot.logPath);
+                return;
+            }
             t.lastFailure = oc.describe(spec.timeoutMs);
         }
 
@@ -268,6 +278,8 @@ runCampaign(const CampaignSpec &spec, const std::string &selfExe)
                 merger.add(run, t.plan.mem, t.plan.nocArmed);
         } else if (t.record.outcome == "quarantined") {
             summary.quarantined++;
+        } else if (t.record.outcome == "permanent") {
+            summary.permanents++;
         } else {
             summary.gaps++;
         }

@@ -9,6 +9,7 @@
  *   Pending -> Running(attempt k) -> Completed
  *                                 -> WaitingRetry -> Running(k+1)
  *                                 -> Quarantined
+ *                                 -> Permanent
  *                                 -> Gap
  *
  * Transition policy:
@@ -19,13 +20,17 @@
  *    GAP with a one-command repro line and a post-mortem file.
  *  - A child that exits 0 but whose artifact is missing is also
  *    retried: a clean exit without data is a failure.
+ *  - A child that exits with kMachineCheckExitCode (an uncorrectable
+ *    soft error, DESIGN.md sec. 14) is PERMANENT on the first
+ *    attempt: the run is seeded, so the same flip and the same abort
+ *    replay deterministically and retrying only burns attempts.
  *  - A child that exits 0 with an artifact the strict parser or the
  *    conservation checker rejects is QUARANTINED immediately -- no
  *    retry, because re-running cannot launder bad data -- and the
  *    offending file is moved to workDir/quarantine/ for forensics.
  *
  * Accounting invariant (pinned by the chaos self-test):
- *   completed + quarantined + gaps == matrixSize.
+ *   completed + quarantined + gaps + permanents == matrixSize.
  */
 
 #ifndef GLSC_TOOLS_CAMPAIGN_ORCHESTRATOR_H_
