@@ -8,6 +8,7 @@
 #include "obs/artifact.h"
 #include "obs/stats_json.h"
 #include "obs/trace.h"
+#include "sim/exit_codes.h"
 #include "sim/log.h"
 
 namespace glsc {
@@ -50,7 +51,7 @@ usage(const char *argv0)
                  " [--soft-errors rate]"
                  " [--only bench[:scheme]]\n",
                  argv0);
-    std::exit(2);
+    std::exit(kExitUsage);
 }
 
 } // namespace
@@ -102,7 +103,7 @@ parseArgs(int argc, char **argv, double default_scale,
     if (opt.mem != "fixed" && opt.mem != "dram") {
         std::fprintf(stderr, "--mem must be \"fixed\" or \"dram\", got"
                      " \"%s\"\n", opt.mem.c_str());
-        std::exit(2);
+        std::exit(kExitUsage);
     }
     if (!opt.consistency.empty()) {
         ConsistencyMode parsed;
@@ -111,7 +112,7 @@ parseArgs(int argc, char **argv, double default_scale,
                          "--consistency must be \"sc\", \"tso\" or "
                          "\"weak\", got \"%s\"\n",
                          opt.consistency.c_str());
-            std::exit(2);
+            std::exit(kExitUsage);
         }
     }
     if (!opt.onlyBench.empty()) {
@@ -228,7 +229,7 @@ runCheckedWith(const std::string &bench, int dataset, Scheme scheme,
                      bench.c_str(), dataset == 0 ? 'A' : 'B',
                      schemeName(scheme), cfg.label().c_str(),
                      broken.c_str());
-        std::exit(1);
+        std::exit(kExitFatal);
     }
     if (!opt.jsonPath.empty()) {
         BenchRun row;

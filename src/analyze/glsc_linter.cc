@@ -1,5 +1,8 @@
 #include "analyze/glsc_linter.h"
 
+#include <algorithm>
+#include <vector>
+
 #include "sim/log.h"
 
 namespace glsc {
@@ -101,7 +104,16 @@ GlscLinter::postMortem(Tick now) const
 {
     std::string out;
     for (std::size_t g = 0; g < links_.size(); g++) {
-        for (const auto &[line, rec] : links_[g]) {
+        // links_ is hash-ordered; sort by line so the post-mortem text
+        // is a pure function of the simulated state, not of the hash.
+        std::vector<Addr> lines;
+        lines.reserve(links_[g].size());
+        // glsc-lint: allow(determinism-unordered-iteration) reason=keys are collected and sorted before any ordering-sensitive use
+        for (const auto &[line, rec] : links_[g])
+            lines.push_back(line);
+        std::sort(lines.begin(), lines.end());
+        for (Addr line : lines) {
+            const LinkRec &rec = links_[g].at(line);
             out += strprintf(
                 "  g%zu: line 0x%llx linked @%llu (age %llu, %zu "
                 "lanes)\n",

@@ -125,6 +125,7 @@ LockOrderAnalyzer::finishRun(Tick now)
     // smallest lock address) so it is reported exactly once no matter
     // where the DFS entered it.
     std::vector<Addr> nodes;
+    // glsc-lint: allow(determinism-unordered-iteration) reason=keys are collected and sorted before the DFS visits them
     for (const auto &[from, tos] : wait_) {
         (void)tos;
         nodes.push_back(from);
@@ -210,9 +211,20 @@ LockOrderAnalyzer::postMortem() const
             out += strprintf(" holds 0x%llx (since @%llu)",
                              (unsigned long long)h.addr,
                              (unsigned long long)h.site.tick);
+        // pending is hash-ordered; sort the wanted addresses so the
+        // watchdog dump is deterministic across hash implementations.
+        std::vector<Addr> wants;
+        wants.reserve(st.pending.size());
+        // glsc-lint: allow(determinism-unordered-iteration) reason=keys are collected and sorted before printing
         for (const auto &[want, snapshot] : st.pending) {
+            (void)snapshot;
+            wants.push_back(want);
+        }
+        std::sort(wants.begin(), wants.end());
+        for (Addr want : wants) {
             out += strprintf(" wants 0x%llx (holding %zu)",
-                             (unsigned long long)want, snapshot.size());
+                             (unsigned long long)want,
+                             st.pending.at(want).size());
         }
         out += "\n";
     }

@@ -1055,4 +1055,127 @@ litmusDocFromJson(const std::string &json, LitmusDoc &out,
     return false;
 }
 
+// ---------------------------------------------------------------------
+// LINT findings document (glsc-lint, tools/lint/).
+// ---------------------------------------------------------------------
+
+std::string
+lintDocToJson(const LintDoc &doc)
+{
+    std::string out = "{\n";
+    out += strprintf("  \"lintSchema\": %d,\n", kLintJsonSchemaVersion);
+    out += strprintf("  \"tool\": %s,\n", jsonQuote(doc.tool).c_str());
+    out += strprintf("  \"count\": %zu,\n", doc.findings.size());
+    out += "  \"findings\": [";
+    for (std::size_t i = 0; i < doc.findings.size(); ++i) {
+        const LintFindingRow &f = doc.findings[i];
+        out += i == 0 ? "\n" : ",\n";
+        out += "    {\n";
+        out += strprintf("      \"rule\": %s,\n",
+                         jsonQuote(f.rule).c_str());
+        out += strprintf("      \"file\": %s,\n",
+                         jsonQuote(f.file).c_str());
+        out += strprintf("      \"line\": %d,\n", f.line);
+        out += strprintf("      \"col\": %d,\n", f.col);
+        out += strprintf("      \"message\": %s\n",
+                         jsonQuote(f.message).c_str());
+        out += "    }";
+    }
+    out += doc.findings.empty() ? "],\n" : "\n  ],\n";
+    out += "  \"suppressions\": [";
+    for (std::size_t i = 0; i < doc.suppressions.size(); ++i) {
+        const LintSuppressionRow &s = doc.suppressions[i];
+        out += i == 0 ? "\n" : ",\n";
+        out += "    {\n";
+        out += strprintf("      \"file\": %s,\n",
+                         jsonQuote(s.file).c_str());
+        out += strprintf("      \"line\": %d,\n", s.line);
+        out += strprintf("      \"rules\": %s,\n",
+                         jsonQuote(s.rules).c_str());
+        out += strprintf("      \"reason\": %s\n",
+                         jsonQuote(s.reason).c_str());
+        out += "    }";
+    }
+    out += doc.suppressions.empty() ? "]\n" : "\n  ]\n";
+    out += "}\n";
+    return out;
+}
+
+bool
+lintDocFromJson(const std::string &json, LintDoc &out, std::string *err)
+{
+    std::string why;
+    JVal root;
+    Parser parser(json);
+    if (!parser.value(root)) {
+        why = parser.error();
+    } else if (root.kind != JVal::Obj) {
+        why = "top level is not an object";
+    } else {
+        LintDoc d;
+        ObjReader r(root, why);
+        std::uint64_t schema = 0;
+        if (r.u64("lintSchema", schema) &&
+            schema != std::uint64_t{kLintJsonSchemaVersion} &&
+            why.empty()) {
+            why = strprintf("lintSchema version %llu, expected %d",
+                            (unsigned long long)schema,
+                            kLintJsonSchemaVersion);
+        }
+        r.str("tool", d.tool);
+        std::uint64_t count = 0;
+        r.u64("count", count);
+        if (const JVal *v = r.get("findings", JVal::Arr)) {
+            for (const JVal &e : v->arr) {
+                if (why.empty() && e.kind != JVal::Obj)
+                    why = "finding record is not an object";
+                if (!why.empty())
+                    break;
+                LintFindingRow row;
+                ObjReader rr(e, why);
+                rr.str("rule", row.rule);
+                rr.str("file", row.file);
+                std::uint64_t n = 0;
+                if (rr.u64("line", n))
+                    row.line = static_cast<int>(n);
+                if (rr.u64("col", n))
+                    row.col = static_cast<int>(n);
+                rr.str("message", row.message);
+                rr.exhausted();
+                d.findings.push_back(std::move(row));
+            }
+        }
+        if (const JVal *v = r.get("suppressions", JVal::Arr)) {
+            for (const JVal &e : v->arr) {
+                if (why.empty() && e.kind != JVal::Obj)
+                    why = "suppression record is not an object";
+                if (!why.empty())
+                    break;
+                LintSuppressionRow row;
+                ObjReader rr(e, why);
+                rr.str("file", row.file);
+                std::uint64_t n = 0;
+                if (rr.u64("line", n))
+                    row.line = static_cast<int>(n);
+                rr.str("rules", row.rules);
+                rr.str("reason", row.reason);
+                rr.exhausted();
+                d.suppressions.push_back(std::move(row));
+            }
+        }
+        r.exhausted();
+        if (why.empty() && count != d.findings.size())
+            why = strprintf("count %llu does not match %zu findings",
+                            (unsigned long long)count,
+                            d.findings.size());
+        if (why.empty()) {
+            out = std::move(d);
+            return true;
+        }
+    }
+    if (err != nullptr)
+        *err = why;
+    return false;
+}
+
 } // namespace glsc

@@ -305,6 +305,50 @@ std::string litmusDocToJson(const LitmusDoc &doc);
 bool litmusDocFromJson(const std::string &json, LitmusDoc &out,
                        std::string *err = nullptr);
 
+// ---------------------------------------------------------------------
+// LINT: the machine-readable findings artifact of glsc-lint
+// (tools/lint/, DESIGN.md section 15).  CI consumes the exit status;
+// the JSON document is for dashboards and for pinning the linter's
+// own behavior in tests (tests/data/lint/findings_golden.json).
+// ---------------------------------------------------------------------
+
+/** Bump whenever the lint finding field set or layout changes. */
+inline constexpr int kLintJsonSchemaVersion = 1;
+
+/** One rule violation at one source location. */
+struct LintFindingRow
+{
+    std::string rule;    //!< rule id ("determinism-wallclock", ...)
+    std::string file;    //!< path relative to the scanned root
+    int line = 0;        //!< 1-based
+    int col = 0;         //!< 1-based byte column
+    std::string message; //!< human-readable explanation
+};
+
+/** One inline suppression comment, for the --list-suppressions audit. */
+struct LintSuppressionRow
+{
+    std::string file;   //!< path relative to the scanned root
+    int line = 0;       //!< 1-based line of the allow() comment
+    std::string rules;  //!< comma-joined suppressed rule ids
+    std::string reason; //!< mandatory justification text
+};
+
+/** A whole lint-findings artifact. */
+struct LintDoc
+{
+    std::string tool = "glsc-lint";
+    std::vector<LintFindingRow> findings;
+    std::vector<LintSuppressionRow> suppressions;
+};
+
+/** Canonical JSON for @p doc (ends in a newline). */
+std::string lintDocToJson(const LintDoc &doc);
+
+/** Strict parse of a lintDocToJson document (statsFromJson rules). */
+bool lintDocFromJson(const std::string &json, LintDoc &out,
+                     std::string *err = nullptr);
+
 } // namespace glsc
 
 #endif // GLSC_OBS_STATS_JSON_H_

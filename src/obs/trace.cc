@@ -5,6 +5,7 @@
 
 #include "analyze/finding.h"
 #include "config/config.h"
+#include "obs/artifact.h"
 #include "cpu/thread.h"
 #include "sim/log.h"
 #include "stats/stats.h"
@@ -350,13 +351,9 @@ ChromeTraceSink::json() const
 bool
 ChromeTraceSink::writeFile(const std::string &path) const
 {
-    std::FILE *f = std::fopen(path.c_str(), "w");
-    if (f == nullptr)
-        return false;
-    std::string doc = json();
-    std::size_t n = std::fwrite(doc.data(), 1, doc.size(), f);
-    std::fclose(f);
-    return n == doc.size();
+    // Temp+rename so a crash mid-write can never leave a torn trace
+    // for a viewer (or CI collector) to choke on.
+    return atomicWriteFile(path, json());
 }
 
 // ---------------------------------------------------------------------

@@ -130,7 +130,8 @@ SoftErrorInjector::machineCheck(SoftErrorSite site, Addr line, CoreId core)
         // Distinct exit status (not GLSC_PANIC's SIGABRT or
         // GLSC_FATAL's 1) so the campaign orchestrator classifies the
         // run as PERMANENT instead of retrying a deterministic abort.
-        std::exit(kMachineCheckExitCode);
+        // Single-threaded at this point; exit's MT-Unsafe marking is moot.
+        std::exit(kMachineCheckExitCode); // NOLINT(concurrency-mt-unsafe)
     }
     // Report mode: record the first verdict, let the caller apply the
     // safe invalidation (payload truth lives in Memory) and keep

@@ -49,6 +49,7 @@
 
 #include "config/config.h"
 #include "obs/trace.h"
+#include "sim/exit_codes.h"
 #include "sim/random.h"
 #include "sim/types.h"
 #include "stats/stats.h"
@@ -58,13 +59,9 @@ namespace glsc {
 class FaultInjector;
 class MemorySystem;
 
-/**
- * Process exit status of a machine-check abort (panicOnMachineCheck).
- * Distinct from GLSC_FATAL's 1 and GLSC_PANIC's SIGABRT so the
- * campaign orchestrator can classify the run as PERMANENT (a
- * deterministic abort no retry can fix) instead of burning attempts.
- */
-inline constexpr int kMachineCheckExitCode = 117;
+// kMachineCheckExitCode -- the process exit status of a machine-check
+// abort (panicOnMachineCheck) -- now lives in the exit-code registry,
+// sim/exit_codes.h, alongside every other status the binaries use.
 
 class SoftErrorInjector
 {

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Registry of every process exit code this repository's binaries use.
+ *
+ * Supervisors (CI shell steps, the campaign orchestrator, ctest) make
+ * control-flow decisions on exit statuses: a machine check must not be
+ * retried, a usage error must not be quarantined as a corrupt
+ * artifact, and a verification failure must never look like a crash.
+ * That only works if every code means exactly one thing across every
+ * binary, so the codes live here -- one named constant each, values
+ * unique by definition -- and `glsc-lint` (tools/lint/,
+ * DESIGN.md section 15) enforces both sides of the contract: exit
+ * calls must use a named constant from this registry, and the registry
+ * itself must stay collision-free.
+ */
+
+#ifndef GLSC_SIM_EXIT_CODES_H_
+#define GLSC_SIM_EXIT_CODES_H_
+
+namespace glsc {
+
+/** Clean exit: the run completed and every gate passed. */
+inline constexpr int kExitSuccess = 0;
+
+/**
+ * Fatal run failure: GLSC_FATAL configuration/verification errors and
+ * the bench harness's stats-conservation gate.  Supervisors treat it
+ * as transient (retry, then gap).
+ */
+inline constexpr int kExitFatal = 1;
+
+/** Command-line usage error (bad flag, unknown bench, bad filter). */
+inline constexpr int kExitUsage = 2;
+
+/**
+ * Detected-uncorrectable soft error escalated to a machine-check
+ * abort (src/robust/softerror.h).  Deterministic for a given seed, so
+ * the campaign orchestrator classifies the run PERMANENT and records
+ * a repro line instead of retrying (DESIGN.md sections 12 and 14).
+ */
+inline constexpr int kMachineCheckExitCode = 117;
+
+/**
+ * A supervised child could not exec its runner binary
+ * (tools/campaign/supervisor.cc).  127 mirrors the shell's
+ * command-not-found status so campaign logs read naturally.
+ */
+inline constexpr int kExitExecFail = 127;
+
+} // namespace glsc
+
+#endif // GLSC_SIM_EXIT_CODES_H_

@@ -3,6 +3,8 @@
 #include <cstdarg>
 #include <cstdio>
 
+#include "sim/exit_codes.h"
+
 namespace glsc {
 
 std::string
@@ -32,7 +34,9 @@ void
 fatalImpl(const char *file, int line, const std::string &msg)
 {
     std::fprintf(stderr, "fatal: %s (%s:%d)\n", msg.c_str(), file, line);
-    std::exit(1);
+    // Fatal paths fire before any worker threads exist, so glibc's
+    // MT-Unsafe race:exit marking on exit() does not apply here.
+    std::exit(kExitFatal); // NOLINT(concurrency-mt-unsafe)
 }
 
 void

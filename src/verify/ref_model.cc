@@ -1,5 +1,8 @@
 #include "verify/ref_model.h"
 
+#include <algorithm>
+#include <vector>
+
 #include "sim/log.h"
 
 namespace glsc {
@@ -228,7 +231,11 @@ RefModel::verifyFinalMemory()
     if (finalChecked_ || real_ == nullptr)
         return;
     finalChecked_ = true;
-    for (Addr page : adoptedPages_) {
+    // adoptedPages_ is hash-ordered; sweep pages in address order so
+    // the first divergence reported is deterministic.
+    std::vector<Addr> pages(adoptedPages_.begin(), adoptedPages_.end());
+    std::sort(pages.begin(), pages.end());
+    for (Addr page : pages) {
         for (Addr off = 0; off < Memory::kPageBytes; off += 8) {
             std::uint64_t got = real_->readU64(page + off);
             std::uint64_t expect = image_.readU64(page + off);

@@ -1,0 +1,123 @@
+// Lint fixture (negative): near-misses for every rule; a clean run
+// over this tree must produce zero findings.  Never compiled.
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "obs/trace.h"
+#include "sim/exit_codes.h"
+#include "sim/random.h"
+
+struct Config
+{
+    unsigned long long seed = 0;
+    Tracer *tracer = nullptr;
+};
+
+// determinism-wallclock near-misses: 'rand' as a member, 'time' as a
+// parameter name, 'timestamp' sharing a prefix.
+struct Runtime
+{
+    int rand = 0;
+};
+
+void
+take(int time, const Runtime &runtime)
+{
+    int x = runtime.rand + time;
+    unsigned long long timestamp = static_cast<unsigned>(x);
+    (void)timestamp;
+}
+
+// determinism-unordered-iteration near-misses: an ordered container,
+// and a hash container declared in a header this file does NOT
+// include (see other.h).
+std::vector<int> ordered_;
+
+int
+sumOrdered()
+{
+    int sum = 0;
+    for (int v : ordered_)
+        sum += v;
+    for (const auto &kv : foreign_)
+        sum += kv.second;
+    return sum;
+}
+
+// determinism-pointer-keys near-miss: pointers as VALUES are fine.
+std::map<int, Runtime *> byId_;
+
+// rng-seed-discipline negatives: config-derived ctor seed, a member
+// seeded from the init list, and a default instance that is reseeded.
+struct Engine
+{
+    explicit Engine(const Config &cfg)
+        : mrng_(cfg.seed ^ 0x9E3779B97F4A7C15ull)
+    {
+        reseeded_.reseed(cfg.seed ^ 0xD1B54A32D192ED03ull);
+    }
+
+    Rng mrng_;
+    Rng reseeded_;
+};
+
+unsigned long long
+roll(const Config &cfg)
+{
+    Rng rng(cfg.seed ^ 0xCAFEF00Dull);
+    return rng.next();
+}
+
+// trace-null-guard negatives: the return-early guard, the &&-guard
+// and the if-init guard all dominate their emits.
+struct Probe
+{
+    Config cfg_;
+
+    void viaReturn(const TraceEvent &e)
+    {
+        if (cfg_.tracer == nullptr)
+            return;
+        cfg_.tracer->emit(e);
+    }
+
+    void viaAnd(const TraceEvent &e, bool on)
+    {
+        if (cfg_.tracer && on)
+            cfg_.tracer->emit(e);
+    }
+
+    void viaInit(const TraceEvent &e)
+    {
+        if (Tracer *tr = cfg_.tracer)
+            tr->emit(e);
+    }
+};
+
+// artifact-atomic-write near-miss: reading is fine.
+std::string
+slurp(const std::string &path)
+{
+    std::string out;
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    if (f != nullptr) {
+        char buf[256];
+        std::size_t n;
+        while ((n = std::fread(buf, 1, sizeof buf, f)) > 0)
+            out.append(buf, n);
+        std::fclose(f);
+    }
+    return out;
+}
+
+// exit-code-registry negatives: named constants and literal zero.
+void
+finish(bool ok)
+{
+    if (!ok)
+        std::exit(kExitFatal);
+    std::exit(0);
+}

@@ -1,0 +1,9 @@
+// Lint fixture (negative): both sizeof tripwires present.  Never
+// compiled.
+#include "obs/stats_json.h"
+#include "stats/stats.h"
+
+static_assert(sizeof(SystemStats) == 16,
+              "schema tripwire: bump the schema version");
+static_assert(sizeof(ThreadStats) == 40,
+              "schema tripwire: bump the schema version");

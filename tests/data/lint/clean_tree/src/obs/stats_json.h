@@ -1,0 +1,14 @@
+// Lint fixture (negative): X-macro lists matching stats/stats.h
+// (SystemStats exported in a different order -- sets must compare
+// equal).  Never compiled.
+#ifndef FIXTURE_CLEAN_OBS_STATS_JSON_H_
+#define FIXTURE_CLEAN_OBS_STATS_JSON_H_
+
+#define GLSC_STATS_U64_FIELDS(X) \
+    X(retired)                   \
+    X(cycles)
+
+#define GLSC_THREAD_STATS_U64_FIELDS(X) \
+    X(instructions)
+
+#endif // FIXTURE_CLEAN_OBS_STATS_JSON_H_

@@ -1,0 +1,11 @@
+// Lint fixture (negative): declares a hash container that clean.cc
+// iterates WITHOUT including this header -- the unordered-iteration
+// rule must not fire on names it cannot see.  Never compiled.
+#ifndef FIXTURE_CLEAN_OTHER_H_
+#define FIXTURE_CLEAN_OTHER_H_
+
+#include <unordered_map>
+
+inline std::unordered_map<int, int> foreign_;
+
+#endif // FIXTURE_CLEAN_OTHER_H_

@@ -1,0 +1,15 @@
+// Lint fixture (negative): a healthy registry -- unique, documented.
+// Never compiled.
+#ifndef FIXTURE_CLEAN_SIM_EXIT_CODES_H_
+#define FIXTURE_CLEAN_SIM_EXIT_CODES_H_
+
+/** Clean exit. */
+inline constexpr int kExitSuccess = 0;
+
+/** Fatal run failure; supervisors retry. */
+inline constexpr int kExitFatal = 1;
+
+/** Command-line usage error. */
+inline constexpr int kExitUsage = 2;
+
+#endif // FIXTURE_CLEAN_SIM_EXIT_CODES_H_

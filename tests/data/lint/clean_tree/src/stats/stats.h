@@ -1,0 +1,24 @@
+// Lint fixture (negative): structs in sync with the X-macro lists.
+// Never compiled.
+#ifndef FIXTURE_CLEAN_STATS_STATS_H_
+#define FIXTURE_CLEAN_STATS_STATS_H_
+
+#include <array>
+#include <cstdint>
+
+struct SystemStats
+{
+    std::uint64_t cycles = 0;
+    std::uint64_t retired = 0;
+    // Declaration order differing from export order is legitimate;
+    // the rule compares sets.
+};
+
+struct ThreadStats
+{
+    std::uint64_t instructions = 0;
+    // Aggregate members are exempt from the scalar export contract.
+    std::array<std::uint64_t, 4> hist{};
+};
+
+#endif // FIXTURE_CLEAN_STATS_STATS_H_

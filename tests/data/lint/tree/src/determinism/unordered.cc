@@ -1,0 +1,21 @@
+// Lint fixture: hash-ordered iteration and pointer-keyed ordering.
+// Never compiled.
+#include <map>
+#include <string>
+#include <unordered_map>
+
+struct Session;
+
+struct Registry
+{
+    std::unordered_map<int, std::string> table_;
+    std::map<Session *, int> byOwner_; // determinism-pointer-keys
+
+    std::string dump() const
+    {
+        std::string out;
+        for (const auto &kv : table_) // hash order leaks into out
+            out += kv.second;
+        return out;
+    }
+};

@@ -1,0 +1,22 @@
+// Lint fixture: every line here is a deliberate violation of
+// determinism-wallclock.  Never compiled.
+#include <chrono>
+#include <cstdlib>
+#include <ctime>
+#include <random>
+
+unsigned
+ambientSeed()
+{
+    unsigned s = static_cast<unsigned>(time(nullptr));
+    srand(s);
+    std::random_device rd;
+    return s + rand() + rd();
+}
+
+long
+ambientNow()
+{
+    using clock = std::chrono::steady_clock;
+    return clock::now().time_since_epoch().count();
+}

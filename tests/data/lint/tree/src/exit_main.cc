@@ -1,0 +1,8 @@
+// Lint fixture: exit with a bare literal status.  Never compiled.
+#include <cstdlib>
+
+void
+bail()
+{
+    std::exit(3); // exit-code-registry
+}

@@ -1,0 +1,7 @@
+// Lint fixture: only one of the two sizeof tripwires is present.
+// Never compiled.
+#include "obs/stats_json.h"
+#include "stats/stats.h"
+
+static_assert(sizeof(SystemStats) == 24,
+              "schema tripwire: bump kStatsJsonSchemaVersion");

@@ -1,0 +1,14 @@
+// Lint fixture: X-macro lists that disagree with stats/stats.h.
+// Never compiled.
+#ifndef FIXTURE_OBS_STATS_JSON_H_
+#define FIXTURE_OBS_STATS_JSON_H_
+
+#define GLSC_STATS_U64_FIELDS(X) \
+    X(cycles)                    \
+    X(retired)                   \
+    X(ghost)
+
+#define GLSC_THREAD_STATS_U64_FIELDS(X) \
+    X(instructions)
+
+#endif // FIXTURE_OBS_STATS_JSON_H_

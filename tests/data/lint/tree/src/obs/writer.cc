@@ -1,0 +1,17 @@
+// Lint fixture: direct artifact writes bypassing atomicWriteFile.
+// Never compiled.
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+void
+tornProne(const std::string &path, const std::string &doc)
+{
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (f != nullptr) {
+        std::fwrite(doc.data(), 1, doc.size(), f);
+        std::fclose(f);
+    }
+    std::ofstream alt(path + ".alt");
+    alt << doc;
+}

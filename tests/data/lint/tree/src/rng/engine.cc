@@ -1,0 +1,14 @@
+// Lint fixture: RNG stream discipline violations.  Never compiled.
+#include "sim/random.h"
+
+struct Widget
+{
+    Rng orphanRng_; // default-constructed, never reseeded anywhere
+};
+
+unsigned long long
+roll()
+{
+    Rng rng(12345); // literal seed: the campaign cannot vary it
+    return rng.next();
+}

@@ -1,0 +1,17 @@
+// Lint fixture: a registry with a collision and an undocumented
+// code.  Never compiled.
+#ifndef FIXTURE_SIM_EXIT_CODES_H_
+#define FIXTURE_SIM_EXIT_CODES_H_
+
+/** Clean exit. */
+inline constexpr int kOk = 0;
+
+/** Transient failure; supervisors retry. */
+inline constexpr int kSoft = 9;
+
+/** Collides with kSoft above. */
+inline constexpr int kHard = 9;
+
+inline constexpr int kMystery = 11;
+
+#endif // FIXTURE_SIM_EXIT_CODES_H_

@@ -1,0 +1,20 @@
+// Lint fixture: stats structs out of sync with the X-macro export
+// lists in obs/stats_json.h.  Never compiled.
+#ifndef FIXTURE_STATS_STATS_H_
+#define FIXTURE_STATS_STATS_H_
+
+#include <cstdint>
+
+struct SystemStats
+{
+    std::uint64_t cycles = 0;
+    std::uint64_t retired = 0;
+    std::uint64_t orphan = 0; // not exported by the X-macro
+};
+
+struct ThreadStats
+{
+    std::uint64_t instructions = 0;
+};
+
+#endif // FIXTURE_STATS_STATS_H_

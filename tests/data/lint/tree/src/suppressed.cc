@@ -1,0 +1,23 @@
+// Lint fixture: the suppression mechanism itself.  Never compiled.
+#include <cstdlib>
+
+int
+suppressedOk()
+{
+    // glsc-lint: allow(determinism-wallclock) reason=fixture demonstrating a well-formed suppression
+    return rand();
+}
+
+int
+missingReason()
+{
+    // glsc-lint: allow(determinism-wallclock)
+    return rand();
+}
+
+int
+unknownRule()
+{
+    // glsc-lint: allow(no-such-rule) reason=this rule id does not exist
+    return 0;
+}

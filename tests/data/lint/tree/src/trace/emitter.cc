@@ -1,0 +1,20 @@
+// Lint fixture: one unguarded Tracer emit (finding) next to a
+// properly guarded one (no finding).  Never compiled.
+#include "obs/trace.h"
+
+struct Emitter
+{
+    Tracer *tracer_ = nullptr;
+
+    void unguarded(const TraceEvent &e)
+    {
+        tracer_->emit(e); // trace-null-guard
+    }
+
+    void guarded(const TraceEvent &e)
+    {
+        if (tracer_ == nullptr)
+            return;
+        tracer_->emit(e);
+    }
+};

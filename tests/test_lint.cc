@@ -1,0 +1,264 @@
+/**
+ * @file
+ * glsc-lint tests: per-rule fixtures (positive, negative and
+ * suppressed) under tests/data/lint/, the golden findings artifact
+ * round-tripped through the strict JSON parser, and the tier-1
+ * LintCleanTree gate that runs the analyzer over the real source
+ * tree in-process.
+ */
+
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "lint.h"
+#include "obs/stats_json.h"
+#include "rules.h"
+
+namespace glsc::lint {
+namespace {
+
+std::string
+slurp(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    EXPECT_TRUE(in.good()) << "cannot open " << path;
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    return ss.str();
+}
+
+std::string
+dataDir()
+{
+    return std::string(GLSC_TESTS_DATA_DIR) + "/lint";
+}
+
+LintResult
+runOver(const std::string &root)
+{
+    std::vector<FileUnit> tree;
+    std::string err;
+    EXPECT_TRUE(loadTree(root, tree, &err)) << err;
+    EXPECT_FALSE(tree.empty());
+    return runLint(tree);
+}
+
+int
+countRule(const LintResult &r, const char *rule)
+{
+    int n = 0;
+    for (const Finding &f : r.findings)
+        n += f.rule == rule ? 1 : 0;
+    return n;
+}
+
+// ---------------------------------------------------------------------
+// Lexer behavior the rules rely on.
+// ---------------------------------------------------------------------
+
+TEST(LintLexer, CommentsStringsAndRawStringsHideTokens)
+{
+    LexOutput lx = lex("int a; // rand()\n"
+                       "const char *s = \"srand(1)\";\n"
+                       "/* time(nullptr) */\n"
+                       "auto r = R\"x(rand() \" )x\";\n"
+                       "int b = 1'000'000;\n");
+    for (const Token &t : lx.tokens) {
+        if (t.kind == TokKind::Ident) {
+            EXPECT_NE(t.text, "rand");
+            EXPECT_NE(t.text, "srand");
+            EXPECT_NE(t.text, "time");
+        }
+    }
+    ASSERT_EQ(lx.comments.size(), 2u);
+    EXPECT_TRUE(lx.comments[1].ownsLine);
+}
+
+TEST(LintLexer, PreprocessorLinesAreConsumedAndIncludesRecorded)
+{
+    LexOutput lx = lex("#include \"obs/trace.h\"\n"
+                       "#include <vector>\n"
+                       "#define BAD rand()\n"
+                       "int x;\n");
+    ASSERT_EQ(lx.includes.size(), 2u);
+    EXPECT_EQ(lx.includes[0], "trace.h");
+    EXPECT_EQ(lx.includes[1], "vector");
+    for (const Token &t : lx.tokens)
+        EXPECT_NE(t.text, "rand");
+}
+
+TEST(LintLexer, TokensCarryPositions)
+{
+    LexOutput lx = lex("ab\n  cd->ef\n");
+    ASSERT_EQ(lx.tokens.size(), 4u);
+    EXPECT_EQ(lx.tokens[1].text, "cd");
+    EXPECT_EQ(lx.tokens[1].line, 2);
+    EXPECT_EQ(lx.tokens[1].col, 3);
+    EXPECT_EQ(lx.tokens[2].text, "->");
+}
+
+// ---------------------------------------------------------------------
+// Per-rule positives: the fixture tree trips every rule at least
+// once; the exact set is pinned by the golden JSON below.
+// ---------------------------------------------------------------------
+
+TEST(LintRules, EveryRuleHasAPositiveFixture)
+{
+    LintResult r = runOver(dataDir() + "/tree");
+    EXPECT_EQ(countRule(r, kRuleWallclock), 5);
+    EXPECT_EQ(countRule(r, kRuleUnorderedIteration), 1);
+    EXPECT_EQ(countRule(r, kRulePointerKeys), 1);
+    EXPECT_EQ(countRule(r, kRuleRngSeed), 2);
+    EXPECT_EQ(countRule(r, kRuleTraceGuard), 1);
+    EXPECT_EQ(countRule(r, kRuleStatsSchema), 3);
+    EXPECT_EQ(countRule(r, kRuleExitCodes), 3);
+    EXPECT_EQ(countRule(r, kRuleAtomicWrite), 2);
+    EXPECT_EQ(countRule(r, kRuleSuppressionHygiene), 2);
+    EXPECT_EQ(r.findings.size(), 20u);
+}
+
+TEST(LintRules, CleanTreeFixtureHasNoFindings)
+{
+    LintResult r = runOver(dataDir() + "/clean_tree");
+    for (const Finding &f : r.findings)
+        ADD_FAILURE() << f.file << ":" << f.line << ": " << f.rule
+                      << ": " << f.message;
+    EXPECT_TRUE(r.suppressions.empty());
+}
+
+TEST(LintRules, SuppressionsApplyAndAreAudited)
+{
+    LintResult r = runOver(dataDir() + "/tree");
+    // The well-formed suppression in suppressed.cc removes its rand()
+    // finding; the file's remaining findings are hygiene ones.
+    for (const Finding &f : r.findings) {
+        if (f.file == "src/suppressed.cc") {
+            EXPECT_EQ(f.rule, std::string(kRuleSuppressionHygiene));
+        }
+    }
+    ASSERT_EQ(r.suppressions.size(), 3u);
+    int withReason = 0;
+    for (const LintSuppressionRow &s : r.suppressions)
+        withReason += s.reason.empty() ? 0 : 1;
+    EXPECT_EQ(withReason, 2);
+}
+
+TEST(LintRules, FindingsAreSortedDeterministically)
+{
+    LintResult a = runOver(dataDir() + "/tree");
+    LintResult b = runOver(dataDir() + "/tree");
+    ASSERT_EQ(a.findings.size(), b.findings.size());
+    for (std::size_t i = 0; i < a.findings.size(); i++) {
+        EXPECT_EQ(a.findings[i].rule, b.findings[i].rule);
+        EXPECT_EQ(a.findings[i].file, b.findings[i].file);
+        EXPECT_EQ(a.findings[i].line, b.findings[i].line);
+    }
+    for (std::size_t i = 1; i < a.findings.size(); i++) {
+        const Finding &p = a.findings[i - 1], &q = a.findings[i];
+        EXPECT_LE(p.file, q.file);
+        if (p.file == q.file) {
+            EXPECT_LE(p.line, q.line);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Golden JSON: byte-identical serialization, strict round-trip.
+// ---------------------------------------------------------------------
+
+TEST(LintJson, GoldenIsByteIdentical)
+{
+    LintResult r = runOver(dataDir() + "/tree");
+    std::string produced = lintDocToJson(toLintDoc(r));
+    std::string golden = slurp(dataDir() + "/findings_golden.json");
+    EXPECT_EQ(produced, golden)
+        << "findings_golden.json is stale; regenerate with "
+           "glsc-lint --root tests/data/lint/tree --json "
+           "tests/data/lint/findings_golden.json";
+}
+
+TEST(LintJson, GoldenRoundTripsThroughStrictParser)
+{
+    std::string golden = slurp(dataDir() + "/findings_golden.json");
+    LintDoc doc;
+    std::string err;
+    ASSERT_TRUE(lintDocFromJson(golden, doc, &err)) << err;
+    EXPECT_EQ(doc.tool, "glsc-lint");
+    EXPECT_EQ(doc.findings.size(), 20u);
+    EXPECT_EQ(doc.suppressions.size(), 3u);
+    EXPECT_EQ(lintDocToJson(doc), golden);
+}
+
+TEST(LintJson, StrictParserRejectsTampering)
+{
+    std::string golden = slurp(dataDir() + "/findings_golden.json");
+    LintDoc doc;
+    std::string err;
+
+    std::string wrongSchema = golden;
+    std::size_t at = wrongSchema.find("\"lintSchema\": 1");
+    ASSERT_NE(at, std::string::npos);
+    wrongSchema.replace(at, 15, "\"lintSchema\": 9");
+    EXPECT_FALSE(lintDocFromJson(wrongSchema, doc, &err));
+
+    std::string wrongCount = golden;
+    at = wrongCount.find("\"count\": 20");
+    ASSERT_NE(at, std::string::npos);
+    wrongCount.replace(at, 11, "\"count\": 19");
+    EXPECT_FALSE(lintDocFromJson(wrongCount, doc, &err));
+
+    std::string extraField = golden;
+    at = extraField.find("\"tool\"");
+    ASSERT_NE(at, std::string::npos);
+    extraField.insert(at, "\"sneaky\": 1,\n  ");
+    EXPECT_FALSE(lintDocFromJson(extraField, doc, &err));
+}
+
+TEST(LintJson, EmptyDocSerializesAndParses)
+{
+    LintDoc doc;
+    std::string json = lintDocToJson(doc);
+    LintDoc back;
+    std::string err;
+    ASSERT_TRUE(lintDocFromJson(json, back, &err)) << err;
+    EXPECT_TRUE(back.findings.empty());
+    EXPECT_TRUE(back.suppressions.empty());
+}
+
+// ---------------------------------------------------------------------
+// The real gate: the actual source tree must be lint-clean, and
+// every suppression in it must carry a reason.
+// ---------------------------------------------------------------------
+
+TEST(LintCleanTree, RealSourceTreeIsClean)
+{
+    std::vector<FileUnit> tree;
+    std::string err;
+    ASSERT_TRUE(loadTree(GLSC_SOURCE_ROOT, tree, &err)) << err;
+    ASSERT_GT(tree.size(), 50u) << "tree walk found too few files";
+    LintResult r = runLint(tree);
+    for (const Finding &f : r.findings)
+        ADD_FAILURE() << f.file << ":" << f.line << ":" << f.col
+                      << ": " << f.rule << ": " << f.message;
+    for (const LintSuppressionRow &s : r.suppressions)
+        EXPECT_FALSE(s.reason.empty())
+            << s.file << ":" << s.line << " suppression of "
+            << s.rules << " is missing its reason";
+}
+
+TEST(LintCleanTree, FixturesAreExcludedFromTheRealTree)
+{
+    std::vector<FileUnit> tree;
+    std::string err;
+    ASSERT_TRUE(loadTree(GLSC_SOURCE_ROOT, tree, &err)) << err;
+    for (const FileUnit &f : tree)
+        EXPECT_EQ(f.path.find("/data/"), std::string::npos) << f.path;
+}
+
+} // namespace
+} // namespace glsc::lint

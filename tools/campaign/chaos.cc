@@ -160,6 +160,7 @@ chaosChildMain(const ChaosChildArgs &args)
         doc.seed = args.seed;
         std::string full = benchDocToJson(doc);
         std::string half = full.substr(0, full.size() / 2);
+        // glsc-lint: allow(artifact-atomic-write) reason=this chaos mode deliberately produces the torn file the orchestrator must survive
         FILE *f = std::fopen(args.jsonPath.c_str(), "w");
         if (f) {
             std::fwrite(half.data(), 1, half.size(), f);

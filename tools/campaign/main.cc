@@ -23,6 +23,7 @@
 #include "campaign/spec.h"
 #include "obs/artifact.h"
 #include "obs/stats_json.h"
+#include "sim/exit_codes.h"
 #include "sim/log.h"
 
 namespace {
@@ -63,7 +64,7 @@ usage(const char *argv0)
         "  --chaos-flaky-after N  flaky child succeeds on attempt N\n"
         "  --self-check           assert exact chaos accounting\n",
         argv0);
-    std::exit(2);
+    std::exit(kExitUsage);
 }
 
 std::vector<std::string>

@@ -8,6 +8,7 @@
 
 #include <cerrno>
 
+#include "sim/exit_codes.h"
 #include "sim/log.h"
 
 namespace glsc {
@@ -17,6 +18,7 @@ std::uint64_t
 monotonicMs()
 {
     struct timespec ts;
+    // glsc-lint: allow(determinism-wallclock) reason=host-side hang-detection deadline for supervised children; never reaches simulated time
     clock_gettime(CLOCK_MONOTONIC, &ts);
     return static_cast<std::uint64_t>(ts.tv_sec) * 1000ull +
            static_cast<std::uint64_t>(ts.tv_nsec) / 1000000ull;
@@ -72,8 +74,8 @@ SupervisedChild::start(const std::vector<std::string> &argv,
                 close(fd);
         }
         execv(cargv[0], cargv.data());
-        // exec failed: 127 mirrors the shell's command-not-found.
-        _exit(127);
+        // exec failed: kExitExecFail mirrors command-not-found.
+        _exit(kExitExecFail);
     }
     pid_ = pid;
     startMs_ = monotonicMs();

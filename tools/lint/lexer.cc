@@ -1,0 +1,340 @@
+#include "lexer.h"
+
+#include <cctype>
+
+namespace glsc::lint {
+
+namespace {
+
+bool
+identStart(char c)
+{
+    return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool
+identBody(char c)
+{
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+/** The string-literal prefixes that make the next '"' a raw string. */
+bool
+isRawPrefix(const std::string &s)
+{
+    return s == "R" || s == "LR" || s == "uR" || s == "UR" || s == "u8R";
+}
+
+/** The string-literal prefixes for ordinary encoded strings. */
+bool
+isStrPrefix(const std::string &s)
+{
+    return s == "L" || s == "u" || s == "U" || s == "u8";
+}
+
+class Lexer
+{
+  public:
+    explicit Lexer(const std::string &text) : s_(text) {}
+
+    LexOutput run()
+    {
+        while (pos_ < s_.size())
+            step();
+        return std::move(out_);
+    }
+
+  private:
+    char cur() const { return s_[pos_]; }
+    char peek(std::size_t k = 1) const
+    {
+        return pos_ + k < s_.size() ? s_[pos_ + k] : '\0';
+    }
+
+    void advance()
+    {
+        if (s_[pos_] == '\n') {
+            line_++;
+            col_ = 1;
+            lineHasCode_ = false;
+        } else {
+            col_++;
+        }
+        pos_++;
+    }
+
+    void emit(TokKind kind, std::string text, int line, int col)
+    {
+        out_.tokens.push_back({kind, std::move(text), line, col});
+        lineHasCode_ = true;
+    }
+
+    void step()
+    {
+        char c = cur();
+        if (c == ' ' || c == '\t' || c == '\r' || c == '\n' ||
+            c == '\f' || c == '\v') {
+            advance();
+            return;
+        }
+        if (c == '/' && peek() == '/') {
+            lineComment();
+            return;
+        }
+        if (c == '/' && peek() == '*') {
+            blockComment();
+            return;
+        }
+        if (c == '#' && !lineHasCode_) {
+            preprocessor();
+            return;
+        }
+        if (identStart(c)) {
+            identifier();
+            return;
+        }
+        if (std::isdigit(static_cast<unsigned char>(c)) ||
+            (c == '.' && std::isdigit(static_cast<unsigned char>(peek())))) {
+            number();
+            return;
+        }
+        if (c == '"') {
+            stringLit();
+            return;
+        }
+        if (c == '\'') {
+            charLit();
+            return;
+        }
+        punct();
+    }
+
+    void lineComment()
+    {
+        Comment cm;
+        cm.line = line_;
+        cm.col = col_;
+        cm.ownsLine = !lineHasCode_;
+        advance(); // '/'
+        advance(); // '/'
+        while (pos_ < s_.size() && cur() != '\n') {
+            cm.text += cur();
+            advance();
+        }
+        out_.comments.push_back(std::move(cm));
+    }
+
+    void blockComment()
+    {
+        Comment cm;
+        cm.line = line_;
+        cm.col = col_;
+        cm.ownsLine = !lineHasCode_;
+        advance(); // '/'
+        advance(); // '*'
+        while (pos_ < s_.size()) {
+            if (cur() == '*' && peek() == '/') {
+                advance();
+                advance();
+                break;
+            }
+            cm.text += cur();
+            advance();
+        }
+        out_.comments.push_back(std::move(cm));
+    }
+
+    /**
+     * Consumes a whole preprocessor logical line (with backslash
+     * continuations), recording #include targets by basename.  A
+     * trailing // comment on the directive still reaches the comment
+     * stream so suppressions next to includes work.
+     */
+    void preprocessor()
+    {
+        std::string text;
+        while (pos_ < s_.size()) {
+            if (cur() == '/' && peek() == '/') {
+                lineComment();
+                continue;
+            }
+            if (cur() == '/' && peek() == '*') {
+                blockComment();
+                continue;
+            }
+            if (cur() == '\\' && (peek() == '\n' ||
+                                  (peek() == '\r' && peek(2) == '\n'))) {
+                advance();
+                while (pos_ < s_.size() && cur() != '\n')
+                    advance();
+                advance();
+                text += ' ';
+                continue;
+            }
+            if (cur() == '\n')
+                break;
+            text += cur();
+            advance();
+        }
+        std::size_t inc = text.find("include");
+        if (inc != std::string::npos) {
+            std::size_t open = text.find_first_of("\"<", inc);
+            if (open != std::string::npos) {
+                char closeCh = text[open] == '<' ? '>' : '"';
+                std::size_t close = text.find(closeCh, open + 1);
+                if (close != std::string::npos) {
+                    std::string target =
+                        text.substr(open + 1, close - open - 1);
+                    std::size_t slash = target.find_last_of('/');
+                    if (slash != std::string::npos)
+                        target = target.substr(slash + 1);
+                    out_.includes.push_back(std::move(target));
+                }
+            }
+        }
+    }
+
+    void identifier()
+    {
+        int l = line_, c = col_;
+        std::string text;
+        while (pos_ < s_.size() && identBody(cur())) {
+            text += cur();
+            advance();
+        }
+        if (pos_ < s_.size() && cur() == '"') {
+            if (isRawPrefix(text)) {
+                rawString(l, c);
+                return;
+            }
+            if (isStrPrefix(text)) {
+                stringLit();
+                return;
+            }
+        }
+        emit(TokKind::Ident, std::move(text), l, c);
+    }
+
+    /** Numbers, loosely: digits, hex, separators, exponents. */
+    void number()
+    {
+        int l = line_, c = col_;
+        std::string text;
+        while (pos_ < s_.size()) {
+            char ch = cur();
+            if (identBody(ch) || ch == '\'' || ch == '.') {
+                text += ch;
+                advance();
+                continue;
+            }
+            if ((ch == '+' || ch == '-') && !text.empty()) {
+                char prev = text.back();
+                if (prev == 'e' || prev == 'E' || prev == 'p' ||
+                    prev == 'P') {
+                    text += ch;
+                    advance();
+                    continue;
+                }
+            }
+            break;
+        }
+        emit(TokKind::Number, std::move(text), l, c);
+    }
+
+    void stringLit()
+    {
+        int l = line_, c = col_;
+        std::string text;
+        advance(); // opening quote
+        while (pos_ < s_.size() && cur() != '"' && cur() != '\n') {
+            if (cur() == '\\' && pos_ + 1 < s_.size()) {
+                text += cur();
+                advance();
+            }
+            text += cur();
+            advance();
+        }
+        if (pos_ < s_.size() && cur() == '"')
+            advance();
+        emit(TokKind::String, std::move(text), l, c);
+    }
+
+    void rawString(int l, int c)
+    {
+        advance(); // opening quote
+        std::string delim;
+        while (pos_ < s_.size() && cur() != '(') {
+            delim += cur();
+            advance();
+        }
+        if (pos_ < s_.size())
+            advance(); // '('
+        std::string close = ")" + delim + "\"";
+        std::string text;
+        while (pos_ < s_.size()) {
+            if (cur() == ')' && s_.compare(pos_, close.size(), close) == 0) {
+                for (std::size_t i = 0; i < close.size(); i++)
+                    advance();
+                break;
+            }
+            text += cur();
+            advance();
+        }
+        emit(TokKind::String, std::move(text), l, c);
+    }
+
+    void charLit()
+    {
+        int l = line_, c = col_;
+        std::string text;
+        advance(); // opening quote
+        while (pos_ < s_.size() && cur() != '\'' && cur() != '\n') {
+            if (cur() == '\\' && pos_ + 1 < s_.size()) {
+                text += cur();
+                advance();
+            }
+            text += cur();
+            advance();
+        }
+        if (pos_ < s_.size() && cur() == '\'')
+            advance();
+        emit(TokKind::CharLit, std::move(text), l, c);
+    }
+
+    void punct()
+    {
+        int l = line_, c = col_;
+        char ch = cur();
+        if (ch == ':' && peek() == ':') {
+            advance();
+            advance();
+            emit(TokKind::Punct, "::", l, c);
+            return;
+        }
+        if (ch == '-' && peek() == '>') {
+            advance();
+            advance();
+            emit(TokKind::Punct, "->", l, c);
+            return;
+        }
+        advance();
+        emit(TokKind::Punct, std::string(1, ch), l, c);
+    }
+
+    const std::string &s_;
+    std::size_t pos_ = 0;
+    int line_ = 1;
+    int col_ = 1;
+    bool lineHasCode_ = false;
+    LexOutput out_;
+};
+
+} // namespace
+
+LexOutput
+lex(const std::string &text)
+{
+    return Lexer(text).run();
+}
+
+} // namespace glsc::lint

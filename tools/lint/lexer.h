@@ -1,0 +1,66 @@
+/**
+ * @file
+ * A lightweight C++ tokenizer for glsc-lint.
+ *
+ * This is not a compiler front end: it produces just enough structure
+ * for the rule pack in rules.cc -- identifiers, numbers, literals and
+ * punctuation with 1-based source positions -- while being exactly
+ * right about the things naive grep-based linting gets wrong:
+ * comments (line and block), string and character literals, raw
+ * strings (`R"delim(...)delim"`), digit separators, and preprocessor
+ * logical lines (including backslash continuations).
+ *
+ * Preprocessor directives are consumed whole and excluded from the
+ * token stream (a banned identifier inside an `#if 0` arm or a macro
+ * body is still scanned by text-level rules that want it, via
+ * FileUnit::lines); `#include` targets are recorded by basename so
+ * rules can reason about direct includes.  Comments are returned on a
+ * side channel so the suppression parser can find
+ * `// glsc-lint: allow(...)` markers without them ever shadowing code.
+ */
+
+#ifndef GLSC_TOOLS_LINT_LEXER_H_
+#define GLSC_TOOLS_LINT_LEXER_H_
+
+#include <string>
+#include <vector>
+
+namespace glsc::lint {
+
+enum class TokKind {
+    Ident,   //!< identifier or keyword
+    Number,  //!< numeric literal (digit separators included)
+    String,  //!< string literal, text is the uninterpreted body
+    CharLit, //!< character literal
+    Punct,   //!< punctuation; "::" and "->" are single tokens
+};
+
+struct Token
+{
+    TokKind kind;
+    std::string text;
+    int line = 0; //!< 1-based
+    int col = 0;  //!< 1-based byte column
+};
+
+struct Comment
+{
+    std::string text; //!< body without the // or /* */ markers
+    int line = 0;     //!< 1-based line the comment starts on
+    int col = 0;      //!< 1-based byte column of the marker
+    bool ownsLine = false; //!< only whitespace precedes it on its line
+};
+
+struct LexOutput
+{
+    std::vector<Token> tokens;
+    std::vector<Comment> comments;
+    std::vector<std::string> includes; //!< #include targets, basenames
+};
+
+/** Tokenizes @p text.  Never fails: unexpected bytes become Punct. */
+LexOutput lex(const std::string &text);
+
+} // namespace glsc::lint
+
+#endif // GLSC_TOOLS_LINT_LEXER_H_

@@ -1,0 +1,348 @@
+#include "lint.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <set>
+
+#include "sim/log.h"
+
+namespace glsc::lint {
+
+namespace fs = std::filesystem;
+
+// ---------------------------------------------------------------------
+// FileUnit construction.
+// ---------------------------------------------------------------------
+
+bool
+FileUnit::pathEndsWith(const std::string &suffix) const
+{
+    if (path.size() < suffix.size())
+        return false;
+    if (path.compare(path.size() - suffix.size(), suffix.size(),
+                     suffix) != 0)
+        return false;
+    return path.size() == suffix.size() ||
+           path[path.size() - suffix.size() - 1] == '/';
+}
+
+namespace {
+
+FileCategory
+categorize(const std::string &relPath)
+{
+    std::size_t slash = relPath.find('/');
+    std::string first =
+        slash == std::string::npos ? "" : relPath.substr(0, slash);
+    if (first == "src")
+        return FileCategory::Src;
+    if (first == "bench")
+        return FileCategory::Bench;
+    if (first == "tools")
+        return FileCategory::Tools;
+    if (first == "tests")
+        return FileCategory::Tests;
+    return FileCategory::Other;
+}
+
+std::vector<std::string>
+splitLines(const std::string &text)
+{
+    std::vector<std::string> lines;
+    std::string cur;
+    for (char c : text) {
+        if (c == '\n') {
+            lines.push_back(std::move(cur));
+            cur.clear();
+        } else {
+            cur += c;
+        }
+    }
+    if (!cur.empty())
+        lines.push_back(std::move(cur));
+    return lines;
+}
+
+std::string
+trim(const std::string &s)
+{
+    std::size_t b = s.find_first_not_of(" \t");
+    if (b == std::string::npos)
+        return "";
+    std::size_t e = s.find_last_not_of(" \t");
+    return s.substr(b, e - b + 1);
+}
+
+/**
+ * Parses `glsc-lint: allow(a,b) reason=...` markers out of the
+ * comment stream.  Anything after "glsc-lint:" that fails to parse
+ * still produces a (malformed) Suppression so hygiene checking can
+ * point at it.
+ */
+std::vector<Suppression>
+parseSuppressions(const LexOutput &lx)
+{
+    std::vector<Suppression> out;
+    for (const Comment &cm : lx.comments) {
+        // A marker must open the comment; prose *mentioning* the
+        // syntax mid-comment (docs, this very file) is not one.
+        std::string body = trim(cm.text);
+        if (body.compare(0, 10, "glsc-lint:") != 0)
+            continue;
+        Suppression sup;
+        sup.commentLine = cm.line;
+        sup.targetLine = cm.ownsLine ? cm.line + 1 : cm.line;
+        std::string rest = trim(body.substr(10));
+        if (rest.compare(0, 6, "allow(") != 0) {
+            sup.malformed = true;
+            out.push_back(std::move(sup));
+            continue;
+        }
+        std::size_t close = rest.find(')', 6);
+        if (close == std::string::npos) {
+            sup.malformed = true;
+            out.push_back(std::move(sup));
+            continue;
+        }
+        std::string csv = rest.substr(6, close - 6);
+        std::size_t pos = 0;
+        while (pos <= csv.size()) {
+            std::size_t comma = csv.find(',', pos);
+            std::string one =
+                trim(csv.substr(pos, comma == std::string::npos
+                                         ? std::string::npos
+                                         : comma - pos));
+            if (!one.empty())
+                sup.rules.push_back(std::move(one));
+            if (comma == std::string::npos)
+                break;
+            pos = comma + 1;
+        }
+        if (sup.rules.empty())
+            sup.malformed = true;
+        std::string tail = trim(rest.substr(close + 1));
+        if (tail.compare(0, 7, "reason=") == 0)
+            sup.reason = trim(tail.substr(7));
+        out.push_back(std::move(sup));
+    }
+    return out;
+}
+
+} // namespace
+
+FileUnit
+makeFileUnit(std::string relPath, std::string text)
+{
+    FileUnit f;
+    f.path = std::move(relPath);
+    f.category = categorize(f.path);
+    f.text = std::move(text);
+    f.lines = splitLines(f.text);
+    f.lex = lex(f.text);
+    f.suppressions = parseSuppressions(f.lex);
+    return f;
+}
+
+// ---------------------------------------------------------------------
+// Tree loading.
+// ---------------------------------------------------------------------
+
+bool
+loadTree(const std::string &root, std::vector<FileUnit> &out,
+         std::string *err)
+{
+    static const char *kTrees[] = {"src", "bench", "tools", "tests"};
+    std::vector<std::string> rels;
+    for (const char *tree : kTrees) {
+        fs::path top = fs::path(root) / tree;
+        std::error_code ec;
+        if (!fs::is_directory(top, ec))
+            continue;
+        for (fs::recursive_directory_iterator
+                 it(top, fs::directory_options::skip_permission_denied,
+                    ec),
+             end;
+             it != end; it.increment(ec)) {
+            if (ec) {
+                if (err != nullptr)
+                    *err = strprintf("walking %s: %s", top.c_str(),
+                                     ec.message().c_str());
+                return false;
+            }
+            if (!it->is_regular_file(ec))
+                continue;
+            std::string rel =
+                fs::relative(it->path(), root, ec).generic_string();
+            if (ec)
+                continue;
+            std::string ext = it->path().extension().string();
+            if (ext != ".h" && ext != ".cc")
+                continue;
+            // Lint fixtures are deliberate violations; never scan
+            // them as part of the real tree.
+            if (rel.find("/data/") != std::string::npos)
+                continue;
+            rels.push_back(std::move(rel));
+        }
+    }
+    std::sort(rels.begin(), rels.end());
+    for (const std::string &rel : rels) {
+        fs::path abs = fs::path(root) / rel;
+        std::FILE *f = std::fopen(abs.c_str(), "rb");
+        if (f == nullptr) {
+            if (err != nullptr)
+                *err = strprintf("cannot open %s", abs.c_str());
+            return false;
+        }
+        std::string text;
+        char buf[1 << 16];
+        std::size_t n;
+        while ((n = std::fread(buf, 1, sizeof buf, f)) > 0)
+            text.append(buf, n);
+        std::fclose(f);
+        out.push_back(makeFileUnit(rel, std::move(text)));
+    }
+    return true;
+}
+
+// ---------------------------------------------------------------------
+// Engine.
+// ---------------------------------------------------------------------
+
+namespace {
+
+const char kHygieneRule[] = "suppression-hygiene";
+
+std::string
+joinRules(const std::vector<std::string> &rules)
+{
+    std::string out;
+    for (const std::string &r : rules) {
+        if (!out.empty())
+            out += ",";
+        out += r;
+    }
+    return out;
+}
+
+} // namespace
+
+LintResult
+runLint(const std::vector<FileUnit> &tree)
+{
+    std::vector<std::unique_ptr<Rule>> rules = defaultRules();
+    std::set<std::string> knownIds;
+    for (const auto &r : rules)
+        knownIds.insert(r->id());
+
+    std::vector<Finding> raw;
+    for (const auto &r : rules)
+        r->run(tree, raw);
+
+    LintResult result;
+    for (const FileUnit &f : tree) {
+        for (const Suppression &sup : f.suppressions) {
+            // Hygiene first: malformed markers, missing reasons and
+            // unknown rule ids are findings in their own right, and
+            // are deliberately not suppressible.
+            if (sup.malformed) {
+                result.findings.push_back(
+                    {kHygieneRule, f.path, sup.commentLine, 1,
+                     "malformed glsc-lint comment; expected "
+                     "'glsc-lint: allow(<rule>[,<rule>]) "
+                     "reason=<why>'"});
+                continue;
+            }
+            if (sup.reason.empty()) {
+                result.findings.push_back(
+                    {kHygieneRule, f.path, sup.commentLine, 1,
+                     strprintf("suppression of %s is missing the "
+                               "mandatory reason=<why>",
+                               joinRules(sup.rules).c_str())});
+            }
+            for (const std::string &rid : sup.rules) {
+                if (knownIds.count(rid) == 0) {
+                    result.findings.push_back(
+                        {kHygieneRule, f.path, sup.commentLine, 1,
+                         strprintf("suppression names unknown rule "
+                                   "'%s'",
+                                   rid.c_str())});
+                }
+            }
+            LintSuppressionRow row;
+            row.file = f.path;
+            row.line = sup.commentLine;
+            row.rules = joinRules(sup.rules);
+            row.reason = sup.reason;
+            result.suppressions.push_back(std::move(row));
+        }
+    }
+
+    for (Finding &fd : raw) {
+        bool suppressed = false;
+        for (const FileUnit &f : tree) {
+            if (f.path != fd.file)
+                continue;
+            for (const Suppression &sup : f.suppressions) {
+                if (sup.malformed || sup.targetLine != fd.line)
+                    continue;
+                if (std::find(sup.rules.begin(), sup.rules.end(),
+                              fd.rule) != sup.rules.end()) {
+                    suppressed = true;
+                    break;
+                }
+            }
+            break;
+        }
+        if (!suppressed)
+            result.findings.push_back(std::move(fd));
+    }
+
+    std::sort(result.findings.begin(), result.findings.end(),
+              [](const Finding &a, const Finding &b) {
+                  if (a.file != b.file)
+                      return a.file < b.file;
+                  if (a.line != b.line)
+                      return a.line < b.line;
+                  if (a.col != b.col)
+                      return a.col < b.col;
+                  return a.rule < b.rule;
+              });
+    std::sort(result.suppressions.begin(), result.suppressions.end(),
+              [](const LintSuppressionRow &a,
+                 const LintSuppressionRow &b) {
+                  if (a.file != b.file)
+                      return a.file < b.file;
+                  return a.line < b.line;
+              });
+    return result;
+}
+
+LintDoc
+toLintDoc(const LintResult &result)
+{
+    LintDoc doc;
+    for (const Finding &f : result.findings)
+        doc.findings.push_back(
+            {f.rule, f.file, f.line, f.col, f.message});
+    doc.suppressions = result.suppressions;
+    return doc;
+}
+
+std::string
+formatText(const LintResult &result)
+{
+    std::string out;
+    for (const Finding &f : result.findings)
+        out += strprintf("%s:%d:%d: %s: %s\n", f.file.c_str(), f.line,
+                         f.col, f.rule.c_str(), f.message.c_str());
+    out += strprintf("glsc-lint: %zu finding%s, %zu suppression%s\n",
+                     result.findings.size(),
+                     result.findings.size() == 1 ? "" : "s",
+                     result.suppressions.size(),
+                     result.suppressions.size() == 1 ? "" : "s");
+    return out;
+}
+
+} // namespace glsc::lint

@@ -1,0 +1,125 @@
+/**
+ * @file
+ * glsc-lint: the project-specific static analyzer's engine.
+ *
+ * The simulator's correctness story rests on contracts that are only
+ * checked dynamically -- bit-identical replay, per-fault-class seeded
+ * RNG streams, zero-overhead-when-off tracing, schema-versioned stats
+ * JSON, a collision-free exit-code registry.  ROADMAP item 1(b) (the
+ * bound-weave parallel tick loop) will make silent violations of any
+ * of them far harder to bisect, so glsc-lint enforces them at the
+ * source level: a tokenizer (lexer.h), a pluggable rule pack
+ * (rules.cc), inline suppressions with mandatory reasons, and a
+ * schema-versioned JSON findings artifact (obs/stats_json.h, LINT
+ * section) gate CI on a clean tree.  DESIGN.md section 15 is the rule
+ * catalog and the how-to for adding a rule.
+ *
+ * Suppression syntax:
+ *
+ *     // glsc-lint: allow(rule-a,rule-b) reason=<rest of line>
+ *
+ * A suppression whose comment shares a line with code applies to that
+ * line; a comment alone on its line applies to the next line.  The
+ * reason is mandatory and rule ids must exist; violations of either
+ * are `suppression-hygiene` findings, which can never themselves be
+ * suppressed.
+ */
+
+#ifndef GLSC_TOOLS_LINT_LINT_H_
+#define GLSC_TOOLS_LINT_LINT_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "lexer.h"
+#include "obs/stats_json.h"
+
+namespace glsc::lint {
+
+/** Which top-level tree a file belongs to; rules scope on this. */
+enum class FileCategory { Src, Bench, Tools, Tests, Other };
+
+struct Finding
+{
+    std::string rule;
+    std::string file; //!< path relative to the scanned root
+    int line = 0;
+    int col = 0;
+    std::string message;
+};
+
+/** One parsed `// glsc-lint: allow(...)` marker. */
+struct Suppression
+{
+    int commentLine = 0; //!< line of the marker itself
+    int targetLine = 0;  //!< line the suppression applies to
+    std::vector<std::string> rules;
+    std::string reason;
+    bool malformed = false; //!< marker present but unparseable
+};
+
+/** One source file, tokenized, with its suppressions parsed. */
+struct FileUnit
+{
+    std::string path; //!< '/'-separated, relative to the scanned root
+    FileCategory category = FileCategory::Other;
+    std::string text;
+    std::vector<std::string> lines; //!< line N is lines[N-1]
+    LexOutput lex;
+    std::vector<Suppression> suppressions;
+
+    /** True when path ends with @p suffix on a component boundary. */
+    bool pathEndsWith(const std::string &suffix) const;
+};
+
+/** Builds a FileUnit from in-memory text (fixtures, tests). */
+FileUnit makeFileUnit(std::string relPath, std::string text);
+
+/**
+ * Loads every *.h / *.cc under root's src/, bench/, tools/ and tests/
+ * trees (skipping any path with a `/data/` component -- lint fixtures
+ * are deliberate violations).  Paths come back sorted so every run
+ * sees files in the same order.
+ */
+bool loadTree(const std::string &root, std::vector<FileUnit> &out,
+              std::string *err = nullptr);
+
+/** A rule: scans the whole tree, appends findings. */
+class Rule
+{
+  public:
+    virtual ~Rule() = default;
+    virtual const char *id() const = 0;
+    virtual const char *summary() const = 0;
+    virtual void run(const std::vector<FileUnit> &tree,
+                     std::vector<Finding> &out) const = 0;
+};
+
+/** The shipped rule pack (rules.cc). */
+std::vector<std::unique_ptr<Rule>> defaultRules();
+
+struct LintResult
+{
+    /** Unsuppressed findings, sorted by (file, line, col, rule). */
+    std::vector<Finding> findings;
+    /** Every suppression in the tree, sorted by (file, line). */
+    std::vector<LintSuppressionRow> suppressions;
+};
+
+/**
+ * Runs the rule pack over @p tree, applies suppressions, and checks
+ * suppression hygiene (mandatory reason, known rule ids, well-formed
+ * markers).  Deterministic: output depends only on file contents.
+ */
+LintResult runLint(const std::vector<FileUnit> &tree);
+
+/** The findings as the schema-versioned JSON artifact. */
+LintDoc toLintDoc(const LintResult &result);
+
+/** Human-readable report: one `file:line:col: rule: message` per finding. */
+std::string formatText(const LintResult &result);
+
+} // namespace glsc::lint
+
+#endif // GLSC_TOOLS_LINT_LINT_H_

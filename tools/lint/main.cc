@@ -1,0 +1,107 @@
+/**
+ * @file
+ * glsc-lint command-line driver.
+ *
+ *   glsc-lint [--root DIR] [--json PATH] [--list-suppressions]
+ *
+ * Scans root's src/, bench/, tools/ and tests/ trees, prints one
+ * `file:line:col: rule: message` per finding and exits kExitFatal if
+ * any survive suppression.  --json writes the schema-versioned
+ * findings artifact (atomically, of course).  --list-suppressions is
+ * the audit mode: it prints every inline suppression with its reason
+ * and fails if any reason is missing, so CI can keep the suppression
+ * set honest even on an otherwise clean tree.
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "lint.h"
+#include "obs/artifact.h"
+#include "sim/exit_codes.h"
+#include "sim/log.h"
+
+namespace {
+
+void
+usage(const char *argv0)
+{
+    std::fprintf(
+        stderr,
+        "usage: %s [--root DIR] [--json PATH] [--list-suppressions]\n"
+        "  --root DIR            tree to scan (default .)\n"
+        "  --json PATH           write the findings artifact\n"
+        "  --list-suppressions   audit every inline suppression;\n"
+        "                        fail on any missing reason=\n",
+        argv0);
+    std::exit(glsc::kExitUsage);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string root = ".";
+    std::string jsonPath;
+    bool listSuppressions = false;
+    for (int i = 1; i < argc; i++) {
+        if (std::strcmp(argv[i], "--root") == 0 && i + 1 < argc) {
+            root = argv[++i];
+        } else if (std::strcmp(argv[i], "--json") == 0 &&
+                   i + 1 < argc) {
+            jsonPath = argv[++i];
+        } else if (std::strcmp(argv[i], "--list-suppressions") == 0) {
+            listSuppressions = true;
+        } else {
+            usage(argv[0]);
+        }
+    }
+
+    std::vector<glsc::lint::FileUnit> tree;
+    std::string err;
+    if (!glsc::lint::loadTree(root, tree, &err)) {
+        std::fprintf(stderr, "glsc-lint: %s\n", err.c_str());
+        return glsc::kExitFatal;
+    }
+    if (tree.empty()) {
+        std::fprintf(stderr,
+                     "glsc-lint: no sources under %s (expected src/, "
+                     "bench/, tools/ or tests/)\n",
+                     root.c_str());
+        return glsc::kExitFatal;
+    }
+
+    glsc::lint::LintResult result = glsc::lint::runLint(tree);
+
+    if (!jsonPath.empty()) {
+        std::string doc =
+            glsc::lintDocToJson(glsc::lint::toLintDoc(result));
+        if (!glsc::atomicWriteFile(jsonPath, doc)) {
+            std::fprintf(stderr, "glsc-lint: cannot write %s\n",
+                         jsonPath.c_str());
+            return glsc::kExitFatal;
+        }
+    }
+
+    if (listSuppressions) {
+        bool bad = false;
+        for (const glsc::LintSuppressionRow &s : result.suppressions) {
+            std::printf("%s:%d: allow(%s) reason=%s\n",
+                        s.file.c_str(), s.line, s.rules.c_str(),
+                        s.reason.empty() ? "<MISSING>"
+                                         : s.reason.c_str());
+            bad = bad || s.reason.empty() || s.rules.empty();
+        }
+        std::printf("glsc-lint: %zu suppression%s\n",
+                    result.suppressions.size(),
+                    result.suppressions.size() == 1 ? "" : "s");
+        return bad ? glsc::kExitFatal : glsc::kExitSuccess;
+    }
+
+    std::fputs(glsc::lint::formatText(result).c_str(), stdout);
+    return result.findings.empty() ? glsc::kExitSuccess
+                                   : glsc::kExitFatal;
+}

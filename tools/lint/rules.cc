@@ -1,0 +1,896 @@
+/**
+ * @file
+ * The glsc-lint rule pack.  Each rule is a token- or text-level
+ * heuristic wired to one of the repository's real invariants; the
+ * catalog with rationale is DESIGN.md section 15.  Rules must be
+ * deterministic (findings are a pure function of file contents) and
+ * err toward precision: a false positive costs a suppression comment
+ * in real code, so detection patterns here are tuned against the
+ * actual tree and pinned by the fixtures under tests/data/lint/.
+ */
+
+#include "rules.h"
+
+#include <algorithm>
+#include <cctype>
+#include <map>
+#include <set>
+
+#include "lint.h"
+#include "sim/log.h"
+
+namespace glsc::lint {
+
+namespace {
+
+using Toks = std::vector<Token>;
+
+bool
+isIdent(const Token &t, const char *text)
+{
+    return t.kind == TokKind::Ident && t.text == text;
+}
+
+bool
+isPunct(const Token &t, const char *text)
+{
+    return t.kind == TokKind::Punct && t.text == text;
+}
+
+/** True when tokens[i] is directly preceded by '.' or '->'. */
+bool
+memberAccess(const Toks &toks, std::size_t i)
+{
+    return i > 0 &&
+           (isPunct(toks[i - 1], ".") || isPunct(toks[i - 1], "->"));
+}
+
+/**
+ * Given tokens[open] == "<", returns the index one past the matching
+ * ">" (treating "<"/">" as angle brackets).  Returns open + 1 when no
+ * match exists, so callers always make progress.
+ */
+std::size_t
+skipAngles(const Toks &toks, std::size_t open)
+{
+    int depth = 0;
+    for (std::size_t i = open; i < toks.size(); i++) {
+        if (isPunct(toks[i], "<"))
+            depth++;
+        else if (isPunct(toks[i], ">") && --depth == 0)
+            return i + 1;
+    }
+    return open + 1;
+}
+
+/** Index one past the ')' matching tokens[open] == "(". */
+std::size_t
+skipParens(const Toks &toks, std::size_t open)
+{
+    int depth = 0;
+    for (std::size_t i = open; i < toks.size(); i++) {
+        if (isPunct(toks[i], "("))
+            depth++;
+        else if (isPunct(toks[i], ")") && --depth == 0)
+            return i + 1;
+    }
+    return open + 1;
+}
+
+bool
+inCats(const FileUnit &f, std::initializer_list<FileCategory> cats)
+{
+    return std::find(cats.begin(), cats.end(), f.category) !=
+           cats.end();
+}
+
+std::string
+lower(std::string s)
+{
+    for (char &c : s)
+        c = static_cast<char>(
+            std::tolower(static_cast<unsigned char>(c)));
+    return s;
+}
+
+// ---------------------------------------------------------------------
+// determinism-wallclock: no ambient time or libc randomness anywhere.
+// Bit-identical replay (DESIGN.md section 2) means every schedule is
+// a pure function of (configuration, seed, program); a wall-clock
+// read or rand() call anywhere in the repo is either a determinism
+// bug or host-side supervision that must carry an explicit
+// suppression saying so.
+// ---------------------------------------------------------------------
+
+class WallclockRule : public Rule
+{
+  public:
+    const char *id() const override { return kRuleWallclock; }
+    const char *summary() const override
+    {
+        return "no wall-clock reads or ambient randomness";
+    }
+
+    void run(const std::vector<FileUnit> &tree,
+             std::vector<Finding> &out) const override
+    {
+        static const char *kBanned[] = {
+            "rand",       "srand",          "random_device",
+            "system_clock", "steady_clock", "high_resolution_clock",
+            "clock_gettime", "gettimeofday", "time",
+        };
+        for (const FileUnit &f : tree) {
+            const Toks &toks = f.lex.tokens;
+            for (std::size_t i = 0; i < toks.size(); i++) {
+                if (toks[i].kind != TokKind::Ident)
+                    continue;
+                bool banned = false;
+                for (const char *b : kBanned)
+                    banned = banned || toks[i].text == b;
+                if (!banned || memberAccess(toks, i))
+                    continue;
+                // rand/srand/time/clock_gettime/gettimeofday are only
+                // suspicious as calls; the clock types are suspicious
+                // as any mention.
+                bool callOnly = toks[i].text == "rand" ||
+                                toks[i].text == "srand" ||
+                                toks[i].text == "time" ||
+                                toks[i].text == "clock_gettime" ||
+                                toks[i].text == "gettimeofday";
+                if (callOnly && (i + 1 >= toks.size() ||
+                                 !isPunct(toks[i + 1], "(")))
+                    continue;
+                out.push_back(
+                    {id(), f.path, toks[i].line, toks[i].col,
+                     strprintf("'%s' reads ambient time/randomness; "
+                               "schedules must be a pure function of "
+                               "(config, seed, program) -- derive "
+                               "from a config seed or Tick",
+                               toks[i].text.c_str())});
+            }
+        }
+    }
+};
+
+// ---------------------------------------------------------------------
+// determinism-unordered-iteration: a range-for over an unordered
+// container has hash-dependent order; if that order reaches sim
+// state, stats or artifacts, replay breaks across standard libraries.
+// The rule flags range-fors whose sequence names an identifier that
+// is declared with an unordered_{map,set} type in this file or a
+// directly-included header; collect-then-sort patterns carry a
+// suppression explaining themselves.
+// ---------------------------------------------------------------------
+
+class UnorderedIterationRule : public Rule
+{
+  public:
+    const char *id() const override { return kRuleUnorderedIteration; }
+    const char *summary() const override
+    {
+        return "no hash-ordered iteration reaching state or artifacts";
+    }
+
+    void run(const std::vector<FileUnit> &tree,
+             std::vector<Finding> &out) const override
+    {
+        // name -> files (basenames) declaring it with an unordered
+        // type in the declaration's type spelling.
+        std::map<std::string, std::set<std::string>> decls;
+        for (const FileUnit &f : tree)
+            collectDecls(f, decls);
+
+        for (const FileUnit &f : tree) {
+            if (!inCats(f, {FileCategory::Src}))
+                continue;
+            std::set<std::string> visible;
+            visible.insert(basename(f.path));
+            for (const std::string &inc : f.lex.includes)
+                visible.insert(inc);
+            const Toks &toks = f.lex.tokens;
+            for (std::size_t i = 0; i + 1 < toks.size(); i++) {
+                if (!isIdent(toks[i], "for") ||
+                    !isPunct(toks[i + 1], "("))
+                    continue;
+                std::size_t close = skipParens(toks, i + 1);
+                std::size_t colon = 0;
+                int depth = 0;
+                for (std::size_t j = i + 1; j < close; j++) {
+                    if (isPunct(toks[j], "("))
+                        depth++;
+                    else if (isPunct(toks[j], ")"))
+                        depth--;
+                    else if (depth == 1 && isPunct(toks[j], ":")) {
+                        colon = j;
+                        break;
+                    }
+                }
+                if (colon == 0)
+                    continue;
+                for (std::size_t j = colon + 1; j + 1 < close; j++) {
+                    if (toks[j].kind != TokKind::Ident ||
+                        isPunct(toks[j + 1], "("))
+                        continue;
+                    auto it = decls.find(toks[j].text);
+                    if (it == decls.end())
+                        continue;
+                    bool vis = false;
+                    for (const std::string &df : it->second)
+                        vis = vis || visible.count(df) != 0;
+                    if (!vis)
+                        continue;
+                    out.push_back(
+                        {id(), f.path, toks[j].line, toks[j].col,
+                         strprintf("range-for over hash-ordered "
+                                   "'%s'; iteration order can leak "
+                                   "into state, stats or artifacts "
+                                   "-- sort keys first",
+                                   toks[j].text.c_str())});
+                }
+            }
+        }
+    }
+
+  private:
+    static std::string basename(const std::string &path)
+    {
+        std::size_t slash = path.find_last_of('/');
+        return slash == std::string::npos ? path
+                                          : path.substr(slash + 1);
+    }
+
+    static void
+    collectDecls(const FileUnit &f,
+                 std::map<std::string, std::set<std::string>> &decls)
+    {
+        const Toks &toks = f.lex.tokens;
+        for (std::size_t i = 0; i < toks.size(); i++) {
+            if (toks[i].kind != TokKind::Ident)
+                continue;
+            const std::string &t = toks[i].text;
+            if (t != "unordered_map" && t != "unordered_set" &&
+                t != "unordered_multimap" && t != "unordered_multiset")
+                continue;
+            std::size_t j = i + 1;
+            if (j < toks.size() && isPunct(toks[j], "<"))
+                j = skipAngles(toks, j);
+            // A wrapper like vector<unordered_map<...>> closes its
+            // own angles after ours; skip them (and ref/ptr marks)
+            // before taking the declared name.
+            while (j < toks.size() &&
+                   (isPunct(toks[j], ">") || isPunct(toks[j], "*") ||
+                    isPunct(toks[j], "&")))
+                j++;
+            if (j + 1 >= toks.size() ||
+                toks[j].kind != TokKind::Ident)
+                continue;
+            const Token &name = toks[j];
+            const Token &after = toks[j + 1];
+            if (isPunct(after, ";") || isPunct(after, "=") ||
+                isPunct(after, "{") || isPunct(after, "("))
+                decls[name.text].insert(basename(f.path));
+        }
+    }
+};
+
+// ---------------------------------------------------------------------
+// determinism-pointer-keys: std::map/std::set keyed on a pointer type
+// iterates in address order, which varies run to run (ASLR, allocator
+// state) -- an ordered container hiding the same bug the unordered
+// rule catches.  Key on a stable id instead.
+// ---------------------------------------------------------------------
+
+class PointerKeysRule : public Rule
+{
+  public:
+    const char *id() const override { return kRulePointerKeys; }
+    const char *summary() const override
+    {
+        return "no ordered containers keyed on pointer values";
+    }
+
+    void run(const std::vector<FileUnit> &tree,
+             std::vector<Finding> &out) const override
+    {
+        for (const FileUnit &f : tree) {
+            if (!inCats(f, {FileCategory::Src}))
+                continue;
+            const Toks &toks = f.lex.tokens;
+            for (std::size_t i = 1; i + 1 < toks.size(); i++) {
+                const std::string &t = toks[i].text;
+                if (toks[i].kind != TokKind::Ident ||
+                    (t != "map" && t != "set" && t != "multimap" &&
+                     t != "multiset"))
+                    continue;
+                if (!isPunct(toks[i - 1], "::") ||
+                    !isPunct(toks[i + 1], "<"))
+                    continue;
+                // Examine the first template argument only (the key).
+                int depth = 0;
+                bool star = false;
+                for (std::size_t j = i + 1; j < toks.size(); j++) {
+                    if (isPunct(toks[j], "<")) {
+                        depth++;
+                    } else if (isPunct(toks[j], ">")) {
+                        if (--depth == 0)
+                            break;
+                    } else if (depth == 1 && isPunct(toks[j], ","))
+                        break;
+                    else if (depth == 1 && isPunct(toks[j], "*"))
+                        star = true;
+                }
+                if (star)
+                    out.push_back(
+                        {id(), f.path, toks[i].line, toks[i].col,
+                         "ordered container keyed on a pointer; "
+                         "address order varies run to run -- key on "
+                         "a stable id instead"});
+            }
+        }
+    }
+};
+
+// ---------------------------------------------------------------------
+// rng-seed-discipline: every engine-side Rng must be constructed (or
+// member-initialized) from a configuration seed, per the dedicated
+// stream pattern (`seed ^ golden-ratio-constant`).  A literal-only
+// construction silently couples the stream to nothing the campaign
+// can vary; a default construction that is never reseeded runs every
+// instance on the same hardcoded stream.
+// ---------------------------------------------------------------------
+
+class RngSeedRule : public Rule
+{
+  public:
+    const char *id() const override { return kRuleRngSeed; }
+    const char *summary() const override
+    {
+        return "RNG streams must derive from a config seed";
+    }
+
+    void run(const std::vector<FileUnit> &tree,
+             std::vector<Finding> &out) const override
+    {
+        for (const FileUnit &f : tree) {
+            if (!inCats(f, {FileCategory::Src}))
+                continue;
+            const Toks &toks = f.lex.tokens;
+            for (std::size_t i = 0; i + 1 < toks.size(); i++) {
+                if (!isIdent(toks[i], "Rng") || memberAccess(toks, i))
+                    continue;
+                const Token &name = toks[i + 1];
+                if (name.kind != TokKind::Ident || i + 2 >= toks.size())
+                    continue;
+                const Token &after = toks[i + 2];
+                if (isPunct(after, "(") || isPunct(after, "{")) {
+                    checkCtorArgs(f, name, toks, i + 2, out);
+                } else if (isPunct(after, ";")) {
+                    checkDeferredSeed(tree, f, name, out);
+                }
+            }
+        }
+    }
+
+  private:
+    void checkCtorArgs(const FileUnit &f, const Token &name,
+                       const Toks &toks, std::size_t open,
+                       std::vector<Finding> &out) const
+    {
+        const char *closeText = isPunct(toks[open], "(") ? ")" : "}";
+        int depth = 0;
+        bool ident = false, any = false;
+        for (std::size_t j = open; j < toks.size(); j++) {
+            if (toks[j].text == toks[open].text &&
+                toks[j].kind == TokKind::Punct)
+                depth++;
+            else if (isPunct(toks[j], closeText) && --depth == 0)
+                break;
+            if (j > open) {
+                any = true;
+                ident = ident || toks[j].kind == TokKind::Ident;
+            }
+        }
+        if (any && !ident)
+            out.push_back(
+                {id(), f.path, name.line, name.col,
+                 strprintf("Rng '%s' is seeded from a literal; "
+                           "derive the seed from configuration "
+                           "(the seed ^ stream-constant pattern)",
+                           name.text.c_str())});
+    }
+
+    /**
+     * `Rng name;` -- fine iff somewhere in the tree `name` is
+     * member-initialized with identifier-bearing args or reseeded.
+     */
+    void checkDeferredSeed(const std::vector<FileUnit> &tree,
+                           const FileUnit &f, const Token &name,
+                           std::vector<Finding> &out) const
+    {
+        for (const FileUnit &g : tree) {
+            const Toks &toks = g.lex.tokens;
+            for (std::size_t i = 0; i + 1 < toks.size(); i++) {
+                if (toks[i].kind != TokKind::Ident ||
+                    toks[i].text != name.text)
+                    continue;
+                if (isPunct(toks[i + 1], "(")) {
+                    std::size_t close = skipParens(toks, i + 1);
+                    for (std::size_t j = i + 2; j + 1 < close; j++)
+                        if (toks[j].kind == TokKind::Ident)
+                            return;
+                }
+                if (i + 2 < toks.size() && isPunct(toks[i + 1], ".") &&
+                    isIdent(toks[i + 2], "reseed"))
+                    return;
+            }
+        }
+        out.push_back(
+            {id(), f.path, name.line, name.col,
+             strprintf("Rng '%s' is default-constructed and never "
+                       "reseeded from a config-derived seed",
+                       name.text.c_str())});
+    }
+};
+
+// ---------------------------------------------------------------------
+// trace-null-guard: tracing is zero-overhead when off because every
+// emit site is dominated by a null check on the Tracer pointer
+// (DESIGN.md section 5).  The rule finds `<tracer-expr>->emit(` and
+// requires a dominating guard within the preceding window.
+// ---------------------------------------------------------------------
+
+class TraceGuardRule : public Rule
+{
+  public:
+    const char *id() const override { return kRuleTraceGuard; }
+    const char *summary() const override
+    {
+        return "every Tracer emit dominated by a null guard";
+    }
+
+    void run(const std::vector<FileUnit> &tree,
+             std::vector<Finding> &out) const override
+    {
+        for (const FileUnit &f : tree) {
+            if (!inCats(f, {FileCategory::Src}))
+                continue;
+            const Toks &toks = f.lex.tokens;
+            for (std::size_t i = 1; i + 2 < toks.size(); i++) {
+                if (!isPunct(toks[i], "->") ||
+                    !isIdent(toks[i + 1], "emit") ||
+                    !isPunct(toks[i + 2], "("))
+                    continue;
+                std::string base, last;
+                buildBase(toks, i, base, last);
+                std::string lowerBase = lower(base);
+                if (lowerBase.find("tracer") == std::string::npos &&
+                    base != "tr")
+                    continue;
+                if (!guarded(toks, i, base, last))
+                    out.push_back(
+                        {id(), f.path, toks[i + 1].line,
+                         toks[i + 1].col,
+                         strprintf("'%s->emit(...)' is not dominated "
+                                   "by a null guard; tracing must "
+                                   "cost nothing when off",
+                                   base.c_str())});
+            }
+        }
+    }
+
+  private:
+    /** Reconstructs the ident chain ending right before tokens[i]. */
+    static void buildBase(const Toks &toks, std::size_t i,
+                          std::string &base, std::string &last)
+    {
+        std::vector<std::string> parts;
+        std::size_t j = i;
+        while (j > 0) {
+            const Token &t = toks[j - 1];
+            if (t.kind == TokKind::Ident) {
+                parts.push_back(t.text);
+                if (last.empty())
+                    last = t.text;
+                j--;
+                if (j > 0 && (isPunct(toks[j - 1], ".") ||
+                              isPunct(toks[j - 1], "->") ||
+                              isPunct(toks[j - 1], "::"))) {
+                    parts.push_back(toks[j - 1].text);
+                    j--;
+                    continue;
+                }
+            }
+            break;
+        }
+        for (auto it = parts.rbegin(); it != parts.rend(); ++it)
+            base += *it;
+    }
+
+    /** Searches the preceding window for a dominating guard. */
+    static bool guarded(const Toks &toks, std::size_t i,
+                        const std::string &base,
+                        const std::string &last)
+    {
+        static constexpr int kWindowLines = 80;
+        int firstLine = toks[i].line - kWindowLines;
+        std::string window;
+        for (std::size_t j = i; j-- > 0;) {
+            if (toks[j].line < firstLine)
+                break;
+            window.insert(0, toks[j].text);
+        }
+        const std::string pats[] = {
+            base + "==nullptr",
+            base + "!=nullptr",
+            "if(" + base + ")",
+            "if(" + base + "&&",
+            // The C++17 if-init guard: if (Tracer *tr = ...) { ... }.
+            // Deliberately not a bare `Tracer *x =` declaration --
+            // that would let a member decl mask an unguarded emit.
+            "if(Tracer*" + last + "=",
+        };
+        for (const std::string &p : pats)
+            if (window.find(p) != std::string::npos)
+                return true;
+        return false;
+    }
+};
+
+// ---------------------------------------------------------------------
+// stats-schema-sync: the stats JSON schema is defined three times --
+// the struct fields (stats/stats.h), the X-macro export lists
+// (obs/stats_json.h) and the sizeof tripwires (obs/stats_json.cc) --
+// and a schema bump must touch all three.  The rule cross-checks the
+// scalar field *sets* (declaration order may legitimately differ
+// from export order) and requires both tripwires to exist.
+// ---------------------------------------------------------------------
+
+class StatsSchemaRule : public Rule
+{
+  public:
+    const char *id() const override { return kRuleStatsSchema; }
+    const char *summary() const override
+    {
+        return "stats structs, X-macros and tripwires stay in sync";
+    }
+
+    void run(const std::vector<FileUnit> &tree,
+             std::vector<Finding> &out) const override
+    {
+        for (const FileUnit &statsH : tree) {
+            if (!statsH.pathEndsWith("stats/stats.h"))
+                continue;
+            std::string prefix = statsH.path.substr(
+                0, statsH.path.size() -
+                       std::string("stats/stats.h").size());
+            const FileUnit *jsonH = nullptr, *jsonCc = nullptr;
+            for (const FileUnit &g : tree) {
+                if (g.path == prefix + "obs/stats_json.h")
+                    jsonH = &g;
+                if (g.path == prefix + "obs/stats_json.cc")
+                    jsonCc = &g;
+            }
+            if (jsonH == nullptr || jsonCc == nullptr)
+                continue;
+            check(statsH, *jsonH, *jsonCc, "SystemStats",
+                  "GLSC_STATS_U64_FIELDS", out);
+            check(statsH, *jsonH, *jsonCc, "ThreadStats",
+                  "GLSC_THREAD_STATS_U64_FIELDS", out);
+        }
+    }
+
+  private:
+    void check(const FileUnit &statsH, const FileUnit &jsonH,
+               const FileUnit &jsonCc, const char *structName,
+               const char *macroName,
+               std::vector<Finding> &out) const
+    {
+        int structLine = 0;
+        std::set<std::string> fields =
+            structScalars(statsH, structName, structLine);
+        int macroLine = 0;
+        std::set<std::string> exported =
+            xmacroEntries(jsonH, macroName, macroLine);
+        if (structLine == 0 || macroLine == 0)
+            return;
+        for (const std::string &m : fields) {
+            if (exported.count(m) == 0)
+                out.push_back(
+                    {id(), statsH.path, structLine, 1,
+                     strprintf("%s scalar field '%s' is missing from "
+                               "%s (obs/stats_json.h); a schema bump "
+                               "must update struct, X-macro and "
+                               "tripwire together",
+                               structName, m.c_str(), macroName)});
+        }
+        for (const std::string &m : exported) {
+            if (fields.count(m) == 0)
+                out.push_back(
+                    {id(), jsonH.path, macroLine, 1,
+                     strprintf("%s entry '%s' has no matching scalar "
+                               "field in %s (stats/stats.h)",
+                               macroName, m.c_str(), structName)});
+        }
+        std::string needle =
+            strprintf("sizeof(%s)", structName);
+        if (jsonCc.text.find(needle) == std::string::npos)
+            out.push_back(
+                {id(), jsonCc.path, 1, 1,
+                 strprintf("missing the sizeof(%s) schema tripwire "
+                           "static_assert; adding a field must be a "
+                           "conscious schema decision",
+                           structName)});
+    }
+
+    /**
+     * Scalar members (std::uint64_t / Tick / Addr) at depth 1 of the
+     * struct body; template arguments are skipped so array/vector
+     * element types are not mistaken for members.
+     */
+    static std::set<std::string>
+    structScalars(const FileUnit &f, const char *structName,
+                  int &structLine)
+    {
+        std::set<std::string> out;
+        const Toks &toks = f.lex.tokens;
+        for (std::size_t i = 0; i + 1 < toks.size(); i++) {
+            if (!isIdent(toks[i], "struct") ||
+                !isIdent(toks[i + 1], structName))
+                continue;
+            structLine = toks[i].line;
+            std::size_t j = i + 2;
+            while (j < toks.size() && !isPunct(toks[j], "{"))
+                j++;
+            int depth = 0;
+            for (; j < toks.size(); j++) {
+                if (isPunct(toks[j], "{")) {
+                    depth++;
+                } else if (isPunct(toks[j], "}")) {
+                    if (--depth == 0)
+                        break;
+                } else if (depth == 1 &&
+                           toks[j].kind == TokKind::Ident &&
+                           j + 1 < toks.size() &&
+                           isPunct(toks[j + 1], "<")) {
+                    j = skipAngles(toks, j + 1) - 1;
+                } else if (depth == 1 &&
+                           (isIdent(toks[j], "uint64_t") ||
+                            isIdent(toks[j], "Tick") ||
+                            isIdent(toks[j], "Addr")) &&
+                           j + 2 < toks.size() &&
+                           toks[j + 1].kind == TokKind::Ident &&
+                           (isPunct(toks[j + 2], ";") ||
+                            isPunct(toks[j + 2], "=") ||
+                            isPunct(toks[j + 2], "{"))) {
+                    out.insert(toks[j + 1].text);
+                    j++;
+                }
+            }
+            break;
+        }
+        return out;
+    }
+
+    /** X(name) entries of a #define list, from the raw lines. */
+    static std::set<std::string>
+    xmacroEntries(const FileUnit &f, const char *macroName,
+                  int &macroLine)
+    {
+        std::set<std::string> out;
+        std::string defineNeedle =
+            strprintf("#define %s", macroName);
+        for (std::size_t li = 0; li < f.lines.size(); li++) {
+            if (f.lines[li].find(defineNeedle) == std::string::npos)
+                continue;
+            macroLine = static_cast<int>(li) + 1;
+            for (std::size_t k = li;; k++) {
+                if (k >= f.lines.size())
+                    break;
+                const std::string &line = f.lines[k];
+                std::size_t pos = 0;
+                while ((pos = line.find("X(", pos)) !=
+                       std::string::npos) {
+                    std::size_t close = line.find(')', pos + 2);
+                    // Skip GLSC_..._FIELDS(X) in the define head.
+                    bool head =
+                        pos >= 1 &&
+                        (std::isalnum(static_cast<unsigned char>(
+                             line[pos - 1])) ||
+                         line[pos - 1] == '_' || line[pos - 1] == '(');
+                    if (close != std::string::npos && !head)
+                        out.insert(
+                            line.substr(pos + 2, close - pos - 2));
+                    pos += 2;
+                }
+                if (line.empty() || line.back() != '\\')
+                    break;
+            }
+            break;
+        }
+        return out;
+    }
+};
+
+// ---------------------------------------------------------------------
+// exit-code-registry: supervisors (the campaign orchestrator, CI,
+// ctest) branch on process exit statuses, so every code must mean
+// exactly one thing.  Exit calls must use a named constant from
+// sim/exit_codes.h (literal 0 excepted -- universally "success"),
+// and the registry itself must stay collision-free with a doc
+// comment on every constant.  Tests are exempt (death tests
+// legitimately exercise raw statuses).
+// ---------------------------------------------------------------------
+
+class ExitCodesRule : public Rule
+{
+  public:
+    const char *id() const override { return kRuleExitCodes; }
+    const char *summary() const override
+    {
+        return "exit statuses come from the documented registry";
+    }
+
+    void run(const std::vector<FileUnit> &tree,
+             std::vector<Finding> &out) const override
+    {
+        for (const FileUnit &f : tree) {
+            if (f.pathEndsWith("sim/exit_codes.h")) {
+                checkRegistry(f, out);
+                continue;
+            }
+            if (!inCats(f, {FileCategory::Src, FileCategory::Bench,
+                            FileCategory::Tools}))
+                continue;
+            const Toks &toks = f.lex.tokens;
+            for (std::size_t i = 0; i + 2 < toks.size(); i++) {
+                const std::string &t = toks[i].text;
+                if (toks[i].kind != TokKind::Ident ||
+                    (t != "exit" && t != "_exit" && t != "_Exit" &&
+                     t != "quick_exit"))
+                    continue;
+                if (memberAccess(toks, i) ||
+                    !isPunct(toks[i + 1], "("))
+                    continue;
+                if (i + 3 < toks.size() &&
+                    toks[i + 2].kind == TokKind::Number &&
+                    isPunct(toks[i + 3], ")") &&
+                    toks[i + 2].text != "0")
+                    out.push_back(
+                        {id(), f.path, toks[i + 2].line,
+                         toks[i + 2].col,
+                         strprintf("%s called with literal status "
+                                   "%s; use a named constant from "
+                                   "sim/exit_codes.h so supervisors "
+                                   "can branch on it",
+                                   t.c_str(),
+                                   toks[i + 2].text.c_str())});
+            }
+        }
+    }
+
+  private:
+    void checkRegistry(const FileUnit &f,
+                       std::vector<Finding> &out) const
+    {
+        const Toks &toks = f.lex.tokens;
+        std::map<std::string, std::string> byValue; // value -> name
+        for (std::size_t i = 0; i + 2 < toks.size(); i++) {
+            if (toks[i].kind != TokKind::Ident ||
+                toks[i].text.compare(0, 1, "k") != 0 ||
+                !isPunct(toks[i + 1], "=") ||
+                toks[i + 2].kind != TokKind::Number)
+                continue;
+            const std::string &name = toks[i].text;
+            const std::string &val = toks[i + 2].text;
+            auto [it, fresh] = byValue.emplace(val, name);
+            if (!fresh)
+                out.push_back(
+                    {id(), f.path, toks[i].line, toks[i].col,
+                     strprintf("exit code %s is defined twice: '%s' "
+                               "and '%s'; codes must be unique so "
+                               "supervisors can branch on them",
+                               val.c_str(), it->second.c_str(),
+                               name.c_str())});
+            if (!documented(f, toks[i].line))
+                out.push_back(
+                    {id(), f.path, toks[i].line, toks[i].col,
+                     strprintf("exit code '%s' has no doc comment; "
+                               "the registry is the contract "
+                               "supervisors read",
+                               name.c_str())});
+        }
+    }
+
+    /** A doc comment directly above (or on) the constant's line. */
+    static bool documented(const FileUnit &f, int line)
+    {
+        for (int l = line - 1; l >= 1 && l >= line - 2; l--) {
+            std::string s = f.lines[static_cast<std::size_t>(l) - 1];
+            std::size_t b = s.find_first_not_of(" \t");
+            if (b == std::string::npos)
+                return false;
+            if (s.compare(b, 2, "//") == 0 ||
+                s.compare(b, 2, "*/") == 0 || s[b] == '*' ||
+                s.compare(b, 2, "/*") == 0)
+                return true;
+        }
+        return false;
+    }
+};
+
+// ---------------------------------------------------------------------
+// artifact-atomic-write: every artifact write goes through
+// atomicWriteFile (obs/artifact.h) so a reader can never observe a
+// torn file.  Direct fopen("w")/ofstream in engine, bench or tool
+// code is a finding; obs/artifact.cc itself (the implementation) is
+// exempt, and deliberate torn-write chaos carries a suppression.
+// ---------------------------------------------------------------------
+
+class AtomicWriteRule : public Rule
+{
+  public:
+    const char *id() const override { return kRuleAtomicWrite; }
+    const char *summary() const override
+    {
+        return "artifact writes route through atomicWriteFile";
+    }
+
+    void run(const std::vector<FileUnit> &tree,
+             std::vector<Finding> &out) const override
+    {
+        for (const FileUnit &f : tree) {
+            if (!inCats(f, {FileCategory::Src, FileCategory::Bench,
+                            FileCategory::Tools}))
+                continue;
+            if (f.pathEndsWith("obs/artifact.cc"))
+                continue;
+            const Toks &toks = f.lex.tokens;
+            for (std::size_t i = 0; i + 1 < toks.size(); i++) {
+                if (isIdent(toks[i], "ofstream")) {
+                    out.push_back(
+                        {id(), f.path, toks[i].line, toks[i].col,
+                         "std::ofstream writes are not atomic; "
+                         "route the artifact through "
+                         "atomicWriteFile (obs/artifact.h)"});
+                    continue;
+                }
+                if (!isIdent(toks[i], "fopen") ||
+                    !isPunct(toks[i + 1], "("))
+                    continue;
+                std::size_t close = skipParens(toks, i + 1);
+                for (std::size_t j = i + 2; j + 1 < close; j++) {
+                    if (toks[j].kind == TokKind::String &&
+                        (toks[j].text == "w" ||
+                         toks[j].text == "wb")) {
+                        out.push_back(
+                            {id(), f.path, toks[j].line, toks[j].col,
+                             "direct fopen(\"w\") can leave a torn "
+                             "file for readers; route the artifact "
+                             "through atomicWriteFile "
+                             "(obs/artifact.h)"});
+                        break;
+                    }
+                }
+            }
+        }
+    }
+};
+
+} // namespace
+
+std::vector<std::unique_ptr<Rule>>
+defaultRules()
+{
+    std::vector<std::unique_ptr<Rule>> rules;
+    rules.push_back(std::make_unique<WallclockRule>());
+    rules.push_back(std::make_unique<UnorderedIterationRule>());
+    rules.push_back(std::make_unique<PointerKeysRule>());
+    rules.push_back(std::make_unique<RngSeedRule>());
+    rules.push_back(std::make_unique<TraceGuardRule>());
+    rules.push_back(std::make_unique<StatsSchemaRule>());
+    rules.push_back(std::make_unique<ExitCodesRule>());
+    rules.push_back(std::make_unique<AtomicWriteRule>());
+    return rules;
+}
+
+} // namespace glsc::lint

@@ -1,0 +1,28 @@
+/**
+ * @file
+ * The shipped glsc-lint rule pack lives in rules.cc behind
+ * lint.h's defaultRules(); this header only exposes the rule-id
+ * strings so tests and docs can reference them without stringly
+ * duplication.  The catalog itself -- what each rule checks and why
+ * -- is DESIGN.md section 15.
+ */
+
+#ifndef GLSC_TOOLS_LINT_RULES_H_
+#define GLSC_TOOLS_LINT_RULES_H_
+
+namespace glsc::lint {
+
+inline constexpr char kRuleWallclock[] = "determinism-wallclock";
+inline constexpr char kRuleUnorderedIteration[] =
+    "determinism-unordered-iteration";
+inline constexpr char kRulePointerKeys[] = "determinism-pointer-keys";
+inline constexpr char kRuleRngSeed[] = "rng-seed-discipline";
+inline constexpr char kRuleTraceGuard[] = "trace-null-guard";
+inline constexpr char kRuleStatsSchema[] = "stats-schema-sync";
+inline constexpr char kRuleExitCodes[] = "exit-code-registry";
+inline constexpr char kRuleAtomicWrite[] = "artifact-atomic-write";
+inline constexpr char kRuleSuppressionHygiene[] = "suppression-hygiene";
+
+} // namespace glsc::lint
+
+#endif // GLSC_TOOLS_LINT_RULES_H_
